@@ -1,0 +1,115 @@
+// MAC-level ablation: how medium contention erodes the uplink.
+//
+// §5's premise is that the helper's *achievable* packet rate — and with it
+// the tag's bit rate — depends on what else shares the air. Here the
+// helper's packet timeline comes from the full DCF simulation (collisions,
+// backoff, retries) rather than an idealised generator: a saturated helper
+// competes with 0..12 saturated rivals, and the surviving delivered frames
+// carry the tag's backscatter to the reader.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/uplink_sim.h"
+#include "reader/uplink_decoder.h"
+#include "tag/modulator.h"
+#include "util/stats.h"
+#include "wifi/mac.h"
+
+namespace {
+
+using namespace wb;
+
+struct Outcome {
+  double helper_pps = 0.0;
+  double bit_rate = 0.0;
+  double ber = 0.0;
+};
+
+Outcome run_with_rivals(std::size_t rivals, std::size_t runs,
+                        std::uint64_t seed) {
+  Outcome out;
+  BerCounter ber;
+  for (std::size_t run = 0; run < runs; ++run) {
+    // --- MAC: helper + rivals share the medium ---
+    wifi::DcfMac mac{sim::RngStream(seed + run * 7919)};
+    const auto helper = mac.add_station();
+    mac.make_saturated(helper, 1'000, 54.0);
+    for (std::size_t i = 0; i < rivals; ++i) {
+      mac.make_saturated(mac.add_station(), 1'500, 24.0);
+    }
+
+    // The reader sizes the tag's bit rate from a short probe of the
+    // helper's delivered rate (the N/M rule, M = 20).
+    mac.run_until(500'000);
+    const double probe_pps =
+        static_cast<double>(mac.stats(helper).delivered) / 0.5;
+    const TimeUs bit_us =
+        static_cast<TimeUs>(20.0 * 1e6 / std::max(probe_pps, 50.0));
+
+    const std::size_t payload_bits = 32;
+    const TimeUs frame_start = 700'000;
+    const TimeUs frame_dur =
+        static_cast<TimeUs>(13 + payload_bits) * bit_us;
+    mac.run_until(frame_start + frame_dur + 100'000);
+
+    // Keep only the helper's delivered frames: the reader filters by
+    // transmitter address.
+    wifi::PacketTimeline timeline;
+    for (const auto& f : mac.delivered_timeline()) {
+      if (f.source == helper) timeline.push_back(f);
+    }
+    out.helper_pps += probe_pps / static_cast<double>(runs);
+
+    // --- Tag + channel + decoder ---
+    core::UplinkSimConfig cfg;
+    cfg.channel.tag_pos = {0.10, 0.0};
+    cfg.channel.helper_pos = {3.10, 0.0};
+    cfg.seed = seed + run;
+    const BitVec payload = random_bits(payload_bits, seed + run);
+    BitVec frame = barker13();
+    frame.insert(frame.end(), payload.begin(), payload.end());
+    tag::Modulator mod(frame, bit_us, frame_start);
+    core::UplinkSim sim(cfg);
+    const auto trace = sim.run(timeline, mod);
+
+    reader::UplinkDecoderConfig dec;
+    dec.payload_bits = payload_bits;
+    dec.bit_duration_us = bit_us;
+    dec.search_from = frame_start - 2 * bit_us;
+    dec.search_to = frame_start + 2 * bit_us;
+    reader::UplinkDecoder decoder(dec);
+    const auto res = decoder.decode(trace);
+    if (res.found) {
+      ber.add(payload, res.payload);
+    } else {
+      ber.add_counts(payload.size(), payload.size());
+    }
+    out.bit_rate += 1e6 / static_cast<double>(bit_us) /
+                    static_cast<double>(runs);
+  }
+  out.ber = ber.ber_floored();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t runs = wb::bench::quick_mode(argc, argv) ? 3 : 8;
+  bench::print_header(
+      "Ablation (contention)",
+      "Uplink over a DCF medium shared with saturated rivals");
+  std::printf("%-10s %-18s %-16s %s\n", "rivals", "helper (pkt/s)",
+              "tag rate (bps)", "uplink BER");
+  bench::print_row_divider();
+  for (std::size_t rivals : {0, 1, 3, 6, 12}) {
+    const auto o = run_with_rivals(rivals, runs, 5'000 + rivals * 31);
+    std::printf("%-10zu %-18.0f %-16.1f %.2e\n", rivals, o.helper_pps,
+                o.bit_rate, o.ber);
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nExpected: each rival halves-ish the helper's share of the air;\n"
+      "the N/M rate control follows it down, and the BER stays workable\n"
+      "because the rate adapts — the §5 design point.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Ablation study of the tag's energy-detector circuit (paper §4.2):
+//   * adaptive threshold (peak/2) vs other threshold fractions;
+//   * peak-hold decay time constant;
+//   * envelope smoothing time constant (the 50 us packet-length limit).
+//
+// Each variant reports downlink slot BER at 20 kbps, 1.75 m — a point
+// where the default circuit works but has little margin.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/downlink_sim.h"
+#include "core/frame.h"
+#include "reader/downlink_encoder.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace wb;
+
+double slot_ber(const tag::EnergyDetectorParams& det, std::size_t total_bits,
+                std::uint64_t seed) {
+  BerCounter ber;
+  reader::DownlinkEncoderConfig enc_cfg;
+  enc_cfg.slot_us = 50;
+  reader::DownlinkEncoder encoder(enc_cfg);
+  std::uint64_t round = 0;
+  std::size_t sent = 0;
+  while (sent < total_bits) {
+    const std::size_t n = std::min<std::size_t>(500, total_bits - sent);
+    BitVec message = core::downlink_preamble();
+    const BitVec data = random_bits(n, seed + round);
+    message.insert(message.end(), data.begin(), data.end());
+    const auto tx = encoder.encode(message, 500);
+
+    core::DownlinkSimConfig cfg;
+    cfg.reader_tag_distance_m = 1.75;
+    cfg.detector = det;
+    cfg.mcu.bit_duration_us = 50;
+    cfg.seed = seed * 31 + round;
+    core::DownlinkSim sim(cfg);
+    const auto report = sim.run(tx, {}, tx.end_us + 1'000);
+    BitVec truth;
+    for (const auto& s : tx.slots) truth.push_back(s.bit);
+    ber.add(truth, report.slot_levels);
+    sent += n;
+    ++round;
+  }
+  return ber.ber_floored();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t bits = wb::bench::quick_mode(argc, argv) ? 3'000 : 20'000;
+  bench::print_header("Ablation (downlink)",
+                      "Energy-detector circuit choices at 20 kbps, 1.75 m");
+
+  std::printf("%-44s  %s\n", "variant", "slot BER");
+  bench::print_row_divider();
+
+  {
+    tag::EnergyDetectorParams det;
+    std::printf("%-44s  %.2e\n", "paper circuit (th=peak/2, smooth 18 us)",
+                slot_ber(det, bits, 11));
+  }
+  for (double frac : {0.25, 0.35, 0.65, 0.8}) {
+    tag::EnergyDetectorParams det;
+    det.threshold_fraction = frac;
+    std::printf("threshold = %.2f x peak%*s  %.2e\n", frac, 21, "",
+                slot_ber(det, bits, 12));
+  }
+  for (double tau : {4.0, 9.0, 36.0, 60.0}) {
+    tag::EnergyDetectorParams det;
+    det.smooth_tau_us = tau;
+    std::printf("envelope smoothing tau = %4.0f us%*s  %.2e\n", tau, 14, "",
+                slot_ber(det, bits, 13));
+  }
+  for (double decay : {500.0, 2'000.0, 32'000.0, 128'000.0}) {
+    tag::EnergyDetectorParams det;
+    det.peak_decay_tau_us = decay;
+    std::printf("peak-hold decay tau = %6.0f us%*s  %.2e\n", decay, 14, "",
+                slot_ber(det, bits, 14));
+  }
+  std::printf(
+      "\nExpected: peak/2 is near-optimal (lower thresholds admit noise,\n"
+      "higher ones miss settled packets); smoothing trades OFDM flicker\n"
+      "against edge speed with an interior optimum; too-fast peak decay\n"
+      "loses the reference during zero runs.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Ablation study of the uplink decoder's design choices (DESIGN.md §6):
+//   * stream combining: MRC (1/sigma^2 weights) vs equal-gain vs best-1;
+//   * hysteresis thresholds on vs off;
+//   * number of combined streams G;
+//   * moving-average window length.
+//
+// Each ablation reports BER at a mid-range operating point (40 cm,
+// 30 pkt/bit) where the decoder has work to do.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/experiments.h"
+
+namespace {
+
+using namespace wb;
+
+core::UplinkExperimentParams base_params(std::size_t runs) {
+  core::UplinkExperimentParams p;
+  p.tag_reader_distance_m = 0.40;
+  p.packets_per_bit = 30.0;
+  p.runs = runs;
+  p.seed = 4242;
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t runs = wb::bench::quick_mode(argc, argv) ? 6 : 20;
+  bench::print_header("Ablation (uplink)",
+                      "Decoder design choices at 40 cm, 30 pkt/bit");
+
+  std::printf("%-44s  %s\n", "variant", "BER");
+  bench::print_row_divider();
+
+  {
+    auto p = base_params(runs);
+    std::printf("%-44s  %.2e\n", "full decoder (MRC, G=10, hysteresis 0.5s)",
+                core::measure_uplink_ber(p).ber);
+  }
+  for (std::size_t g : {1, 3, 5, 20, 45}) {
+    auto p = base_params(runs);
+    p.num_good_streams = g;
+    std::printf("combined streams G=%-26zu  %.2e\n", g,
+                core::measure_uplink_ber(p).ber);
+  }
+  // Hysteresis earns its keep against the NIC's spurious CSI events
+  // (§3.2's stated motivation); ablate it under a spurious-heavy card.
+  for (double h : {0.0, 0.25, 0.5, 1.0}) {
+    auto p = base_params(runs);
+    p.nic.spurious_prob = 0.05;
+    p.hysteresis_sigma = h;
+    std::printf("hysteresis %.2f sigma (spurious-heavy NIC)%*s  %.2e\n", h,
+                2, "", core::measure_uplink_ber(p).ber);
+  }
+  for (TimeUs w : {100'000, 200'000, 800'000, 1'600'000}) {
+    auto p = base_params(runs);
+    p.movavg_window_us = w;
+    std::printf("moving-average window %4lld ms%*s  %.2e\n",
+                static_cast<long long>(w / 1000), 13, "",
+                core::measure_uplink_ber(p).ber);
+  }
+  {
+    auto p = base_params(runs);
+    std::printf("%-44s  %.2e\n", "random single sub-channel (Fig 11 baseline)",
+                core::measure_uplink_ber_random_stream(p).ber);
+  }
+  std::printf(
+      "\nExpected: combining beats any single stream by orders of\n"
+      "magnitude; a handful of good streams suffices (G of 3-10), while\n"
+      "G=45 dilutes with noise-only streams; hysteresis is dominated by\n"
+      "per-bit majority voting even on a spurious-heavy NIC (wide dead\n"
+      "zones only discard votes) — which is why the decoder's default\n"
+      "band is narrow; very long moving-average windows pass drift\n"
+      "through.\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Microbenchmarks of the reader-side decoding kernels and the tag-side
+// circuit simulation, via google-benchmark. These bound how much capture
+// data a software reader can process in real time.
+#include <benchmark/benchmark.h>
+
+#include "core/uplink_sim.h"
+#include "phy/ofdm_envelope.h"
+#include "reader/conditioning.h"
+#include "reader/uplink_decoder.h"
+#include "tag/energy_detector.h"
+#include "tag/modulator.h"
+#include "util/dsp.h"
+#include "wifi/traffic.h"
+
+namespace {
+
+using namespace wb;
+
+/// A shared capture trace: 30 pkt/bit, 40 payload bits, tag at 20 cm.
+const wifi::CaptureTrace& shared_trace() {
+  static const wifi::CaptureTrace trace = [] {
+    core::UplinkSimConfig cfg;
+    cfg.channel.tag_pos = {0.2, 0.0};
+    cfg.channel.helper_pos = {3.2, 0.0};
+    cfg.seed = 99;
+    const TimeUs bit_us = 10'000;
+    BitVec frame = barker13();
+    const auto payload = random_bits(40, 5);
+    frame.insert(frame.end(), payload.begin(), payload.end());
+    const TimeUs until =
+        600'000 + static_cast<TimeUs>(frame.size()) * bit_us + 100'000;
+    sim::RngStream rng(1);
+    auto traffic_rng = rng.fork("t");
+    const auto tl = wifi::make_cbr_timeline(3000, until,
+                                            wifi::TrafficParams{},
+                                            traffic_rng);
+    tag::Modulator mod(frame, bit_us, 600'000);
+    core::UplinkSim sim(cfg);
+    return sim.run(tl, mod);
+  }();
+  return trace;
+}
+
+reader::UplinkDecoderConfig shared_decoder_config() {
+  reader::UplinkDecoderConfig dec;
+  dec.payload_bits = 40;
+  dec.bit_duration_us = 10'000;
+  dec.search_from = 600'000 - 20'000;
+  dec.search_to = 600'000 + 20'000;
+  return dec;
+}
+
+void BM_Conditioning(benchmark::State& state) {
+  const auto& trace = shared_trace();
+  for (auto _ : state) {
+    auto ct = reader::condition(trace, reader::MeasurementSource::kCsi);
+    benchmark::DoNotOptimize(ct);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_Conditioning);
+
+void BM_PreambleCorrelation(benchmark::State& state) {
+  const auto ct =
+      reader::condition(shared_trace(), reader::MeasurementSource::kCsi);
+  const reader::UplinkDecoder dec(shared_decoder_config());
+  std::size_t stream = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dec.preamble_correlation(ct, stream, 600'000));
+    stream = (stream + 1) % ct.num_streams();
+  }
+}
+BENCHMARK(BM_PreambleCorrelation);
+
+void BM_FrameSync(benchmark::State& state) {
+  const auto ct =
+      reader::condition(shared_trace(), reader::MeasurementSource::kCsi);
+  const reader::UplinkDecoder dec(shared_decoder_config());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dec.find_frame(ct));
+  }
+}
+BENCHMARK(BM_FrameSync);
+
+void BM_FullDecode(benchmark::State& state) {
+  const auto& trace = shared_trace();
+  const reader::UplinkDecoder dec(shared_decoder_config());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dec.decode(trace));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_FullDecode);
+
+void BM_MovingAverage(benchmark::State& state) {
+  std::vector<double> xs(static_cast<std::size_t>(state.range(0)));
+  std::vector<TimeUs> ts(xs.size());
+  sim::RngStream rng(3);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng.normal();
+    ts[i] = static_cast<TimeUs>(i) * 333;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        reader::remove_time_moving_average(ts, xs, 400'000));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_MovingAverage)->Arg(1'000)->Arg(10'000)->Arg(100'000);
+
+void BM_EnergyDetectorStep(benchmark::State& state) {
+  sim::RngStream rng(4);
+  tag::EnergyDetector det(tag::EnergyDetectorParams{}, rng.fork("det"));
+  auto env = rng.fork("env");
+  const double p = dbm_to_mw(-25.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        det.step(1.0, phy::draw_ofdm_power_sample(p, env)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EnergyDetectorStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,124 @@
+// Reproduces Fig 3 (and Fig 6): raw CSI amplitude of one Wi-Fi sub-channel
+// vs packet number while the tag modulates an alternating bit pattern.
+//
+// Fig 3: tag 5 cm from the reader — two clean levels are visible on top of
+// the channel measurements. Fig 6: tag 1 m away — the two levels are no
+// longer separable, motivating the correlation decoder of §3.4.
+//
+// Output: an ASCII rendering of the trace plus summary statistics (level
+// separation vs noise) at both distances.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/uplink_sim.h"
+#include "tag/modulator.h"
+#include "util/stats.h"
+#include "wifi/traffic.h"
+
+namespace {
+
+using namespace wb;
+
+void trace_at(double distance_m, const char* figure, std::size_t packets) {
+  core::UplinkSimConfig cfg;
+  cfg.channel.reader_pos = {0.0, 0.0};
+  cfg.channel.tag_pos = {distance_m, 0.0};
+  cfg.channel.helper_pos = {distance_m + 5.0, 0.0};  // helper 5 m away
+  cfg.seed = 321;
+
+  // Saturating download: ~3000 pkt/s; alternating bits at ~15 pkts/bit.
+  const double pps = 3000.0;
+  const TimeUs bit_us = 5'000;
+  const TimeUs until =
+      static_cast<TimeUs>(static_cast<double>(packets) / pps * 1e6) + 1;
+
+  sim::RngStream rng(cfg.seed);
+  auto traffic_rng = rng.fork("traffic");
+  const auto timeline =
+      wifi::make_cbr_timeline(pps, until, wifi::TrafficParams{}, traffic_rng);
+
+  BitVec alternating;
+  for (std::size_t i = 0; i * bit_us < static_cast<std::size_t>(until);
+       ++i) {
+    alternating.push_back(static_cast<std::uint8_t>(i % 2));
+  }
+  tag::Modulator mod(alternating, bit_us, 0);
+
+  core::UplinkSim sim(cfg);
+  const auto trace = sim.run(timeline, mod);
+
+  // Pick the sub-channel with the largest amplitude contrast between the
+  // two tag states (the paper plots sub-channel 19 of its setup).
+  std::size_t best = 0;
+  double best_sep = -1.0;
+  for (std::size_t s = 0; s < wifi::kNumCsiStreams; ++s) {
+    RunningStats one, zero;
+    for (std::size_t k = 0; k < trace.size(); ++k) {
+      const bool state = mod.state_at(trace[k].timestamp_us);
+      (state ? one : zero).push(wifi::stream_csi(trace[k], s));
+    }
+    const double sep = std::abs(one.mean() - zero.mean());
+    if (sep > best_sep) {
+      best_sep = sep;
+      best = s;
+    }
+  }
+
+  RunningStats one, zero;
+  std::vector<double> series;
+  series.reserve(trace.size());
+  for (const auto& rec : trace) {
+    const double v = wifi::stream_csi(rec, best);
+    series.push_back(v);
+    (mod.state_at(rec.timestamp_us) ? one : zero).push(v);
+  }
+
+  std::printf("\n(%s) tag at %.0f cm — sub-channel %zu (antenna %zu)\n",
+              figure, distance_m * 100.0, wifi::stream_subchannel(best),
+              wifi::stream_antenna(best));
+  std::printf("  CSI level (tag reflecting): %.3f +- %.3f\n", one.mean(),
+              one.stddev());
+  std::printf("  CSI level (tag absorbing) : %.3f +- %.3f\n", zero.mean(),
+              zero.stddev());
+  const double noise = 0.5 * (one.stddev() + zero.stddev());
+  std::printf("  level separation / noise  : %.2f %s\n",
+              best_sep / (noise > 0 ? noise : 1.0),
+              best_sep / (noise > 0 ? noise : 1.0) > 2.0
+                  ? "(two distinct levels)"
+                  : "(levels not separable)");
+
+  // Coarse ASCII strip chart of the first 600 packets, 60 per row.
+  const double lo = *std::min_element(series.begin(), series.end());
+  const double hi = *std::max_element(series.begin(), series.end());
+  std::printf("  trace (first 600 packets, '. -=#%%' = amplitude):\n");
+  const char glyphs[] = ".-=#%";
+  for (std::size_t row = 0; row < 10; ++row) {
+    std::printf("    ");
+    for (std::size_t col = 0; col < 60; ++col) {
+      const std::size_t k = row * 60 + col;
+      if (k >= series.size()) break;
+      const double frac =
+          hi > lo ? (series[k] - lo) / (hi - lo) : 0.5;
+      std::printf("%c", glyphs[std::min<std::size_t>(
+                            4, static_cast<std::size_t>(frac * 5.0))]);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t packets = wb::bench::quick_mode(argc, argv) ? 1'000 : 3'000;
+  wb::bench::print_header(
+      "Figures 3 and 6",
+      "Raw CSI vs packet number with an alternating tag pattern");
+  trace_at(0.05, "Fig 3", packets);
+  trace_at(1.00, "Fig 6", packets);
+  std::printf(
+      "\nPaper reference: at 5 cm the binary modulation is clearly visible\n"
+      "as two CSI levels; at 1 m no two distinct levels remain.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Reproduces Fig 5: which Wi-Fi sub-channels can, on their own, decode the
+// tag below BER 1e-2 — at each tag-reader distance.
+//
+// Paper observation (§3.2): the set of "good" sub-channels varies
+// significantly with the tag position (multipath profile); no sub-channel
+// is consistently good, which is why the decoder re-selects streams per
+// transmission via preamble correlation.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/experiments.h"
+
+int main(int argc, char** argv) {
+  using namespace wb;
+  const bool quick = bench::quick_mode(argc, argv);
+  bench::print_header(
+      "Figure 5", "Sub-channels with BER < 1e-2 vs tag-reader distance");
+
+  const double distances_cm[] = {5, 10, 15, 20, 25, 30, 40, 50, 60, 70};
+  std::printf("%-14s %-6s %s\n", "distance(cm)", "#good",
+              "good sub-channels of antenna 0 ('#' = BER<1e-2)");
+  bench::print_row_divider();
+
+  for (double cm : distances_cm) {
+    core::UplinkExperimentParams p;
+    p.tag_reader_distance_m = cm / 100.0;
+    p.packets_per_bit = 30.0;
+    p.runs = quick ? 2 : 6;
+    p.payload_bits = 40;
+    // One fixed channel realisation per distance, like the paper's one
+    // physical placement per distance.
+    p.seed = 1000 + static_cast<std::uint64_t>(cm);
+    const auto bers = core::measure_per_stream_ber(p);
+
+    std::size_t good_total = 0;
+    for (double b : bers) {
+      if (b < 1e-2) ++good_total;
+    }
+    std::printf("%-14.0f %-6zu ", cm, good_total);
+    for (std::size_t s = 0; s < phy::kNumSubchannels; ++s) {
+      std::printf("%c", bers[s] < 1e-2 ? '#' : '.');
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nPaper reference: the good set shifts with every distance (and\n"
+      "hence multipath profile); no sub-channel is consistently good.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Reproduces Fig 10(a)/(b): uplink bit error rate vs tag-reader distance,
+// decoding with CSI and with RSSI, for 30/6/3 helper packets per bit.
+//
+// Paper setup (§7.1): helper 3 m from the tag, 90-bit messages (13-bit
+// Barker preamble + 77 payload bits), 20 runs per point, BER floored at
+// 5e-4 when no errors occur over the 1540 payload bits.
+//
+// Expected shape: BER grows with distance; more packets per bit helps;
+// CSI reaches ~65 cm at BER 1e-2 with 30 pkt/bit while RSSI dies ~30 cm.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/experiments.h"
+
+namespace {
+
+void sweep(wb::reader::MeasurementSource source, const char* label,
+           std::size_t runs) {
+  const double pkts_per_bit[] = {30.0, 6.0, 3.0};
+  const double distances_cm[] = {5, 10, 15, 20, 25, 30, 40, 50, 60, 65, 70};
+
+  std::printf("\n(%s)\n", label);
+  std::printf("%-14s", "distance(cm)");
+  for (double m : pkts_per_bit) std::printf("  %6.0fp/bit", m);
+  std::printf("\n");
+  wb::bench::print_row_divider();
+  for (double cm : distances_cm) {
+    std::printf("%-14.0f", cm);
+    for (double m : pkts_per_bit) {
+      wb::core::UplinkExperimentParams p;
+      p.source = source;
+      p.tag_reader_distance_m = cm / 100.0;
+      p.packets_per_bit = m;
+      p.runs = runs;
+      p.seed = 42 + static_cast<std::uint64_t>(cm * 100 + m);
+      const auto meas = wb::core::measure_uplink_ber(p);
+      std::printf("  %10.2e", meas.ber);
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t runs = wb::bench::quick_mode(argc, argv) ? 4 : 20;
+  wb::bench::print_header(
+      "Figure 10", "Uplink BER vs distance (helper at 3 m, 90-bit frames)");
+  sweep(wb::reader::MeasurementSource::kCsi, "a: CSI decoding", runs);
+  sweep(wb::reader::MeasurementSource::kRssi, "b: RSSI decoding", runs);
+  std::printf(
+      "\nPaper reference: CSI decodes below BER 1e-2 out to ~65 cm with\n"
+      "30 pkt/bit; RSSI only to ~30 cm; fewer packets per bit is worse.\n");
+  return 0;
+}

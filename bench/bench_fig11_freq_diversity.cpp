@@ -1,0 +1,35 @@
+// Reproduces Fig 11: the value of exploiting frequency diversity.
+// Compares Wi-Fi Backscatter's decoder (preamble-selected top sub-channels
+// + maximum-ratio combining) against decoding from one randomly chosen
+// sub-channel, at 30 packets per bit.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/experiments.h"
+
+int main(int argc, char** argv) {
+  using namespace wb;
+  const std::size_t runs = bench::quick_mode(argc, argv) ? 4 : 20;
+  bench::print_header("Figure 11",
+                      "Frequency diversity vs random sub-channel (30 pkt/bit)");
+
+  const double distances_cm[] = {5, 10, 15, 20, 25, 30, 40, 50, 60, 70};
+  std::printf("%-14s  %14s  %18s\n", "distance(cm)", "our algorithm",
+              "random sub-channel");
+  bench::print_row_divider();
+  for (double cm : distances_cm) {
+    core::UplinkExperimentParams p;
+    p.tag_reader_distance_m = cm / 100.0;
+    p.packets_per_bit = 30.0;
+    p.runs = runs;
+    p.seed = 42 + static_cast<std::uint64_t>(cm);
+    const auto ours = core::measure_uplink_ber(p);
+    const auto random = core::measure_uplink_ber_random_stream(p);
+    std::printf("%-14.0f  %14.2e  %18.2e\n", cm, ours.ber, random.ber);
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nPaper reference: a random sub-channel stops working beyond ~15 cm;\n"
+      "combining the preamble-selected sub-channels works far further.\n");
+  return 0;
+}

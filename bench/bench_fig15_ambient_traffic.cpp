@@ -1,0 +1,56 @@
+// Reproduces Fig 15: achievable uplink bit rate using only the *ambient*
+// packets of an office Wi-Fi network, across the afternoon and evening.
+//
+// Paper setup (§7.4): reader 5 cm from the tag, monitor mode capturing all
+// of the organisation AP's traffic; a measurement every 10 minutes from
+// noon to 8 PM. Expected: achievable rate tracks the network load —
+// roughly 100-200 bps over the day.
+#include <cstdio>
+
+#include <algorithm>
+
+#include "bench_util.h"
+#include "core/experiments.h"
+#include "wifi/traffic.h"
+
+int main(int argc, char** argv) {
+  using namespace wb;
+  const std::size_t runs = bench::quick_mode(argc, argv) ? 2 : 6;
+  bench::print_header(
+      "Figure 15",
+      "Achievable uplink bit rate from ambient office traffic vs time");
+
+  std::printf("%-8s  %-16s  %s\n", "time", "load (pkt/s)",
+              "achievable rate (bps)");
+  bench::print_row_divider();
+  for (double hour = 12.0; hour <= 20.0; hour += 0.5) {
+    const double pps = wifi::office_load_pps(hour);
+    // The paper's ambient experiments resolve rates below the query
+    // protocol's 100 bps floor (Fig 15's y axis starts at 50 bps).
+    const double rates[] = {50, 100, 200, 500, 1000};
+    double rate = 0.0;
+    for (double r : rates) {
+      core::UplinkExperimentParams p;
+      p.tag_reader_distance_m = 0.05;
+      p.helper_pps = pps;
+      p.packets_per_bit = pps / r;
+      if (p.packets_per_bit < 1.5) continue;
+      p.paced_traffic = false;  // ambient arrivals, not injected
+      p.runs = runs;
+      p.payload_bits = 48;
+      p.seed = 7000 + static_cast<std::uint64_t>(hour * 10 + r);
+      if (core::measure_uplink_ber(p).ber_raw < 1e-2) {
+        rate = std::max(rate, r);
+      }
+    }
+    const int h = static_cast<int>(hour);
+    const int m = static_cast<int>((hour - h) * 60.0);
+    std::printf("%02d:%02d     %-16.0f  %.0f\n", h, m, pps, rate);
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nPaper reference: the achievable bit rate is proportional to the\n"
+      "number of packets on the network (100-200 bps in their building);\n"
+      "no additional traffic needs to be injected.\n");
+  return 0;
+}

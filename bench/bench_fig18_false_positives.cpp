@@ -1,0 +1,55 @@
+// Reproduces Fig 18: downlink false-positive rate — how often ordinary
+// Wi-Fi traffic tricks the tag into waking its microcontroller for a
+// Wi-Fi Backscatter preamble that is not there.
+//
+// Paper setup (§8.2): tag 30 cm from the AP, constant streaming traffic
+// through peak hours, preamble bits of 50 us; reported as wake-up events
+// per hour over a working day. Expected: below ~30/hour at all times.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/downlink_sim.h"
+#include "wifi/traffic.h"
+
+int main(int argc, char** argv) {
+  using namespace wb;
+  const bool quick = bench::quick_mode(argc, argv);
+  // Simulated seconds per hour-of-day point, scaled up to events/hour.
+  const TimeUs window_us = (quick ? 60 : 600) * kMicrosPerSec;
+
+  bench::print_header(
+      "Figure 18",
+      "Downlink false positives per hour (tag 30 cm from a busy AP)");
+  std::printf("%-10s  %14s  %12s\n", "hour", "ambient pkts/s",
+              "false pos/hr");
+  bench::print_row_divider();
+
+  for (int hour = 10; hour <= 18; ++hour) {
+    // Diurnal office load plus the experiment's constant audio stream.
+    const double pps = wifi::office_load_pps(hour) + 50.0;
+    sim::RngStream rng(9000 + static_cast<std::uint64_t>(hour));
+    auto traffic_rng = rng.fork("ambient");
+    const auto ambient =
+        wifi::make_ambient_mix_timeline(pps, window_us, traffic_rng);
+
+    core::DownlinkSimConfig cfg;
+    cfg.ambient_distance_m = 0.30;  // 30 cm from the AP
+    cfg.reader_tag_distance_m = 1.0;
+    cfg.mcu.bit_duration_us = 50;
+    cfg.seed = 77 + static_cast<std::uint64_t>(hour);
+    core::DownlinkSim sim(cfg);
+    const auto report =
+        sim.run(reader::DownlinkTransmission{}, ambient, window_us);
+
+    const double per_hour =
+        static_cast<double>(report.decode_entries) * 3.6e9 /
+        static_cast<double>(window_us);
+    std::printf("%-10d  %14.0f  %12.1f\n", hour, pps, per_hour);
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nPaper reference: the maximum observed false-positive rate is\n"
+      "below 30 events/hour; ordinary traffic rarely mimics the preamble's\n"
+      "transition-interval structure.\n");
+  return 0;
+}

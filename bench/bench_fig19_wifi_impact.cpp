@@ -1,0 +1,88 @@
+// Reproduces Fig 19(a)/(b): the effect of a continuously modulating Wi-Fi
+// Backscatter tag on ordinary Wi-Fi throughput, with the tag 5 cm and
+// 30 cm from the Wi-Fi receiver and the transmitter at testbed locations
+// 2-5 (location 5 suffers contention from the class next door).
+//
+// Paper setup (§9): 2-minute UDP transfers, default rate adaptation,
+// tag continuously modulating at 100 bps / 1 kbps (a stress test — a real
+// tag modulates only when queried). Expected: throughput differences stay
+// within the run-to-run variance at every location.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "phy/geometry.h"
+#include "phy/pathloss.h"
+#include "phy/tag_rcs.h"
+#include "phy/uplink_channel.h"
+#include "wifi/link_sim.h"
+
+namespace {
+
+using namespace wb;
+
+/// SNR of the transmitter->receiver link at a testbed location.
+double link_snr_db(const phy::Testbed& tb, std::size_t loc) {
+  const phy::PathLossModel pl;
+  const double tx_dbm = 16.0;
+  const double loss =
+      pl.loss_db(tb.helper_locations[loc], tb.reader, &tb.plan);
+  const double noise_dbm = -90.0;  // thermal + NF over 20 MHz
+  return tx_dbm - loss - noise_dbm;
+}
+
+/// Tag-induced SNR ripple (dB) for a tag at `d` meters from the receiver,
+/// from the same backscatter path physics as the uplink channel model.
+double tag_depth_db(double d) {
+  phy::UplinkChannelParams ch;
+  const double g = ch.tag_leg_pathloss.amplitude_gain(d);
+  const double depth = std::abs(phy::TagReflection{}.delta()) * g;
+  return 20.0 * std::log10(1.0 + depth) ;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = bench::quick_mode(argc, argv);
+  const TimeUs duration =
+      (quick ? 10 : 120) * kMicrosPerSec;  // paper: 2 minutes
+
+  const auto tb = phy::Testbed::paper_fig13();
+  bench::print_header(
+      "Figure 19",
+      "Wi-Fi throughput with a continuously modulating tag (UDP, ARF)");
+
+  for (double tag_cm : {5.0, 30.0}) {
+    std::printf("\n(tag %.0f cm from the Wi-Fi receiver)\n", tag_cm);
+    std::printf("%-10s %-10s  %-22s %-22s %-22s\n", "location", "SNR(dB)",
+                "no device (Mbps)", "100 bps (Mbps)", "1 kbps (Mbps)");
+    bench::print_row_divider();
+    for (std::size_t loc = 0; loc < tb.helper_locations.size(); ++loc) {
+      const double snr = link_snr_db(tb, loc);
+      // Location 5 (index 3) shares the air with a busy classroom.
+      const double busy = loc == 3 ? 0.45 : 0.05;
+      std::printf("%-10zu %-10.1f ", loc + 2, snr);
+      const double rates[] = {0.0, 100.0, 1000.0};
+      for (double tag_rate : rates) {
+        wifi::LinkSimConfig cfg;
+        cfg.base_snr_db = snr;
+        cfg.contention_busy_frac = busy;
+        cfg.tag_depth_db =
+            tag_rate > 0.0 ? tag_depth_db(tag_cm / 100.0) : 0.0;
+        cfg.tag_bit_rate_bps = tag_rate > 0.0 ? tag_rate : 100.0;
+        cfg.seed = 40'000 + loc * 97 + static_cast<std::uint64_t>(tag_rate) +
+                   static_cast<std::uint64_t>(tag_cm);
+        const auto r = wifi::run_link_sim(cfg, duration);
+        std::printf(" %8.2f +- %-10.2f", r.mean_throughput_mbps,
+                    r.stddev_throughput_mbps);
+      }
+      std::printf("\n");
+      std::fflush(stdout);
+    }
+  }
+  std::printf(
+      "\nPaper reference: rate adaptation absorbs the tag's small channel\n"
+      "ripple — throughput with the tag modulating stays within the\n"
+      "variance of the no-tag runs at every location (location 5 is noisy\n"
+      "for all three scenarios because of adjacent-room utilisation).\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Reproduces Fig 20: the correlation length (code length L) required to
+// reach BER < 1e-2, as a function of tag-reader distance beyond the plain
+// decoder's range.
+//
+// Paper setup (§10): helper 3 m from the reader; the tag encodes each bit
+// as one of two orthogonal L-chip codes; the reader correlates (§3.4).
+// Expected: L ~ 20 suffices around 1.6 m; L grows steeply with distance,
+// reaching ~150 at 2.1 m.
+#include <cstdio>
+
+#include <algorithm>
+
+#include "bench_util.h"
+#include "core/experiments.h"
+
+int main(int argc, char** argv) {
+  using namespace wb;
+  const bool quick = bench::quick_mode(argc, argv);
+  bench::print_header(
+      "Figure 20", "Correlation length needed for BER < 1e-2 vs distance");
+
+  const std::vector<std::size_t> lengths = {8,  16, 24, 32,  48,
+                                            64, 96, 128, 160};
+  const double distances_cm[] = {80, 100, 120, 140, 160, 180, 200, 210, 220};
+
+  std::printf("%-14s  %s\n", "distance(cm)", "required correlation length");
+  bench::print_row_divider();
+  for (double cm : distances_cm) {
+    // Median over placements: each physical placement has its own
+    // multipath luck; the paper measured one placement per distance but a
+    // single draw makes the curve jumpy.
+    std::vector<std::size_t> per_placement;
+    const std::size_t n_placements = quick ? 3 : 5;
+    for (std::size_t placement = 0; placement < n_placements; ++placement) {
+      core::CodedExperimentParams p;
+      p.tag_reader_distance_m = cm / 100.0;
+      p.packets_per_chip = 2.0;
+      p.payload_bits = quick ? 12 : 30;
+      p.runs = quick ? 2 : 8;
+      p.channel_seed = 100 + placement;
+      p.seed = 9900 + static_cast<std::uint64_t>(cm) + placement * 131;
+      const std::size_t l = core::required_correlation_length(p, lengths);
+      per_placement.push_back(l == 0 ? lengths.back() * 2 : l);
+    }
+    std::sort(per_placement.begin(), per_placement.end());
+    const std::size_t median = per_placement[per_placement.size() / 2];
+    if (median > lengths.back()) {
+      std::printf("%-14.0f  > %zu (not achievable in sweep)\n", cm,
+                  lengths.back());
+    } else {
+      std::printf("%-14.0f  %zu\n", cm, median);
+    }
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nPaper reference: ~20 bits at 1.6 m growing superlinearly to ~150\n"
+      "bits at 2.1 m; correlation buys range at the cost of bit rate, with\n"
+      "no extra power at the tag.\n");
+  return 0;
+}

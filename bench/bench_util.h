@@ -1,0 +1,33 @@
+// Shared helpers for the figure-reproduction benches: consistent table
+// printing so bench output reads like the paper's figures, plus CLI
+// parsing for --quick runs.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace wb::bench {
+
+/// True if argv contains --quick (benches then shrink run counts so the
+/// whole suite stays fast; full fidelity is the default).
+inline bool quick_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) return true;
+  }
+  return false;
+}
+
+/// Print a figure header in a uniform style.
+inline void print_header(const char* fig, const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", fig, title);
+  std::printf("================================================================\n");
+}
+
+inline void print_row_divider() {
+  std::printf("----------------------------------------------------------------\n");
+}
+
+}  // namespace wb::bench

@@ -1,0 +1,62 @@
+// Energy budget of the battery-free tag (paper §6).
+//
+// Walks the tag's power ledger: the 0.65 uW transmit circuit, the 9.0 uW
+// receive chain, and the duty-cycled MCU — against what the harvester can
+// pull from Wi-Fi at various distances and from a TV tower kilometers
+// away. Reproduces the paper's two headline claims:
+//   * both circuits run continuously about one foot from the Wi-Fi reader;
+//   * with dual-band Wi-Fi + TV harvesting, the full system sustains a
+//     ~50% duty cycle 10 km from a TV broadcast tower.
+//
+// Build & run:   ./build/examples/harvesting_budget
+#include <cstdio>
+
+#include <initializer_list>
+
+#include "tag/harvester.h"
+
+int main() {
+  using namespace wb;
+  using namespace wb::tag;
+
+  const double tx_circuit_uw = 0.65;  // backscatter switch + timer (§6)
+  const double rx_circuit_uw = 9.0;   // energy detector + wake logic (§6)
+  const double both_uw = tx_circuit_uw + rx_circuit_uw;
+
+  Harvester wifi_harvester{HarvesterParams{}};
+
+  std::printf("Wi-Fi harvesting (reader transmitting at +16 dBm)\n");
+  std::printf("%-14s %-14s %-14s %-12s\n", "distance", "incident",
+              "harvested", "duty cycle");
+  for (double d : {0.15, 0.30, 0.61, 1.0, 2.0}) {  // 0.61 m ~ 2 feet
+    const double inc = incident_power_dbm(16.0, d);
+    const double hv = wifi_harvester.harvested_uw(inc);
+    const double duty = wifi_harvester.sustainable_duty_cycle(hv, both_uw);
+    std::printf("%-14.2f %-14.1f %-14.2f %-12.2f%s\n", d, inc, hv, duty,
+                duty >= 1.0 ? "  <- continuous" : "");
+  }
+
+  std::printf("\nTV-band harvesting (1 MW EIRP tower ~ 90 dBm)\n");
+  std::printf("%-14s %-14s %-14s %-12s\n", "distance(km)", "incident",
+              "harvested", "duty cycle");
+  HarvesterParams tv_params;
+  tv_params.antenna_gain_db = 8.0;  // larger dedicated TV-band antenna
+  Harvester tv_harvester{tv_params};
+  // The "full system" adds the MCU's sleep draw and periodic activity.
+  const double full_system_uw = both_uw + 1.5;
+  for (double km : {1.0, 5.0, 10.0, 20.0}) {
+    const double inc = tv_incident_power_dbm(90.0, km);
+    const double hv = tv_harvester.harvested_uw(inc);
+    const double duty =
+        tv_harvester.sustainable_duty_cycle(hv, full_system_uw);
+    std::printf("%-14.1f %-14.1f %-14.2f %-12.2f\n", km, inc, hv, duty);
+  }
+
+  std::printf("\nburst behaviour from the 100 uF storage capacitor:\n");
+  const double harvested = 2.0;  // uW, a mid-range operating point
+  std::printf("  MCU active burst (600 uW load): runs %.2f s, recharges in"
+              " %.0f s\n",
+              wifi_harvester.burst_seconds(600.0, harvested),
+              wifi_harvester.recharge_seconds(harvested, 0.5));
+  return 0;
+}

@@ -1,0 +1,181 @@
+// Command-line experiment runner: poke at any operating point of the
+// system without writing code.
+//
+//   wb_experiment_cli uplink   [--distance M] [--pkts-per-bit N]
+//                              [--helper-pps N] [--rssi] [--runs N]
+//                              [--seed N]
+//   wb_experiment_cli coded    [--distance M] [--length L] [--runs N]
+//   wb_experiment_cli downlink [--distance M] [--slot-us N] [--bits N]
+//   wb_experiment_cli trace    [--distance M] [--packets N] --out FILE
+//
+// `trace` writes a capture CSV (an alternating-bit tag) that external
+// tools — or `read_capture_csv` — can consume.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/downlink_sim.h"
+#include "core/experiments.h"
+#include "core/frame.h"
+#include "reader/downlink_encoder.h"
+#include "tag/modulator.h"
+#include "util/stats.h"
+#include "wifi/trace_io.h"
+
+namespace {
+
+using namespace wb;
+
+double arg_double(int argc, char** argv, const char* name, double dflt) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::atof(argv[i + 1]);
+  }
+  return dflt;
+}
+
+const char* arg_string(int argc, char** argv, const char* name,
+                       const char* dflt) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return dflt;
+}
+
+bool arg_flag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+int run_uplink(int argc, char** argv) {
+  core::UplinkExperimentParams p;
+  p.tag_reader_distance_m = arg_double(argc, argv, "--distance", 0.3);
+  p.packets_per_bit = arg_double(argc, argv, "--pkts-per-bit", 30.0);
+  p.helper_pps = arg_double(argc, argv, "--helper-pps", 3'000.0);
+  p.runs = static_cast<std::size_t>(arg_double(argc, argv, "--runs", 10));
+  p.seed = static_cast<std::uint64_t>(arg_double(argc, argv, "--seed", 1));
+  if (arg_flag(argc, argv, "--rssi")) {
+    p.source = reader::MeasurementSource::kRssi;
+  }
+  const auto m = core::measure_uplink_ber(p);
+  std::printf("uplink %s @ %.0f cm, %.0f pkt/bit, helper %.0f pkt/s\n",
+              p.source == reader::MeasurementSource::kRssi ? "RSSI" : "CSI",
+              p.tag_reader_distance_m * 100, p.packets_per_bit,
+              p.helper_pps);
+  std::printf("  bit rate   : %.0f bps\n",
+              p.helper_pps / p.packets_per_bit);
+  std::printf("  BER        : %.3e (%zu errors / %zu bits)\n", m.ber,
+              m.errors, m.bits);
+  std::printf("  sync fails : %zu / %zu runs\n", m.failed_syncs, p.runs);
+  return 0;
+}
+
+int run_coded(int argc, char** argv) {
+  core::CodedExperimentParams p;
+  p.tag_reader_distance_m = arg_double(argc, argv, "--distance", 1.6);
+  p.code_length =
+      static_cast<std::size_t>(arg_double(argc, argv, "--length", 20));
+  p.runs = static_cast<std::size_t>(arg_double(argc, argv, "--runs", 5));
+  p.packets_per_chip = arg_double(argc, argv, "--pkts-per-chip", 2.0);
+  p.seed = static_cast<std::uint64_t>(arg_double(argc, argv, "--seed", 1));
+  const auto m = core::measure_coded_uplink_ber(p);
+  std::printf("coded uplink @ %.0f cm, L=%zu, %.0f pkt/chip\n",
+              p.tag_reader_distance_m * 100, p.code_length,
+              p.packets_per_chip);
+  std::printf("  BER: %.3e (%zu errors / %zu bits)\n", m.ber, m.errors,
+              m.bits);
+  return 0;
+}
+
+int run_downlink(int argc, char** argv) {
+  const double distance = arg_double(argc, argv, "--distance", 1.5);
+  const auto slot_us = static_cast<TimeUs>(
+      arg_double(argc, argv, "--slot-us", 50));
+  const auto bits = static_cast<std::size_t>(
+      arg_double(argc, argv, "--bits", 20'000));
+
+  reader::DownlinkEncoderConfig enc_cfg;
+  enc_cfg.slot_us = slot_us;
+  reader::DownlinkEncoder encoder(enc_cfg);
+  BerCounter ber;
+  std::size_t sent = 0;
+  std::uint64_t round = 0;
+  while (sent < bits) {
+    const std::size_t n =
+        std::min<std::size_t>(500, bits - sent);
+    BitVec message = core::downlink_preamble();
+    const BitVec data = random_bits(n, 33 + round);
+    message.insert(message.end(), data.begin(), data.end());
+    const auto tx = encoder.encode(message, 500);
+    core::DownlinkSimConfig cfg;
+    cfg.reader_tag_distance_m = distance;
+    cfg.mcu.bit_duration_us = slot_us;
+    cfg.seed = 77 + round;
+    core::DownlinkSim sim(cfg);
+    const auto rep = sim.run(tx, {}, tx.end_us + 1'000);
+    BitVec truth;
+    for (const auto& s : tx.slots) truth.push_back(s.bit);
+    ber.add(truth, rep.slot_levels);
+    sent += n;
+    ++round;
+  }
+  std::printf("downlink @ %.0f cm, %lld us slots (%.0f kbps)\n",
+              distance * 100, static_cast<long long>(slot_us),
+              1e3 / static_cast<double>(slot_us));
+  std::printf("  slot BER: %.3e (%zu errors / %zu bits)\n",
+              ber.ber_floored(), ber.errors(), ber.bits());
+  return 0;
+}
+
+int run_trace(int argc, char** argv) {
+  const double distance = arg_double(argc, argv, "--distance", 0.05);
+  const auto packets = static_cast<std::size_t>(
+      arg_double(argc, argv, "--packets", 3'000));
+  const std::string out = arg_string(argc, argv, "--out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "trace mode requires --out FILE\n");
+    return 2;
+  }
+  core::UplinkSimConfig cfg;
+  cfg.channel.tag_pos = {distance, 0.0};
+  cfg.channel.helper_pos = {distance + 3.0, 0.0};
+  cfg.seed = static_cast<std::uint64_t>(arg_double(argc, argv, "--seed", 1));
+  const double pps = 3'000.0;
+  const TimeUs until =
+      static_cast<TimeUs>(static_cast<double>(packets) / pps * 1e6) + 1;
+  sim::RngStream rng(cfg.seed);
+  auto traffic_rng = rng.fork("t");
+  const auto tl = wifi::make_cbr_timeline(pps, until, wifi::TrafficParams{},
+                                          traffic_rng);
+  BitVec alternating;
+  for (std::size_t i = 0; i * 10'000 < static_cast<std::size_t>(until);
+       ++i) {
+    alternating.push_back(static_cast<std::uint8_t>(i % 2));
+  }
+  tag::Modulator mod(alternating, 10'000, 0);
+  core::UplinkSim sim(cfg);
+  const auto trace = sim.run(tl, mod);
+  const auto n = wifi::save_capture_csv(out, trace);
+  std::printf("wrote %zu capture records to %s\n", n, out.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s {uplink|coded|downlink|trace} [options]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string mode = argv[1];
+  if (mode == "uplink") return run_uplink(argc, argv);
+  if (mode == "coded") return run_coded(argc, argv);
+  if (mode == "downlink") return run_downlink(argc, argv);
+  if (mode == "trace") return run_trace(argc, argv);
+  std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
+  return 2;
+}

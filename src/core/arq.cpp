@@ -1,0 +1,146 @@
+#include "core/arq.h"
+
+#include <algorithm>
+
+#include "core/frame.h"
+#include "reader/uplink_decoder.h"
+#include "tag/modulator.h"
+#include "wifi/traffic.h"
+
+namespace wb::core {
+namespace {
+
+constexpr TimeUs kLeadUs = 600'000;
+
+/// One tag transmission (frame-layer framed `bits`) decoded at the reader;
+/// returns the decoder result over the framed payload region.
+reader::UplinkDecodeResult transmit_and_decode(const BitVec& bits,
+                                               const ArqConfig& cfg,
+                                               std::uint64_t round_salt) {
+  const auto bit_us = static_cast<TimeUs>(1e6 / cfg.bit_rate_bps);
+  const BitVec frame = build_uplink_frame(bits);
+
+  UplinkSimConfig sim_cfg;
+  sim_cfg.channel.reader_pos = {0.0, 0.0};
+  sim_cfg.channel.tag_pos = {cfg.tag_reader_distance_m, 0.0};
+  sim_cfg.channel.helper_pos = {
+      cfg.tag_reader_distance_m + cfg.helper_tag_distance_m, 0.0};
+  sim_cfg.channel_seed = cfg.seed;  // one placement across rounds
+  sim_cfg.seed = cfg.seed * 0x9e3779b9ull + round_salt;
+
+  const TimeUs until = kLeadUs +
+                       static_cast<TimeUs>(frame.size()) * bit_us +
+                       100'000;
+  sim::RngStream rng(sim_cfg.seed);
+  auto traffic_rng = rng.fork("traffic");
+  const auto timeline = wifi::make_cbr_timeline(
+      cfg.helper_pps, until, wifi::TrafficParams{}, traffic_rng);
+  tag::Modulator mod(frame, bit_us, kLeadUs);
+  UplinkSim sim(sim_cfg);
+  const auto trace = sim.run(timeline, mod);
+
+  reader::UplinkDecoderConfig dec;
+  dec.payload_bits = uplink_payload_bits(bits.size());
+  dec.bit_duration_us = bit_us;
+  dec.search_from = kLeadUs - 2 * bit_us;
+  dec.search_to = kLeadUs + 2 * bit_us;
+  return reader::UplinkDecoder(dec).decode(trace);
+}
+
+}  // namespace
+
+ArqReport run_selective_repeat(const BitVec& data, const ArqConfig& cfg) {
+  ArqReport report;
+  const std::size_t n = data.size();
+
+  // --- Round 0: full frame ---
+  auto full = transmit_and_decode(data, cfg, 0);
+  report.bits_transmitted += uplink_payload_bits(n);
+  ArqRound r0;
+  r0.offset = 0;
+  r0.length = n;
+  BitVec estimate;       // current payload-region estimate
+  BitVec confidence_ok;  // per data bit: validated by a sub-frame CRC
+  if (full.found) {
+    estimate = full.payload;
+    if (auto parsed = parse_uplink_payload(estimate, n)) {
+      r0.decoded = true;
+      report.rounds.push_back(r0);
+      report.delivered = true;
+      report.data = std::move(*parsed);
+      return report;
+    }
+  } else {
+    estimate.assign(uplink_payload_bits(n), 0);
+    full.confidence.assign(n, 0.0);
+  }
+  report.rounds.push_back(r0);
+  confidence_ok.assign(n, 0);
+
+  // --- Repeat rounds ---
+  std::vector<double> conf(full.confidence.begin(),
+                           full.confidence.begin() + static_cast<long>(n));
+  for (std::size_t round = 1; round <= cfg.max_repeats; ++round) {
+    // Suspect range: contiguous hull of unvalidated low-confidence bits.
+    std::size_t lo = n, hi = 0;
+    for (std::size_t b = 0; b < n; ++b) {
+      if (confidence_ok[b]) continue;
+      if (conf[b] < cfg.confidence_floor) {
+        lo = std::min(lo, b);
+        hi = std::max(hi, b);
+      }
+    }
+    if (lo > hi) {
+      // Nothing looks suspect yet the CRC fails: suspect everything
+      // unvalidated.
+      for (std::size_t b = 0; b < n; ++b) {
+        if (!confidence_ok[b]) {
+          lo = std::min(lo, b);
+          hi = std::max(hi, b);
+        }
+      }
+      if (lo > hi) break;  // everything validated yet CRC fails: give up
+    }
+    std::size_t len = hi - lo + 1;
+    if (len < cfg.min_request_bits) {
+      len = std::min(cfg.min_request_bits, n - lo);
+    }
+
+    ArqRound rr;
+    rr.offset = lo;
+    rr.length = len;
+    const BitVec sub(data.begin() + static_cast<long>(lo),
+                     data.begin() + static_cast<long>(lo + len));
+    const auto res = transmit_and_decode(sub, cfg, round);
+    report.bits_transmitted += uplink_payload_bits(len);
+    if (res.found) {
+      if (auto parsed = parse_uplink_payload(res.payload, len)) {
+        rr.decoded = true;
+        for (std::size_t i = 0; i < len; ++i) {
+          estimate[lo + i] = (*parsed)[i];
+          confidence_ok[lo + i] = 1;
+          conf[lo + i] = 1.0;
+        }
+      } else {
+        // Patch unvalidated guesses and refresh their confidences.
+        for (std::size_t i = 0; i < len && i < res.payload.size(); ++i) {
+          if (!confidence_ok[lo + i] &&
+              res.confidence[i] > conf[lo + i]) {
+            estimate[lo + i] = res.payload[i];
+            conf[lo + i] = res.confidence[i];
+          }
+        }
+      }
+    }
+    report.rounds.push_back(rr);
+
+    if (auto parsed = parse_uplink_payload(estimate, n)) {
+      report.delivered = true;
+      report.data = std::move(*parsed);
+      return report;
+    }
+  }
+  return report;
+}
+
+}  // namespace wb::core

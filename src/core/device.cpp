@@ -1,0 +1,71 @@
+#include "core/device.h"
+
+#include "core/rate_control.h"
+
+namespace wb::core {
+
+void TagDevice::add_register(std::uint8_t reg_index, TagRegister reg) {
+  registers_[reg_index] = std::move(reg);
+}
+
+std::optional<BitVec> TagDevice::handle(const Query& query) {
+  if (query.tag_address != address_) return std::nullopt;  // stay silent
+  if (query.command != kCmdReadSensor) return std::nullopt;
+  const auto reg_index = static_cast<std::uint8_t>(query.argument & 0xFF);
+  const auto it = registers_.find(reg_index);
+  if (it == registers_.end()) return std::nullopt;
+  ++queries_served_;
+
+  BitVec out = unpack_uint(address_, 16);
+  const auto reg_bits = unpack_uint(reg_index, 8);
+  out.insert(out.end(), reg_bits.begin(), reg_bits.end());
+  const auto value_bits = unpack_uint(it->second.read(), 16);
+  out.insert(out.end(), value_bits.begin(), value_bits.end());
+  return out;
+}
+
+DeviceQueryOutcome query_device(WiFiBackscatterSystem& system,
+                                TagDevice& device, const Query& query) {
+  DeviceQueryOutcome out;
+
+  RateControl rc(
+      RateControlParams{system.config().packets_per_bit, 0.8});
+  const double rate = rc.choose_bit_rate(system.config().helper_pps);
+  Query q = query;
+  q.bitrate_code = rc.rate_code(rate);
+
+  for (std::size_t attempt = 1;
+       attempt <= system.config().max_query_attempts; ++attempt) {
+    const auto dl = system.send_downlink(q.to_bits());
+    out.transport.downlink.attempts = attempt;
+    out.transport.downlink.delivered = dl.delivered;
+    if (dl.decoded_query) {
+      out.transport.downlink.decoded_query = dl.decoded_query;
+    }
+    out.transport.downlink.tag_energy_uj += dl.tag_energy_uj;
+    if (!dl.delivered) continue;
+
+    // The tag firmware sees exactly what it decoded, not what was sent.
+    const auto response = device.handle(*dl.decoded_query);
+    if (!response) {
+      // Wrong address / unknown command: the tag stays silent and the
+      // reader's response window times out. No uplink is attempted.
+      return out;
+    }
+    out.addressed_tag_responded = true;
+    const double tag_rate =
+        RateControl::rate_from_code(dl.decoded_query->bitrate_code);
+    out.transport.uplink = system.receive_uplink(*response, tag_rate);
+    if (out.transport.uplink.delivered) {
+      const auto& bits = out.transport.uplink.data;
+      if (bits.size() == kDeviceResponseBits) {
+        out.value = static_cast<std::uint16_t>(
+            pack_uint({bits.data() + 24, 16}));
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace wb::core

@@ -1,0 +1,69 @@
+// Tag-side application framework: what a developer programs when they
+// build a product on a Wi-Fi Backscatter tag.
+//
+// A TagDevice owns an address and a set of sensor/actuator registers; the
+// framework handles everything the paper's firmware does around them —
+// validating the query address, dispatching commands, building the
+// response payload, and honouring the reader's commanded bit rate. The
+// system-side helper `query_device` runs a full round trip against a
+// device description.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/frame.h"
+#include "core/system.h"
+
+namespace wb::core {
+
+/// A readable register on the tag (a sensor channel, a counter, ...).
+struct TagRegister {
+  std::string name;
+  std::function<std::uint16_t()> read;
+};
+
+/// Behavioural description of one tag's firmware.
+class TagDevice {
+ public:
+  explicit TagDevice(std::uint16_t address) : address_(address) {}
+
+  std::uint16_t address() const { return address_; }
+
+  /// Register a readable 16-bit register at `reg_index` (the low byte of
+  /// the query's `argument` selects it).
+  void add_register(std::uint8_t reg_index, TagRegister reg);
+
+  /// Number of times this device decoded a query addressed to it.
+  std::uint64_t queries_served() const { return queries_served_; }
+
+  /// Firmware entry point: the tag decoded `query`; produce the response
+  /// data bits, or nullopt if the query is not for this tag / not
+  /// understood (the tag stays silent, §2's addressing model).
+  std::optional<BitVec> handle(const Query& query);
+
+ private:
+  std::uint16_t address_;
+  std::map<std::uint8_t, TagRegister> registers_;
+  std::uint64_t queries_served_ = 0;
+};
+
+/// Response payload layout produced by TagDevice::handle for
+/// kCmdReadSensor: [address:16][reg_index:8][value:16] = 40 bits.
+inline constexpr std::size_t kDeviceResponseBits = 40;
+
+struct DeviceQueryOutcome {
+  QueryOutcome transport;            ///< full link-level outcome
+  bool addressed_tag_responded = false;
+  std::optional<std::uint16_t> value;  ///< decoded register value
+};
+
+/// Run one query against `device` over `system`. If the query addresses a
+/// different tag, the device stays silent and the uplink times out.
+DeviceQueryOutcome query_device(WiFiBackscatterSystem& system,
+                                TagDevice& device, const Query& query);
+
+}  // namespace wb::core

@@ -1,0 +1,149 @@
+#include "core/downlink_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "phy/ofdm_envelope.h"
+
+namespace wb::core {
+namespace {
+
+/// Power-change event for the sweep over time: at `t_us` the mean on-air
+/// power at the tag changes by `delta_mw`.
+struct PowerEvent {
+  double t_us;
+  double delta_mw;
+};
+
+}  // namespace
+
+DownlinkSim::DownlinkSim(const DownlinkSimConfig& cfg) : cfg_(cfg) {}
+
+double DownlinkSim::reader_power_mw() const {
+  return dbm_to_mw(cfg_.reader_tx_dbm -
+                   cfg_.pathloss.loss_db(cfg_.reader_tag_distance_m));
+}
+
+double DownlinkSim::ambient_power_mw() const {
+  return dbm_to_mw(cfg_.ambient_tx_dbm -
+                   cfg_.pathloss.loss_db(cfg_.ambient_distance_m));
+}
+
+DownlinkSimReport DownlinkSim::run(const reader::DownlinkTransmission& tx,
+                                   const wifi::PacketTimeline& ambient,
+                                   TimeUs until_us) {
+  sim::RngStream rng(cfg_.seed);
+  auto rng_env = rng.fork("envelope");
+
+  // --- Build the power-change event list ---
+  std::vector<PowerEvent> events;
+  events.reserve((tx.packets.size() + ambient.size()) * 2);
+  const double p_reader = reader_power_mw();
+  const double p_ambient = ambient_power_mw();
+
+  std::vector<std::pair<TimeUs, TimeUs>> nav;
+  for (const auto& pkt : tx.packets) {
+    events.push_back({static_cast<double>(pkt.start_us), p_reader});
+    events.push_back({static_cast<double>(pkt.end_us()), -p_reader});
+    if (pkt.kind == wifi::FrameKind::kCtsToSelf && pkt.nav_us > 0) {
+      nav.emplace_back(pkt.end_us(), pkt.end_us() + pkt.nav_us);
+    }
+  }
+  for (const auto& pkt : ambient) {
+    if (cfg_.ambient_respects_nav) {
+      const bool blocked = std::any_of(
+          nav.begin(), nav.end(), [&pkt](const auto& w) {
+            return pkt.start_us >= w.first && pkt.start_us < w.second;
+          });
+      if (blocked) continue;  // compliant station defers out of the window
+    }
+    events.push_back({static_cast<double>(pkt.start_us), p_ambient});
+    events.push_back({static_cast<double>(pkt.end_us()), -p_ambient});
+  }
+  std::sort(events.begin(), events.end(),
+            [](const PowerEvent& a, const PowerEvent& b) {
+              return a.t_us < b.t_us;
+            });
+
+  // --- Probe schedule: slot midpoints of the reader's transmission ---
+  std::vector<double> probes;
+  probes.reserve(tx.slots.size());
+  if (!tx.slots.empty()) {
+    const double slot_us =
+        tx.slots.size() >= 2
+            ? static_cast<double>(tx.slots[1].start_us - tx.slots[0].start_us)
+            : 50.0;
+    for (const auto& s : tx.slots) {
+      probes.push_back(static_cast<double>(s.start_us) + 0.5 * slot_us);
+    }
+  }
+
+  // --- Run the circuit + MCU, sweeping power events as we go ---
+  tag::EnergyDetector det(cfg_.detector, rng.fork("detector"));
+  tag::Mcu mcu(cfg_.mcu);
+
+  DownlinkSimReport report;
+  report.slot_levels.reserve(probes.size());
+
+  constexpr double kCoarseStepUs = 20.0;
+  const double end = static_cast<double>(until_us);
+  double t = 0.0;
+  double mean_p = 0.0;
+  std::size_t event_i = 0;
+  std::size_t probe_i = 0;
+  bool level = det.comparator();
+
+  // Apply events at t == 0.
+  while (event_i < events.size() && events[event_i].t_us <= t) {
+    mean_p += events[event_i].delta_mw;
+    ++event_i;
+  }
+
+  while (t < end) {
+    const double seg_end =
+        event_i < events.size() ? std::min(events[event_i].t_us, end) : end;
+    const double step = mean_p > 1e-12 ? cfg_.fine_step_us : kCoarseStepUs;
+    double next_t = std::min(seg_end, t + step);
+    // Hit MCU sample instants and probe instants exactly.
+    if (const auto s = mcu.next_sample_time()) {
+      const double st = static_cast<double>(*s);
+      if (st > t && st < next_t) next_t = st;
+    }
+    if (probe_i < probes.size() && probes[probe_i] > t &&
+        probes[probe_i] < next_t) {
+      next_t = probes[probe_i];
+    }
+    const double dt = next_t - t;
+    const double inst_p =
+        mean_p > 1e-12 ? phy::draw_ofdm_power_sample(mean_p, rng_env) : 0.0;
+    const bool new_level = det.step(dt, inst_p);
+    const auto now = static_cast<TimeUs>(std::llround(next_t));
+    if (new_level != level) {
+      mcu.on_transition(now, new_level);
+      level = new_level;
+    }
+    if (const auto s = mcu.next_sample_time()) {
+      if (static_cast<double>(*s) <= next_t) mcu.on_sample(now, new_level);
+    }
+    if (probe_i < probes.size() && probes[probe_i] <= next_t) {
+      report.slot_levels.push_back(new_level ? 1 : 0);
+      ++probe_i;
+    }
+    t = next_t;
+    while (event_i < events.size() && events[event_i].t_us <= t) {
+      mean_p += events[event_i].delta_mw;
+      ++event_i;
+    }
+    // Guard against accumulated floating-point residue in long runs.
+    if (mean_p < 1e-15) mean_p = std::max(mean_p, 0.0);
+  }
+
+  report.decoded = std::move(mcu.decoded());
+  report.decode_entries = mcu.decode_mode_entries();
+  report.detector_energy_uj = det.energy_uj();
+  report.mcu_energy_uj = mcu.energy_uj(until_us);
+  report.simulated_us = until_us;
+  return report;
+}
+
+}  // namespace wb::core

@@ -1,0 +1,354 @@
+#include "core/experiments.h"
+
+#include <algorithm>
+
+#include "core/frame.h"
+#include "core/rate_control.h"
+#include "reader/corr_decoder.h"
+#include "tag/modulator.h"
+
+namespace wb::core {
+namespace {
+
+/// Margin of trace captured before/after the tag frame.
+constexpr TimeUs kLeadUs = 600'000;   // fills the 400 ms conditioning window
+constexpr TimeUs kTailUs = 100'000;
+
+wifi::PacketTimeline make_helper_timeline(bool paced, double pps,
+                                          TimeUs until,
+                                          sim::RngStream& rng) {
+  return paced ? wifi::make_cbr_timeline(pps, until, wifi::TrafficParams{},
+                                         rng)
+               : wifi::make_poisson_timeline(pps, until,
+                                             wifi::TrafficParams{}, rng);
+}
+
+wifi::PacketTimeline make_experiment_timeline(
+    const UplinkExperimentParams& p, TimeUs until, sim::RngStream& rng) {
+  if (p.beacons_only) {
+    return wifi::make_beacon_timeline(p.helper_pps, until, /*source=*/1,
+                                      rng);
+  }
+  return make_helper_timeline(p.paced_traffic, p.helper_pps, until, rng);
+}
+
+}  // namespace
+
+phy::UplinkChannelParams make_channel_params(
+    const UplinkExperimentParams& p) {
+  phy::UplinkChannelParams ch;
+  if (p.helper_pos && p.reader_pos && p.tag_pos) {
+    ch.helper_pos = *p.helper_pos;
+    ch.reader_pos = *p.reader_pos;
+    ch.tag_pos = *p.tag_pos;
+  } else {
+    ch.reader_pos = {0.0, 0.0};
+    ch.tag_pos = {p.tag_reader_distance_m, 0.0};
+    ch.helper_pos = {p.tag_reader_distance_m + p.helper_tag_distance_m, 0.0};
+  }
+  ch.plan = p.plan;
+  return ch;
+}
+
+namespace {
+
+/// Run one frame through the simulator; returns (sent payload, result).
+struct RunOutput {
+  BitVec sent;
+  reader::UplinkDecodeResult result;
+};
+
+RunOutput run_one_frame(const UplinkExperimentParams& p, std::uint64_t run) {
+  const TimeUs bit_us = p.bit_duration_us();
+  const std::uint64_t seed =
+      p.seed * 0x9e3779b97f4a7c15ull + run * 0xc2b2ae3d27d4eb4full + 1;
+
+  UplinkSimConfig sim_cfg;
+  sim_cfg.channel = make_channel_params(p);
+  sim_cfg.nic = p.nic;
+  sim_cfg.seed = seed;
+  sim_cfg.channel_seed = p.channel_seed;
+
+  const BitVec payload = random_bits(p.payload_bits, seed ^ 0x5151u);
+  BitVec frame = barker13();
+  frame.insert(frame.end(), payload.begin(), payload.end());
+
+  const TimeUs frame_start = kLeadUs;
+  const TimeUs frame_dur = static_cast<TimeUs>(frame.size()) * bit_us;
+  const TimeUs until = frame_start + frame_dur + kTailUs;
+
+  sim::RngStream rng(seed);
+  auto traffic_rng = rng.fork("traffic");
+  const auto timeline = make_experiment_timeline(p, until, traffic_rng);
+
+  tag::Modulator mod(frame, bit_us, frame_start);
+  UplinkSim sim(sim_cfg);
+  const auto trace = sim.run(timeline, mod);
+
+  reader::UplinkDecoderConfig dec;
+  dec.source = p.source;
+  dec.preamble = barker13();
+  dec.payload_bits = p.payload_bits;
+  dec.bit_duration_us = bit_us;
+  dec.movavg_window_us = p.movavg_window_us;
+  dec.num_good_streams =
+      p.source == reader::MeasurementSource::kRssi ? 1 : p.num_good_streams;
+  dec.hysteresis_sigma = p.hysteresis_sigma;
+  // The reader knows roughly when it queried the tag; search +-2 bits.
+  dec.search_from = frame_start - 2 * bit_us;
+  dec.search_to = frame_start + 2 * bit_us;
+
+  reader::UplinkDecoder decoder(dec);
+  RunOutput out;
+  out.sent = payload;
+  out.result = decoder.decode(trace);
+  return out;
+}
+
+}  // namespace
+
+BerMeasurement measure_uplink_ber(const UplinkExperimentParams& p) {
+  BerCounter ber;
+  BerMeasurement m;
+  for (std::size_t run = 0; run < p.runs; ++run) {
+    const auto out = run_one_frame(p, run);
+    if (!out.result.found) {
+      ++m.failed_syncs;
+      ber.add_counts(out.sent.size(), out.sent.size());
+      continue;
+    }
+    ber.add(out.sent, out.result.payload);
+  }
+  m.ber = ber.ber_floored();
+  m.ber_raw = ber.ber();
+  m.bits = ber.bits();
+  m.errors = ber.errors();
+  return m;
+}
+
+BerMeasurement measure_uplink_ber_random_stream(
+    const UplinkExperimentParams& p) {
+  UplinkExperimentParams q = p;
+  q.num_good_streams = 1;
+
+  BerCounter ber;
+  BerMeasurement m;
+  for (std::size_t run = 0; run < q.runs; ++run) {
+    // Decode with one random stream: emulate by conditioning the trace and
+    // keeping a single randomly chosen stream.
+    const TimeUs bit_us = q.bit_duration_us();
+    const std::uint64_t seed =
+        q.seed * 0x9e3779b97f4a7c15ull + run * 0xc2b2ae3d27d4eb4full + 1;
+    UplinkSimConfig sim_cfg;
+    sim_cfg.channel = make_channel_params(q);
+    sim_cfg.nic = q.nic;
+    sim_cfg.seed = seed;
+
+    const BitVec payload = random_bits(q.payload_bits, seed ^ 0x5151u);
+    BitVec frame = barker13();
+    frame.insert(frame.end(), payload.begin(), payload.end());
+    const TimeUs frame_start = kLeadUs;
+    const TimeUs until = frame_start +
+                         static_cast<TimeUs>(frame.size()) * bit_us +
+                         kTailUs;
+    sim::RngStream rng(seed);
+    auto traffic_rng = rng.fork("traffic");
+    const auto timeline = make_helper_timeline(q.paced_traffic, q.helper_pps,
+                                               until, traffic_rng);
+    tag::Modulator mod(frame, bit_us, frame_start);
+    UplinkSim sim(sim_cfg);
+    const auto trace = sim.run(timeline, mod);
+
+    auto ct = reader::condition(trace, q.source, q.movavg_window_us);
+    auto pick_rng = rng.fork("random-stream");
+    const std::size_t pick = pick_rng.uniform_int(ct.num_streams());
+    reader::ConditionedTrace single;
+    single.timestamps = ct.timestamps;
+    single.streams.push_back(std::move(ct.streams[pick]));
+
+    reader::UplinkDecoderConfig dec;
+    dec.source = q.source;
+    dec.preamble = barker13();
+    dec.payload_bits = q.payload_bits;
+    dec.bit_duration_us = bit_us;
+    dec.num_good_streams = 1;
+    dec.hysteresis_sigma = q.hysteresis_sigma;
+    dec.search_from = frame_start - 2 * bit_us;
+    dec.search_to = frame_start + 2 * bit_us;
+    reader::UplinkDecoder decoder(dec);
+    const auto result = decoder.decode_conditioned(single);
+    if (!result.found) {
+      ++m.failed_syncs;
+      ber.add_counts(payload.size(), payload.size());
+      continue;
+    }
+    ber.add(payload, result.payload);
+  }
+  m.ber = ber.ber_floored();
+  m.ber_raw = ber.ber();
+  m.bits = ber.bits();
+  m.errors = ber.errors();
+  return m;
+}
+
+std::vector<double> measure_per_stream_ber(const UplinkExperimentParams& p) {
+  std::vector<BerCounter> counters(wifi::kNumCsiStreams);
+  for (std::size_t run = 0; run < p.runs; ++run) {
+    const TimeUs bit_us = p.bit_duration_us();
+    const std::uint64_t seed =
+        p.seed * 0x9e3779b97f4a7c15ull + run * 0xc2b2ae3d27d4eb4full + 1;
+    UplinkSimConfig sim_cfg;
+    sim_cfg.channel = make_channel_params(p);
+    sim_cfg.nic = p.nic;
+    sim_cfg.seed = seed;
+    // One physical placement per distance: Fig 5 maps *which* sub-channels
+    // are good for a given multipath profile, so the channel must not be
+    // redrawn between runs (only noise and traffic vary).
+    sim_cfg.channel_seed = p.seed;
+    const BitVec payload = random_bits(p.payload_bits, seed ^ 0x5151u);
+    BitVec frame = barker13();
+    frame.insert(frame.end(), payload.begin(), payload.end());
+    const TimeUs frame_start = kLeadUs;
+    const TimeUs until = frame_start +
+                         static_cast<TimeUs>(frame.size()) * bit_us +
+                         kTailUs;
+    sim::RngStream rng(seed);
+    auto traffic_rng = rng.fork("traffic");
+    const auto timeline = make_helper_timeline(p.paced_traffic, p.helper_pps,
+                                               until, traffic_rng);
+    tag::Modulator mod(frame, bit_us, frame_start);
+    UplinkSim sim(sim_cfg);
+    const auto trace = sim.run(timeline, mod);
+    const auto ct = reader::condition(trace, reader::MeasurementSource::kCsi,
+                                      p.movavg_window_us);
+
+    for (std::size_t s = 0; s < ct.num_streams(); ++s) {
+      reader::ConditionedTrace single;
+      single.timestamps = ct.timestamps;
+      single.streams.push_back(ct.streams[s]);
+      reader::UplinkDecoderConfig dec;
+      dec.preamble = barker13();
+      dec.payload_bits = p.payload_bits;
+      dec.bit_duration_us = bit_us;
+      dec.num_good_streams = 1;
+      dec.hysteresis_sigma = p.hysteresis_sigma;
+      // Per-stream decoding assumes frame timing is known (the paper's
+      // per-sub-channel BER maps are computed offline per placement).
+      dec.search_from = frame_start;
+      dec.search_to = frame_start;
+      reader::UplinkDecoder decoder(dec);
+      const auto result = decoder.decode_conditioned(single);
+      if (!result.found) {
+        counters[s].add_counts(payload.size(), payload.size());
+      } else {
+        counters[s].add(payload, result.payload);
+      }
+    }
+  }
+  std::vector<double> bers(counters.size());
+  for (std::size_t s = 0; s < counters.size(); ++s) {
+    bers[s] = counters[s].ber_floored();
+  }
+  return bers;
+}
+
+double measure_packet_delivery(const UplinkExperimentParams& p) {
+  std::size_t delivered = 0;
+  for (std::size_t run = 0; run < p.runs; ++run) {
+    const auto out = run_one_frame(p, run);
+    if (out.result.found &&
+        hamming_distance(out.sent, out.result.payload) == 0) {
+      ++delivered;
+    }
+  }
+  return p.runs ? static_cast<double>(delivered) /
+                      static_cast<double>(p.runs)
+                : 0.0;
+}
+
+double achievable_bit_rate(UplinkExperimentParams p, double target_ber) {
+  double best = 0.0;
+  for (double rate : kSupportedBitRates) {
+    const double m = p.helper_pps / rate;
+    if (m < 1.0) continue;  // cannot even get one measurement per bit
+    UplinkExperimentParams q = p;
+    q.packets_per_bit = m;
+    const auto meas = measure_uplink_ber(q);
+    // Compare the raw error ratio: the floored convention would make small
+    // samples unable to pass any threshold below their floor.
+    if (meas.ber_raw < target_ber) best = std::max(best, rate);
+  }
+  return best;
+}
+
+BerMeasurement measure_coded_uplink_ber(const CodedExperimentParams& p) {
+  BerCounter ber;
+  BerMeasurement m;
+  for (std::size_t run = 0; run < p.runs; ++run) {
+    const std::uint64_t seed =
+        p.seed * 0x9e3779b97f4a7c15ull + run * 0xff51afd7ed558ccdull + 1;
+    const auto chip_us =
+        static_cast<TimeUs>(1e6 * p.packets_per_chip / p.helper_pps);
+
+    UplinkExperimentParams geo;
+    geo.tag_reader_distance_m = p.tag_reader_distance_m;
+    geo.helper_tag_distance_m = p.helper_tag_distance_m;
+    UplinkSimConfig sim_cfg;
+    sim_cfg.channel = make_channel_params(geo);
+    sim_cfg.seed = seed;
+    sim_cfg.channel_seed = p.channel_seed;
+
+    const auto codes = make_orthogonal_pair(p.code_length);
+    const BitVec payload = random_bits(p.payload_bits, seed ^ 0xabcdu);
+    BitVec frame = barker13();
+    frame.insert(frame.end(), payload.begin(), payload.end());
+
+    const TimeUs frame_start = kLeadUs;
+    const TimeUs frame_dur =
+        static_cast<TimeUs>(frame.size() * p.code_length) * chip_us;
+    const TimeUs until = frame_start + frame_dur + kTailUs;
+
+    sim::RngStream rng(seed);
+    auto traffic_rng = rng.fork("traffic");
+    const auto timeline = make_helper_timeline(p.paced_traffic, p.helper_pps,
+                                               until, traffic_rng);
+
+    tag::Modulator mod(frame, codes, chip_us, frame_start);
+    UplinkSim sim(sim_cfg);
+    const auto trace = sim.run(timeline, mod);
+
+    reader::CodedDecoderConfig dec;
+    dec.codes = codes;
+    dec.preamble = barker13();
+    dec.payload_bits = p.payload_bits;
+    dec.chip_duration_us = chip_us;
+    dec.known_start = frame_start;  // query-synchronised experiment (§10)
+    reader::CodedUplinkDecoder decoder(dec);
+    const auto result = decoder.decode(trace);
+    if (!result.found) {
+      ber.add_counts(payload.size(), payload.size());
+      ++m.failed_syncs;
+    } else {
+      ber.add(payload, result.payload);
+    }
+  }
+  m.ber = ber.ber_floored();
+  m.ber_raw = ber.ber();
+  m.bits = ber.bits();
+  m.errors = ber.errors();
+  return m;
+}
+
+std::size_t required_correlation_length(
+    CodedExperimentParams p, const std::vector<std::size_t>& candidates,
+    double target) {
+  for (std::size_t l : candidates) {
+    CodedExperimentParams q = p;
+    q.code_length = l;
+    const auto m = measure_coded_uplink_ber(q);
+    if (m.ber_raw < target) return l;
+  }
+  return 0;
+}
+
+}  // namespace wb::core

@@ -1,0 +1,132 @@
+// Reusable experiment drivers behind the paper's evaluation figures.
+// Each bench binary is a thin loop over one of these; keeping the logic
+// here lets the test suite exercise the exact code that generates the
+// numbers in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/uplink_sim.h"
+#include "wifi/nic.h"
+#include "reader/conditioning.h"
+#include "reader/uplink_decoder.h"
+#include "util/stats.h"
+#include "util/units.h"
+
+namespace wb::core {
+
+// ---------------------------------------------------------------- uplink
+
+/// Parameters shared by the uplink BER experiments (§7.1 setup).
+struct UplinkExperimentParams {
+  double tag_reader_distance_m = 0.05;
+  double helper_tag_distance_m = 3.0;
+  double helper_pps = 3000.0;
+  double packets_per_bit = 30.0;  ///< M; bit rate = helper_pps / M
+  std::size_t payload_bits = 77;  ///< 90-bit message incl. 13-bit preamble
+
+  /// Paced (CBR) helper injection, as the paper's §7.1-§7.2 experiments
+  /// ("we insert a delay between injected packets"); false = Poisson
+  /// ambient arrivals.
+  bool paced_traffic = true;
+
+  /// Helper transmits only periodic beacons (§7.5 / Fig 16). Beacons carry
+  /// no CSI on the paper's NIC, so set source = kRssi with this.
+  bool beacons_only = false;
+  std::size_t runs = 20;
+  reader::MeasurementSource source = reader::MeasurementSource::kCsi;
+  std::uint64_t seed = 42;
+
+  /// Optional wall/floor-plan geometry override (Fig 13/14): when set, the
+  /// positions below are used verbatim instead of the collinear layout.
+  std::optional<phy::Vec2> helper_pos;
+  std::optional<phy::Vec2> reader_pos;
+  std::optional<phy::Vec2> tag_pos;
+  const phy::FloorPlan* plan = nullptr;
+
+  /// NIC model override (defaults model the Intel 5300).
+  wifi::NicModelParams nic{};
+
+  /// When set, every run reuses this channel realisation (one physical
+  /// placement, as in the paper's single-setup experiments); otherwise
+  /// each run redraws the placement.
+  std::optional<std::uint64_t> channel_seed;
+
+  /// Decoder overrides.
+  std::size_t num_good_streams = 10;
+  double hysteresis_sigma = 0.25;
+  TimeUs movavg_window_us = 400'000;
+
+  TimeUs bit_duration_us() const {
+    return static_cast<TimeUs>(1e6 * packets_per_bit / helper_pps);
+  }
+};
+
+/// Build the channel geometry for a parameter set (collinear by default:
+/// reader at origin, tag at distance d, helper beyond the tag).
+phy::UplinkChannelParams make_channel_params(
+    const UplinkExperimentParams& p);
+
+/// Outcome of a BER sweep point.
+struct BerMeasurement {
+  double ber = 0.0;      ///< floored per the paper's convention (plots)
+  double ber_raw = 0.0;  ///< exact errors/bits (threshold comparisons)
+  std::size_t bits = 0;
+  std::size_t errors = 0;
+  std::size_t failed_syncs = 0;  ///< runs where the frame was never found
+};
+
+/// Measure uplink BER at one operating point: `runs` frames of random
+/// payload, decoded with the configured pipeline; errors are counted
+/// against the transmitted payload. A run whose sync fails contributes
+/// all-bits-wrong (the paper's 20-run averages bury the distinction).
+BerMeasurement measure_uplink_ber(const UplinkExperimentParams& p);
+
+/// Same pipeline but decoding with exactly one (randomly chosen) stream —
+/// the "Random-Subchannel" baseline of Fig 11.
+BerMeasurement measure_uplink_ber_random_stream(
+    const UplinkExperimentParams& p);
+
+/// Per-stream BER at one point (Fig 5): decode using only stream s for
+/// every CSI stream; returns BER per stream index.
+std::vector<double> measure_per_stream_ber(const UplinkExperimentParams& p);
+
+/// Packet delivery probability (Fig 14): fraction of `runs` frames whose
+/// payload decodes without any bit error.
+double measure_packet_delivery(const UplinkExperimentParams& p);
+
+/// Achievable bit rate (§7.2 definition): the largest supported rate
+/// {100, 200, 500, 1000} bps whose measured BER is below `target_ber`,
+/// given a helper at `helper_pps`; 0 when none qualifies.
+double achievable_bit_rate(UplinkExperimentParams p, double target_ber = 1e-2);
+
+// ---------------------------------------------------------------- coded
+
+/// Long-range coded uplink (Fig 20): BER at a distance for a given
+/// correlation length L.
+struct CodedExperimentParams {
+  double tag_reader_distance_m = 1.6;
+  double helper_tag_distance_m = 3.0;
+  double helper_pps = 3000.0;
+  double packets_per_chip = 10.0;
+  std::size_t code_length = 20;
+  std::size_t payload_bits = 16;
+  std::size_t runs = 6;
+  bool paced_traffic = true;
+  std::uint64_t seed = 42;
+
+  /// When set, every run reuses this channel realisation (one placement).
+  std::optional<std::uint64_t> channel_seed;
+};
+
+BerMeasurement measure_coded_uplink_ber(const CodedExperimentParams& p);
+
+/// Smallest correlation length from `candidates` achieving BER below
+/// `target` at the given distance; 0 if none.
+std::size_t required_correlation_length(
+    CodedExperimentParams p, const std::vector<std::size_t>& candidates,
+    double target = 1e-2);
+
+}  // namespace wb::core

@@ -1,0 +1,107 @@
+#include "core/frame.h"
+
+#include <algorithm>
+
+#include "util/crc.h"
+
+namespace wb::core {
+
+const BitVec& uplink_preamble() { return barker13(); }
+
+const BitVec& uplink_postamble() {
+  static const BitVec k = [] {
+    BitVec v = barker13();
+    std::reverse(v.begin(), v.end());
+    return v;
+  }();
+  return k;
+}
+
+BitVec build_uplink_frame(const BitVec& data) {
+  BitVec frame = uplink_preamble();
+  frame.insert(frame.end(), data.begin(), data.end());
+  const auto crc = unpack_uint(crc8_bits(data), 8);
+  frame.insert(frame.end(), crc.begin(), crc.end());
+  const auto& post = uplink_postamble();
+  frame.insert(frame.end(), post.begin(), post.end());
+  return frame;
+}
+
+std::size_t uplink_payload_bits(std::size_t data_bits) {
+  return data_bits + 8 + uplink_postamble().size();
+}
+
+std::optional<BitVec> parse_uplink_payload(const BitVec& payload,
+                                           std::size_t data_bits) {
+  if (payload.size() != uplink_payload_bits(data_bits)) return std::nullopt;
+  BitVec data(payload.begin(),
+              payload.begin() + static_cast<long>(data_bits));
+  const auto crc_bits = BitVec(
+      payload.begin() + static_cast<long>(data_bits),
+      payload.begin() + static_cast<long>(data_bits + 8));
+  if (static_cast<std::uint8_t>(pack_uint(crc_bits)) != crc8_bits(data)) {
+    return std::nullopt;
+  }
+  const auto& post = uplink_postamble();
+  if (!std::equal(post.begin(), post.end(),
+                  payload.end() - static_cast<long>(post.size()))) {
+    return std::nullopt;
+  }
+  return data;
+}
+
+const BitVec& downlink_preamble() {
+  static const BitVec k = bits_from_string("1100100111111111");
+  return k;
+}
+
+BitVec build_downlink_frame(const BitVec& data) {
+  BitVec frame = downlink_preamble();
+  BitVec d = data;
+  d.resize(kDownlinkDataBits, 0);
+  frame.insert(frame.end(), d.begin(), d.end());
+  const auto crc = unpack_uint(crc8_bits(d), 8);
+  frame.insert(frame.end(), crc.begin(), crc.end());
+  return frame;
+}
+
+std::optional<BitVec> parse_downlink_payload(const BitVec& payload) {
+  if (payload.size() != kDownlinkPayloadBits) return std::nullopt;
+  BitVec data(payload.begin(),
+              payload.begin() + static_cast<long>(kDownlinkDataBits));
+  const BitVec crc_bits(payload.begin() + kDownlinkDataBits, payload.end());
+  if (static_cast<std::uint8_t>(pack_uint(crc_bits)) != crc8_bits(data)) {
+    return std::nullopt;
+  }
+  return data;
+}
+
+BitVec Query::to_bits() const {
+  BitVec out;
+  out.reserve(kDownlinkDataBits);
+  auto append = [&out](std::uint64_t v, std::size_t n) {
+    const auto bits = unpack_uint(v, n);
+    out.insert(out.end(), bits.begin(), bits.end());
+  };
+  append(tag_address, 16);
+  append(command, 8);
+  append(bitrate_code, 8);
+  append(argument & 0xFFFFFFu, 24);
+  return out;
+}
+
+std::optional<Query> Query::from_bits(const BitVec& data) {
+  if (data.size() != kDownlinkDataBits) return std::nullopt;
+  Query q;
+  auto read = [&data](std::size_t at, std::size_t n) {
+    return pack_uint(
+        std::span<const std::uint8_t>(data.data() + at, n));
+  };
+  q.tag_address = static_cast<std::uint16_t>(read(0, 16));
+  q.command = static_cast<std::uint8_t>(read(16, 8));
+  q.bitrate_code = static_cast<std::uint8_t>(read(24, 8));
+  q.argument = static_cast<std::uint32_t>(read(32, 24));
+  return q;
+}
+
+}  // namespace wb::core

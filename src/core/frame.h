@@ -1,0 +1,79 @@
+// Wi-Fi Backscatter frame formats (paper §6, Fig 7).
+//
+// Uplink (tag -> reader): [ preamble | payload | crc8 | postamble ]
+//   The preamble is the 13-bit Barker code; the postamble (the reversed
+//   Barker code) bounds the frame so the reader can verify its bit clock.
+//
+// Downlink (reader -> tag): [ preamble(16) | payload(56) | crc8 ]
+//   64 bits follow the preamble (Fig 7's "64-bit payload message with a
+//   16-bit preamble ... in 4.0 ms" at 50 us slots).
+//
+// The query payload layout used by the request-response protocol (§5):
+//   [ tag address : 16 ][ command : 8 ][ bit-rate code : 8 ][ arg : 24 ]
+// where the bit-rate code indexes the supported uplink rates the reader
+// computed from network load (N/M, §5).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/bits.h"
+#include "util/codes.h"
+
+namespace wb::core {
+
+// ---------- uplink ----------
+
+/// Uplink preamble: 13-bit Barker.
+const BitVec& uplink_preamble();
+
+/// Uplink postamble: the Barker code reversed.
+const BitVec& uplink_postamble();
+
+/// Build a full uplink frame around `data` bits: preamble + data + crc8 +
+/// postamble.
+BitVec build_uplink_frame(const BitVec& data);
+
+/// Payload bit count of an uplink frame carrying `data_bits` data bits
+/// (everything between preamble and end: data + crc + postamble).
+std::size_t uplink_payload_bits(std::size_t data_bits);
+
+/// Validate + strip a decoded uplink payload (data + crc8 + postamble).
+/// Returns the data bits or nullopt on CRC/postamble failure.
+std::optional<BitVec> parse_uplink_payload(const BitVec& payload,
+                                           std::size_t data_bits);
+
+// ---------- downlink ----------
+
+inline constexpr std::size_t kDownlinkPayloadBits = 64;  ///< incl. CRC
+inline constexpr std::size_t kDownlinkDataBits = 56;
+
+/// Downlink preamble (irregular run structure, runs 2,2,1,2,9; must match
+/// the tag MCU preamble in tag/mcu.cpp).
+const BitVec& downlink_preamble();
+
+/// Build a downlink message: preamble + 56 data bits + crc8. `data` must
+/// be exactly kDownlinkDataBits long.
+BitVec build_downlink_frame(const BitVec& data);
+
+/// Validate + strip a tag-decoded downlink payload (64 bits).
+std::optional<BitVec> parse_downlink_payload(const BitVec& payload);
+
+// ---------- query payload (request-response protocol, §5) ----------
+
+struct Query {
+  std::uint16_t tag_address = 0;
+  std::uint8_t command = 0;
+  std::uint8_t bitrate_code = 0;  ///< index into supported uplink rates
+  std::uint32_t argument = 0;     ///< 24 bits used
+
+  /// Serialise into kDownlinkDataBits bits.
+  BitVec to_bits() const;
+  static std::optional<Query> from_bits(const BitVec& data);
+};
+
+/// Command codes.
+inline constexpr std::uint8_t kCmdReadSensor = 0x01;
+inline constexpr std::uint8_t kCmdAck = 0x02;
+
+}  // namespace wb::core

@@ -1,0 +1,62 @@
+// Multi-tag inventory (paper §2): "In the presence of multiple Wi-Fi
+// Backscatter tags in the vicinity, the interrogator can use protocols
+// similar to EPC Gen-2 to identify these devices and then query each of
+// them individually."
+//
+// This module implements that protocol over the simulated PHY: a
+// slotted-ALOHA inventory with Gen-2-style Q adaptation. Each round the
+// reader announces 2^Q response slots; every unidentified tag picks one
+// uniformly and backscatters a short frame carrying its 16-bit address.
+// Slots with one replier decode; slots where several tags answer see
+// superposed backscatter (MultiTagUplinkChannel) and normally fail the
+// CRC — a collision. Occasionally the stronger tag of a colliding pair
+// decodes anyway (the capture effect), which Gen-2 also exploits. The
+// reader then grows or shrinks Q to track the unidentified population.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "phy/multi_tag_channel.h"
+#include "wifi/nic.h"
+
+namespace wb::core {
+
+struct InventoryTag {
+  std::uint16_t address = 0;
+  phy::TagPlacement placement{};
+};
+
+struct InventoryConfig {
+  phy::Vec2 reader_pos{0.0, 0.0};
+  phy::Vec2 helper_pos{3.0, 0.0};
+  double helper_pps = 3'000.0;
+  double bit_rate_bps = 500.0;  ///< uplink rate during inventory
+  std::size_t initial_q = 2;    ///< first round has 2^Q slots
+  std::size_t max_q = 6;
+  std::size_t max_rounds = 12;
+  wifi::NicModelParams nic{};
+  std::uint64_t seed = 1;
+};
+
+struct InventoryRoundLog {
+  std::size_t q = 0;
+  std::size_t slots = 0;
+  std::size_t identified = 0;  ///< new addresses this round
+  std::size_t collisions = 0;  ///< slots with >1 replier and no decode
+  std::size_t empties = 0;
+};
+
+struct InventoryResult {
+  std::vector<std::uint16_t> identified;  ///< in discovery order
+  std::vector<InventoryRoundLog> rounds;
+  bool complete = false;  ///< every tag identified
+  TimeUs elapsed_us = 0;  ///< total air time spent on inventory
+};
+
+/// Run the inventory until every tag is identified or max_rounds expire.
+InventoryResult run_inventory(std::span<const InventoryTag> tags,
+                              const InventoryConfig& cfg);
+
+}  // namespace wb::core

@@ -1,0 +1,50 @@
+#include "core/rate_control.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wb::core {
+
+double RateControl::measured_packet_rate(const wifi::CaptureTrace& trace,
+                                         TimeUs window_us) {
+  if (trace.empty() || window_us <= 0) return 0.0;
+  const TimeUs end = trace.back().timestamp_us;
+  const TimeUs from = end - window_us;
+  std::size_t n = 0;
+  for (auto it = trace.rbegin(); it != trace.rend(); ++it) {
+    if (it->timestamp_us < from) break;
+    ++n;
+  }
+  return static_cast<double>(n) /
+         (static_cast<double>(window_us) / 1e6);
+}
+
+double RateControl::raw_rate_bps(double helper_pps) const {
+  assert(params_.packets_per_bit > 0.0);
+  return helper_pps / params_.packets_per_bit;
+}
+
+double RateControl::choose_bit_rate(double helper_pps) const {
+  const double budget = params_.safety * raw_rate_bps(helper_pps);
+  double chosen = kSupportedBitRates.front();
+  for (double r : kSupportedBitRates) {
+    if (r <= budget) chosen = r;
+  }
+  return chosen;
+}
+
+std::uint8_t RateControl::rate_code(double bit_rate_bps) const {
+  for (std::size_t i = 0; i < kSupportedBitRates.size(); ++i) {
+    if (kSupportedBitRates[i] == bit_rate_bps) {
+      return static_cast<std::uint8_t>(i);
+    }
+  }
+  return 0;
+}
+
+double RateControl::rate_from_code(std::uint8_t code) {
+  return kSupportedBitRates[std::min<std::size_t>(
+      code, kSupportedBitRates.size() - 1)];
+}
+
+}  // namespace wb::core

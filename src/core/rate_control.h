@@ -1,0 +1,59 @@
+// Uplink rate control (paper §5): the reader measures how fast the helper
+// is transmitting (N packets/s), knows how many channel measurements it
+// needs per bit (M), and commands the tag to transmit at N/M bits/s —
+// conservatively, so bursty traffic rarely leaves a bit without
+// measurements.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/units.h"
+#include "wifi/capture.h"
+
+namespace wb::core {
+
+/// The uplink bit rates the prototype supports (§7.2 tests exactly these).
+inline constexpr std::array<double, 4> kSupportedBitRates = {100.0, 200.0,
+                                                             500.0, 1000.0};
+
+struct RateControlParams {
+  /// Channel measurements the decoder wants per bit (M). 30 gives the
+  /// paper's most reliable operating point; 3 its fastest.
+  double packets_per_bit = 10.0;
+
+  /// Safety factor < 1 applied to the measured packet rate ("the Wi-Fi
+  /// reader provides conservative bit rate estimates", §5).
+  double safety = 0.8;
+};
+
+class RateControl {
+ public:
+  explicit RateControl(RateControlParams p) : params_(p) {}
+
+  /// Average helper packet rate (packets/s) observed over the most recent
+  /// `window_us` of a capture trace.
+  static double measured_packet_rate(const wifi::CaptureTrace& trace,
+                                     TimeUs window_us);
+
+  /// Raw N/M rate in bits/s for a given helper packet rate.
+  double raw_rate_bps(double helper_pps) const;
+
+  /// Largest supported rate not exceeding the (safety-scaled) raw rate;
+  /// returns the smallest supported rate if even that is too fast.
+  double choose_bit_rate(double helper_pps) const;
+
+  /// Code for the chosen rate, as carried in the query frame's
+  /// bitrate_code field.
+  std::uint8_t rate_code(double bit_rate_bps) const;
+
+  /// Inverse of rate_code.
+  static double rate_from_code(std::uint8_t code);
+
+  const RateControlParams& params() const { return params_; }
+
+ private:
+  RateControlParams params_;
+};
+
+}  // namespace wb::core

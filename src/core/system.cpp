@@ -1,0 +1,192 @@
+#include "core/system.h"
+
+#include <cassert>
+
+#include "reader/ack_detector.h"
+#include "tag/modulator.h"
+#include "util/crc.h"
+
+namespace wb::core {
+
+WiFiBackscatterSystem::WiFiBackscatterSystem(const SystemConfig& cfg)
+    : cfg_(cfg) {}
+
+double WiFiBackscatterSystem::commanded_bit_rate() const {
+  RateControl rc(RateControlParams{cfg_.packets_per_bit, 0.8});
+  return rc.choose_bit_rate(cfg_.helper_pps);
+}
+
+DownlinkOutcome WiFiBackscatterSystem::send_downlink(const BitVec& data) {
+  DownlinkOutcome out;
+  out.attempts = 1;
+
+  reader::DownlinkEncoderConfig enc_cfg;
+  enc_cfg.slot_us = cfg_.downlink_slot_us;
+  reader::DownlinkEncoder encoder(enc_cfg);
+  const BitVec message = build_downlink_frame(data);
+  const auto tx = encoder.encode(message, /*start_us=*/2'000);
+
+  DownlinkSimConfig sim_cfg;
+  sim_cfg.reader_tag_distance_m = cfg_.tag_reader_distance_m;
+  sim_cfg.ambient_distance_m = cfg_.helper_distance_m;
+  sim_cfg.detector = cfg_.detector;
+  sim_cfg.mcu.bit_duration_us = cfg_.downlink_slot_us;
+  sim_cfg.mcu.payload_bits = kDownlinkPayloadBits;
+  sim_cfg.seed = cfg_.seed ^ (0x9e3779b9u + round_++);
+
+  // Ambient helper traffic keeps flowing around the reserved window.
+  sim::RngStream traffic_rng(sim_cfg.seed);
+  auto rng = traffic_rng.fork("downlink-ambient");
+  const TimeUs until = tx.end_us + 5'000;
+  const auto ambient = wifi::make_poisson_timeline(
+      cfg_.helper_pps, until, wifi::TrafficParams{}, rng);
+
+  DownlinkSim sim(sim_cfg);
+  const auto report = sim.run(tx, ambient, until);
+  out.tag_energy_uj = report.detector_energy_uj + report.mcu_energy_uj;
+
+  for (const auto& frame : report.decoded) {
+    if (auto data_bits = parse_downlink_payload(frame.payload)) {
+      out.delivered = true;
+      out.decoded_query = Query::from_bits(*data_bits);
+      break;
+    }
+  }
+  return out;
+}
+
+UplinkOutcome WiFiBackscatterSystem::receive_uplink(const BitVec& data,
+                                                    double bit_rate_bps) {
+  UplinkOutcome out;
+  out.bit_rate_bps = bit_rate_bps;
+  assert(bit_rate_bps > 0.0);
+
+  const auto bit_us = static_cast<TimeUs>(1e6 / bit_rate_bps);
+  const BitVec frame = build_uplink_frame(data);
+
+  // Geometry: reader at origin, tag on the x axis, helper beyond it.
+  UplinkSimConfig sim_cfg;
+  sim_cfg.channel.reader_pos = {0.0, 0.0};
+  sim_cfg.channel.tag_pos = {cfg_.tag_reader_distance_m, 0.0};
+  sim_cfg.channel.helper_pos = {cfg_.tag_reader_distance_m +
+                                    cfg_.helper_distance_m,
+                                0.0};
+  sim_cfg.channel.multipath = cfg_.multipath;
+  sim_cfg.channel.drift = cfg_.drift;
+  sim_cfg.channel.tag = cfg_.tag_reflection;
+  sim_cfg.nic = cfg_.nic;
+  sim_cfg.seed = cfg_.seed ^ (0xc2b2ae35u + round_++);
+
+  const TimeUs frame_start = 50'000;
+  const TimeUs frame_dur = static_cast<TimeUs>(frame.size()) * bit_us;
+  const TimeUs until = frame_start + frame_dur + 50'000;
+
+  sim::RngStream traffic_rng(sim_cfg.seed);
+  auto rng = traffic_rng.fork("uplink-traffic");
+  const auto timeline = wifi::make_poisson_timeline(
+      cfg_.helper_pps, until, wifi::TrafficParams{}, rng);
+
+  tag::Modulator mod(frame, bit_us, frame_start);
+  UplinkSim sim(sim_cfg);
+  const auto trace = sim.run(timeline, mod);
+
+  reader::UplinkDecoderConfig dec_cfg;
+  dec_cfg.source = cfg_.uplink_source;
+  if (cfg_.uplink_source == reader::MeasurementSource::kRssi) {
+    dec_cfg = reader::rssi_decoder_config(dec_cfg);
+  }
+  dec_cfg.preamble = uplink_preamble();
+  dec_cfg.payload_bits = uplink_payload_bits(data.size());
+  dec_cfg.bit_duration_us = bit_us;
+  reader::UplinkDecoder decoder(dec_cfg);
+  const auto result = decoder.decode(trace);
+
+  out.sync_found = result.found;
+  if (!result.found) return out;
+
+  // Oracle BER against what the tag actually sent (frame minus preamble).
+  const BitVec sent_payload(frame.begin() + static_cast<long>(
+                                                uplink_preamble().size()),
+                            frame.end());
+  out.bits_total = sent_payload.size();
+  out.bit_errors = hamming_distance(sent_payload, result.payload);
+
+  if (auto parsed = parse_uplink_payload(result.payload, data.size())) {
+    out.delivered = true;
+    out.data = std::move(*parsed);
+  }
+  return out;
+}
+
+bool WiFiBackscatterSystem::exchange_ack(bool tag_acks) {
+  reader::AckConfig ack;
+
+  UplinkSimConfig sim_cfg;
+  sim_cfg.channel.reader_pos = {0.0, 0.0};
+  sim_cfg.channel.tag_pos = {cfg_.tag_reader_distance_m, 0.0};
+  sim_cfg.channel.helper_pos = {cfg_.tag_reader_distance_m +
+                                    cfg_.helper_distance_m,
+                                0.0};
+  sim_cfg.channel.multipath = cfg_.multipath;
+  sim_cfg.channel.drift = cfg_.drift;
+  sim_cfg.channel.tag = cfg_.tag_reflection;
+  sim_cfg.nic = cfg_.nic;
+  sim_cfg.seed = cfg_.seed ^ (0x85ebca6bu + round_++);
+
+  const TimeUs ack_start = 500'000;
+  const TimeUs until = ack_start + ack.duration_us() + 50'000;
+  sim::RngStream traffic_rng(sim_cfg.seed);
+  auto rng = traffic_rng.fork("ack-traffic");
+  const auto timeline = wifi::make_poisson_timeline(
+      cfg_.helper_pps, until, wifi::TrafficParams{}, rng);
+
+  UplinkSim sim(sim_cfg);
+  wifi::CaptureTrace trace;
+  if (tag_acks) {
+    tag::Modulator mod(ack.pattern, ack.chip_duration_us, ack_start);
+    trace = sim.run(timeline, mod);
+  } else {
+    trace = sim.run_idle(timeline);
+  }
+  return reader::detect_ack(trace, ack, ack_start).detected;
+}
+
+QueryOutcome WiFiBackscatterSystem::query(const Query& query,
+                                          const BitVec& tag_data) {
+  QueryOutcome out;
+
+  // Rate control: fold the commanded rate into the query frame.
+  RateControl rc(RateControlParams{cfg_.packets_per_bit, 0.8});
+  const double rate = rc.choose_bit_rate(cfg_.helper_pps);
+  Query q = query;
+  q.bitrate_code = rc.rate_code(rate);
+
+  // The reader re-transmits its query until it gets a (CRC-valid)
+  // response, §4.1 — a retry covers both a missed query at the tag and a
+  // response the reader failed to decode.
+  for (std::size_t attempt = 1; attempt <= cfg_.max_query_attempts;
+       ++attempt) {
+    auto dl = send_downlink(q.to_bits());
+    out.downlink.attempts = attempt;
+    out.downlink.delivered = dl.delivered;
+    if (dl.decoded_query) out.downlink.decoded_query = dl.decoded_query;
+    out.downlink.tag_energy_uj += dl.tag_energy_uj;
+    if (cfg_.ack_enabled) {
+      // The tag only ACKs a CRC-valid query; the reader retries on a
+      // missing ACK without burning a response timeout.
+      const bool detected = exchange_ack(dl.delivered);
+      out.downlink.ack_detected = detected;
+      if (!detected) continue;
+    }
+    if (!dl.delivered) continue;
+
+    // The tag obeys the bit rate it decoded.
+    const double tag_rate =
+        RateControl::rate_from_code(dl.decoded_query->bitrate_code);
+    out.uplink = receive_uplink(tag_data, tag_rate);
+    if (out.uplink.delivered) break;
+  }
+  return out;
+}
+
+}  // namespace wb::core

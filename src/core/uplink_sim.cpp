@@ -1,0 +1,40 @@
+#include "core/uplink_sim.h"
+
+namespace wb::core {
+
+UplinkSim::UplinkSim(const UplinkSimConfig& cfg)
+    : channel_(cfg.channel,
+               sim::RngStream(cfg.channel_seed.value_or(cfg.seed))
+                   .fork("channel")),
+      nic_(cfg.nic, sim::RngStream(cfg.seed).fork("nic")) {
+  // Fix the NIC's reporting reference once, from the quiescent channel —
+  // the AGC must not chase the backscatter modulation.
+  nic_.calibrate(channel_.response(false, 0));
+}
+
+wifi::CaptureTrace UplinkSim::run(const wifi::PacketTimeline& timeline,
+                                  const tag::Modulator& mod) {
+  wifi::CaptureTrace trace;
+  trace.reserve(timeline.size());
+  for (const auto& pkt : timeline) {
+    // The NIC estimates CSI from the PLCP preamble at the very start of
+    // the packet, so the tag state that matters is the one at start_us —
+    // which is also the timestamp the decoder bins by.
+    const bool state = mod.state_at(pkt.start_us);
+    const auto h = channel_.response(state, pkt.start_us);
+    trace.push_back(nic_.measure(h, pkt.start_us, pkt.source, pkt.kind));
+  }
+  return trace;
+}
+
+wifi::CaptureTrace UplinkSim::run_idle(const wifi::PacketTimeline& timeline) {
+  wifi::CaptureTrace trace;
+  trace.reserve(timeline.size());
+  for (const auto& pkt : timeline) {
+    const auto h = channel_.response(false, pkt.start_us);
+    trace.push_back(nic_.measure(h, pkt.start_us, pkt.source, pkt.kind));
+  }
+  return trace;
+}
+
+}  // namespace wb::core

@@ -1,0 +1,54 @@
+// End-to-end uplink simulation: helper traffic -> channel (with tag
+// modulation) -> commodity NIC -> capture trace for the decoder.
+//
+// This is the harness every uplink experiment drives: it plays a packet
+// timeline through the uplink channel while the tag's modulator toggles
+// the reflection state on its own bit clock, and records what the reader's
+// NIC reports for each packet.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "phy/uplink_channel.h"
+#include "sim/rng.h"
+#include "tag/modulator.h"
+#include "wifi/nic.h"
+#include "wifi/traffic.h"
+
+namespace wb::core {
+
+struct UplinkSimConfig {
+  phy::UplinkChannelParams channel{};
+  wifi::NicModelParams nic{};
+  std::uint64_t seed = 1;
+
+  /// When set, the channel realisation (multipath/placement luck) is drawn
+  /// from this seed instead of `seed` — lets experiments re-run noise and
+  /// traffic while keeping one physical placement (Fig 5's per-distance
+  /// sub-channel maps).
+  std::optional<std::uint64_t> channel_seed;
+};
+
+class UplinkSim {
+ public:
+  explicit UplinkSim(const UplinkSimConfig& cfg);
+
+  /// Play `timeline` through the channel with the tag running `mod`;
+  /// returns the reader-side capture trace. The tag state is sampled at
+  /// mid-packet (its bit clock is slower than any packet, §3.1).
+  wifi::CaptureTrace run(const wifi::PacketTimeline& timeline,
+                         const tag::Modulator& mod);
+
+  /// Same, with the tag silent (for baseline/false-positive experiments).
+  wifi::CaptureTrace run_idle(const wifi::PacketTimeline& timeline);
+
+  phy::UplinkChannel& channel() { return channel_; }
+  wifi::NicModel& nic() { return nic_; }
+
+ private:
+  phy::UplinkChannel channel_;
+  wifi::NicModel nic_;
+};
+
+}  // namespace wb::core

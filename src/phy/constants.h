@@ -1,0 +1,25 @@
+// Dimension constants for the simulated 802.11n PHY, matching the hardware
+// the paper measures with (Intel Wi-Fi Link 5300 + Linux CSI tool).
+#pragma once
+
+#include <cstddef>
+
+namespace wb::phy {
+
+/// The Intel 5300 CSI tool reports channel state for 30 subcarrier groups
+/// ("sub-channels" in the paper: 60 subcarriers reported in adjacent pairs).
+inline constexpr std::size_t kNumSubchannels = 30;
+
+/// The 5300 is a 3x3 MIMO NIC; the paper uses all three receive antennas
+/// (one of which chronically reports low CSI, see §7.1).
+inline constexpr std::size_t kNumAntennas = 3;
+
+/// 20 MHz Wi-Fi channel.
+inline constexpr double kBandwidthHz = 20e6;
+
+/// Frequency spacing between the centers of adjacent reported
+/// sub-channels across the 20 MHz band.
+inline constexpr double kSubchannelSpacingHz =
+    kBandwidthHz / static_cast<double>(kNumSubchannels);
+
+}  // namespace wb::phy

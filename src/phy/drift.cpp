@@ -1,0 +1,57 @@
+#include "phy/drift.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace wb::phy {
+
+OuProcess::OuProcess(double tau_s, double sigma, sim::RngStream rng)
+    : tau_s_(tau_s), sigma_(sigma), rng_(rng) {
+  assert(tau_s_ > 0.0);
+  assert(sigma_ >= 0.0);
+}
+
+double OuProcess::at(TimeUs t) {
+  if (!started_) {
+    started_ = true;
+    last_t_ = t;
+    // Start from the stationary distribution so experiments have no
+    // warm-up transient.
+    x_ = rng_.normal(0.0, sigma_);
+    return x_;
+  }
+  assert(t >= last_t_ && "OU process must be sampled in time order");
+  const double dt_s =
+      static_cast<double>(t - last_t_) / static_cast<double>(kMicrosPerSec);
+  last_t_ = t;
+  if (dt_s <= 0.0) return x_;
+  // Exact discretisation of the OU transition kernel.
+  const double a = std::exp(-dt_s / tau_s_);
+  const double noise_sd = sigma_ * std::sqrt(1.0 - a * a);
+  x_ = a * x_ + rng_.normal(0.0, noise_sd);
+  return x_;
+}
+
+ChannelDrift::ChannelDrift(const Params& p, sim::RngStream rng) {
+  antenna_.reserve(kNumAntennas);
+  subchannel_.reserve(kNumAntennas);
+  for (std::size_t a = 0; a < kNumAntennas; ++a) {
+    antenna_.emplace_back(p.antenna_tau_s, p.antenna_sigma,
+                          rng.fork("drift-ant", a));
+    std::vector<OuProcess> row;
+    row.reserve(kNumSubchannels);
+    for (std::size_t s = 0; s < kNumSubchannels; ++s) {
+      row.emplace_back(p.subchannel_tau_s, p.subchannel_sigma,
+                       rng.fork("drift-sub", a * kNumSubchannels + s));
+    }
+    subchannel_.push_back(std::move(row));
+  }
+}
+
+double ChannelDrift::at(std::size_t antenna, std::size_t subchannel,
+                        TimeUs t) {
+  return antenna_.at(antenna).at(t) +
+         subchannel_.at(antenna).at(subchannel).at(t);
+}
+
+}  // namespace wb::phy

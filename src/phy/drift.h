@@ -1,0 +1,65 @@
+// Slow temporal channel drift caused by environmental mobility (people
+// walking, doors, HVAC). Modelled as an Ornstein-Uhlenbeck process per
+// antenna with a small per-sub-channel component.
+//
+// This drift is why the decoder's first step (paper §3.2) subtracts a
+// 400 ms moving average: over a bit period the drift is nearly constant,
+// but over seconds it wanders by more than the backscatter modulation
+// depth.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "phy/constants.h"
+#include "sim/rng.h"
+#include "util/units.h"
+
+namespace wb::phy {
+
+/// Scalar Ornstein-Uhlenbeck process sampled at arbitrary (monotone)
+/// times: dx = -x/tau dt + sigma sqrt(2/tau) dW, stationary stddev sigma.
+class OuProcess {
+ public:
+  /// tau: relaxation time (seconds); sigma: stationary standard deviation.
+  OuProcess(double tau_s, double sigma, sim::RngStream rng);
+
+  /// Value at absolute time t (microseconds). Times must be non-decreasing
+  /// across calls.
+  double at(TimeUs t);
+
+  double sigma() const { return sigma_; }
+
+ private:
+  double tau_s_;
+  double sigma_;
+  sim::RngStream rng_;
+  TimeUs last_t_ = 0;
+  double x_ = 0.0;
+  bool started_ = false;
+};
+
+/// Drift state for a full CSI matrix: a common per-antenna component (the
+/// dominant effect: body shadowing moves whole-antenna gain) plus an
+/// independent small per-sub-channel component.
+class ChannelDrift {
+ public:
+  struct Params {
+    double antenna_tau_s = 2.0;       ///< time constant of per-antenna drift
+    double antenna_sigma = 0.03;      ///< stationary stddev (relative units)
+    double subchannel_tau_s = 5.0;    ///< per-sub-channel drift time constant
+    double subchannel_sigma = 0.008;  ///< per-sub-channel stddev
+  };
+
+  ChannelDrift(const Params& p, sim::RngStream rng);
+
+  /// Additive amplitude drift for (antenna, sub-channel) at time t.
+  /// Callers must query with non-decreasing t.
+  double at(std::size_t antenna, std::size_t subchannel, TimeUs t);
+
+ private:
+  std::vector<OuProcess> antenna_;                   // size kNumAntennas
+  std::vector<std::vector<OuProcess>> subchannel_;   // [ant][subch]
+};
+
+}  // namespace wb::phy

@@ -1,0 +1,58 @@
+#include "phy/geometry.h"
+
+namespace wb::phy {
+namespace {
+
+double cross(Vec2 o, Vec2 a, Vec2 b) {
+  return (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x);
+}
+
+int sign(double v) {
+  if (v > 0) return 1;
+  if (v < 0) return -1;
+  return 0;
+}
+
+}  // namespace
+
+bool segments_intersect(Vec2 p, Vec2 q, Vec2 a, Vec2 b) {
+  const int d1 = sign(cross(p, q, a));
+  const int d2 = sign(cross(p, q, b));
+  const int d3 = sign(cross(a, b, p));
+  const int d4 = sign(cross(a, b, q));
+  if (d1 != d2 && d3 != d4) return true;
+  // Collinear touching cases: treat as crossing (conservative attenuation).
+  auto on_segment = [](Vec2 s, Vec2 e, Vec2 pt) {
+    return cross(s, e, pt) == 0.0 && pt.x >= std::min(s.x, e.x) &&
+           pt.x <= std::max(s.x, e.x) && pt.y >= std::min(s.y, e.y) &&
+           pt.y <= std::max(s.y, e.y);
+  };
+  return on_segment(p, q, a) || on_segment(p, q, b) || on_segment(a, b, p) ||
+         on_segment(a, b, q);
+}
+
+double FloorPlan::wall_loss_db(Vec2 p, Vec2 q) const {
+  double loss = 0.0;
+  for (const Wall& w : walls_) {
+    if (segments_intersect(p, q, w.a, w.b)) loss += w.attenuation_db;
+  }
+  return loss;
+}
+
+Testbed Testbed::paper_fig13() {
+  Testbed t;
+  t.reader = {0.0, 0.0};
+  t.tag = {0.05, 0.0};  // 5 cm from the reader, as in §7.3
+  // Helper locations 2-5. Distances from the tag span 3-9 m; location 5 is
+  // in the next room, separated by a wall running along x = 7 m.
+  t.helper_locations = {
+      Vec2{3.0, 0.5},   // location 2: 3 m, LOS
+      Vec2{4.2, -1.5},  // location 3: ~4.5 m, LOS
+      Vec2{5.5, 2.0},   // location 4: ~5.9 m, LOS
+      Vec2{8.8, 1.5},   // location 5: ~8.9 m, NLOS (other room)
+  };
+  t.plan.add_wall(Wall{{7.0, -6.0}, {7.0, 6.0}, 7.0});
+  return t;
+}
+
+}  // namespace wb::phy

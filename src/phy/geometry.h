@@ -1,0 +1,65 @@
+// 2-D testbed geometry: device positions and walls. Reproduces the paper's
+// Fig 13 office testbed, where helper locations 2-4 are line-of-sight in
+// the same room and location 5 sits in an adjacent room behind a wall.
+#pragma once
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace wb::phy {
+
+/// A point in the testbed plane, meters.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+inline Vec2 operator-(Vec2 a, Vec2 b) { return {a.x - b.x, a.y - b.y}; }
+inline Vec2 operator+(Vec2 a, Vec2 b) { return {a.x + b.x, a.y + b.y}; }
+
+inline double distance(Vec2 a, Vec2 b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+/// A wall segment with a penetration loss.
+struct Wall {
+  Vec2 a;
+  Vec2 b;
+  double attenuation_db = 6.0;
+};
+
+/// True if segment pq crosses segment ab (proper intersection; shared
+/// endpoints count as crossing, which is the conservative choice for
+/// attenuation).
+bool segments_intersect(Vec2 p, Vec2 q, Vec2 a, Vec2 b);
+
+/// An office floor plan: a set of walls plus named device positions.
+class FloorPlan {
+ public:
+  void add_wall(Wall w) { walls_.push_back(w); }
+
+  /// Total wall attenuation (dB) along the straight line p -> q.
+  double wall_loss_db(Vec2 p, Vec2 q) const;
+
+  std::size_t wall_count() const { return walls_.size(); }
+
+ private:
+  std::vector<Wall> walls_;
+};
+
+/// The paper's Fig 13 testbed. Location indices follow the figure:
+///   1: the tag + reader (5 cm apart)            — origin
+///   2, 3, 4: helper spots in the same room, 3-6 m, line-of-sight
+///   5: helper spot in the adjacent room, ~9 m, behind one wall
+struct Testbed {
+  FloorPlan plan;
+  Vec2 reader;
+  Vec2 tag;
+  std::vector<Vec2> helper_locations;  // index 0 == paper location 2
+
+  /// Build the canonical testbed.
+  static Testbed paper_fig13();
+};
+
+}  // namespace wb::phy

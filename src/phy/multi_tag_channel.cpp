@@ -1,0 +1,81 @@
+#include "phy/multi_tag_channel.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace wb::phy {
+
+MultiTagUplinkChannel::MultiTagUplinkChannel(
+    const UplinkChannelParams& base, std::span<const TagPlacement> tags,
+    sim::RngStream rng) {
+  assert(!tags.empty());
+  const double tx_amp = std::sqrt(dbm_to_mw(base.helper_tx_power_dbm));
+  const double g_hr = base.pathloss.amplitude_gain(
+      base.helper_pos, base.reader_pos, base.plan);
+
+  // Direct multipath per antenna (shared by all tags' coherent parts).
+  std::vector<FrequencyResponse> f_d(kNumAntennas);
+  for (std::size_t a = 0; a < kNumAntennas; ++a) {
+    auto r = rng.fork("mp-direct", a);
+    f_d[a] = draw_frequency_response(base.multipath, r);
+    for (std::size_t s = 0; s < kNumSubchannels; ++s) {
+      direct_[a][s] = tx_amp * g_hr * f_d[a][s];
+    }
+  }
+
+  deltas_.reserve(tags.size());
+  for (std::size_t i = 0; i < tags.size(); ++i) {
+    const auto& tag = tags[i];
+    const double g_ht =
+        base.pathloss.amplitude_gain(base.helper_pos, tag.pos, base.plan);
+    const double g_tr = base.tag_leg_pathloss.amplitude_gain(
+        tag.pos, base.reader_pos, base.plan);
+    const double d_tr = distance(tag.pos, base.reader_pos);
+    const double rho =
+        base.coherence_dist_m > 0.0
+            ? base.coherence_max * std::exp(-d_tr / base.coherence_dist_m)
+            : 0.0;
+    const double rho_c = std::sqrt(std::max(0.0, 1.0 - rho * rho));
+    const auto rcs_delta = tag.reflection.delta();
+    const auto rcs_absorb = tag.reflection.state_factor(false);
+
+    auto rng_ht = rng.fork("mp-helper-tag", i);
+    const FrequencyResponse f_ht =
+        draw_frequency_response(base.multipath, rng_ht);
+
+    CsiMatrix delta{};
+    for (std::size_t a = 0; a < kNumAntennas; ++a) {
+      auto rng_tr = rng.fork("mp-tag-reader", i * kNumAntennas + a);
+      const FrequencyResponse f_tr =
+          draw_frequency_response(base.multipath, rng_tr);
+      for (std::size_t s = 0; s < kNumSubchannels; ++s) {
+        const Complex f_bs = rho * f_d[a][s] + rho_c * f_ht[s] * f_tr[s];
+        // Absorb-state residual folds into the static direct component.
+        direct_[a][s] += tx_amp * g_ht * g_tr * rcs_absorb * f_bs;
+        delta[a][s] = tx_amp * g_ht * g_tr * rcs_delta * f_bs;
+      }
+    }
+    deltas_.push_back(delta);
+  }
+
+  drift_ = std::make_unique<ChannelDrift>(base.drift, rng.fork("drift"));
+}
+
+CsiMatrix MultiTagUplinkChannel::response(
+    std::span<const std::uint8_t> states,
+                                          TimeUs t) {
+  assert(states.size() == deltas_.size());
+  CsiMatrix out{};
+  for (std::size_t a = 0; a < kNumAntennas; ++a) {
+    for (std::size_t s = 0; s < kNumSubchannels; ++s) {
+      Complex h = direct_[a][s];
+      for (std::size_t i = 0; i < deltas_.size(); ++i) {
+        if (states[i] != 0) h += deltas_[i][a][s];
+      }
+      out[a][s] = h * (1.0 + drift_->at(a, s, t));
+    }
+  }
+  return out;
+}
+
+}  // namespace wb::phy

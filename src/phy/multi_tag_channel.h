@@ -1,0 +1,52 @@
+// Uplink channel with several backscatter tags in the field at once.
+//
+// Each tag contributes its own two-state perturbation through its own
+// helper->tag->reader product path; the reader sees the superposition:
+//
+//   H[a][s](t, b_1..b_N) = ( D[a][s] + sum_i b_i * Delta_i[a][s] )
+//                          * (1 + drift[a][s](t))
+//
+// This is the physical substrate of the paper's §2 note that multiple
+// tags are separated with an EPC Gen-2-style inventory protocol: when two
+// tags answer in the same slot their perturbations superpose and the
+// reader's CRC rejects the garbled frame (a collision), exactly like
+// colliding RFID replies.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "phy/uplink_channel.h"
+
+namespace wb::phy {
+
+/// One tag's placement and RF personality.
+struct TagPlacement {
+  Vec2 pos{0.1, 0.0};
+  TagReflection reflection{};
+};
+
+class MultiTagUplinkChannel {
+ public:
+  /// `base.tag_pos` / `base.tag` are ignored; tags come from `tags`.
+  MultiTagUplinkChannel(const UplinkChannelParams& base,
+                        std::span<const TagPlacement> tags,
+                        sim::RngStream rng);
+
+  /// Channel truth with per-tag switch states (`states.size() ==
+  /// num_tags()`, nonzero = reflecting). Call with non-decreasing t.
+  CsiMatrix response(std::span<const std::uint8_t> states, TimeUs t);
+
+  std::size_t num_tags() const { return deltas_.size(); }
+  const CsiMatrix& direct() const { return direct_; }
+  const CsiMatrix& delta(std::size_t tag) const { return deltas_.at(tag); }
+
+ private:
+  CsiMatrix direct_{};
+  std::vector<CsiMatrix> deltas_;
+  std::unique_ptr<ChannelDrift> drift_;
+};
+
+}  // namespace wb::phy

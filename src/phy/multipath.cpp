@@ -1,0 +1,89 @@
+#include "phy/multipath.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+namespace wb::phy {
+
+FrequencyResponse draw_frequency_response(const MultipathProfile& profile,
+                                          sim::RngStream& rng) {
+  assert(profile.taps >= 1);
+  // Tap delays: first tap at 0 (direct ray), the rest exponentially spaced
+  // over the delay spread. Tap powers follow an exponential power-delay
+  // profile; the direct tap carries the Rician line-of-sight component.
+  struct Tap {
+    Complex gain;
+    double delay_s;
+  };
+  std::vector<Tap> taps;
+  taps.reserve(profile.taps);
+
+  const double k = profile.rician_k;
+  const double scattered_total = 1.0 / (1.0 + k);
+  const double los_power = k / (1.0 + k);
+
+  // Exponential PDP: power of scattered tap i proportional to exp(-i).
+  double pdp_norm = 0.0;
+  for (std::size_t i = 0; i < profile.taps; ++i) {
+    pdp_norm += std::exp(-static_cast<double>(i));
+  }
+
+  for (std::size_t i = 0; i < profile.taps; ++i) {
+    const double p =
+        scattered_total * std::exp(-static_cast<double>(i)) / pdp_norm;
+    const double sigma = std::sqrt(p / 2.0);
+    Complex g{rng.normal(0.0, sigma), rng.normal(0.0, sigma)};
+    double delay = 0.0;
+    if (i > 0) {
+      // Random delay within the tap's slot of the delay-spread window.
+      const double slot = 2.0 * profile.delay_spread_s /
+                          static_cast<double>(profile.taps);
+      delay = (static_cast<double>(i) - rng.uniform()) * slot;
+    } else {
+      // Line-of-sight component with a random absolute phase.
+      const double phi = rng.uniform(0.0, 2.0 * std::numbers::pi);
+      g += std::sqrt(los_power) * Complex{std::cos(phi), std::sin(phi)};
+    }
+    taps.push_back(Tap{g, delay});
+  }
+
+  FrequencyResponse h{};
+  for (std::size_t s = 0; s < kNumSubchannels; ++s) {
+    // Sub-channel center offset from band center, Hz.
+    const double f = (static_cast<double>(s) -
+                      static_cast<double>(kNumSubchannels - 1) / 2.0) *
+                     kSubchannelSpacingHz;
+    Complex acc{0.0, 0.0};
+    for (const Tap& t : taps) {
+      const double theta = -2.0 * std::numbers::pi * f * t.delay_s;
+      acc += t.gain * Complex{std::cos(theta), std::sin(theta)};
+    }
+    h[s] = acc;
+  }
+
+  // Normalise to unit average power so callers can apply path loss
+  // multiplicatively without tracking the draw's random total power.
+  const double p = average_power(h);
+  if (p > 0.0) {
+    const double scale = 1.0 / std::sqrt(p);
+    for (Complex& c : h) c *= scale;
+  }
+  return h;
+}
+
+double average_power(const FrequencyResponse& h) {
+  double p = 0.0;
+  for (const Complex& c : h) p += std::norm(c);
+  return p / static_cast<double>(h.size());
+}
+
+FrequencyResponse hadamard(const FrequencyResponse& a,
+                           const FrequencyResponse& b) {
+  FrequencyResponse out{};
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+  return out;
+}
+
+}  // namespace wb::phy

@@ -1,0 +1,54 @@
+// Frequency-selective multipath: a tapped-delay-line (TDL) channel whose
+// frequency response across the 20 MHz Wi-Fi band gives each of the 30
+// reported sub-channels a different complex gain.
+//
+// This is the mechanism behind the paper's Fig 4/5 observations: the tag's
+// reflection arrives at the reader through its own multipath, so on some
+// sub-channels it adds nearly in quadrature to the direct path (invisible
+// in amplitude CSI) and on others nearly in phase (strongly visible) — and
+// which sub-channels are "good" changes with every device position.
+#pragma once
+
+#include <array>
+#include <complex>
+#include <cstddef>
+
+#include "phy/constants.h"
+#include "sim/rng.h"
+
+namespace wb::phy {
+
+using Complex = std::complex<double>;
+
+/// Per-sub-channel complex gains of one propagation path for one antenna.
+using FrequencyResponse = std::array<Complex, kNumSubchannels>;
+
+/// Parameters of the indoor multipath profile.
+struct MultipathProfile {
+  /// Number of discrete taps (first tap is the direct ray).
+  std::size_t taps = 6;
+
+  /// RMS delay spread, seconds. 50-100 ns is typical for offices; larger
+  /// spread -> smaller coherence bandwidth -> more sub-channel diversity.
+  double delay_spread_s = 70e-9;
+
+  /// Ratio of direct-ray power to total scattered power (Rician K factor,
+  /// linear). Higher = more benign channel.
+  double rician_k = 2.0;
+};
+
+/// Draw one static multipath realisation and return its frequency response
+/// sampled at the sub-channel centers. The result has unit average power
+/// (E|H|^2 == 1) so path loss can be applied multiplicatively.
+FrequencyResponse draw_frequency_response(const MultipathProfile& profile,
+                                          sim::RngStream& rng);
+
+/// Average power of a response: mean over sub-channels of |H|^2.
+double average_power(const FrequencyResponse& h);
+
+/// Element-wise product (used to chain path segments, e.g.
+/// helper->tag times tag->reader).
+FrequencyResponse hadamard(const FrequencyResponse& a,
+                           const FrequencyResponse& b);
+
+}  // namespace wb::phy

@@ -1,0 +1,52 @@
+// Instantaneous-envelope model of a Wi-Fi OFDM burst, as seen by the tag's
+// analog envelope detector on the downlink.
+//
+// An OFDM symbol is a sum of many independently modulated subcarriers, so
+// its complex baseband sample is very nearly Gaussian; the instantaneous
+// power is therefore exponentially distributed around the mean received
+// power, with the high peak-to-average ratio the paper leans on (§4.2):
+// "the average energy in the Wi-Fi signal is small, with occasional peaks
+// spread out during the transmission." The tag's peak detector keys on
+// those peaks rather than the average.
+#pragma once
+
+#include <cmath>
+
+#include "sim/rng.h"
+
+namespace wb::phy {
+
+/// One *instantaneous* received-power sample (mW) of an OFDM burst whose
+/// average received power is `mean_power_mw`. Exponential law == Rayleigh
+/// envelope == complex-Gaussian baseband.
+inline double draw_ofdm_raw_power_sample(double mean_power_mw,
+                                         sim::RngStream& rng) {
+  return rng.exponential(mean_power_mw);
+}
+
+/// A detector-bandwidth-limited power sample: the diode's video bandwidth
+/// (~1 MHz) is far below the 20 MHz signal bandwidth, so each microsecond
+/// the detector effectively averages ~20 independent envelope samples. The
+/// averaged power is Gamma(k)/k-distributed; we use its normal
+/// approximation (relative std 1/sqrt(k), k = 16), clamped non-negative.
+inline double draw_ofdm_power_sample(double mean_power_mw,
+                                     sim::RngStream& rng) {
+  constexpr double kRelStd = 0.25;  // 1/sqrt(16)
+  const double v = mean_power_mw * (1.0 + kRelStd * rng.normal());
+  return v > 0.0 ? v : 0.0;
+}
+
+/// One instantaneous envelope (amplitude, sqrt-mW) sample of the same.
+inline double draw_ofdm_envelope_sample(double mean_power_mw,
+                                        sim::RngStream& rng) {
+  return std::sqrt(draw_ofdm_raw_power_sample(mean_power_mw, rng));
+}
+
+/// Peak-to-average power ratio exceeded with probability p by a single
+/// exponential power sample: PAPR(p) = -ln(p). Used in tests to sanity
+/// check the model (e.g. 1% of samples exceed ~6.6 dB above average).
+inline double papr_exceeded_with_probability(double p) {
+  return -std::log(p);
+}
+
+}  // namespace wb::phy

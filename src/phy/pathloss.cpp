@@ -1,0 +1,30 @@
+#include "phy/pathloss.h"
+
+#include <cmath>
+
+#include "util/units.h"
+
+namespace wb::phy {
+
+double PathLossModel::loss_db(double d) const {
+  const double d_eff = std::hypot(d, near_field_m);
+  return ref_loss_db + 10.0 * exponent * std::log10(d_eff);
+}
+
+double PathLossModel::loss_db(Vec2 from, Vec2 to,
+                              const FloorPlan* plan) const {
+  double loss = loss_db(distance(from, to));
+  if (plan != nullptr) loss += plan->wall_loss_db(from, to);
+  return loss;
+}
+
+double PathLossModel::amplitude_gain(double d) const {
+  return db_to_amplitude(-loss_db(d));
+}
+
+double PathLossModel::amplitude_gain(Vec2 from, Vec2 to,
+                                     const FloorPlan* plan) const {
+  return db_to_amplitude(-loss_db(from, to, plan));
+}
+
+}  // namespace wb::phy

@@ -1,0 +1,101 @@
+// The full uplink channel: what a Wi-Fi reader's radio front end receives,
+// per antenna and per sub-channel, when the helper transmits a packet while
+// the backscatter tag sits in one of its two switch states.
+//
+//   H[a][s](t, b) = ( D[a][s] + b * Delta[a][s] ) * (1 + drift[a][s](t))
+//
+// where D is the direct helper->reader channel, Delta the two-state
+// backscatter contrast through the helper->tag->reader product channel, b
+// the tag switch state, and drift the slow environmental variation. All
+// gains are complex amplitudes in sqrt-milliwatt units, so |H|^2 is
+// received power per sub-channel in mW.
+#pragma once
+
+#include <array>
+#include <complex>
+#include <memory>
+
+#include "phy/constants.h"
+#include "phy/drift.h"
+#include "phy/geometry.h"
+#include "phy/multipath.h"
+#include "phy/pathloss.h"
+#include "phy/tag_rcs.h"
+#include "sim/rng.h"
+#include "util/units.h"
+
+namespace wb::phy {
+
+/// Complex channel truth for one packet: [antenna][sub-channel].
+using CsiMatrix = std::array<FrequencyResponse, kNumAntennas>;
+
+struct UplinkChannelParams {
+  Vec2 helper_pos{3.0, 0.0};
+  Vec2 reader_pos{0.0, 0.0};
+  Vec2 tag_pos{0.05, 0.0};
+  const FloorPlan* plan = nullptr;  ///< optional walls (not owned)
+
+  double helper_tx_power_dbm = 16.0;
+
+  PathLossModel pathloss{};
+
+  /// Path loss of the tag->reader leg alone, separated out because this
+  /// leg spans 5-210 cm — from inside the antenna near field out to a few
+  /// wavelengths — where the effective decay differs from the far-field
+  /// room-scale model used for the helper legs.
+  PathLossModel tag_leg_pathloss{.exponent = 2.0, .near_field_m = 0.05};
+
+  MultipathProfile multipath{};
+  ChannelDrift::Params drift{};
+  TagReflection tag{};
+
+  /// Spatial coherence distance of the backscatter perturbation (meters).
+  /// When the tag is much closer to the reader than this, the
+  /// helper->tag->reader path is the direct path plus a tiny detour, so
+  /// the perturbation is *correlated* with the direct channel — coherent
+  /// across sub-channels, which is what makes the total-power (RSSI)
+  /// modulation visible at close range. As the tag moves away the paths
+  /// decorrelate (rho = exp(-d_tr / coherence)), the per-sub-channel
+  /// phases randomise, RSSI modulation washes out, and CSI frequency
+  /// diversity (Fig 4/5) fully develops.
+  double coherence_dist_m = 0.35;
+
+  /// Coherent fraction at zero separation. Even with the tag touching the
+  /// reader, part of the backscatter arrives through its own reflections,
+  /// so some sub-channel diversity remains (Fig 4 shows bimodal PDFs on
+  /// only a subset of sub-channels even with the tag adjacent).
+  double coherence_max = 0.7;
+};
+
+/// A static channel realisation plus its drift process. One instance
+/// corresponds to one physical placement of the three devices; re-create
+/// (with a forked RNG) to model moving a device.
+class UplinkChannel {
+ public:
+  UplinkChannel(const UplinkChannelParams& params, sim::RngStream rng);
+
+  /// Channel truth seen by the reader for a packet at time t with the tag
+  /// in the given switch state. Must be called with non-decreasing t
+  /// (drift is a stochastic process).
+  CsiMatrix response(bool tag_reflecting, TimeUs t);
+
+  /// Static direct-path component (no tag, no drift); for tests/analysis.
+  const CsiMatrix& direct() const { return direct_; }
+
+  /// Static backscatter contrast Delta; for tests/analysis.
+  const CsiMatrix& delta() const { return delta_; }
+
+  /// Mean over antennas/sub-channels of |Delta|/|D|: the relative
+  /// modulation depth, the quantity that decays with tag-reader distance.
+  double mean_relative_depth() const;
+
+  const UplinkChannelParams& params() const { return params_; }
+
+ private:
+  UplinkChannelParams params_;
+  CsiMatrix direct_{};
+  CsiMatrix delta_{};
+  std::unique_ptr<ChannelDrift> drift_;
+};
+
+}  // namespace wb::phy

@@ -1,0 +1,48 @@
+#include "reader/ack_detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "reader/uplink_decoder.h"
+
+namespace wb::reader {
+
+AckDetection detect_ack(const ConditionedTrace& ct, const AckConfig& cfg,
+                        TimeUs expected_start) {
+  AckDetection out;
+  if (ct.num_packets() == 0) return out;
+
+  const std::size_t nchips = cfg.pattern.size();
+  const TimeUs step = std::max<TimeUs>(cfg.chip_duration_us / 4, 1);
+
+  for (TimeUs tau = expected_start - cfg.jitter_us;
+       tau <= expected_start + cfg.jitter_us; tau += step) {
+    for (std::size_t s = 0; s < ct.num_streams(); ++s) {
+      const auto slots = UplinkDecoder::bin_slots(
+          ct, s, tau, cfg.chip_duration_us, nchips);
+      double corr = 0.0;
+      std::size_t filled = 0;
+      for (std::size_t c = 0; c < nchips; ++c) {
+        if (slots[c].count == 0) continue;
+        ++filled;
+        corr += slots[c].mean * (cfg.pattern[c] ? 1.0 : -1.0);
+      }
+      if (filled < nchips / 2 || filled == 0) continue;
+      const double score = std::abs(corr) / static_cast<double>(filled);
+      if (score > out.score) {
+        out.score = score;
+        out.at_us = tau;
+      }
+    }
+  }
+  out.detected = out.score >= cfg.threshold;
+  return out;
+}
+
+AckDetection detect_ack(const wifi::CaptureTrace& trace,
+                        const AckConfig& cfg, TimeUs expected_start) {
+  return detect_ack(condition(trace, MeasurementSource::kCsi), cfg,
+                    expected_start);
+}
+
+}  // namespace wb::reader

@@ -1,0 +1,62 @@
+// Single-bit uplink acknowledgments (paper §4.1): "the Wi-Fi Backscatter
+// tag can reduce the overhead of the ACK packet by dropping the preamble
+// and the address fields, and transmitting a single bit message."
+//
+// Because the reader knows *when* it finished its downlink transmission,
+// no preamble is needed: the tag backscatters a short fixed chip pattern
+// at a fixed offset after decoding, and the reader correlates exactly that
+// pattern at exactly that time across its CSI streams. Detection is a
+// threshold on the best correlation magnitude — one bit of information
+// (ACK present / absent).
+#pragma once
+
+#include <optional>
+
+#include "reader/conditioning.h"
+#include "util/bits.h"
+#include "util/units.h"
+#include "wifi/capture.h"
+
+namespace wb::reader {
+
+struct AckConfig {
+  /// The fixed ACK chip pattern (alternating by default: maximally
+  /// distinguishable from the static channel after conditioning).
+  BitVec pattern = bits_from_string("10101010");
+
+  /// Chip duration on air.
+  TimeUs chip_duration_us = 10'000;
+
+  /// Delay between the end of the reader's downlink message and the
+  /// tag's ACK (covers the MCU's decode wake-up).
+  TimeUs turnaround_us = 2'000;
+
+  /// Detection threshold on the per-chip-normalised correlation of the
+  /// best stream (same scale as the uplink decoder's sync score).
+  double threshold = 0.55;
+
+  /// Timing slack searched around the nominal ACK position (the tag's
+  /// clock is an RC-trimmed MCU timer).
+  TimeUs jitter_us = 2'000;
+
+  TimeUs duration_us() const {
+    return static_cast<TimeUs>(pattern.size()) * chip_duration_us;
+  }
+};
+
+struct AckDetection {
+  bool detected = false;
+  double score = 0.0;    ///< best correlation magnitude
+  TimeUs at_us = 0;      ///< estimated ACK start
+};
+
+/// Look for the ACK pattern in a conditioned trace around
+/// `expected_start` (= downlink end + turnaround).
+AckDetection detect_ack(const ConditionedTrace& ct, const AckConfig& cfg,
+                        TimeUs expected_start);
+
+/// Convenience: condition `trace` (CSI) and detect.
+AckDetection detect_ack(const wifi::CaptureTrace& trace,
+                        const AckConfig& cfg, TimeUs expected_start);
+
+}  // namespace wb::reader

@@ -1,0 +1,72 @@
+#include "reader/conditioning.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/dsp.h"
+
+namespace wb::reader {
+
+std::vector<double> remove_time_moving_average(
+    const std::vector<TimeUs>& ts, const std::vector<double>& xs,
+    TimeUs window_us) {
+  assert(ts.size() == xs.size());
+  // Centered window. The paper's receiver subtracts a trailing 400 ms
+  // average online; decoding offline we can center the same window, which
+  // removes identical drift but avoids the trailing window's
+  // data-dependent baseline creep (a trailing average over a frame edge
+  // contains a varying mix of modulated and quiescent samples, which can
+  // flip the apparent sign of bits after locally imbalanced runs).
+  std::vector<double> out(xs.size());
+  const TimeUs half = window_us / 2;
+  std::size_t head = 0;  // first index inside [t_k - half, t_k + half]
+  std::size_t tail = 0;  // one past the last index inside
+  double sum = 0.0;
+  for (std::size_t k = 0; k < xs.size(); ++k) {
+    while (tail < xs.size() && ts[tail] <= ts[k] + half) {
+      sum += xs[tail];
+      ++tail;
+    }
+    while (ts[head] < ts[k] - half) {
+      sum -= xs[head];
+      ++head;
+    }
+    const double mean = sum / static_cast<double>(tail - head);
+    out[k] = xs[k] - mean;
+  }
+  return out;
+}
+
+ConditionedTrace condition(const wifi::CaptureTrace& trace,
+                           MeasurementSource source,
+                           TimeUs movavg_window_us) {
+  ConditionedTrace out;
+
+  // Collect raw series. For CSI, records without CSI (beacons on the
+  // paper's NIC) are skipped entirely; for RSSI every record counts.
+  std::vector<std::vector<double>> raw;
+  const std::size_t num_streams = (source == MeasurementSource::kCsi)
+                                      ? wifi::kNumCsiStreams
+                                      : phy::kNumAntennas;
+  raw.resize(num_streams);
+  for (const auto& rec : trace) {
+    if (source == MeasurementSource::kCsi && !rec.has_csi) continue;
+    out.timestamps.push_back(rec.timestamp_us);
+    for (std::size_t s = 0; s < num_streams; ++s) {
+      const double v = (source == MeasurementSource::kCsi)
+                           ? wifi::stream_csi(rec, s)
+                           : rec.rssi_dbm[s];
+      raw[s].push_back(v);
+    }
+  }
+
+  out.streams.resize(num_streams);
+  for (std::size_t s = 0; s < num_streams; ++s) {
+    auto centered =
+        remove_time_moving_average(out.timestamps, raw[s], movavg_window_us);
+    out.streams[s] = normalize_mad(centered);
+  }
+  return out;
+}
+
+}  // namespace wb::reader

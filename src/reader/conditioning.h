@@ -1,0 +1,51 @@
+// Signal conditioning (paper §3.2, step 1): turn raw per-packet channel
+// measurements into zero-mean, normalised series the rest of the decoder
+// can threshold.
+//
+//   1. subtract a 400 ms moving average (computed over *time*, not packet
+//      count — the medium is bursty) to remove environmental drift;
+//   2. normalise by the mean absolute value so a tag 'one' maps near +1
+//      and a 'zero' near -1 without knowing the transmitted bits.
+//
+// The same conditioning applies to CSI streams (90 of them: 30
+// sub-channels x 3 antennas) and RSSI streams (one per antenna); the
+// decoder treats every stream identically after this stage.
+#pragma once
+
+#include <vector>
+
+#include "util/units.h"
+#include "wifi/capture.h"
+
+namespace wb::reader {
+
+/// Conditioned measurement series: one value per captured packet per
+/// stream, plus the shared packet timestamps.
+struct ConditionedTrace {
+  std::vector<TimeUs> timestamps;            ///< per packet
+  std::vector<std::vector<double>> streams;  ///< [stream][packet]
+
+  std::size_t num_packets() const { return timestamps.size(); }
+  std::size_t num_streams() const { return streams.size(); }
+};
+
+/// Which NIC measurement feeds the decoder.
+enum class MeasurementSource {
+  kCsi,   ///< 30 sub-channels x 3 antennas (records without CSI skipped)
+  kRssi,  ///< per-antenna RSSI in dB
+};
+
+/// Condition a capture trace: moving-average removal (window in
+/// microseconds, paper uses 400 ms) followed by mean-absolute-value
+/// normalisation per stream.
+ConditionedTrace condition(const wifi::CaptureTrace& trace,
+                           MeasurementSource source,
+                           TimeUs movavg_window_us = 400'000);
+
+/// The moving-average-removal stage alone (exposed for tests and the
+/// ablation bench): y_k = x_k - mean{x_j : t_j in (t_k - window, t_k]}.
+std::vector<double> remove_time_moving_average(
+    const std::vector<TimeUs>& ts, const std::vector<double>& xs,
+    TimeUs window_us);
+
+}  // namespace wb::reader

@@ -1,0 +1,155 @@
+#include "reader/corr_decoder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "reader/uplink_decoder.h"
+
+namespace wb::reader {
+
+CodedUplinkDecoder::CodedUplinkDecoder(CodedDecoderConfig cfg)
+    : cfg_(std::move(cfg)) {
+  assert(cfg_.codes.length() >= 2);
+  assert(!cfg_.preamble.empty());
+  // Expand the preamble into its chip template once.
+  preamble_chips_bipolar_.reserve(cfg_.preamble.size() *
+                                  cfg_.chips_per_bit());
+  for (std::uint8_t b : cfg_.preamble) {
+    const BitVec& code = b ? cfg_.codes.one : cfg_.codes.zero;
+    for (std::uint8_t c : code) {
+      preamble_chips_bipolar_.push_back(c ? 1.0 : -1.0);
+    }
+  }
+  code_diff_bipolar_.reserve(cfg_.chips_per_bit());
+  for (std::size_t c = 0; c < cfg_.chips_per_bit(); ++c) {
+    code_diff_bipolar_.push_back((cfg_.codes.one[c] ? 1.0 : -1.0) -
+                                 (cfg_.codes.zero[c] ? 1.0 : -1.0));
+  }
+}
+
+double CodedUplinkDecoder::preamble_correlation(const ConditionedTrace& ct,
+                                                std::size_t stream,
+                                                TimeUs start) const {
+  const std::size_t nchips = preamble_chips_bipolar_.size();
+  const auto slots = UplinkDecoder::bin_slots(ct, stream, start,
+                                              cfg_.chip_duration_us, nchips);
+  std::size_t filled = 0;
+  double corr = 0.0;
+  for (std::size_t i = 0; i < nchips; ++i) {
+    if (slots[i].count == 0) continue;
+    ++filled;
+    corr += slots[i].mean * preamble_chips_bipolar_[i];
+  }
+  if (static_cast<double>(filled) <
+          cfg_.min_fill * static_cast<double>(nchips) ||
+      filled == 0) {
+    return 0.0;
+  }
+  return corr / static_cast<double>(filled);
+}
+
+CodedDecodeResult CodedUplinkDecoder::decode(
+    const wifi::CaptureTrace& trace) const {
+  return decode_conditioned(
+      condition(trace, cfg_.source, cfg_.movavg_window_us));
+}
+
+CodedDecodeResult CodedUplinkDecoder::decode_conditioned(
+    const ConditionedTrace& ct_in) const {
+  CodedDecodeResult res;
+  if (ct_in.num_packets() == 0 || ct_in.num_streams() == 0) return res;
+
+  // Winsorise against correlated outliers (see clip_sigma in the config).
+  ConditionedTrace ct = ct_in;
+  if (cfg_.clip_sigma > 0.0) {
+    for (auto& stream : ct.streams) {
+      for (double& v : stream) {
+        v = std::clamp(v, -cfg_.clip_sigma, cfg_.clip_sigma);
+      }
+    }
+  }
+
+  const std::size_t g = std::min(cfg_.num_good_streams, ct.num_streams());
+
+  // --- Frame sync ---
+  TimeUs best_start = 0;
+  double best_score = -1.0;
+  std::vector<double> corrs(ct.num_streams());
+  std::vector<std::size_t> order(ct.num_streams());
+
+  auto evaluate = [&](TimeUs tau) {
+    for (std::size_t s = 0; s < ct.num_streams(); ++s) {
+      corrs[s] = preamble_correlation(ct, s, tau);
+    }
+    for (std::size_t s = 0; s < order.size(); ++s) order[s] = s;
+    std::partial_sort(order.begin(), order.begin() + static_cast<long>(g),
+                      order.end(), [&corrs](std::size_t a, std::size_t b) {
+                        return std::abs(corrs[a]) > std::abs(corrs[b]);
+                      });
+    double score = 0.0;
+    for (std::size_t i = 0; i < g; ++i) score += std::abs(corrs[order[i]]);
+    return score / static_cast<double>(g);
+  };
+
+  if (cfg_.known_start) {
+    best_start = *cfg_.known_start;
+    best_score = evaluate(best_start);
+  } else {
+    const TimeUs t0 = ct.timestamps.front();
+    const TimeUs t1 = ct.timestamps.back();
+    const TimeUs from = cfg_.search_from.value_or(t0);
+    const TimeUs to =
+        std::max(from, cfg_.search_to.value_or(t1 - cfg_.frame_duration_us()));
+    const TimeUs step = cfg_.sync_step_us > 0 ? cfg_.sync_step_us
+                                              : cfg_.chip_duration_us / 2;
+    for (TimeUs tau = from; tau <= to; tau += std::max<TimeUs>(step, 1)) {
+      const double score = evaluate(tau);
+      if (score > best_score) {
+        best_score = score;
+        best_start = tau;
+      }
+    }
+    // Re-evaluate at the winner so corrs/order describe it.
+    best_score = evaluate(best_start);
+  }
+
+  res.found = best_score > 0.0;
+  if (!res.found) return res;
+  res.start_us = best_start;
+  res.sync_score = best_score;
+  res.streams.assign(order.begin(), order.begin() + static_cast<long>(g));
+  for (std::size_t i = 0; i < g; ++i) {
+    const double c = corrs[res.streams[i]];
+    res.polarity.push_back(c >= 0.0 ? 1.0 : -1.0);
+    res.weights.push_back(std::abs(c));
+  }
+
+  // --- Payload: correlate each bit's chip block against both codes ---
+  const std::size_t l = cfg_.chips_per_bit();
+  res.payload.assign(cfg_.payload_bits, 0);
+  res.margin.assign(cfg_.payload_bits, 0.0);
+  // Bin the whole frame once per selected stream.
+  for (std::size_t b = 0; b < cfg_.payload_bits; ++b) {
+    const TimeUs block_start =
+        best_start + static_cast<TimeUs>((cfg_.preamble.size() + b) * l) *
+                         cfg_.chip_duration_us;
+    double combined = 0.0;
+    for (std::size_t i = 0; i < res.streams.size(); ++i) {
+      const auto slots =
+          UplinkDecoder::bin_slots(ct, res.streams[i], block_start,
+                                   cfg_.chip_duration_us, l);
+      double diff = 0.0;  // corr(one) - corr(zero)
+      for (std::size_t c = 0; c < l; ++c) {
+        if (slots[c].count == 0) continue;
+        diff += slots[c].mean * code_diff_bipolar_[c];
+      }
+      combined += res.weights[i] * res.polarity[i] * diff;
+    }
+    res.payload[b] = combined > 0.0 ? 1 : 0;
+    res.margin[b] = std::abs(combined);
+  }
+  return res;
+}
+
+}  // namespace wb::reader

@@ -1,0 +1,69 @@
+#include "reader/downlink_encoder.h"
+
+#include <cassert>
+
+namespace wb::reader {
+
+DownlinkEncoder::DownlinkEncoder(DownlinkEncoderConfig cfg) : cfg_(cfg) {
+  assert(cfg_.slot_us >= wifi::kMinPacketUs &&
+         "802.11 cannot form packets shorter than ~40 us");
+  assert(cfg_.bits_per_chunk() > 0);
+}
+
+DownlinkTransmission DownlinkEncoder::encode(const BitVec& message,
+                                             TimeUs start_us) const {
+  assert(is_binary(message));
+  DownlinkTransmission tx;
+  tx.start_us = start_us;
+
+  std::uint64_t pkt_id = 0;
+  std::size_t sent = 0;
+  TimeUs t = start_us;
+  while (sent < message.size()) {
+    const std::size_t chunk_bits =
+        std::min(message.size() - sent, cfg_.bits_per_chunk());
+    const TimeUs chunk_air =
+        cfg_.cts_duration_us + cfg_.sifs_us +
+        static_cast<TimeUs>(chunk_bits) * cfg_.slot_us;
+
+    // CTS_to_SELF reserving the chunk.
+    wifi::WifiPacket cts;
+    cts.id = pkt_id++;
+    cts.source = cfg_.reader_station_id;
+    cts.kind = wifi::FrameKind::kCtsToSelf;
+    cts.start_us = t;
+    cts.duration_us = cfg_.cts_duration_us;
+    cts.rate_mbps = 24.0;
+    cts.size_bytes = 14;
+    cts.nav_us = chunk_air - cfg_.cts_duration_us;
+    tx.packets.push_back(cts);
+
+    TimeUs slot_t = t + cfg_.cts_duration_us + cfg_.sifs_us;
+    for (std::size_t i = 0; i < chunk_bits; ++i, slot_t += cfg_.slot_us) {
+      const std::uint8_t bit = message[sent + i];
+      tx.slots.push_back(DownlinkSlot{slot_t, bit});
+      if (bit != 0) {
+        wifi::WifiPacket p;
+        p.id = pkt_id++;
+        p.source = cfg_.reader_station_id;
+        p.kind = wifi::FrameKind::kData;
+        p.start_us = slot_t;
+        p.duration_us = cfg_.slot_us;
+        p.rate_mbps = 54.0;
+        // Bytes that fit the slot at 54 Mbps minus PLCP overhead.
+        const double payload_us =
+            std::max<double>(0.0, static_cast<double>(cfg_.slot_us) - 20.0);
+        p.size_bytes = static_cast<std::uint32_t>(payload_us * 54.0 / 8.0);
+        tx.packets.push_back(p);
+      }
+    }
+    sent += chunk_bits;
+    t = slot_t + cfg_.inter_chunk_gap_us;
+  }
+  tx.end_us = tx.slots.empty()
+                  ? start_us
+                  : tx.slots.back().start_us + cfg_.slot_us;
+  return tx;
+}
+
+}  // namespace wb::reader

@@ -1,0 +1,51 @@
+#include "reader/multi_helper.h"
+
+#include <algorithm>
+#include <map>
+
+namespace wb::reader {
+
+MultiHelperDecoder::MultiHelperDecoder(UplinkDecoderConfig cfg)
+    : cfg_(std::move(cfg)) {}
+
+MultiHelperResult MultiHelperDecoder::decode(
+    const wifi::CaptureTrace& trace, std::size_t min_packets) const {
+  MultiHelperResult out;
+
+  // Split by transmitter (ordering within each sub-trace is preserved).
+  std::map<std::uint32_t, wifi::CaptureTrace> by_source;
+  for (const auto& rec : trace) {
+    by_source[rec.source].push_back(rec);
+  }
+
+  UplinkDecoder dec(cfg_);
+  for (auto& [source, sub] : by_source) {
+    if (sub.size() < min_packets) continue;
+    auto res = dec.decode(sub);
+    if (!res.found) continue;
+    out.sources_used.push_back(source);
+    out.per_source.push_back(std::move(res));
+  }
+  if (out.per_source.empty()) return out;
+  out.found = true;
+
+  // Confidence-weighted per-bit fusion. A source's vote for bit b weighs
+  // its per-bit majority margin by its sync quality.
+  out.payload.assign(cfg_.payload_bits, 0);
+  out.fused_confidence.assign(cfg_.payload_bits, 0.0);
+  for (std::size_t b = 0; b < cfg_.payload_bits; ++b) {
+    double acc = 0.0;
+    double total = 0.0;
+    for (const auto& res : out.per_source) {
+      const double w =
+          res.sync_score * (0.1 + res.confidence[b]);  // abstain != veto
+      acc += w * (res.payload[b] ? 1.0 : -1.0);
+      total += w;
+    }
+    out.payload[b] = acc > 0.0 ? 1 : 0;
+    out.fused_confidence[b] = total > 0.0 ? std::abs(acc) / total : 0.0;
+  }
+  return out;
+}
+
+}  // namespace wb::reader

@@ -1,0 +1,46 @@
+// Multi-helper uplink decoding (paper §5): "the Wi-Fi reader can leverage
+// transmissions from all Wi-Fi devices in the network and combine the
+// channel information across all of them to achieve a high data rate in a
+// busy network."
+//
+// Packets from different transmitters traverse *different* direct
+// channels, so their CSI baselines are unrelated and cannot be mixed in
+// one conditioning pass. The reader therefore splits the capture by
+// transmitter, runs the full single-helper pipeline on each sub-trace,
+// and fuses the per-source decodes bit-by-bit with confidence-weighted
+// voting — the same majority principle the per-packet decoder already
+// uses, lifted one level up.
+#pragma once
+
+#include <vector>
+
+#include "reader/uplink_decoder.h"
+
+namespace wb::reader {
+
+struct MultiHelperResult {
+  bool found = false;              ///< at least one source synced
+  BitVec payload;                  ///< fused payload bits
+  std::vector<std::uint32_t> sources_used;  ///< transmitters that synced
+  std::vector<UplinkDecodeResult> per_source;
+  std::vector<double> fused_confidence;     ///< per bit
+};
+
+class MultiHelperDecoder {
+ public:
+  /// `cfg` describes the frame exactly as for UplinkDecoder; it is applied
+  /// to every per-source sub-trace.
+  explicit MultiHelperDecoder(UplinkDecoderConfig cfg);
+
+  /// Split by CaptureRecord::source, decode each sub-trace with at least
+  /// `min_packets` records, and fuse.
+  MultiHelperResult decode(const wifi::CaptureTrace& trace,
+                           std::size_t min_packets = 50) const;
+
+  const UplinkDecoderConfig& config() const { return cfg_; }
+
+ private:
+  UplinkDecoderConfig cfg_;
+};
+
+}  // namespace wb::reader

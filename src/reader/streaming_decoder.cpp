@@ -1,0 +1,72 @@
+#include "reader/streaming_decoder.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wb::reader {
+
+StreamingUplinkDecoder::StreamingUplinkDecoder(StreamingDecoderConfig cfg)
+    : cfg_(std::move(cfg)) {
+  assert(!cfg_.decoder.search_from && !cfg_.decoder.search_to &&
+         "the streaming wrapper manages the search window");
+}
+
+TimeUs StreamingUplinkDecoder::scan_interval() const {
+  if (cfg_.scan_interval_us > 0) return cfg_.scan_interval_us;
+  return cfg_.decoder.frame_duration_us() / 2;
+}
+
+std::vector<UplinkDecodeResult> StreamingUplinkDecoder::push(
+    const wifi::CaptureRecord& rec) {
+  assert(buffer_.empty() ||
+         rec.timestamp_us >= buffer_.back().timestamp_us);
+  buffer_.push_back(rec);
+
+  std::vector<UplinkDecodeResult> out;
+  const TimeUs now = rec.timestamp_us;
+  const TimeUs frame_dur = cfg_.decoder.frame_duration_us();
+
+  // Scan when enough new air time has accumulated: the newest possible
+  // frame start we can fully decode is now - frame_dur.
+  if (now < next_scan_at_ || now - consumed_until_ < frame_dur) {
+    return out;
+  }
+  next_scan_at_ = now + scan_interval();
+
+  UplinkDecoderConfig dec_cfg = cfg_.decoder;
+  dec_cfg.search_from = consumed_until_;
+  dec_cfg.search_to = now - frame_dur;
+  dec_cfg.sync_threshold = cfg_.sync_threshold;
+  if (*dec_cfg.search_to < *dec_cfg.search_from) return out;
+
+  UplinkDecoder dec(dec_cfg);
+  auto res = dec.decode(buffer_);
+  if (res.found) {
+    consumed_until_ = res.start_us + frame_dur;
+    ++frames_emitted_;
+    out.push_back(std::move(res));
+    // A second frame could already be waiting; scan again promptly.
+    next_scan_at_ = now;
+  } else {
+    // The scanned region is clean; never re-scan it (keeps the buffer and
+    // the per-scan cost bounded on quiet air).
+    consumed_until_ = *dec_cfg.search_to;
+  }
+
+  // Trim history that no future frame needs: anything older than the
+  // conditioning window behind the consumed point.
+  const TimeUs keep_from =
+      consumed_until_ > cfg_.history_us ? consumed_until_ - cfg_.history_us
+                                        : 0;
+  const auto first_kept = std::lower_bound(
+      buffer_.begin(), buffer_.end(), keep_from,
+      [](const wifi::CaptureRecord& r, TimeUs t) {
+        return r.timestamp_us < t;
+      });
+  if (first_kept != buffer_.begin()) {
+    buffer_.erase(buffer_.begin(), first_kept);
+  }
+  return out;
+}
+
+}  // namespace wb::reader

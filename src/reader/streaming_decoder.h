@@ -1,0 +1,65 @@
+// Online uplink decoding: a rolling-buffer wrapper around UplinkDecoder
+// for readers that consume capture records as the NIC produces them
+// ("while waiting for an incoming transmission", §3.2), rather than
+// decoding a recorded trace offline.
+//
+// The wrapper buffers recent records, periodically scans the not-yet-
+// consumed region for a preamble, emits any frame whose sync score clears
+// the configured threshold, and trims the buffer so memory stays bounded
+// no matter how long the reader runs.
+#pragma once
+
+#include <vector>
+
+#include "reader/uplink_decoder.h"
+
+namespace wb::reader {
+
+struct StreamingDecoderConfig {
+  /// Frame format / decoding parameters. search_from/search_to are
+  /// managed by the wrapper and must be left unset.
+  UplinkDecoderConfig decoder{};
+
+  /// Minimum sync score to emit a frame. Pure ambient noise (drift +
+  /// measurement noise over a long scan window) reaches ~0.45; frames at
+  /// working SNR score 0.8+. 0.6 rejects noise with margin while keeping
+  /// most of the plain decoder's range; lower it when pairing with an
+  /// outer CRC that discards false frames anyway.
+  double sync_threshold = 0.6;
+
+  /// How far (in time) beyond one frame the buffer must extend before a
+  /// scan is attempted; also the re-scan cadence. 0 = half a frame.
+  TimeUs scan_interval_us = 0;
+
+  /// History retained behind the consumed point (must cover the
+  /// conditioning window).
+  TimeUs history_us = 1'000'000;
+};
+
+class StreamingUplinkDecoder {
+ public:
+  explicit StreamingUplinkDecoder(StreamingDecoderConfig cfg);
+
+  /// Feed one capture record (timestamps must be non-decreasing); returns
+  /// the frames completed by this record (usually none, occasionally one).
+  std::vector<UplinkDecodeResult> push(const wifi::CaptureRecord& rec);
+
+  /// Records currently buffered (bounded by history + scan horizon).
+  std::size_t buffered() const { return buffer_.size(); }
+
+  /// Total frames emitted so far.
+  std::uint64_t frames_emitted() const { return frames_emitted_; }
+
+  const StreamingDecoderConfig& config() const { return cfg_; }
+
+ private:
+  TimeUs scan_interval() const;
+
+  StreamingDecoderConfig cfg_;
+  wifi::CaptureTrace buffer_;
+  TimeUs consumed_until_ = 0;  ///< frames may only start after this
+  TimeUs next_scan_at_ = 0;
+  std::uint64_t frames_emitted_ = 0;
+};
+
+}  // namespace wb::reader

@@ -1,0 +1,239 @@
+#include "reader/uplink_decoder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/dsp.h"
+
+namespace wb::reader {
+namespace {
+
+/// First packet index with timestamp >= t.
+std::size_t lower_index(const std::vector<TimeUs>& ts, TimeUs t) {
+  return static_cast<std::size_t>(
+      std::distance(ts.begin(), std::lower_bound(ts.begin(), ts.end(), t)));
+}
+
+}  // namespace
+
+UplinkDecoder::UplinkDecoder(UplinkDecoderConfig cfg) : cfg_(std::move(cfg)) {
+  assert(!cfg_.preamble.empty());
+  assert(cfg_.bit_duration_us > 0);
+  assert(cfg_.num_good_streams > 0);
+}
+
+std::vector<UplinkDecoder::SlotStat> UplinkDecoder::bin_slots(
+    const ConditionedTrace& ct, std::size_t stream, TimeUs start,
+    TimeUs slot_us, std::size_t nslots) {
+  std::vector<SlotStat> out(nslots);
+  const auto& ts = ct.timestamps;
+  const auto& xs = ct.streams[stream];
+  std::size_t k = lower_index(ts, start);
+  const TimeUs end = start + static_cast<TimeUs>(nslots) * slot_us;
+  for (; k < ts.size() && ts[k] < end; ++k) {
+    const auto slot = static_cast<std::size_t>((ts[k] - start) / slot_us);
+    out[slot].mean += xs[k];
+    ++out[slot].count;
+  }
+  for (auto& s : out) {
+    if (s.count > 0) s.mean /= static_cast<double>(s.count);
+  }
+  return out;
+}
+
+double UplinkDecoder::preamble_correlation(const ConditionedTrace& ct,
+                                           std::size_t stream,
+                                           TimeUs start) const {
+  const auto slots = bin_slots(ct, stream, start, cfg_.bit_duration_us,
+                               cfg_.preamble.size());
+  std::size_t filled = 0;
+  double corr = 0.0;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i].count == 0) continue;
+    ++filled;
+    corr += slots[i].mean * (cfg_.preamble[i] ? 1.0 : -1.0);
+  }
+  const double need =
+      cfg_.min_preamble_fill * static_cast<double>(slots.size());
+  if (static_cast<double>(filled) < need || filled == 0) return 0.0;
+  return corr / static_cast<double>(filled);
+}
+
+std::optional<UplinkDecoder::SyncResult> UplinkDecoder::find_frame(
+    const ConditionedTrace& ct) const {
+  if (ct.num_packets() == 0 || ct.num_streams() == 0) return std::nullopt;
+
+  const TimeUs t0 = ct.timestamps.front();
+  const TimeUs t1 = ct.timestamps.back();
+  TimeUs from = cfg_.search_from.value_or(t0);
+  TimeUs to = cfg_.search_to.value_or(t1 - cfg_.frame_duration_us());
+  from = std::max(from, t0 - cfg_.bit_duration_us);
+  to = std::max(to, from);
+  const TimeUs step =
+      cfg_.sync_step_us > 0 ? cfg_.sync_step_us : cfg_.bit_duration_us / 4;
+
+  const std::size_t g =
+      std::min(cfg_.num_good_streams, ct.num_streams());
+
+  std::optional<SyncResult> best;
+  std::vector<double> corrs(ct.num_streams());
+  std::vector<std::size_t> order(ct.num_streams());
+  for (TimeUs tau = from; tau <= to; tau += std::max<TimeUs>(step, 1)) {
+    for (std::size_t s = 0; s < ct.num_streams(); ++s) {
+      corrs[s] = preamble_correlation(ct, s, tau);
+    }
+    for (std::size_t s = 0; s < order.size(); ++s) order[s] = s;
+    std::partial_sort(order.begin(), order.begin() + static_cast<long>(g),
+                      order.end(), [&corrs](std::size_t a, std::size_t b) {
+                        return std::abs(corrs[a]) > std::abs(corrs[b]);
+                      });
+    double score = 0.0;
+    for (std::size_t i = 0; i < g; ++i) score += std::abs(corrs[order[i]]);
+    score /= static_cast<double>(g);
+    if (!best || score > best->score) {
+      SyncResult r;
+      r.start = tau;
+      r.score = score;
+      r.streams.assign(order.begin(), order.begin() + static_cast<long>(g));
+      r.polarity.reserve(g);
+      for (std::size_t i = 0; i < g; ++i) {
+        r.polarity.push_back(corrs[order[i]] >= 0.0 ? 1.0 : -1.0);
+      }
+      best = std::move(r);
+    }
+  }
+  if (best && best->score <= cfg_.sync_threshold) return std::nullopt;
+  return best;
+}
+
+double UplinkDecoder::preamble_noise_variance(const ConditionedTrace& ct,
+                                              std::size_t stream,
+                                              double polarity,
+                                              TimeUs start) const {
+  const auto& ts = ct.timestamps;
+  const auto& xs = ct.streams[stream];
+  const TimeUs end = start + static_cast<TimeUs>(cfg_.preamble.size()) *
+                                 cfg_.bit_duration_us;
+  double sum = 0.0, sum2 = 0.0;
+  std::size_t n = 0;
+  for (std::size_t k = lower_index(ts, start); k < ts.size() && ts[k] < end;
+       ++k) {
+    const auto bit = static_cast<std::size_t>((ts[k] - start) /
+                                              cfg_.bit_duration_us);
+    const double expected = cfg_.preamble[bit] ? 1.0 : -1.0;
+    const double r = polarity * xs[k] - expected;
+    sum += r;
+    sum2 += r * r;
+    ++n;
+  }
+  if (n < 2) return 1.0;  // no information: neutral weight
+  const double mean = sum / static_cast<double>(n);
+  const double var =
+      (sum2 - static_cast<double>(n) * mean * mean) /
+      static_cast<double>(n - 1);
+  // Quantised measurements can produce a numerically zero variance; floor
+  // it so 1/sigma^2 weights stay finite.
+  return std::max(var, 1e-6);
+}
+
+UplinkDecodeResult UplinkDecoder::decode(
+    const wifi::CaptureTrace& trace) const {
+  return decode_conditioned(
+      condition(trace, cfg_.source, cfg_.movavg_window_us));
+}
+
+UplinkDecodeResult UplinkDecoder::decode_conditioned(
+    const ConditionedTrace& ct) const {
+  UplinkDecodeResult res;
+  const auto sync = find_frame(ct);
+  if (!sync) return res;
+
+  res.found = true;
+  res.start_us = sync->start;
+  res.sync_score = sync->score;
+  res.streams = sync->streams;
+  res.polarity = sync->polarity;
+
+  // MRC weights from preamble-estimated noise variance (§3.2 step 2).
+  res.weights.reserve(res.streams.size());
+  for (std::size_t i = 0; i < res.streams.size(); ++i) {
+    const double var = preamble_noise_variance(
+        ct, res.streams[i], res.polarity[i], sync->start);
+    res.weights.push_back(1.0 / var);
+  }
+
+  // Combined signal y_k over the whole frame interval.
+  const auto& ts = ct.timestamps;
+  const TimeUs frame_end = sync->start + cfg_.frame_duration_us();
+  const std::size_t k0 = lower_index(ts, sync->start);
+  std::vector<double> y;
+  std::vector<TimeUs> yt;
+  double wsum = 0.0;
+  for (double w : res.weights) wsum += w;
+  if (wsum <= 0.0) wsum = 1.0;
+  for (std::size_t k = k0; k < ts.size() && ts[k] < frame_end; ++k) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < res.streams.size(); ++i) {
+      acc += res.weights[i] * res.polarity[i] * ct.streams[res.streams[i]][k];
+    }
+    y.push_back(acc / wsum);
+    yt.push_back(ts[k]);
+  }
+  res.packets_used = y.size();
+
+  // Hysteresis thresholds from the combined signal's own statistics
+  // (§3.2 step 3: mu +- f(sigma)).
+  const double mu = mean(y);
+  const double sd = stddev(y);
+  const double th1 = mu + cfg_.hysteresis_sigma * sd;
+  const double th0 = mu - cfg_.hysteresis_sigma * sd;
+
+  // Per-bit majority vote over timestamp-binned packets.
+  const TimeUs payload_start =
+      sync->start + static_cast<TimeUs>(cfg_.preamble.size()) *
+                        cfg_.bit_duration_us;
+  res.payload.assign(cfg_.payload_bits, 0);
+  res.confidence.assign(cfg_.payload_bits, 0.0);
+  std::vector<int> votes_one(cfg_.payload_bits, 0);
+  std::vector<int> votes_zero(cfg_.payload_bits, 0);
+  std::vector<double> slot_sum(cfg_.payload_bits, 0.0);
+  std::vector<int> slot_n(cfg_.payload_bits, 0);
+  for (std::size_t k = 0; k < y.size(); ++k) {
+    if (yt[k] < payload_start) continue;
+    const auto bit = static_cast<std::size_t>((yt[k] - payload_start) /
+                                              cfg_.bit_duration_us);
+    if (bit >= cfg_.payload_bits) break;
+    if (y[k] > th1) ++votes_one[bit];
+    else if (y[k] < th0) ++votes_zero[bit];
+    slot_sum[bit] += y[k];
+    ++slot_n[bit];
+  }
+  for (std::size_t b = 0; b < cfg_.payload_bits; ++b) {
+    const int total = votes_one[b] + votes_zero[b];
+    if (votes_one[b] != votes_zero[b]) {
+      res.payload[b] = votes_one[b] > votes_zero[b] ? 1 : 0;
+      res.confidence[b] =
+          total > 0 ? std::abs(votes_one[b] - votes_zero[b]) /
+                          static_cast<double>(total)
+                    : 0.0;
+    } else {
+      // All packets abstained (hysteresis band) or tie: fall back to the
+      // sign of the slot mean against mu.
+      const double m =
+          slot_n[b] > 0 ? slot_sum[b] / static_cast<double>(slot_n[b]) : mu;
+      res.payload[b] = m > mu ? 1 : 0;
+      res.confidence[b] = 0.0;
+    }
+  }
+  return res;
+}
+
+UplinkDecoderConfig rssi_decoder_config(const UplinkDecoderConfig& base) {
+  UplinkDecoderConfig cfg = base;
+  cfg.source = MeasurementSource::kRssi;
+  cfg.num_good_streams = 1;  // best antenna only (§3.3)
+  return cfg;
+}
+
+}  // namespace wb::reader

@@ -1,0 +1,155 @@
+// The Wi-Fi Backscatter uplink decoder (paper §3.2-§3.3) — the core of the
+// paper's contribution. Runs entirely on measurements a commodity NIC
+// exports (per-packet CSI or RSSI); never sees channel ground truth.
+//
+// Pipeline:
+//   1. conditioning (see conditioning.h): drift removal + normalisation;
+//   2. frame sync + stream selection: slide the known tag preamble (a
+//      13-bit Barker code) across every stream, bin measurements into bit
+//      slots by packet timestamp, and find the start time where the
+//      summed top-G |correlation| peaks. Streams are ranked by
+//      |correlation| at the chosen start; the correlation *sign* gives
+//      each stream's polarity (a reflection can raise or lower |H|
+//      depending on the multipath phase, so streams can be inverted);
+//   3. per-stream noise-variance estimation over the preamble slots;
+//   4. maximum-ratio combining: weighted sum with weights 1/sigma^2
+//      (paper's CSI_weighted);
+//   5. bit decisions: per-packet hysteresis thresholding at mu +- h*sigma
+//      followed by majority voting over the packets binned into each bit
+//      slot ("use the timestamp ... to accurately group Wi-Fi packets
+//      belonging to the same bit transmission").
+//
+// RSSI decoding (§3.3) is the same machine with the three RSSI streams
+// and G=1 (best antenna only), exactly as the paper describes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "reader/conditioning.h"
+#include "util/bits.h"
+#include "util/codes.h"
+#include "util/units.h"
+#include "wifi/capture.h"
+
+namespace wb::reader {
+
+struct UplinkDecoderConfig {
+  /// Measurement the decoder runs on.
+  MeasurementSource source = MeasurementSource::kCsi;
+
+  /// The tag's frame preamble (known a priori, §3.2 step 1).
+  BitVec preamble = barker13();
+
+  /// Number of payload bits following the preamble.
+  std::size_t payload_bits = 77;
+
+  /// Tag bit duration (the reader assigned it in its query, §5).
+  TimeUs bit_duration_us = 10'000;
+
+  /// Moving-average window for conditioning (§3.2: 400 ms).
+  TimeUs movavg_window_us = 400'000;
+
+  /// How many "good" streams to combine (§3.2: top ten).
+  std::size_t num_good_streams = 10;
+
+  /// Hysteresis half-width in units of sigma of the combined signal.
+  /// The ablation bench shows timestamp-binned majority voting already
+  /// absorbs the NIC's spurious snapshots, so wide hysteresis only costs
+  /// votes; a narrow band is kept for fidelity to §3.2.
+  double hysteresis_sigma = 0.25;
+
+  /// Frame-start search grid step; 0 = bit_duration / 4.
+  TimeUs sync_step_us = 0;
+
+  /// Optional restriction of the frame-start search to [from, to]. When
+  /// unset the whole trace is searched. Experiments that know roughly when
+  /// the tag was queried narrow this for speed; the decoder still
+  /// fine-syncs within the window.
+  std::optional<TimeUs> search_from;
+  std::optional<TimeUs> search_to;
+
+  /// Minimum fraction of preamble slots that must contain at least one
+  /// packet for a sync candidate to be considered.
+  double min_preamble_fill = 0.6;
+
+  /// Sync acceptance threshold: mean per-bit |correlation| of the best
+  /// stream set must exceed this (normalised units; noise gives ~0.2).
+  double sync_threshold = 0.0;
+
+  std::size_t frame_bits() const {
+    return preamble.size() + payload_bits;
+  }
+  TimeUs frame_duration_us() const {
+    return static_cast<TimeUs>(frame_bits()) * bit_duration_us;
+  }
+};
+
+/// Everything the decoder reports about one frame reception attempt.
+struct UplinkDecodeResult {
+  bool found = false;           ///< sync succeeded
+  TimeUs start_us = 0;          ///< estimated frame start
+  double sync_score = 0.0;      ///< mean |corr| over the selected streams
+  BitVec payload;               ///< decoded payload bits
+  std::vector<std::size_t> streams;  ///< selected stream indices (ranked)
+  std::vector<double> polarity;      ///< +1/-1 per selected stream
+  std::vector<double> weights;       ///< MRC weights per selected stream
+  std::vector<double> confidence;    ///< per payload bit, |vote margin| 0..1
+  std::size_t packets_used = 0;      ///< packets in the frame interval
+};
+
+class UplinkDecoder {
+ public:
+  explicit UplinkDecoder(UplinkDecoderConfig cfg);
+
+  /// Full pipeline from a raw capture trace.
+  UplinkDecodeResult decode(const wifi::CaptureTrace& trace) const;
+
+  /// Pipeline from an already-conditioned trace (lets experiments reuse
+  /// conditioning across decoder variants).
+  UplinkDecodeResult decode_conditioned(const ConditionedTrace& ct) const;
+
+  // ---- exposed internals (tested and reused by the ablation benches) ----
+
+  /// Mean of stream `s` within [start + i*T, start + (i+1)*T) for each of
+  /// `nslots` slots. count==0 slots report mean 0.
+  struct SlotStat {
+    double mean = 0.0;
+    std::size_t count = 0;
+  };
+  static std::vector<SlotStat> bin_slots(const ConditionedTrace& ct,
+                                         std::size_t stream, TimeUs start,
+                                         TimeUs slot_us, std::size_t nslots);
+
+  /// Signed per-bit-normalised preamble correlation of one stream at a
+  /// candidate frame start; 0 if too few preamble slots are filled.
+  double preamble_correlation(const ConditionedTrace& ct, std::size_t stream,
+                              TimeUs start) const;
+
+  struct SyncResult {
+    TimeUs start = 0;
+    double score = 0.0;
+    std::vector<std::size_t> streams;  ///< ranked by |corr|, size <= G
+    std::vector<double> polarity;      ///< sign of corr per stream
+  };
+  /// Search the configured window for the frame start.
+  std::optional<SyncResult> find_frame(const ConditionedTrace& ct) const;
+
+  /// Noise variance of one stream over the preamble slots, given its
+  /// polarity (variance of the residual against the known +-1 preamble).
+  double preamble_noise_variance(const ConditionedTrace& ct,
+                                 std::size_t stream, double polarity,
+                                 TimeUs start) const;
+
+  const UplinkDecoderConfig& config() const { return cfg_; }
+
+ private:
+  UplinkDecoderConfig cfg_;
+};
+
+/// Convenience: a decoder configured per §3.3 for RSSI (3 streams, best
+/// antenna only).
+UplinkDecoderConfig rssi_decoder_config(const UplinkDecoderConfig& base);
+
+}  // namespace wb::reader

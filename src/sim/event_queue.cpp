@@ -1,0 +1,90 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wb::sim {
+
+std::uint64_t EventQueue::schedule_at(TimeUs at, EventFn fn) {
+  assert(at >= now_ && "cannot schedule into the past");
+  const std::uint64_t id = next_id_++;
+  heap_.push(Entry{at, next_seq_++, id, std::move(fn)});
+  ++live_count_;
+  return id;
+}
+
+std::uint64_t EventQueue::schedule_in(TimeUs delay, EventFn fn) {
+  assert(delay >= 0);
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+void EventQueue::cancel(std::uint64_t id) {
+  // Ids are monotonically increasing and each is cancelled at most once in
+  // practice; a sorted vector with binary search keeps this allocation-lean.
+  auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), id);
+  if (it != cancelled_.end() && *it == id) return;
+  if (id == 0 || id >= next_id_) return;
+  cancelled_.insert(it, id);
+  if (live_count_ > 0) --live_count_;
+}
+
+bool EventQueue::pop_one(Entry& out) {
+  while (!heap_.empty()) {
+    // priority_queue::top() is const; move via const_cast is the standard
+    // idiom but copying the closure is fine at this scale — keep it simple.
+    Entry e = heap_.top();
+    heap_.pop();
+    auto it =
+        std::lower_bound(cancelled_.begin(), cancelled_.end(), e.id);
+    if (it != cancelled_.end() && *it == e.id) {
+      cancelled_.erase(it);
+      continue;  // tombstoned
+    }
+    out = std::move(e);
+    return true;
+  }
+  return false;
+}
+
+std::size_t EventQueue::run_until(TimeUs until) {
+  std::size_t fired = 0;
+  Entry e;
+  while (!heap_.empty()) {
+    if (heap_.top().at > until) break;
+    if (!pop_one(e)) break;
+    if (e.at > until) {
+      // Re-queue: it was live but beyond the horizon.
+      heap_.push(std::move(e));
+      break;
+    }
+    now_ = e.at;
+    --live_count_;
+    ++fired;
+    e.fn();
+  }
+  if (now_ < until) now_ = until;
+  return fired;
+}
+
+std::size_t EventQueue::run_all() {
+  std::size_t fired = 0;
+  Entry e;
+  while (pop_one(e)) {
+    now_ = e.at;
+    --live_count_;
+    ++fired;
+    e.fn();
+  }
+  return fired;
+}
+
+bool EventQueue::step() {
+  Entry e;
+  if (!pop_one(e)) return false;
+  now_ = e.at;
+  --live_count_;
+  e.fn();
+  return true;
+}
+
+}  // namespace wb::sim

@@ -1,0 +1,76 @@
+// Minimal discrete-event simulation kernel.
+//
+// The Wi-Fi MAC, traffic generators, tag bit clock, and reader query
+// scheduler all run on one virtual clock. Events are closures ordered by
+// (time, insertion sequence) so same-time events fire in a deterministic
+// order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/units.h"
+
+namespace wb::sim {
+
+using EventFn = std::function<void()>;
+
+/// Discrete-event scheduler with a virtual microsecond clock.
+class EventQueue {
+ public:
+  /// Current virtual time. Starts at 0.
+  TimeUs now() const { return now_; }
+
+  /// Schedule `fn` to run at absolute time `at` (>= now). Returns an id
+  /// usable with cancel().
+  std::uint64_t schedule_at(TimeUs at, EventFn fn);
+
+  /// Schedule `fn` to run `delay` microseconds from now.
+  std::uint64_t schedule_in(TimeUs delay, EventFn fn);
+
+  /// Cancel a pending event. Cancelling an already-fired or unknown id is a
+  /// no-op. O(1): the event is tombstoned and skipped when popped.
+  void cancel(std::uint64_t id);
+
+  /// Run events until the queue is empty or the clock would pass `until`.
+  /// Events scheduled exactly at `until` do run. Returns the number of
+  /// events executed.
+  std::size_t run_until(TimeUs until);
+
+  /// Run everything (use with care: self-rescheduling processes never
+  /// terminate; prefer run_until).
+  std::size_t run_all();
+
+  /// Fire at most one event; returns false if the queue is empty.
+  bool step();
+
+  bool empty() const { return live_count_ == 0; }
+  std::size_t pending() const { return live_count_; }
+
+ private:
+  struct Entry {
+    TimeUs at;
+    std::uint64_t seq;  // tie-break: FIFO among same-time events
+    std::uint64_t id;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_one(Entry& out);
+
+  TimeUs now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::size_t live_count_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::vector<std::uint64_t> cancelled_;  // sorted ids pending skip
+};
+
+}  // namespace wb::sim

@@ -1,0 +1,86 @@
+#include "sim/rng.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace wb::sim {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& s) {
+  s += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// FNV-1a over the stream name; good enough to decorrelate named forks.
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+RngStream RngStream::fork(std::string_view name, std::uint64_t index) const {
+  std::uint64_t mixed = state_ ^ fnv1a(name) ^ (index * 0x9e3779b97f4a7c15ull);
+  // One scramble round so fork(a).fork(b) != fork(b).fork(a).
+  splitmix64(mixed);
+  return RngStream(mixed);
+}
+
+std::uint64_t RngStream::next_u64() { return splitmix64(state_); }
+
+double RngStream::uniform() {
+  // 53 random mantissa bits -> [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double RngStream::uniform(double lo, double hi) {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t RngStream::uniform_int(std::uint64_t n) {
+  assert(n > 0);
+  // Modulo bias is < 2^-50 for the ranges this simulator uses.
+  return next_u64() % n;
+}
+
+double RngStream::normal() {
+  // Box–Muller; guard against log(0).
+  double u1 = uniform();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double RngStream::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+double RngStream::exponential(double mean) {
+  assert(mean > 0.0);
+  double u = uniform();
+  if (u < 1e-300) u = 1e-300;
+  return -mean * std::log(u);
+}
+
+double RngStream::pareto(double alpha, double lo, double hi) {
+  assert(alpha > 0.0 && lo > 0.0 && hi > lo);
+  // Inverse-CDF sampling of a Pareto truncated to [lo, hi]:
+  //   F(x) = (1 - (lo/x)^alpha) / (1 - (lo/hi)^alpha)
+  //   x    = lo * (1 - U * (1 - (lo/hi)^alpha))^(-1/alpha)
+  const double ratio_a = std::pow(lo / hi, alpha);
+  const double u = uniform();
+  return lo * std::pow(1.0 - u * (1.0 - ratio_a), -1.0 / alpha);
+}
+
+bool RngStream::chance(double p) { return uniform() < p; }
+
+}  // namespace wb::sim

@@ -1,0 +1,57 @@
+// Deterministic random-number streams for the simulator.
+//
+// Every stochastic component (fading taps, noise, traffic arrivals, NIC
+// artefacts...) owns a named RngStream derived from a master seed, so an
+// experiment is exactly reproducible and adding randomness to one module
+// never perturbs the draws of another.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace wb::sim {
+
+/// A small, fast counter-based generator (SplitMix64 core) with
+/// distribution helpers. Copyable; copies continue the same sequence
+/// independently.
+class RngStream {
+ public:
+  explicit RngStream(std::uint64_t seed) : state_(seed) {}
+
+  /// Derive a stream for a named sub-component: hashes `name` and `index`
+  /// into the seed so streams are independent and stable across runs.
+  RngStream fork(std::string_view name, std::uint64_t index = 0) const;
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_int(std::uint64_t n);
+
+  /// Standard normal via Box–Muller (no state between calls; one draw costs
+  /// two uniforms — simplicity over speed; the simulator is not RNG-bound).
+  double normal();
+
+  /// Normal with the given mean/stddev.
+  double normal(double mean, double stddev);
+
+  /// Exponential with the given mean (>0). Used for Poisson inter-arrivals.
+  double exponential(double mean);
+
+  /// Bounded Pareto used by the bursty traffic model. alpha > 0, lo > 0.
+  double pareto(double alpha, double lo, double hi);
+
+  /// Bernoulli draw.
+  bool chance(double p);
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace wb::sim

@@ -1,0 +1,61 @@
+#include "tag/energy_detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wb::tag {
+
+EnergyDetector::EnergyDetector(const EnergyDetectorParams& params,
+                               sim::RngStream rng)
+    : params_(params), rng_(rng),
+      noise_mw_(dbm_to_mw(params.noise_floor_dbm)) {}
+
+bool EnergyDetector::step(double dt_us, double power_mw) {
+  // Square-law diode: output voltage proportional to input power, riding
+  // on the detector's input-referred noise. Noise is one-sided-ish in a
+  // real diode; we use |power + n| with Gaussian n of sigma = noise floor.
+  const double noisy =
+      std::abs(power_mw + rng_.normal(0.0, noise_mw_));
+
+  // RC low-pass smoothing of the detected envelope.
+  const double a = 1.0 - std::exp(-dt_us / params_.smooth_tau_us);
+  smooth_ += a * (noisy - smooth_);
+
+  // Peak hold with slow bleed through the set-threshold resistor network.
+  peak_ *= std::exp(-dt_us / params_.peak_decay_tau_us);
+  peak_ = std::max(peak_, smooth_);
+
+  // Comparator with hysteresis around threshold = fraction * peak.
+  const double th = peak_ * params_.threshold_fraction;
+  const double hyst = th * params_.comparator_hysteresis;
+  if (comparator_) {
+    if (smooth_ < th - hyst) comparator_ = false;
+  } else {
+    if (smooth_ > th + hyst) comparator_ = true;
+  }
+
+  energy_uj_ += params_.quiescent_power_uw * dt_us * 1e-6;
+  return comparator_;
+}
+
+void EnergyDetector::idle(double gap_us) {
+  // During a long silence nothing interesting happens except the peak
+  // bleeding down and the smoother settling onto the noise level; model it
+  // with coarse steps (20 us) which keeps the noise statistics of the
+  // comparator input approximately right while staying cheap.
+  constexpr double kCoarseStepUs = 20.0;
+  double remaining = gap_us;
+  while (remaining > 0.0) {
+    const double dt = std::min(kCoarseStepUs, remaining);
+    step(dt, 0.0);
+    remaining -= dt;
+  }
+}
+
+void EnergyDetector::reset() {
+  smooth_ = 0.0;
+  peak_ = 0.0;
+  comparator_ = false;
+}
+
+}  // namespace wb::tag

@@ -1,0 +1,96 @@
+// Sampled-time simulation of the tag's analog Wi-Fi energy detector
+// (paper §4.2, Fig 8): envelope detector -> peak finder -> set-threshold
+// circuit -> comparator.
+//
+// The circuit is fed instantaneous received-power samples (the OFDM
+// envelope model in phy/ofdm_envelope.h) and emits the comparator's binary
+// output. Each stage is modelled with the element that limits real
+// performance:
+//   * envelope detector: square-law Schottky diode (SMS7630-class) whose
+//     output rides on input-referred noise — this sets the sensitivity
+//     floor that limits downlink range; an RC low-pass smooths the high
+//     peak-to-average OFDM envelope;
+//   * peak finder: diode+op-amp+capacitor holds the peak, bleeding off
+//     through the set-threshold resistor network so the circuit re-adapts
+//     to channel changes over ~tens of ms;
+//   * set-threshold: halves the held peak (capacitive divider);
+//   * comparator: smoothed envelope vs threshold, with a little hysteresis
+//     as real comparators have.
+//
+// Power draw of the whole chain is ~1 uW (it never turns off); that number
+// is surfaced so system-level energy accounting can include it.
+#pragma once
+
+#include "sim/rng.h"
+#include "util/units.h"
+
+namespace wb::tag {
+
+struct EnergyDetectorParams {
+  /// Input-referred noise of the detector, dBm. This is the knob that sets
+  /// the downlink range: packets whose received power is near or below it
+  /// disappear into the diode noise.
+  double noise_floor_dbm = -37.5;
+
+  /// RC time constant of the envelope smoother, microseconds. Larger =
+  /// less OFDM flicker but slower edges — this is what makes 50 us packets
+  /// (20 kbps) die at shorter range than 200 us packets (5 kbps).
+  double smooth_tau_us = 18.0;
+
+  /// Peak-hold decay time constant, microseconds ("relatively long time
+  /// interval", §4.2).
+  double peak_decay_tau_us = 8'000.0;
+
+  /// Threshold as a fraction of the held peak (the set-threshold circuit
+  /// halves it).
+  double threshold_fraction = 0.5;
+
+  /// Comparator hysteresis as a fraction of the threshold.
+  double comparator_hysteresis = 0.08;
+
+  /// Quiescent draw of the always-on analog chain, microwatts (§6 puts the
+  /// full receive circuit at 9.0 uW).
+  double quiescent_power_uw = 1.0;
+};
+
+/// Stateful circuit: call step() with the time delta since the previous
+/// sample and the instantaneous received power; read back the comparator.
+class EnergyDetector {
+ public:
+  EnergyDetector(const EnergyDetectorParams& params, sim::RngStream rng);
+
+  /// Advance the circuit by dt_us with constant instantaneous input power
+  /// `power_mw` over the step; returns the comparator output after the
+  /// step. dt_us may vary call-to-call (the simulator samples finely
+  /// around packets and coarsely in silence).
+  bool step(double dt_us, double power_mw);
+
+  /// Idle the circuit for a long gap (no signal, only noise). Equivalent
+  /// to many step() calls with noise-only input but O(gap/coarse_step).
+  void idle(double gap_us);
+
+  bool comparator() const { return comparator_; }
+  double smoothed() const { return smooth_; }
+  double peak() const { return peak_; }
+  double threshold() const {
+    return peak_ * params_.threshold_fraction;
+  }
+
+  /// Energy consumed so far by the analog chain, microjoules.
+  double energy_uj() const { return energy_uj_; }
+
+  const EnergyDetectorParams& params() const { return params_; }
+
+  void reset();
+
+ private:
+  EnergyDetectorParams params_;
+  sim::RngStream rng_;
+  double noise_mw_;
+  double smooth_ = 0.0;
+  double peak_ = 0.0;
+  bool comparator_ = false;
+  double energy_uj_ = 0.0;
+};
+
+}  // namespace wb::tag

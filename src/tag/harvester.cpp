@@ -1,0 +1,54 @@
+#include "tag/harvester.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace wb::tag {
+
+double incident_power_dbm(double tx_dbm, double d_m, double ref_loss_db) {
+  const double d = std::max(d_m, 0.05);
+  return tx_dbm - (ref_loss_db + 20.0 * std::log10(d));
+}
+
+double tv_incident_power_dbm(double tower_erp_dbm, double d_km) {
+  // ~600 MHz free-space reference loss at 1 m is ~28 dB; TV propagation
+  // over km adds terrain/clutter, folded into an exponent of 2.4.
+  const double d_m = std::max(d_km * 1000.0, 1.0);
+  return tower_erp_dbm - (28.0 + 24.0 * std::log10(d_m));
+}
+
+double Harvester::harvested_uw(double incident_dbm) const {
+  const double in_mw =
+      dbm_to_mw(incident_dbm + params_.antenna_gain_db) *
+      params_.source_duty;
+  return in_mw * params_.efficiency * 1e3;  // mW -> uW
+}
+
+double Harvester::sustainable_duty_cycle(double harvested_uw,
+                                         double load_uw) const {
+  if (load_uw <= 0.0) return 1.0;
+  return std::clamp(harvested_uw / load_uw, 0.0, 1.0);
+}
+
+double Harvester::cap_energy_uj() const {
+  const double e_j = 0.5 * params_.storage_cap_f *
+                     (params_.v_high * params_.v_high -
+                      params_.v_low * params_.v_low);
+  return e_j * 1e6;
+}
+
+double Harvester::burst_seconds(double load_uw, double harvested_uw) const {
+  const double net = load_uw - harvested_uw;
+  if (net <= 0.0) return std::numeric_limits<double>::infinity();
+  return cap_energy_uj() / net;
+}
+
+double Harvester::recharge_seconds(double harvested_uw,
+                                   double idle_load_uw) const {
+  const double net = harvested_uw - idle_load_uw;
+  if (net <= 0.0) return std::numeric_limits<double>::infinity();
+  return cap_energy_uj() / net;
+}
+
+}  // namespace wb::tag

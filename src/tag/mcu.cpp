@@ -1,0 +1,142 @@
+#include "tag/mcu.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace wb::tag {
+namespace {
+
+/// Run-length encode a bit pattern: "1110100..." -> {3,1,1,2,...}.
+std::vector<std::size_t> run_lengths(const BitVec& bits) {
+  std::vector<std::size_t> runs;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (i == 0 || bits[i] != bits[i - 1]) {
+      runs.push_back(1);
+    } else {
+      ++runs.back();
+    }
+  }
+  return runs;
+}
+
+}  // namespace
+
+McuParams McuParams::defaults() {
+  McuParams p;
+  // Irregular run structure (runs 2,2,1,2,9); starts with '1'
+  // (a rising edge out of silence) as Fig 7 requires.
+  p.preamble = bits_from_string("1100100111111111");
+  return p;
+}
+
+Mcu::Mcu(McuParams params) : params_(std::move(params)) {
+  assert(!params_.preamble.empty());
+  assert(params_.preamble.front() == 1 &&
+         "preamble must start with a packet (rising edge)");
+  const auto runs = run_lengths(params_.preamble);
+  // The matcher checks the intervals between transitions, i.e. all runs
+  // except the last (whose terminating edge belongs to the payload and is
+  // not guaranteed).
+  run_template_.reserve(runs.size() - 1);
+  for (std::size_t i = 0; i + 1 < runs.size(); ++i) {
+    run_template_.push_back(static_cast<TimeUs>(runs[i]) *
+                            params_.bit_duration_us);
+  }
+  last_run_us_ =
+      static_cast<TimeUs>(runs.back()) * params_.bit_duration_us;
+  assert(!run_template_.empty() &&
+         "preamble needs at least two runs to be matchable");
+}
+
+void Mcu::spend_active(double us) {
+  active_energy_uj_ += params_.power.active_uw * us * 1e-6;
+}
+
+void Mcu::on_transition(TimeUs t, bool level) {
+  if (!genesis_set_) {
+    genesis_ = t;
+    genesis_set_ = true;
+  }
+  if (state_ == State::kDecoding) {
+    // In decode mode transitions do not wake the MCU; it samples on its
+    // own clock.
+    return;
+  }
+  // Every transition wakes the MCU briefly (this is the power cost the
+  // preamble-detection mode is designed around).
+  spend_active(params_.power.wake_us);
+
+  if (last_transition_ >= 0) {
+    recent_intervals_.push_back(t - last_transition_);
+    if (recent_intervals_.size() > run_template_.size()) {
+      recent_intervals_.erase(recent_intervals_.begin());
+    }
+    if (recent_intervals_.size() == run_template_.size()) {
+      bool match = true;
+      for (std::size_t i = 0; i < run_template_.size(); ++i) {
+        const double expected =
+            static_cast<double>(run_template_[i]);
+        const double got = static_cast<double>(recent_intervals_[i]);
+        if (std::abs(got - expected) >
+            params_.interval_tolerance * expected) {
+          match = false;
+          break;
+        }
+      }
+      // The interval sequence only lines up if the *current* edge ends the
+      // second-to-last run; additionally the preamble's first edge is
+      // rising, so the parity of `level` is fixed by the run count: after
+      // an odd number of completed runs the level flips from '1'.
+      if (match) {
+        const bool expected_level =
+            params_.preamble[params_.preamble.size() -
+                             run_lengths(params_.preamble).back()] != 0;
+        if (level == expected_level) {
+          enter_decode_mode(t + last_run_us_);
+        }
+      }
+    }
+  }
+  last_transition_ = t;
+}
+
+void Mcu::enter_decode_mode(TimeUs payload_start) {
+  state_ = State::kDecoding;
+  payload_start_ = payload_start;
+  next_bit_ = 0;
+  bits_.clear();
+  bits_.reserve(params_.payload_bits);
+  ++decode_entries_;
+  recent_intervals_.clear();
+}
+
+std::optional<TimeUs> Mcu::next_sample_time() const {
+  if (state_ != State::kDecoding) return std::nullopt;
+  return payload_start_ +
+         static_cast<TimeUs>(next_bit_) * params_.bit_duration_us +
+         params_.bit_duration_us / 2;
+}
+
+void Mcu::on_sample(TimeUs t, bool level) {
+  assert(state_ == State::kDecoding);
+  (void)t;
+  spend_active(params_.power.sample_us);
+  bits_.push_back(level ? 1 : 0);
+  ++next_bit_;
+  if (next_bit_ >= params_.payload_bits) {
+    // Full wake-up: framing and CRC checks.
+    spend_active(params_.power.decode_us);
+    decoded_.push_back(McuDecodeResult{payload_start_, bits_});
+    state_ = State::kPreambleDetect;
+    last_transition_ = -1;
+  }
+}
+
+double Mcu::energy_uj(TimeUs now) const {
+  const TimeUs since = genesis_set_ ? now - genesis_ : 0;
+  const double sleep_uj =
+      params_.power.sleep_uw * static_cast<double>(since) * 1e-6;
+  return active_energy_uj_ + sleep_uj;
+}
+
+}  // namespace wb::tag

@@ -1,0 +1,125 @@
+// Behavioural model of the tag's MSP430 firmware for the downlink receive
+// path (paper §4.2), including its two power-saving modes:
+//
+//   * Preamble-detection mode: the MCU sleeps; each comparator output
+//     transition wakes it just long enough to record the interval since
+//     the previous transition and compare the recent interval sequence
+//     against the preamble's run-length pattern.
+//   * Packet-decoding mode: after a preamble match the MCU knows the bit
+//     boundaries; it wakes once per bit to sample the comparator in the
+//     middle of the bit, sleeps in between, and finally wakes fully to
+//     run framing + CRC.
+//
+// The model is event-driven: the simulator feeds it comparator transitions
+// and answers its mid-bit sampling requests. All activity debits an energy
+// account so the paper's power claims are checkable outputs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/bits.h"
+#include "util/units.h"
+
+namespace wb::tag {
+
+/// MSP430-class power numbers (paper §4.2: the MCU "requires a relatively
+/// large amount of power (several hundred uW) in its active mode").
+struct McuPower {
+  double sleep_uw = 0.5;        ///< LPM3-style sleep with timer running
+  double active_uw = 600.0;     ///< CPU active
+  double wake_us = 6.0;         ///< time spent active per wake-up event
+  double sample_us = 10.0;      ///< active time to take one mid-bit sample
+  double decode_us = 400.0;     ///< active time for framing + CRC at the end
+};
+
+struct McuParams {
+  /// Downlink preamble bit pattern (Fig 7: the message starts with
+  /// preamble bits). Chosen with an irregular run-length structure so
+  /// ordinary Wi-Fi traffic rarely mimics its transition intervals.
+  BitVec preamble;
+
+  /// Downlink bit (slot) duration: one Wi-Fi packet or one equal silence.
+  TimeUs bit_duration_us = 50;
+
+  /// Payload length in bits that follows the preamble (Fig 7: 64-bit
+  /// payload including CRC).
+  std::size_t payload_bits = 64;
+
+  /// Relative tolerance when matching a transition interval against a
+  /// preamble run (|observed - expected| <= tolerance * expected).
+  double interval_tolerance = 0.3;
+
+  McuPower power{};
+
+  /// A reasonable default preamble (16 bits, irregular runs).
+  static McuParams defaults();
+};
+
+/// One decoded downlink packet (bits as sampled; CRC checking is the
+/// caller's framing concern).
+struct McuDecodeResult {
+  TimeUs payload_start_us = 0;
+  BitVec payload;
+};
+
+class Mcu {
+ public:
+  explicit Mcu(McuParams params);
+
+  /// Feed a comparator transition (level after the edge) at time t.
+  /// Times must be non-decreasing.
+  void on_transition(TimeUs t, bool level);
+
+  /// While decoding, the MCU wants to sample the comparator at specific
+  /// instants; returns the next sampling time, if any.
+  std::optional<TimeUs> next_sample_time() const;
+
+  /// Deliver the comparator level at the time previously returned by
+  /// next_sample_time().
+  void on_sample(TimeUs t, bool level);
+
+  /// Packets fully decoded so far (drained by the caller).
+  std::vector<McuDecodeResult>& decoded() { return decoded_; }
+
+  /// Number of times the MCU entered packet-decoding mode. Entries that
+  /// do not end in a CRC-valid frame are the paper's Fig-18 false
+  /// positives (accounting is done by the caller, who owns framing).
+  std::uint64_t decode_mode_entries() const { return decode_entries_; }
+
+  /// Total energy consumed, microjoules, including sleep, given the
+  /// current time (sleep is accrued lazily).
+  double energy_uj(TimeUs now) const;
+
+  bool decoding() const { return state_ == State::kDecoding; }
+
+  const McuParams& params() const { return params_; }
+
+ private:
+  enum class State { kPreambleDetect, kDecoding };
+
+  void enter_decode_mode(TimeUs payload_start);
+  void spend_active(double us);
+
+  McuParams params_;
+  std::vector<TimeUs> run_template_;  ///< expected preamble run intervals
+  TimeUs last_run_us_ = 0;            ///< duration of the final preamble run
+
+  State state_ = State::kPreambleDetect;
+  std::vector<TimeUs> recent_intervals_;
+  TimeUs last_transition_ = -1;
+
+  TimeUs payload_start_ = 0;
+  std::size_t next_bit_ = 0;
+  BitVec bits_;
+
+  std::vector<McuDecodeResult> decoded_;
+  std::uint64_t decode_entries_ = 0;
+
+  double active_energy_uj_ = 0.0;
+  TimeUs genesis_ = 0;
+  bool genesis_set_ = false;
+};
+
+}  // namespace wb::tag

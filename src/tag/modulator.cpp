@@ -1,0 +1,47 @@
+#include "tag/modulator.h"
+
+#include <cassert>
+
+namespace wb::tag {
+
+Modulator::Modulator(BitVec frame, TimeUs bit_duration, TimeUs start_time)
+    : frame_(std::move(frame)),
+      chips_(frame_),
+      chip_duration_(bit_duration),
+      start_(start_time) {
+  assert(chip_duration_ > 0);
+  assert(is_binary(frame_));
+}
+
+Modulator::Modulator(BitVec frame, const OrthogonalCodePair& codes,
+                     TimeUs chip_duration, TimeUs start_time)
+    : frame_(std::move(frame)),
+      chip_duration_(chip_duration),
+      start_(start_time) {
+  assert(chip_duration_ > 0);
+  assert(is_binary(frame_));
+  chips_.reserve(frame_.size() * codes.length());
+  for (std::uint8_t b : frame_) {
+    const BitVec& code = b ? codes.one : codes.zero;
+    chips_.insert(chips_.end(), code.begin(), code.end());
+  }
+}
+
+bool Modulator::state_at(TimeUs t) const {
+  if (t < start_) return false;
+  const auto idx = static_cast<std::size_t>((t - start_) / chip_duration_);
+  if (idx >= chips_.size()) return false;
+  return chips_[idx] != 0;
+}
+
+bool Modulator::active_at(TimeUs t) const {
+  return t >= start_ && t < end_time();
+}
+
+double Modulator::frame_energy_uj(const ModulatorPower& p) const {
+  const double seconds =
+      static_cast<double>(duration()) / static_cast<double>(kMicrosPerSec);
+  return p.active_uw * seconds;  // uW * s == uJ
+}
+
+}  // namespace wb::tag

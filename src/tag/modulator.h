@@ -1,0 +1,69 @@
+// Tag-side uplink transmitter: the firmware bit clock that drives the RF
+// switch (paper §3.1, §6).
+//
+// The modulator holds a frame (bits) and a bit duration; the simulator asks
+// it for the switch state at each helper-packet arrival instant. It knows
+// nothing about Wi-Fi — exactly like the real tag, which just toggles its
+// switch on a hardware-timer clock.
+//
+// Two modes:
+//   * plain: each frame bit maps to one switch interval of `bit_duration`;
+//   * coded (paper §3.4): each *data* bit expands to an L-chip orthogonal
+//     code, chips at `bit_duration` each (the tag still only toggles a
+//     switch; only the reader pays the decoding cost).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/bits.h"
+#include "util/codes.h"
+#include "util/units.h"
+
+namespace wb::tag {
+
+/// Energy cost accounting for the transmit path (paper §6: the transmit
+/// circuit draws 0.65 uW while modulating).
+struct ModulatorPower {
+  double active_uw = 0.65;
+  double idle_uw = 0.0;
+};
+
+class Modulator {
+ public:
+  /// Plain mode: transmit `frame` MSB-first, one bit per `bit_duration`.
+  Modulator(BitVec frame, TimeUs bit_duration, TimeUs start_time);
+
+  /// Coded mode: transmit `frame` where every bit is expanded to the L-chip
+  /// code (`codes.one` / `codes.zero`), chips of `chip_duration` each.
+  Modulator(BitVec frame, const OrthogonalCodePair& codes,
+            TimeUs chip_duration, TimeUs start_time);
+
+  /// Switch state (true = reflecting) at absolute time t. Outside the
+  /// frame the switch rests in the absorbing state (the tag modulates only
+  /// when queried, §3.1).
+  bool state_at(TimeUs t) const;
+
+  /// True while the frame is on air at time t.
+  bool active_at(TimeUs t) const;
+
+  TimeUs start_time() const { return start_; }
+  TimeUs end_time() const { return start_ + duration(); }
+  TimeUs duration() const {
+    return static_cast<TimeUs>(chips_.size()) * chip_duration_;
+  }
+  TimeUs chip_duration() const { return chip_duration_; }
+  const BitVec& chip_sequence() const { return chips_; }
+  const BitVec& frame() const { return frame_; }
+
+  /// Energy consumed by the switch/timer over the frame, microjoules.
+  double frame_energy_uj(const ModulatorPower& p = {}) const;
+
+ private:
+  BitVec frame_;
+  BitVec chips_;  ///< per-chip switch states (equals frame_ in plain mode)
+  TimeUs chip_duration_;
+  TimeUs start_;
+};
+
+}  // namespace wb::tag

@@ -1,0 +1,60 @@
+#include "tag/power_manager.h"
+
+#include <algorithm>
+
+namespace wb::tag {
+
+PowerManager::PowerManager(const PowerManagerParams& p) : params_(p) {
+  const Harvester h(p.harvester);
+  harvest_uw_ = h.harvested_uw(p.incident_dbm);
+  const double cap_j = 0.5 * p.harvester.storage_cap_f *
+                       (p.harvester.v_high * p.harvester.v_high -
+                        p.harvester.v_low * p.harvester.v_low);
+  capacity_uj_ = cap_j * 1e6;
+  stored_uj_ = capacity_uj_ * std::clamp(p.initial_fraction, 0.0, 1.0);
+  update_brownout();
+}
+
+void PowerManager::account(TimeUs dt, double load_uw) {
+  const double seconds = static_cast<double>(dt) * 1e-6;
+  const double in = harvest_uw_ * seconds;
+  const double out = load_uw * seconds;
+  harvested_uj_ += in;
+  spent_uj_ += out;
+  stored_uj_ = std::clamp(stored_uj_ + in - out, 0.0, capacity_uj_);
+  update_brownout();
+}
+
+void PowerManager::update_brownout() {
+  if (browned_out_) {
+    if (stored_fraction() >= params_.resume_fraction) browned_out_ = false;
+  } else {
+    if (stored_fraction() <= params_.brownout_fraction) browned_out_ = true;
+  }
+}
+
+void PowerManager::idle(TimeUs dt) { account(dt, params_.idle_load_uw); }
+
+bool PowerManager::try_decode(TimeUs dt) {
+  if (browned_out_) {
+    idle(dt);
+    return false;
+  }
+  account(dt, params_.idle_load_uw + params_.decode_load_uw);
+  return true;
+}
+
+bool PowerManager::try_respond(TimeUs dt) {
+  if (browned_out_) {
+    idle(dt);
+    return false;
+  }
+  account(dt, params_.idle_load_uw + params_.respond_load_uw);
+  return true;
+}
+
+double PowerManager::idle_margin_uw() const {
+  return harvest_uw_ - params_.idle_load_uw;
+}
+
+}  // namespace wb::tag

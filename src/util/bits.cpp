@@ -1,0 +1,111 @@
+#include "util/bits.h"
+
+#include <algorithm>
+
+namespace wb {
+
+std::vector<std::uint8_t> pack_bits(std::span<const std::uint8_t> bits) {
+  std::vector<std::uint8_t> out((bits.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i] != 0) {
+      out[i / 8] |= static_cast<std::uint8_t>(0x80u >> (i % 8));
+    }
+  }
+  return out;
+}
+
+BitVec unpack_bits(std::span<const std::uint8_t> bytes) {
+  BitVec out;
+  out.reserve(bytes.size() * 8);
+  for (std::uint8_t byte : bytes) {
+    for (int b = 7; b >= 0; --b) {
+      out.push_back(static_cast<std::uint8_t>((byte >> b) & 1u));
+    }
+  }
+  return out;
+}
+
+BitVec unpack_uint(std::uint64_t value, std::size_t nbits) {
+  BitVec out(nbits, 0);
+  for (std::size_t i = 0; i < nbits; ++i) {
+    out[nbits - 1 - i] = static_cast<std::uint8_t>((value >> i) & 1u);
+  }
+  return out;
+}
+
+std::uint64_t pack_uint(std::span<const std::uint8_t> bits) {
+  std::uint64_t v = 0;
+  for (std::uint8_t b : bits) {
+    v = (v << 1) | (b & 1u);
+  }
+  return v;
+}
+
+std::size_t hamming_distance(std::span<const std::uint8_t> a,
+                             std::span<const std::uint8_t> b) {
+  const std::size_t common = std::min(a.size(), b.size());
+  std::size_t d = std::max(a.size(), b.size()) - common;
+  for (std::size_t i = 0; i < common; ++i) {
+    if ((a[i] != 0) != (b[i] != 0)) ++d;
+  }
+  return d;
+}
+
+std::string bits_to_string(std::span<const std::uint8_t> bits) {
+  std::string s;
+  s.reserve(bits.size());
+  for (std::uint8_t b : bits) s.push_back(b ? '1' : '0');
+  return s;
+}
+
+BitVec bits_from_string(const std::string& s) {
+  BitVec out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '0') out.push_back(0);
+    if (c == '1') out.push_back(1);
+  }
+  return out;
+}
+
+BitVec repeat_bits(std::span<const std::uint8_t> bits, std::size_t factor) {
+  BitVec out;
+  out.reserve(bits.size() * factor);
+  for (std::uint8_t b : bits) {
+    out.insert(out.end(), factor, b);
+  }
+  return out;
+}
+
+BitVec random_bits(std::size_t n, std::uint64_t seed) {
+  // splitmix64: tiny, high-quality, and fully deterministic across
+  // platforms (unlike std::mt19937 distributions).
+  auto next = [&seed]() {
+    seed += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = seed;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  };
+  BitVec out;
+  out.reserve(n);
+  std::uint64_t word = 0;
+  int avail = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (avail == 0) {
+      word = next();
+      avail = 64;
+    }
+    out.push_back(static_cast<std::uint8_t>(word & 1u));
+    word >>= 1;
+    --avail;
+  }
+  return out;
+}
+
+bool is_binary(std::span<const std::uint8_t> bits) {
+  return std::all_of(bits.begin(), bits.end(),
+                     [](std::uint8_t b) { return b <= 1; });
+}
+
+}  // namespace wb

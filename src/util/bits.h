@@ -1,0 +1,55 @@
+// Bit-vector helpers: packing, unpacking, and comparison utilities used by
+// the framing, coding, and BER-measurement layers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace wb {
+
+/// A sequence of bits. We use uint8_t with values {0,1} rather than
+/// std::vector<bool> so spans/iterators behave like normal containers and
+/// signal-processing code can treat bits as small integers.
+using BitVec = std::vector<std::uint8_t>;
+
+/// Pack bits (MSB-first within each byte) into bytes. The bit count need not
+/// be a multiple of 8; the final byte is zero-padded on the right.
+std::vector<std::uint8_t> pack_bits(std::span<const std::uint8_t> bits);
+
+/// Unpack bytes into bits, MSB-first. Produces exactly 8 * bytes.size() bits.
+BitVec unpack_bits(std::span<const std::uint8_t> bytes);
+
+/// Unpack an integer into `nbits` bits, MSB-first.
+BitVec unpack_uint(std::uint64_t value, std::size_t nbits);
+
+/// Reassemble an integer from up to 64 MSB-first bits.
+std::uint64_t pack_uint(std::span<const std::uint8_t> bits);
+
+/// Number of positions where the two bit strings differ. If lengths differ,
+/// the extra tail of the longer string counts entirely as errors (a lost or
+/// hallucinated bit is an error, not a free pass).
+std::size_t hamming_distance(std::span<const std::uint8_t> a,
+                             std::span<const std::uint8_t> b);
+
+/// Render bits as a "0101..." string, for logs and test failure messages.
+std::string bits_to_string(std::span<const std::uint8_t> bits);
+
+/// Parse a "0101..." string into bits. Characters other than '0'/'1' are
+/// ignored (so "0101 1010" is accepted).
+BitVec bits_from_string(const std::string& s);
+
+/// Repeat each bit `factor` times ("1 0" x3 -> "111 000"). Used to expand a
+/// tag bit into its per-packet channel symbol stream in tests.
+BitVec repeat_bits(std::span<const std::uint8_t> bits, std::size_t factor);
+
+/// Generate `n` pseudo-random bits from a splitmix64-seeded generator.
+/// Deterministic for a given seed; used by workloads and tests.
+BitVec random_bits(std::size_t n, std::uint64_t seed);
+
+/// True if every element is 0 or 1.
+bool is_binary(std::span<const std::uint8_t> bits);
+
+}  // namespace wb

@@ -1,0 +1,87 @@
+#include "util/codes.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+
+namespace wb {
+
+const BitVec& barker13() {
+  static const BitVec k = bits_from_string("1111100110101");
+  return k;
+}
+
+const BitVec& barker11() {
+  static const BitVec k = bits_from_string("11100010010");
+  return k;
+}
+
+const BitVec& barker7() {
+  static const BitVec k = bits_from_string("1110010");
+  return k;
+}
+
+std::vector<double> to_bipolar(std::span<const std::uint8_t> bits) {
+  std::vector<double> out;
+  out.reserve(bits.size());
+  for (std::uint8_t b : bits) out.push_back(b ? 1.0 : -1.0);
+  return out;
+}
+
+BitVec walsh_row(std::size_t n, std::size_t row) {
+  assert(n > 0 && (n & (n - 1)) == 0 && "order must be a power of two");
+  assert(row < n);
+  BitVec out(n);
+  for (std::size_t col = 0; col < n; ++col) {
+    // Hadamard entry sign = (-1)^{popcount(row & col)}.
+    const auto parity =
+        static_cast<unsigned>(std::popcount(row & col)) & 1u;
+    out[col] = static_cast<std::uint8_t>(parity);  // 1 == negative sign
+  }
+  return out;
+}
+
+OrthogonalCodePair make_orthogonal_pair(std::size_t length) {
+  assert(length >= 2);
+  OrthogonalCodePair pair;
+  pair.one.resize(length);
+  pair.zero.resize(length);
+  // Construction: `one` alternates with period 2 (1,0,1,0,...), `zero`
+  // alternates with period 4 in the first half sense (1,1,0,0,...). For
+  // even lengths divisible by 4 the bipolar cross-correlation is exactly 0;
+  // otherwise it is at most 2 chips, negligible against length L.
+  for (std::size_t i = 0; i < length; ++i) {
+    pair.one[i] = static_cast<std::uint8_t>(i % 2 == 0);
+    pair.zero[i] = static_cast<std::uint8_t>((i / 2) % 2 == 0);
+  }
+  return pair;
+}
+
+double code_correlation(std::span<const std::uint8_t> a,
+                        std::span<const std::uint8_t> b) {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sum += (a[i] ? 1.0 : -1.0) * (b[i] ? 1.0 : -1.0);
+  }
+  return sum;
+}
+
+double max_autocorrelation_sidelobe(std::span<const std::uint8_t> code) {
+  const std::size_t n = code.size();
+  double worst = 0.0;
+  for (std::size_t shift = 1; shift < n; ++shift) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint8_t x = code[i];
+      const std::uint8_t y = code[(i + shift) % n];
+      sum += (x ? 1.0 : -1.0) * (y ? 1.0 : -1.0);
+    }
+    worst = std::max(worst, std::abs(sum));
+  }
+  return worst;
+}
+
+}  // namespace wb

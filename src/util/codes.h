@@ -1,0 +1,64 @@
+// Spreading / synchronisation codes used by the Wi-Fi Backscatter link.
+//
+// The tag frames begin with a 13-bit Barker code (paper §6) chosen for its
+// near-ideal autocorrelation; the long-range uplink mode (paper §3.4)
+// represents the one/zero bits with a pair of orthogonal codes of length L,
+// which we derive from Walsh–Hadamard rows.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/bits.h"
+
+namespace wb {
+
+/// The 13-bit Barker sequence (1111100110101), the preamble the prototype
+/// tag transmits at the start of every uplink frame.
+const BitVec& barker13();
+
+/// The 11-bit Barker sequence, used by tests exercising alternate preambles.
+const BitVec& barker11();
+
+/// The 7-bit Barker sequence.
+const BitVec& barker7();
+
+/// Map bits {0,1} to bipolar {-1,+1} doubles, the domain in which
+/// correlation is computed at the reader.
+std::vector<double> to_bipolar(std::span<const std::uint8_t> bits);
+
+/// A pair of codes used by the long-range uplink: code_one is transmitted
+/// for a '1' bit and code_zero for a '0' bit. The two are orthogonal under
+/// the bipolar inner product, so a correlating receiver can distinguish
+/// them even at SNR far below the single-bit detection threshold.
+struct OrthogonalCodePair {
+  BitVec one;
+  BitVec zero;
+  std::size_t length() const { return one.size(); }
+};
+
+/// Build an orthogonal code pair of the given length.
+///
+/// For lengths that are a multiple of 2 we use complementary alternating
+/// structure derived from Walsh rows: `one` is row r of a Hadamard-like
+/// construction and `zero` its complement-in-half, guaranteeing zero
+/// cross-correlation. Any length >= 2 is accepted; odd lengths get the
+/// closest achievable cross-correlation of 1 chip.
+OrthogonalCodePair make_orthogonal_pair(std::size_t length);
+
+/// Bipolar cross-correlation of two equal-length codes:
+/// sum_i (2a_i-1)(2b_i-1). Orthogonal codes give 0; identical give +N.
+double code_correlation(std::span<const std::uint8_t> a,
+                        std::span<const std::uint8_t> b);
+
+/// Walsh–Hadamard row `row` of order `n` (n must be a power of two,
+/// row < n). Returned as bits {0,1} where bit = (sign < 0).
+BitVec walsh_row(std::size_t n, std::size_t row);
+
+/// Autocorrelation sidelobe peak of a code in bipolar domain: the maximum
+/// |correlation| over all non-zero cyclic shifts. Barker codes have
+/// sidelobes <= 1.
+double max_autocorrelation_sidelobe(std::span<const std::uint8_t> code);
+
+}  // namespace wb

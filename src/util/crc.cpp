@@ -1,0 +1,85 @@
+#include "util/crc.h"
+
+#include <array>
+
+#include "util/bits.h"
+
+namespace wb {
+namespace {
+
+// Table generators run once at static-init time; the tables are small and
+// the generation code is simpler to audit than hard-coded constants.
+
+std::array<std::uint8_t, 256> make_crc8_table() {
+  std::array<std::uint8_t, 256> t{};
+  for (int i = 0; i < 256; ++i) {
+    std::uint8_t c = static_cast<std::uint8_t>(i);
+    for (int b = 0; b < 8; ++b) {
+      c = static_cast<std::uint8_t>((c & 0x80u) ? (c << 1) ^ 0x07u : (c << 1));
+    }
+    t[static_cast<std::size_t>(i)] = c;
+  }
+  return t;
+}
+
+std::array<std::uint16_t, 256> make_crc16_table() {
+  std::array<std::uint16_t, 256> t{};
+  for (int i = 0; i < 256; ++i) {
+    std::uint16_t c = static_cast<std::uint16_t>(i << 8);
+    for (int b = 0; b < 8; ++b) {
+      c = static_cast<std::uint16_t>((c & 0x8000u) ? (c << 1) ^ 0x1021u
+                                                   : (c << 1));
+    }
+    t[static_cast<std::size_t>(i)] = c;
+  }
+  return t;
+}
+
+std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int b = 0; b < 8; ++b) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    t[i] = c;
+  }
+  return t;
+}
+
+}  // namespace
+
+std::uint8_t crc8(std::span<const std::uint8_t> data) {
+  static const auto table = make_crc8_table();
+  std::uint8_t c = 0;
+  for (std::uint8_t byte : data) {
+    c = table[static_cast<std::size_t>(c ^ byte)];
+  }
+  return c;
+}
+
+std::uint16_t crc16_ccitt(std::span<const std::uint8_t> data) {
+  static const auto table = make_crc16_table();
+  std::uint16_t c = 0xFFFFu;
+  for (std::uint8_t byte : data) {
+    c = static_cast<std::uint16_t>((c << 8) ^
+                                   table[((c >> 8) ^ byte) & 0xFFu]);
+  }
+  return c;
+}
+
+std::uint32_t crc32_ieee(std::span<const std::uint8_t> data) {
+  static const auto table = make_crc32_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::uint8_t byte : data) {
+    c = table[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint8_t crc8_bits(std::span<const std::uint8_t> bits) {
+  const auto bytes = pack_bits(bits);
+  return crc8(bytes);
+}
+
+}  // namespace wb

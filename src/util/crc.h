@@ -1,0 +1,28 @@
+// CRC implementations used by the Wi-Fi Backscatter framing layers.
+//
+// The downlink/uplink tag frames use CRC-8 (tiny frames, tag-side check is
+// cheap) and CRC-16-CCITT; simulated 802.11 frames carry the standard
+// CRC-32 FCS.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace wb {
+
+/// CRC-8 (poly 0x07, init 0x00), as used on the Wi-Fi Backscatter tag
+/// frames where the MCU must verify integrity with minimal energy.
+std::uint8_t crc8(std::span<const std::uint8_t> data);
+
+/// CRC-16-CCITT (poly 0x1021, init 0xFFFF).
+std::uint16_t crc16_ccitt(std::span<const std::uint8_t> data);
+
+/// CRC-32 (IEEE 802.3 reflected, poly 0xEDB88320, init/final 0xFFFFFFFF),
+/// the FCS used by 802.11 frames.
+std::uint32_t crc32_ieee(std::span<const std::uint8_t> data);
+
+/// Compute CRC-8 over a *bit* string by packing it MSB-first; convenience
+/// for the tag frames whose payloads are expressed as bits end-to-end.
+std::uint8_t crc8_bits(std::span<const std::uint8_t> bits);
+
+}  // namespace wb

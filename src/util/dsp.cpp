@@ -1,0 +1,119 @@
+#include "util/dsp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace wb {
+
+MovingAverage::MovingAverage(std::size_t window) : window_(window) {
+  assert(window_ > 0);
+}
+
+double MovingAverage::push(double x) {
+  buf_.push_back(x);
+  sum_ += x;
+  if (buf_.size() > window_) {
+    sum_ -= buf_.front();
+    buf_.pop_front();
+  }
+  return mean();
+}
+
+double MovingAverage::mean() const {
+  if (buf_.empty()) return 0.0;
+  return sum_ / static_cast<double>(buf_.size());
+}
+
+void MovingAverage::reset() {
+  buf_.clear();
+  sum_ = 0.0;
+}
+
+std::vector<double> remove_moving_average(std::span<const double> x,
+                                          std::size_t window) {
+  MovingAverage avg(window);
+  std::vector<double> out;
+  out.reserve(x.size());
+  for (double v : x) {
+    // Subtract the average of the window *including* the current sample;
+    // with bit periods much shorter than the 400 ms window, the average
+    // tracks the environmental drift while the backscatter square wave
+    // integrates out.
+    out.push_back(v - avg.push(v));
+  }
+  return out;
+}
+
+std::vector<double> normalize_mad(std::span<const double> x) {
+  double mad = 0.0;
+  for (double v : x) mad += std::abs(v);
+  if (x.empty()) return {};
+  mad /= static_cast<double>(x.size());
+  std::vector<double> out(x.begin(), x.end());
+  if (mad <= 0.0) return out;
+  for (double& v : out) v /= mad;
+  return out;
+}
+
+std::vector<double> sliding_correlation(std::span<const double> x,
+                                        std::span<const double> tmpl) {
+  if (tmpl.empty() || x.size() < tmpl.size()) return {};
+  const std::size_t n = x.size() - tmpl.size() + 1;
+  std::vector<double> out(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < tmpl.size(); ++j) {
+      s += x[i + j] * tmpl[j];
+    }
+    out[i] = s;
+  }
+  return out;
+}
+
+std::size_t argmax(std::span<const double> x) {
+  if (x.empty()) return 0;
+  return static_cast<std::size_t>(
+      std::distance(x.begin(), std::max_element(x.begin(), x.end())));
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  return std::inner_product(a.begin(), a.end(), b.begin(), 0.0);
+}
+
+double mean(std::span<const double> x) {
+  if (x.empty()) return 0.0;
+  return std::accumulate(x.begin(), x.end(), 0.0) /
+         static_cast<double>(x.size());
+}
+
+double variance(std::span<const double> x) {
+  if (x.size() < 2) return 0.0;
+  const double m = mean(x);
+  double ss = 0.0;
+  for (double v : x) ss += (v - m) * (v - m);
+  return ss / static_cast<double>(x.size() - 1);
+}
+
+double stddev(std::span<const double> x) { return std::sqrt(variance(x)); }
+
+double pearson(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  if (a.size() < 2) return 0.0;
+  const double ma = mean(a);
+  const double mb = mean(b);
+  double sab = 0.0, saa = 0.0, sbb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    sab += da * db;
+    saa += da * da;
+    sbb += db * db;
+  }
+  if (saa <= 0.0 || sbb <= 0.0) return 0.0;
+  return sab / std::sqrt(saa * sbb);
+}
+
+}  // namespace wb

@@ -1,0 +1,75 @@
+// Signal-processing primitives used by the reader-side decoding pipeline:
+// moving averages, normalisation, and sliding correlation.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <span>
+#include <vector>
+
+namespace wb {
+
+/// Streaming moving average over a fixed-size window (used for the signal
+/// conditioning step of paper §3.2, which subtracts a 400 ms moving average
+/// from the channel measurements).
+///
+/// Until the window fills, the mean of the samples seen so far is returned,
+/// so the filter is usable from the first sample.
+class MovingAverage {
+ public:
+  explicit MovingAverage(std::size_t window);
+
+  /// Push one sample; returns the current window mean.
+  double push(double x);
+
+  /// Current mean without pushing (0 when empty).
+  double mean() const;
+
+  std::size_t window() const { return window_; }
+  std::size_t size() const { return buf_.size(); }
+  bool full() const { return buf_.size() == window_; }
+  void reset();
+
+ private:
+  std::size_t window_;
+  std::deque<double> buf_;
+  double sum_ = 0.0;
+};
+
+/// Subtract a trailing moving average (window `window`) from each sample,
+/// producing the zero-mean series the decoder thresholds. Offline variant
+/// of MovingAverage for batch decoding.
+std::vector<double> remove_moving_average(std::span<const double> x,
+                                          std::size_t window);
+
+/// Normalise a zero-mean series so the mean absolute value becomes 1
+/// (paper §3.2 step 1: divide by the average of |x|). A series of all zeros
+/// is returned unchanged.
+std::vector<double> normalize_mad(std::span<const double> x);
+
+/// Sliding (valid-mode) correlation of a series against a bipolar template.
+/// out[i] = sum_j x[i+j] * tmpl[j]; out has size x.size()-tmpl.size()+1
+/// (empty if the template is longer than the series).
+std::vector<double> sliding_correlation(std::span<const double> x,
+                                        std::span<const double> tmpl);
+
+/// Index of the maximum element (0 for an empty span).
+std::size_t argmax(std::span<const double> x);
+
+/// Inner product of two equal-length spans.
+double dot(std::span<const double> a, std::span<const double> b);
+
+/// Sample mean.
+double mean(std::span<const double> x);
+
+/// Unbiased sample variance (0 for fewer than 2 samples).
+double variance(std::span<const double> x);
+
+/// Sample standard deviation.
+double stddev(std::span<const double> x);
+
+/// Pearson correlation coefficient in [-1, 1]; 0 if either side has zero
+/// variance.
+double pearson(std::span<const double> a, std::span<const double> b);
+
+}  // namespace wb

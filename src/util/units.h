@@ -1,0 +1,46 @@
+// Physical-unit helpers shared across the Wi-Fi Backscatter simulator.
+//
+// Conventions used throughout the codebase:
+//   * time      : microseconds as int64_t (sim ticks) unless noted otherwise
+//   * power     : milliwatts (linear) or dBm, always named explicitly
+//   * distance  : meters (double)
+//   * frequency : Hz (double)
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace wb {
+
+/// Simulation time in microseconds. 64-bit: ~292k years of range.
+using TimeUs = std::int64_t;
+
+inline constexpr TimeUs kMicrosPerMilli = 1'000;
+inline constexpr TimeUs kMicrosPerSec = 1'000'000;
+
+/// Convert a linear power in milliwatts to dBm. `mw` must be > 0.
+inline double mw_to_dbm(double mw) { return 10.0 * std::log10(mw); }
+
+/// Convert a power in dBm to linear milliwatts.
+inline double dbm_to_mw(double dbm) { return std::pow(10.0, dbm / 10.0); }
+
+/// Convert a linear power ratio to decibels. `ratio` must be > 0.
+inline double ratio_to_db(double ratio) { return 10.0 * std::log10(ratio); }
+
+/// Convert decibels to a linear power ratio.
+inline double db_to_ratio(double db) { return std::pow(10.0, db / 10.0); }
+
+/// Convert decibels to a linear *amplitude* (voltage) ratio.
+inline double db_to_amplitude(double db) { return std::pow(10.0, db / 20.0); }
+
+/// Speed of light in m/s; used for wavelength computations.
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+/// Center frequency of Wi-Fi channel 6 (2.4 GHz ISM band), used by the
+/// paper's prototype for all experiments.
+inline constexpr double kWifiChannel6Hz = 2.437e9;
+
+/// Wavelength at a given carrier frequency, in meters.
+inline double wavelength_m(double freq_hz) { return kSpeedOfLight / freq_hz; }
+
+}  // namespace wb

@@ -1,0 +1,84 @@
+#include "wifi/link_sim.h"
+
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace wb::wifi {
+
+LinkSimResult run_link_sim(const LinkSimConfig& cfg, TimeUs duration) {
+  sim::RngStream rng(cfg.seed);
+  auto rng_fade = rng.fork("fading");
+  auto rng_loss = rng.fork("loss");
+  auto rng_mac = rng.fork("mac");
+
+  ArfRateAdapter adapter;
+  LinkSimResult res;
+
+  const TimeUs tag_half_period_us =
+      cfg.tag_depth_db > 0.0
+          ? static_cast<TimeUs>(5e5 / cfg.tag_bit_rate_bps)
+          : 0;
+
+  double t = 0.0;
+  const double end = static_cast<double>(duration);
+  const double interval_us = 500'000.0;
+  double interval_end = interval_us;
+  double interval_bits = 0.0;
+
+  std::uint64_t sent = 0;
+  std::uint64_t lost = 0;
+  RunningStats rate_stats;
+
+  while (t < end) {
+    // DIFS + random backoff (CW of 16 slots, 9 us each).
+    t += 28.0 + 9.0 * static_cast<double>(rng_mac.uniform_int(16));
+    // External contention: with probability busy_frac the medium is taken
+    // and we wait out a foreign frame.
+    while (rng_mac.chance(cfg.contention_busy_frac)) {
+      t += rng_mac.uniform(80.0, 1200.0);  // foreign frame + its overhead
+    }
+
+    const double rate = adapter.current_rate_mbps();
+    rate_stats.push(rate);
+    const double airtime =
+        static_cast<double>(airtime_us(cfg.payload_bytes, rate));
+
+    // Tag square wave: the reflection alternately adds and removes a
+    // small amount of multipath energy.
+    double tag_term = 0.0;
+    if (tag_half_period_us > 0) {
+      const bool phase =
+          (static_cast<TimeUs>(t) / tag_half_period_us) % 2 == 0;
+      tag_term = phase ? cfg.tag_depth_db : -cfg.tag_depth_db;
+    }
+    const double snr = cfg.base_snr_db +
+                       rng_fade.normal(0.0, cfg.snr_jitter_db) + tag_term;
+    const bool ok =
+        !rng_loss.chance(packet_error_rate(snr, rate, cfg.payload_bytes));
+    adapter.on_result(ok);
+    ++sent;
+    if (!ok) ++lost;
+
+    t += airtime + 10.0 /*SIFS*/ + 30.0 /*ACK*/;
+    if (ok) {
+      interval_bits += static_cast<double>(cfg.payload_bytes) * 8.0;
+    }
+    while (t >= interval_end) {
+      res.per_interval_mbps.push_back(interval_bits / interval_us);
+      interval_bits = 0.0;
+      interval_end += interval_us;
+    }
+  }
+
+  RunningStats tput;
+  for (double v : res.per_interval_mbps) tput.push(v);
+  res.mean_throughput_mbps = tput.mean();
+  res.stddev_throughput_mbps = tput.stddev();
+  res.mean_rate_mbps = rate_stats.mean();
+  res.per = sent ? static_cast<double>(lost) / static_cast<double>(sent)
+                 : 0.0;
+  return res;
+}
+
+}  // namespace wb::wifi

@@ -1,0 +1,220 @@
+#include "wifi/mac.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace wb::wifi {
+
+DcfMac::DcfMac(sim::RngStream rng) : rng_(rng) {}
+
+std::uint32_t DcfMac::add_station() {
+  stations_.emplace_back();
+  return static_cast<std::uint32_t>(stations_.size() - 1);
+}
+
+void DcfMac::make_saturated(std::uint32_t station, std::uint32_t size_bytes,
+                            double rate_mbps) {
+  auto& s = stations_.at(station);
+  s.saturated = true;
+  s.sat_size = size_bytes;
+  s.sat_rate = rate_mbps;
+}
+
+void DcfMac::enqueue(std::uint32_t station, TimeUs arrival,
+                     std::uint32_t size, double rate_mbps) {
+  auto& s = stations_.at(station);
+  assert(s.queue.empty() || s.queue.back().arrival <= arrival);
+  s.queue.push_back(Pending{arrival, size, rate_mbps, false, 0});
+  ++s.stats.enqueued;
+}
+
+void DcfMac::enqueue_poisson(std::uint32_t station, double pps,
+                             TimeUs duration, std::uint32_t size,
+                             double rate_mbps, sim::RngStream& rng) {
+  assert(pps > 0.0);
+  double t = rng.exponential(1e6 / pps);
+  while (t < static_cast<double>(duration)) {
+    enqueue(station, static_cast<TimeUs>(t), size, rate_mbps);
+    t += rng.exponential(1e6 / pps);
+  }
+}
+
+void DcfMac::reserve(std::uint32_t station, TimeUs at, TimeUs nav_us) {
+  auto& s = stations_.at(station);
+  assert(s.queue.empty() || s.queue.back().arrival <= at);
+  Pending p;
+  p.arrival = at;
+  p.size = 14;
+  p.rate = 24.0;
+  p.is_cts = true;
+  p.nav_us = nav_us;
+  s.queue.push_back(p);
+  ++s.stats.enqueued;
+}
+
+bool DcfMac::has_frame(const Station& s, TimeUs at) const {
+  if (s.head < s.queue.size() && s.queue[s.head].arrival <= at) return true;
+  return s.saturated;
+}
+
+const DcfMac::Pending DcfMac::frame_of(Station& s, TimeUs at) {
+  if (s.head < s.queue.size() && s.queue[s.head].arrival <= at) {
+    return s.queue[s.head];
+  }
+  assert(s.saturated);
+  Pending p;
+  p.arrival = at;
+  p.size = s.sat_size;
+  p.rate = s.sat_rate;
+  return p;
+}
+
+void DcfMac::pop_frame(Station& s) {
+  if (s.head < s.queue.size()) {
+    ++s.head;
+  }
+  // Saturated synthesis needs no pop.
+}
+
+TimeUs DcfMac::next_arrival_after(TimeUs t) const {
+  TimeUs best = std::numeric_limits<TimeUs>::max();
+  for (const auto& s : stations_) {
+    if (s.saturated) return t;  // always ready
+    if (s.head < s.queue.size()) {
+      best = std::min(best, std::max(s.queue[s.head].arrival, t));
+    }
+  }
+  return best;
+}
+
+void DcfMac::run_until(TimeUs until) {
+  while (now_ < until) {
+    const TimeUs idle_start = std::max({now_, busy_until_, nav_until_});
+    const TimeUs contention_start = idle_start + kDifsUs;
+
+    // Who has something to send once the medium has been idle for DIFS?
+    std::vector<std::size_t> eligible;
+    for (std::size_t i = 0; i < stations_.size(); ++i) {
+      if (has_frame(stations_[i], contention_start)) eligible.push_back(i);
+    }
+    if (eligible.empty()) {
+      const TimeUs next = next_arrival_after(contention_start);
+      if (next >= until || next == std::numeric_limits<TimeUs>::max()) {
+        now_ = until;
+        return;
+      }
+      now_ = next;
+      continue;
+    }
+
+    // Draw backoffs for stations entering contention; keep frozen
+    // counters for the rest (they resumed after the busy period).
+    for (std::size_t i : eligible) {
+      auto& s = stations_[i];
+      if (!s.backoff) {
+        s.backoff = rng_.uniform_int(s.cw + 1);
+      }
+    }
+    std::size_t min_backoff = std::numeric_limits<std::size_t>::max();
+    for (std::size_t i : eligible) {
+      min_backoff = std::min(min_backoff, *stations_[i].backoff);
+    }
+    const TimeUs tx_time =
+        contention_start + static_cast<TimeUs>(min_backoff) * kSlotUs;
+    if (tx_time >= until) {
+      now_ = until;
+      return;
+    }
+
+    std::vector<std::size_t> winners;
+    for (std::size_t i : eligible) {
+      auto& s = stations_[i];
+      if (*s.backoff == min_backoff) {
+        winners.push_back(i);
+      } else {
+        *s.backoff -= min_backoff;  // freeze the remainder
+      }
+    }
+
+    // Transmit: single winner succeeds, several collide.
+    const bool collision = winners.size() > 1;
+    TimeUs longest_air = 0;
+    for (std::size_t i : winners) {
+      auto& s = stations_[i];
+      const Pending frame = frame_of(s, tx_time);
+      WifiPacket pkt;
+      pkt.id = next_packet_id_++;
+      pkt.source = static_cast<std::uint32_t>(i);
+      pkt.kind = frame.is_cts ? FrameKind::kCtsToSelf : FrameKind::kData;
+      pkt.start_us = tx_time;
+      pkt.size_bytes = frame.size;
+      pkt.rate_mbps = frame.rate;
+      pkt.duration_us = airtime_us(frame.size, frame.rate);
+      pkt.nav_us = frame.nav_us;
+      longest_air = std::max(longest_air, pkt.duration_us);
+      log_.push_back(AirFrame{pkt, collision});
+
+      if (collision) {
+        ++s.stats.collisions;
+        ++s.retries;
+        s.cw = std::min(2 * s.cw + 1, kCwMax);
+        s.backoff.reset();
+        if (s.retries > kRetryLimit) {
+          ++s.stats.dropped;
+          s.retries = 0;
+          s.cw = kCwMin;
+          pop_frame(s);
+        }
+      } else {
+        ++s.stats.delivered;
+        s.stats.bytes_delivered += frame.size;
+        s.retries = 0;
+        s.cw = kCwMin;
+        s.backoff.reset();
+        if (s.head < s.queue.size() &&
+            s.queue[s.head].arrival <= tx_time) {
+          pop_frame(s);
+        }
+        if (frame.is_cts) {
+          nav_until_ = std::max(
+              nav_until_, tx_time + airtime_us(frame.size, frame.rate) +
+                              frame.nav_us);
+        }
+      }
+    }
+
+    // Busy time: the frame(s) plus SIFS + ACK on success (data only).
+    TimeUs busy = longest_air;
+    if (!collision) {
+      const auto& last = log_.back().packet;
+      if (last.kind == FrameKind::kData) {
+        busy += kSifsUs + airtime_us(14, 24.0);
+      }
+    }
+    busy_until_ = tx_time + busy;
+    airtime_total_ += busy;
+    now_ = busy_until_;
+  }
+}
+
+PacketTimeline DcfMac::delivered_timeline() const {
+  PacketTimeline out;
+  for (const auto& f : log_) {
+    if (!f.collided && f.packet.kind == FrameKind::kData) {
+      out.push_back(f.packet);
+    }
+  }
+  return out;
+}
+
+const StationStats& DcfMac::stats(std::uint32_t station) const {
+  return stations_.at(station).stats;
+}
+
+double DcfMac::utilisation() const {
+  if (now_ <= 0) return 0.0;
+  return static_cast<double>(airtime_total_) / static_cast<double>(now_);
+}
+
+}  // namespace wb::wifi

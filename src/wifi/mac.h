@@ -1,0 +1,131 @@
+// 802.11 DCF medium-access simulation: CSMA/CA with binary exponential
+// backoff, DIFS/SIFS spacing, ACKs, collisions, and NAV reservations
+// (CTS_to_SELF) — the substrate behind the paper's §4.1/§5 claims that a
+// CTS_to_SELF reservation keeps unaware stations out of the downlink's
+// silence periods, and behind helper-packet-rate behaviour under
+// contention.
+//
+// The model is the standard slotted contention abstraction: when the
+// medium goes idle for DIFS, each backlogged station counts down a random
+// backoff in 9 us slots; the station(s) reaching zero first transmit, and
+// simultaneous winners collide (both frames are marked collided and the
+// stations double their contention windows). Capture effects, hidden
+// terminals and propagation delay are out of scope — none of the paper's
+// experiments depend on them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "wifi/packet.h"
+#include "wifi/traffic.h"
+
+namespace wb::wifi {
+
+/// 802.11 DCF timing constants (802.11g, long slot).
+inline constexpr TimeUs kSlotUs = 9;
+inline constexpr TimeUs kSifsUs = 10;
+inline constexpr TimeUs kDifsUs = kSifsUs + 2 * kSlotUs;  // 28 us
+inline constexpr std::size_t kCwMin = 15;
+inline constexpr std::size_t kCwMax = 1023;
+inline constexpr std::size_t kRetryLimit = 7;
+
+/// Per-station accounting.
+struct StationStats {
+  std::uint64_t enqueued = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t collisions = 0;
+  std::uint64_t dropped = 0;  ///< retry limit exceeded
+  std::uint64_t bytes_delivered = 0;
+};
+
+/// A frame that went on the air (successfully or not).
+struct AirFrame {
+  WifiPacket packet;
+  bool collided = false;
+};
+
+/// DCF simulation over one shared medium.
+class DcfMac {
+ public:
+  explicit DcfMac(sim::RngStream rng);
+
+  /// Register a station; returns its id (also stamped on its frames).
+  std::uint32_t add_station();
+
+  /// Saturated station: always has a frame of `size_bytes` at `rate_mbps`
+  /// ready (models a backlogged UDP source or a 1 GB download).
+  void make_saturated(std::uint32_t station, std::uint32_t size_bytes,
+                      double rate_mbps);
+
+  /// Enqueue one frame for transmission at the given virtual time (must
+  /// not be earlier than frames already enqueued for this station).
+  void enqueue(std::uint32_t station, TimeUs arrival, std::uint32_t size,
+               double rate_mbps);
+
+  /// Enqueue Poisson arrivals for a station over [0, duration).
+  void enqueue_poisson(std::uint32_t station, double pps, TimeUs duration,
+                       std::uint32_t size, double rate_mbps,
+                       sim::RngStream& rng);
+
+  /// Reserve the medium via CTS_to_SELF at (or as soon as possible after)
+  /// `at`: the CTS frame contends like any frame; once it wins, the NAV
+  /// holds everyone else off for `nav_us`.
+  void reserve(std::uint32_t station, TimeUs at, TimeUs nav_us);
+
+  /// Run the contention process until virtual time `until`.
+  void run_until(TimeUs until);
+
+  /// Everything that went on the air, in time order.
+  const std::vector<AirFrame>& log() const { return log_; }
+
+  /// Successful data frames only, as a timeline (collisions excluded) —
+  /// the packets a monitor-mode reader would actually decode.
+  PacketTimeline delivered_timeline() const;
+
+  const StationStats& stats(std::uint32_t station) const;
+
+  /// Medium utilisation in [0,1] over the simulated horizon.
+  double utilisation() const;
+
+  TimeUs now() const { return now_; }
+
+ private:
+  struct Pending {
+    TimeUs arrival;
+    std::uint32_t size;
+    double rate;
+    bool is_cts = false;
+    TimeUs nav_us = 0;
+  };
+  struct Station {
+    std::vector<Pending> queue;  ///< FIFO (front = index head)
+    std::size_t head = 0;
+    bool saturated = false;
+    std::uint32_t sat_size = 1'500;
+    double sat_rate = 54.0;
+    std::size_t cw = kCwMin;
+    std::size_t retries = 0;
+    std::optional<std::size_t> backoff;  ///< remaining slots
+    StationStats stats;
+  };
+
+  bool has_frame(const Station& s, TimeUs at) const;
+  const Pending frame_of(Station& s, TimeUs at);
+  void pop_frame(Station& s);
+  TimeUs next_arrival_after(TimeUs t) const;
+
+  sim::RngStream rng_;
+  std::vector<Station> stations_;
+  std::vector<AirFrame> log_;
+  TimeUs now_ = 0;
+  TimeUs busy_until_ = 0;  ///< medium busy (frames + SIFS + ACK)
+  TimeUs nav_until_ = 0;   ///< virtual carrier sense
+  TimeUs airtime_total_ = 0;
+  std::uint64_t next_packet_id_ = 1;
+};
+
+}  // namespace wb::wifi

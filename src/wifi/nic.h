@@ -1,0 +1,99 @@
+// Commodity-NIC measurement model: degrades the PHY's complex channel
+// truth into what an off-the-shelf card actually reports.
+//
+// The paper's decoding algorithm exists to survive exactly these
+// artefacts, so the model injects each one explicitly:
+//   * amplitude-only CSI with per-packet estimation noise and coarse
+//     quantisation (the 5300 reports ~8-bit values);
+//   * occasional spurious whole-snapshot CSI jumps ("the Intel cards used
+//     in our experiments report spurious changes in the CSI once every so
+//     often", §3.2) — motivates the decoder's hysteresis;
+//   * one chronically weak antenna ("one of the antennas on our Intel
+//     device almost always reported significantly low CSI values", §7.1);
+//   * RSSI as a single cumulative power, quantised to 1 dB — why RSSI
+//     decoding underperforms CSI (§3.3);
+//   * no CSI on beacon frames ("Intel cards do not currently provide CSI
+//     information for beacon packets", §7.5).
+#pragma once
+
+#include "phy/uplink_channel.h"
+#include "sim/rng.h"
+#include "wifi/capture.h"
+#include "wifi/packet.h"
+
+namespace wb::wifi {
+
+struct NicModelParams {
+  /// Std-dev of complex channel-estimation noise per sub-channel, as a
+  /// fraction of the RMS direct-path amplitude (SNR of the CSI estimate).
+  double csi_noise_rel = 0.08;
+
+  /// CSI amplitude reporting scale: reported = |H| / rms(|H|) * csi_scale,
+  /// then quantised. Puts values in the single/double digits like the
+  /// 5300 (Fig 3 shows amplitudes of ~2-17).
+  double csi_scale = 8.0;
+
+  /// CSI quantisation step in reported units (8-bit-ish granularity).
+  double csi_quant_step = 0.02;
+
+  /// Log-normal spread (sigma of ln) of the per-stream noise scale: the
+  /// estimation noise differs visibly between sub-channels on real cards
+  /// (Fig 4: "the variance in the channel measurements ... changes
+  /// significantly with the sub-channel").
+  double csi_noise_spread = 0.8;
+
+  /// Probability per packet of a spurious CSI event: the whole snapshot is
+  /// scaled by a random factor for that packet.
+  double spurious_prob = 0.006;
+
+  /// Spurious event magnitude: scale factor drawn log-uniformly in
+  /// [1/spurious_scale, spurious_scale].
+  double spurious_scale = 1.6;
+
+  /// Index of the chronically weak antenna; kNumAntennas to disable.
+  std::size_t weak_antenna = 2;
+
+  /// Amplitude factor applied to the weak antenna's CSI.
+  double weak_antenna_gain = 0.08;
+
+  /// Per-packet RSSI measurement jitter (AGC + reporting), dB std-dev,
+  /// applied before quantisation. Real cards bounce a dB or so packet to
+  /// packet even in a frozen channel.
+  double rssi_noise_db = 0.18;
+
+  /// RSSI quantisation step, dB.
+  double rssi_quant_db = 1.0;
+
+  /// Thermal noise power per sub-channel, dBm, adding an RSSI noise floor.
+  double noise_floor_dbm = -95.0;
+};
+
+/// Stateless-per-packet NIC front end (holds only its RNG + calibration).
+class NicModel {
+ public:
+  NicModel(const NicModelParams& params, sim::RngStream rng);
+
+  /// Fix the CSI reporting reference to the RMS amplitude of `h` (call once
+  /// with a representative snapshot; the AGC reference must not track the
+  /// backscatter modulation packet-by-packet or it would erase it).
+  void calibrate(const phy::CsiMatrix& h);
+
+  /// Produce the capture record a monitor-mode NIC would emit for a packet
+  /// received through channel truth `h` at `t`.
+  CaptureRecord measure(const phy::CsiMatrix& h, TimeUs t,
+                        std::uint32_t source_id, FrameKind kind);
+
+  const NicModelParams& params() const { return params_; }
+  double reference_amplitude() const { return ref_amp_; }
+
+ private:
+  NicModelParams params_;
+  sim::RngStream rng_;
+  double ref_amp_ = 1.0;
+  bool calibrated_ = false;
+  /// Static per-(antenna, sub-channel) noise scale factors.
+  std::array<std::array<double, phy::kNumSubchannels>, phy::kNumAntennas>
+      noise_factor_{};
+};
+
+}  // namespace wb::wifi

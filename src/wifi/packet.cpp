@@ -1,0 +1,21 @@
+#include "wifi/packet.h"
+
+namespace wb::wifi {
+
+const char* to_string(FrameKind k) {
+  switch (k) {
+    case FrameKind::kData:
+      return "DATA";
+    case FrameKind::kBeacon:
+      return "BEACON";
+    case FrameKind::kCtsToSelf:
+      return "CTS_TO_SELF";
+    case FrameKind::kAck:
+      return "ACK";
+    case FrameKind::kProbe:
+      return "PROBE";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace wb::wifi

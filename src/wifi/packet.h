@@ -1,0 +1,60 @@
+// Wi-Fi packet representation used across the simulator. We model what
+// matters to Wi-Fi Backscatter: who transmitted, when, for how long, at
+// what PHY rate — not the full 802.11 frame format.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/units.h"
+
+namespace wb::wifi {
+
+enum class FrameKind : std::uint8_t {
+  kData,
+  kBeacon,
+  kCtsToSelf,
+  kAck,
+  kProbe,  ///< misc management traffic seen in ambient captures
+};
+
+/// 802.11g PHY rates in Mbps, the set the paper's devices negotiate.
+inline constexpr double kPhyRatesMbps[] = {6, 9, 12, 18, 24, 36, 48, 54};
+inline constexpr std::size_t kNumPhyRates = 8;
+
+/// A transmitted frame on the simulated medium.
+struct WifiPacket {
+  std::uint64_t id = 0;
+  std::uint32_t source = 0;  ///< station id of transmitter
+  std::uint32_t dest = 0;    ///< station id of receiver (0 = broadcast)
+  FrameKind kind = FrameKind::kData;
+  TimeUs start_us = 0;
+  TimeUs duration_us = 0;
+  double rate_mbps = 54.0;
+  std::uint32_t size_bytes = 1500;
+
+  /// NAV reservation carried by the frame (CTS_to_SELF), microseconds
+  /// after frame end during which compliant stations defer.
+  TimeUs nav_us = 0;
+
+  TimeUs end_us() const { return start_us + duration_us; }
+};
+
+/// Airtime of a payload at a PHY rate, including a fixed 20 us
+/// preamble+PLCP overhead (802.11g long preamble is 20 us).
+inline TimeUs airtime_us(std::uint32_t size_bytes, double rate_mbps) {
+  const double payload_us =
+      static_cast<double>(size_bytes) * 8.0 / rate_mbps;
+  return static_cast<TimeUs>(payload_us + 20.0 + 0.5);
+}
+
+/// The smallest frame the paper uses on the downlink: ~40-50 us at
+/// 54 Mbps (§4.1).
+inline constexpr TimeUs kMinPacketUs = 40;
+
+/// 802.11 limits a CTS_to_SELF reservation to 32 ms (§4.1).
+inline constexpr TimeUs kMaxNavUs = 32'000;
+
+const char* to_string(FrameKind k);
+
+}  // namespace wb::wifi

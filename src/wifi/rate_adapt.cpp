@@ -1,0 +1,53 @@
+#include "wifi/rate_adapt.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace wb::wifi {
+
+double required_snr_db(double rate_mbps) {
+  // Standard OFDM demodulation thresholds (dB) for 802.11g rates.
+  if (rate_mbps <= 6.0) return 5.0;
+  if (rate_mbps <= 9.0) return 6.0;
+  if (rate_mbps <= 12.0) return 8.0;
+  if (rate_mbps <= 18.0) return 10.5;
+  if (rate_mbps <= 24.0) return 13.5;
+  if (rate_mbps <= 36.0) return 17.5;
+  if (rate_mbps <= 48.0) return 21.5;
+  return 23.5;
+}
+
+double packet_error_rate(double snr_db, double rate_mbps,
+                         std::size_t size_bytes) {
+  // Logistic PER curve centred on the rate's threshold, sharpened to the
+  // ~2 dB transition width of real OFDM links; frame length shifts the
+  // effective threshold slightly (10*log10 of the bit count ratio / 10).
+  const double len_shift =
+      1.0 * std::log10(static_cast<double>(size_bytes) / 1000.0);
+  const double margin = snr_db - (required_snr_db(rate_mbps) + len_shift);
+  return 1.0 / (1.0 + std::exp(2.2 * margin));
+}
+
+ArfRateAdapter::ArfRateAdapter(Params p, std::size_t initial_index)
+    : params_(p), index_(initial_index) {
+  assert(index_ < kNumPhyRates);
+}
+
+void ArfRateAdapter::on_result(bool success) {
+  if (success) {
+    failure_streak_ = 0;
+    if (++success_streak_ >= params_.up_after &&
+        index_ + 1 < kNumPhyRates) {
+      ++index_;
+      success_streak_ = 0;
+    }
+  } else {
+    success_streak_ = 0;
+    if (++failure_streak_ >= params_.down_after && index_ > 0) {
+      --index_;
+      failure_streak_ = 0;
+    }
+  }
+}
+
+}  // namespace wb::wifi

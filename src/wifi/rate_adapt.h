@@ -1,0 +1,48 @@
+// 802.11 PHY rate adaptation (ARF-style, as shipped in the paper-era
+// devices whose "default bit rate adaptation algorithms" §9 leaves on).
+//
+// Also provides the SNR -> packet-error-rate model used by the link-level
+// simulator: a logistic curve per PHY rate around its demodulation
+// threshold, the standard abstraction for packet-level Wi-Fi simulation.
+#pragma once
+
+#include <cstddef>
+
+#include "wifi/packet.h"
+
+namespace wb::wifi {
+
+/// Minimum SNR (dB) at which each 802.11g rate starts working well.
+double required_snr_db(double rate_mbps);
+
+/// Packet error probability at a given SNR for a given rate and payload
+/// size (longer frames fail more at equal SNR).
+double packet_error_rate(double snr_db, double rate_mbps,
+                         std::size_t size_bytes);
+
+/// Automatic-Rate-Fallback adapter: step the rate up after a streak of
+/// successes, down after consecutive failures.
+class ArfRateAdapter {
+ public:
+  struct Params {
+    std::size_t up_after = 10;   ///< consecutive successes to move up
+    std::size_t down_after = 2;  ///< consecutive failures to move down
+  };
+
+  ArfRateAdapter() : ArfRateAdapter(Params{}) {}
+  explicit ArfRateAdapter(Params p, std::size_t initial_index = 3);
+
+  double current_rate_mbps() const { return kPhyRatesMbps[index_]; }
+  std::size_t rate_index() const { return index_; }
+
+  /// Report the outcome of one transmission at the current rate.
+  void on_result(bool success);
+
+ private:
+  Params params_;
+  std::size_t index_;
+  std::size_t success_streak_ = 0;
+  std::size_t failure_streak_ = 0;
+};
+
+}  // namespace wb::wifi

@@ -1,0 +1,107 @@
+#include "wifi/trace_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace wb::wifi {
+namespace {
+
+std::string header_line() {
+  std::ostringstream os;
+  os << "timestamp_us,source,has_csi";
+  for (std::size_t a = 0; a < phy::kNumAntennas; ++a) {
+    os << ",rssi_a" << a;
+  }
+  for (std::size_t a = 0; a < phy::kNumAntennas; ++a) {
+    for (std::size_t s = 0; s < phy::kNumSubchannels; ++s) {
+      os << ",csi_" << a << "_" << s;
+    }
+  }
+  return os.str();
+}
+
+std::vector<std::string> split(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cell;
+  std::istringstream is(line);
+  while (std::getline(is, cell, ',')) out.push_back(cell);
+  // A trailing empty cell ("...,") is dropped by getline; normalise.
+  if (!line.empty() && line.back() == ',') out.push_back("");
+  return out;
+}
+
+}  // namespace
+
+std::size_t write_capture_csv(std::ostream& os, const CaptureTrace& trace) {
+  // Round-trip-exact doubles.
+  os << std::setprecision(17);
+  os << header_line() << "\n";
+  for (const auto& rec : trace) {
+    os << rec.timestamp_us << ',' << rec.source << ','
+       << (rec.has_csi ? 1 : 0);
+    for (double r : rec.rssi_dbm) os << ',' << r;
+    for (const auto& ant : rec.csi) {
+      for (double v : ant) {
+        os << ',';
+        if (rec.has_csi) os << v;
+      }
+    }
+    os << '\n';
+  }
+  return trace.size();
+}
+
+CaptureTrace read_capture_csv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    throw std::runtime_error("capture csv: empty input");
+  }
+  if (line != header_line()) {
+    throw std::runtime_error("capture csv: unexpected header");
+  }
+  const std::size_t expected_cells =
+      3 + phy::kNumAntennas + kNumCsiStreams;
+
+  CaptureTrace trace;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto cells = split(line);
+    if (cells.size() != expected_cells) {
+      throw std::runtime_error("capture csv: wrong cell count on line " +
+                               std::to_string(line_no));
+    }
+    CaptureRecord rec;
+    std::size_t i = 0;
+    rec.timestamp_us = std::stoll(cells[i++]);
+    rec.source = static_cast<std::uint32_t>(std::stoul(cells[i++]));
+    rec.has_csi = cells[i++] == "1";
+    for (auto& r : rec.rssi_dbm) r = std::stod(cells[i++]);
+    for (auto& ant : rec.csi) {
+      for (auto& v : ant) {
+        v = (rec.has_csi && !cells[i].empty()) ? std::stod(cells[i]) : 0.0;
+        ++i;
+      }
+    }
+    trace.push_back(rec);
+  }
+  return trace;
+}
+
+std::size_t save_capture_csv(const std::string& path,
+                             const CaptureTrace& trace) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open for write: " + path);
+  return write_capture_csv(os, trace);
+}
+
+CaptureTrace load_capture_csv(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open for read: " + path);
+  return read_capture_csv(is);
+}
+
+}  // namespace wb::wifi

@@ -1,0 +1,30 @@
+// Capture-trace serialisation: a simple CSV interchange format so
+// simulated traces can be inspected with standard tooling and traces
+// collected from real hardware (e.g. the Intel CSI tool, converted) can
+// be fed to the decoder.
+//
+// Format: one header line, then one row per packet:
+//   timestamp_us,source,has_csi,rssi_a0,rssi_a1,rssi_a2,csi_0_0,...,csi_2_29
+// CSI cells are left empty for records with has_csi == 0.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "wifi/capture.h"
+
+namespace wb::wifi {
+
+/// Write a trace as CSV. Returns the number of records written.
+std::size_t write_capture_csv(std::ostream& os, const CaptureTrace& trace);
+
+/// Parse a CSV trace written by write_capture_csv (or hand-converted from
+/// hardware dumps). Throws std::runtime_error on malformed input.
+CaptureTrace read_capture_csv(std::istream& is);
+
+/// Convenience file wrappers.
+std::size_t save_capture_csv(const std::string& path,
+                             const CaptureTrace& trace);
+CaptureTrace load_capture_csv(const std::string& path);
+
+}  // namespace wb::wifi

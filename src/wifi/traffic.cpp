@@ -1,0 +1,257 @@
+#include "wifi/traffic.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace wb::wifi {
+namespace {
+
+WifiPacket data_packet(TimeUs start, const TrafficParams& p,
+                       std::uint64_t id) {
+  WifiPacket pkt;
+  pkt.id = id;
+  pkt.source = p.source;
+  pkt.kind = FrameKind::kData;
+  pkt.start_us = start;
+  pkt.size_bytes = p.size_bytes;
+  pkt.rate_mbps = p.rate_mbps;
+  pkt.duration_us = airtime_us(p.size_bytes, p.rate_mbps);
+  return pkt;
+}
+
+}  // namespace
+
+PacketTimeline make_cbr_timeline(double pps, TimeUs duration,
+                                 const TrafficParams& p, sim::RngStream& rng,
+                                 double jitter_frac) {
+  assert(pps > 0.0);
+  PacketTimeline out;
+  const double interval_us = 1e6 / pps;
+  std::uint64_t id = 0;
+  for (double t = 0.0; t < static_cast<double>(duration);
+       t += interval_us) {
+    const double jitter =
+        rng.uniform(-jitter_frac, jitter_frac) * interval_us;
+    const double start = std::max(0.0, t + jitter);
+    if (start >= static_cast<double>(duration)) break;
+    out.push_back(data_packet(static_cast<TimeUs>(start), p, id++));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const WifiPacket& a, const WifiPacket& b) {
+              return a.start_us < b.start_us;
+            });
+  return out;
+}
+
+PacketTimeline make_poisson_timeline(double pps, TimeUs duration,
+                                     const TrafficParams& p,
+                                     sim::RngStream& rng) {
+  assert(pps > 0.0);
+  PacketTimeline out;
+  const double mean_gap_us = 1e6 / pps;
+  std::uint64_t id = 0;
+  double t = rng.exponential(mean_gap_us);
+  while (t < static_cast<double>(duration)) {
+    out.push_back(data_packet(static_cast<TimeUs>(t), p, id++));
+    t += rng.exponential(mean_gap_us);
+  }
+  return out;
+}
+
+PacketTimeline make_bursty_timeline(const BurstyParams& b, TimeUs duration,
+                                    const TrafficParams& p,
+                                    sim::RngStream& rng) {
+  PacketTimeline out;
+  std::uint64_t id = 0;
+  double t = 0.0;
+  const double dur = static_cast<double>(duration);
+  // Bounded Pareto keeps single bursts/idles from swallowing the whole
+  // experiment while preserving heavy-tailed variability.
+  const double burst_lo = b.mean_burst_ms * 0.2;
+  const double burst_hi = b.mean_burst_ms * 20.0;
+  const double idle_lo = b.mean_idle_ms * 0.2;
+  const double idle_hi = b.mean_idle_ms * 20.0;
+  while (t < dur) {
+    const double burst_ms = rng.pareto(b.pareto_alpha, burst_lo, burst_hi);
+    const double burst_end = std::min(dur, t + burst_ms * 1e3);
+    const double gap_us = 1e6 / b.burst_pps;
+    double pt = t + rng.exponential(gap_us);
+    while (pt < burst_end) {
+      out.push_back(data_packet(static_cast<TimeUs>(pt), p, id++));
+      pt += rng.exponential(gap_us);
+    }
+    const double idle_ms = rng.pareto(b.pareto_alpha, idle_lo, idle_hi);
+    t = burst_end + idle_ms * 1e3;
+  }
+  return out;
+}
+
+PacketTimeline make_beacon_timeline(double beacons_per_sec, TimeUs duration,
+                                    std::uint32_t source,
+                                    sim::RngStream& rng) {
+  assert(beacons_per_sec > 0.0);
+  PacketTimeline out;
+  const double interval_us = 1e6 / beacons_per_sec;
+  std::uint64_t id = 0;
+  for (double t = 0.0; t < static_cast<double>(duration);
+       t += interval_us) {
+    WifiPacket pkt;
+    pkt.id = id++;
+    pkt.source = source;
+    pkt.kind = FrameKind::kBeacon;
+    // Beacons go out at a basic rate and carry ~100 bytes of management
+    // payload; exact TBTT has sub-ms scheduling jitter on real APs.
+    pkt.start_us =
+        static_cast<TimeUs>(t + rng.uniform(0.0, 300.0));
+    pkt.size_bytes = 100;
+    pkt.rate_mbps = 6.0;
+    pkt.duration_us = airtime_us(pkt.size_bytes, pkt.rate_mbps);
+    out.push_back(pkt);
+  }
+  return out;
+}
+
+double office_load_pps(double hour_of_day) {
+  // Piecewise-linear profile anchored on Fig 15's measured range
+  // (~100-1100 pps between noon and 8 PM, rising through the afternoon
+  // with a dip around 4 PM and an evening peak).
+  struct Anchor {
+    double hour;
+    double pps;
+  };
+  static constexpr Anchor anchors[] = {
+      {0.0, 60},    {6.0, 60},   {9.0, 350},  {12.0, 520}, {13.5, 700},
+      {15.0, 420},  {16.0, 300}, {17.5, 650}, {19.0, 1050}, {20.0, 900},
+      {22.0, 300},  {24.0, 60},
+  };
+  const double h = std::fmod(std::fmod(hour_of_day, 24.0) + 24.0, 24.0);
+  for (std::size_t i = 1; i < std::size(anchors); ++i) {
+    if (h <= anchors[i].hour) {
+      const auto& a = anchors[i - 1];
+      const auto& b = anchors[i];
+      const double f = (h - a.hour) / (b.hour - a.hour);
+      return a.pps + f * (b.pps - a.pps);
+    }
+  }
+  return anchors[0].pps;
+}
+
+PacketTimeline make_office_timeline(double start_hour, TimeUs duration,
+                                    const TrafficParams& p,
+                                    sim::RngStream& rng) {
+  PacketTimeline out;
+  std::uint64_t id = 0;
+  const double dur = static_cast<double>(duration);
+  double t = 0.0;
+  while (t < dur) {
+    const double hour = start_hour + t / 3.6e9;
+    // +-15% minute-to-minute fluctuation around the diurnal mean.
+    const double pps =
+        office_load_pps(hour) * rng.uniform(0.85, 1.15);
+    const double minute_end = std::min(dur, t + 60e6);
+    const double gap_us = 1e6 / std::max(1.0, pps);
+    double pt = t + rng.exponential(gap_us);
+    while (pt < minute_end) {
+      out.push_back(data_packet(static_cast<TimeUs>(pt), p, id++));
+      pt += rng.exponential(gap_us);
+    }
+    t = minute_end;
+  }
+  return out;
+}
+
+PacketTimeline make_ambient_mix_timeline(double pps, TimeUs duration,
+                                         sim::RngStream& rng) {
+  assert(pps > 0.0);
+  PacketTimeline out;
+  std::uint64_t id = 0;
+  const double dur = static_cast<double>(duration);
+  // Each "arrival" is a data frame + its ACK, so halve the arrival rate to
+  // keep the overall packet rate near `pps`.
+  const double mean_gap_us = 2e6 / pps;
+  double t = rng.exponential(mean_gap_us);
+  while (t < dur) {
+    const double kind = rng.uniform();
+    WifiPacket pkt;
+    pkt.id = id++;
+    pkt.source = 1;
+    pkt.start_us = static_cast<TimeUs>(t);
+    if (kind < 0.6) {
+      // A TCP-style train: 1-8 data frames separated by DIFS + backoff
+      // (tens of microseconds), each followed by its SIFS + ACK. These
+      // dense trains are what can accidentally resemble the downlink
+      // preamble's transition-interval pattern.
+      static constexpr double rates[] = {12.0, 24.0, 54.0};
+      const std::size_t train = 1 + rng.uniform_int(8);
+      TimeUs cursor = pkt.start_us;
+      for (std::size_t f = 0; f < train; ++f) {
+        WifiPacket data;
+        data.id = id++;
+        data.source = 1;
+        data.kind = FrameKind::kData;
+        data.start_us = cursor;
+        data.rate_mbps = rates[rng.uniform_int(3)];
+        data.size_bytes =
+            100 + static_cast<std::uint32_t>(rng.uniform_int(1401));
+        data.duration_us = airtime_us(data.size_bytes, data.rate_mbps);
+        out.push_back(data);
+        // SIFS + ACK from the receiver.
+        WifiPacket ack;
+        ack.id = id++;
+        ack.source = 2;
+        ack.kind = FrameKind::kAck;
+        ack.start_us = data.end_us() + 10;
+        ack.size_bytes = 14;
+        ack.rate_mbps = 24.0;
+        ack.duration_us = airtime_us(ack.size_bytes, ack.rate_mbps);
+        out.push_back(ack);
+        // DIFS (28 us) + random backoff slots before the next frame.
+        cursor = ack.end_us() + 28 +
+                 static_cast<TimeUs>(rng.uniform_int(10) * 9);
+      }
+      t = static_cast<double>(cursor);
+    } else if (kind < 0.9) {
+      // Short control/QoS-null style frames.
+      pkt.kind = FrameKind::kProbe;
+      pkt.size_bytes = 14 + static_cast<std::uint32_t>(rng.uniform_int(60));
+      pkt.rate_mbps = 24.0;
+      pkt.duration_us = airtime_us(pkt.size_bytes, pkt.rate_mbps);
+      out.push_back(pkt);
+    } else {
+      // Management at a basic rate.
+      pkt.kind = FrameKind::kProbe;
+      pkt.size_bytes = 100 + static_cast<std::uint32_t>(rng.uniform_int(200));
+      pkt.rate_mbps = 6.0;
+      pkt.duration_us = airtime_us(pkt.size_bytes, pkt.rate_mbps);
+      out.push_back(pkt);
+    }
+    t += rng.exponential(mean_gap_us);
+  }
+  return out;
+}
+
+PacketTimeline merge_timelines(std::vector<PacketTimeline> timelines) {
+  PacketTimeline out;
+  std::size_t total = 0;
+  for (const auto& t : timelines) total += t.size();
+  out.reserve(total);
+  for (auto& t : timelines) {
+    out.insert(out.end(), t.begin(), t.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const WifiPacket& a, const WifiPacket& b) {
+                     return a.start_us < b.start_us;
+                   });
+  return out;
+}
+
+std::size_t packets_in_window(const PacketTimeline& t, TimeUs from,
+                              TimeUs to) {
+  return static_cast<std::size_t>(std::count_if(
+      t.begin(), t.end(), [from, to](const WifiPacket& p) {
+        return p.start_us >= from && p.start_us < to;
+      }));
+}
+
+}  // namespace wb::wifi

@@ -1,0 +1,83 @@
+// Packet-arrival workload models.
+//
+// The uplink decoder only cares about *when* helper packets arrive (each
+// received packet is one channel sample), so most experiments consume a
+// packet timeline: injected CBR traffic (§7.1-§7.2), Poisson ambient
+// traffic, bursty Pareto on/off traffic (the "Internet traffic is bursty"
+// concern of §5), a diurnal office profile (Fig 15), and AP beacons
+// (Fig 16).
+#pragma once
+
+#include <vector>
+
+#include "sim/rng.h"
+#include "util/units.h"
+#include "wifi/packet.h"
+
+namespace wb::wifi {
+
+using PacketTimeline = std::vector<WifiPacket>;
+
+/// Common knobs for timeline generators.
+struct TrafficParams {
+  std::uint32_t source = 1;          ///< station id stamped on packets
+  std::uint32_t size_bytes = 1000;   ///< payload size
+  double rate_mbps = 54.0;           ///< PHY rate (sets airtime)
+};
+
+/// Constant-bit-rate injection: `pps` packets per second with small
+/// uniform jitter (fraction of the interval), like the paper's
+/// delay-spaced injected traffic.
+PacketTimeline make_cbr_timeline(double pps, TimeUs duration,
+                                 const TrafficParams& p, sim::RngStream& rng,
+                                 double jitter_frac = 0.1);
+
+/// Poisson arrivals at mean rate `pps`.
+PacketTimeline make_poisson_timeline(double pps, TimeUs duration,
+                                     const TrafficParams& p,
+                                     sim::RngStream& rng);
+
+/// Bursty on/off traffic: Pareto-distributed burst and idle durations, with
+/// Poisson arrivals at `burst_pps` inside bursts. Long-run average rate is
+/// burst_pps * on_fraction.
+struct BurstyParams {
+  double burst_pps = 3000.0;    ///< arrival rate inside a burst
+  double mean_burst_ms = 50.0;  ///< mean burst length
+  double mean_idle_ms = 100.0;  ///< mean idle gap
+  double pareto_alpha = 1.5;    ///< tail index for burst/idle lengths
+};
+PacketTimeline make_bursty_timeline(const BurstyParams& b, TimeUs duration,
+                                    const TrafficParams& p,
+                                    sim::RngStream& rng);
+
+/// Beacon schedule: `beacons_per_sec` evenly spaced management frames
+/// (102.4 ms default interval == 9.77 beacons/s).
+PacketTimeline make_beacon_timeline(double beacons_per_sec, TimeUs duration,
+                                    std::uint32_t source, sim::RngStream& rng);
+
+/// Diurnal office network load (packets/s) as a function of the time of
+/// day in hours [0,24). Shape follows Fig 15: several hundred pps around
+/// lunch, a mid-afternoon trough, and an evening peak above 1000 pps.
+double office_load_pps(double hour_of_day);
+
+/// Ambient traffic over a measurement window starting at `start_hour`,
+/// Poisson with the diurnal rate, re-evaluated every minute.
+PacketTimeline make_office_timeline(double start_hour, TimeUs duration,
+                                    const TrafficParams& p,
+                                    sim::RngStream& rng);
+
+/// Realistic ambient mix at mean rate `pps`: full-size data frames at a
+/// spread of PHY rates, each followed by a short ACK, plus control and
+/// management frames. Produces the short-interval structure a tag's
+/// downlink preamble matcher must reject (Fig 18).
+PacketTimeline make_ambient_mix_timeline(double pps, TimeUs duration,
+                                         sim::RngStream& rng);
+
+/// Sort a merged set of timelines by start time (stable for equal starts).
+PacketTimeline merge_timelines(std::vector<PacketTimeline> timelines);
+
+/// Count of packets whose start falls in [from, to).
+std::size_t packets_in_window(const PacketTimeline& t, TimeUs from,
+                              TimeUs to);
+
+}  // namespace wb::wifi

@@ -1,0 +1,137 @@
+// Calibration pins: the headline shapes EXPERIMENTS.md promises, asserted
+// with generous tolerances. If a model or decoder change moves one of
+// these, the figure benches (and the documented paper comparisons) need
+// re-examination — this suite makes that visible in CI instead of in a
+// stale markdown file.
+#include <gtest/gtest.h>
+
+#include "core/downlink_sim.h"
+#include "core/experiments.h"
+#include "core/frame.h"
+#include "phy/uplink_channel.h"
+#include "reader/downlink_encoder.h"
+#include "util/stats.h"
+
+namespace wb {
+namespace {
+
+// ---- uplink (Fig 10) ----
+
+core::UplinkExperimentParams uplink_at(double d, std::uint64_t seed) {
+  core::UplinkExperimentParams p;
+  p.tag_reader_distance_m = d;
+  p.packets_per_bit = 30.0;
+  p.payload_bits = 40;
+  p.runs = 5;
+  p.seed = seed;
+  return p;
+}
+
+TEST(CalibrationPins, CsiCleanAt30cm) {
+  double total = 0.0;
+  for (std::uint64_t s = 1; s <= 2; ++s) {
+    total += core::measure_uplink_ber(uplink_at(0.30, s)).ber_raw;
+  }
+  EXPECT_LT(total / 2.0, 5e-3);
+}
+
+TEST(CalibrationPins, CsiDegradedBeyondOneMeter) {
+  double total = 0.0;
+  for (std::uint64_t s = 1; s <= 3; ++s) {
+    total += core::measure_uplink_ber(uplink_at(1.3, s)).ber_raw;
+  }
+  EXPECT_GT(total / 3.0, 2e-2);
+}
+
+TEST(CalibrationPins, RssiWorksOnlyVeryClose) {
+  auto close_p = uplink_at(0.05, 4);
+  close_p.source = reader::MeasurementSource::kRssi;
+  auto far_p = uplink_at(0.40, 4);
+  far_p.source = reader::MeasurementSource::kRssi;
+  EXPECT_LT(core::measure_uplink_ber(close_p).ber_raw, 2e-2);
+  EXPECT_GT(core::measure_uplink_ber(far_p).ber_raw, 5e-2);
+}
+
+TEST(CalibrationPins, ModulationDepthAtCloseRange) {
+  // Fig 3's premise: visible two-level modulation at 5 cm. The mean
+  // relative depth must be large against the 8% NIC noise but below
+  // unity (a reflection, not a second transmitter).
+  RunningStats depth;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    phy::UplinkChannelParams p;
+    p.tag_pos = {0.05, 0.0};
+    p.helper_pos = {3.05, 0.0};
+    sim::RngStream rng(seed);
+    depth.push(phy::UplinkChannel(p, rng).mean_relative_depth());
+  }
+  EXPECT_GT(depth.mean(), 0.12);
+  EXPECT_LT(depth.mean(), 0.8);
+}
+
+// ---- coded uplink (Fig 20) ----
+
+TEST(CalibrationPins, CodedExtendsRangePastTwoMeters) {
+  core::CodedExperimentParams p;
+  p.tag_reader_distance_m = 2.1;
+  p.packets_per_chip = 2.0;
+  p.code_length = 32;
+  p.payload_bits = 16;
+  p.runs = 4;
+  p.seed = 7;
+  EXPECT_LT(core::measure_coded_uplink_ber(p).ber_raw, 3e-2);
+}
+
+// ---- downlink (Fig 17) ----
+
+double downlink_slot_ber(double distance_m, TimeUs slot_us,
+                         std::uint64_t seed) {
+  reader::DownlinkEncoderConfig enc_cfg;
+  enc_cfg.slot_us = slot_us;
+  reader::DownlinkEncoder encoder(enc_cfg);
+  BerCounter ber;
+  for (std::uint64_t round = 0; round < 8; ++round) {
+    BitVec message = core::downlink_preamble();
+    const BitVec data = random_bits(400, seed + round);
+    message.insert(message.end(), data.begin(), data.end());
+    const auto tx = encoder.encode(message, 500);
+    core::DownlinkSimConfig cfg;
+    cfg.reader_tag_distance_m = distance_m;
+    cfg.mcu.bit_duration_us = slot_us;
+    cfg.seed = seed * 131 + round;
+    core::DownlinkSim sim(cfg);
+    const auto rep = sim.run(tx, {}, tx.end_us + 1'000);
+    BitVec truth;
+    for (const auto& s : tx.slots) truth.push_back(s.bit);
+    ber.add(truth, rep.slot_levels);
+  }
+  return ber.ber();
+}
+
+TEST(CalibrationPins, Downlink20kbpsCliffNearTwoMeters) {
+  EXPECT_LT(downlink_slot_ber(1.5, 50, 1), 1e-2);
+  EXPECT_GT(downlink_slot_ber(3.0, 50, 1), 3e-2);
+}
+
+TEST(CalibrationPins, Downlink10kbpsOutranges20kbps) {
+  const double at_2_6m_fast = downlink_slot_ber(2.6, 50, 2);
+  const double at_2_6m_slow = downlink_slot_ber(2.6, 100, 2);
+  EXPECT_LT(at_2_6m_slow, at_2_6m_fast);
+  EXPECT_LT(at_2_6m_slow, 1e-2);
+}
+
+// ---- rate scaling (Fig 12) ----
+
+TEST(CalibrationPins, KilobitUplinkNeedsKiloHelperRate) {
+  core::UplinkExperimentParams p;
+  p.tag_reader_distance_m = 0.05;
+  p.payload_bits = 48;
+  p.runs = 3;
+  p.seed = 5;
+  p.helper_pps = 3'000.0;
+  EXPECT_GE(core::achievable_bit_rate(p), 500.0);
+  p.helper_pps = 300.0;
+  EXPECT_LE(core::achievable_bit_rate(p), 200.0);
+}
+
+}  // namespace
+}  // namespace wb

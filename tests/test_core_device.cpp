@@ -1,0 +1,111 @@
+#include "core/device.h"
+
+#include <gtest/gtest.h>
+
+namespace wb::core {
+namespace {
+
+SystemConfig friendly(std::uint64_t seed) {
+  SystemConfig cfg;
+  cfg.tag_reader_distance_m = 0.10;
+  cfg.helper_pps = 2'000.0;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TagDevice make_thermometer(std::uint16_t addr, std::uint16_t reading) {
+  TagDevice dev(addr);
+  dev.add_register(0, TagRegister{"temperature",
+                                  [reading] { return reading; }});
+  return dev;
+}
+
+TEST(TagDevice, HandlesAddressedReadQuery) {
+  auto dev = make_thermometer(0x0042, 2215);
+  Query q;
+  q.tag_address = 0x0042;
+  q.command = kCmdReadSensor;
+  const auto resp = dev.handle(q);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->size(), kDeviceResponseBits);
+  EXPECT_EQ(pack_uint({resp->data(), 16}), 0x0042u);
+  EXPECT_EQ(pack_uint({resp->data() + 24, 16}), 2215u);
+  EXPECT_EQ(dev.queries_served(), 1u);
+}
+
+TEST(TagDevice, SilentForOtherAddresses) {
+  auto dev = make_thermometer(0x0042, 2215);
+  Query q;
+  q.tag_address = 0x0099;
+  q.command = kCmdReadSensor;
+  EXPECT_FALSE(dev.handle(q).has_value());
+  EXPECT_EQ(dev.queries_served(), 0u);
+}
+
+TEST(TagDevice, SilentForUnknownRegister) {
+  auto dev = make_thermometer(0x0042, 2215);
+  Query q;
+  q.tag_address = 0x0042;
+  q.command = kCmdReadSensor;
+  q.argument = 7;  // no register 7
+  EXPECT_FALSE(dev.handle(q).has_value());
+}
+
+TEST(TagDevice, MultipleRegistersDispatchByIndex) {
+  TagDevice dev(0x0001);
+  dev.add_register(0, TagRegister{"temp", [] { return 100; }});
+  dev.add_register(1, TagRegister{"humidity", [] { return 55; }});
+  Query q;
+  q.tag_address = 0x0001;
+  q.command = kCmdReadSensor;
+  q.argument = 1;
+  const auto resp = dev.handle(q);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(pack_uint({resp->data() + 16, 8}), 1u);
+  EXPECT_EQ(pack_uint({resp->data() + 24, 16}), 55u);
+}
+
+TEST(QueryDevice, EndToEndReadsRegister) {
+  WiFiBackscatterSystem system(friendly(1));
+  auto dev = make_thermometer(0x0042, 2215);
+  Query q;
+  q.tag_address = 0x0042;
+  q.command = kCmdReadSensor;
+  const auto out = query_device(system, dev, q);
+  ASSERT_TRUE(out.transport.downlink.delivered);
+  ASSERT_TRUE(out.addressed_tag_responded);
+  ASSERT_TRUE(out.value.has_value());
+  EXPECT_EQ(*out.value, 2215u);
+  EXPECT_EQ(dev.queries_served(), 1u);
+}
+
+TEST(QueryDevice, WrongAddressNeverGetsResponse) {
+  WiFiBackscatterSystem system(friendly(2));
+  auto dev = make_thermometer(0x0042, 2215);
+  Query q;
+  q.tag_address = 0x0043;
+  q.command = kCmdReadSensor;
+  const auto out = query_device(system, dev, q);
+  EXPECT_TRUE(out.transport.downlink.delivered);  // the tag heard it...
+  EXPECT_FALSE(out.addressed_tag_responded);      // ...and stayed silent
+  EXPECT_FALSE(out.value.has_value());
+}
+
+TEST(QueryDevice, SensorValueChangesAcrossQueries) {
+  WiFiBackscatterSystem system(friendly(3));
+  std::uint16_t reading = 100;
+  TagDevice dev(0x0007);
+  dev.add_register(0, TagRegister{"counter", [&reading] { return reading; }});
+  Query q;
+  q.tag_address = 0x0007;
+  q.command = kCmdReadSensor;
+  const auto first = query_device(system, dev, q);
+  reading = 200;
+  const auto second = query_device(system, dev, q);
+  ASSERT_TRUE(first.value && second.value);
+  EXPECT_EQ(*first.value, 100u);
+  EXPECT_EQ(*second.value, 200u);
+}
+
+}  // namespace
+}  // namespace wb::core

@@ -1,0 +1,186 @@
+#include "core/frame.h"
+
+#include <gtest/gtest.h>
+
+namespace wb::core {
+namespace {
+
+TEST(UplinkFrame, BuildLayout) {
+  const BitVec data = bits_from_string("10110011");
+  const auto frame = build_uplink_frame(data);
+  EXPECT_EQ(frame.size(),
+            uplink_preamble().size() + uplink_payload_bits(data.size()));
+  // Preamble first.
+  for (std::size_t i = 0; i < uplink_preamble().size(); ++i) {
+    EXPECT_EQ(frame[i], uplink_preamble()[i]);
+  }
+  // Postamble last.
+  const auto& post = uplink_postamble();
+  for (std::size_t i = 0; i < post.size(); ++i) {
+    EXPECT_EQ(frame[frame.size() - post.size() + i], post[i]);
+  }
+}
+
+TEST(UplinkFrame, PostambleIsReversedPreamble) {
+  BitVec rev = uplink_preamble();
+  std::reverse(rev.begin(), rev.end());
+  EXPECT_EQ(uplink_postamble(), rev);
+}
+
+TEST(UplinkFrame, ParseRoundtrip) {
+  const BitVec data = random_bits(24, 5);
+  const auto frame = build_uplink_frame(data);
+  const BitVec payload(frame.begin() +
+                           static_cast<long>(uplink_preamble().size()),
+                       frame.end());
+  const auto parsed = parse_uplink_payload(payload, data.size());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, data);
+}
+
+TEST(UplinkFrame, ParseRejectsCorruptedData) {
+  const BitVec data = random_bits(24, 6);
+  const auto frame = build_uplink_frame(data);
+  BitVec payload(frame.begin() +
+                     static_cast<long>(uplink_preamble().size()),
+                 frame.end());
+  payload[3] ^= 1;
+  EXPECT_FALSE(parse_uplink_payload(payload, data.size()).has_value());
+}
+
+TEST(UplinkFrame, ParseRejectsCorruptedCrc) {
+  const BitVec data = random_bits(24, 7);
+  const auto frame = build_uplink_frame(data);
+  BitVec payload(frame.begin() +
+                     static_cast<long>(uplink_preamble().size()),
+                 frame.end());
+  payload[data.size() + 2] ^= 1;  // inside the CRC field
+  EXPECT_FALSE(parse_uplink_payload(payload, data.size()).has_value());
+}
+
+TEST(UplinkFrame, ParseRejectsCorruptedPostamble) {
+  const BitVec data = random_bits(24, 8);
+  const auto frame = build_uplink_frame(data);
+  BitVec payload(frame.begin() +
+                     static_cast<long>(uplink_preamble().size()),
+                 frame.end());
+  payload.back() ^= 1;
+  EXPECT_FALSE(parse_uplink_payload(payload, data.size()).has_value());
+}
+
+TEST(UplinkFrame, ParseRejectsWrongLength) {
+  EXPECT_FALSE(parse_uplink_payload(BitVec(10, 0), 24).has_value());
+}
+
+TEST(DownlinkFrame, BuildLayout) {
+  const BitVec data = random_bits(kDownlinkDataBits, 9);
+  const auto frame = build_downlink_frame(data);
+  EXPECT_EQ(frame.size(),
+            downlink_preamble().size() + kDownlinkPayloadBits);
+}
+
+TEST(DownlinkFrame, ParseRoundtrip) {
+  const BitVec data = random_bits(kDownlinkDataBits, 10);
+  const auto frame = build_downlink_frame(data);
+  const BitVec payload(
+      frame.begin() + static_cast<long>(downlink_preamble().size()),
+      frame.end());
+  const auto parsed = parse_downlink_payload(payload);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, data);
+}
+
+TEST(DownlinkFrame, ParseRejectsBitError) {
+  const BitVec data = random_bits(kDownlinkDataBits, 11);
+  const auto frame = build_downlink_frame(data);
+  for (std::size_t flip : {0u, 20u, 55u, 60u, 63u}) {
+    BitVec payload(
+        frame.begin() + static_cast<long>(downlink_preamble().size()),
+        frame.end());
+    payload[flip] ^= 1;
+    EXPECT_FALSE(parse_downlink_payload(payload).has_value()) << flip;
+  }
+}
+
+TEST(DownlinkFrame, ShortDataZeroPadded) {
+  const BitVec data = bits_from_string("1111");
+  const auto frame = build_downlink_frame(data);
+  EXPECT_EQ(frame.size(),
+            downlink_preamble().size() + kDownlinkPayloadBits);
+  const BitVec payload(
+      frame.begin() + static_cast<long>(downlink_preamble().size()),
+      frame.end());
+  const auto parsed = parse_downlink_payload(payload);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(BitVec(parsed->begin(), parsed->begin() + 4), data);
+  for (std::size_t i = 4; i < kDownlinkDataBits; ++i) {
+    EXPECT_EQ((*parsed)[i], 0);
+  }
+}
+
+TEST(DownlinkFrame, PreambleMatchesMcuDefault) {
+  // The frame layer and the tag firmware must agree on the preamble or no
+  // downlink frame is ever detected (this was a real bug).
+  EXPECT_EQ(downlink_preamble(), bits_from_string("1100100111111111"));
+}
+
+TEST(Query, SerialisationRoundtrip) {
+  Query q;
+  q.tag_address = 0xBEEF;
+  q.command = kCmdReadSensor;
+  q.bitrate_code = 2;
+  q.argument = 0x123456;
+  const auto bits = q.to_bits();
+  EXPECT_EQ(bits.size(), kDownlinkDataBits);
+  const auto parsed = Query::from_bits(bits);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->tag_address, 0xBEEF);
+  EXPECT_EQ(parsed->command, kCmdReadSensor);
+  EXPECT_EQ(parsed->bitrate_code, 2);
+  EXPECT_EQ(parsed->argument, 0x123456u);
+}
+
+TEST(Query, ArgumentTruncatedTo24Bits) {
+  Query q;
+  q.argument = 0xFFFFFFFF;
+  const auto parsed = Query::from_bits(q.to_bits());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->argument, 0xFFFFFFu);
+}
+
+TEST(Query, FromBitsRejectsWrongSize) {
+  EXPECT_FALSE(Query::from_bits(BitVec(10, 0)).has_value());
+}
+
+class QueryRoundtrip : public ::testing::TestWithParam<std::uint16_t> {};
+
+TEST_P(QueryRoundtrip, AddressPreserved) {
+  Query q;
+  q.tag_address = GetParam();
+  const auto parsed = Query::from_bits(q.to_bits());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->tag_address, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Addresses, QueryRoundtrip,
+                         ::testing::Values(0x0000, 0x0001, 0x8000, 0xFFFF,
+                                           0x1234, 0xAAAA));
+
+TEST(UplinkFrame, EndToEndThroughFrameLayer) {
+  // Frame-level property: any data roundtrips; any single-bit corruption
+  // anywhere in the payload region is caught.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const BitVec data = random_bits(32, seed);
+    const auto frame = build_uplink_frame(data);
+    BitVec payload(frame.begin() +
+                       static_cast<long>(uplink_preamble().size()),
+                   frame.end());
+    ASSERT_EQ(*parse_uplink_payload(payload, 32), data);
+    const std::size_t flip = (seed * 7) % payload.size();
+    payload[flip] ^= 1;
+    EXPECT_FALSE(parse_uplink_payload(payload, 32).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace wb::core

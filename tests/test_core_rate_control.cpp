@@ -1,0 +1,105 @@
+#include "core/rate_control.h"
+
+#include <gtest/gtest.h>
+
+namespace wb::core {
+namespace {
+
+RateControl make_rc(double m, double safety = 0.8) {
+  return RateControl(RateControlParams{m, safety});
+}
+
+TEST(RateControl, RawRateIsNOverM) {
+  const auto rc = make_rc(10.0);
+  EXPECT_DOUBLE_EQ(rc.raw_rate_bps(3'000.0), 300.0);
+  EXPECT_DOUBLE_EQ(rc.raw_rate_bps(500.0), 50.0);
+}
+
+TEST(RateControl, ChoosesLargestSupportedUnderBudget) {
+  const auto rc = make_rc(10.0, 1.0);
+  EXPECT_DOUBLE_EQ(rc.choose_bit_rate(10'000.0), 1'000.0);
+  EXPECT_DOUBLE_EQ(rc.choose_bit_rate(5'100.0), 500.0);
+  EXPECT_DOUBLE_EQ(rc.choose_bit_rate(2'100.0), 200.0);
+}
+
+TEST(RateControl, SafetyFactorIsConservative) {
+  // At exactly 1000 bps budget the 0.8 safety factor steps down to 500.
+  const auto strict = make_rc(1.0, 0.8);
+  EXPECT_DOUBLE_EQ(strict.choose_bit_rate(1'000.0), 500.0);
+  const auto loose = make_rc(1.0, 1.0);
+  EXPECT_DOUBLE_EQ(loose.choose_bit_rate(1'000.0), 1'000.0);
+}
+
+TEST(RateControl, FloorsAtSlowestSupportedRate) {
+  const auto rc = make_rc(30.0);
+  EXPECT_DOUBLE_EQ(rc.choose_bit_rate(100.0), 100.0);
+}
+
+TEST(RateControl, PaperOperatingPoints) {
+  // §7.2 / Fig 12: ~100 bps at 500 pkt/s; ~1 kbps at ~3070 pkt/s. The
+  // paper's M is small at close range; M=3 with the safety factor lands on
+  // the paper's rates.
+  const auto rc = make_rc(3.0);
+  EXPECT_DOUBLE_EQ(rc.choose_bit_rate(500.0), 100.0);
+  EXPECT_DOUBLE_EQ(rc.choose_bit_rate(3'070.0), 500.0);
+  const auto rc_fast = make_rc(2.0);
+  EXPECT_DOUBLE_EQ(rc_fast.choose_bit_rate(3'070.0), 1'000.0);
+}
+
+TEST(RateControl, RateCodeRoundtrip) {
+  const auto rc = make_rc(5.0);
+  for (double rate : kSupportedBitRates) {
+    EXPECT_DOUBLE_EQ(RateControl::rate_from_code(rc.rate_code(rate)), rate);
+  }
+}
+
+TEST(RateControl, UnknownRateCodesToSlowest) {
+  const auto rc = make_rc(5.0);
+  EXPECT_EQ(rc.rate_code(123.0), 0);
+}
+
+TEST(RateControl, OutOfRangeCodeClamps) {
+  EXPECT_DOUBLE_EQ(RateControl::rate_from_code(200),
+                   kSupportedBitRates.back());
+}
+
+TEST(RateControl, MeasuredPacketRate) {
+  wifi::CaptureTrace trace;
+  for (int i = 0; i < 100; ++i) {
+    wifi::CaptureRecord r;
+    r.timestamp_us = i * 1'000;  // 1000 pkt/s
+    trace.push_back(r);
+  }
+  EXPECT_NEAR(RateControl::measured_packet_rate(trace, 50'000), 1'000.0,
+              50.0);
+}
+
+TEST(RateControl, MeasuredRateUsesOnlyRecentWindow) {
+  wifi::CaptureTrace trace;
+  // 10 packets long ago, then 50 packets in the last 10 ms.
+  for (int i = 0; i < 10; ++i) {
+    wifi::CaptureRecord r;
+    r.timestamp_us = i * 100;
+    trace.push_back(r);
+  }
+  for (int i = 0; i < 50; ++i) {
+    wifi::CaptureRecord r;
+    r.timestamp_us = 1'000'000 + i * 200;
+    trace.push_back(r);
+  }
+  EXPECT_NEAR(RateControl::measured_packet_rate(trace, 10'000), 5'000.0,
+              100.0);
+}
+
+TEST(RateControl, EmptyTraceZeroRate) {
+  EXPECT_DOUBLE_EQ(RateControl::measured_packet_rate({}, 1'000), 0.0);
+}
+
+TEST(RateControl, SupportedRatesAreThePapersSet) {
+  ASSERT_EQ(kSupportedBitRates.size(), 4u);
+  EXPECT_DOUBLE_EQ(kSupportedBitRates[0], 100.0);
+  EXPECT_DOUBLE_EQ(kSupportedBitRates[3], 1'000.0);
+}
+
+}  // namespace
+}  // namespace wb::core

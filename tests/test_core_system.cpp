@@ -1,0 +1,138 @@
+#include "core/system.h"
+
+#include <gtest/gtest.h>
+
+namespace wb::core {
+namespace {
+
+SystemConfig friendly_config(std::uint64_t seed) {
+  SystemConfig cfg;
+  cfg.tag_reader_distance_m = 0.10;
+  cfg.helper_distance_m = 3.0;
+  cfg.helper_pps = 2'000.0;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(System, DownlinkDeliversQuery) {
+  WiFiBackscatterSystem sys(friendly_config(1));
+  Query q;
+  q.tag_address = 0x0042;
+  q.command = kCmdReadSensor;
+  const auto out = sys.send_downlink(q.to_bits());
+  ASSERT_TRUE(out.delivered);
+  ASSERT_TRUE(out.decoded_query.has_value());
+  EXPECT_EQ(out.decoded_query->tag_address, 0x0042);
+  EXPECT_GT(out.tag_energy_uj, 0.0);
+}
+
+TEST(System, UplinkDeliversData) {
+  WiFiBackscatterSystem sys(friendly_config(2));
+  const BitVec data = random_bits(32, 99);
+  const auto out = sys.receive_uplink(data, 200.0);
+  ASSERT_TRUE(out.sync_found);
+  ASSERT_TRUE(out.delivered);
+  EXPECT_EQ(out.data, data);
+  EXPECT_EQ(out.bit_errors, 0u);
+  EXPECT_DOUBLE_EQ(out.bit_rate_bps, 200.0);
+}
+
+TEST(System, FullQueryRoundTrip) {
+  WiFiBackscatterSystem sys(friendly_config(3));
+  Query q;
+  q.tag_address = 0x7;
+  q.command = kCmdReadSensor;
+  const BitVec data = random_bits(24, 55);
+  const auto out = sys.query(q, data);
+  ASSERT_TRUE(out.success());
+  EXPECT_EQ(out.uplink.data, data);
+  // The tag used a rate from the supported set.
+  bool supported = false;
+  for (double r : kSupportedBitRates) {
+    if (out.uplink.bit_rate_bps == r) supported = true;
+  }
+  EXPECT_TRUE(supported);
+}
+
+TEST(System, CommandedRateTracksHelperLoad) {
+  SystemConfig slow = friendly_config(4);
+  slow.helper_pps = 400.0;
+  SystemConfig fast = friendly_config(4);
+  fast.helper_pps = 15'000.0;
+  EXPECT_LT(WiFiBackscatterSystem(slow).commanded_bit_rate(),
+            WiFiBackscatterSystem(fast).commanded_bit_rate());
+}
+
+TEST(System, QueryCarriesCommandedRateCode) {
+  SystemConfig cfg = friendly_config(5);
+  cfg.helper_pps = 15'000.0;
+  cfg.packets_per_bit = 10.0;
+  WiFiBackscatterSystem sys(cfg);
+  Query q;
+  q.command = kCmdReadSensor;
+  const auto out = sys.query(q, random_bits(16, 1));
+  ASSERT_TRUE(out.downlink.delivered);
+  // 15000/10*0.8 = 1200 -> chooses 1000 bps (code 3).
+  EXPECT_EQ(out.downlink.decoded_query->bitrate_code, 3);
+  EXPECT_DOUBLE_EQ(out.uplink.bit_rate_bps, 1'000.0);
+}
+
+TEST(System, RssiUplinkWorksAtCloseRange) {
+  SystemConfig cfg = friendly_config(6);
+  cfg.tag_reader_distance_m = 0.05;
+  cfg.uplink_source = reader::MeasurementSource::kRssi;
+  WiFiBackscatterSystem sys(cfg);
+  const BitVec data = random_bits(16, 5);
+  const auto out = sys.receive_uplink(data, 100.0);
+  EXPECT_TRUE(out.sync_found);
+  EXPECT_TRUE(out.delivered);
+}
+
+TEST(System, AckExchangeDetectsRealAck) {
+  WiFiBackscatterSystem sys(friendly_config(8));
+  EXPECT_TRUE(sys.exchange_ack(true));
+  EXPECT_FALSE(sys.exchange_ack(false));
+}
+
+TEST(System, AckEnabledQuerySucceeds) {
+  SystemConfig cfg = friendly_config(9);
+  cfg.ack_enabled = true;
+  WiFiBackscatterSystem sys(cfg);
+  Query q;
+  q.command = kCmdReadSensor;
+  const BitVec data = random_bits(24, 77);
+  const auto out = sys.query(q, data);
+  ASSERT_TRUE(out.success());
+  ASSERT_TRUE(out.downlink.ack_detected.has_value());
+  EXPECT_TRUE(*out.downlink.ack_detected);
+  EXPECT_EQ(out.uplink.data, data);
+}
+
+TEST(System, AckPreventsUplinkWaitOnMissedQuery) {
+  SystemConfig cfg = friendly_config(10);
+  cfg.ack_enabled = true;
+  cfg.tag_reader_distance_m = 8.0;  // downlink cannot reach
+  cfg.max_query_attempts = 2;
+  WiFiBackscatterSystem sys(cfg);
+  Query q;
+  const auto out = sys.query(q, random_bits(8, 3));
+  EXPECT_FALSE(out.success());
+  ASSERT_TRUE(out.downlink.ack_detected.has_value());
+  EXPECT_FALSE(*out.downlink.ack_detected);
+  // The reader never attempted the slow uplink.
+  EXPECT_FALSE(out.uplink.sync_found);
+}
+
+TEST(System, FarDownlinkFailsGracefully) {
+  SystemConfig cfg = friendly_config(7);
+  cfg.tag_reader_distance_m = 8.0;  // far beyond downlink range
+  cfg.max_query_attempts = 2;
+  WiFiBackscatterSystem sys(cfg);
+  Query q;
+  const auto out = sys.query(q, random_bits(8, 2));
+  EXPECT_FALSE(out.success());
+  EXPECT_EQ(out.downlink.attempts, 2u);
+}
+
+}  // namespace
+}  // namespace wb::core

@@ -1,0 +1,172 @@
+#include "phy/uplink_channel.h"
+
+#include <gtest/gtest.h>
+
+#include "phy/drift.h"
+#include "util/stats.h"
+
+namespace wb::phy {
+namespace {
+
+UplinkChannelParams params_at(double tag_reader_m) {
+  UplinkChannelParams p;
+  p.reader_pos = {0.0, 0.0};
+  p.tag_pos = {tag_reader_m, 0.0};
+  p.helper_pos = {tag_reader_m + 3.0, 0.0};
+  return p;
+}
+
+TEST(OuProcess, StartsFromStationaryDistribution) {
+  RunningStats stats;
+  for (int i = 0; i < 2'000; ++i) {
+    sim::RngStream rng(static_cast<std::uint64_t>(i) + 1);
+    OuProcess ou(1.0, 0.5, rng);
+    stats.push(ou.at(0));
+  }
+  EXPECT_NEAR(stats.mean(), 0.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 0.5, 0.05);
+}
+
+TEST(OuProcess, StationaryVarianceOverTime) {
+  sim::RngStream rng(3);
+  OuProcess ou(0.5, 0.2, rng);
+  RunningStats stats;
+  for (TimeUs t = 0; t < 60 * kMicrosPerSec; t += 10'000) {
+    stats.push(ou.at(t));
+  }
+  EXPECT_NEAR(stats.stddev(), 0.2, 0.05);
+}
+
+TEST(OuProcess, ContinuousOverSmallSteps) {
+  sim::RngStream rng(4);
+  OuProcess ou(2.0, 0.1, rng);
+  double prev = ou.at(0);
+  for (TimeUs t = 100; t < 100'000; t += 100) {
+    const double x = ou.at(t);
+    EXPECT_LT(std::abs(x - prev), 0.05);  // 100 us steps are tiny vs tau
+    prev = x;
+  }
+}
+
+TEST(OuProcess, ZeroDtReturnsSameValue) {
+  sim::RngStream rng(5);
+  OuProcess ou(1.0, 0.3, rng);
+  const double a = ou.at(1'000);
+  const double b = ou.at(1'000);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(UplinkChannel, ResponseIsDirectPlusDelta) {
+  sim::RngStream rng(6);
+  UplinkChannelParams p = params_at(0.3);
+  p.drift.antenna_sigma = 0.0;  // disable drift for exactness
+  p.drift.subchannel_sigma = 0.0;
+  UplinkChannel ch(p, rng);
+  const auto off = ch.response(false, 0);
+  const auto on = ch.response(true, 0);
+  for (std::size_t a = 0; a < kNumAntennas; ++a) {
+    for (std::size_t s = 0; s < kNumSubchannels; ++s) {
+      EXPECT_NEAR(std::abs(on[a][s] - off[a][s] - ch.delta()[a][s]), 0.0,
+                  1e-12);
+    }
+  }
+}
+
+TEST(UplinkChannel, DepthDecaysWithTagReaderDistance) {
+  double prev = 1e9;
+  for (double d : {0.05, 0.2, 0.5, 1.0, 2.0}) {
+    sim::RngStream rng(7);  // same multipath luck across distances
+    UplinkChannel ch(params_at(d), rng);
+    const double depth = ch.mean_relative_depth();
+    EXPECT_LT(depth, prev) << d;
+    prev = depth;
+  }
+}
+
+TEST(UplinkChannel, DepthIsSubstantialAtCloseRange) {
+  sim::RngStream rng(8);
+  UplinkChannel ch(params_at(0.05), rng);
+  // Fig 3: clearly visible two-level modulation at 5 cm.
+  EXPECT_GT(ch.mean_relative_depth(), 0.05);
+  EXPECT_LT(ch.mean_relative_depth(), 1.5);
+}
+
+TEST(UplinkChannel, DriftChangesResponseOverTime) {
+  sim::RngStream rng(9);
+  UplinkChannel ch(params_at(0.3), rng);
+  const auto h0 = ch.response(false, 0);
+  const auto h1 = ch.response(false, 10 * kMicrosPerSec);
+  double diff = 0.0;
+  for (std::size_t a = 0; a < kNumAntennas; ++a) {
+    for (std::size_t s = 0; s < kNumSubchannels; ++s) {
+      diff += std::abs(h0[a][s] - h1[a][s]);
+    }
+  }
+  EXPECT_GT(diff, 0.0);
+}
+
+TEST(UplinkChannel, CoherenceAlignsDeltaWithDirectAtCloseRange) {
+  // At 5 cm the backscatter perturbation should be strongly correlated
+  // with the direct channel; at 2 m it should not.
+  auto alignment = [](double d) {
+    sim::RngStream rng(10);
+    UplinkChannelParams p = params_at(d);
+    UplinkChannel ch(p, rng);
+    std::complex<double> num{0.0, 0.0};
+    double den_a = 0.0, den_b = 0.0;
+    for (std::size_t a = 0; a < kNumAntennas; ++a) {
+      for (std::size_t s = 0; s < kNumSubchannels; ++s) {
+        const auto x = ch.delta()[a][s];
+        const auto y = ch.direct()[a][s];
+        num += x * std::conj(y);
+        den_a += std::norm(x);
+        den_b += std::norm(y);
+      }
+    }
+    return std::abs(num) / std::sqrt(den_a * den_b);
+  };
+  EXPECT_GT(alignment(0.05), alignment(2.0));
+  EXPECT_GT(alignment(0.05), 0.5);
+}
+
+TEST(UplinkChannel, WallAttenuatesEverything) {
+  FloorPlan plan;
+  plan.add_wall(Wall{{1.5, -5}, {1.5, 5}, 10.0});
+  UplinkChannelParams with_wall = params_at(0.3);
+  with_wall.plan = &plan;  // wall between helper (3.3, 0) and the others
+  sim::RngStream rng1(11), rng2(11);
+  UplinkChannel ch_wall(with_wall, rng1);
+  UplinkChannel ch_open(params_at(0.3), rng2);
+  double p_wall = 0.0, p_open = 0.0;
+  for (std::size_t s = 0; s < kNumSubchannels; ++s) {
+    p_wall += std::norm(ch_wall.direct()[0][s]);
+    p_open += std::norm(ch_open.direct()[0][s]);
+  }
+  EXPECT_LT(p_wall, p_open * 0.2);  // 10 dB wall
+}
+
+TEST(UplinkChannel, TagReflectionContrast) {
+  TagReflection tr;
+  EXPECT_GT(std::abs(tr.delta()), 0.0);
+  EXPECT_NEAR(std::abs(tr.state_factor(true)) /
+                  std::abs(tr.state_factor(false)),
+              0.95 / 0.05, 1e-9);
+}
+
+TEST(ChannelDrift, BoundedByConfiguredSigma) {
+  ChannelDrift::Params p;
+  p.antenna_sigma = 0.03;
+  p.subchannel_sigma = 0.008;
+  sim::RngStream rng(12);
+  ChannelDrift drift(p, rng);
+  RunningStats stats;
+  for (TimeUs t = 0; t < 30 * kMicrosPerSec; t += 5'000) {
+    stats.push(drift.at(0, 0, t));
+  }
+  // Combined stationary sigma ~ sqrt(0.03^2 + 0.008^2) ~ 0.031.
+  EXPECT_NEAR(stats.stddev(), 0.031, 0.012);
+  EXPECT_LT(std::abs(stats.mean()), 0.03);
+}
+
+}  // namespace
+}  // namespace wb::phy

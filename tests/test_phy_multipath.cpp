@@ -1,0 +1,113 @@
+#include "phy/multipath.h"
+
+#include <complex>
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace wb::phy {
+namespace {
+
+TEST(Multipath, UnitAveragePower) {
+  sim::RngStream rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const auto h = draw_frequency_response(MultipathProfile{}, rng);
+    EXPECT_NEAR(average_power(h), 1.0, 1e-9);
+  }
+}
+
+TEST(Multipath, DeterministicForSameRngState) {
+  sim::RngStream a(9), b(9);
+  const auto ha = draw_frequency_response(MultipathProfile{}, a);
+  const auto hb = draw_frequency_response(MultipathProfile{}, b);
+  for (std::size_t s = 0; s < kNumSubchannels; ++s) {
+    EXPECT_EQ(ha[s], hb[s]);
+  }
+}
+
+TEST(Multipath, DifferentDrawsDiffer) {
+  sim::RngStream rng(10);
+  const auto h1 = draw_frequency_response(MultipathProfile{}, rng);
+  const auto h2 = draw_frequency_response(MultipathProfile{}, rng);
+  bool any_diff = false;
+  for (std::size_t s = 0; s < kNumSubchannels; ++s) {
+    if (h1[s] != h2[s]) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Multipath, AdjacentSubchannelsMoreCorrelatedThanDistant) {
+  // Frequency selectivity: |H| of neighbouring sub-channels tracks, while
+  // sub-channels far apart (beyond the coherence bandwidth) decorrelate.
+  sim::RngStream rng(11);
+  RunningStats near_diff, far_diff;
+  for (int i = 0; i < 300; ++i) {
+    const auto h = draw_frequency_response(MultipathProfile{}, rng);
+    near_diff.push(std::abs(std::abs(h[10]) - std::abs(h[11])));
+    far_diff.push(std::abs(std::abs(h[0]) - std::abs(h[29])));
+  }
+  EXPECT_LT(near_diff.mean(), 0.5 * far_diff.mean());
+}
+
+TEST(Multipath, HigherRicianKLessFading) {
+  // With a dominant line-of-sight component the |H| spread across
+  // sub-channels shrinks.
+  MultipathProfile weak_los;
+  weak_los.rician_k = 0.1;
+  MultipathProfile strong_los;
+  strong_los.rician_k = 20.0;
+  sim::RngStream rng(12);
+  RunningStats weak_spread, strong_spread;
+  for (int i = 0; i < 200; ++i) {
+    const auto hw = draw_frequency_response(weak_los, rng);
+    const auto hs = draw_frequency_response(strong_los, rng);
+    RunningStats w, s;
+    for (std::size_t k = 0; k < kNumSubchannels; ++k) {
+      w.push(std::abs(hw[k]));
+      s.push(std::abs(hs[k]));
+    }
+    weak_spread.push(w.stddev());
+    strong_spread.push(s.stddev());
+  }
+  EXPECT_LT(strong_spread.mean(), 0.6 * weak_spread.mean());
+}
+
+TEST(Multipath, LargerDelaySpreadMoreSelectivity) {
+  MultipathProfile flat;
+  flat.delay_spread_s = 5e-9;
+  MultipathProfile selective;
+  selective.delay_spread_s = 200e-9;
+  sim::RngStream rng(13);
+  RunningStats flat_dev, sel_dev;
+  for (int i = 0; i < 200; ++i) {
+    const auto hf = draw_frequency_response(flat, rng);
+    const auto hs = draw_frequency_response(selective, rng);
+    flat_dev.push(std::abs(std::abs(hf[0]) - std::abs(hf[29])));
+    sel_dev.push(std::abs(std::abs(hs[0]) - std::abs(hs[29])));
+  }
+  EXPECT_LT(flat_dev.mean(), sel_dev.mean());
+}
+
+TEST(Multipath, HadamardProduct) {
+  FrequencyResponse a{}, b{};
+  a[0] = {1.0, 2.0};
+  b[0] = {3.0, -1.0};
+  const auto c = hadamard(a, b);
+  EXPECT_EQ(c[0], (Complex{1.0, 2.0} * Complex{3.0, -1.0}));
+  EXPECT_EQ(c[1], Complex{});
+}
+
+TEST(Multipath, SingleTapIsFlat) {
+  MultipathProfile p;
+  p.taps = 1;
+  p.rician_k = 100.0;
+  sim::RngStream rng(14);
+  const auto h = draw_frequency_response(p, rng);
+  for (std::size_t s = 1; s < kNumSubchannels; ++s) {
+    EXPECT_NEAR(std::abs(h[s]), std::abs(h[0]), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace wb::phy

@@ -1,0 +1,140 @@
+// Parameterised property sweeps over the PHY substrate: invariants that
+// must hold for any seed and across the parameter ranges the experiments
+// exercise.
+#include <cmath>
+#include <complex>
+
+#include <gtest/gtest.h>
+
+#include "phy/multi_tag_channel.h"
+#include "phy/multipath.h"
+#include "phy/uplink_channel.h"
+#include "wifi/link_sim.h"
+#include "wifi/nic.h"
+
+namespace wb {
+namespace {
+
+class ChannelSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChannelSeedSweep, ResponsesAreFiniteAndPositivePower) {
+  sim::RngStream rng(GetParam());
+  phy::UplinkChannelParams p;
+  p.tag_pos = {0.05 + 0.1 * static_cast<double>(GetParam() % 7), 0.0};
+  p.helper_pos = {p.tag_pos.x + 3.0, 0.0};
+  phy::UplinkChannel ch(p, rng);
+  for (bool state : {false, true}) {
+    const auto h = ch.response(state, static_cast<TimeUs>(GetParam()) * 10);
+    double power = 0.0;
+    for (const auto& ant : h) {
+      for (const auto& c : ant) {
+        ASSERT_TRUE(std::isfinite(c.real()) && std::isfinite(c.imag()));
+        power += std::norm(c);
+      }
+    }
+    EXPECT_GT(power, 0.0);
+  }
+}
+
+TEST_P(ChannelSeedSweep, DeltaNeverExceedsPlausibleBound) {
+  // The backscatter perturbation can never out-power the direct path by a
+  // large factor (it is a second-order reflection).
+  sim::RngStream rng(GetParam());
+  phy::UplinkChannelParams p;
+  p.tag_pos = {0.05, 0.0};
+  p.helper_pos = {3.05, 0.0};
+  phy::UplinkChannel ch(p, rng);
+  double p_direct = 0.0, p_delta = 0.0;
+  for (std::size_t a = 0; a < phy::kNumAntennas; ++a) {
+    for (std::size_t s = 0; s < phy::kNumSubchannels; ++s) {
+      p_direct += std::norm(ch.direct()[a][s]);
+      p_delta += std::norm(ch.delta()[a][s]);
+    }
+  }
+  EXPECT_LT(p_delta, p_direct);
+}
+
+TEST_P(ChannelSeedSweep, MultiTagMatchesSingleTagForOneTag) {
+  // A MultiTagUplinkChannel with one tag and an UplinkChannel share the
+  // same structure: same decay behaviour, same relative magnitudes.
+  sim::RngStream rng(GetParam());
+  phy::UplinkChannelParams base;
+  base.tag_pos = {0.3, 0.0};
+  base.helper_pos = {3.3, 0.0};
+  const std::vector<phy::TagPlacement> tags = {{base.tag_pos, {}}};
+  phy::MultiTagUplinkChannel multi(base, tags, rng);
+  double p_direct = 0.0, p_delta = 0.0;
+  for (std::size_t a = 0; a < phy::kNumAntennas; ++a) {
+    for (std::size_t s = 0; s < phy::kNumSubchannels; ++s) {
+      p_direct += std::norm(multi.direct()[a][s]);
+      p_delta += std::norm(multi.delta(0)[a][s]);
+    }
+  }
+  EXPECT_GT(p_direct, 0.0);
+  EXPECT_GT(p_delta, 0.0);
+  EXPECT_LT(p_delta, p_direct);
+}
+
+TEST_P(ChannelSeedSweep, NicMeasurementsBounded) {
+  sim::RngStream rng(GetParam());
+  phy::UplinkChannelParams p;
+  p.tag_pos = {0.2, 0.0};
+  p.helper_pos = {3.2, 0.0};
+  phy::UplinkChannel ch(p, rng.fork("ch"));
+  wifi::NicModel nic(wifi::NicModelParams{}, rng.fork("nic"));
+  nic.calibrate(ch.response(false, 0));
+  for (int i = 0; i < 50; ++i) {
+    const auto rec = nic.measure(ch.response(i % 2 == 0, i * 500), i * 500,
+                                 1, wifi::FrameKind::kData);
+    for (const auto& ant : rec.csi) {
+      for (double v : ant) {
+        ASSERT_TRUE(std::isfinite(v));
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1'000.0);
+      }
+    }
+    for (double r : rec.rssi_dbm) {
+      ASSERT_GT(r, -120.0);
+      ASSERT_LT(r, 30.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChannelSeedSweep,
+                         ::testing::Range<std::uint64_t>(1, 15));
+
+class LinkSnrSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LinkSnrSweep, ThroughputAndPerWellFormed) {
+  wifi::LinkSimConfig cfg;
+  cfg.base_snr_db = static_cast<double>(GetParam());
+  cfg.seed = static_cast<std::uint64_t>(GetParam());
+  const auto r = wifi::run_link_sim(cfg, 2 * kMicrosPerSec);
+  EXPECT_GE(r.per, 0.0);
+  EXPECT_LE(r.per, 1.0);
+  EXPECT_GE(r.mean_throughput_mbps, 0.0);
+  // Rate adaptation never reports a rate outside the 802.11g set.
+  EXPECT_GE(r.mean_rate_mbps, 6.0);
+  EXPECT_LE(r.mean_rate_mbps, 54.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(SnrRange, LinkSnrSweep,
+                         ::testing::Values(0, 5, 10, 15, 20, 25, 30, 40));
+
+class DelaySpreadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DelaySpreadSweep, ResponseUnitPowerAcrossProfiles) {
+  phy::MultipathProfile p;
+  p.delay_spread_s = static_cast<double>(GetParam()) * 1e-9;
+  sim::RngStream rng(static_cast<std::uint64_t>(GetParam()));
+  for (int i = 0; i < 10; ++i) {
+    const auto h = phy::draw_frequency_response(p, rng);
+    EXPECT_NEAR(phy::average_power(h), 1.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Spreads, DelaySpreadSweep,
+                         ::testing::Values(5, 20, 50, 70, 150, 300));
+
+}  // namespace
+}  // namespace wb

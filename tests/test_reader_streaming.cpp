@@ -1,0 +1,124 @@
+#include "reader/streaming_decoder.h"
+
+#include <gtest/gtest.h>
+
+#include "core/uplink_sim.h"
+#include "tag/modulator.h"
+#include "util/codes.h"
+#include "wifi/traffic.h"
+
+namespace wb::reader {
+namespace {
+
+/// Generate a capture trace containing tag frames at the given start
+/// times, with helper CBR traffic throughout.
+wifi::CaptureTrace make_trace(const std::vector<TimeUs>& frame_starts,
+                              const std::vector<BitVec>& payloads,
+                              TimeUs bit_us, TimeUs until,
+                              std::uint64_t seed) {
+  core::UplinkSimConfig cfg;
+  cfg.channel.tag_pos = {0.08, 0.0};
+  cfg.channel.helper_pos = {3.08, 0.0};
+  cfg.seed = seed;
+  sim::RngStream rng(seed);
+  auto traffic_rng = rng.fork("t");
+  const auto tl = wifi::make_cbr_timeline(3'000, until,
+                                          wifi::TrafficParams{},
+                                          traffic_rng);
+  std::vector<tag::Modulator> mods;
+  for (std::size_t i = 0; i < frame_starts.size(); ++i) {
+    BitVec frame = barker13();
+    frame.insert(frame.end(), payloads[i].begin(), payloads[i].end());
+    mods.emplace_back(frame, bit_us, frame_starts[i]);
+  }
+  // Compose: at most one frame active at a time in these tests.
+  core::UplinkSim sim(cfg);
+  wifi::CaptureTrace trace;
+  for (const auto& pkt : tl) {
+    bool state = false;
+    for (const auto& m : mods) state = state || m.state_at(pkt.start_us);
+    const auto h = sim.channel().response(state, pkt.start_us);
+    trace.push_back(
+        sim.nic().measure(h, pkt.start_us, pkt.source, pkt.kind));
+  }
+  return trace;
+}
+
+StreamingDecoderConfig stream_config(std::size_t payload_bits,
+                                     TimeUs bit_us) {
+  StreamingDecoderConfig cfg;
+  cfg.decoder.payload_bits = payload_bits;
+  cfg.decoder.bit_duration_us = bit_us;
+  return cfg;
+}
+
+TEST(StreamingDecoder, EmitsSingleFrame) {
+  const BitVec payload = random_bits(24, 1);
+  const auto trace = make_trace({700'000}, {payload}, 5'000, 1'500'000, 2);
+  StreamingUplinkDecoder dec(stream_config(24, 5'000));
+  std::vector<UplinkDecodeResult> got;
+  for (const auto& rec : trace) {
+    auto frames = dec.push(rec);
+    got.insert(got.end(), frames.begin(), frames.end());
+  }
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].payload, payload);
+  EXPECT_EQ(dec.frames_emitted(), 1u);
+}
+
+TEST(StreamingDecoder, EmitsTwoFramesInOrder) {
+  const BitVec p1 = random_bits(24, 3);
+  const BitVec p2 = random_bits(24, 4);
+  // Frames at 0.7 s and 1.4 s (frame = 37 bits * 5 ms = 185 ms).
+  const auto trace =
+      make_trace({700'000, 1'400'000}, {p1, p2}, 5'000, 2'200'000, 5);
+  StreamingUplinkDecoder dec(stream_config(24, 5'000));
+  std::vector<UplinkDecodeResult> got;
+  for (const auto& rec : trace) {
+    auto frames = dec.push(rec);
+    got.insert(got.end(), frames.begin(), frames.end());
+  }
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].payload, p1);
+  EXPECT_EQ(got[1].payload, p2);
+  EXPECT_LT(got[0].start_us, got[1].start_us);
+}
+
+TEST(StreamingDecoder, QuietAirEmitsNothing) {
+  const auto trace = make_trace({}, {}, 5'000, 1'200'000, 6);
+  StreamingUplinkDecoder dec(stream_config(24, 5'000));
+  std::size_t emitted = 0;
+  for (const auto& rec : trace) {
+    emitted += dec.push(rec).size();
+  }
+  EXPECT_EQ(emitted, 0u);
+}
+
+TEST(StreamingDecoder, BufferStaysBounded) {
+  const auto trace = make_trace({}, {}, 5'000, 4'000'000, 7);
+  StreamingDecoderConfig cfg = stream_config(24, 5'000);
+  cfg.history_us = 500'000;
+  StreamingUplinkDecoder dec(cfg);
+  std::size_t max_buffered = 0;
+  for (const auto& rec : trace) {
+    dec.push(rec);
+    max_buffered = std::max(max_buffered, dec.buffered());
+  }
+  // 4 s of packets at 3000/s = 12000; the rolling window must hold far
+  // fewer. (History 0.5 s + scan horizon ~ frame duration.)
+  EXPECT_LT(max_buffered, 9'000u);
+}
+
+TEST(StreamingDecoder, FrameNeverEmittedTwice) {
+  const BitVec payload = random_bits(24, 8);
+  const auto trace = make_trace({700'000}, {payload}, 5'000, 3'000'000, 9);
+  StreamingUplinkDecoder dec(stream_config(24, 5'000));
+  std::size_t emitted = 0;
+  for (const auto& rec : trace) {
+    emitted += dec.push(rec).size();
+  }
+  EXPECT_EQ(emitted, 1u);
+}
+
+}  // namespace
+}  // namespace wb::reader

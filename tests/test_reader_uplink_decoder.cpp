@@ -1,0 +1,327 @@
+#include "reader/uplink_decoder.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+#include "util/codes.h"
+
+namespace wb::reader {
+namespace {
+
+/// Build a synthetic conditioned trace directly: `num_streams` streams
+/// observing a frame (preamble + payload) with per-stream gain/polarity
+/// and additive Gaussian noise; packets arrive at a fixed rate.
+struct SyntheticTrace {
+  ConditionedTrace ct;
+  TimeUs frame_start = 0;
+  BitVec payload;
+};
+
+struct SyntheticSpec {
+  std::size_t num_streams = 12;
+  std::size_t good_streams = 6;   ///< streams with signal (rest pure noise)
+  double gain = 1.0;              ///< signal amplitude on good streams
+  double noise = 0.3;
+  double packet_interval_us = 500;
+  TimeUs bit_us = 5'000;
+  std::size_t payload_bits = 24;
+  TimeUs lead_us = 50'000;
+  bool alternate_polarity = false;  ///< invert every other good stream
+  std::uint64_t seed = 1;
+};
+
+SyntheticTrace make_synthetic(const SyntheticSpec& spec) {
+  SyntheticTrace out;
+  out.frame_start = spec.lead_us;
+  out.payload = random_bits(spec.payload_bits, spec.seed ^ 0xBEEF);
+  BitVec frame = barker13();
+  frame.insert(frame.end(), out.payload.begin(), out.payload.end());
+
+  const TimeUs end = spec.lead_us +
+                     static_cast<TimeUs>(frame.size()) * spec.bit_us +
+                     50'000;
+  sim::RngStream rng(spec.seed);
+  auto noise_rng = rng.fork("noise");
+
+  for (double t = 0.0; t < static_cast<double>(end);
+       t += spec.packet_interval_us) {
+    out.ct.timestamps.push_back(static_cast<TimeUs>(t));
+  }
+  out.ct.streams.resize(spec.num_streams);
+  for (std::size_t s = 0; s < spec.num_streams; ++s) {
+    const bool good = s < spec.good_streams;
+    const double polarity =
+        (spec.alternate_polarity && s % 2 == 1) ? -1.0 : 1.0;
+    for (const TimeUs t : out.ct.timestamps) {
+      double v = noise_rng.normal(0.0, spec.noise);
+      if (good && t >= out.frame_start) {
+        const auto bit =
+            static_cast<std::size_t>((t - out.frame_start) / spec.bit_us);
+        if (bit < frame.size()) {
+          v += polarity * spec.gain * (frame[bit] ? 1.0 : -1.0);
+        }
+      }
+      out.ct.streams[s].push_back(v);
+    }
+  }
+  return out;
+}
+
+UplinkDecoderConfig config_for(const SyntheticSpec& spec) {
+  UplinkDecoderConfig cfg;
+  cfg.payload_bits = spec.payload_bits;
+  cfg.bit_duration_us = spec.bit_us;
+  cfg.num_good_streams = spec.good_streams;
+  return cfg;
+}
+
+TEST(BinSlots, MeansAndCounts) {
+  ConditionedTrace ct;
+  ct.timestamps = {0, 100, 200, 1'000, 1'100, 2'500};
+  ct.streams = {{1.0, 2.0, 3.0, 10.0, 20.0, 7.0}};
+  const auto slots = UplinkDecoder::bin_slots(ct, 0, 0, 1'000, 3);
+  ASSERT_EQ(slots.size(), 3u);
+  EXPECT_EQ(slots[0].count, 3u);
+  EXPECT_DOUBLE_EQ(slots[0].mean, 2.0);
+  EXPECT_EQ(slots[1].count, 2u);
+  EXPECT_DOUBLE_EQ(slots[1].mean, 15.0);
+  EXPECT_EQ(slots[2].count, 1u);
+  EXPECT_DOUBLE_EQ(slots[2].mean, 7.0);
+}
+
+TEST(BinSlots, IgnoresPacketsOutsideRange) {
+  ConditionedTrace ct;
+  ct.timestamps = {-500, 0, 500, 5'000};
+  ct.streams = {{100.0, 1.0, 2.0, 100.0}};
+  const auto slots = UplinkDecoder::bin_slots(ct, 0, 0, 1'000, 1);
+  EXPECT_EQ(slots[0].count, 2u);
+  EXPECT_DOUBLE_EQ(slots[0].mean, 1.5);
+}
+
+TEST(UplinkDecoder, PreambleCorrelationPeaksAtTrueStart) {
+  SyntheticSpec spec;
+  spec.noise = 0.05;
+  const auto syn = make_synthetic(spec);
+  UplinkDecoder dec(config_for(spec));
+  const double at_true =
+      dec.preamble_correlation(syn.ct, 0, syn.frame_start);
+  const double off =
+      dec.preamble_correlation(syn.ct, 0, syn.frame_start + 4 * spec.bit_us);
+  EXPECT_GT(at_true, 0.8);
+  EXPECT_GT(at_true, std::abs(off) + 0.3);
+}
+
+TEST(UplinkDecoder, CorrelationSignReflectsPolarity) {
+  SyntheticSpec spec;
+  spec.noise = 0.05;
+  spec.alternate_polarity = true;
+  const auto syn = make_synthetic(spec);
+  UplinkDecoder dec(config_for(spec));
+  EXPECT_GT(dec.preamble_correlation(syn.ct, 0, syn.frame_start), 0.5);
+  EXPECT_LT(dec.preamble_correlation(syn.ct, 1, syn.frame_start), -0.5);
+}
+
+TEST(UplinkDecoder, CorrelationZeroWhenUnderFilled) {
+  SyntheticSpec spec;
+  spec.packet_interval_us = 20'000;  // one packet per 4 bits
+  const auto syn = make_synthetic(spec);
+  UplinkDecoder dec(config_for(spec));
+  EXPECT_DOUBLE_EQ(dec.preamble_correlation(syn.ct, 0, syn.frame_start),
+                   0.0);
+}
+
+TEST(UplinkDecoder, FindsFrameStart) {
+  SyntheticSpec spec;
+  const auto syn = make_synthetic(spec);
+  UplinkDecoder dec(config_for(spec));
+  const auto sync = dec.find_frame(syn.ct);
+  ASSERT_TRUE(sync.has_value());
+  EXPECT_NEAR(static_cast<double>(sync->start),
+              static_cast<double>(syn.frame_start),
+              static_cast<double>(spec.bit_us) / 2.0);
+}
+
+TEST(UplinkDecoder, SelectsGoodStreams) {
+  SyntheticSpec spec;
+  spec.num_streams = 20;
+  spec.good_streams = 5;
+  const auto syn = make_synthetic(spec);
+  UplinkDecoderConfig cfg = config_for(spec);
+  cfg.num_good_streams = 5;
+  UplinkDecoder dec(cfg);
+  const auto sync = dec.find_frame(syn.ct);
+  ASSERT_TRUE(sync.has_value());
+  // All 5 selected streams should be among the 5 that carry signal.
+  for (std::size_t s : sync->streams) {
+    EXPECT_LT(s, 5u) << "noise stream selected";
+  }
+}
+
+TEST(UplinkDecoder, NoiseVarianceLowForCleanStream) {
+  SyntheticSpec spec;
+  spec.noise = 0.1;
+  const auto syn = make_synthetic(spec);
+  UplinkDecoder dec(config_for(spec));
+  const double clean =
+      dec.preamble_noise_variance(syn.ct, 0, 1.0, syn.frame_start);
+  const double noisy = dec.preamble_noise_variance(
+      syn.ct, spec.num_streams - 1, 1.0, syn.frame_start);
+  EXPECT_LT(clean, noisy);
+  EXPECT_NEAR(clean, 0.01, 0.01);  // sigma^2 of the 0.1 noise
+}
+
+TEST(UplinkDecoder, DecodesCleanFrame) {
+  SyntheticSpec spec;
+  spec.noise = 0.2;
+  const auto syn = make_synthetic(spec);
+  UplinkDecoder dec(config_for(spec));
+  const auto res = dec.decode_conditioned(syn.ct);
+  ASSERT_TRUE(res.found);
+  EXPECT_EQ(res.payload, syn.payload);
+  EXPECT_EQ(res.payload.size(), spec.payload_bits);
+}
+
+TEST(UplinkDecoder, DecodesWithInvertedStreams) {
+  SyntheticSpec spec;
+  spec.noise = 0.2;
+  spec.alternate_polarity = true;
+  const auto syn = make_synthetic(spec);
+  UplinkDecoder dec(config_for(spec));
+  const auto res = dec.decode_conditioned(syn.ct);
+  ASSERT_TRUE(res.found);
+  EXPECT_EQ(res.payload, syn.payload);
+  // Recorded polarities must differ across the selected streams.
+  bool pos = false, neg = false;
+  for (double p : res.polarity) {
+    if (p > 0) pos = true;
+    if (p < 0) neg = true;
+  }
+  EXPECT_TRUE(pos && neg);
+}
+
+TEST(UplinkDecoder, DecodesAtModerateNoiseViaCombining) {
+  // Single streams at this SNR are unreliable; combining must recover.
+  SyntheticSpec spec;
+  spec.noise = 1.2;
+  spec.good_streams = 8;
+  spec.num_streams = 16;
+  const auto syn = make_synthetic(spec);
+  UplinkDecoderConfig cfg = config_for(spec);
+  cfg.num_good_streams = 8;
+  UplinkDecoder dec(cfg);
+  const auto res = dec.decode_conditioned(syn.ct);
+  ASSERT_TRUE(res.found);
+  EXPECT_LE(hamming_distance(res.payload, syn.payload), 1u);
+}
+
+TEST(UplinkDecoder, WeightsFavourCleanStreams) {
+  // Two good streams with very different noise: MRC weight of the clean
+  // one should dominate.
+  SyntheticSpec spec;
+  spec.num_streams = 2;
+  spec.good_streams = 2;
+  spec.noise = 0.1;
+  auto syn = make_synthetic(spec);
+  // Add extra noise to stream 1.
+  sim::RngStream extra(99);
+  for (double& v : syn.ct.streams[1]) v += extra.normal(0.0, 1.0);
+  UplinkDecoderConfig cfg = config_for(spec);
+  cfg.num_good_streams = 2;
+  UplinkDecoder dec(cfg);
+  const auto res = dec.decode_conditioned(syn.ct);
+  ASSERT_TRUE(res.found);
+  ASSERT_EQ(res.streams.size(), 2u);
+  const std::size_t clean_pos = res.streams[0] == 0 ? 0 : 1;
+  EXPECT_GT(res.weights[clean_pos], 3.0 * res.weights[1 - clean_pos]);
+}
+
+TEST(UplinkDecoder, EmptyTraceNotFound) {
+  SyntheticSpec spec;
+  UplinkDecoder dec(config_for(spec));
+  const auto res = dec.decode_conditioned(ConditionedTrace{});
+  EXPECT_FALSE(res.found);
+}
+
+TEST(UplinkDecoder, SyncThresholdRejectsPureNoise) {
+  SyntheticSpec spec;
+  spec.good_streams = 0;  // nothing but noise
+  const auto syn = make_synthetic(spec);
+  UplinkDecoderConfig cfg = config_for(spec);
+  cfg.num_good_streams = 4;
+  cfg.sync_threshold = 0.5;  // require a real preamble
+  UplinkDecoder dec(cfg);
+  EXPECT_FALSE(dec.decode_conditioned(syn.ct).found);
+}
+
+TEST(UplinkDecoder, SearchWindowRestrictsSync) {
+  SyntheticSpec spec;
+  const auto syn = make_synthetic(spec);
+  UplinkDecoderConfig cfg = config_for(spec);
+  cfg.search_from = syn.frame_start - 2 * spec.bit_us;
+  cfg.search_to = syn.frame_start + 2 * spec.bit_us;
+  UplinkDecoder dec(cfg);
+  const auto res = dec.decode_conditioned(syn.ct);
+  ASSERT_TRUE(res.found);
+  EXPECT_GE(res.start_us, *cfg.search_from);
+  EXPECT_LE(res.start_us, *cfg.search_to);
+  EXPECT_EQ(res.payload, syn.payload);
+}
+
+TEST(UplinkDecoder, ConfidenceHighWhenClean) {
+  SyntheticSpec spec;
+  spec.noise = 0.1;
+  const auto syn = make_synthetic(spec);
+  UplinkDecoder dec(config_for(spec));
+  const auto res = dec.decode_conditioned(syn.ct);
+  ASSERT_TRUE(res.found);
+  double mean_conf = 0.0;
+  for (double c : res.confidence) mean_conf += c;
+  mean_conf /= static_cast<double>(res.confidence.size());
+  EXPECT_GT(mean_conf, 0.9);
+}
+
+TEST(UplinkDecoder, RssiConfigUsesOneStream) {
+  UplinkDecoderConfig base;
+  base.num_good_streams = 10;
+  const auto rssi = rssi_decoder_config(base);
+  EXPECT_EQ(rssi.num_good_streams, 1u);
+  EXPECT_EQ(rssi.source, MeasurementSource::kRssi);
+}
+
+TEST(UplinkDecoder, HysteresisAbsorbsSpuriousOutliers) {
+  // Inject single-packet outliers; with per-packet majority voting they
+  // must not flip bits.
+  SyntheticSpec spec;
+  spec.noise = 0.2;
+  auto syn = make_synthetic(spec);
+  sim::RngStream spike_rng(7);
+  for (auto& stream : syn.ct.streams) {
+    for (double& v : stream) {
+      if (spike_rng.chance(0.01)) v += spike_rng.uniform(-8.0, 8.0);
+    }
+  }
+  UplinkDecoder dec(config_for(spec));
+  const auto res = dec.decode_conditioned(syn.ct);
+  ASSERT_TRUE(res.found);
+  EXPECT_EQ(res.payload, syn.payload);
+}
+
+class DecoderBitRateSweep : public ::testing::TestWithParam<TimeUs> {};
+
+TEST_P(DecoderBitRateSweep, DecodesAcrossBitDurations) {
+  SyntheticSpec spec;
+  spec.bit_us = GetParam();
+  spec.noise = 0.3;
+  const auto syn = make_synthetic(spec);
+  UplinkDecoder dec(config_for(spec));
+  const auto res = dec.decode_conditioned(syn.ct);
+  ASSERT_TRUE(res.found);
+  EXPECT_EQ(res.payload, syn.payload) << "bit_us=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(BitDurations, DecoderBitRateSweep,
+                         ::testing::Values(1'000, 2'000, 5'000, 10'000,
+                                           20'000));
+
+}  // namespace
+}  // namespace wb::reader

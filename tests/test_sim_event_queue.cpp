@@ -1,0 +1,142 @@
+#include "sim/event_queue.h"
+
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace wb::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30, [&] { order.push_back(3); });
+  q.schedule_at(10, [&] { order.push_back(1); });
+  q.schedule_at(20, [&] { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30);
+}
+
+TEST(EventQueue, SameTimeFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(100, [&order, i] { order.push_back(i); });
+  }
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ScheduleInIsRelative) {
+  EventQueue q;
+  TimeUs fired_at = -1;
+  q.schedule_at(50, [&] {
+    q.schedule_in(25, [&] { fired_at = q.now(); });
+  });
+  q.run_all();
+  EXPECT_EQ(fired_at, 75);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  const auto id = q.schedule_at(10, [&] { fired = true; });
+  q.cancel(id);
+  q.run_all();
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelUnknownIdIsNoop) {
+  EventQueue q;
+  q.cancel(999);
+  q.cancel(0);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelTwiceCountsOnce) {
+  EventQueue q;
+  const auto id = q.schedule_at(10, [] {});
+  q.schedule_at(20, [] {});
+  q.cancel(id);
+  q.cancel(id);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_EQ(q.run_all(), 1u);
+}
+
+TEST(EventQueue, RunUntilStopsAtHorizon) {
+  EventQueue q;
+  std::vector<TimeUs> fired;
+  for (TimeUs t : {10, 20, 30, 40}) {
+    q.schedule_at(t, [&fired, &q] { fired.push_back(q.now()); });
+  }
+  EXPECT_EQ(q.run_until(25), 2u);
+  EXPECT_EQ(fired, (std::vector<TimeUs>{10, 20}));
+  EXPECT_EQ(q.now(), 25);
+  EXPECT_EQ(q.pending(), 2u);
+}
+
+TEST(EventQueue, RunUntilIncludesExactBoundary) {
+  EventQueue q;
+  bool fired = false;
+  q.schedule_at(25, [&] { fired = true; });
+  q.run_until(25);
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWithoutEvents) {
+  EventQueue q;
+  q.run_until(1'000);
+  EXPECT_EQ(q.now(), 1'000);
+}
+
+TEST(EventQueue, StepFiresExactlyOne) {
+  EventQueue q;
+  int count = 0;
+  q.schedule_at(1, [&] { ++count; });
+  q.schedule_at(2, [&] { ++count; });
+  EXPECT_TRUE(q.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(q.step());
+  EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, SelfReschedulingProcess) {
+  EventQueue q;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    ++ticks;
+    if (ticks < 5) q.schedule_in(10, tick);
+  };
+  q.schedule_at(0, tick);
+  q.run_until(1'000);
+  EXPECT_EQ(ticks, 5);
+  EXPECT_EQ(q.now(), 1'000);
+}
+
+TEST(EventQueue, CancelTombstoneBeyondHorizonSurvives) {
+  // A cancelled event beyond the horizon must not block later runs.
+  EventQueue q;
+  const auto id = q.schedule_at(100, [] { FAIL(); });
+  bool fired = false;
+  q.schedule_at(50, [&] { fired = true; });
+  q.run_until(60);
+  q.cancel(id);
+  q.run_until(200);
+  EXPECT_TRUE(fired);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelFromInsideHandler) {
+  EventQueue q;
+  bool second_fired = false;
+  const auto id2 = q.schedule_at(20, [&] { second_fired = true; });
+  q.schedule_at(10, [&] { q.cancel(id2); });
+  q.run_all();
+  EXPECT_FALSE(second_fired);
+}
+
+}  // namespace
+}  // namespace wb::sim

@@ -1,0 +1,97 @@
+#include "tag/harvester.h"
+
+#include <gtest/gtest.h>
+
+namespace wb::tag {
+namespace {
+
+TEST(Harvester, IncidentPowerFreeSpace) {
+  // +16 dBm at 1 m with 40 dB reference loss -> -24 dBm.
+  EXPECT_NEAR(incident_power_dbm(16.0, 1.0), -24.0, 1e-9);
+  // Each doubling of distance costs 6 dB.
+  EXPECT_NEAR(incident_power_dbm(16.0, 2.0), -30.0, 0.05);
+}
+
+TEST(Harvester, HarvestedPowerScalesWithEfficiency) {
+  HarvesterParams p;
+  p.efficiency = 0.15;
+  p.antenna_gain_db = 0.0;
+  Harvester h(p);
+  // 0 dBm incident = 1 mW -> 150 uW at 15%.
+  EXPECT_NEAR(h.harvested_uw(0.0), 150.0, 1e-6);
+}
+
+TEST(Harvester, DutyCycleClampedToOne) {
+  Harvester h{HarvesterParams{}};
+  EXPECT_DOUBLE_EQ(h.sustainable_duty_cycle(100.0, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.sustainable_duty_cycle(5.0, 10.0), 0.5);
+  EXPECT_DOUBLE_EQ(h.sustainable_duty_cycle(0.0, 10.0), 0.0);
+}
+
+TEST(Harvester, ZeroLoadAlwaysSustainable) {
+  Harvester h{HarvesterParams{}};
+  EXPECT_DOUBLE_EQ(h.sustainable_duty_cycle(0.0, 0.0), 1.0);
+}
+
+TEST(Harvester, PaperClaimContinuousAtOneFoot) {
+  // §6: "the Wi-Fi power harvester can continuously run both the
+  // transmitter and receiver from a distance of one foot".
+  Harvester h{HarvesterParams{}};
+  const double incident = incident_power_dbm(16.0, 0.3048);
+  const double harvested = h.harvested_uw(incident);
+  EXPECT_GE(h.sustainable_duty_cycle(harvested, 0.65 + 9.0), 1.0);
+}
+
+TEST(Harvester, TvAt10KmSupportsAboutHalfDuty) {
+  // §6: "the full system could be powered with a duty cycle of around 50%
+  // at a distance of 10 km from a TV broadcast tower" (dual-antenna).
+  HarvesterParams p;
+  p.antenna_gain_db = 8.0;
+  Harvester h(p);
+  const double incident = tv_incident_power_dbm(90.0, 10.0);
+  const double duty =
+      h.sustainable_duty_cycle(h.harvested_uw(incident), 0.65 + 9.0 + 1.5);
+  EXPECT_GT(duty, 0.01);
+  EXPECT_LT(duty, 1.0);
+}
+
+TEST(Harvester, BurstFromCapacitor) {
+  HarvesterParams p;
+  p.storage_cap_f = 100e-6;
+  p.v_high = 2.4;
+  p.v_low = 1.8;
+  Harvester h(p);
+  // Cap energy = 0.5 * 100u * (2.4^2 - 1.8^2) = 126 uJ; at a 600 uW net
+  // load the burst lasts 0.21 s.
+  EXPECT_NEAR(h.burst_seconds(600.0, 0.0), 0.21, 0.01);
+}
+
+TEST(Harvester, BurstInfiniteWhenHarvestCoversLoad) {
+  Harvester h{HarvesterParams{}};
+  EXPECT_TRUE(std::isinf(h.burst_seconds(5.0, 10.0)));
+}
+
+TEST(Harvester, RechargeTime) {
+  Harvester h{HarvesterParams{}};
+  // 126 uJ swing at 2 uW net inflow ~ 63 s.
+  EXPECT_NEAR(h.recharge_seconds(2.5, 0.5), 63.0, 1.0);
+  EXPECT_TRUE(std::isinf(h.recharge_seconds(0.5, 0.5)));
+}
+
+TEST(Harvester, MonotoneInDistance) {
+  Harvester h{HarvesterParams{}};
+  double prev = 1e9;
+  for (double d : {0.1, 0.3, 1.0, 3.0}) {
+    const double uw = h.harvested_uw(incident_power_dbm(16.0, d));
+    EXPECT_LT(uw, prev);
+    prev = uw;
+  }
+}
+
+TEST(Harvester, TvIncidentFallsWithDistance) {
+  EXPECT_GT(tv_incident_power_dbm(90.0, 1.0),
+            tv_incident_power_dbm(90.0, 10.0));
+}
+
+}  // namespace
+}  // namespace wb::tag

@@ -1,0 +1,193 @@
+#include "tag/mcu.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+
+namespace wb::tag {
+namespace {
+
+/// Compute the comparator edge times a clean transmission of
+/// `preamble + payload` produces, bit duration T, starting at t0.
+struct EdgeStream {
+  std::vector<std::pair<TimeUs, bool>> edges;  // (time, level-after)
+};
+
+EdgeStream edges_for(const BitVec& bits, TimeUs t0, TimeUs bit_us) {
+  EdgeStream s;
+  bool level = false;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const bool b = bits[i] != 0;
+    if (b != level) {
+      s.edges.emplace_back(t0 + static_cast<TimeUs>(i) * bit_us, b);
+      level = b;
+    }
+  }
+  if (level) {
+    s.edges.emplace_back(t0 + static_cast<TimeUs>(bits.size()) * bit_us,
+                         false);
+  }
+  return s;
+}
+
+McuParams test_params() {
+  McuParams p = McuParams::defaults();
+  p.bit_duration_us = 50;
+  p.payload_bits = 8;
+  return p;
+}
+
+/// Drive the MCU through a clean frame; returns decoded payloads.
+std::vector<McuDecodeResult> run_frame(Mcu& mcu, const BitVec& payload,
+                                       TimeUs t0, TimeUs bit_us) {
+  BitVec message = McuParams::defaults().preamble;
+  message.insert(message.end(), payload.begin(), payload.end());
+  const auto stream = edges_for(message, t0, bit_us);
+  std::size_t e = 0;
+  for (TimeUs t = t0 - 100;
+       t < t0 + static_cast<TimeUs>(message.size() + 2) * bit_us; ++t) {
+    while (e < stream.edges.size() && stream.edges[e].first <= t) {
+      mcu.on_transition(stream.edges[e].first, stream.edges[e].second);
+      ++e;
+    }
+    if (const auto s = mcu.next_sample_time()) {
+      if (*s <= t) {
+        // Level at time *s from the message schedule.
+        const auto idx = static_cast<std::size_t>((*s - t0) / bit_us);
+        const bool level = idx < message.size() && message[idx] != 0;
+        mcu.on_sample(*s, level);
+      }
+    }
+  }
+  return mcu.decoded();
+}
+
+TEST(Mcu, DecodesCleanFrame) {
+  Mcu mcu(test_params());
+  const BitVec payload = {1, 0, 1, 1, 0, 0, 1, 0};
+  const auto decoded = run_frame(mcu, payload, 10'000, 50);
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(decoded[0].payload, payload);
+  EXPECT_EQ(mcu.decode_mode_entries(), 1u);
+}
+
+TEST(Mcu, PayloadStartAfterPreamble) {
+  Mcu mcu(test_params());
+  const BitVec payload = {1, 1, 1, 1, 0, 0, 0, 0};
+  const auto decoded = run_frame(mcu, payload, 10'000, 50);
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(decoded[0].payload_start_us,
+            10'000 + 16 * 50);  // 16-bit preamble
+}
+
+TEST(Mcu, RearmsAfterDecode) {
+  Mcu mcu(test_params());
+  const BitVec p1 = {1, 0, 1, 0, 1, 0, 1, 0};
+  const BitVec p2 = {0, 1, 1, 0, 0, 1, 1, 0};
+  run_frame(mcu, p1, 10'000, 50);
+  const auto decoded = run_frame(mcu, p2, 50'000, 50);
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(decoded[1].payload, p2);
+}
+
+TEST(Mcu, ToleratesIntervalJitter) {
+  // Edges jittered by 10% of the bit duration must still match (tolerance
+  // is 30%).
+  McuParams params = test_params();
+  Mcu mcu(params);
+  BitVec message = params.preamble;
+  const BitVec payload = {1, 0, 0, 1, 1, 0, 1, 1};
+  message.insert(message.end(), payload.begin(), payload.end());
+  auto stream = edges_for(message, 10'000, 50);
+  sim::RngStream rng(3);
+  for (auto& [t, level] : stream.edges) {
+    t += static_cast<TimeUs>(rng.uniform(-5.0, 5.0));
+  }
+  std::size_t e = 0;
+  for (TimeUs t = 9'000; t < 12'500; ++t) {
+    while (e < stream.edges.size() && stream.edges[e].first <= t) {
+      mcu.on_transition(stream.edges[e].first, stream.edges[e].second);
+      ++e;
+    }
+    if (const auto s = mcu.next_sample_time()) {
+      if (*s <= t) {
+        const auto idx = static_cast<std::size_t>((*s - 10'000) / 50);
+        mcu.on_sample(*s, idx < message.size() && message[idx] != 0);
+      }
+    }
+  }
+  ASSERT_EQ(mcu.decoded().size(), 1u);
+  EXPECT_EQ(mcu.decoded()[0].payload, payload);
+}
+
+TEST(Mcu, RejectsWrongIntervalPattern) {
+  Mcu mcu(test_params());
+  // Uniform 50 us toggling does not match the preamble's run structure.
+  bool level = false;
+  for (TimeUs t = 0; t < 20'000; t += 50) {
+    level = !level;
+    mcu.on_transition(t, level);
+  }
+  EXPECT_EQ(mcu.decode_mode_entries(), 0u);
+}
+
+TEST(Mcu, RejectsScaledPattern) {
+  // The right run-length *ratios* at double the bit duration must not
+  // match (absolute intervals are checked).
+  McuParams params = test_params();
+  Mcu mcu(params);
+  BitVec message = params.preamble;
+  message.insert(message.end(), 8, 0);
+  const auto stream = edges_for(message, 0, 100);  // 2x slower
+  for (const auto& [t, level] : stream.edges) {
+    mcu.on_transition(t, level);
+  }
+  EXPECT_EQ(mcu.decode_mode_entries(), 0u);
+}
+
+TEST(Mcu, SampleTimesAreMidBit) {
+  McuParams params = test_params();
+  Mcu mcu(params);
+  BitVec message = params.preamble;
+  message.insert(message.end(), 8, 1);
+  const auto stream = edges_for(message, 0, 50);
+  for (const auto& [t, level] : stream.edges) {
+    mcu.on_transition(t, level);
+    if (mcu.decoding()) break;
+  }
+  ASSERT_TRUE(mcu.decoding());
+  const auto s = mcu.next_sample_time();
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(*s, 16 * 50 + 25);  // middle of the first payload bit
+}
+
+TEST(Mcu, EnergyGrowsWithActivity) {
+  McuParams params = test_params();
+  Mcu quiet_mcu(params);
+  Mcu busy_mcu(params);
+  quiet_mcu.on_transition(0, true);
+  busy_mcu.on_transition(0, true);
+  for (TimeUs t = 10; t < 10'000; t += 10) {
+    busy_mcu.on_transition(t, (t / 10) % 2 == 0);
+  }
+  EXPECT_GT(busy_mcu.energy_uj(10'000), quiet_mcu.energy_uj(10'000));
+}
+
+TEST(Mcu, SleepEnergyDominatesWhenIdle) {
+  McuParams params = test_params();
+  Mcu mcu(params);
+  mcu.on_transition(0, true);
+  mcu.on_transition(100, false);
+  // One hour idle at 0.5 uW sleep ~ 1800 uJ; two wakes ~ 0.007 uJ.
+  const double e = mcu.energy_uj(3'600 * kMicrosPerSec);
+  EXPECT_NEAR(e, 1'800.0, 10.0);
+}
+
+TEST(Mcu, DefaultPreambleStartsHighAndHasIrregularRuns) {
+  const auto p = McuParams::defaults();
+  EXPECT_EQ(p.preamble.front(), 1);
+  EXPECT_EQ(p.preamble.size(), 16u);
+}
+
+}  // namespace
+}  // namespace wb::tag

@@ -1,0 +1,84 @@
+#include "tag/modulator.h"
+
+#include <gtest/gtest.h>
+
+namespace wb::tag {
+namespace {
+
+TEST(Modulator, StateFollowsFrameBits) {
+  const BitVec frame = {1, 0, 1, 1, 0};
+  Modulator mod(frame, 100, 1'000);
+  EXPECT_TRUE(mod.state_at(1'000));
+  EXPECT_TRUE(mod.state_at(1'099));
+  EXPECT_FALSE(mod.state_at(1'100));
+  EXPECT_TRUE(mod.state_at(1'250));
+  EXPECT_TRUE(mod.state_at(1'399));
+  EXPECT_FALSE(mod.state_at(1'450));
+}
+
+TEST(Modulator, AbsorbingOutsideFrame) {
+  const BitVec frame = {1, 1, 1};
+  Modulator mod(frame, 100, 1'000);
+  EXPECT_FALSE(mod.state_at(0));
+  EXPECT_FALSE(mod.state_at(999));
+  EXPECT_FALSE(mod.state_at(1'300));  // one past the end
+  EXPECT_FALSE(mod.state_at(50'000));
+}
+
+TEST(Modulator, ActiveWindow) {
+  Modulator mod(BitVec{1, 0}, 500, 2'000);
+  EXPECT_FALSE(mod.active_at(1'999));
+  EXPECT_TRUE(mod.active_at(2'000));
+  EXPECT_TRUE(mod.active_at(2'999));
+  EXPECT_FALSE(mod.active_at(3'000));
+  EXPECT_EQ(mod.duration(), 1'000);
+  EXPECT_EQ(mod.end_time(), 3'000);
+}
+
+TEST(Modulator, CodedModeExpandsBitsToChips) {
+  const auto codes = make_orthogonal_pair(4);
+  const BitVec frame = {1, 0};
+  Modulator mod(frame, codes, 10, 0);
+  EXPECT_EQ(mod.chip_sequence().size(), 8u);
+  // First 4 chips == code one, next 4 == code zero.
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(mod.chip_sequence()[c], codes.one[c]);
+    EXPECT_EQ(mod.chip_sequence()[4 + c], codes.zero[c]);
+  }
+  EXPECT_EQ(mod.duration(), 80);
+}
+
+TEST(Modulator, CodedStateAtChipBoundaries) {
+  const auto codes = make_orthogonal_pair(4);
+  Modulator mod(BitVec{1}, codes, 10, 100);
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(mod.state_at(100 + static_cast<TimeUs>(c) * 10),
+              codes.one[c] != 0);
+  }
+}
+
+TEST(Modulator, PlainModeChipsEqualFrame) {
+  const BitVec frame = {1, 0, 1};
+  Modulator mod(frame, 10, 0);
+  EXPECT_EQ(mod.chip_sequence(), frame);
+  EXPECT_EQ(mod.frame(), frame);
+}
+
+TEST(Modulator, FrameEnergyMatchesPowerTimesTime) {
+  Modulator mod(BitVec(100, 1), 10'000, 0);  // 1 s on air
+  // 0.65 uW for 1 s = 0.65 uJ.
+  EXPECT_NEAR(mod.frame_energy_uj(), 0.65, 1e-9);
+  ModulatorPower half;
+  half.active_uw = 0.325;
+  EXPECT_NEAR(mod.frame_energy_uj(half), 0.325, 1e-9);
+}
+
+TEST(Modulator, EmptyFrameNeverActive) {
+  Modulator mod(BitVec{}, 100, 0);
+  EXPECT_FALSE(mod.active_at(0));
+  EXPECT_FALSE(mod.state_at(0));
+  EXPECT_EQ(mod.duration(), 0);
+}
+
+}  // namespace
+}  // namespace wb::tag

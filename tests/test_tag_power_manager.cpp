@@ -1,0 +1,120 @@
+#include "tag/power_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace wb::tag {
+namespace {
+
+PowerManagerParams near_reader() {
+  PowerManagerParams p;
+  p.incident_dbm = -10.0;  // very close: harvest >> loads
+  return p;
+}
+
+PowerManagerParams far_from_power() {
+  PowerManagerParams p;
+  p.incident_dbm = -32.0;  // harvest below even the idle load
+  return p;
+}
+
+TEST(PowerManager, StartsFull) {
+  PowerManager pm(near_reader());
+  EXPECT_NEAR(pm.stored_fraction(), 1.0, 1e-9);
+  EXPECT_FALSE(pm.browned_out());
+  EXPECT_NEAR(pm.capacity_uj(), 126.0, 1.0);  // 100 uF, 2.4->1.8 V swing
+}
+
+TEST(PowerManager, IdleChargesWhenHarvestExceedsLoad) {
+  PowerManagerParams p = near_reader();
+  p.initial_fraction = 0.5;
+  PowerManager pm(p);
+  EXPECT_GT(pm.idle_margin_uw(), 0.0);
+  pm.idle(10 * kMicrosPerSec);
+  EXPECT_GT(pm.stored_fraction(), 0.5);
+}
+
+TEST(PowerManager, IdleDrainsWhenHarvestShort) {
+  PowerManager pm(far_from_power());
+  EXPECT_LT(pm.idle_margin_uw(), 0.0);
+  const double before = pm.stored_uj();
+  pm.idle(10 * kMicrosPerSec);
+  EXPECT_LT(pm.stored_uj(), before);
+}
+
+TEST(PowerManager, DecodeCostsMoreThanIdle) {
+  PowerManager a(far_from_power());
+  PowerManager b(far_from_power());
+  a.idle(kMicrosPerSec);
+  b.try_decode(kMicrosPerSec);
+  EXPECT_GT(a.stored_uj(), b.stored_uj());
+}
+
+TEST(PowerManager, BrownsOutUnderSustainedDecode) {
+  PowerManager pm(far_from_power());
+  std::size_t accepted = 0;
+  for (int i = 0; i < 5'000; ++i) {
+    if (pm.try_decode(kMicrosPerSec)) ++accepted;
+  }
+  EXPECT_TRUE(pm.browned_out() || pm.stored_fraction() < 0.2);
+  EXPECT_LT(accepted, 5'000u);
+}
+
+TEST(PowerManager, RefusesWorkWhileBrownedOut) {
+  PowerManagerParams p = far_from_power();
+  p.initial_fraction = 0.05;  // below the brown-out threshold
+  PowerManager pm(p);
+  EXPECT_TRUE(pm.browned_out());
+  EXPECT_FALSE(pm.try_decode(1'000));
+  EXPECT_FALSE(pm.try_respond(1'000));
+}
+
+TEST(PowerManager, RecoversWithHysteresis) {
+  PowerManagerParams p = near_reader();
+  p.initial_fraction = 0.05;
+  PowerManager pm(p);
+  EXPECT_TRUE(pm.browned_out());
+  // Charge past the brown-out threshold but below resume: still out.
+  while (pm.stored_fraction() < 0.2) pm.idle(100'000);
+  EXPECT_TRUE(pm.browned_out());
+  while (pm.stored_fraction() < 0.35) pm.idle(100'000);
+  EXPECT_FALSE(pm.browned_out());
+  EXPECT_TRUE(pm.try_decode(1'000));
+}
+
+TEST(PowerManager, EnergyLedgerBalances) {
+  PowerManagerParams p = near_reader();
+  p.initial_fraction = 0.5;
+  PowerManager pm(p);
+  const double start = pm.stored_uj();
+  pm.idle(kMicrosPerSec);
+  pm.try_decode(kMicrosPerSec);
+  pm.try_respond(kMicrosPerSec);
+  // stored = start + harvested - spent (no clamping hit in this range).
+  EXPECT_NEAR(pm.stored_uj(), start + pm.harvested_uj() - pm.spent_uj(),
+              1e-6);
+}
+
+TEST(PowerManager, StoredEnergyNeverExceedsCapacity) {
+  PowerManager pm(near_reader());
+  pm.idle(1'000 * kMicrosPerSec);
+  EXPECT_LE(pm.stored_uj(), pm.capacity_uj() + 1e-9);
+}
+
+TEST(PowerManager, PaperDutyCycleBehaviour) {
+  // At one foot from the reader, continuous listening is sustainable
+  // (§6); far away it is not, and the sustainable duty cycle matches the
+  // harvest/load ratio.
+  PowerManagerParams near_p;
+  near_p.incident_dbm = incident_power_dbm(16.0, 0.3048);
+  PowerManager near_pm(near_p);
+  EXPECT_GT(near_pm.idle_margin_uw(), 0.0);
+
+  PowerManagerParams far_p;
+  far_p.incident_dbm = incident_power_dbm(16.0, 2.0);
+  far_p.idle_load_uw = 9.65;  // full rx + tx chain always on
+  PowerManager far_pm(far_p);
+  EXPECT_LT(far_pm.idle_margin_uw(), 0.0);
+}
+
+}  // namespace
+}  // namespace wb::tag

@@ -1,0 +1,117 @@
+#include "util/bits.h"
+
+#include <gtest/gtest.h>
+
+namespace wb {
+namespace {
+
+TEST(Bits, PackUnpackRoundtripBytes) {
+  const std::vector<std::uint8_t> bytes = {0xDE, 0xAD, 0xBE, 0xEF, 0x00,
+                                           0xFF};
+  EXPECT_EQ(pack_bits(unpack_bits(bytes)), bytes);
+}
+
+TEST(Bits, UnpackBitsMsbFirst) {
+  const std::vector<std::uint8_t> bytes = {0b10110000};
+  const BitVec expected = {1, 0, 1, 1, 0, 0, 0, 0};
+  EXPECT_EQ(unpack_bits(bytes), expected);
+}
+
+TEST(Bits, PackBitsPadsFinalByte) {
+  const BitVec bits = {1, 1, 1};  // -> 0b11100000
+  const auto packed = pack_bits(bits);
+  ASSERT_EQ(packed.size(), 1u);
+  EXPECT_EQ(packed[0], 0xE0);
+}
+
+TEST(Bits, PackBitsEmpty) {
+  EXPECT_TRUE(pack_bits(BitVec{}).empty());
+  EXPECT_TRUE(unpack_bits(std::vector<std::uint8_t>{}).empty());
+}
+
+TEST(Bits, UnpackUintMsbFirst) {
+  const BitVec expected = {1, 0, 1, 0};
+  EXPECT_EQ(unpack_uint(0b1010, 4), expected);
+}
+
+TEST(Bits, PackUintInverse) {
+  for (std::uint64_t v : {0ull, 1ull, 0x42ull, 0xFFFFull, 0xDEADBEEFull}) {
+    EXPECT_EQ(pack_uint(unpack_uint(v, 40)), v) << v;
+  }
+}
+
+TEST(Bits, PackUintOfEmptyIsZero) {
+  EXPECT_EQ(pack_uint(BitVec{}), 0u);
+}
+
+TEST(Bits, HammingDistanceEqual) {
+  const BitVec a = {1, 0, 1, 1};
+  EXPECT_EQ(hamming_distance(a, a), 0u);
+}
+
+TEST(Bits, HammingDistanceCountsFlips) {
+  const BitVec a = {1, 0, 1, 1};
+  const BitVec b = {0, 0, 1, 0};
+  EXPECT_EQ(hamming_distance(a, b), 2u);
+}
+
+TEST(Bits, HammingDistanceLengthMismatchCountsTail) {
+  const BitVec a = {1, 0};
+  const BitVec b = {1, 0, 1, 1, 0};
+  EXPECT_EQ(hamming_distance(a, b), 3u);
+  EXPECT_EQ(hamming_distance(b, a), 3u);
+}
+
+TEST(Bits, StringRoundtrip) {
+  const std::string s = "1011001";
+  EXPECT_EQ(bits_to_string(bits_from_string(s)), s);
+}
+
+TEST(Bits, StringIgnoresSeparators) {
+  EXPECT_EQ(bits_from_string("10 11-0x1"), bits_from_string("101101"));
+}
+
+TEST(Bits, RepeatBits) {
+  const BitVec in = {1, 0};
+  const BitVec expected = {1, 1, 1, 0, 0, 0};
+  EXPECT_EQ(repeat_bits(in, 3), expected);
+}
+
+TEST(Bits, RepeatByZeroGivesEmpty) {
+  const BitVec in = {1, 0, 1};
+  EXPECT_TRUE(repeat_bits(in, 0).empty());
+}
+
+TEST(Bits, RandomBitsDeterministic) {
+  EXPECT_EQ(random_bits(256, 7), random_bits(256, 7));
+  EXPECT_NE(random_bits(256, 7), random_bits(256, 8));
+}
+
+TEST(Bits, RandomBitsBalanced) {
+  const auto bits = random_bits(10'000, 3);
+  std::size_t ones = 0;
+  for (auto b : bits) ones += b;
+  EXPECT_NEAR(static_cast<double>(ones), 5'000.0, 300.0);
+}
+
+TEST(Bits, IsBinary) {
+  EXPECT_TRUE(is_binary(BitVec{0, 1, 1, 0}));
+  EXPECT_FALSE(is_binary(BitVec{0, 2}));
+  EXPECT_TRUE(is_binary(BitVec{}));
+}
+
+class BitsRoundtrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitsRoundtrip, UnpackPackUintAllWidths) {
+  const std::size_t width = GetParam();
+  const std::uint64_t v =
+      0xA5A5A5A5A5A5A5A5ull & ((width == 64) ? ~0ull : ((1ull << width) - 1));
+  EXPECT_EQ(pack_uint(unpack_uint(v, width)), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitsRoundtrip,
+                         ::testing::Values(1, 2, 7, 8, 13, 16, 24, 32, 48,
+                                           63, 64));
+
+}  // namespace
+}  // namespace wb

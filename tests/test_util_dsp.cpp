@@ -1,0 +1,157 @@
+#include "util/dsp.h"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+namespace wb {
+namespace {
+
+TEST(MovingAverage, MeanOfPartialWindow) {
+  MovingAverage ma(4);
+  EXPECT_DOUBLE_EQ(ma.push(2.0), 2.0);
+  EXPECT_DOUBLE_EQ(ma.push(4.0), 3.0);
+  EXPECT_FALSE(ma.full());
+}
+
+TEST(MovingAverage, SlidesOverWindow) {
+  MovingAverage ma(2);
+  ma.push(1.0);
+  ma.push(3.0);
+  EXPECT_TRUE(ma.full());
+  EXPECT_DOUBLE_EQ(ma.push(5.0), 4.0);  // window = {3, 5}
+}
+
+TEST(MovingAverage, ResetClears) {
+  MovingAverage ma(3);
+  ma.push(10.0);
+  ma.reset();
+  EXPECT_EQ(ma.size(), 0u);
+  EXPECT_DOUBLE_EQ(ma.mean(), 0.0);
+}
+
+TEST(MovingAverage, ConstantInputYieldsConstantMean) {
+  MovingAverage ma(8);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(ma.push(7.5), 7.5);
+  }
+}
+
+TEST(RemoveMovingAverage, RemovesDcOffset) {
+  std::vector<double> x(100, 3.0);
+  const auto y = remove_moving_average(x, 10);
+  for (double v : y) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+TEST(RemoveMovingAverage, PreservesFastSquareWave) {
+  // A +-1 square wave with period << window survives (attenuated but with
+  // correct signs) while its DC offset is removed.
+  std::vector<double> x;
+  for (int i = 0; i < 200; ++i) x.push_back(10.0 + ((i / 2) % 2 ? 1.0 : -1.0));
+  const auto y = remove_moving_average(x, 40);
+  for (std::size_t i = 50; i < y.size(); ++i) {
+    const double expected_sign = ((i / 2) % 2 ? 1.0 : -1.0);
+    EXPECT_GT(y[i] * expected_sign, 0.0) << i;
+  }
+}
+
+TEST(NormalizeMad, UnitMeanAbsolute) {
+  const std::vector<double> x = {1.0, -3.0, 2.0, -2.0};
+  const auto y = normalize_mad(x);
+  double mad = 0.0;
+  for (double v : y) mad += std::abs(v);
+  mad /= static_cast<double>(y.size());
+  EXPECT_NEAR(mad, 1.0, 1e-12);
+}
+
+TEST(NormalizeMad, AllZerosUnchanged) {
+  const std::vector<double> x = {0.0, 0.0, 0.0};
+  const auto y = normalize_mad(x);
+  for (double v : y) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(NormalizeMad, PreservesSignPattern) {
+  const std::vector<double> x = {5.0, -1.0, 0.5};
+  const auto y = normalize_mad(x);
+  EXPECT_GT(y[0], 0.0);
+  EXPECT_LT(y[1], 0.0);
+  EXPECT_GT(y[2], 0.0);
+}
+
+TEST(SlidingCorrelation, PeaksAtAlignment) {
+  const std::vector<double> tmpl = {1.0, -1.0, 1.0};
+  std::vector<double> x(20, 0.0);
+  x[7] = 1.0;
+  x[8] = -1.0;
+  x[9] = 1.0;
+  const auto corr = sliding_correlation(x, tmpl);
+  EXPECT_EQ(argmax(corr), 7u);
+  EXPECT_DOUBLE_EQ(corr[7], 3.0);
+}
+
+TEST(SlidingCorrelation, EmptyWhenTemplateTooLong) {
+  const std::vector<double> x = {1.0, 2.0};
+  const std::vector<double> tmpl = {1.0, 1.0, 1.0};
+  EXPECT_TRUE(sliding_correlation(x, tmpl).empty());
+}
+
+TEST(SlidingCorrelation, OutputSize) {
+  const std::vector<double> x(10, 1.0);
+  const std::vector<double> tmpl(4, 1.0);
+  EXPECT_EQ(sliding_correlation(x, tmpl).size(), 7u);
+}
+
+TEST(Dsp, MeanVarianceStddev) {
+  const std::vector<double> x = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(x), 5.0);
+  EXPECT_NEAR(variance(x), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stddev(x), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Dsp, VarianceOfSingletonIsZero) {
+  const std::vector<double> x = {42.0};
+  EXPECT_DOUBLE_EQ(variance(x), 0.0);
+}
+
+TEST(Dsp, DotProduct) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 12.0);
+}
+
+TEST(Dsp, PearsonPerfectCorrelation) {
+  const std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> b = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+  std::vector<double> c = b;
+  for (double& v : c) v = -v;
+  EXPECT_NEAR(pearson(a, c), -1.0, 1e-12);
+}
+
+TEST(Dsp, PearsonZeroVarianceIsZero) {
+  const std::vector<double> a = {1.0, 1.0, 1.0};
+  const std::vector<double> b = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(pearson(a, b), 0.0);
+}
+
+TEST(Dsp, ArgmaxEmptyIsZero) { EXPECT_EQ(argmax({}), 0u); }
+
+TEST(RemoveMovingAverage, SinusoidalDriftSuppressed) {
+  // Slow sinusoid (period 10x the window) is strongly attenuated.
+  std::vector<double> x;
+  const std::size_t n = 1'000;
+  for (std::size_t i = 0; i < n; ++i) {
+    x.push_back(std::sin(2.0 * std::numbers::pi * static_cast<double>(i) /
+                         1'000.0));
+  }
+  const auto y = remove_moving_average(x, 100);
+  double max_abs = 0.0;
+  for (std::size_t i = 100; i < n; ++i) {
+    max_abs = std::max(max_abs, std::abs(y[i]));
+  }
+  EXPECT_LT(max_abs, 0.45);  // raw amplitude was 1.0
+}
+
+}  // namespace
+}  // namespace wb

@@ -1,0 +1,185 @@
+#include "wifi/mac.h"
+
+#include <gtest/gtest.h>
+
+namespace wb::wifi {
+namespace {
+
+TEST(DcfMac, SingleStationDeliversEverything) {
+  DcfMac mac{sim::RngStream(1)};
+  const auto s = mac.add_station();
+  for (int i = 0; i < 50; ++i) {
+    mac.enqueue(s, i * 1'000, 500, 24.0);
+  }
+  mac.run_until(kMicrosPerSec);
+  EXPECT_EQ(mac.stats(s).delivered, 50u);
+  EXPECT_EQ(mac.stats(s).collisions, 0u);
+  EXPECT_EQ(mac.stats(s).dropped, 0u);
+}
+
+TEST(DcfMac, FramesNeverOverlapInTime) {
+  DcfMac mac{sim::RngStream(2)};
+  for (int i = 0; i < 4; ++i) {
+    mac.make_saturated(mac.add_station(), 1'000, 54.0);
+  }
+  mac.run_until(200'000);
+  const auto& log = mac.log();
+  ASSERT_GT(log.size(), 10u);
+  for (std::size_t i = 1; i < log.size(); ++i) {
+    // Same start is a collision; otherwise strictly after previous end.
+    if (log[i].packet.start_us == log[i - 1].packet.start_us) {
+      EXPECT_TRUE(log[i].collided && log[i - 1].collided);
+    } else {
+      EXPECT_GE(log[i].packet.start_us, log[i - 1].packet.end_us());
+    }
+  }
+}
+
+TEST(DcfMac, SaturatedStationsShareFairly) {
+  DcfMac mac{sim::RngStream(3)};
+  const auto a = mac.add_station();
+  const auto b = mac.add_station();
+  mac.make_saturated(a, 1'000, 54.0);
+  mac.make_saturated(b, 1'000, 54.0);
+  mac.run_until(2 * kMicrosPerSec);
+  const double da = static_cast<double>(mac.stats(a).delivered);
+  const double db = static_cast<double>(mac.stats(b).delivered);
+  EXPECT_GT(da, 100.0);
+  EXPECT_NEAR(da / db, 1.0, 0.15);
+}
+
+TEST(DcfMac, CollisionsHappenUnderContention) {
+  DcfMac mac{sim::RngStream(4)};
+  std::vector<std::uint32_t> ids;
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(mac.add_station());
+    mac.make_saturated(ids.back(), 1'000, 54.0);
+  }
+  mac.run_until(2 * kMicrosPerSec);
+  std::uint64_t collisions = 0;
+  for (auto id : ids) collisions += mac.stats(id).collisions;
+  EXPECT_GT(collisions, 10u);
+}
+
+TEST(DcfMac, MoreStationsMoreCollisions) {
+  auto collision_rate = [](std::size_t n) {
+    DcfMac mac{sim::RngStream(5)};
+    std::vector<std::uint32_t> ids;
+    for (std::size_t i = 0; i < n; ++i) {
+      ids.push_back(mac.add_station());
+      mac.make_saturated(ids.back(), 1'000, 54.0);
+    }
+    mac.run_until(2 * kMicrosPerSec);
+    double coll = 0.0, sent = 0.0;
+    for (auto id : ids) {
+      coll += static_cast<double>(mac.stats(id).collisions);
+      sent += static_cast<double>(mac.stats(id).delivered) + coll;
+    }
+    return coll / sent;
+  };
+  EXPECT_GT(collision_rate(12), collision_rate(2));
+}
+
+TEST(DcfMac, NavBlocksOtherStations) {
+  DcfMac mac{sim::RngStream(6)};
+  const auto reader = mac.add_station();
+  const auto other = mac.add_station();
+  mac.make_saturated(other, 1'500, 54.0);
+  mac.reserve(reader, 10'000, 8'000);  // 8 ms reservation
+  mac.run_until(60'000);
+
+  // Find the CTS and verify no other frame starts inside its NAV.
+  const AirFrame* cts = nullptr;
+  for (const auto& f : mac.log()) {
+    if (f.packet.kind == FrameKind::kCtsToSelf) cts = &f;
+  }
+  ASSERT_NE(cts, nullptr);
+  const TimeUs nav_start = cts->packet.end_us();
+  const TimeUs nav_end = nav_start + cts->packet.nav_us;
+  for (const auto& f : mac.log()) {
+    if (&f == cts) continue;
+    EXPECT_FALSE(f.packet.start_us >= nav_start &&
+                 f.packet.start_us < nav_end)
+        << "frame inside NAV at " << f.packet.start_us;
+  }
+}
+
+TEST(DcfMac, TrafficResumesAfterNav) {
+  DcfMac mac{sim::RngStream(7)};
+  const auto reader = mac.add_station();
+  const auto other = mac.add_station();
+  mac.make_saturated(other, 1'000, 54.0);
+  mac.reserve(reader, 5'000, 10'000);
+  mac.run_until(100'000);
+  bool frame_after_nav = false;
+  for (const auto& f : mac.log()) {
+    if (f.packet.kind == FrameKind::kData && f.packet.start_us > 20'000) {
+      frame_after_nav = true;
+    }
+  }
+  EXPECT_TRUE(frame_after_nav);
+}
+
+TEST(DcfMac, DeliveredTimelineExcludesCollisions) {
+  DcfMac mac{sim::RngStream(8)};
+  for (int i = 0; i < 6; ++i) {
+    mac.make_saturated(mac.add_station(), 1'000, 54.0);
+  }
+  mac.run_until(kMicrosPerSec);
+  const auto tl = mac.delivered_timeline();
+  std::size_t successes = 0;
+  for (const auto& f : mac.log()) {
+    if (!f.collided && f.packet.kind == FrameKind::kData) ++successes;
+  }
+  EXPECT_EQ(tl.size(), successes);
+}
+
+TEST(DcfMac, ThroughputBoundedByAirtime) {
+  DcfMac mac{sim::RngStream(9)};
+  const auto s = mac.add_station();
+  mac.make_saturated(s, 1'500, 54.0);
+  mac.run_until(kMicrosPerSec);
+  // One 1500 B frame per cycle of DIFS + backoff + air + SIFS + ACK:
+  // ~242+28+~70+10+25 ~ 375 us -> ~2'650 frames/s upper bound.
+  EXPECT_GT(mac.stats(s).delivered, 2'000u);
+  EXPECT_LT(mac.stats(s).delivered, 3'200u);
+  EXPECT_GT(mac.utilisation(), 0.5);
+  EXPECT_LE(mac.utilisation(), 1.0);
+}
+
+TEST(DcfMac, PoissonArrivalsUnderLoad) {
+  DcfMac mac{sim::RngStream(10)};
+  const auto s = mac.add_station();
+  sim::RngStream arrivals(11);
+  mac.enqueue_poisson(s, 500.0, kMicrosPerSec, 500, 54.0, arrivals);
+  mac.run_until(2 * kMicrosPerSec);
+  EXPECT_NEAR(static_cast<double>(mac.stats(s).delivered), 500.0, 70.0);
+}
+
+TEST(DcfMac, HelperRateDropsUnderContention) {
+  // The §5 premise: the helper's achievable packet rate depends on other
+  // traffic. A saturated helper alone vs with three competing stations.
+  auto helper_rate = [](std::size_t rivals) {
+    DcfMac mac{sim::RngStream(12)};
+    const auto helper = mac.add_station();
+    mac.make_saturated(helper, 1'000, 54.0);
+    for (std::size_t i = 0; i < rivals; ++i) {
+      mac.make_saturated(mac.add_station(), 1'500, 24.0);
+    }
+    mac.run_until(2 * kMicrosPerSec);
+    return static_cast<double>(mac.stats(helper).delivered) / 2.0;
+  };
+  EXPECT_LT(helper_rate(3), 0.5 * helper_rate(0));
+}
+
+TEST(DcfMac, EmptyMacIdles) {
+  DcfMac mac{sim::RngStream(13)};
+  mac.add_station();
+  mac.run_until(kMicrosPerSec);
+  EXPECT_TRUE(mac.log().empty());
+  EXPECT_EQ(mac.now(), kMicrosPerSec);
+  EXPECT_DOUBLE_EQ(mac.utilisation(), 0.0);
+}
+
+}  // namespace
+}  // namespace wb::wifi

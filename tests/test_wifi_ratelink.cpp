@@ -1,0 +1,139 @@
+#include "wifi/link_sim.h"
+#include "wifi/rate_adapt.h"
+
+#include <gtest/gtest.h>
+
+namespace wb::wifi {
+namespace {
+
+TEST(RateAdapt, ThresholdsMonotoneInRate) {
+  double prev = 0.0;
+  for (double r : kPhyRatesMbps) {
+    EXPECT_GT(required_snr_db(r), prev);
+    prev = required_snr_db(r);
+  }
+}
+
+TEST(RateAdapt, PerMonotoneDecreasingInSnr) {
+  double prev = 1.0;
+  for (double snr = 0.0; snr <= 40.0; snr += 2.0) {
+    const double per = packet_error_rate(snr, 54.0, 1000);
+    EXPECT_LE(per, prev + 1e-12);
+    prev = per;
+  }
+}
+
+TEST(RateAdapt, PerHighBelowThresholdLowAbove) {
+  EXPECT_GT(packet_error_rate(required_snr_db(54.0) - 4.0, 54.0, 1000),
+            0.95);
+  EXPECT_LT(packet_error_rate(required_snr_db(54.0) + 4.0, 54.0, 1000),
+            0.05);
+}
+
+TEST(RateAdapt, LongerFramesFailMore) {
+  const double snr = required_snr_db(24.0) + 0.5;
+  EXPECT_GT(packet_error_rate(snr, 24.0, 1500),
+            packet_error_rate(snr, 24.0, 100));
+}
+
+TEST(Arf, StepsUpAfterSuccessStreak) {
+  ArfRateAdapter arf(ArfRateAdapter::Params{3, 2}, 0);
+  EXPECT_DOUBLE_EQ(arf.current_rate_mbps(), 6.0);
+  arf.on_result(true);
+  arf.on_result(true);
+  EXPECT_DOUBLE_EQ(arf.current_rate_mbps(), 6.0);
+  arf.on_result(true);
+  EXPECT_DOUBLE_EQ(arf.current_rate_mbps(), 9.0);
+}
+
+TEST(Arf, StepsDownAfterFailures) {
+  ArfRateAdapter arf(ArfRateAdapter::Params{3, 2}, 4);
+  arf.on_result(false);
+  arf.on_result(false);
+  EXPECT_EQ(arf.rate_index(), 3u);
+}
+
+TEST(Arf, SuccessResetsFailureStreak) {
+  ArfRateAdapter arf(ArfRateAdapter::Params{10, 2}, 4);
+  arf.on_result(false);
+  arf.on_result(true);
+  arf.on_result(false);
+  EXPECT_EQ(arf.rate_index(), 4u);  // never two consecutive failures
+}
+
+TEST(Arf, SaturatesAtExtremes) {
+  ArfRateAdapter arf(ArfRateAdapter::Params{1, 1}, kNumPhyRates - 1);
+  for (int i = 0; i < 5; ++i) arf.on_result(true);
+  EXPECT_EQ(arf.rate_index(), kNumPhyRates - 1);
+  for (int i = 0; i < 20; ++i) arf.on_result(false);
+  EXPECT_EQ(arf.rate_index(), 0u);
+  arf.on_result(false);
+  EXPECT_EQ(arf.rate_index(), 0u);
+}
+
+TEST(LinkSim, ConvergesToHighRateAtHighSnr) {
+  LinkSimConfig cfg;
+  cfg.base_snr_db = 35.0;
+  cfg.seed = 1;
+  const auto r = run_link_sim(cfg, 5 * kMicrosPerSec);
+  EXPECT_GT(r.mean_rate_mbps, 45.0);
+  EXPECT_GT(r.mean_throughput_mbps, 20.0);
+  EXPECT_LT(r.per, 0.05);
+}
+
+TEST(LinkSim, LowSnrPicksLowRate) {
+  LinkSimConfig cfg;
+  cfg.base_snr_db = 9.0;
+  cfg.seed = 2;
+  const auto r = run_link_sim(cfg, 5 * kMicrosPerSec);
+  EXPECT_LT(r.mean_rate_mbps, 15.0);
+  EXPECT_GT(r.mean_throughput_mbps, 1.0);
+}
+
+TEST(LinkSim, ThroughputMonotoneInSnr) {
+  double prev = 0.0;
+  for (double snr : {8.0, 14.0, 20.0, 28.0}) {
+    LinkSimConfig cfg;
+    cfg.base_snr_db = snr;
+    cfg.seed = 3;
+    const auto r = run_link_sim(cfg, 5 * kMicrosPerSec);
+    EXPECT_GT(r.mean_throughput_mbps, prev) << snr;
+    prev = r.mean_throughput_mbps;
+  }
+}
+
+TEST(LinkSim, ContentionReducesThroughput) {
+  LinkSimConfig base;
+  base.base_snr_db = 30.0;
+  base.seed = 4;
+  LinkSimConfig busy = base;
+  busy.contention_busy_frac = 0.5;
+  const auto r0 = run_link_sim(base, 5 * kMicrosPerSec);
+  const auto r1 = run_link_sim(busy, 5 * kMicrosPerSec);
+  EXPECT_LT(r1.mean_throughput_mbps, r0.mean_throughput_mbps * 0.75);
+}
+
+TEST(LinkSim, TagRippleWithinVariance) {
+  // Fig 19's claim: the tag's small SNR ripple does not measurably change
+  // throughput under rate adaptation.
+  LinkSimConfig base;
+  base.base_snr_db = 30.0;
+  base.seed = 5;
+  LinkSimConfig tagged = base;
+  tagged.tag_depth_db = 0.8;
+  tagged.tag_bit_rate_bps = 1'000.0;
+  const auto r0 = run_link_sim(base, 20 * kMicrosPerSec);
+  const auto r1 = run_link_sim(tagged, 20 * kMicrosPerSec);
+  EXPECT_NEAR(r1.mean_throughput_mbps, r0.mean_throughput_mbps,
+              3.0 * (r0.stddev_throughput_mbps + 0.1));
+}
+
+TEST(LinkSim, ReportsIntervals) {
+  LinkSimConfig cfg;
+  cfg.seed = 6;
+  const auto r = run_link_sim(cfg, 3 * kMicrosPerSec);
+  EXPECT_EQ(r.per_interval_mbps.size(), 6u);  // 500 ms intervals
+}
+
+}  // namespace
+}  // namespace wb::wifi

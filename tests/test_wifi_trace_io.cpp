@@ -1,0 +1,105 @@
+#include "wifi/trace_io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+
+namespace wb::wifi {
+namespace {
+
+CaptureTrace sample_trace(std::size_t n, std::uint64_t seed) {
+  sim::RngStream rng(seed);
+  CaptureTrace trace;
+  TimeUs t = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    t += 200 + static_cast<TimeUs>(rng.uniform_int(2'000));
+    CaptureRecord rec;
+    rec.timestamp_us = t;
+    rec.source = static_cast<std::uint32_t>(rng.uniform_int(5));
+    rec.has_csi = !rng.chance(0.2);
+    for (auto& ant : rec.csi) {
+      for (auto& v : ant) {
+        v = rec.has_csi ? rng.uniform(0.0, 30.0) : 0.0;
+      }
+    }
+    for (auto& r : rec.rssi_dbm) r = rng.uniform(-70.0, -30.0);
+    trace.push_back(rec);
+  }
+  return trace;
+}
+
+TEST(TraceIo, RoundtripPreservesEverything) {
+  const auto trace = sample_trace(40, 1);
+  std::stringstream ss;
+  EXPECT_EQ(write_capture_csv(ss, trace), 40u);
+  const auto back = read_capture_csv(ss);
+  ASSERT_EQ(back.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(back[i].timestamp_us, trace[i].timestamp_us);
+    EXPECT_EQ(back[i].source, trace[i].source);
+    EXPECT_EQ(back[i].has_csi, trace[i].has_csi);
+    for (std::size_t a = 0; a < phy::kNumAntennas; ++a) {
+      EXPECT_NEAR(back[i].rssi_dbm[a], trace[i].rssi_dbm[a], 1e-6);
+      if (trace[i].has_csi) {
+        for (std::size_t s = 0; s < phy::kNumSubchannels; ++s) {
+          EXPECT_NEAR(back[i].csi[a][s], trace[i].csi[a][s], 1e-6);
+        }
+      }
+    }
+  }
+}
+
+TEST(TraceIo, EmptyTraceRoundtrips) {
+  std::stringstream ss;
+  write_capture_csv(ss, {});
+  EXPECT_TRUE(read_capture_csv(ss).empty());
+}
+
+TEST(TraceIo, RejectsEmptyInput) {
+  std::stringstream ss;
+  EXPECT_THROW(read_capture_csv(ss), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsWrongHeader) {
+  std::stringstream ss("time,stuff\n1,2\n");
+  EXPECT_THROW(read_capture_csv(ss), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsTruncatedRow) {
+  const auto trace = sample_trace(2, 2);
+  std::stringstream ss;
+  write_capture_csv(ss, trace);
+  std::string text = ss.str();
+  text = text.substr(0, text.size() - 40);  // chop the last row
+  std::stringstream damaged(text);
+  EXPECT_THROW(read_capture_csv(damaged), std::runtime_error);
+}
+
+TEST(TraceIo, BeaconRowsHaveEmptyCsiCells) {
+  CaptureTrace trace = sample_trace(1, 3);
+  trace[0].has_csi = false;
+  std::stringstream ss;
+  write_capture_csv(ss, trace);
+  const auto back = read_capture_csv(ss);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_FALSE(back[0].has_csi);
+  EXPECT_DOUBLE_EQ(back[0].csi[0][0], 0.0);
+}
+
+TEST(TraceIo, FileRoundtrip) {
+  const auto trace = sample_trace(10, 4);
+  const std::string path = "/tmp/wb_trace_io_test.csv";
+  EXPECT_EQ(save_capture_csv(path, trace), 10u);
+  const auto back = load_capture_csv(path);
+  EXPECT_EQ(back.size(), 10u);
+}
+
+TEST(TraceIo, FileErrorsThrow) {
+  EXPECT_THROW(load_capture_csv("/nonexistent/nope.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace wb::wifi

@@ -1,0 +1,214 @@
+#include "wifi/traffic.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace wb::wifi {
+namespace {
+
+bool is_sorted_by_start(const PacketTimeline& t) {
+  return std::is_sorted(t.begin(), t.end(),
+                        [](const WifiPacket& a, const WifiPacket& b) {
+                          return a.start_us < b.start_us;
+                        });
+}
+
+TEST(Traffic, CbrRateWithinTolerance) {
+  sim::RngStream rng(1);
+  const auto t = make_cbr_timeline(1'000, 10 * kMicrosPerSec,
+                                   TrafficParams{}, rng);
+  EXPECT_NEAR(static_cast<double>(t.size()), 10'000.0, 100.0);
+  EXPECT_TRUE(is_sorted_by_start(t));
+}
+
+TEST(Traffic, CbrEvenSpacing) {
+  sim::RngStream rng(2);
+  const auto t =
+      make_cbr_timeline(100, kMicrosPerSec, TrafficParams{}, rng, 0.0);
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(t[i].start_us - t[i - 1].start_us),
+                10'000.0, 2.0);
+  }
+}
+
+TEST(Traffic, PoissonRateWithinTolerance) {
+  sim::RngStream rng(3);
+  const auto t = make_poisson_timeline(2'000, 10 * kMicrosPerSec,
+                                       TrafficParams{}, rng);
+  EXPECT_NEAR(static_cast<double>(t.size()), 20'000.0, 600.0);
+  EXPECT_TRUE(is_sorted_by_start(t));
+}
+
+TEST(Traffic, PoissonInterarrivalsExponential) {
+  sim::RngStream rng(4);
+  const auto t = make_poisson_timeline(1'000, 20 * kMicrosPerSec,
+                                       TrafficParams{}, rng);
+  // CV of exponential inter-arrivals is 1.
+  std::vector<double> gaps;
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    gaps.push_back(static_cast<double>(t[i].start_us - t[i - 1].start_us));
+  }
+  double mean = 0.0;
+  for (double g : gaps) mean += g;
+  mean /= static_cast<double>(gaps.size());
+  double var = 0.0;
+  for (double g : gaps) var += (g - mean) * (g - mean);
+  var /= static_cast<double>(gaps.size() - 1);
+  EXPECT_NEAR(std::sqrt(var) / mean, 1.0, 0.1);
+}
+
+TEST(Traffic, PacketsCarrySourceAndAirtime) {
+  sim::RngStream rng(5);
+  TrafficParams p;
+  p.source = 42;
+  p.size_bytes = 1500;
+  p.rate_mbps = 54.0;
+  const auto t = make_poisson_timeline(500, kMicrosPerSec, p, rng);
+  ASSERT_FALSE(t.empty());
+  for (const auto& pkt : t) {
+    EXPECT_EQ(pkt.source, 42u);
+    EXPECT_EQ(pkt.duration_us, airtime_us(1500, 54.0));
+  }
+}
+
+TEST(Traffic, AirtimeFormula) {
+  // 1500 B at 54 Mbps = 222 us payload + 20 us PLCP.
+  EXPECT_EQ(airtime_us(1500, 54.0), 242);
+  EXPECT_EQ(airtime_us(14, 24.0), 25);  // ACK-ish (4.7 us payload + 20 + rounding)
+}
+
+TEST(Traffic, BurstyLongRunRate) {
+  sim::RngStream rng(6);
+  BurstyParams b;
+  b.burst_pps = 3'000;
+  b.mean_burst_ms = 50;
+  b.mean_idle_ms = 100;
+  const auto t =
+      make_bursty_timeline(b, 30 * kMicrosPerSec, TrafficParams{}, rng);
+  // Expected on-fraction ~ 1/3 -> ~1000 pps long run; heavy-tailed, so
+  // allow generous tolerance.
+  EXPECT_GT(t.size(), 10'000u);
+  EXPECT_LT(t.size(), 60'000u);
+  EXPECT_TRUE(is_sorted_by_start(t));
+}
+
+TEST(Traffic, BurstyIsBurstier) {
+  // Index of dispersion of counts (var/mean over 100 ms windows) should be
+  // far above Poisson's 1.
+  sim::RngStream rng(7);
+  BurstyParams b;
+  const auto t =
+      make_bursty_timeline(b, 30 * kMicrosPerSec, TrafficParams{}, rng);
+  std::vector<double> counts;
+  for (TimeUs w = 0; w < 30 * kMicrosPerSec; w += 100'000) {
+    counts.push_back(
+        static_cast<double>(packets_in_window(t, w, w + 100'000)));
+  }
+  double mean = 0.0;
+  for (double c : counts) mean += c;
+  mean /= static_cast<double>(counts.size());
+  double var = 0.0;
+  for (double c : counts) var += (c - mean) * (c - mean);
+  var /= static_cast<double>(counts.size() - 1);
+  EXPECT_GT(var / mean, 3.0);
+}
+
+TEST(Traffic, BeaconCountAndKind) {
+  sim::RngStream rng(8);
+  const auto t = make_beacon_timeline(10, 5 * kMicrosPerSec, 9, rng);
+  EXPECT_NEAR(static_cast<double>(t.size()), 50.0, 2.0);
+  for (const auto& pkt : t) {
+    EXPECT_EQ(pkt.kind, FrameKind::kBeacon);
+    EXPECT_EQ(pkt.source, 9u);
+    EXPECT_EQ(pkt.rate_mbps, 6.0);
+  }
+}
+
+TEST(Traffic, OfficeLoadProfileShape) {
+  // Night is quiet; evening peak is the day's maximum; always positive.
+  EXPECT_LT(office_load_pps(3.0), 100.0);
+  double peak = 0.0;
+  double peak_hour = 0.0;
+  for (double h = 0.0; h < 24.0; h += 0.25) {
+    EXPECT_GT(office_load_pps(h), 0.0);
+    if (office_load_pps(h) > peak) {
+      peak = office_load_pps(h);
+      peak_hour = h;
+    }
+  }
+  EXPECT_GT(peak, 900.0);
+  EXPECT_GE(peak_hour, 17.0);
+  EXPECT_LE(peak_hour, 21.0);
+}
+
+TEST(Traffic, OfficeLoadWrapsAround) {
+  EXPECT_NEAR(office_load_pps(0.0), office_load_pps(24.0), 1e-9);
+  EXPECT_NEAR(office_load_pps(25.0), office_load_pps(1.0), 1e-9);
+}
+
+TEST(Traffic, OfficeTimelineTracksProfile) {
+  sim::RngStream rng(9);
+  const auto quiet = make_office_timeline(4.0, 60 * kMicrosPerSec,
+                                          TrafficParams{}, rng);
+  auto rng2 = rng.fork("x");
+  const auto busy = make_office_timeline(19.0, 60 * kMicrosPerSec,
+                                         TrafficParams{}, rng2);
+  EXPECT_GT(busy.size(), quiet.size() * 5);
+}
+
+TEST(Traffic, MergeSortsByStart) {
+  sim::RngStream rng(10);
+  auto a = make_poisson_timeline(200, kMicrosPerSec, TrafficParams{}, rng);
+  auto b = make_poisson_timeline(300, kMicrosPerSec, TrafficParams{}, rng);
+  const auto merged = merge_timelines({a, b});
+  EXPECT_EQ(merged.size(), a.size() + b.size());
+  EXPECT_TRUE(is_sorted_by_start(merged));
+}
+
+TEST(Traffic, PacketsInWindow) {
+  PacketTimeline t;
+  for (TimeUs s : {10, 20, 30, 40}) {
+    WifiPacket p;
+    p.start_us = s;
+    t.push_back(p);
+  }
+  EXPECT_EQ(packets_in_window(t, 15, 35), 2u);
+  EXPECT_EQ(packets_in_window(t, 0, 100), 4u);
+  EXPECT_EQ(packets_in_window(t, 41, 100), 0u);
+}
+
+TEST(Traffic, AmbientMixHasAcksAfterData) {
+  sim::RngStream rng(11);
+  const auto t = make_ambient_mix_timeline(800, 5 * kMicrosPerSec, rng);
+  EXPECT_TRUE(is_sorted_by_start(t));
+  std::size_t data = 0, acks = 0;
+  for (const auto& pkt : t) {
+    if (pkt.kind == FrameKind::kData) ++data;
+    if (pkt.kind == FrameKind::kAck) ++acks;
+  }
+  EXPECT_EQ(data, acks);  // every data frame is acknowledged
+  EXPECT_GT(data, 0u);
+}
+
+TEST(Traffic, AmbientMixShortGapsExist) {
+  // The mix must contain SIFS/DIFS-scale gaps (the structures Fig 18's
+  // false-positive analysis depends on).
+  sim::RngStream rng(12);
+  const auto t = make_ambient_mix_timeline(800, 5 * kMicrosPerSec, rng);
+  std::size_t short_gaps = 0;
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    const TimeUs gap = t[i].start_us - t[i - 1].end_us();
+    if (gap >= 0 && gap < 150) ++short_gaps;
+  }
+  EXPECT_GT(short_gaps, t.size() / 4);
+}
+
+TEST(Traffic, FrameKindNames) {
+  EXPECT_STREQ(to_string(FrameKind::kData), "DATA");
+  EXPECT_STREQ(to_string(FrameKind::kCtsToSelf), "CTS_TO_SELF");
+  EXPECT_STREQ(to_string(FrameKind::kBeacon), "BEACON");
+}
+
+}  // namespace
+}  // namespace wb::wifi
