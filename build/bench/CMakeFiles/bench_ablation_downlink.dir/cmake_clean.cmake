@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_downlink.dir/bench_ablation_downlink.cpp.o"
+  "CMakeFiles/bench_ablation_downlink.dir/bench_ablation_downlink.cpp.o.d"
+  "bench_ablation_downlink"
+  "bench_ablation_downlink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_downlink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

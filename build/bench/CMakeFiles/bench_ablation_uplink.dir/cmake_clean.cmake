@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_uplink.dir/bench_ablation_uplink.cpp.o"
+  "CMakeFiles/bench_ablation_uplink.dir/bench_ablation_uplink.cpp.o.d"
+  "bench_ablation_uplink"
+  "bench_ablation_uplink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_uplink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

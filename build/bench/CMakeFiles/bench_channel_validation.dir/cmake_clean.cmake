@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_channel_validation.dir/bench_channel_validation.cpp.o"
+  "CMakeFiles/bench_channel_validation.dir/bench_channel_validation.cpp.o.d"
+  "bench_channel_validation"
+  "bench_channel_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_channel_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

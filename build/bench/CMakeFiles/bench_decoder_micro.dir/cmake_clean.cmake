@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_decoder_micro.dir/bench_decoder_micro.cpp.o"
+  "CMakeFiles/bench_decoder_micro.dir/bench_decoder_micro.cpp.o.d"
+  "bench_decoder_micro"
+  "bench_decoder_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_decoder_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

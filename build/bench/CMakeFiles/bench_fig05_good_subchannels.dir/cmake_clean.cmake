@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_good_subchannels.dir/bench_fig05_good_subchannels.cpp.o"
+  "CMakeFiles/bench_fig05_good_subchannels.dir/bench_fig05_good_subchannels.cpp.o.d"
+  "bench_fig05_good_subchannels"
+  "bench_fig05_good_subchannels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_good_subchannels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig05_good_subchannels.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig05_good_subchannels.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_freq_diversity.dir/bench_fig11_freq_diversity.cpp.o"
+  "CMakeFiles/bench_fig11_freq_diversity.dir/bench_fig11_freq_diversity.cpp.o.d"
+  "bench_fig11_freq_diversity"
+  "bench_fig11_freq_diversity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_freq_diversity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

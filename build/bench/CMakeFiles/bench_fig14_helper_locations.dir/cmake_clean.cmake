@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_helper_locations.dir/bench_fig14_helper_locations.cpp.o"
+  "CMakeFiles/bench_fig14_helper_locations.dir/bench_fig14_helper_locations.cpp.o.d"
+  "bench_fig14_helper_locations"
+  "bench_fig14_helper_locations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_helper_locations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig15_ambient_traffic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_beacons.dir/bench_fig16_beacons.cpp.o"
+  "CMakeFiles/bench_fig16_beacons.dir/bench_fig16_beacons.cpp.o.d"
+  "bench_fig16_beacons"
+  "bench_fig16_beacons.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_beacons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

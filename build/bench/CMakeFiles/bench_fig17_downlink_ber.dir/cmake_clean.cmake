@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_downlink_ber.dir/bench_fig17_downlink_ber.cpp.o"
+  "CMakeFiles/bench_fig17_downlink_ber.dir/bench_fig17_downlink_ber.cpp.o.d"
+  "bench_fig17_downlink_ber"
+  "bench_fig17_downlink_ber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_downlink_ber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig18_false_positives.cpp" "bench/CMakeFiles/bench_fig18_false_positives.dir/bench_fig18_false_positives.cpp.o" "gcc" "bench/CMakeFiles/bench_fig18_false_positives.dir/bench_fig18_false_positives.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/reader/CMakeFiles/wb_reader.dir/DependInfo.cmake"
+  "/root/repo/build/src/tag/CMakeFiles/wb_tag.dir/DependInfo.cmake"
+  "/root/repo/build/src/wifi/CMakeFiles/wb_wifi.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/wb_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ambient_uplink.dir/ambient_uplink.cpp.o"
+  "CMakeFiles/ambient_uplink.dir/ambient_uplink.cpp.o.d"
+  "ambient_uplink"
+  "ambient_uplink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ambient_uplink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

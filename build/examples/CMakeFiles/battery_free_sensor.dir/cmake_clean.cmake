@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/battery_free_sensor.dir/battery_free_sensor.cpp.o"
+  "CMakeFiles/battery_free_sensor.dir/battery_free_sensor.cpp.o.d"
+  "battery_free_sensor"
+  "battery_free_sensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/battery_free_sensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

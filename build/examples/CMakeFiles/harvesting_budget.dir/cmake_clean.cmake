@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harvesting_budget.dir/harvesting_budget.cpp.o"
+  "CMakeFiles/harvesting_budget.dir/harvesting_budget.cpp.o.d"
+  "harvesting_budget"
+  "harvesting_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harvesting_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wb_experiment_cli.dir/wb_experiment_cli.cpp.o"
+  "CMakeFiles/wb_experiment_cli.dir/wb_experiment_cli.cpp.o.d"
+  "wb_experiment_cli"
+  "wb_experiment_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wb_experiment_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/arq.cpp" "src/core/CMakeFiles/wb_core.dir/arq.cpp.o" "gcc" "src/core/CMakeFiles/wb_core.dir/arq.cpp.o.d"
+  "/root/repo/src/core/device.cpp" "src/core/CMakeFiles/wb_core.dir/device.cpp.o" "gcc" "src/core/CMakeFiles/wb_core.dir/device.cpp.o.d"
+  "/root/repo/src/core/downlink_sim.cpp" "src/core/CMakeFiles/wb_core.dir/downlink_sim.cpp.o" "gcc" "src/core/CMakeFiles/wb_core.dir/downlink_sim.cpp.o.d"
+  "/root/repo/src/core/experiments.cpp" "src/core/CMakeFiles/wb_core.dir/experiments.cpp.o" "gcc" "src/core/CMakeFiles/wb_core.dir/experiments.cpp.o.d"
+  "/root/repo/src/core/frame.cpp" "src/core/CMakeFiles/wb_core.dir/frame.cpp.o" "gcc" "src/core/CMakeFiles/wb_core.dir/frame.cpp.o.d"
+  "/root/repo/src/core/inventory.cpp" "src/core/CMakeFiles/wb_core.dir/inventory.cpp.o" "gcc" "src/core/CMakeFiles/wb_core.dir/inventory.cpp.o.d"
+  "/root/repo/src/core/rate_control.cpp" "src/core/CMakeFiles/wb_core.dir/rate_control.cpp.o" "gcc" "src/core/CMakeFiles/wb_core.dir/rate_control.cpp.o.d"
+  "/root/repo/src/core/system.cpp" "src/core/CMakeFiles/wb_core.dir/system.cpp.o" "gcc" "src/core/CMakeFiles/wb_core.dir/system.cpp.o.d"
+  "/root/repo/src/core/uplink_sim.cpp" "src/core/CMakeFiles/wb_core.dir/uplink_sim.cpp.o" "gcc" "src/core/CMakeFiles/wb_core.dir/uplink_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/reader/CMakeFiles/wb_reader.dir/DependInfo.cmake"
+  "/root/repo/build/src/tag/CMakeFiles/wb_tag.dir/DependInfo.cmake"
+  "/root/repo/build/src/wifi/CMakeFiles/wb_wifi.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/wb_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

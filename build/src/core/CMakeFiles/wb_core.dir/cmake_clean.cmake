@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wb_core.dir/arq.cpp.o"
+  "CMakeFiles/wb_core.dir/arq.cpp.o.d"
+  "CMakeFiles/wb_core.dir/device.cpp.o"
+  "CMakeFiles/wb_core.dir/device.cpp.o.d"
+  "CMakeFiles/wb_core.dir/downlink_sim.cpp.o"
+  "CMakeFiles/wb_core.dir/downlink_sim.cpp.o.d"
+  "CMakeFiles/wb_core.dir/experiments.cpp.o"
+  "CMakeFiles/wb_core.dir/experiments.cpp.o.d"
+  "CMakeFiles/wb_core.dir/frame.cpp.o"
+  "CMakeFiles/wb_core.dir/frame.cpp.o.d"
+  "CMakeFiles/wb_core.dir/inventory.cpp.o"
+  "CMakeFiles/wb_core.dir/inventory.cpp.o.d"
+  "CMakeFiles/wb_core.dir/rate_control.cpp.o"
+  "CMakeFiles/wb_core.dir/rate_control.cpp.o.d"
+  "CMakeFiles/wb_core.dir/system.cpp.o"
+  "CMakeFiles/wb_core.dir/system.cpp.o.d"
+  "CMakeFiles/wb_core.dir/uplink_sim.cpp.o"
+  "CMakeFiles/wb_core.dir/uplink_sim.cpp.o.d"
+  "libwb_core.a"
+  "libwb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/drift.cpp" "src/phy/CMakeFiles/wb_phy.dir/drift.cpp.o" "gcc" "src/phy/CMakeFiles/wb_phy.dir/drift.cpp.o.d"
+  "/root/repo/src/phy/geometry.cpp" "src/phy/CMakeFiles/wb_phy.dir/geometry.cpp.o" "gcc" "src/phy/CMakeFiles/wb_phy.dir/geometry.cpp.o.d"
+  "/root/repo/src/phy/multi_tag_channel.cpp" "src/phy/CMakeFiles/wb_phy.dir/multi_tag_channel.cpp.o" "gcc" "src/phy/CMakeFiles/wb_phy.dir/multi_tag_channel.cpp.o.d"
+  "/root/repo/src/phy/multipath.cpp" "src/phy/CMakeFiles/wb_phy.dir/multipath.cpp.o" "gcc" "src/phy/CMakeFiles/wb_phy.dir/multipath.cpp.o.d"
+  "/root/repo/src/phy/pathloss.cpp" "src/phy/CMakeFiles/wb_phy.dir/pathloss.cpp.o" "gcc" "src/phy/CMakeFiles/wb_phy.dir/pathloss.cpp.o.d"
+  "/root/repo/src/phy/uplink_channel.cpp" "src/phy/CMakeFiles/wb_phy.dir/uplink_channel.cpp.o" "gcc" "src/phy/CMakeFiles/wb_phy.dir/uplink_channel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/wb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

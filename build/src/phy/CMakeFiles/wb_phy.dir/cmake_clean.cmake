@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wb_phy.dir/drift.cpp.o"
+  "CMakeFiles/wb_phy.dir/drift.cpp.o.d"
+  "CMakeFiles/wb_phy.dir/geometry.cpp.o"
+  "CMakeFiles/wb_phy.dir/geometry.cpp.o.d"
+  "CMakeFiles/wb_phy.dir/multi_tag_channel.cpp.o"
+  "CMakeFiles/wb_phy.dir/multi_tag_channel.cpp.o.d"
+  "CMakeFiles/wb_phy.dir/multipath.cpp.o"
+  "CMakeFiles/wb_phy.dir/multipath.cpp.o.d"
+  "CMakeFiles/wb_phy.dir/pathloss.cpp.o"
+  "CMakeFiles/wb_phy.dir/pathloss.cpp.o.d"
+  "CMakeFiles/wb_phy.dir/uplink_channel.cpp.o"
+  "CMakeFiles/wb_phy.dir/uplink_channel.cpp.o.d"
+  "libwb_phy.a"
+  "libwb_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wb_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reader/ack_detector.cpp" "src/reader/CMakeFiles/wb_reader.dir/ack_detector.cpp.o" "gcc" "src/reader/CMakeFiles/wb_reader.dir/ack_detector.cpp.o.d"
+  "/root/repo/src/reader/conditioning.cpp" "src/reader/CMakeFiles/wb_reader.dir/conditioning.cpp.o" "gcc" "src/reader/CMakeFiles/wb_reader.dir/conditioning.cpp.o.d"
+  "/root/repo/src/reader/corr_decoder.cpp" "src/reader/CMakeFiles/wb_reader.dir/corr_decoder.cpp.o" "gcc" "src/reader/CMakeFiles/wb_reader.dir/corr_decoder.cpp.o.d"
+  "/root/repo/src/reader/downlink_encoder.cpp" "src/reader/CMakeFiles/wb_reader.dir/downlink_encoder.cpp.o" "gcc" "src/reader/CMakeFiles/wb_reader.dir/downlink_encoder.cpp.o.d"
+  "/root/repo/src/reader/multi_helper.cpp" "src/reader/CMakeFiles/wb_reader.dir/multi_helper.cpp.o" "gcc" "src/reader/CMakeFiles/wb_reader.dir/multi_helper.cpp.o.d"
+  "/root/repo/src/reader/streaming_decoder.cpp" "src/reader/CMakeFiles/wb_reader.dir/streaming_decoder.cpp.o" "gcc" "src/reader/CMakeFiles/wb_reader.dir/streaming_decoder.cpp.o.d"
+  "/root/repo/src/reader/uplink_decoder.cpp" "src/reader/CMakeFiles/wb_reader.dir/uplink_decoder.cpp.o" "gcc" "src/reader/CMakeFiles/wb_reader.dir/uplink_decoder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wifi/CMakeFiles/wb_wifi.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/wb_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

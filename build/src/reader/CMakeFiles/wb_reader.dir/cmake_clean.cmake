@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wb_reader.dir/ack_detector.cpp.o"
+  "CMakeFiles/wb_reader.dir/ack_detector.cpp.o.d"
+  "CMakeFiles/wb_reader.dir/conditioning.cpp.o"
+  "CMakeFiles/wb_reader.dir/conditioning.cpp.o.d"
+  "CMakeFiles/wb_reader.dir/corr_decoder.cpp.o"
+  "CMakeFiles/wb_reader.dir/corr_decoder.cpp.o.d"
+  "CMakeFiles/wb_reader.dir/downlink_encoder.cpp.o"
+  "CMakeFiles/wb_reader.dir/downlink_encoder.cpp.o.d"
+  "CMakeFiles/wb_reader.dir/multi_helper.cpp.o"
+  "CMakeFiles/wb_reader.dir/multi_helper.cpp.o.d"
+  "CMakeFiles/wb_reader.dir/streaming_decoder.cpp.o"
+  "CMakeFiles/wb_reader.dir/streaming_decoder.cpp.o.d"
+  "CMakeFiles/wb_reader.dir/uplink_decoder.cpp.o"
+  "CMakeFiles/wb_reader.dir/uplink_decoder.cpp.o.d"
+  "libwb_reader.a"
+  "libwb_reader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wb_reader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wb_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/wb_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/wb_sim.dir/rng.cpp.o"
+  "CMakeFiles/wb_sim.dir/rng.cpp.o.d"
+  "libwb_sim.a"
+  "libwb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

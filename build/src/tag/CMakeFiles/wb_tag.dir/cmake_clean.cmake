@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wb_tag.dir/energy_detector.cpp.o"
+  "CMakeFiles/wb_tag.dir/energy_detector.cpp.o.d"
+  "CMakeFiles/wb_tag.dir/harvester.cpp.o"
+  "CMakeFiles/wb_tag.dir/harvester.cpp.o.d"
+  "CMakeFiles/wb_tag.dir/mcu.cpp.o"
+  "CMakeFiles/wb_tag.dir/mcu.cpp.o.d"
+  "CMakeFiles/wb_tag.dir/modulator.cpp.o"
+  "CMakeFiles/wb_tag.dir/modulator.cpp.o.d"
+  "CMakeFiles/wb_tag.dir/power_manager.cpp.o"
+  "CMakeFiles/wb_tag.dir/power_manager.cpp.o.d"
+  "libwb_tag.a"
+  "libwb_tag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wb_tag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

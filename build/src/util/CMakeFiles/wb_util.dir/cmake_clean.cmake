@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wb_util.dir/bits.cpp.o"
+  "CMakeFiles/wb_util.dir/bits.cpp.o.d"
+  "CMakeFiles/wb_util.dir/codes.cpp.o"
+  "CMakeFiles/wb_util.dir/codes.cpp.o.d"
+  "CMakeFiles/wb_util.dir/crc.cpp.o"
+  "CMakeFiles/wb_util.dir/crc.cpp.o.d"
+  "CMakeFiles/wb_util.dir/dsp.cpp.o"
+  "CMakeFiles/wb_util.dir/dsp.cpp.o.d"
+  "CMakeFiles/wb_util.dir/stats.cpp.o"
+  "CMakeFiles/wb_util.dir/stats.cpp.o.d"
+  "libwb_util.a"
+  "libwb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wifi/link_sim.cpp" "src/wifi/CMakeFiles/wb_wifi.dir/link_sim.cpp.o" "gcc" "src/wifi/CMakeFiles/wb_wifi.dir/link_sim.cpp.o.d"
+  "/root/repo/src/wifi/mac.cpp" "src/wifi/CMakeFiles/wb_wifi.dir/mac.cpp.o" "gcc" "src/wifi/CMakeFiles/wb_wifi.dir/mac.cpp.o.d"
+  "/root/repo/src/wifi/nic.cpp" "src/wifi/CMakeFiles/wb_wifi.dir/nic.cpp.o" "gcc" "src/wifi/CMakeFiles/wb_wifi.dir/nic.cpp.o.d"
+  "/root/repo/src/wifi/packet.cpp" "src/wifi/CMakeFiles/wb_wifi.dir/packet.cpp.o" "gcc" "src/wifi/CMakeFiles/wb_wifi.dir/packet.cpp.o.d"
+  "/root/repo/src/wifi/rate_adapt.cpp" "src/wifi/CMakeFiles/wb_wifi.dir/rate_adapt.cpp.o" "gcc" "src/wifi/CMakeFiles/wb_wifi.dir/rate_adapt.cpp.o.d"
+  "/root/repo/src/wifi/trace_io.cpp" "src/wifi/CMakeFiles/wb_wifi.dir/trace_io.cpp.o" "gcc" "src/wifi/CMakeFiles/wb_wifi.dir/trace_io.cpp.o.d"
+  "/root/repo/src/wifi/traffic.cpp" "src/wifi/CMakeFiles/wb_wifi.dir/traffic.cpp.o" "gcc" "src/wifi/CMakeFiles/wb_wifi.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phy/CMakeFiles/wb_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wb_wifi.dir/link_sim.cpp.o"
+  "CMakeFiles/wb_wifi.dir/link_sim.cpp.o.d"
+  "CMakeFiles/wb_wifi.dir/mac.cpp.o"
+  "CMakeFiles/wb_wifi.dir/mac.cpp.o.d"
+  "CMakeFiles/wb_wifi.dir/nic.cpp.o"
+  "CMakeFiles/wb_wifi.dir/nic.cpp.o.d"
+  "CMakeFiles/wb_wifi.dir/packet.cpp.o"
+  "CMakeFiles/wb_wifi.dir/packet.cpp.o.d"
+  "CMakeFiles/wb_wifi.dir/rate_adapt.cpp.o"
+  "CMakeFiles/wb_wifi.dir/rate_adapt.cpp.o.d"
+  "CMakeFiles/wb_wifi.dir/trace_io.cpp.o"
+  "CMakeFiles/wb_wifi.dir/trace_io.cpp.o.d"
+  "CMakeFiles/wb_wifi.dir/traffic.cpp.o"
+  "CMakeFiles/wb_wifi.dir/traffic.cpp.o.d"
+  "libwb_wifi.a"
+  "libwb_wifi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wb_wifi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

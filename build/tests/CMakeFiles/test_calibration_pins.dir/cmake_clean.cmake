@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_calibration_pins.dir/test_calibration_pins.cpp.o"
+  "CMakeFiles/test_calibration_pins.dir/test_calibration_pins.cpp.o.d"
+  "test_calibration_pins"
+  "test_calibration_pins.pdb"
+  "test_calibration_pins[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_calibration_pins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

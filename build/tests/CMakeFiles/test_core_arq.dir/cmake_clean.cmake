@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_arq.dir/test_core_arq.cpp.o"
+  "CMakeFiles/test_core_arq.dir/test_core_arq.cpp.o.d"
+  "test_core_arq"
+  "test_core_arq.pdb"
+  "test_core_arq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_arq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_inventory.dir/test_core_inventory.cpp.o"
+  "CMakeFiles/test_core_inventory.dir/test_core_inventory.cpp.o.d"
+  "test_core_inventory"
+  "test_core_inventory.pdb"
+  "test_core_inventory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_inventory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_sims.dir/test_core_sims.cpp.o"
+  "CMakeFiles/test_core_sims.dir/test_core_sims.cpp.o.d"
+  "test_core_sims"
+  "test_core_sims.pdb"
+  "test_core_sims[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_sims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

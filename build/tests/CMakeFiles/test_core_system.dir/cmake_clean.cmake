@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_system.dir/test_core_system.cpp.o"
+  "CMakeFiles/test_core_system.dir/test_core_system.cpp.o.d"
+  "test_core_system"
+  "test_core_system.pdb"
+  "test_core_system[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

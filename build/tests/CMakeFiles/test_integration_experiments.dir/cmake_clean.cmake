@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_experiments.dir/test_integration_experiments.cpp.o"
+  "CMakeFiles/test_integration_experiments.dir/test_integration_experiments.cpp.o.d"
+  "test_integration_experiments"
+  "test_integration_experiments.pdb"
+  "test_integration_experiments[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phy_geometry.dir/test_phy_geometry.cpp.o"
+  "CMakeFiles/test_phy_geometry.dir/test_phy_geometry.cpp.o.d"
+  "test_phy_geometry"
+  "test_phy_geometry.pdb"
+  "test_phy_geometry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phy_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phy_multipath.dir/test_phy_multipath.cpp.o"
+  "CMakeFiles/test_phy_multipath.dir/test_phy_multipath.cpp.o.d"
+  "test_phy_multipath"
+  "test_phy_multipath.pdb"
+  "test_phy_multipath[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phy_multipath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

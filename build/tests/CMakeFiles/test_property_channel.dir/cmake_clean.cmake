@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_channel.dir/test_property_channel.cpp.o"
+  "CMakeFiles/test_property_channel.dir/test_property_channel.cpp.o.d"
+  "test_property_channel"
+  "test_property_channel.pdb"
+  "test_property_channel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_mac.dir/test_property_mac.cpp.o"
+  "CMakeFiles/test_property_mac.dir/test_property_mac.cpp.o.d"
+  "test_property_mac"
+  "test_property_mac.pdb"
+  "test_property_mac[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

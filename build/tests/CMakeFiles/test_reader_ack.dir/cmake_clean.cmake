@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reader_ack.dir/test_reader_ack.cpp.o"
+  "CMakeFiles/test_reader_ack.dir/test_reader_ack.cpp.o.d"
+  "test_reader_ack"
+  "test_reader_ack.pdb"
+  "test_reader_ack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reader_ack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

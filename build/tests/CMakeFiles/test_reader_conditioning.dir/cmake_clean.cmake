@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reader_conditioning.dir/test_reader_conditioning.cpp.o"
+  "CMakeFiles/test_reader_conditioning.dir/test_reader_conditioning.cpp.o.d"
+  "test_reader_conditioning"
+  "test_reader_conditioning.pdb"
+  "test_reader_conditioning[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reader_conditioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

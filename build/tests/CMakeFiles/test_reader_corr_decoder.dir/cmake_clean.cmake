@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reader_corr_decoder.dir/test_reader_corr_decoder.cpp.o"
+  "CMakeFiles/test_reader_corr_decoder.dir/test_reader_corr_decoder.cpp.o.d"
+  "test_reader_corr_decoder"
+  "test_reader_corr_decoder.pdb"
+  "test_reader_corr_decoder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reader_corr_decoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

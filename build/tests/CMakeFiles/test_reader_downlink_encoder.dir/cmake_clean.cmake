@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reader_downlink_encoder.dir/test_reader_downlink_encoder.cpp.o"
+  "CMakeFiles/test_reader_downlink_encoder.dir/test_reader_downlink_encoder.cpp.o.d"
+  "test_reader_downlink_encoder"
+  "test_reader_downlink_encoder.pdb"
+  "test_reader_downlink_encoder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reader_downlink_encoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

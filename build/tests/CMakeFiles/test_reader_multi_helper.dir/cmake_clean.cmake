@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reader_multi_helper.dir/test_reader_multi_helper.cpp.o"
+  "CMakeFiles/test_reader_multi_helper.dir/test_reader_multi_helper.cpp.o.d"
+  "test_reader_multi_helper"
+  "test_reader_multi_helper.pdb"
+  "test_reader_multi_helper[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reader_multi_helper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

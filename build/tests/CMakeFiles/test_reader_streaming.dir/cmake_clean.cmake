@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reader_streaming.dir/test_reader_streaming.cpp.o"
+  "CMakeFiles/test_reader_streaming.dir/test_reader_streaming.cpp.o.d"
+  "test_reader_streaming"
+  "test_reader_streaming.pdb"
+  "test_reader_streaming[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reader_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tag_energy_detector.dir/test_tag_energy_detector.cpp.o"
+  "CMakeFiles/test_tag_energy_detector.dir/test_tag_energy_detector.cpp.o.d"
+  "test_tag_energy_detector"
+  "test_tag_energy_detector.pdb"
+  "test_tag_energy_detector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tag_energy_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tag_harvester.dir/test_tag_harvester.cpp.o"
+  "CMakeFiles/test_tag_harvester.dir/test_tag_harvester.cpp.o.d"
+  "test_tag_harvester"
+  "test_tag_harvester.pdb"
+  "test_tag_harvester[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tag_harvester.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tag_mcu.dir/test_tag_mcu.cpp.o"
+  "CMakeFiles/test_tag_mcu.dir/test_tag_mcu.cpp.o.d"
+  "test_tag_mcu"
+  "test_tag_mcu.pdb"
+  "test_tag_mcu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tag_mcu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tag_modulator.dir/test_tag_modulator.cpp.o"
+  "CMakeFiles/test_tag_modulator.dir/test_tag_modulator.cpp.o.d"
+  "test_tag_modulator"
+  "test_tag_modulator.pdb"
+  "test_tag_modulator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tag_modulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_codes.dir/test_util_codes.cpp.o"
+  "CMakeFiles/test_util_codes.dir/test_util_codes.cpp.o.d"
+  "test_util_codes"
+  "test_util_codes.pdb"
+  "test_util_codes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_codes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_crc.dir/test_util_crc.cpp.o"
+  "CMakeFiles/test_util_crc.dir/test_util_crc.cpp.o.d"
+  "test_util_crc"
+  "test_util_crc.pdb"
+  "test_util_crc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_crc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_dsp.dir/test_util_dsp.cpp.o"
+  "CMakeFiles/test_util_dsp.dir/test_util_dsp.cpp.o.d"
+  "test_util_dsp"
+  "test_util_dsp.pdb"
+  "test_util_dsp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wifi_mac.dir/test_wifi_mac.cpp.o"
+  "CMakeFiles/test_wifi_mac.dir/test_wifi_mac.cpp.o.d"
+  "test_wifi_mac"
+  "test_wifi_mac.pdb"
+  "test_wifi_mac[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wifi_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wifi_nic.dir/test_wifi_nic.cpp.o"
+  "CMakeFiles/test_wifi_nic.dir/test_wifi_nic.cpp.o.d"
+  "test_wifi_nic"
+  "test_wifi_nic.pdb"
+  "test_wifi_nic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wifi_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

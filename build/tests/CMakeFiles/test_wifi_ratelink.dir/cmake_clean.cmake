@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wifi_ratelink.dir/test_wifi_ratelink.cpp.o"
+  "CMakeFiles/test_wifi_ratelink.dir/test_wifi_ratelink.cpp.o.d"
+  "test_wifi_ratelink"
+  "test_wifi_ratelink.pdb"
+  "test_wifi_ratelink[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wifi_ratelink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

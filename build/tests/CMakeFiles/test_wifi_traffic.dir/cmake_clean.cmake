@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wifi_traffic.dir/test_wifi_traffic.cpp.o"
+  "CMakeFiles/test_wifi_traffic.dir/test_wifi_traffic.cpp.o.d"
+  "test_wifi_traffic"
+  "test_wifi_traffic.pdb"
+  "test_wifi_traffic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wifi_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
