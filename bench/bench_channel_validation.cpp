@@ -93,9 +93,9 @@ void ofdm_papr() {
     samples.push_back(phy::draw_ofdm_raw_power_sample(1.0, rng));
   }
   std::sort(samples.begin(), samples.end());
-  const double p99 = samples[static_cast<std::size_t>(0.99 * samples.size())];
+  const double p99 = samples[static_cast<std::size_t>(0.99 * static_cast<double>(samples.size()))];
   const double p999 =
-      samples[static_cast<std::size_t>(0.999 * samples.size())];
+      samples[static_cast<std::size_t>(0.999 * static_cast<double>(samples.size()))];
   std::printf("\nOFDM instantaneous power (mean 1.0): p99 = %.2f (%.1f dB),"
               " p99.9 = %.2f (%.1f dB)\n",
               p99, 10 * std::log10(p99), p999, 10 * std::log10(p999));

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Pre-PR correctness gate. Runs, in order:
+#   1. tools/wb_lint.py           repo-specific lint rules
+#   2. ASan+UBSan build, -Werror  (build dir: build-check/)
+#   3. full ctest under the sanitizers
+#   4. clang-tidy over src/       (skipped with a notice if not installed)
+# Exits non-zero on the first failure. Usage: scripts/check.sh [-j N]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+while getopts "j:" opt; do
+  case "$opt" in
+    j) JOBS="$OPTARG" ;;
+    *) echo "usage: scripts/check.sh [-j N]" >&2; exit 2 ;;
+  esac
+done
+
+BUILD_DIR=build-check
+
+echo "==> [1/4] wb_lint"
+python3 tools/wb_lint.py
+
+echo "==> [2/4] configure + build (WB_SANITIZE=address, WB_WERROR=ON)"
+cmake -B "$BUILD_DIR" -S . \
+  -DWB_SANITIZE=address -DWB_WERROR=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+echo "==> [3/4] ctest under ASan+UBSan"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "==> [4/4] clang-tidy"
+if command -v clang-tidy > /dev/null 2>&1; then
+  if command -v run-clang-tidy > /dev/null 2>&1; then
+    run-clang-tidy -p "$BUILD_DIR" -quiet "src/.*\.cpp$"
+  else
+    # shellcheck disable=SC2046
+    clang-tidy -p "$BUILD_DIR" --quiet $(find src -name '*.cpp') \
+      > /dev/null
+  fi
+else
+  echo "    clang-tidy not installed; skipping (config: .clang-tidy)"
+fi
+
+echo "==> all checks passed"

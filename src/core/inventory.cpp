@@ -1,12 +1,12 @@
 #include "core/inventory.h"
 
 #include <algorithm>
-#include <cassert>
 
 #include "core/frame.h"
 #include "reader/uplink_decoder.h"
 #include "tag/modulator.h"
 #include "wifi/traffic.h"
+#include "util/check.h"
 
 namespace wb::core {
 namespace {
@@ -24,7 +24,7 @@ std::size_t reply_frame_bits() {
 InventoryResult run_inventory(std::span<const InventoryTag> tags,
                               const InventoryConfig& cfg) {
   InventoryResult result;
-  assert(!tags.empty());
+  WB_REQUIRE(!tags.empty(), "inventory needs at least one tag");
 
   sim::RngStream rng(cfg.seed);
   auto slot_rng = rng.fork("slot-choice");

@@ -1,7 +1,8 @@
 #include "core/rate_control.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "util/check.h"
 
 namespace wb::core {
 
@@ -20,7 +21,7 @@ double RateControl::measured_packet_rate(const wifi::CaptureTrace& trace,
 }
 
 double RateControl::raw_rate_bps(double helper_pps) const {
-  assert(params_.packets_per_bit > 0.0);
+  WB_REQUIRE(params_.packets_per_bit > 0.0);
   return helper_pps / params_.packets_per_bit;
 }
 

@@ -1,15 +1,23 @@
 #include "core/system.h"
 
-#include <cassert>
-
 #include "reader/ack_detector.h"
 #include "tag/modulator.h"
+#include "util/check.h"
 #include "util/crc.h"
 
 namespace wb::core {
 
 WiFiBackscatterSystem::WiFiBackscatterSystem(const SystemConfig& cfg)
-    : cfg_(cfg) {}
+    : cfg_(cfg) {
+  WB_REQUIRE(cfg.tag_reader_distance_m > 0.0,
+             "tag-reader distance must be positive");
+  WB_REQUIRE(cfg.helper_distance_m > 0.0,
+             "helper distance must be positive");
+  WB_REQUIRE(cfg.helper_pps > 0.0, "helper traffic rate must be positive");
+  WB_REQUIRE(cfg.packets_per_bit > 0.0);
+  WB_REQUIRE(cfg.downlink_slot_us > 0);
+  WB_REQUIRE(cfg.max_query_attempts > 0);
+}
 
 double WiFiBackscatterSystem::commanded_bit_rate() const {
   RateControl rc(RateControlParams{cfg_.packets_per_bit, 0.8});
@@ -59,7 +67,7 @@ UplinkOutcome WiFiBackscatterSystem::receive_uplink(const BitVec& data,
                                                     double bit_rate_bps) {
   UplinkOutcome out;
   out.bit_rate_bps = bit_rate_bps;
-  assert(bit_rate_bps > 0.0);
+  WB_REQUIRE(bit_rate_bps > 0.0, "uplink bit rate must be positive");
 
   const auto bit_us = static_cast<TimeUs>(1e6 / bit_rate_bps);
   const BitVec frame = build_uplink_frame(data);

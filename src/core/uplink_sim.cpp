@@ -1,5 +1,7 @@
 #include "core/uplink_sim.h"
 
+#include "util/check.h"
+
 namespace wb::core {
 
 UplinkSim::UplinkSim(const UplinkSimConfig& cfg)
@@ -16,7 +18,11 @@ wifi::CaptureTrace UplinkSim::run(const wifi::PacketTimeline& timeline,
                                   const tag::Modulator& mod) {
   wifi::CaptureTrace trace;
   trace.reserve(timeline.size());
+  TimeUs prev_us = 0;
   for (const auto& pkt : timeline) {
+    WB_REQUIRE(pkt.start_us >= prev_us,
+               "packet timeline must be in time order");
+    prev_us = pkt.start_us;
     // The NIC estimates CSI from the PLCP preamble at the very start of
     // the packet, so the tag state that matters is the one at start_us —
     // which is also the timestamp the decoder bins by.

@@ -1,29 +1,33 @@
 #include "phy/drift.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "util/check.h"
 
 namespace wb::phy {
 
 OuProcess::OuProcess(double tau_s, double sigma, sim::RngStream rng)
     : tau_s_(tau_s), sigma_(sigma), rng_(rng) {
-  assert(tau_s_ > 0.0);
-  assert(sigma_ >= 0.0);
+  WB_REQUIRE(tau_s_ > 0.0, "OU relaxation time must be positive");
+  WB_REQUIRE(sigma_ >= 0.0);
 }
 
-double OuProcess::at(TimeUs t) {
+double OuProcess::at(TimeUs t_us) {
   if (!started_) {
     started_ = true;
-    last_t_ = t;
+    last_t_ = t_us;
     // Start from the stationary distribution so experiments have no
     // warm-up transient.
     x_ = rng_.normal(0.0, sigma_);
     return x_;
   }
-  assert(t >= last_t_ && "OU process must be sampled in time order");
+  // Out-of-order sampling is supported: dt <= 0 returns the current state
+  // without evolving (inventory rounds restart their timelines at t = 0
+  // against one long-lived channel).
   const double dt_s =
-      static_cast<double>(t - last_t_) / static_cast<double>(kMicrosPerSec);
-  last_t_ = t;
+      static_cast<double>(t_us - last_t_) /
+      static_cast<double>(kMicrosPerSec);
+  last_t_ = t_us;
   if (dt_s <= 0.0) return x_;
   // Exact discretisation of the OU transition kernel.
   const double a = std::exp(-dt_s / tau_s_);
@@ -49,9 +53,11 @@ ChannelDrift::ChannelDrift(const Params& p, sim::RngStream rng) {
 }
 
 double ChannelDrift::at(std::size_t antenna, std::size_t subchannel,
-                        TimeUs t) {
-  return antenna_.at(antenna).at(t) +
-         subchannel_.at(antenna).at(subchannel).at(t);
+                        TimeUs t_us) {
+  WB_REQUIRE(antenna < kNumAntennas);
+  WB_REQUIRE(subchannel < kNumSubchannels);
+  return antenna_[antenna].at(t_us) +
+         subchannel_[antenna][subchannel].at(t_us);
 }
 
 }  // namespace wb::phy

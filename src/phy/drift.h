@@ -24,9 +24,9 @@ class OuProcess {
   /// tau: relaxation time (seconds); sigma: stationary standard deviation.
   OuProcess(double tau_s, double sigma, sim::RngStream rng);
 
-  /// Value at absolute time t (microseconds). Times must be non-decreasing
-  /// across calls.
-  double at(TimeUs t);
+  /// Value at absolute time t_us (microseconds). Times must be
+  /// non-decreasing across calls.
+  double at(TimeUs t_us);
 
   double sigma() const { return sigma_; }
 
@@ -53,9 +53,9 @@ class ChannelDrift {
 
   ChannelDrift(const Params& p, sim::RngStream rng);
 
-  /// Additive amplitude drift for (antenna, sub-channel) at time t.
-  /// Callers must query with non-decreasing t.
-  double at(std::size_t antenna, std::size_t subchannel, TimeUs t);
+  /// Additive amplitude drift for (antenna, sub-channel) at time t_us.
+  /// Callers must query with non-decreasing times.
+  double at(std::size_t antenna, std::size_t subchannel, TimeUs t_us);
 
  private:
   std::vector<OuProcess> antenna_;                   // size kNumAntennas

@@ -1,14 +1,17 @@
 #include "phy/multi_tag_channel.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "util/check.h"
 
 namespace wb::phy {
 
 MultiTagUplinkChannel::MultiTagUplinkChannel(
     const UplinkChannelParams& base, std::span<const TagPlacement> tags,
     sim::RngStream rng) {
-  assert(!tags.empty());
+  WB_REQUIRE(!tags.empty(), "a multi-tag channel needs at least one tag");
+  WB_REQUIRE(distance(base.helper_pos, base.reader_pos) > 0.0,
+             "helper and reader must not be co-located");
   const double tx_amp = std::sqrt(dbm_to_mw(base.helper_tx_power_dbm));
   const double g_hr = base.pathloss.amplitude_gain(
       base.helper_pos, base.reader_pos, base.plan);
@@ -62,9 +65,9 @@ MultiTagUplinkChannel::MultiTagUplinkChannel(
 }
 
 CsiMatrix MultiTagUplinkChannel::response(
-    std::span<const std::uint8_t> states,
-                                          TimeUs t) {
-  assert(states.size() == deltas_.size());
+    std::span<const std::uint8_t> states, TimeUs t_us) {
+  WB_REQUIRE(states.size() == deltas_.size(),
+             "one switch state per tag is required");
   CsiMatrix out{};
   for (std::size_t a = 0; a < kNumAntennas; ++a) {
     for (std::size_t s = 0; s < kNumSubchannels; ++s) {
@@ -72,7 +75,7 @@ CsiMatrix MultiTagUplinkChannel::response(
       for (std::size_t i = 0; i < deltas_.size(); ++i) {
         if (states[i] != 0) h += deltas_[i][a][s];
       }
-      out[a][s] = h * (1.0 + drift_->at(a, s, t));
+      out[a][s] = h * (1.0 + drift_->at(a, s, t_us));
     }
   }
   return out;

@@ -36,8 +36,8 @@ class MultiTagUplinkChannel {
                         sim::RngStream rng);
 
   /// Channel truth with per-tag switch states (`states.size() ==
-  /// num_tags()`, nonzero = reflecting). Call with non-decreasing t.
-  CsiMatrix response(std::span<const std::uint8_t> states, TimeUs t);
+  /// num_tags()`, nonzero = reflecting). Call with non-decreasing times.
+  CsiMatrix response(std::span<const std::uint8_t> states, TimeUs t_us);
 
   std::size_t num_tags() const { return deltas_.size(); }
   const CsiMatrix& direct() const { return direct_; }

@@ -1,15 +1,18 @@
 #include "phy/multipath.h"
 
-#include <cassert>
 #include <cmath>
 #include <numbers>
 #include <vector>
+
+#include "util/check.h"
 
 namespace wb::phy {
 
 FrequencyResponse draw_frequency_response(const MultipathProfile& profile,
                                           sim::RngStream& rng) {
-  assert(profile.taps >= 1);
+  WB_REQUIRE(profile.taps >= 1, "a channel needs at least the direct tap");
+  WB_REQUIRE(profile.delay_spread_s >= 0.0);
+  WB_REQUIRE(profile.rician_k >= 0.0);
   // Tap delays: first tap at 0 (direct ray), the rest exponentially spaced
   // over the delay spread. Tap powers follow an exponential power-delay
   // profile; the direct tap carries the Rician line-of-sight component.

@@ -2,12 +2,17 @@
 
 #include <cmath>
 
+#include "util/check.h"
 #include "util/units.h"
 
 namespace wb::phy {
 
 double PathLossModel::loss_db(double d) const {
+  WB_REQUIRE(d >= 0.0, "distance must be non-negative");
+  WB_REQUIRE(exponent > 0.0, "path-loss exponent must be positive");
   const double d_eff = std::hypot(d, near_field_m);
+  WB_REQUIRE(d_eff > 0.0,
+             "a zero distance needs a positive near-field clamp");
   return ref_loss_db + 10.0 * exponent * std::log10(d_eff);
 }
 

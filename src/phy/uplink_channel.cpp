@@ -2,11 +2,19 @@
 
 #include <cmath>
 
+#include "util/check.h"
+
 namespace wb::phy {
 
 UplinkChannel::UplinkChannel(const UplinkChannelParams& params,
                              sim::RngStream rng)
     : params_(params) {
+  WB_REQUIRE(distance(params.helper_pos, params.reader_pos) > 0.0,
+             "helper and reader must not be co-located");
+  WB_REQUIRE(distance(params.helper_pos, params.tag_pos) > 0.0,
+             "helper and tag must not be co-located");
+  WB_REQUIRE(params.coherence_dist_m >= 0.0);
+  WB_REQUIRE(params.coherence_max >= 0.0 && params.coherence_max <= 1.0);
   const double tx_amp = std::sqrt(dbm_to_mw(params.helper_tx_power_dbm));
 
   // Straight-line amplitude gains of the three legs, including walls.
@@ -61,13 +69,13 @@ UplinkChannel::UplinkChannel(const UplinkChannelParams& params,
   drift_ = std::make_unique<ChannelDrift>(params.drift, rng.fork("drift"));
 }
 
-CsiMatrix UplinkChannel::response(bool tag_reflecting, TimeUs t) {
+CsiMatrix UplinkChannel::response(bool tag_reflecting, TimeUs t_us) {
   CsiMatrix out{};
   for (std::size_t a = 0; a < kNumAntennas; ++a) {
     for (std::size_t s = 0; s < kNumSubchannels; ++s) {
       Complex h = direct_[a][s];
       if (tag_reflecting) h += delta_[a][s];
-      out[a][s] = h * (1.0 + drift_->at(a, s, t));
+      out[a][s] = h * (1.0 + drift_->at(a, s, t_us));
     }
   }
   return out;

@@ -74,10 +74,10 @@ class UplinkChannel {
  public:
   UplinkChannel(const UplinkChannelParams& params, sim::RngStream rng);
 
-  /// Channel truth seen by the reader for a packet at time t with the tag
-  /// in the given switch state. Must be called with non-decreasing t
-  /// (drift is a stochastic process).
-  CsiMatrix response(bool tag_reflecting, TimeUs t);
+  /// Channel truth seen by the reader for a packet at time t_us with the
+  /// tag in the given switch state. Must be called with non-decreasing
+  /// times (drift is a stochastic process).
+  CsiMatrix response(bool tag_reflecting, TimeUs t_us);
 
   /// Static direct-path component (no tag, no drift); for tests/analysis.
   const CsiMatrix& direct() const { return direct_; }

@@ -4,19 +4,23 @@
 #include <cmath>
 
 #include "reader/uplink_decoder.h"
+#include "util/check.h"
 
 namespace wb::reader {
 
 AckDetection detect_ack(const ConditionedTrace& ct, const AckConfig& cfg,
-                        TimeUs expected_start) {
+                        TimeUs expected_start_us) {
+  WB_REQUIRE(!cfg.pattern.empty(), "ACK pattern must be non-empty");
+  WB_REQUIRE(cfg.chip_duration_us > 0);
+  WB_REQUIRE(cfg.jitter_us >= 0);
   AckDetection out;
   if (ct.num_packets() == 0) return out;
 
   const std::size_t nchips = cfg.pattern.size();
   const TimeUs step = std::max<TimeUs>(cfg.chip_duration_us / 4, 1);
 
-  for (TimeUs tau = expected_start - cfg.jitter_us;
-       tau <= expected_start + cfg.jitter_us; tau += step) {
+  for (TimeUs tau = expected_start_us - cfg.jitter_us;
+       tau <= expected_start_us + cfg.jitter_us; tau += step) {
     for (std::size_t s = 0; s < ct.num_streams(); ++s) {
       const auto slots = UplinkDecoder::bin_slots(
           ct, s, tau, cfg.chip_duration_us, nchips);
@@ -40,9 +44,9 @@ AckDetection detect_ack(const ConditionedTrace& ct, const AckConfig& cfg,
 }
 
 AckDetection detect_ack(const wifi::CaptureTrace& trace,
-                        const AckConfig& cfg, TimeUs expected_start) {
+                        const AckConfig& cfg, TimeUs expected_start_us) {
   return detect_ack(condition(trace, MeasurementSource::kCsi), cfg,
-                    expected_start);
+                    expected_start_us);
 }
 
 }  // namespace wb::reader

@@ -51,12 +51,12 @@ struct AckDetection {
 };
 
 /// Look for the ACK pattern in a conditioned trace around
-/// `expected_start` (= downlink end + turnaround).
+/// `expected_start_us` (= downlink end + turnaround).
 AckDetection detect_ack(const ConditionedTrace& ct, const AckConfig& cfg,
-                        TimeUs expected_start);
+                        TimeUs expected_start_us);
 
 /// Convenience: condition `trace` (CSI) and detect.
 AckDetection detect_ack(const wifi::CaptureTrace& trace,
-                        const AckConfig& cfg, TimeUs expected_start);
+                        const AckConfig& cfg, TimeUs expected_start_us);
 
 }  // namespace wb::reader

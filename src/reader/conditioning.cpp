@@ -1,7 +1,9 @@
 #include "reader/conditioning.h"
 
-#include <cassert>
+#include <algorithm>
 #include <cmath>
+
+#include "util/check.h"
 
 #include "util/dsp.h"
 
@@ -10,7 +12,11 @@ namespace wb::reader {
 std::vector<double> remove_time_moving_average(
     const std::vector<TimeUs>& ts, const std::vector<double>& xs,
     TimeUs window_us) {
-  assert(ts.size() == xs.size());
+  WB_REQUIRE(ts.size() == xs.size(),
+             "one measurement per timestamp is required");
+  WB_REQUIRE(window_us > 0, "moving-average window must be positive");
+  WB_REQUIRE(std::is_sorted(ts.begin(), ts.end()),
+             "capture timestamps must be non-decreasing");
   // Centered window. The paper's receiver subtracts a trailing 400 ms
   // average online; decoding offline we can center the same window, which
   // removes identical drift but avoids the trailing window's
@@ -40,6 +46,7 @@ std::vector<double> remove_time_moving_average(
 ConditionedTrace condition(const wifi::CaptureTrace& trace,
                            MeasurementSource source,
                            TimeUs movavg_window_us) {
+  WB_REQUIRE(movavg_window_us > 0, "moving-average window must be positive");
   ConditionedTrace out;
 
   // Collect raw series. For CSI, records without CSI (beacons on the
@@ -65,6 +72,7 @@ ConditionedTrace condition(const wifi::CaptureTrace& trace,
     auto centered =
         remove_time_moving_average(out.timestamps, raw[s], movavg_window_us);
     out.streams[s] = normalize_mad(centered);
+    WB_ENSURE(out.streams[s].size() == out.timestamps.size());
   }
   return out;
 }

@@ -1,8 +1,9 @@
 #include "reader/corr_decoder.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "util/check.h"
 
 #include "reader/uplink_decoder.h"
 
@@ -10,8 +11,12 @@ namespace wb::reader {
 
 CodedUplinkDecoder::CodedUplinkDecoder(CodedDecoderConfig cfg)
     : cfg_(std::move(cfg)) {
-  assert(cfg_.codes.length() >= 2);
-  assert(!cfg_.preamble.empty());
+  WB_REQUIRE(cfg_.codes.length() >= 2,
+             "orthogonal codes need at least two chips");
+  WB_REQUIRE(!cfg_.preamble.empty());
+  WB_REQUIRE(cfg_.chip_duration_us > 0);
+  WB_REQUIRE(cfg_.num_good_streams > 0);
+  WB_REQUIRE(cfg_.min_fill >= 0.0 && cfg_.min_fill <= 1.0);
   // Expand the preamble into its chip template once.
   preamble_chips_bipolar_.reserve(cfg_.preamble.size() *
                                   cfg_.chips_per_bit());
@@ -30,9 +35,10 @@ CodedUplinkDecoder::CodedUplinkDecoder(CodedDecoderConfig cfg)
 
 double CodedUplinkDecoder::preamble_correlation(const ConditionedTrace& ct,
                                                 std::size_t stream,
-                                                TimeUs start) const {
+                                                TimeUs start_us) const {
+  WB_REQUIRE(stream < ct.num_streams());
   const std::size_t nchips = preamble_chips_bipolar_.size();
-  const auto slots = UplinkDecoder::bin_slots(ct, stream, start,
+  const auto slots = UplinkDecoder::bin_slots(ct, stream, start_us,
                                               cfg_.chip_duration_us, nchips);
   std::size_t filled = 0;
   double corr = 0.0;

@@ -93,7 +93,7 @@ class CodedUplinkDecoder {
   /// Per-chip-normalised correlation of a stream against the *coded
   /// preamble* at a candidate start (signed; 0 when under-filled).
   double preamble_correlation(const ConditionedTrace& ct, std::size_t stream,
-                              TimeUs start) const;
+                              TimeUs start_us) const;
 
   const CodedDecoderConfig& config() const { return cfg_; }
 

@@ -1,18 +1,18 @@
 #include "reader/downlink_encoder.h"
 
-#include <cassert>
+#include "util/check.h"
 
 namespace wb::reader {
 
 DownlinkEncoder::DownlinkEncoder(DownlinkEncoderConfig cfg) : cfg_(cfg) {
-  assert(cfg_.slot_us >= wifi::kMinPacketUs &&
-         "802.11 cannot form packets shorter than ~40 us");
-  assert(cfg_.bits_per_chunk() > 0);
+  WB_REQUIRE(cfg_.slot_us >= wifi::kMinPacketUs,
+             "802.11 cannot form packets shorter than ~40 us");
+  WB_REQUIRE(cfg_.bits_per_chunk() > 0);
 }
 
 DownlinkTransmission DownlinkEncoder::encode(const BitVec& message,
                                              TimeUs start_us) const {
-  assert(is_binary(message));
+  WB_REQUIRE(is_binary(message), "downlink payload must be raw bits");
   DownlinkTransmission tx;
   tx.start_us = start_us;
 

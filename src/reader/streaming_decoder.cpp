@@ -1,14 +1,15 @@
 #include "reader/streaming_decoder.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "util/check.h"
 
 namespace wb::reader {
 
 StreamingUplinkDecoder::StreamingUplinkDecoder(StreamingDecoderConfig cfg)
     : cfg_(std::move(cfg)) {
-  assert(!cfg_.decoder.search_from && !cfg_.decoder.search_to &&
-         "the streaming wrapper manages the search window");
+  WB_REQUIRE(!cfg_.decoder.search_from && !cfg_.decoder.search_to,
+             "the streaming wrapper manages the search window");
 }
 
 TimeUs StreamingUplinkDecoder::scan_interval() const {
@@ -18,8 +19,9 @@ TimeUs StreamingUplinkDecoder::scan_interval() const {
 
 std::vector<UplinkDecodeResult> StreamingUplinkDecoder::push(
     const wifi::CaptureRecord& rec) {
-  assert(buffer_.empty() ||
-         rec.timestamp_us >= buffer_.back().timestamp_us);
+  WB_REQUIRE(buffer_.empty() ||
+                 rec.timestamp_us >= buffer_.back().timestamp_us,
+             "capture records must arrive in time order");
   buffer_.push_back(rec);
 
   std::vector<UplinkDecodeResult> out;

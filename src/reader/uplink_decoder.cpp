@@ -1,8 +1,9 @@
 #include "reader/uplink_decoder.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "util/check.h"
 
 #include "util/dsp.h"
 
@@ -18,21 +19,28 @@ std::size_t lower_index(const std::vector<TimeUs>& ts, TimeUs t) {
 }  // namespace
 
 UplinkDecoder::UplinkDecoder(UplinkDecoderConfig cfg) : cfg_(std::move(cfg)) {
-  assert(!cfg_.preamble.empty());
-  assert(cfg_.bit_duration_us > 0);
-  assert(cfg_.num_good_streams > 0);
+  WB_REQUIRE(!cfg_.preamble.empty());
+  WB_REQUIRE(cfg_.bit_duration_us > 0);
+  WB_REQUIRE(cfg_.num_good_streams > 0);
+  WB_REQUIRE(cfg_.movavg_window_us > 0);
+  WB_REQUIRE(cfg_.hysteresis_sigma >= 0.0);
+  WB_REQUIRE(cfg_.min_preamble_fill >= 0.0 && cfg_.min_preamble_fill <= 1.0);
 }
 
 std::vector<UplinkDecoder::SlotStat> UplinkDecoder::bin_slots(
-    const ConditionedTrace& ct, std::size_t stream, TimeUs start,
+    const ConditionedTrace& ct, std::size_t stream, TimeUs start_us,
     TimeUs slot_us, std::size_t nslots) {
+  WB_REQUIRE(stream < ct.num_streams(), "stream index out of range");
+  WB_REQUIRE(slot_us > 0, "slot duration must be positive");
+  WB_REQUIRE(ct.streams[stream].size() == ct.timestamps.size(),
+             "conditioned stream must cover every packet");
   std::vector<SlotStat> out(nslots);
   const auto& ts = ct.timestamps;
   const auto& xs = ct.streams[stream];
-  std::size_t k = lower_index(ts, start);
-  const TimeUs end = start + static_cast<TimeUs>(nslots) * slot_us;
+  std::size_t k = lower_index(ts, start_us);
+  const TimeUs end = start_us + static_cast<TimeUs>(nslots) * slot_us;
   for (; k < ts.size() && ts[k] < end; ++k) {
-    const auto slot = static_cast<std::size_t>((ts[k] - start) / slot_us);
+    const auto slot = static_cast<std::size_t>((ts[k] - start_us) / slot_us);
     out[slot].mean += xs[k];
     ++out[slot].count;
   }
@@ -44,8 +52,8 @@ std::vector<UplinkDecoder::SlotStat> UplinkDecoder::bin_slots(
 
 double UplinkDecoder::preamble_correlation(const ConditionedTrace& ct,
                                            std::size_t stream,
-                                           TimeUs start) const {
-  const auto slots = bin_slots(ct, stream, start, cfg_.bit_duration_us,
+                                           TimeUs start_us) const {
+  const auto slots = bin_slots(ct, stream, start_us, cfg_.bit_duration_us,
                                cfg_.preamble.size());
   std::size_t filled = 0;
   double corr = 0.0;
@@ -110,16 +118,17 @@ std::optional<UplinkDecoder::SyncResult> UplinkDecoder::find_frame(
 double UplinkDecoder::preamble_noise_variance(const ConditionedTrace& ct,
                                               std::size_t stream,
                                               double polarity,
-                                              TimeUs start) const {
+                                              TimeUs start_us) const {
+  WB_REQUIRE(stream < ct.num_streams(), "stream index out of range");
   const auto& ts = ct.timestamps;
   const auto& xs = ct.streams[stream];
-  const TimeUs end = start + static_cast<TimeUs>(cfg_.preamble.size()) *
-                                 cfg_.bit_duration_us;
+  const TimeUs end = start_us + static_cast<TimeUs>(cfg_.preamble.size()) *
+                                    cfg_.bit_duration_us;
   double sum = 0.0, sum2 = 0.0;
   std::size_t n = 0;
-  for (std::size_t k = lower_index(ts, start); k < ts.size() && ts[k] < end;
-       ++k) {
-    const auto bit = static_cast<std::size_t>((ts[k] - start) /
+  for (std::size_t k = lower_index(ts, start_us);
+       k < ts.size() && ts[k] < end; ++k) {
+    const auto bit = static_cast<std::size_t>((ts[k] - start_us) /
                                               cfg_.bit_duration_us);
     const double expected = cfg_.preamble[bit] ? 1.0 : -1.0;
     const double r = polarity * xs[k] - expected;
@@ -134,7 +143,9 @@ double UplinkDecoder::preamble_noise_variance(const ConditionedTrace& ct,
       static_cast<double>(n - 1);
   // Quantised measurements can produce a numerically zero variance; floor
   // it so 1/sigma^2 weights stay finite.
-  return std::max(var, 1e-6);
+  const double floored = std::max(var, 1e-6);
+  WB_ENSURE(floored > 0.0);
+  return floored;
 }
 
 UplinkDecodeResult UplinkDecoder::decode(
@@ -160,6 +171,7 @@ UplinkDecodeResult UplinkDecoder::decode_conditioned(
   for (std::size_t i = 0; i < res.streams.size(); ++i) {
     const double var = preamble_noise_variance(
         ct, res.streams[i], res.polarity[i], sync->start);
+    WB_REQUIRE(var > 0.0, "MRC weight 1/sigma^2 needs a positive variance");
     res.weights.push_back(1.0 / var);
   }
 
@@ -188,6 +200,7 @@ UplinkDecodeResult UplinkDecoder::decode_conditioned(
   const double sd = stddev(y);
   const double th1 = mu + cfg_.hysteresis_sigma * sd;
   const double th0 = mu - cfg_.hysteresis_sigma * sd;
+  WB_INVARIANT(th0 <= th1, "hysteresis thresholds must be ordered");
 
   // Per-bit majority vote over timestamp-binned packets.
   const TimeUs payload_start =

@@ -119,13 +119,13 @@ class UplinkDecoder {
     std::size_t count = 0;
   };
   static std::vector<SlotStat> bin_slots(const ConditionedTrace& ct,
-                                         std::size_t stream, TimeUs start,
+                                         std::size_t stream, TimeUs start_us,
                                          TimeUs slot_us, std::size_t nslots);
 
   /// Signed per-bit-normalised preamble correlation of one stream at a
   /// candidate frame start; 0 if too few preamble slots are filled.
   double preamble_correlation(const ConditionedTrace& ct, std::size_t stream,
-                              TimeUs start) const;
+                              TimeUs start_us) const;
 
   struct SyncResult {
     TimeUs start = 0;
@@ -140,7 +140,7 @@ class UplinkDecoder {
   /// polarity (variance of the residual against the known +-1 preamble).
   double preamble_noise_variance(const ConditionedTrace& ct,
                                  std::size_t stream, double polarity,
-                                 TimeUs start) const;
+                                 TimeUs start_us) const;
 
   const UplinkDecoderConfig& config() const { return cfg_; }
 

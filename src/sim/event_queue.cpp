@@ -1,12 +1,14 @@
 #include "sim/event_queue.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "util/check.h"
 
 namespace wb::sim {
 
 std::uint64_t EventQueue::schedule_at(TimeUs at, EventFn fn) {
-  assert(at >= now_ && "cannot schedule into the past");
+  WB_REQUIRE(at >= now_, "cannot schedule into the past");
+  WB_REQUIRE(static_cast<bool>(fn), "event closure must be callable");
   const std::uint64_t id = next_id_++;
   heap_.push(Entry{at, next_seq_++, id, std::move(fn)});
   ++live_count_;
@@ -14,7 +16,7 @@ std::uint64_t EventQueue::schedule_at(TimeUs at, EventFn fn) {
 }
 
 std::uint64_t EventQueue::schedule_in(TimeUs delay, EventFn fn) {
-  assert(delay >= 0);
+  WB_REQUIRE(delay >= 0, "delay must be non-negative");
   return schedule_at(now_ + delay, std::move(fn));
 }
 
@@ -57,6 +59,7 @@ std::size_t EventQueue::run_until(TimeUs until) {
       heap_.push(std::move(e));
       break;
     }
+    WB_INVARIANT(e.at >= now_, "event timestamps must be monotone");
     now_ = e.at;
     --live_count_;
     ++fired;
@@ -70,6 +73,7 @@ std::size_t EventQueue::run_all() {
   std::size_t fired = 0;
   Entry e;
   while (pop_one(e)) {
+    WB_INVARIANT(e.at >= now_, "event timestamps must be monotone");
     now_ = e.at;
     --live_count_;
     ++fired;
@@ -81,6 +85,7 @@ std::size_t EventQueue::run_all() {
 bool EventQueue::step() {
   Entry e;
   if (!pop_one(e)) return false;
+  WB_INVARIANT(e.at >= now_, "event timestamps must be monotone");
   now_ = e.at;
   --live_count_;
   e.fn();

@@ -1,8 +1,9 @@
 #include "sim/rng.h"
 
-#include <cassert>
 #include <cmath>
 #include <numbers>
+
+#include "util/check.h"
 
 namespace wb::sim {
 namespace {
@@ -46,7 +47,7 @@ double RngStream::uniform(double lo, double hi) {
 }
 
 std::uint64_t RngStream::uniform_int(std::uint64_t n) {
-  assert(n > 0);
+  WB_REQUIRE(n > 0, "uniform_int needs a non-empty range");
   // Modulo bias is < 2^-50 for the ranges this simulator uses.
   return next_u64() % n;
 }
@@ -61,18 +62,21 @@ double RngStream::normal() {
 }
 
 double RngStream::normal(double mean, double stddev) {
+  WB_REQUIRE(stddev >= 0.0, "stddev must be non-negative");
   return mean + stddev * normal();
 }
 
 double RngStream::exponential(double mean) {
-  assert(mean > 0.0);
+  WB_REQUIRE(mean > 0.0, "exponential mean must be positive");
   double u = uniform();
   if (u < 1e-300) u = 1e-300;
   return -mean * std::log(u);
 }
 
 double RngStream::pareto(double alpha, double lo, double hi) {
-  assert(alpha > 0.0 && lo > 0.0 && hi > lo);
+  WB_REQUIRE(alpha > 0.0);
+  WB_REQUIRE(lo > 0.0);
+  WB_REQUIRE(hi > lo);
   // Inverse-CDF sampling of a Pareto truncated to [lo, hi]:
   //   F(x) = (1 - (lo/x)^alpha) / (1 - (lo/hi)^alpha)
   //   x    = lo * (1 - U * (1 - (lo/hi)^alpha))^(-1/alpha)

@@ -3,14 +3,28 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/check.h"
+
 namespace wb::tag {
 
 EnergyDetector::EnergyDetector(const EnergyDetectorParams& params,
                                sim::RngStream rng)
     : params_(params), rng_(rng),
-      noise_mw_(dbm_to_mw(params.noise_floor_dbm)) {}
+      noise_mw_(dbm_to_mw(params.noise_floor_dbm)) {
+  WB_REQUIRE(params.smooth_tau_us > 0.0,
+             "RC smoothing time constant must be positive");
+  WB_REQUIRE(params.peak_decay_tau_us > 0.0,
+             "peak-hold decay time constant must be positive");
+  WB_REQUIRE(params.threshold_fraction > 0.0 &&
+             params.threshold_fraction <= 1.0);
+  WB_REQUIRE(params.comparator_hysteresis >= 0.0);
+  WB_REQUIRE(params.quiescent_power_uw >= 0.0,
+             "energy budgets must be non-negative");
+}
 
 bool EnergyDetector::step(double dt_us, double power_mw) {
+  WB_REQUIRE(dt_us > 0.0, "time step must be positive");
+  WB_REQUIRE(power_mw >= 0.0, "instantaneous power cannot be negative");
   // Square-law diode: output voltage proportional to input power, riding
   // on the detector's input-referred noise. Noise is one-sided-ish in a
   // real diode; we use |power + n| with Gaussian n of sigma = noise floor.
@@ -39,6 +53,7 @@ bool EnergyDetector::step(double dt_us, double power_mw) {
 }
 
 void EnergyDetector::idle(double gap_us) {
+  WB_REQUIRE(gap_us >= 0.0, "idle gap must be non-negative");
   // During a long silence nothing interesting happens except the peak
   // bleeding down and the smoother settling onto the noise level; model it
   // with coarse steps (20 us) which keeps the noise statistics of the

@@ -4,14 +4,18 @@
 #include <cmath>
 #include <limits>
 
+#include "util/check.h"
+
 namespace wb::tag {
 
 double incident_power_dbm(double tx_dbm, double d_m, double ref_loss_db) {
+  WB_REQUIRE(d_m > 0.0, "distance must be positive");
   const double d = std::max(d_m, 0.05);
   return tx_dbm - (ref_loss_db + 20.0 * std::log10(d));
 }
 
 double tv_incident_power_dbm(double tower_erp_dbm, double d_km) {
+  WB_REQUIRE(d_km > 0.0, "distance must be positive");
   // ~600 MHz free-space reference loss at 1 m is ~28 dB; TV propagation
   // over km adds terrain/clutter, folded into an exponent of 2.4.
   const double d_m = std::max(d_km * 1000.0, 1.0);
@@ -19,6 +23,8 @@ double tv_incident_power_dbm(double tower_erp_dbm, double d_km) {
 }
 
 double Harvester::harvested_uw(double incident_dbm) const {
+  WB_REQUIRE(params_.efficiency > 0.0 && params_.efficiency <= 1.0);
+  WB_REQUIRE(params_.source_duty >= 0.0 && params_.source_duty <= 1.0);
   const double in_mw =
       dbm_to_mw(incident_dbm + params_.antenna_gain_db) *
       params_.source_duty;
@@ -27,11 +33,15 @@ double Harvester::harvested_uw(double incident_dbm) const {
 
 double Harvester::sustainable_duty_cycle(double harvested_uw,
                                          double load_uw) const {
+  WB_REQUIRE(harvested_uw >= 0.0, "energy budgets must be non-negative");
   if (load_uw <= 0.0) return 1.0;
   return std::clamp(harvested_uw / load_uw, 0.0, 1.0);
 }
 
 double Harvester::cap_energy_uj() const {
+  WB_REQUIRE(params_.storage_cap_f > 0.0, "storage capacitance must be positive");
+  WB_REQUIRE(params_.v_high > params_.v_low && params_.v_low >= 0.0,
+             "capacitor swing must satisfy v_high > v_low >= 0");
   const double e_j = 0.5 * params_.storage_cap_f *
                      (params_.v_high * params_.v_high -
                       params_.v_low * params_.v_low);
@@ -39,6 +49,8 @@ double Harvester::cap_energy_uj() const {
 }
 
 double Harvester::burst_seconds(double load_uw, double harvested_uw) const {
+  WB_REQUIRE(load_uw >= 0.0 && harvested_uw >= 0.0,
+             "energy budgets must be non-negative");
   const double net = load_uw - harvested_uw;
   if (net <= 0.0) return std::numeric_limits<double>::infinity();
   return cap_energy_uj() / net;

@@ -1,7 +1,8 @@
 #include "tag/mcu.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "util/check.h"
 
 namespace wb::tag {
 namespace {
@@ -30,9 +31,13 @@ McuParams McuParams::defaults() {
 }
 
 Mcu::Mcu(McuParams params) : params_(std::move(params)) {
-  assert(!params_.preamble.empty());
-  assert(params_.preamble.front() == 1 &&
-         "preamble must start with a packet (rising edge)");
+  WB_REQUIRE(!params_.preamble.empty());
+  WB_REQUIRE(params_.preamble.front() == 1,
+             "preamble must start with a packet (rising edge)");
+  WB_REQUIRE(params_.bit_duration_us > 0);
+  WB_REQUIRE(params_.payload_bits > 0);
+  WB_REQUIRE(params_.interval_tolerance >= 0.0 &&
+             params_.interval_tolerance < 1.0);
   const auto runs = run_lengths(params_.preamble);
   // The matcher checks the intervals between transitions, i.e. all runs
   // except the last (whose terminating edge belongs to the payload and is
@@ -44,8 +49,8 @@ Mcu::Mcu(McuParams params) : params_(std::move(params)) {
   }
   last_run_us_ =
       static_cast<TimeUs>(runs.back()) * params_.bit_duration_us;
-  assert(!run_template_.empty() &&
-         "preamble needs at least two runs to be matchable");
+  WB_ENSURE(!run_template_.empty(),
+            "preamble needs at least two runs to be matchable");
 }
 
 void Mcu::spend_active(double us) {
@@ -53,6 +58,8 @@ void Mcu::spend_active(double us) {
 }
 
 void Mcu::on_transition(TimeUs t, bool level) {
+  WB_REQUIRE(t >= last_transition_,
+             "comparator transitions must arrive in time order");
   if (!genesis_set_) {
     genesis_ = t;
     genesis_set_ = true;
@@ -118,7 +125,8 @@ std::optional<TimeUs> Mcu::next_sample_time() const {
 }
 
 void Mcu::on_sample(TimeUs t, bool level) {
-  assert(state_ == State::kDecoding);
+  WB_REQUIRE(state_ == State::kDecoding,
+             "on_sample is only valid in decode mode");
   (void)t;
   spend_active(params_.power.sample_us);
   bits_.push_back(level ? 1 : 0);

@@ -1,6 +1,6 @@
 #include "tag/modulator.h"
 
-#include <cassert>
+#include "util/check.h"
 
 namespace wb::tag {
 
@@ -9,8 +9,8 @@ Modulator::Modulator(BitVec frame, TimeUs bit_duration, TimeUs start_time)
       chips_(frame_),
       chip_duration_(bit_duration),
       start_(start_time) {
-  assert(chip_duration_ > 0);
-  assert(is_binary(frame_));
+  WB_REQUIRE(chip_duration_ > 0, "bit duration must be positive");
+  WB_REQUIRE(is_binary(frame_));
 }
 
 Modulator::Modulator(BitVec frame, const OrthogonalCodePair& codes,
@@ -18,8 +18,10 @@ Modulator::Modulator(BitVec frame, const OrthogonalCodePair& codes,
     : frame_(std::move(frame)),
       chip_duration_(chip_duration),
       start_(start_time) {
-  assert(chip_duration_ > 0);
-  assert(is_binary(frame_));
+  WB_REQUIRE(chip_duration_ > 0, "chip duration must be positive");
+  WB_REQUIRE(is_binary(frame_));
+  WB_REQUIRE(codes.length() >= 2,
+             "orthogonal codes need at least two chips");
   chips_.reserve(frame_.size() * codes.length());
   for (std::uint8_t b : frame_) {
     const BitVec& code = b ? codes.one : codes.zero;

@@ -2,9 +2,18 @@
 
 #include <algorithm>
 
+#include "util/check.h"
+
 namespace wb::tag {
 
 PowerManager::PowerManager(const PowerManagerParams& p) : params_(p) {
+  WB_REQUIRE(p.idle_load_uw >= 0.0 && p.decode_load_uw >= 0.0 &&
+                 p.respond_load_uw >= 0.0,
+             "energy budgets must be non-negative");
+  WB_REQUIRE(p.brownout_fraction >= 0.0 &&
+                 p.brownout_fraction <= p.resume_fraction &&
+                 p.resume_fraction <= 1.0,
+             "brown-out hysteresis must satisfy 0 <= brownout <= resume <= 1");
   const Harvester h(p.harvester);
   harvest_uw_ = h.harvested_uw(p.incident_dbm);
   const double cap_j = 0.5 * p.harvester.storage_cap_f *
@@ -16,6 +25,7 @@ PowerManager::PowerManager(const PowerManagerParams& p) : params_(p) {
 }
 
 void PowerManager::account(TimeUs dt, double load_uw) {
+  WB_REQUIRE(dt >= 0, "time cannot run backwards");
   const double seconds = static_cast<double>(dt) * 1e-6;
   const double in = harvest_uw_ * seconds;
   const double out = load_uw * seconds;
@@ -23,6 +33,7 @@ void PowerManager::account(TimeUs dt, double load_uw) {
   spent_uj_ += out;
   stored_uj_ = std::clamp(stored_uj_ + in - out, 0.0, capacity_uj_);
   update_brownout();
+  WB_ENSURE(stored_uj_ >= 0.0 && stored_uj_ <= capacity_uj_);
 }
 
 void PowerManager::update_brownout() {

@@ -1,0 +1,39 @@
+#include "util/check.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace wb {
+namespace {
+
+std::atomic<ContractPolicy> g_policy{ContractPolicy::kAbort};
+
+}  // namespace
+
+ContractPolicy contract_policy() noexcept {
+  return g_policy.load(std::memory_order_relaxed);
+}
+
+void set_contract_policy(ContractPolicy policy) noexcept {
+  g_policy.store(policy, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+[[noreturn]] void contract_fail(const char* kind, const char* expr,
+                                const char* file, int line, const char* msg) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), "%s:%d: %s violated: %s%s%s", file, line,
+                kind, expr, msg != nullptr ? " — " : "",
+                msg != nullptr ? msg : "");
+  if (contract_policy() == ContractPolicy::kThrow) {
+    throw ContractViolation(buf);
+  }
+  std::fputs(buf, stderr);
+  std::fputc('\n', stderr);
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace wb

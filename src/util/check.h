@@ -1,0 +1,78 @@
+// Executable contracts for module boundaries: WB_REQUIRE (preconditions),
+// WB_ENSURE (postconditions), WB_INVARIANT (internal consistency).
+//
+// Unlike assert(), these stay on in release builds — the decoder pipeline
+// is numeric code where silent misuse (sigma^2 = 0 MRC weights, empty CSI
+// windows, out-of-range sub-channel indices) corrupts BER results without
+// failing anything. A violated contract either aborts with a source
+// location (default; what you want in production and under sanitizers) or
+// throws wb::ContractViolation (what tests use to assert that a violation
+// is detected). The policy is process-global and switchable at runtime.
+//
+// Usage:
+//   WB_REQUIRE(slot_us > 0);
+//   WB_REQUIRE(var > 0.0, "MRC weight needs positive noise variance");
+//   WB_ENSURE(out.size() == nslots);
+//   WB_INVARIANT(heap_.empty() || heap_.top().at >= now_);
+#pragma once
+
+#include <stdexcept>
+
+namespace wb {
+
+/// What a violated contract does.
+enum class ContractPolicy {
+  kAbort,  ///< print the violation to stderr and std::abort() (default)
+  kThrow,  ///< throw wb::ContractViolation
+};
+
+/// Thrown on violation under ContractPolicy::kThrow.
+class ContractViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Current process-global policy.
+ContractPolicy contract_policy() noexcept;
+
+/// Set the process-global policy (tests switch to kThrow).
+void set_contract_policy(ContractPolicy policy) noexcept;
+
+/// RAII policy switch for test scopes.
+class ScopedContractPolicy {
+ public:
+  explicit ScopedContractPolicy(ContractPolicy policy)
+      : prev_(contract_policy()) {
+    set_contract_policy(policy);
+  }
+  ~ScopedContractPolicy() { set_contract_policy(prev_); }
+  ScopedContractPolicy(const ScopedContractPolicy&) = delete;
+  ScopedContractPolicy& operator=(const ScopedContractPolicy&) = delete;
+
+ private:
+  ContractPolicy prev_;
+};
+
+namespace detail {
+/// Reports a violation per the current policy. Never returns.
+[[noreturn]] void contract_fail(const char* kind, const char* expr,
+                                const char* file, int line,
+                                const char* msg = nullptr);
+}  // namespace detail
+
+}  // namespace wb
+
+#define WB_CONTRACT_CHECK_(kind, cond, ...)                          \
+  (static_cast<bool>(cond)                                           \
+       ? static_cast<void>(0)                                        \
+       : ::wb::detail::contract_fail(kind, #cond, __FILE__, __LINE__ \
+                                         __VA_OPT__(, ) __VA_ARGS__))
+
+/// Caller-facing precondition at a module boundary.
+#define WB_REQUIRE(cond, ...) WB_CONTRACT_CHECK_("precondition", cond, __VA_ARGS__)
+
+/// Result guarantee before returning.
+#define WB_ENSURE(cond, ...) WB_CONTRACT_CHECK_("postcondition", cond, __VA_ARGS__)
+
+/// Internal consistency condition.
+#define WB_INVARIANT(cond, ...) WB_CONTRACT_CHECK_("invariant", cond, __VA_ARGS__)

@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <bit>
-#include <cassert>
 #include <cmath>
 #include <cstdlib>
+
+#include "util/check.h"
 
 namespace wb {
 
@@ -31,8 +32,8 @@ std::vector<double> to_bipolar(std::span<const std::uint8_t> bits) {
 }
 
 BitVec walsh_row(std::size_t n, std::size_t row) {
-  assert(n > 0 && (n & (n - 1)) == 0 && "order must be a power of two");
-  assert(row < n);
+  WB_REQUIRE(n > 0 && (n & (n - 1)) == 0, "order must be a power of two");
+  WB_REQUIRE(row < n);
   BitVec out(n);
   for (std::size_t col = 0; col < n; ++col) {
     // Hadamard entry sign = (-1)^{popcount(row & col)}.
@@ -44,7 +45,7 @@ BitVec walsh_row(std::size_t n, std::size_t row) {
 }
 
 OrthogonalCodePair make_orthogonal_pair(std::size_t length) {
-  assert(length >= 2);
+  WB_REQUIRE(length >= 2);
   OrthogonalCodePair pair;
   pair.one.resize(length);
   pair.zero.resize(length);
@@ -61,7 +62,7 @@ OrthogonalCodePair make_orthogonal_pair(std::size_t length) {
 
 double code_correlation(std::span<const std::uint8_t> a,
                         std::span<const std::uint8_t> b) {
-  assert(a.size() == b.size());
+  WB_REQUIRE(a.size() == b.size());
   double sum = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) {
     sum += (a[i] ? 1.0 : -1.0) * (b[i] ? 1.0 : -1.0);

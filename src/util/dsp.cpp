@@ -1,14 +1,15 @@
 #include "util/dsp.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <numeric>
+
+#include "util/check.h"
 
 namespace wb {
 
 MovingAverage::MovingAverage(std::size_t window) : window_(window) {
-  assert(window_ > 0);
+  WB_REQUIRE(window_ > 0, "window must be positive");
 }
 
 double MovingAverage::push(double x) {
@@ -79,7 +80,7 @@ std::size_t argmax(std::span<const double> x) {
 }
 
 double dot(std::span<const double> a, std::span<const double> b) {
-  assert(a.size() == b.size());
+  WB_REQUIRE(a.size() == b.size());
   return std::inner_product(a.begin(), a.end(), b.begin(), 0.0);
 }
 
@@ -100,7 +101,7 @@ double variance(std::span<const double> x) {
 double stddev(std::span<const double> x) { return std::sqrt(variance(x)); }
 
 double pearson(std::span<const double> a, std::span<const double> b) {
-  assert(a.size() == b.size());
+  WB_REQUIRE(a.size() == b.size());
   if (a.size() < 2) return 0.0;
   const double ma = mean(a);
   const double mb = mean(b);

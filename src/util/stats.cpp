@@ -1,10 +1,10 @@
 #include "util/stats.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 #include "util/bits.h"
+#include "util/check.h"
 
 namespace wb {
 
@@ -56,8 +56,8 @@ void BerCounter::reset() { *this = BerCounter{}; }
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), counts_(bins, 0) {
-  assert(hi > lo);
-  assert(bins > 0);
+  WB_REQUIRE(hi > lo);
+  WB_REQUIRE(bins > 0);
 }
 
 void Histogram::push(double x) {

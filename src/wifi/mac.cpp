@@ -1,8 +1,9 @@
 #include "wifi/mac.h"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
+
+#include "util/check.h"
 
 namespace wb::wifi {
 
@@ -24,7 +25,8 @@ void DcfMac::make_saturated(std::uint32_t station, std::uint32_t size_bytes,
 void DcfMac::enqueue(std::uint32_t station, TimeUs arrival,
                      std::uint32_t size, double rate_mbps) {
   auto& s = stations_.at(station);
-  assert(s.queue.empty() || s.queue.back().arrival <= arrival);
+  WB_REQUIRE(s.queue.empty() || s.queue.back().arrival <= arrival,
+             "packet arrivals must be in time order");
   s.queue.push_back(Pending{arrival, size, rate_mbps, false, 0});
   ++s.stats.enqueued;
 }
@@ -32,7 +34,7 @@ void DcfMac::enqueue(std::uint32_t station, TimeUs arrival,
 void DcfMac::enqueue_poisson(std::uint32_t station, double pps,
                              TimeUs duration, std::uint32_t size,
                              double rate_mbps, sim::RngStream& rng) {
-  assert(pps > 0.0);
+  WB_REQUIRE(pps > 0.0, "packet rate must be positive");
   double t = rng.exponential(1e6 / pps);
   while (t < static_cast<double>(duration)) {
     enqueue(station, static_cast<TimeUs>(t), size, rate_mbps);
@@ -42,7 +44,8 @@ void DcfMac::enqueue_poisson(std::uint32_t station, double pps,
 
 void DcfMac::reserve(std::uint32_t station, TimeUs at, TimeUs nav_us) {
   auto& s = stations_.at(station);
-  assert(s.queue.empty() || s.queue.back().arrival <= at);
+  WB_REQUIRE(s.queue.empty() || s.queue.back().arrival <= at,
+             "packet arrivals must be in time order");
   Pending p;
   p.arrival = at;
   p.size = 14;
@@ -62,7 +65,7 @@ const DcfMac::Pending DcfMac::frame_of(Station& s, TimeUs at) {
   if (s.head < s.queue.size() && s.queue[s.head].arrival <= at) {
     return s.queue[s.head];
   }
-  assert(s.saturated);
+  WB_INVARIANT(s.saturated);
   Pending p;
   p.arrival = at;
   p.size = s.sat_size;

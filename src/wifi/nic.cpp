@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/check.h"
+
 namespace wb::wifi {
 namespace {
 
@@ -17,6 +19,12 @@ double rms_amplitude(const phy::CsiMatrix& h) {
 
 NicModel::NicModel(const NicModelParams& params, sim::RngStream rng)
     : params_(params), rng_(rng) {
+  WB_REQUIRE(params.csi_noise_rel >= 0.0);
+  WB_REQUIRE(params.spurious_prob >= 0.0 && params.spurious_prob <= 1.0);
+  // kNumAntennas (one past the end) is the documented "no weak antenna"
+  // sentinel; anything beyond that is a typo.
+  WB_REQUIRE(params.weak_antenna <= phy::kNumAntennas,
+             "weak antenna index out of range");
   auto spread_rng = rng_.fork("noise-spread");
   for (auto& ant : noise_factor_) {
     for (double& f : ant) {

@@ -1,7 +1,8 @@
 #include "wifi/rate_adapt.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "util/check.h"
 
 namespace wb::wifi {
 
@@ -30,7 +31,7 @@ double packet_error_rate(double snr_db, double rate_mbps,
 
 ArfRateAdapter::ArfRateAdapter(Params p, std::size_t initial_index)
     : params_(p), index_(initial_index) {
-  assert(index_ < kNumPhyRates);
+  WB_INVARIANT(index_ < kNumPhyRates);
 }
 
 void ArfRateAdapter::on_result(bool success) {

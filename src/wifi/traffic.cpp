@@ -1,8 +1,9 @@
 #include "wifi/traffic.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "util/check.h"
 
 namespace wb::wifi {
 namespace {
@@ -25,7 +26,7 @@ WifiPacket data_packet(TimeUs start, const TrafficParams& p,
 PacketTimeline make_cbr_timeline(double pps, TimeUs duration,
                                  const TrafficParams& p, sim::RngStream& rng,
                                  double jitter_frac) {
-  assert(pps > 0.0);
+  WB_REQUIRE(pps > 0.0, "packet rate must be positive");
   PacketTimeline out;
   const double interval_us = 1e6 / pps;
   std::uint64_t id = 0;
@@ -47,7 +48,7 @@ PacketTimeline make_cbr_timeline(double pps, TimeUs duration,
 PacketTimeline make_poisson_timeline(double pps, TimeUs duration,
                                      const TrafficParams& p,
                                      sim::RngStream& rng) {
-  assert(pps > 0.0);
+  WB_REQUIRE(pps > 0.0, "packet rate must be positive");
   PacketTimeline out;
   const double mean_gap_us = 1e6 / pps;
   std::uint64_t id = 0;
@@ -90,7 +91,7 @@ PacketTimeline make_bursty_timeline(const BurstyParams& b, TimeUs duration,
 PacketTimeline make_beacon_timeline(double beacons_per_sec, TimeUs duration,
                                     std::uint32_t source,
                                     sim::RngStream& rng) {
-  assert(beacons_per_sec > 0.0);
+  WB_REQUIRE(beacons_per_sec > 0.0, "beacon rate must be positive");
   PacketTimeline out;
   const double interval_us = 1e6 / beacons_per_sec;
   std::uint64_t id = 0;
@@ -163,7 +164,7 @@ PacketTimeline make_office_timeline(double start_hour, TimeUs duration,
 
 PacketTimeline make_ambient_mix_timeline(double pps, TimeUs duration,
                                          sim::RngStream& rng) {
-  assert(pps > 0.0);
+  WB_REQUIRE(pps > 0.0, "packet rate must be positive");
   PacketTimeline out;
   std::uint64_t id = 0;
   const double dur = static_cast<double>(duration);

@@ -47,7 +47,9 @@ TEST(UplinkSim, TagModulationVisibleInCsi) {
                                           wifi::TrafficParams{},
                                           traffic_rng);
   BitVec alternating;
-  for (int i = 0; i < 100; ++i) alternating.push_back(i % 2);
+  for (int i = 0; i < 100; ++i) {
+    alternating.push_back(static_cast<std::uint8_t>(i % 2));
+  }
   tag::Modulator mod(alternating, 10'000, 0);
 
   UplinkSim sim_mod(close_range_config(4));

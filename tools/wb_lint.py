@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Repo-specific lint rules for the Wi-Fi Backscatter codebase.
+
+Run from anywhere: paths are resolved relative to the repo root (the parent
+of this file's directory). Exits non-zero if any rule is violated; run by
+scripts/check.sh as part of the pre-PR gate.
+
+Rules
+-----
+pragma-once       every header under src/ starts its code with #pragma once
+using-namespace   no `using namespace` at any scope in headers under src/
+no-rand           no rand()/srand() anywhere in src/ (use sim::RngStream:
+                  seeded, forkable, deterministic across platforms)
+unit-suffix       public-API scalar parameters in src/phy/ and src/reader/
+                  headers carry a physical-unit suffix (_us, _dbm, _hz, _m,
+                  ...). TimeUs parameters must end in _us; double parameters
+                  whose names say they are physical quantities (power, freq,
+                  duration, loss, ...) must name their unit.
+"""
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+# Unit suffixes accepted by the unit-suffix rule.
+UNIT_SUFFIXES = (
+    "_us", "_ms", "_s",          # time
+    "_hz", "_khz", "_mhz", "_ghz",  # frequency
+    "_dbm", "_db",               # power / gain, log domain
+    "_mw", "_uw", "_w",          # power, linear
+    "_uj", "_j",                 # energy
+    "_m", "_cm", "_km",          # distance
+    "_bps", "_pps",              # rates
+    "_f",                        # capacitance
+)
+
+# A double parameter whose name contains one of these stems is a physical
+# quantity and must carry a unit suffix.
+PHYSICAL_STEMS = (
+    "power", "freq", "duration", "delay", "window", "interval",
+    "tau", "loss", "atten", "energy", "wavelength", "bandwidth",
+    "distance", "dist",
+)
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line numbers."""
+    out: list[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append(re.sub(r"[^\n]", " ", text[i:j]))
+            i = j
+        elif c == "'" and i > 0 and (text[i - 1].isalnum() or text[i - 1] == "_"):
+            # C++14 digit separator (10'000) or a suffix position — not a
+            # character literal.
+            out.append(c)
+            i += 1
+        elif c in "\"'":
+            j = i + 1
+            while j < n and text[j] != c:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(c + " " * (j - i - 2) + (c if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text: str, pos: int) -> int:
+    return text.count("\n", 0, pos) + 1
+
+
+class Linter:
+    def __init__(self) -> None:
+        self.violations: list[str] = []
+
+    def report(self, path: Path, line: int, rule: str, msg: str) -> None:
+        rel = path.relative_to(REPO_ROOT)
+        self.violations.append(f"{rel}:{line}: [{rule}] {msg}")
+
+    # ---- rules ----
+
+    def check_pragma_once(self, path: Path, code: str) -> None:
+        if not re.search(r"^\s*#\s*pragma\s+once\b", code, re.MULTILINE):
+            self.report(path, 1, "pragma-once", "header lacks #pragma once")
+
+    def check_using_namespace(self, path: Path, code: str) -> None:
+        for m in re.finditer(r"\busing\s+namespace\b", code):
+            self.report(path, line_of(code, m.start()), "using-namespace",
+                        "`using namespace` in a header leaks into every "
+                        "includer; qualify names instead")
+
+    def check_no_rand(self, path: Path, code: str) -> None:
+        for m in re.finditer(r"\b(?:std\s*::\s*)?(s?rand)\s*\(", code):
+            self.report(path, line_of(code, m.start()), "no-rand",
+                        f"{m.group(1)}() is non-deterministic across "
+                        "platforms; use wb::sim::RngStream")
+
+    # Matches `TimeUs name` / `double name` parameter declarations: the name
+    # must be followed by `,` or `)` (optionally via a simple default value),
+    # which excludes struct fields and locals (they end with `;`).
+    PARAM_RE = re.compile(
+        r"\b(TimeUs|double|float)\s+([A-Za-z_]\w*)\s*(?:=\s*[^,;(){}]*)?([,)])")
+
+    def check_unit_suffix(self, path: Path, code: str) -> None:
+        for m in self.PARAM_RE.finditer(code):
+            typ, name = m.group(1), m.group(2)
+            line = line_of(code, m.start())
+            if typ == "TimeUs":
+                if not name.endswith(("_us", "_s")):
+                    self.report(path, line, "unit-suffix",
+                                f"TimeUs parameter `{name}` must carry its "
+                                "unit (e.g. `" + name + "_us`)")
+            elif any(stem in name for stem in PHYSICAL_STEMS):
+                if not name.endswith(UNIT_SUFFIXES):
+                    self.report(path, line, "unit-suffix",
+                                f"{typ} parameter `{name}` names a physical "
+                                "quantity but not its unit (expected one of "
+                                + ", ".join(UNIT_SUFFIXES) + ")")
+
+    # ---- driver ----
+
+    def run(self) -> int:
+        headers = sorted(SRC.rglob("*.h"))
+        sources = sorted(SRC.rglob("*.cpp"))
+        for path in headers + sources:
+            code = strip_comments_and_strings(path.read_text())
+            self.check_no_rand(path, code)
+            if path.suffix == ".h":
+                self.check_pragma_once(path, code)
+                self.check_using_namespace(path, code)
+                mod = path.relative_to(SRC).parts[0]
+                if mod in ("phy", "reader"):
+                    self.check_unit_suffix(path, code)
+        for v in self.violations:
+            print(v)
+        if self.violations:
+            print(f"wb_lint: {len(self.violations)} violation(s)",
+                  file=sys.stderr)
+            return 1
+        print(f"wb_lint: OK ({len(headers)} headers, {len(sources)} sources)")
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(Linter().run())
