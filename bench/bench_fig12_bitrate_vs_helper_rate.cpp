@@ -15,6 +15,9 @@ int main(int argc, char** argv) {
   const std::size_t runs = bench::quick_mode(argc, argv) ? 2 : 8;
   bench::print_header("Figure 12",
                       "Achievable uplink bit rate vs helper transmission rate");
+  bench::BenchReport report(
+      argc, argv, "fig12",
+      "Achievable uplink bit rate vs helper transmission rate");
 
   const double helper_rates[] = {240,  500,  750,  1000, 1500,
                                  2000, 2500, 3070};
@@ -29,10 +32,13 @@ int main(int argc, char** argv) {
     p.seed = 2100 + static_cast<std::uint64_t>(pps);
     const double rate = core::achievable_bit_rate(p);
     std::printf("%-16.0f  %20.0f\n", pps, rate);
+    report.add_row("operating_point")
+        .set("helper_pps", pps)
+        .set("achievable_bps", rate);
     std::fflush(stdout);
   }
   std::printf(
       "\nPaper reference: ~100 bps at 500 pkt/s rising to ~1 kbps at\n"
       "~3070 pkt/s — the bit rate tracks the helper's packet rate.\n");
-  return 0;
+  return report.finish() ? 0 : 1;
 }

@@ -63,6 +63,8 @@ int main(int argc, char** argv) {
   const std::size_t total_bits = quick ? 4'000 : 50'000;
   wb::bench::print_header("Figure 17",
                           "Downlink BER vs distance (reader at +16 dBm)");
+  wb::bench::BenchReport report(
+      argc, argv, "fig17", "Downlink BER vs distance (reader at +16 dBm)");
   struct Rate {
     wb::TimeUs slot_us;
     const char* label;
@@ -77,11 +79,15 @@ int main(int argc, char** argv) {
   wb::bench::print_row_divider();
   for (double cm : distances_cm) {
     std::printf("%-14.0f", cm);
+    auto& row = report.add_row("distance_point").set("distance_cm", cm);
     for (const auto& r : rates) {
       const double ber = measure_downlink_ber(
           cm / 100.0, r.slot_us, total_bits,
           1234 + static_cast<std::uint64_t>(cm) + r.slot_us);
       std::printf("  %10.2e", ber);
+      row.set(std::string("ber_") +
+                  std::to_string(static_cast<long long>(r.slot_us)) + "us",
+              ber);
     }
     std::printf("\n");
     std::fflush(stdout);
@@ -89,5 +95,5 @@ int main(int argc, char** argv) {
   std::printf(
       "\nPaper reference: at BER 1e-2, 20 kbps reaches ~2.13 m and 10 kbps\n"
       "~2.90 m; lower bit rates extend range.\n");
-  return 0;
+  return report.finish() ? 0 : 1;
 }

@@ -1,12 +1,17 @@
 // Shared helpers for the figure-reproduction benches: consistent table
-// printing so bench output reads like the paper's figures, plus CLI
-// parsing for --quick runs.
+// printing so bench output reads like the paper's figures, CLI parsing for
+// --quick runs, and an optional machine-readable JSON sink (--json-out,
+// backed by obs::RunReport) alongside the human table.
 #pragma once
 
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "obs/metrics.h"
+#include "obs/report.h"
 
 namespace wb::bench {
 
@@ -19,6 +24,14 @@ inline bool quick_mode(int argc, char** argv) {
   return false;
 }
 
+/// Value of `--json-out FILE`, or "" when not given.
+inline std::string json_out_path(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json-out") == 0) return argv[i + 1];
+  }
+  return "";
+}
+
 /// Print a figure header in a uniform style.
 inline void print_header(const char* fig, const char* title) {
   std::printf("\n================================================================\n");
@@ -29,5 +42,42 @@ inline void print_header(const char* fig, const char* title) {
 inline void print_row_divider() {
   std::printf("----------------------------------------------------------------\n");
 }
+
+/// Machine-readable twin of the printed table: benches add one named row
+/// per table line, and finish() writes an obs::RunReport JSON file when
+/// --json-out was given (a no-op otherwise, so the human table stays the
+/// default interface).
+class BenchReport {
+ public:
+  BenchReport(int argc, char** argv, const char* fig, const char* title)
+      : path_(json_out_path(argc, argv)) {
+    report_.set_meta("figure", fig);
+    report_.set_meta("title", title);
+    report_.set_meta("quick", quick_mode(argc, argv) ? 1.0 : 0.0);
+  }
+
+  obs::RunReport::Row& add_row(std::string_view name) {
+    return report_.add_row(name);
+  }
+
+  obs::RunReport& report() { return report_; }
+
+  /// Writes the JSON report (attaching a metrics snapshot if a registry
+  /// is installed). Returns false only on an actual write failure.
+  bool finish() {
+    if (path_.empty()) return true;
+    if (const auto* m = obs::metrics()) report_.attach_metrics(*m);
+    if (!report_.write_json(path_)) {
+      std::fprintf(stderr, "failed to write %s\n", path_.c_str());
+      return false;
+    }
+    std::printf("json report: %s\n", path_.c_str());
+    return true;
+  }
+
+ private:
+  obs::RunReport report_;
+  std::string path_;
+};
 
 }  // namespace wb::bench

@@ -7,18 +7,32 @@
 //   wb_experiment_cli coded    [--distance M] [--length L] [--runs N]
 //   wb_experiment_cli downlink [--distance M] [--slot-us N] [--bits N]
 //   wb_experiment_cli trace    [--distance M] [--packets N] --out FILE
+//   wb_experiment_cli query    [--distance M] [--helper-pps N]
+//                              [--queries N] [--ack] [--seed N]
 //
 // `trace` writes a capture CSV (an alternating-bit tag) that external
-// tools — or `read_capture_csv` — can consume.
+// tools — or `read_capture_csv` — can consume. `query` drives full
+// request-response round trips through the discrete-event scheduler.
+//
+// Observability (any mode):
+//   --metrics-out FILE   write a JSON run report with every wb::obs metric
+//   --trace-out FILE     write Chrome trace_event JSON (open in
+//                        chrome://tracing or https://ui.perfetto.dev)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "core/downlink_sim.h"
 #include "core/experiments.h"
 #include "core/frame.h"
+#include "core/system.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "reader/downlink_encoder.h"
+#include "sim/event_queue.h"
 #include "tag/modulator.h"
 #include "util/stats.h"
 #include "wifi/trace_io.h"
@@ -162,20 +176,106 @@ int run_trace(int argc, char** argv) {
   return 0;
 }
 
+int run_query(int argc, char** argv) {
+  core::SystemConfig cfg;
+  cfg.tag_reader_distance_m = arg_double(argc, argv, "--distance", 0.3);
+  cfg.helper_pps = arg_double(argc, argv, "--helper-pps", 3'000.0);
+  cfg.ack_enabled = arg_flag(argc, argv, "--ack");
+  cfg.seed = static_cast<std::uint64_t>(arg_double(argc, argv, "--seed", 1));
+  const auto queries = static_cast<std::size_t>(
+      arg_double(argc, argv, "--queries", 3));
+  core::WiFiBackscatterSystem system(cfg);
+
+  // Drive the exchanges through the discrete-event scheduler: one event
+  // per query on a fixed virtual cadence, each with a watchdog the
+  // completion path cancels (so cancelled events show in sim.* metrics).
+  sim::EventQueue queue;
+  constexpr TimeUs kQueryPeriodUs = 5'000'000;
+  std::size_t succeeded = 0;
+  std::size_t attempts = 0;
+  for (std::size_t i = 0; i < queries; ++i) {
+    queue.schedule_at(static_cast<TimeUs>(i) * kQueryPeriodUs, [&, i] {
+      const std::uint64_t watchdog =
+          queue.schedule_in(kQueryPeriodUs - 1, [i] {
+            std::printf("query %zu: watchdog expired\n", i);
+          });
+      core::Query q;
+      q.tag_address = 7;
+      q.command = core::kCmdReadSensor;
+      const BitVec reading = random_bits(24, cfg.seed + i);
+      const auto outcome = system.query(q, reading);
+      attempts += outcome.downlink.attempts;
+      if (outcome.success()) ++succeeded;
+      std::printf("query %zu: %s after %zu attempt(s), %zu/%zu bits ok\n",
+                  i, outcome.success() ? "ok" : "FAILED",
+                  outcome.downlink.attempts,
+                  outcome.uplink.bits_total - outcome.uplink.bit_errors,
+                  outcome.uplink.bits_total);
+      queue.cancel(watchdog);
+    });
+  }
+  queue.run_all();
+  std::printf("query summary: %zu/%zu round trips ok, %zu attempts, "
+              "%lld us virtual\n",
+              succeeded, queries, attempts,
+              static_cast<long long>(queue.now()));
+  return succeeded == queries ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: %s {uplink|coded|downlink|trace} [options]\n",
+                 "usage: %s {uplink|coded|downlink|trace|query} [options]\n",
                  argv[0]);
     return 2;
   }
   const std::string mode = argv[1];
-  if (mode == "uplink") return run_uplink(argc, argv);
-  if (mode == "coded") return run_coded(argc, argv);
-  if (mode == "downlink") return run_downlink(argc, argv);
-  if (mode == "trace") return run_trace(argc, argv);
-  std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
-  return 2;
+
+  // Observability: install a registry/tracer for the whole run when the
+  // corresponding output file is requested.
+  const std::string metrics_out =
+      arg_string(argc, argv, "--metrics-out", "");
+  const std::string trace_out = arg_string(argc, argv, "--trace-out", "");
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer;
+  std::unique_ptr<obs::ScopedMetrics> metrics_guard;
+  std::unique_ptr<obs::ScopedTracer> tracer_guard;
+  if (!metrics_out.empty()) {
+    metrics_guard = std::make_unique<obs::ScopedMetrics>(registry);
+  }
+  if (!trace_out.empty()) {
+    tracer_guard = std::make_unique<obs::ScopedTracer>(tracer);
+  }
+
+  int rc = 2;
+  if (mode == "uplink") rc = run_uplink(argc, argv);
+  else if (mode == "coded") rc = run_coded(argc, argv);
+  else if (mode == "downlink") rc = run_downlink(argc, argv);
+  else if (mode == "trace") rc = run_trace(argc, argv);
+  else if (mode == "query") rc = run_query(argc, argv);
+  else std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
+
+  if (!metrics_out.empty()) {
+    obs::RunReport report;
+    report.set_meta("tool", "wb_experiment_cli");
+    report.set_meta("mode", mode);
+    report.set_meta("exit_code", static_cast<double>(rc));
+    report.attach_metrics(registry);
+    if (!report.write_json(metrics_out)) {
+      std::fprintf(stderr, "failed to write %s\n", metrics_out.c_str());
+      return 2;
+    }
+    std::printf("metrics report: %s\n", metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    if (!tracer.write_json(trace_out)) {
+      std::fprintf(stderr, "failed to write %s\n", trace_out.c_str());
+      return 2;
+    }
+    std::printf("trace (%zu events): %s\n", tracer.num_events(),
+                trace_out.c_str());
+  }
+  return rc;
 }

@@ -3,7 +3,9 @@
 #   1. tools/wb_lint.py           repo-specific lint rules
 #   2. ASan+UBSan build, -Werror  (build dir: build-check/)
 #   3. full ctest under the sanitizers
-#   4. clang-tidy over src/       (skipped with a notice if not installed)
+#   4. observability smoke: one CLI query exchange with --metrics-out /
+#      --trace-out, both outputs validated as JSON
+#   5. clang-tidy over src/       (skipped with a notice if not installed)
 # Exits non-zero on the first failure. Usage: scripts/check.sh [-j N]
 set -euo pipefail
 
@@ -19,19 +21,41 @@ done
 
 BUILD_DIR=build-check
 
-echo "==> [1/4] wb_lint"
+echo "==> [1/5] wb_lint"
 python3 tools/wb_lint.py
 
-echo "==> [2/4] configure + build (WB_SANITIZE=address, WB_WERROR=ON)"
+echo "==> [2/5] configure + build (WB_SANITIZE=address, WB_WERROR=ON)"
 cmake -B "$BUILD_DIR" -S . \
   -DWB_SANITIZE=address -DWB_WERROR=ON \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
 cmake --build "$BUILD_DIR" -j "$JOBS"
 
-echo "==> [3/4] ctest under ASan+UBSan"
+echo "==> [3/5] ctest under ASan+UBSan"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
-echo "==> [4/4] clang-tidy"
+echo "==> [4/5] observability smoke (CLI query + JSON validation)"
+OBS_TMP="$(mktemp -d)"
+trap 'rm -rf "$OBS_TMP"' EXIT
+"$BUILD_DIR/examples/wb_experiment_cli" query \
+  --queries 1 --distance 0.2 \
+  --metrics-out "$OBS_TMP/smoke.metrics.json" \
+  --trace-out "$OBS_TMP/smoke.trace.json" > /dev/null
+python3 - "$OBS_TMP" <<'PY'
+import json, sys
+tmp = sys.argv[1]
+metrics = json.load(open(tmp + "/smoke.metrics.json"))
+trace = json.load(open(tmp + "/smoke.trace.json"))
+counters = metrics["metrics"]["counters"]
+modules = sorted({name.split(".")[0] for name in counters})
+missing = sorted(set(["core", "phy", "reader", "sim", "tag", "wifi"])
+                 - set(modules))
+assert not missing, f"metrics missing modules: {missing}"
+assert trace["traceEvents"], "trace has no events"
+print(f"    metrics: {len(counters)} counters over modules {modules}")
+print(f"    trace:   {len(trace['traceEvents'])} events")
+PY
+
+echo "==> [5/5] clang-tidy"
 if command -v clang-tidy > /dev/null 2>&1; then
   if command -v run-clang-tidy > /dev/null 2>&1; then
     run-clang-tidy -p "$BUILD_DIR" -quiet "src/.*\.cpp$"

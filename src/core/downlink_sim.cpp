@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "phy/ofdm_envelope.h"
 
 namespace wb::core {
@@ -143,6 +145,28 @@ DownlinkSimReport DownlinkSim::run(const reader::DownlinkTransmission& tx,
   report.detector_energy_uj = det.energy_uj();
   report.mcu_energy_uj = mcu.energy_uj(until_us);
   report.simulated_us = until_us;
+  if (auto* m = obs::metrics()) {
+    m->counter("core.downlink.runs_total").add(1);
+    m->counter("core.downlink.slots_probed_total")
+        .add(report.slot_levels.size());
+    m->counter("core.downlink.frames_decoded_total")
+        .add(report.decoded.size());
+    m->counter("core.downlink.decode_entries_total")
+        .add(report.decode_entries);
+    m->gauge("tag.detector.energy_uj").add(report.detector_energy_uj);
+    m->gauge("tag.mcu.energy_uj").add(report.mcu_energy_uj);
+  }
+  if (auto* tr = obs::tracer()) {
+    const int lane = tr->lane("tag");
+    tr->complete(lane, "downlink_listen", "tag", 0, until_us,
+                 {{"slots", static_cast<double>(report.slot_levels.size())},
+                  {"frames_decoded",
+                   static_cast<double>(report.decoded.size())}});
+    for (const auto& frame : report.decoded) {
+      tr->instant(lane, "mcu_frame_decoded", "tag", frame.payload_start_us,
+                  {{"bits", static_cast<double>(frame.payload.size())}});
+    }
+  }
   return report;
 }
 

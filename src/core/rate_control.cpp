@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace wb::core {
@@ -16,8 +17,12 @@ double RateControl::measured_packet_rate(const wifi::CaptureTrace& trace,
     if (it->timestamp_us < from) break;
     ++n;
   }
-  return static_cast<double>(n) /
-         (static_cast<double>(window_us) / 1e6);
+  const double pps = static_cast<double>(n) /
+                     (static_cast<double>(window_us) / 1e6);
+  if (auto* m = obs::metrics()) {
+    m->gauge("core.rate_control.measured_pps").set(pps);
+  }
+  return pps;
 }
 
 double RateControl::raw_rate_bps(double helper_pps) const {
@@ -30,6 +35,10 @@ double RateControl::choose_bit_rate(double helper_pps) const {
   double chosen = kSupportedBitRates.front();
   for (double r : kSupportedBitRates) {
     if (r <= budget) chosen = r;
+  }
+  if (auto* m = obs::metrics()) {
+    m->counter("core.rate_control.choices_total").add(1);
+    m->gauge("core.rate_control.chosen_bps").set(chosen);
   }
   return chosen;
 }

@@ -1,5 +1,7 @@
 #include "core/system.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "reader/ack_detector.h"
 #include "tag/modulator.h"
 #include "util/check.h"
@@ -52,6 +54,7 @@ DownlinkOutcome WiFiBackscatterSystem::send_downlink(const BitVec& data) {
   DownlinkSim sim(sim_cfg);
   const auto report = sim.run(tx, ambient, until);
   out.tag_energy_uj = report.detector_energy_uj + report.mcu_energy_uj;
+  out.simulated_us = until;
 
   for (const auto& frame : report.decoded) {
     if (auto data_bits = parse_downlink_payload(frame.payload)) {
@@ -88,6 +91,7 @@ UplinkOutcome WiFiBackscatterSystem::receive_uplink(const BitVec& data,
   const TimeUs frame_start = 50'000;
   const TimeUs frame_dur = static_cast<TimeUs>(frame.size()) * bit_us;
   const TimeUs until = frame_start + frame_dur + 50'000;
+  out.simulated_us = until;
 
   sim::RngStream traffic_rng(sim_cfg.seed);
   auto rng = traffic_rng.fork("uplink-traffic");
@@ -162,6 +166,9 @@ bool WiFiBackscatterSystem::exchange_ack(bool tag_acks) {
 QueryOutcome WiFiBackscatterSystem::query(const Query& query,
                                           const BitVec& tag_data) {
   QueryOutcome out;
+  auto* m = obs::metrics();
+  auto* tr = obs::tracer();
+  if (m != nullptr) m->counter("core.system.queries_total").add(1);
 
   // Rate control: fold the commanded rate into the query frame.
   RateControl rc(RateControlParams{cfg_.packets_per_bit, 0.8});
@@ -169,12 +176,29 @@ QueryOutcome WiFiBackscatterSystem::query(const Query& query,
   Query q = query;
   q.bitrate_code = rc.rate_code(rate);
 
+  // Each protocol leg runs its own sub-simulation with a virtual clock
+  // starting at 0; for tracing, `cursor` stitches the legs onto one
+  // protocol timeline (ScopedTraceOffset shifts the inner events).
+  TimeUs cursor = 0;
+  const int proto_lane = tr != nullptr ? tr->lane("protocol") : 0;
+
   // The reader re-transmits its query until it gets a (CRC-valid)
   // response, §4.1 — a retry covers both a missed query at the tag and a
   // response the reader failed to decode.
   for (std::size_t attempt = 1; attempt <= cfg_.max_query_attempts;
        ++attempt) {
-    auto dl = send_downlink(q.to_bits());
+    DownlinkOutcome dl;
+    {
+      obs::ScopedTraceOffset shift(cursor);
+      dl = send_downlink(q.to_bits());
+    }
+    if (tr != nullptr) {
+      tr->complete(proto_lane, "downlink_query", "core", cursor,
+                   dl.simulated_us,
+                   {{"attempt", static_cast<double>(attempt)},
+                    {"delivered", dl.delivered ? 1.0 : 0.0}});
+    }
+    cursor += dl.simulated_us;
     out.downlink.attempts = attempt;
     out.downlink.delivered = dl.delivered;
     if (dl.decoded_query) out.downlink.decoded_query = dl.decoded_query;
@@ -182,7 +206,20 @@ QueryOutcome WiFiBackscatterSystem::query(const Query& query,
     if (cfg_.ack_enabled) {
       // The tag only ACKs a CRC-valid query; the reader retries on a
       // missing ACK without burning a response timeout.
-      const bool detected = exchange_ack(dl.delivered);
+      // exchange_ack simulates [0, ack_start + ack duration + guard)
+      // with the defaults below; mirror that window for the timeline.
+      const reader::AckConfig ack;
+      const TimeUs ack_dur = 500'000 + ack.duration_us() + 50'000;
+      bool detected = false;
+      {
+        obs::ScopedTraceOffset shift(cursor);
+        detected = exchange_ack(dl.delivered);
+      }
+      if (tr != nullptr) {
+        tr->complete(proto_lane, "ack_exchange", "core", cursor, ack_dur,
+                     {{"detected", detected ? 1.0 : 0.0}});
+      }
+      cursor += ack_dur;
       out.downlink.ack_detected = detected;
       if (!detected) continue;
     }
@@ -191,8 +228,33 @@ QueryOutcome WiFiBackscatterSystem::query(const Query& query,
     // The tag obeys the bit rate it decoded.
     const double tag_rate =
         RateControl::rate_from_code(dl.decoded_query->bitrate_code);
-    out.uplink = receive_uplink(tag_data, tag_rate);
+    UplinkOutcome ul;
+    {
+      obs::ScopedTraceOffset shift(cursor);
+      ul = receive_uplink(tag_data, tag_rate);
+    }
+    if (tr != nullptr) {
+      tr->complete(proto_lane, "uplink_response", "core", cursor,
+                   ul.simulated_us,
+                   {{"delivered", ul.delivered ? 1.0 : 0.0},
+                    {"bit_rate_bps", ul.bit_rate_bps}});
+    }
+    cursor += ul.simulated_us;
+    out.uplink = ul;
     if (out.uplink.delivered) break;
+  }
+
+  if (m != nullptr) {
+    m->counter("core.system.downlink_attempts_total")
+        .add(out.downlink.attempts);
+    m->counter("core.system.query_retries_total")
+        .add(out.downlink.attempts - 1);
+    if (out.success()) m->counter("core.system.query_success_total").add(1);
+    m->counter("core.system.uplink_bits_delivered_total")
+        .add(out.uplink.bits_total);
+    m->counter("core.system.uplink_bit_errors_total")
+        .add(out.uplink.bit_errors);
+    m->gauge("core.system.tag_energy_uj").add(out.downlink.tag_energy_uj);
   }
   return out;
 }

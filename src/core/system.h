@@ -75,6 +75,7 @@ struct DownlinkOutcome {
   std::optional<Query> decoded_query;  ///< what the tag decoded
   double tag_energy_uj = 0.0;          ///< detector + MCU energy spent
   std::optional<bool> ack_detected;    ///< §4.1 ACK result, if enabled
+  TimeUs simulated_us = 0;             ///< virtual time this leg simulated
 };
 
 /// Result of one uplink response.
@@ -85,6 +86,7 @@ struct UplinkOutcome {
   double bit_rate_bps = 0.0;  ///< rate the tag used
   std::size_t bit_errors = 0; ///< vs the tag's transmitted frame (oracle)
   std::size_t bits_total = 0;
+  TimeUs simulated_us = 0;    ///< virtual time this leg simulated
 };
 
 /// A full query-response round trip.

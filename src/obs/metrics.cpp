@@ -1,0 +1,162 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace wb::obs {
+
+namespace {
+MetricsRegistry* g_metrics = nullptr;
+}  // namespace
+
+MetricsRegistry* metrics() noexcept { return g_metrics; }
+
+ScopedMetrics::ScopedMetrics(MetricsRegistry& r) : prev_(g_metrics) {
+  g_metrics = &r;
+}
+
+ScopedMetrics::~ScopedMetrics() { g_metrics = prev_; }
+
+void Gauge::max_of(double x) noexcept {
+  double cur = v_.load(std::memory_order_relaxed);
+  while (x > cur &&
+         !v_.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+  }
+}
+
+LogHistogram::LogHistogram() : buckets_(kNumBuckets) {}
+
+int LogHistogram::bucket_index(double v) noexcept {
+  if (!(v > kMinValue)) return 0;  // underflow (also zero, negative, NaN)
+  const double octaves = std::log2(v / kMinValue);
+  const int i = 1 + static_cast<int>(octaves * kBucketsPerOctave);
+  return std::min(i, kNumBuckets - 1);  // top bucket = overflow
+}
+
+double LogHistogram::bucket_midpoint(int i) noexcept {
+  if (i <= 0) return kMinValue;
+  // Bucket i spans [kMin * 2^((i-1)/k), kMin * 2^(i/k)); geometric middle.
+  const double lo = (i - 1) / static_cast<double>(kBucketsPerOctave);
+  const double hi = i / static_cast<double>(kBucketsPerOctave);
+  return kMinValue * std::exp2(0.5 * (lo + hi));
+}
+
+void LogHistogram::record(double v) noexcept {
+  buckets_[static_cast<std::size_t>(bucket_index(v))].fetch_add(
+      1, std::memory_order_relaxed);
+  const std::uint64_t prev = count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  if (prev == 0) {
+    // First sample seeds min/max; racing recorders then CAS below.
+    min_.store(v, std::memory_order_relaxed);
+    max_.store(v, std::memory_order_relaxed);
+    return;
+  }
+  double cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+double LogHistogram::mean() const noexcept {
+  const std::uint64_t n = count();
+  return n ? sum() / static_cast<double>(n) : 0.0;
+}
+
+double LogHistogram::min() const noexcept {
+  return count() ? min_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double LogHistogram::max() const noexcept {
+  return count() ? max_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double LogHistogram::percentile(double p) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  // Rank of the target sample, 1-based (nearest-rank method).
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(n)));
+  const std::uint64_t target = std::max<std::uint64_t>(rank, 1);
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[static_cast<std::size_t>(i)].load(
+        std::memory_order_relaxed);
+    if (seen >= target) {
+      // The underflow bucket collapses everything below kMinValue
+      // (including non-positive values); its midpoint is meaningless,
+      // so report the exact observed minimum instead.
+      if (i == 0) return min();
+      return std::clamp(bucket_midpoint(i), min(), max());
+    }
+  }
+  return max();
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  WB_REQUIRE(!name.empty(), "metric name must be non-empty");
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  WB_REQUIRE(!name.empty(), "metric name must be non-empty");
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+LogHistogram& MetricsRegistry::histogram(std::string_view name) {
+  WB_REQUIRE(!name.empty(), "metric name must be non-empty");
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<LogHistogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Snapshot out;
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    out.counters.emplace_back(name, c->value());
+  }
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    out.gauges.emplace_back(name, g->value());
+  }
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramStats s;
+    s.count = h->count();
+    s.sum = h->sum();
+    s.min = h->min();
+    s.max = h->max();
+    s.p50 = h->percentile(50.0);
+    s.p95 = h->percentile(95.0);
+    s.p99 = h->percentile(99.0);
+    out.histograms.emplace_back(name, s);
+  }
+  return out;
+}
+
+}  // namespace wb::obs

@@ -1,0 +1,159 @@
+// Metrics registry: named counters, gauges, and log-bucketed histograms
+// for the whole uplink/downlink pipeline.
+//
+// The paper's protocol (§5) is driven by runtime-measured quantities — the
+// helper's packet rate N, the packets-per-bit budget M, per-sub-channel
+// noise variance, downlink retry counts. This registry makes those
+// quantities observable from outside the modules that compute them.
+//
+// Design rules:
+//   * Names follow `module.thing.unit` (lowercase dotted, unit-suffixed
+//     last segment, e.g. `reader.uplink.bits_decoded_total`,
+//     `core.system.tag_energy_uj`). tools/wb_lint.py enforces the format.
+//   * The hot path is lock-free: Counter/Gauge/LogHistogram updates are
+//     relaxed atomics, safe for per-packet use and for future threading.
+//     Only name registration (`counter()`/`gauge()`/`histogram()`) takes a
+//     mutex; per-packet loops should hoist the returned reference.
+//   * Observability is off by default. Instrumentation sites guard on
+//     `obs::metrics()` returning non-null, so the disabled path is one
+//     global load and branch — tier-1 numbers are unaffected.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wb::obs {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written (or accumulated) scalar.
+class Gauge {
+ public:
+  void set(double x) noexcept { v_.store(x, std::memory_order_relaxed); }
+  void add(double dx) noexcept { v_.fetch_add(dx, std::memory_order_relaxed); }
+  /// Raise the gauge to `x` if larger (peak tracking, e.g. queue depth).
+  void max_of(double x) noexcept;
+  double value() const noexcept { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Log-bucketed histogram over positive values (HdrHistogram-style).
+///
+/// Buckets grow geometrically by 2^(1/kBucketsPerOctave), so any recorded
+/// value lands in a bucket whose bounds are within ~9% of it and reported
+/// percentiles (geometric bucket midpoint) are within ~4.5% relative
+/// error. Values <= kMinValue (including zero and negatives) collapse into
+/// an underflow bucket; values beyond the top into an overflow bucket.
+/// record() is a relaxed fetch_add plus min/max CAS loops — cheap enough
+/// for per-packet decoder paths.
+class LogHistogram {
+ public:
+  static constexpr double kMinValue = 1e-9;
+  static constexpr int kBucketsPerOctave = 8;
+  static constexpr int kOctaves = 70;  ///< covers kMinValue .. ~1.2e12
+  static constexpr int kNumBuckets = kOctaves * kBucketsPerOctave + 2;
+
+  LogHistogram();
+
+  void record(double v) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  double mean() const noexcept;
+  /// Smallest / largest recorded value (exact, not bucketed). 0 when empty.
+  double min() const noexcept;
+  double max() const noexcept;
+
+  /// Value at percentile p in [0, 100] (bucket geometric midpoint,
+  /// clamped to the exact min/max). 0 when empty.
+  double percentile(double p) const noexcept;
+
+ private:
+  static int bucket_index(double v) noexcept;
+  static double bucket_midpoint(int i) noexcept;
+
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Name -> instrument map. Instrument references remain valid for the
+/// registry's lifetime (storage is node-based).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  LogHistogram& histogram(std::string_view name);
+
+  /// A consistent point-in-time copy of every instrument, sorted by name.
+  struct HistogramStats {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+  struct Snapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, HistogramStats>> histograms;
+  };
+  Snapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;  ///< guards the maps, not the instruments
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<LogHistogram>, std::less<>>
+      histograms_;
+};
+
+/// The currently-installed registry; nullptr when observability is off
+/// (the default). Instrumentation sites do
+///   if (auto* m = obs::metrics()) m->counter("...").add(1);
+MetricsRegistry* metrics() noexcept;
+
+/// RAII install/restore of the process-global registry (mirrors
+/// ScopedContractPolicy). Not thread-safe to nest from multiple threads.
+class ScopedMetrics {
+ public:
+  explicit ScopedMetrics(MetricsRegistry& r);
+  ~ScopedMetrics();
+  ScopedMetrics(const ScopedMetrics&) = delete;
+  ScopedMetrics& operator=(const ScopedMetrics&) = delete;
+
+ private:
+  MetricsRegistry* prev_;
+};
+
+}  // namespace wb::obs

@@ -1,0 +1,74 @@
+// RunReport: machine-readable result sink for experiments and benches.
+//
+// A report carries three things:
+//   * meta       — free-form key/value context (figure id, seed, mode);
+//   * rows       — the tabular results a bench would otherwise printf
+//                  (one named row, ordered fields, numeric or string);
+//   * metrics    — an optional MetricsRegistry snapshot (counters, gauges,
+//                  histogram percentiles) attached at the end of a run.
+//
+// JSON is the primary format (one self-describing object); rows can also
+// be exported as CSV for spreadsheet-style consumers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace wb::obs {
+
+class RunReport {
+ public:
+  using Value = std::variant<double, std::string>;
+
+  /// One named result row with ordered fields.
+  class Row {
+   public:
+    explicit Row(std::string name) : name_(std::move(name)) {}
+    Row& set(std::string_view key, double value);
+    Row& set(std::string_view key, std::string_view value);
+
+    const std::string& name() const { return name_; }
+    const std::vector<std::pair<std::string, Value>>& fields() const {
+      return fields_;
+    }
+
+   private:
+    std::string name_;
+    std::vector<std::pair<std::string, Value>> fields_;
+  };
+
+  void set_meta(std::string_view key, std::string_view value);
+  void set_meta(std::string_view key, double value);
+
+  /// Adds a row; the reference stays valid until the next add_row.
+  Row& add_row(std::string_view name);
+
+  /// Snapshots `reg` into the report (replacing any earlier snapshot).
+  void attach_metrics(const MetricsRegistry& reg);
+
+  const std::vector<Row>& rows() const { return rows_; }
+  const MetricsRegistry::Snapshot& metrics_snapshot() const {
+    return metrics_;
+  }
+
+  std::string to_json() const;
+
+  /// Rows as CSV: header is the union of field keys in first-seen order,
+  /// first column `row`. Strings are quoted; missing fields are empty.
+  std::string rows_csv() const;
+
+  bool write_json(const std::string& path) const;
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::pair<std::string, Value>> meta_;
+  std::vector<Row> rows_;
+  MetricsRegistry::Snapshot metrics_;
+};
+
+}  // namespace wb::obs

@@ -1,0 +1,47 @@
+// Wall-clock scoped timer for decoder hot paths: measures the enclosing
+// scope with steady_clock and records microseconds into a registry
+// histogram. When observability is off the constructor takes one global
+// load and branch and never touches the clock.
+#pragma once
+
+#include <chrono>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace wb::obs {
+
+class ScopedTimer {
+ public:
+  /// Records into `metrics()->histogram(name)`; inert when metrics are off.
+  explicit ScopedTimer(std::string_view name) {
+    if (MetricsRegistry* m = metrics()) {
+      hist_ = &m->histogram(name);
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+
+  /// Records into an already-resolved histogram (hoisted handle); pass
+  /// nullptr to disable.
+  explicit ScopedTimer(LogHistogram* hist) : hist_(hist) {
+    if (hist_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+
+  ~ScopedTimer() {
+    if (hist_ != nullptr) {
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+      hist_->record(static_cast<double>(ns) * 1e-3);
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  LogHistogram* hist_ = nullptr;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace wb::obs

@@ -1,0 +1,113 @@
+// Virtual-time tracer: records spans, instants, and counter tracks on the
+// simulation's virtual microsecond clock and exports Chrome trace_event
+// JSON, so a whole simulated query/response exchange can be opened in
+// chrome://tracing (or https://ui.perfetto.dev).
+//
+// Virtual time maps directly onto the trace format: trace_event `ts`/`dur`
+// are microseconds, exactly our TimeUs. Lanes (Chrome "threads") separate
+// the pipeline stages — protocol, downlink, uplink, mac, sim — and each
+// sub-simulation runs its own virtual clock from 0, so callers that stitch
+// several sub-simulations into one exchange install a ScopedTraceOffset to
+// place inner events on the outer timeline.
+//
+// Like the metrics registry, tracing is off by default: sites guard on
+// `obs::tracer()` returning non-null, so the disabled path is one global
+// load and branch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/units.h"
+
+namespace wb::obs {
+
+/// Collects trace events in memory; export with to_json()/write_json().
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// One key=value annotation on an event (rendered in the trace viewer's
+  /// detail pane).
+  using Arg = std::pair<std::string, double>;
+
+  /// Lane ("thread") id for a named pipeline stage; created on first use.
+  int lane(std::string_view name);
+
+  /// Complete event: a span [start, start+dur) on `lane_id`.
+  void complete(int lane_id, std::string_view name, std::string_view category,
+                TimeUs start_us, TimeUs dur_us, std::vector<Arg> args = {});
+
+  /// Instant event: a zero-duration marker.
+  void instant(int lane_id, std::string_view name, std::string_view category,
+               TimeUs ts_us, std::vector<Arg> args = {});
+
+  /// Counter track sample: `name` plotted over time in its own track.
+  void counter(std::string_view name, TimeUs ts_us, double value);
+
+  /// Current offset added to every recorded timestamp (see
+  /// ScopedTraceOffset).
+  TimeUs offset() const { return offset_; }
+  void set_offset(TimeUs offset_us) { offset_ = offset_us; }
+
+  std::size_t num_events() const { return events_.size(); }
+
+  /// The full Chrome trace: {"traceEvents": [...]} with thread-name
+  /// metadata so lanes are labelled in the viewer.
+  std::string to_json() const;
+  /// Returns false (and records nothing) if the file cannot be written.
+  bool write_json(const std::string& path) const;
+
+ private:
+  struct Event {
+    char phase;  ///< 'X' complete, 'i' instant, 'C' counter
+    int tid;
+    TimeUs ts;
+    TimeUs dur;
+    std::string name;
+    std::string category;
+    std::vector<Arg> args;
+  };
+
+  std::vector<Event> events_;
+  std::vector<std::string> lanes_;
+  TimeUs offset_ = 0;
+};
+
+/// The currently-installed tracer; nullptr when tracing is off.
+Tracer* tracer() noexcept;
+
+/// RAII install/restore of the process-global tracer.
+class ScopedTracer {
+ public:
+  explicit ScopedTracer(Tracer& t);
+  ~ScopedTracer();
+  ScopedTracer(const ScopedTracer&) = delete;
+  ScopedTracer& operator=(const ScopedTracer&) = delete;
+
+ private:
+  Tracer* prev_;
+};
+
+/// Shifts the installed tracer's clock by `delta_us` for the current
+/// scope: events recorded by inner sub-simulations (which run their own
+/// virtual clocks from 0) land at the right place on the outer timeline.
+/// No-op when tracing is off.
+class ScopedTraceOffset {
+ public:
+  explicit ScopedTraceOffset(TimeUs delta_us);
+  ~ScopedTraceOffset();
+  ScopedTraceOffset(const ScopedTraceOffset&) = delete;
+  ScopedTraceOffset& operator=(const ScopedTraceOffset&) = delete;
+
+ private:
+  Tracer* tracer_;
+  TimeUs prev_ = 0;
+};
+
+}  // namespace wb::obs

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace wb::phy {
@@ -70,6 +71,12 @@ UplinkChannel::UplinkChannel(const UplinkChannelParams& params,
 }
 
 CsiMatrix UplinkChannel::response(bool tag_reflecting, TimeUs t_us) {
+  if (auto* m = obs::metrics()) {
+    m->counter("phy.channel.responses_total").add(1);
+    if (tag_reflecting) {
+      m->counter("phy.channel.reflect_responses_total").add(1);
+    }
+  }
   CsiMatrix out{};
   for (std::size_t a = 0; a < kNumAntennas; ++a) {
     for (std::size_t s = 0; s < kNumSubchannels; ++s) {

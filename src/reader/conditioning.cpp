@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
 #include "util/check.h"
 
 #include "util/dsp.h"
@@ -47,6 +49,7 @@ ConditionedTrace condition(const wifi::CaptureTrace& trace,
                            MeasurementSource source,
                            TimeUs movavg_window_us) {
   WB_REQUIRE(movavg_window_us > 0, "moving-average window must be positive");
+  obs::ScopedTimer timer("reader.conditioning.wall_us");
   ConditionedTrace out;
 
   // Collect raw series. For CSI, records without CSI (beacons on the
@@ -73,6 +76,13 @@ ConditionedTrace condition(const wifi::CaptureTrace& trace,
         remove_time_moving_average(out.timestamps, raw[s], movavg_window_us);
     out.streams[s] = normalize_mad(centered);
     WB_ENSURE(out.streams[s].size() == out.timestamps.size());
+  }
+  if (auto* m = obs::metrics()) {
+    m->counter("reader.conditioning.traces_total").add(1);
+    m->counter("reader.conditioning.packets_total")
+        .add(out.timestamps.size());
+    m->gauge("reader.conditioning.streams_count")
+        .set(static_cast<double>(num_streams));
   }
   return out;
 }

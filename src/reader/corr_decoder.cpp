@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
 #include "util/check.h"
 
 #include "reader/uplink_decoder.h"
@@ -63,6 +65,10 @@ CodedDecodeResult CodedUplinkDecoder::decode(
 
 CodedDecodeResult CodedUplinkDecoder::decode_conditioned(
     const ConditionedTrace& ct_in) const {
+  obs::ScopedTimer timer("reader.corr.decode_wall_us");
+  if (auto* m = obs::metrics()) {
+    m->counter("reader.corr.decodes_total").add(1);
+  }
   CodedDecodeResult res;
   if (ct_in.num_packets() == 0 || ct_in.num_streams() == 0) return res;
 
@@ -154,6 +160,13 @@ CodedDecodeResult CodedUplinkDecoder::decode_conditioned(
     }
     res.payload[b] = combined > 0.0 ? 1 : 0;
     res.margin[b] = std::abs(combined);
+  }
+  if (auto* m = obs::metrics()) {
+    m->counter("reader.corr.sync_found_total").add(1);
+    m->counter("reader.corr.bits_decoded_total").add(res.payload.size());
+    m->gauge("reader.corr.sync_score_ratio").set(res.sync_score);
+    auto& margin_hist = m->histogram("reader.corr.bit_margin_ratio");
+    for (const double margin : res.margin) margin_hist.record(margin);
   }
   return res;
 }

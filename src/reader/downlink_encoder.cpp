@@ -1,5 +1,7 @@
 #include "reader/downlink_encoder.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace wb::reader {
@@ -63,6 +65,18 @@ DownlinkTransmission DownlinkEncoder::encode(const BitVec& message,
   tx.end_us = tx.slots.empty()
                   ? start_us
                   : tx.slots.back().start_us + cfg_.slot_us;
+  if (auto* m = obs::metrics()) {
+    m->counter("reader.downlink.messages_encoded_total").add(1);
+    m->counter("reader.downlink.slots_encoded_total").add(tx.slots.size());
+    m->counter("reader.downlink.packets_encoded_total")
+        .add(tx.packets.size());
+  }
+  if (auto* tr = obs::tracer()) {
+    tr->complete(tr->lane("reader"), "downlink_tx", "reader", tx.start_us,
+                 tx.end_us - tx.start_us,
+                 {{"slots", static_cast<double>(tx.slots.size())},
+                  {"packets", static_cast<double>(tx.packets.size())}});
+  }
   return tx;
 }
 

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 #include "util/dsp.h"
@@ -156,6 +159,10 @@ UplinkDecodeResult UplinkDecoder::decode(
 
 UplinkDecodeResult UplinkDecoder::decode_conditioned(
     const ConditionedTrace& ct) const {
+  obs::ScopedTimer timer("reader.uplink.decode_wall_us");
+  auto* m = obs::metrics();
+  if (m != nullptr) m->counter("reader.uplink.decodes_total").add(1);
+
   UplinkDecodeResult res;
   const auto sync = find_frame(ct);
   if (!sync) return res;
@@ -166,6 +173,13 @@ UplinkDecodeResult UplinkDecoder::decode_conditioned(
   res.streams = sync->streams;
   res.polarity = sync->polarity;
 
+  if (m != nullptr) {
+    m->counter("reader.uplink.sync_found_total").add(1);
+    m->gauge("reader.uplink.sync_score_ratio").set(sync->score);
+    m->gauge("reader.uplink.streams_selected_count")
+        .set(static_cast<double>(sync->streams.size()));
+  }
+
   // MRC weights from preamble-estimated noise variance (§3.2 step 2).
   res.weights.reserve(res.streams.size());
   for (std::size_t i = 0; i < res.streams.size(); ++i) {
@@ -173,6 +187,16 @@ UplinkDecodeResult UplinkDecoder::decode_conditioned(
         ct, res.streams[i], res.polarity[i], sync->start);
     WB_REQUIRE(var > 0.0, "MRC weight 1/sigma^2 needs a positive variance");
     res.weights.push_back(1.0 / var);
+  }
+  if (m != nullptr && res.weights.size() > 1) {
+    // Dispersion of the MRC weights: max/min per decode. Near 1 means the
+    // selected streams are equally trustworthy; large means one stream
+    // dominates the combination.
+    const auto [lo, hi] =
+        std::minmax_element(res.weights.begin(), res.weights.end());
+    if (*lo > 0.0) {
+      m->histogram("reader.uplink.mrc_weight_ratio").record(*hi / *lo);
+    }
   }
 
   // Combined signal y_k over the whole frame interval.
@@ -233,11 +257,23 @@ UplinkDecodeResult UplinkDecoder::decode_conditioned(
     } else {
       // All packets abstained (hysteresis band) or tie: fall back to the
       // sign of the slot mean against mu.
-      const double m =
+      const double slot_mean =
           slot_n[b] > 0 ? slot_sum[b] / static_cast<double>(slot_n[b]) : mu;
-      res.payload[b] = m > mu ? 1 : 0;
+      res.payload[b] = slot_mean > mu ? 1 : 0;
       res.confidence[b] = 0.0;
     }
+  }
+  if (m != nullptr) {
+    m->counter("reader.uplink.packets_used_total").add(res.packets_used);
+    m->counter("reader.uplink.bits_decoded_total").add(res.payload.size());
+  }
+  if (auto* tr = obs::tracer()) {
+    tr->complete(tr->lane("reader"), "uplink_frame", "reader",
+                 res.start_us,
+                 static_cast<TimeUs>(cfg_.frame_duration_us()),
+                 {{"sync_score", res.sync_score},
+                  {"packets_used",
+                   static_cast<double>(res.packets_used)}});
   }
   return res;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace wb::sim {
@@ -11,7 +12,12 @@ std::uint64_t EventQueue::schedule_at(TimeUs at, EventFn fn) {
   WB_REQUIRE(static_cast<bool>(fn), "event closure must be callable");
   const std::uint64_t id = next_id_++;
   heap_.push(Entry{at, next_seq_++, id, std::move(fn)});
-  ++live_count_;
+  live_.insert(id);
+  if (auto* m = obs::metrics()) {
+    m->counter("sim.event_queue.scheduled_total").add(1);
+    m->gauge("sim.event_queue.depth_peak_count")
+        .max_of(static_cast<double>(live_.size()));
+  }
   return id;
 }
 
@@ -21,13 +27,17 @@ std::uint64_t EventQueue::schedule_in(TimeUs delay, EventFn fn) {
 }
 
 void EventQueue::cancel(std::uint64_t id) {
-  // Ids are monotonically increasing and each is cancelled at most once in
-  // practice; a sorted vector with binary search keeps this allocation-lean.
+  // Only a live (scheduled, not yet fired or cancelled) id counts: a
+  // repeated cancel, a fired id, or an unknown id must leave pending()
+  // untouched, so liveness is tracked explicitly rather than inferred
+  // from the tombstone list (a consumed tombstone would otherwise allow
+  // the same id to decrement the count twice).
+  if (live_.erase(id) == 0) return;
   auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), id);
-  if (it != cancelled_.end() && *it == id) return;
-  if (id == 0 || id >= next_id_) return;
   cancelled_.insert(it, id);
-  if (live_count_ > 0) --live_count_;
+  if (auto* m = obs::metrics()) {
+    m->counter("sim.event_queue.cancelled_total").add(1);
+  }
 }
 
 bool EventQueue::pop_one(Entry& out) {
@@ -40,12 +50,25 @@ bool EventQueue::pop_one(Entry& out) {
         std::lower_bound(cancelled_.begin(), cancelled_.end(), e.id);
     if (it != cancelled_.end() && *it == e.id) {
       cancelled_.erase(it);
+      if (auto* m = obs::metrics()) {
+        m->counter("sim.event_queue.tombstones_skipped_total").add(1);
+      }
       continue;  // tombstoned
     }
     out = std::move(e);
     return true;
   }
   return false;
+}
+
+void EventQueue::fire(const Entry& e) {
+  WB_INVARIANT(e.at >= now_, "event timestamps must be monotone");
+  now_ = e.at;
+  live_.erase(e.id);
+  if (auto* m = obs::metrics()) {
+    m->counter("sim.event_queue.fired_total").add(1);
+  }
+  e.fn();
 }
 
 std::size_t EventQueue::run_until(TimeUs until) {
@@ -59,11 +82,8 @@ std::size_t EventQueue::run_until(TimeUs until) {
       heap_.push(std::move(e));
       break;
     }
-    WB_INVARIANT(e.at >= now_, "event timestamps must be monotone");
-    now_ = e.at;
-    --live_count_;
     ++fired;
-    e.fn();
+    fire(e);
   }
   if (now_ < until) now_ = until;
   return fired;
@@ -73,11 +93,8 @@ std::size_t EventQueue::run_all() {
   std::size_t fired = 0;
   Entry e;
   while (pop_one(e)) {
-    WB_INVARIANT(e.at >= now_, "event timestamps must be monotone");
-    now_ = e.at;
-    --live_count_;
     ++fired;
-    e.fn();
+    fire(e);
   }
   return fired;
 }
@@ -85,10 +102,7 @@ std::size_t EventQueue::run_all() {
 bool EventQueue::step() {
   Entry e;
   if (!pop_one(e)) return false;
-  WB_INVARIANT(e.at >= now_, "event timestamps must be monotone");
-  now_ = e.at;
-  --live_count_;
-  e.fn();
+  fire(e);
   return true;
 }
 

@@ -4,11 +4,16 @@
 // scheduler all run on one virtual clock. Events are closures ordered by
 // (time, insertion sequence) so same-time events fire in a deterministic
 // order.
+//
+// When observability is installed (obs::metrics()), the queue reports
+// sim.event_queue.* counters: events scheduled/fired/cancelled, tombstones
+// skipped on pop, and the peak pending depth.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "util/units.h"
@@ -30,8 +35,10 @@ class EventQueue {
   /// Schedule `fn` to run `delay` microseconds from now.
   std::uint64_t schedule_in(TimeUs delay, EventFn fn);
 
-  /// Cancel a pending event. Cancelling an already-fired or unknown id is a
-  /// no-op. O(1): the event is tombstoned and skipped when popped.
+  /// Cancel a pending event. Cancelling an already-fired, already-
+  /// cancelled, or unknown id is a no-op (pending() only changes when a
+  /// live event is actually cancelled). O(1) amortised: the event is
+  /// tombstoned and skipped when popped.
   void cancel(std::uint64_t id);
 
   /// Run events until the queue is empty or the clock would pass `until`.
@@ -46,8 +53,8 @@ class EventQueue {
   /// Fire at most one event; returns false if the queue is empty.
   bool step();
 
-  bool empty() const { return live_count_ == 0; }
-  std::size_t pending() const { return live_count_; }
+  bool empty() const { return live_.empty(); }
+  std::size_t pending() const { return live_.size(); }
 
  private:
   struct Entry {
@@ -64,13 +71,15 @@ class EventQueue {
   };
 
   bool pop_one(Entry& out);
+  /// Advances the clock and fires `e` (shared tail of run/step).
+  void fire(const Entry& e);
 
   TimeUs now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_id_ = 1;
-  std::size_t live_count_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::vector<std::uint64_t> cancelled_;  // sorted ids pending skip
+  std::unordered_set<std::uint64_t> live_;  ///< ids pending in the heap
+  std::vector<std::uint64_t> cancelled_;    ///< sorted ids pending skip
 };
 
 }  // namespace wb::sim

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace wb::tag {
@@ -72,6 +73,9 @@ void Mcu::on_transition(TimeUs t, bool level) {
   // Every transition wakes the MCU briefly (this is the power cost the
   // preamble-detection mode is designed around).
   spend_active(params_.power.wake_us);
+  if (auto* m = obs::metrics()) {
+    m->counter("tag.mcu.wakeups_total").add(1);
+  }
 
   if (last_transition_ >= 0) {
     recent_intervals_.push_back(t - last_transition_);
@@ -115,6 +119,9 @@ void Mcu::enter_decode_mode(TimeUs payload_start) {
   bits_.reserve(params_.payload_bits);
   ++decode_entries_;
   recent_intervals_.clear();
+  if (auto* m = obs::metrics()) {
+    m->counter("tag.mcu.decode_entries_total").add(1);
+  }
 }
 
 std::optional<TimeUs> Mcu::next_sample_time() const {
@@ -137,6 +144,9 @@ void Mcu::on_sample(TimeUs t, bool level) {
     decoded_.push_back(McuDecodeResult{payload_start_, bits_});
     state_ = State::kPreambleDetect;
     last_transition_ = -1;
+    if (auto* m = obs::metrics()) {
+      m->counter("tag.mcu.frames_decoded_total").add(1);
+    }
   }
 }
 

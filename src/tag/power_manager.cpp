@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace wb::tag {
@@ -34,13 +35,27 @@ void PowerManager::account(TimeUs dt, double load_uw) {
   stored_uj_ = std::clamp(stored_uj_ + in - out, 0.0, capacity_uj_);
   update_brownout();
   WB_ENSURE(stored_uj_ >= 0.0 && stored_uj_ <= capacity_uj_);
+  if (auto* m = obs::metrics()) {
+    m->counter("tag.power.accounted_us").add(static_cast<std::uint64_t>(dt));
+    m->gauge("tag.power.harvested_uj").set(harvested_uj_);
+    m->gauge("tag.power.spent_uj").set(spent_uj_);
+    m->gauge("tag.power.stored_uj").set(stored_uj_);
+  }
 }
 
 void PowerManager::update_brownout() {
+  const bool was = browned_out_;
   if (browned_out_) {
     if (stored_fraction() >= params_.resume_fraction) browned_out_ = false;
   } else {
     if (stored_fraction() <= params_.brownout_fraction) browned_out_ = true;
+  }
+  if (browned_out_ != was) {
+    if (auto* m = obs::metrics()) {
+      m->counter(browned_out_ ? "tag.power.brownouts_total"
+                              : "tag.power.resumes_total")
+          .add(1);
+    }
   }
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace wb::wifi {
@@ -157,6 +158,13 @@ void DcfMac::run_until(TimeUs until) {
       pkt.nav_us = frame.nav_us;
       longest_air = std::max(longest_air, pkt.duration_us);
       log_.push_back(AirFrame{pkt, collision});
+      if (auto* m = obs::metrics()) {
+        m->counter("wifi.mac.tx_frames_total").add(1);
+        if (collision) m->counter("wifi.mac.collisions_total").add(1);
+        if (!collision && frame.is_cts) {
+          m->counter("wifi.mac.nav_reservations_total").add(1);
+        }
+      }
 
       if (collision) {
         ++s.stats.collisions;
@@ -168,6 +176,9 @@ void DcfMac::run_until(TimeUs until) {
           s.retries = 0;
           s.cw = kCwMin;
           pop_frame(s);
+          if (auto* m = obs::metrics()) {
+            m->counter("wifi.mac.drops_total").add(1);
+          }
         }
       } else {
         ++s.stats.delivered;
@@ -197,6 +208,10 @@ void DcfMac::run_until(TimeUs until) {
     }
     busy_until_ = tx_time + busy;
     airtime_total_ += busy;
+    if (auto* m = obs::metrics()) {
+      m->counter("wifi.mac.airtime_us")
+          .add(static_cast<std::uint64_t>(busy));
+    }
     now_ = busy_until_;
   }
 }

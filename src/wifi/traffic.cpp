@@ -3,10 +3,24 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace wb::wifi {
 namespace {
+
+/// Reports a freshly generated timeline to the installed metrics registry
+/// (wifi.traffic.*); returns it unchanged so makers can `return note(out)`.
+PacketTimeline note_generated(PacketTimeline out) {
+  if (auto* m = obs::metrics()) {
+    m->counter("wifi.traffic.packets_generated_total").add(out.size());
+    TimeUs air = 0;
+    for (const WifiPacket& p : out) air += p.duration_us;
+    m->counter("wifi.traffic.generated_airtime_us")
+        .add(static_cast<std::uint64_t>(air));
+  }
+  return out;
+}
 
 WifiPacket data_packet(TimeUs start, const TrafficParams& p,
                        std::uint64_t id) {
@@ -42,7 +56,7 @@ PacketTimeline make_cbr_timeline(double pps, TimeUs duration,
             [](const WifiPacket& a, const WifiPacket& b) {
               return a.start_us < b.start_us;
             });
-  return out;
+  return note_generated(std::move(out));
 }
 
 PacketTimeline make_poisson_timeline(double pps, TimeUs duration,
@@ -57,7 +71,7 @@ PacketTimeline make_poisson_timeline(double pps, TimeUs duration,
     out.push_back(data_packet(static_cast<TimeUs>(t), p, id++));
     t += rng.exponential(mean_gap_us);
   }
-  return out;
+  return note_generated(std::move(out));
 }
 
 PacketTimeline make_bursty_timeline(const BurstyParams& b, TimeUs duration,
@@ -85,7 +99,7 @@ PacketTimeline make_bursty_timeline(const BurstyParams& b, TimeUs duration,
     const double idle_ms = rng.pareto(b.pareto_alpha, idle_lo, idle_hi);
     t = burst_end + idle_ms * 1e3;
   }
-  return out;
+  return note_generated(std::move(out));
 }
 
 PacketTimeline make_beacon_timeline(double beacons_per_sec, TimeUs duration,
@@ -110,7 +124,7 @@ PacketTimeline make_beacon_timeline(double beacons_per_sec, TimeUs duration,
     pkt.duration_us = airtime_us(pkt.size_bytes, pkt.rate_mbps);
     out.push_back(pkt);
   }
-  return out;
+  return note_generated(std::move(out));
 }
 
 double office_load_pps(double hour_of_day) {
@@ -159,7 +173,7 @@ PacketTimeline make_office_timeline(double start_hour, TimeUs duration,
     }
     t = minute_end;
   }
-  return out;
+  return note_generated(std::move(out));
 }
 
 PacketTimeline make_ambient_mix_timeline(double pps, TimeUs duration,
@@ -229,7 +243,7 @@ PacketTimeline make_ambient_mix_timeline(double pps, TimeUs duration,
     }
     t += rng.exponential(mean_gap_us);
   }
-  return out;
+  return note_generated(std::move(out));
 }
 
 PacketTimeline merge_timelines(std::vector<PacketTimeline> timelines) {

@@ -1,0 +1,164 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace wb::obs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, SetAddMax) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(2.5);
+  EXPECT_EQ(g.value(), 2.5);
+  g.add(0.5);
+  EXPECT_EQ(g.value(), 3.0);
+  g.max_of(1.0);  // smaller: no change
+  EXPECT_EQ(g.value(), 3.0);
+  g.max_of(7.0);
+  EXPECT_EQ(g.value(), 7.0);
+}
+
+TEST(LogHistogram, EmptyIsAllZero) {
+  LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(50), 0.0);
+}
+
+TEST(LogHistogram, ExactMinMaxSumMean) {
+  LogHistogram h;
+  for (double v : {3.0, 1.0, 4.0, 1.0, 5.0}) h.record(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 14.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 5.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.8);
+}
+
+TEST(LogHistogram, PercentilesOfUniformRampWithinBucketError) {
+  // 1..1000 uniformly: p50 ~ 500, p95 ~ 950, p99 ~ 990. Log bucketing at 8
+  // buckets/octave guarantees ~<= 4.5% relative error at the midpoint; use
+  // 10% slack to stay robust.
+  LogHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i));
+  EXPECT_NEAR(h.percentile(50), 500.0, 50.0);
+  EXPECT_NEAR(h.percentile(95), 950.0, 95.0);
+  EXPECT_NEAR(h.percentile(99), 990.0, 99.0);
+}
+
+TEST(LogHistogram, PercentileClampedToExactExtremes) {
+  LogHistogram h;
+  h.record(123.0);
+  // A single sample: every percentile is that sample, not a bucket
+  // midpoint near it.
+  EXPECT_DOUBLE_EQ(h.percentile(0), 123.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 123.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 123.0);
+}
+
+TEST(LogHistogram, NonPositiveValuesLandInUnderflowBucket) {
+  LogHistogram h;
+  h.record(0.0);
+  h.record(-5.0);
+  h.record(1e-12);
+  EXPECT_EQ(h.count(), 3u);
+  // Percentiles remain finite and clamp to the exact recorded extremes.
+  EXPECT_DOUBLE_EQ(h.percentile(50), h.min());
+  EXPECT_DOUBLE_EQ(h.min(), -5.0);
+}
+
+TEST(LogHistogram, HugeValuesGoToOverflowBucket) {
+  LogHistogram h;
+  h.record(1e30);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.percentile(99), 1e30);  // clamped to exact max
+}
+
+TEST(LogHistogram, WideDynamicRangeKeepsRelativeAccuracy) {
+  LogHistogram h;
+  const std::vector<double> vals = {1e-6, 1e-3, 1.0, 1e3, 1e6};
+  for (double v : vals) h.record(v);
+  // Median of 5 = third value = 1.0 within bucket error.
+  EXPECT_NEAR(h.percentile(50), 1.0, 0.1);
+}
+
+TEST(MetricsRegistry, SameNameReturnsSameInstrument) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("m.x.total");
+  Counter& b = reg.counter("m.x.total");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+  // Distinct kinds with distinct names coexist.
+  reg.gauge("m.x.level_count").set(2.0);
+  reg.histogram("m.x.wall_us").record(10.0);
+  EXPECT_EQ(&reg.gauge("m.x.level_count"), &reg.gauge("m.x.level_count"));
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedAndComplete) {
+  MetricsRegistry reg;
+  reg.counter("b.y.total").add(2);
+  reg.counter("a.x.total").add(1);
+  reg.gauge("c.z.ratio").set(0.5);
+  auto& h = reg.histogram("d.w.wall_us");
+  for (int i = 1; i <= 100; ++i) h.record(static_cast<double>(i));
+
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "a.x.total");
+  EXPECT_EQ(snap.counters[0].second, 1u);
+  EXPECT_EQ(snap.counters[1].first, "b.y.total");
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].second, 0.5);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const auto& hs = snap.histograms[0].second;
+  EXPECT_EQ(hs.count, 100u);
+  EXPECT_DOUBLE_EQ(hs.min, 1.0);
+  EXPECT_DOUBLE_EQ(hs.max, 100.0);
+  EXPECT_NEAR(hs.p50, 50.0, 5.0);
+}
+
+TEST(GlobalRegistry, OffByDefaultAndScopedInstall) {
+  EXPECT_EQ(metrics(), nullptr);
+  MetricsRegistry reg;
+  {
+    ScopedMetrics scope(reg);
+    ASSERT_EQ(metrics(), &reg);
+    metrics()->counter("t.scope.total").add(1);
+    // Nesting restores the outer registry, not null.
+    MetricsRegistry inner;
+    {
+      ScopedMetrics inner_scope(inner);
+      EXPECT_EQ(metrics(), &inner);
+    }
+    EXPECT_EQ(metrics(), &reg);
+  }
+  EXPECT_EQ(metrics(), nullptr);
+  EXPECT_EQ(reg.snapshot().counters.size(), 1u);
+}
+
+TEST(GlobalRegistry, DisabledPathIsANoop) {
+  // The guard idiom used at every instrumentation site must simply skip.
+  ASSERT_EQ(metrics(), nullptr);
+  if (auto* m = metrics()) {
+    m->counter("never.reached.total").add(1);
+    FAIL();
+  }
+}
+
+}  // namespace
+}  // namespace wb::obs

@@ -1,0 +1,151 @@
+// End-to-end observability: a full query/response round trip through
+// WiFiBackscatterSystem must populate metrics from every pipeline layer
+// and stitch a coherent protocol trace.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/bits.h"
+
+namespace wb {
+namespace {
+
+std::uint64_t counter_value(const obs::MetricsRegistry::Snapshot& snap,
+                            const std::string& name) {
+  for (const auto& [k, v] : snap.counters) {
+    if (k == name) return v;
+  }
+  return 0;
+}
+
+TEST(ObsSystem, QueryRoundTripPopulatesMetricsAcrossLayers) {
+  core::SystemConfig cfg;
+  cfg.tag_reader_distance_m = 0.2;
+  cfg.helper_pps = 3'000.0;
+  cfg.seed = 5;
+
+  obs::MetricsRegistry reg;
+  core::QueryOutcome outcome;
+  {
+    obs::ScopedMetrics scope(reg);
+    core::WiFiBackscatterSystem system(cfg);
+    core::Query q;
+    q.tag_address = 3;
+    q.command = core::kCmdReadSensor;
+    outcome = system.query(q, random_bits(24, 9));
+  }
+  ASSERT_TRUE(outcome.success());
+
+  const auto snap = reg.snapshot();
+  // Protocol layer.
+  EXPECT_EQ(counter_value(snap, "core.system.queries_total"), 1u);
+  EXPECT_EQ(counter_value(snap, "core.system.query_success_total"), 1u);
+  EXPECT_EQ(counter_value(snap, "core.system.downlink_attempts_total"),
+            outcome.downlink.attempts);
+  EXPECT_GT(counter_value(snap, "core.system.uplink_bits_delivered_total"),
+            0u);
+  // Downlink leg: encoder, tag detector/MCU.
+  EXPECT_GT(counter_value(snap, "reader.downlink.slots_encoded_total"), 0u);
+  EXPECT_GT(counter_value(snap, "core.downlink.slots_probed_total"), 0u);
+  EXPECT_GT(counter_value(snap, "tag.mcu.wakeups_total"), 0u);
+  EXPECT_GT(counter_value(snap, "tag.mcu.frames_decoded_total"), 0u);
+  // Uplink leg: channel, traffic, conditioning, decoder.
+  EXPECT_GT(counter_value(snap, "phy.channel.responses_total"), 0u);
+  EXPECT_GT(counter_value(snap, "wifi.traffic.packets_generated_total"), 0u);
+  EXPECT_GT(counter_value(snap, "reader.conditioning.packets_total"), 0u);
+  EXPECT_GT(counter_value(snap, "reader.uplink.decodes_total"), 0u);
+  EXPECT_GT(counter_value(snap, "reader.uplink.bits_decoded_total"), 0u);
+  // Rate control ran.
+  EXPECT_GT(counter_value(snap, "core.rate_control.choices_total"), 0u);
+  // Energy accounting flowed up.
+  bool found_energy = false;
+  for (const auto& [k, v] : snap.gauges) {
+    if (k == "core.system.tag_energy_uj") {
+      found_energy = true;
+      EXPECT_GT(v, 0.0);
+    }
+  }
+  EXPECT_TRUE(found_energy);
+  // Wall-clock decode timing got recorded.
+  bool found_timer = false;
+  for (const auto& [k, h] : snap.histograms) {
+    if (k == "reader.uplink.decode_wall_us") {
+      found_timer = true;
+      EXPECT_GT(h.count, 0u);
+      EXPECT_GT(h.p50, 0.0);
+    }
+  }
+  EXPECT_TRUE(found_timer);
+}
+
+TEST(ObsSystem, QueryTraceStitchesLegsOntoOneTimeline) {
+  core::SystemConfig cfg;
+  cfg.tag_reader_distance_m = 0.2;
+  cfg.helper_pps = 3'000.0;
+  cfg.seed = 5;
+
+  obs::Tracer tracer;
+  {
+    obs::ScopedTracer scope(tracer);
+    core::WiFiBackscatterSystem system(cfg);
+    core::Query q;
+    q.tag_address = 3;
+    q.command = core::kCmdReadSensor;
+    (void)system.query(q, random_bits(24, 9));
+  }
+  EXPECT_GT(tracer.num_events(), 0u);
+  const std::string json = tracer.to_json();
+  // The protocol lane carries the outer spans; inner lanes carry the legs.
+  EXPECT_NE(json.find("\"downlink_query\""), std::string::npos);
+  EXPECT_NE(json.find("\"uplink_response\""), std::string::npos);
+  EXPECT_NE(json.find("\"downlink_listen\""), std::string::npos);
+  EXPECT_NE(json.find("\"uplink_frame\""), std::string::npos);
+  // Offset restored after query() completes.
+  EXPECT_EQ(tracer.offset(), 0);
+}
+
+TEST(ObsSystem, MetricsOffIsStillSuccessful) {
+  ASSERT_EQ(obs::metrics(), nullptr);
+  ASSERT_EQ(obs::tracer(), nullptr);
+  core::SystemConfig cfg;
+  cfg.tag_reader_distance_m = 0.2;
+  cfg.helper_pps = 3'000.0;
+  cfg.seed = 5;
+  core::WiFiBackscatterSystem system(cfg);
+  core::Query q;
+  q.tag_address = 3;
+  q.command = core::kCmdReadSensor;
+  const auto outcome = system.query(q, random_bits(24, 9));
+  EXPECT_TRUE(outcome.success());
+}
+
+TEST(ObsSystem, SameSeedSameOutcomeWithAndWithoutMetrics) {
+  // Observability must not perturb simulation results.
+  core::SystemConfig cfg;
+  cfg.tag_reader_distance_m = 0.2;
+  cfg.helper_pps = 3'000.0;
+  cfg.seed = 11;
+  core::Query q;
+  q.tag_address = 3;
+  q.command = core::kCmdReadSensor;
+  const BitVec data = random_bits(24, 9);
+
+  core::WiFiBackscatterSystem plain(cfg);
+  const auto without = plain.query(q, data);
+
+  obs::MetricsRegistry reg;
+  obs::ScopedMetrics scope(reg);
+  core::WiFiBackscatterSystem observed(cfg);
+  const auto with = observed.query(q, data);
+
+  EXPECT_EQ(without.success(), with.success());
+  EXPECT_EQ(without.downlink.attempts, with.downlink.attempts);
+  EXPECT_EQ(without.uplink.bit_errors, with.uplink.bit_errors);
+  EXPECT_EQ(without.uplink.data, with.uplink.data);
+}
+
+}  // namespace
+}  // namespace wb

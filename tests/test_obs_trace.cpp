@@ -1,0 +1,133 @@
+#include "obs/trace.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+
+namespace wb::obs {
+namespace {
+
+TEST(Json, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("a\x01z")), "a\\u0001z");
+}
+
+TEST(Json, NumbersAreFiniteOrNull) {
+  EXPECT_EQ(json_number(1.5), "1.5");
+  EXPECT_EQ(json_number(0.0), "0");
+  EXPECT_EQ(json_number(std::nan("")), "null");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(Tracer, LanesAreStableAndNamed) {
+  Tracer t;
+  const int a = t.lane("uplink");
+  const int b = t.lane("downlink");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(t.lane("uplink"), a);
+}
+
+TEST(Tracer, EventsAppearInJson) {
+  Tracer t;
+  const int lane = t.lane("protocol");
+  t.complete(lane, "query", "core", 100, 50, {{"attempt", 1.0}});
+  t.instant(lane, "decoded", "tag", 160);
+  t.counter("depth", 10, 3.0);
+  EXPECT_EQ(t.num_events(), 3u);
+
+  const std::string json = t.to_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"query\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":50"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"protocol\""), std::string::npos);
+  EXPECT_NE(json.find("\"attempt\":1"), std::string::npos);
+}
+
+TEST(Tracer, JsonIsStructurallyBalanced) {
+  // Cheap well-formedness check without a parser: balanced braces and
+  // brackets, and no raw control characters inside the output.
+  Tracer t;
+  const int lane = t.lane("lane \"quoted\"\n");
+  t.complete(lane, "evil\tname", "cat", 0, 1);
+  const std::string json = t.to_json();
+  int braces = 0, brackets = 0;
+  bool in_string = false, escaped = false;
+  for (const char c : json) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (c == '\\') {
+      escaped = true;
+      continue;
+    }
+    if (c == '"') in_string = !in_string;
+    if (in_string) {
+      EXPECT_GE(static_cast<unsigned char>(c), 0x20) << "raw control char";
+      continue;
+    }
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_FALSE(in_string);
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(Tracer, OffsetShiftsTimestamps) {
+  Tracer t;
+  const int lane = t.lane("l");
+  ScopedTracer scope(t);
+  {
+    ScopedTraceOffset shift(1'000);
+    tracer()->complete(lane, "inner", "c", 10, 5);
+    {
+      ScopedTraceOffset nested(100);
+      tracer()->instant(lane, "nested", "c", 1);
+    }
+  }
+  tracer()->instant(lane, "outer", "c", 7);
+  const std::string json = t.to_json();
+  EXPECT_NE(json.find("\"ts\":1010"), std::string::npos);  // 10 + 1000
+  EXPECT_NE(json.find("\"ts\":1101"), std::string::npos);  // 1 + 1100
+  EXPECT_NE(json.find("\"ts\":7"), std::string::npos);     // offset restored
+}
+
+TEST(Tracer, GlobalOffByDefaultAndOffsetNoopWhenOff) {
+  EXPECT_EQ(tracer(), nullptr);
+  ScopedTraceOffset shift(500);  // must not crash with no tracer installed
+  EXPECT_EQ(tracer(), nullptr);
+}
+
+TEST(Tracer, WriteJsonRoundTrip) {
+  Tracer t;
+  t.complete(t.lane("x"), "e", "c", 0, 2);
+  const std::string path = ::testing::TempDir() + "wb_trace_test.json";
+  ASSERT_TRUE(t.write_json(path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[4096];
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  buf[n] = '\0';
+  EXPECT_EQ(std::string(buf), t.to_json());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace wb::obs

@@ -138,5 +138,58 @@ TEST(EventQueue, CancelFromInsideHandler) {
   EXPECT_FALSE(second_fired);
 }
 
+TEST(EventQueue, CancelAfterFireKeepsAccountingCorrect) {
+  // Regression: cancelling an id that already fired used to corrupt the
+  // live count, making pending() wrap and empty() lie.
+  EventQueue q;
+  const auto id = q.schedule_at(10, [] {});
+  q.run_all();
+  EXPECT_TRUE(q.empty());
+  q.cancel(id);  // must be a no-op
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pending(), 0u);
+  q.schedule_at(20, [] {});
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_EQ(q.run_all(), 1u);
+}
+
+TEST(EventQueue, CancelAfterTombstoneConsumedIsNoop) {
+  // Regression: once run_all() consumed the tombstone, a second cancel of
+  // the same id passed the tombstone-presence guard and double-decremented
+  // the pending count.
+  EventQueue q;
+  const auto id = q.schedule_at(10, [] { FAIL(); });
+  q.cancel(id);
+  q.run_all();  // consumes the tombstone
+  q.cancel(id);  // must be a no-op
+  q.cancel(id);
+  EXPECT_EQ(q.pending(), 0u);
+  bool fired = false;
+  q.schedule_at(30, [&] { fired = true; });
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_FALSE(q.empty());
+  q.run_all();
+  EXPECT_TRUE(fired);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, PendingTracksLiveEventsOnly) {
+  EventQueue q;
+  const auto a = q.schedule_at(10, [] {});
+  const auto b = q.schedule_at(20, [] {});
+  q.schedule_at(30, [] {});
+  EXPECT_EQ(q.pending(), 3u);
+  q.cancel(a);
+  EXPECT_EQ(q.pending(), 2u);
+  q.cancel(a);  // repeat: no effect
+  EXPECT_EQ(q.pending(), 2u);
+  q.run_until(20);
+  EXPECT_EQ(q.pending(), 1u);
+  q.cancel(b);  // already fired: no effect
+  EXPECT_EQ(q.pending(), 1u);
+  q.run_all();
+  EXPECT_EQ(q.pending(), 0u);
+}
+
 }  // namespace
 }  // namespace wb::sim

@@ -16,6 +16,12 @@ unit-suffix       public-API scalar parameters in src/phy/ and src/reader/
                   ...). TimeUs parameters must end in _us; double parameters
                   whose names say they are physical quantities (power, freq,
                   duration, loss, ...) must name their unit.
+metric-name       metric names passed to counter()/gauge()/histogram() in
+                  src/ are lowercase dotted `module.subsystem.name` (at
+                  least three segments) and end in a unit suffix (_total,
+                  _count, _us, _uj, _bps, _ratio, ...), so dashboards can
+                  group by module and interpret values without a data
+                  dictionary.
 """
 from __future__ import annotations
 
@@ -46,9 +52,26 @@ PHYSICAL_STEMS = (
     "distance", "dist",
 )
 
+# Unit suffixes accepted at the end of a metric name (wb::obs convention:
+# the last path segment says what is being counted/measured).
+METRIC_UNIT_SUFFIXES = (
+    "_total", "_count",                    # event / object counts
+    "_us", "_ns", "_s",                    # time
+    "_uj", "_j",                           # energy
+    "_uw", "_mw", "_w",                    # power
+    "_bps", "_pps", "_hz",                 # rates
+    "_bits", "_bytes",                     # sizes
+    "_ratio", "_pct",                      # dimensionless
+    "_db", "_dbm", "_m",                   # physical
+)
 
-def strip_comments_and_strings(text: str) -> str:
-    """Blank out comments and string/char literals, preserving line numbers."""
+
+def strip_comments_and_strings(text: str, keep_strings: bool = False) -> str:
+    """Blank out comments and string/char literals, preserving line numbers.
+
+    With keep_strings=True only comments are blanked; literal contents stay
+    (used by rules that inspect string arguments, e.g. metric-name).
+    """
     out: list[str] = []
     i, n = 0, len(text)
     while i < n:
@@ -73,7 +96,10 @@ def strip_comments_and_strings(text: str) -> str:
             while j < n and text[j] != c:
                 j += 2 if text[j] == "\\" else 1
             j = min(j + 1, n)
-            out.append(c + " " * (j - i - 2) + (c if j - i >= 2 else ""))
+            if keep_strings:
+                out.append(text[i:j])
+            else:
+                out.append(c + " " * (j - i - 2) + (c if j - i >= 2 else ""))
             i = j
         else:
             out.append(c)
@@ -133,14 +159,38 @@ class Linter:
                                 "quantity but not its unit (expected one of "
                                 + ", ".join(UNIT_SUFFIXES) + ")")
 
+    # Direct string-literal first argument of an instrument lookup. Computed
+    # names (ternaries, concatenation) are rare and checked by eye.
+    METRIC_CALL_RE = re.compile(
+        r"\b(?:counter|gauge|histogram)\s*\(\s*\"([^\"]*)\"")
+    METRIC_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(?:\.[a-z][a-z0-9_]*){2,}$")
+
+    def check_metric_names(self, path: Path, code_with_strings: str) -> None:
+        for m in self.METRIC_CALL_RE.finditer(code_with_strings):
+            name = m.group(1)
+            line = line_of(code_with_strings, m.start())
+            if not self.METRIC_NAME_RE.match(name):
+                self.report(path, line, "metric-name",
+                            f'metric "{name}" must be lowercase dotted '
+                            "`module.subsystem.name` with at least three "
+                            "segments")
+            elif not name.endswith(METRIC_UNIT_SUFFIXES):
+                self.report(path, line, "metric-name",
+                            f'metric "{name}" must end in a unit suffix '
+                            "(one of " + ", ".join(METRIC_UNIT_SUFFIXES)
+                            + ")")
+
     # ---- driver ----
 
     def run(self) -> int:
         headers = sorted(SRC.rglob("*.h"))
         sources = sorted(SRC.rglob("*.cpp"))
         for path in headers + sources:
-            code = strip_comments_and_strings(path.read_text())
+            text = path.read_text()
+            code = strip_comments_and_strings(text)
             self.check_no_rand(path, code)
+            self.check_metric_names(
+                path, strip_comments_and_strings(text, keep_strings=True))
             if path.suffix == ".h":
                 self.check_pragma_once(path, code)
                 self.check_using_namespace(path, code)
