@@ -5,10 +5,16 @@
 // tries 100/200/500/1000 bps and the achievable rate is the largest with
 // BER below 1e-2. Expected: ~100 bps at 500 pkt/s, ~1 kbps at ~3000 pkt/s
 // (rate scales like helper_rate / packets-per-bit).
+//
+// One wb::runner task per helper rate (--threads N); per-point seeds are
+// fixed up front, so output is bit-identical at any thread count.
 #include <cstdio>
+
+#include <vector>
 
 #include "bench_util.h"
 #include "core/experiments.h"
+#include "runner/sweep.h"
 
 int main(int argc, char** argv) {
   using namespace wb;
@@ -19,10 +25,11 @@ int main(int argc, char** argv) {
       argc, argv, "fig12",
       "Achievable uplink bit rate vs helper transmission rate");
 
-  const double helper_rates[] = {240,  500,  750,  1000, 1500,
-                                 2000, 2500, 3070};
-  std::printf("%-16s  %20s\n", "helper (pkt/s)", "achievable rate (bps)");
-  bench::print_row_divider();
+  const std::vector<double> helper_rates = {240,  500,  750,  1000,
+                                            1500, 2000, 2500, 3070};
+  // One task per helper rate; parameters (and the legacy seed formula)
+  // fixed before execution.
+  std::vector<core::UplinkExperimentParams> grid;
   for (double pps : helper_rates) {
     core::UplinkExperimentParams p;
     p.tag_reader_distance_m = 0.05;
@@ -30,12 +37,22 @@ int main(int argc, char** argv) {
     p.runs = runs;
     p.payload_bits = 48;
     p.seed = 2100 + static_cast<std::uint64_t>(pps);
-    const double rate = core::achievable_bit_rate(p);
-    std::printf("%-16.0f  %20.0f\n", pps, rate);
+    grid.push_back(p);
+  }
+
+  runner::SweepRunner sweep({bench::threads_arg(argc, argv)});
+  const auto res =
+      sweep.run(grid.size(), [&grid](const runner::TaskContext& ctx) {
+        return core::achievable_bit_rate(grid[ctx.task_index]);
+      });
+
+  std::printf("%-16s  %20s\n", "helper (pkt/s)", "achievable rate (bps)");
+  bench::print_row_divider();
+  for (std::size_t i = 0; i < helper_rates.size(); ++i) {
+    std::printf("%-16.0f  %20.0f\n", helper_rates[i], res.results[i]);
     report.add_row("operating_point")
-        .set("helper_pps", pps)
-        .set("achievable_bps", rate);
-    std::fflush(stdout);
+        .set("helper_pps", helper_rates[i])
+        .set("achievable_bps", res.results[i]);
   }
   std::printf(
       "\nPaper reference: ~100 bps at 500 pkt/s rising to ~1 kbps at\n"

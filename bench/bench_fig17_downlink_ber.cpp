@@ -2,95 +2,72 @@
 // the tag, for packet lengths of 50/100/200 us (20/10/5 kbps).
 //
 // Paper setup (§8.1): 200 kbit per point across multiple transmissions at
-// +16 dBm; bits measured at the tag's detector output.
+// +16 dBm; bits measured at the tag's detector output. The measurement
+// loop itself lives in core::measure_downlink_ber (shared with the CLI).
 //
 // Expected shape: BER grows with distance and with bit rate; at BER 1e-2
 // the 20 kbps link reaches ~2.1 m and 10 kbps ~2.9 m.
+//
+// The 42-point grid runs on wb::runner (--threads N); per-point seeds are
+// fixed at expansion time, so output is bit-identical at any thread count.
 #include <cstdio>
 
+#include <string>
+#include <vector>
+
 #include "bench_util.h"
-#include "core/downlink_sim.h"
-#include "core/frame.h"
-#include "reader/downlink_encoder.h"
-#include "util/stats.h"
-
-namespace {
-
-double measure_downlink_ber(double distance_m, wb::TimeUs slot_us,
-                            std::size_t total_bits, std::uint64_t seed) {
-  using namespace wb;
-  BerCounter ber;
-  // Transmit in bursts the size of one NAV reservation, with the preamble
-  // bits prepended so the peak detector charges the way it would in a real
-  // message (the preamble starts with packets on the air).
-  reader::DownlinkEncoderConfig enc_cfg;
-  enc_cfg.slot_us = slot_us;
-  reader::DownlinkEncoder encoder(enc_cfg);
-
-  const std::size_t burst_bits =
-      std::min<std::size_t>(enc_cfg.bits_per_chunk(), 600);
-  std::size_t sent = 0;
-  std::uint64_t round = 0;
-  while (sent < total_bits) {
-    const std::size_t n = std::min(burst_bits, total_bits - sent);
-    BitVec message = core::downlink_preamble();
-    const BitVec data = random_bits(n, seed + round);
-    message.insert(message.end(), data.begin(), data.end());
-    const auto tx = encoder.encode(message, /*start_us=*/500);
-
-    core::DownlinkSimConfig cfg;
-    cfg.reader_tag_distance_m = distance_m;
-    cfg.mcu.bit_duration_us = slot_us;
-    cfg.seed = seed * 0x9e3779b9ull + round;
-    core::DownlinkSim sim(cfg);
-    const auto report = sim.run(tx, /*ambient=*/{}, tx.end_us + 1'000);
-
-    // Compare detector slot decisions against the transmitted bits.
-    BitVec truth;
-    truth.reserve(tx.slots.size());
-    for (const auto& s : tx.slots) truth.push_back(s.bit);
-    ber.add(truth, report.slot_levels);
-    sent += n;
-    ++round;
-  }
-  return ber.ber_floored();
-}
-
-}  // namespace
+#include "core/experiments.h"
+#include "runner/sweep.h"
 
 int main(int argc, char** argv) {
-  const bool quick = wb::bench::quick_mode(argc, argv);
-  const std::size_t total_bits = quick ? 4'000 : 50'000;
-  wb::bench::print_header("Figure 17",
-                          "Downlink BER vs distance (reader at +16 dBm)");
-  wb::bench::BenchReport report(
+  using namespace wb;
+  const bool quick = bench::quick_mode(argc, argv);
+  bench::print_header("Figure 17",
+                      "Downlink BER vs distance (reader at +16 dBm)");
+  bench::BenchReport report(
       argc, argv, "fig17", "Downlink BER vs distance (reader at +16 dBm)");
-  struct Rate {
-    wb::TimeUs slot_us;
-    const char* label;
-  };
-  const Rate rates[] = {{50, "20 kbps"}, {100, "10 kbps"}, {200, "5 kbps"}};
-  const double distances_cm[] = {25,  50,  75,  100, 125, 150, 175,
-                                 200, 225, 250, 275, 300, 325, 350};
+
+  const char* rate_labels[] = {"20 kbps", "10 kbps", "5 kbps"};
+  const std::vector<double> distances_cm = {25,  50,  75,  100, 125,
+                                            150, 175, 200, 225, 250,
+                                            275, 300, 325, 350};
+  core::DownlinkGridSpec spec;
+  spec.base.total_bits = quick ? 4'000 : 50'000;
+  spec.slot_durations_us = {50, 100, 200};
+  for (double cm : distances_cm) spec.distances_m.push_back(cm / 100.0);
+  auto grid = core::expand_downlink_grid(spec);
+  // Legacy per-point seed formula (1234 + cm + slot_us), so numbers match
+  // the pre-runner serial loop byte for byte.
+  const std::size_t n_rates = spec.slot_durations_us.size();
+  for (auto& pt : grid) {
+    const double cm = distances_cm[pt.index / n_rates];
+    pt.params.seed = 1234 + static_cast<std::uint64_t>(cm) + pt.slot_us;
+  }
+
+  runner::SweepRunner sweep({bench::threads_arg(argc, argv)});
+  const auto res =
+      sweep.run(grid.size(), [&grid](const runner::TaskContext& ctx) {
+        return core::measure_downlink_ber(grid[ctx.task_index].params);
+      });
 
   std::printf("%-14s", "distance(cm)");
-  for (const auto& r : rates) std::printf("  %10s", r.label);
+  for (const char* label : rate_labels) std::printf("  %10s", label);
   std::printf("\n");
-  wb::bench::print_row_divider();
-  for (double cm : distances_cm) {
-    std::printf("%-14.0f", cm);
-    auto& row = report.add_row("distance_point").set("distance_cm", cm);
-    for (const auto& r : rates) {
-      const double ber = measure_downlink_ber(
-          cm / 100.0, r.slot_us, total_bits,
-          1234 + static_cast<std::uint64_t>(cm) + r.slot_us);
+  bench::print_row_divider();
+  for (std::size_t d = 0; d < distances_cm.size(); ++d) {
+    std::printf("%-14.0f", distances_cm[d]);
+    auto& row =
+        report.add_row("distance_point").set("distance_cm", distances_cm[d]);
+    for (std::size_t r = 0; r < n_rates; ++r) {
+      const double ber = res.results[d * n_rates + r].ber;
       std::printf("  %10.2e", ber);
-      row.set(std::string("ber_") +
-                  std::to_string(static_cast<long long>(r.slot_us)) + "us",
+      row.set("ber_" +
+                  std::to_string(static_cast<long long>(
+                      spec.slot_durations_us[r])) +
+                  "us",
               ber);
     }
     std::printf("\n");
-    std::fflush(stdout);
   }
   std::printf(
       "\nPaper reference: at BER 1e-2, 20 kbps reaches ~2.13 m and 10 kbps\n"

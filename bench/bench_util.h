@@ -1,35 +1,44 @@
 // Shared helpers for the figure-reproduction benches: consistent table
-// printing so bench output reads like the paper's figures, CLI parsing for
-// --quick runs, and an optional machine-readable JSON sink (--json-out,
-// backed by obs::RunReport) alongside the human table.
+// printing so bench output reads like the paper's figures, flag parsing
+// (one util::Args scanner instead of per-binary strcmp loops), and an
+// optional machine-readable JSON sink (--json-out, backed by
+// obs::RunReport) alongside the human table.
+//
+// Flags every bench understands:
+//   --quick          shrink run counts so the whole suite stays fast
+//   --json-out FILE  write the obs::RunReport twin of the printed table
+//   --threads N      sweep worker threads (default: hardware concurrency;
+//                    1 = serial). Sweep output is bit-identical at any N.
 #pragma once
 
 #include <cstdio>
-#include <cstring>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "runner/thread_pool.h"
+#include "util/args.h"
 
 namespace wb::bench {
 
 /// True if argv contains --quick (benches then shrink run counts so the
 /// whole suite stays fast; full fidelity is the default).
 inline bool quick_mode(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) return true;
-  }
-  return false;
+  return util::Args(argc, argv).flag("--quick");
 }
 
 /// Value of `--json-out FILE`, or "" when not given.
 inline std::string json_out_path(int argc, char** argv) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--json-out") == 0) return argv[i + 1];
-  }
-  return "";
+  return util::Args(argc, argv).str("--json-out");
+}
+
+/// Value of `--threads N` (0 and absent both mean "the hardware's
+/// concurrency"; 1 preserves the exact serial execution path).
+inline unsigned threads_arg(int argc, char** argv) {
+  const auto n = util::Args(argc, argv).u64("--threads", 0);
+  return n == 0 ? runner::default_threads() : static_cast<unsigned>(n);
 }
 
 /// Print a figure header in a uniform style.
@@ -47,13 +56,18 @@ inline void print_row_divider() {
 /// per table line, and finish() writes an obs::RunReport JSON file when
 /// --json-out was given (a no-op otherwise, so the human table stays the
 /// default interface).
+///
+/// Deliberately NOT in the report: the thread count. Sweep JSON must be
+/// byte-identical across --threads values (that is the determinism
+/// contract ctest enforces), so nothing scheduling-dependent may appear
+/// in it.
 class BenchReport {
  public:
   BenchReport(int argc, char** argv, const char* fig, const char* title)
       : path_(json_out_path(argc, argv)) {
     report_.set_meta("figure", fig);
     report_.set_meta("title", title);
-    report_.set_meta("quick", quick_mode(argc, argv) ? 1.0 : 0.0);
+    report_.set_meta("quick", quick_mode(argc, argv));
   }
 
   obs::RunReport::Row& add_row(std::string_view name) {

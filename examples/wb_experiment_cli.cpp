@@ -9,18 +9,24 @@
 //   wb_experiment_cli trace    [--distance M] [--packets N] --out FILE
 //   wb_experiment_cli query    [--distance M] [--helper-pps N]
 //                              [--queries N] [--ack] [--seed N]
+//   wb_experiment_cli sweep    [--distances-cm A,B,...]
+//                              [--pkts-per-bit A,B,...] [--helper-pps N]
+//                              [--runs N] [--seed N] [--rssi]
+//                              [--threads N] [--json-out FILE]
 //
 // `trace` writes a capture CSV (an alternating-bit tag) that external
 // tools — or `read_capture_csv` — can consume. `query` drives full
 // request-response round trips through the discrete-event scheduler.
+// `sweep` expands a distance × packets-per-bit grid and runs it on
+// wb::runner worker threads (default: hardware concurrency), emitting one
+// obs::RunReport for the whole grid — rows in grid order, per-task
+// metrics merged in task order, bit-identical output at any --threads.
 //
 // Observability (any mode):
 //   --metrics-out FILE   write a JSON run report with every wb::obs metric
 //   --trace-out FILE     write Chrome trace_event JSON (open in
 //                        chrome://tracing or https://ui.perfetto.dev)
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <memory>
 #include <string>
 
@@ -31,9 +37,10 @@
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
-#include "reader/downlink_encoder.h"
+#include "runner/sweep.h"
 #include "sim/event_queue.h"
 #include "tag/modulator.h"
+#include "util/args.h"
 #include "util/stats.h"
 #include "wifi/trace_io.h"
 
@@ -41,36 +48,14 @@ namespace {
 
 using namespace wb;
 
-double arg_double(int argc, char** argv, const char* name, double dflt) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], name) == 0) return std::atof(argv[i + 1]);
-  }
-  return dflt;
-}
-
-const char* arg_string(int argc, char** argv, const char* name,
-                       const char* dflt) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
-  }
-  return dflt;
-}
-
-bool arg_flag(int argc, char** argv, const char* name) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], name) == 0) return true;
-  }
-  return false;
-}
-
-int run_uplink(int argc, char** argv) {
+int run_uplink(const util::Args& args) {
   core::UplinkExperimentParams p;
-  p.tag_reader_distance_m = arg_double(argc, argv, "--distance", 0.3);
-  p.packets_per_bit = arg_double(argc, argv, "--pkts-per-bit", 30.0);
-  p.helper_pps = arg_double(argc, argv, "--helper-pps", 3'000.0);
-  p.runs = static_cast<std::size_t>(arg_double(argc, argv, "--runs", 10));
-  p.seed = static_cast<std::uint64_t>(arg_double(argc, argv, "--seed", 1));
-  if (arg_flag(argc, argv, "--rssi")) {
+  p.tag_reader_distance_m = args.num("--distance", 0.3);
+  p.packets_per_bit = args.num("--pkts-per-bit", 30.0);
+  p.helper_pps = args.num("--helper-pps", 3'000.0);
+  p.runs = args.size("--runs", 10);
+  p.seed = args.u64("--seed", 1);
+  if (args.flag("--rssi")) {
     p.source = reader::MeasurementSource::kRssi;
   }
   const auto m = core::measure_uplink_ber(p);
@@ -86,14 +71,13 @@ int run_uplink(int argc, char** argv) {
   return 0;
 }
 
-int run_coded(int argc, char** argv) {
+int run_coded(const util::Args& args) {
   core::CodedExperimentParams p;
-  p.tag_reader_distance_m = arg_double(argc, argv, "--distance", 1.6);
-  p.code_length =
-      static_cast<std::size_t>(arg_double(argc, argv, "--length", 20));
-  p.runs = static_cast<std::size_t>(arg_double(argc, argv, "--runs", 5));
-  p.packets_per_chip = arg_double(argc, argv, "--pkts-per-chip", 2.0);
-  p.seed = static_cast<std::uint64_t>(arg_double(argc, argv, "--seed", 1));
+  p.tag_reader_distance_m = args.num("--distance", 1.6);
+  p.code_length = args.size("--length", 20);
+  p.runs = args.size("--runs", 5);
+  p.packets_per_chip = args.num("--pkts-per-chip", 2.0);
+  p.seed = args.u64("--seed", 1);
   const auto m = core::measure_coded_uplink_ber(p);
   std::printf("coded uplink @ %.0f cm, L=%zu, %.0f pkt/chip\n",
               p.tag_reader_distance_m * 100, p.code_length,
@@ -103,51 +87,27 @@ int run_coded(int argc, char** argv) {
   return 0;
 }
 
-int run_downlink(int argc, char** argv) {
-  const double distance = arg_double(argc, argv, "--distance", 1.5);
-  const auto slot_us = static_cast<TimeUs>(
-      arg_double(argc, argv, "--slot-us", 50));
-  const auto bits = static_cast<std::size_t>(
-      arg_double(argc, argv, "--bits", 20'000));
-
-  reader::DownlinkEncoderConfig enc_cfg;
-  enc_cfg.slot_us = slot_us;
-  reader::DownlinkEncoder encoder(enc_cfg);
-  BerCounter ber;
-  std::size_t sent = 0;
-  std::uint64_t round = 0;
-  while (sent < bits) {
-    const std::size_t n =
-        std::min<std::size_t>(500, bits - sent);
-    BitVec message = core::downlink_preamble();
-    const BitVec data = random_bits(n, 33 + round);
-    message.insert(message.end(), data.begin(), data.end());
-    const auto tx = encoder.encode(message, 500);
-    core::DownlinkSimConfig cfg;
-    cfg.reader_tag_distance_m = distance;
-    cfg.mcu.bit_duration_us = slot_us;
-    cfg.seed = 77 + round;
-    core::DownlinkSim sim(cfg);
-    const auto rep = sim.run(tx, {}, tx.end_us + 1'000);
-    BitVec truth;
-    for (const auto& s : tx.slots) truth.push_back(s.bit);
-    ber.add(truth, rep.slot_levels);
-    sent += n;
-    ++round;
-  }
+int run_downlink(const util::Args& args) {
+  core::DownlinkExperimentParams p;
+  p.reader_tag_distance_m = args.num("--distance", 1.5);
+  p.slot_us = static_cast<TimeUs>(args.num("--slot-us", 50));
+  p.total_bits = args.size("--bits", 20'000);
+  p.max_burst_bits = 500;
+  p.seed = args.u64("--seed", 33);
+  const auto m = core::measure_downlink_ber(p);
   std::printf("downlink @ %.0f cm, %lld us slots (%.0f kbps)\n",
-              distance * 100, static_cast<long long>(slot_us),
-              1e3 / static_cast<double>(slot_us));
-  std::printf("  slot BER: %.3e (%zu errors / %zu bits)\n",
-              ber.ber_floored(), ber.errors(), ber.bits());
+              p.reader_tag_distance_m * 100,
+              static_cast<long long>(p.slot_us),
+              1e3 / static_cast<double>(p.slot_us));
+  std::printf("  slot BER: %.3e (%zu errors / %zu bits)\n", m.ber,
+              m.errors, m.bits);
   return 0;
 }
 
-int run_trace(int argc, char** argv) {
-  const double distance = arg_double(argc, argv, "--distance", 0.05);
-  const auto packets = static_cast<std::size_t>(
-      arg_double(argc, argv, "--packets", 3'000));
-  const std::string out = arg_string(argc, argv, "--out", "");
+int run_trace(const util::Args& args) {
+  const double distance = args.num("--distance", 0.05);
+  const auto packets = args.size("--packets", 3'000);
+  const std::string out = args.str("--out");
   if (out.empty()) {
     std::fprintf(stderr, "trace mode requires --out FILE\n");
     return 2;
@@ -155,7 +115,7 @@ int run_trace(int argc, char** argv) {
   core::UplinkSimConfig cfg;
   cfg.channel.tag_pos = {distance, 0.0};
   cfg.channel.helper_pos = {distance + 3.0, 0.0};
-  cfg.seed = static_cast<std::uint64_t>(arg_double(argc, argv, "--seed", 1));
+  cfg.seed = args.u64("--seed", 1);
   const double pps = 3'000.0;
   const TimeUs until =
       static_cast<TimeUs>(static_cast<double>(packets) / pps * 1e6) + 1;
@@ -176,14 +136,13 @@ int run_trace(int argc, char** argv) {
   return 0;
 }
 
-int run_query(int argc, char** argv) {
+int run_query(const util::Args& args) {
   core::SystemConfig cfg;
-  cfg.tag_reader_distance_m = arg_double(argc, argv, "--distance", 0.3);
-  cfg.helper_pps = arg_double(argc, argv, "--helper-pps", 3'000.0);
-  cfg.ack_enabled = arg_flag(argc, argv, "--ack");
-  cfg.seed = static_cast<std::uint64_t>(arg_double(argc, argv, "--seed", 1));
-  const auto queries = static_cast<std::size_t>(
-      arg_double(argc, argv, "--queries", 3));
+  cfg.tag_reader_distance_m = args.num("--distance", 0.3);
+  cfg.helper_pps = args.num("--helper-pps", 3'000.0);
+  cfg.ack_enabled = args.flag("--ack");
+  cfg.seed = args.u64("--seed", 1);
+  const auto queries = args.size("--queries", 3);
   core::WiFiBackscatterSystem system(cfg);
 
   // Drive the exchanges through the discrete-event scheduler: one event
@@ -222,22 +181,99 @@ int run_query(int argc, char** argv) {
   return succeeded == queries ? 0 : 1;
 }
 
+int run_sweep(const util::Args& args) {
+  core::UplinkGridSpec spec;
+  spec.base.helper_pps = args.num("--helper-pps", 3'000.0);
+  spec.base.runs = args.size("--runs", 4);
+  spec.base.seed = args.u64("--seed", 1);
+  if (args.flag("--rssi")) {
+    spec.sources = {reader::MeasurementSource::kRssi};
+  }
+  for (double cm : args.num_list("--distances-cm", {5, 15, 30, 50})) {
+    spec.distances_m.push_back(cm / 100.0);
+  }
+  spec.packets_per_bit = args.num_list("--pkts-per-bit", {30, 6});
+  const auto grid = core::expand_uplink_grid(spec);
+  if (grid.empty()) {
+    std::fprintf(stderr, "sweep grid is empty\n");
+    return 2;
+  }
+
+  runner::SweepConfig cfg;
+  cfg.threads = static_cast<unsigned>(args.u64("--threads", 0));
+  cfg.base_seed = spec.base.seed;
+  cfg.collect_metrics = true;
+  runner::SweepRunner sweep(cfg);
+  const auto res =
+      sweep.run(grid.size(), [&grid](const runner::TaskContext& ctx) {
+        return core::measure_uplink_ber(grid[ctx.task_index].params);
+      });
+
+  // One RunReport for the whole grid: rows in grid (task-index) order,
+  // the merged per-task metrics attached. Nothing scheduling-dependent
+  // goes into the report, so the JSON is byte-identical at any --threads.
+  obs::RunReport report;
+  report.set_meta("tool", "wb_experiment_cli");
+  report.set_meta("mode", "sweep");
+  report.set_meta("base_seed", static_cast<double>(spec.base.seed));
+  report.set_meta("rssi", args.flag("--rssi"));
+  report.set_meta("grid_points", static_cast<double>(grid.size()));
+
+  std::printf("%-10s %-14s %-10s %-12s %s\n", "task", "distance(cm)",
+              "pkt/bit", "BER", "errors/bits");
+  for (const auto& pt : grid) {
+    const auto& m = res.results[pt.index];
+    std::printf("%-10zu %-14.1f %-10.0f %-12.3e %zu/%zu\n", pt.index,
+                pt.distance_m * 100.0, pt.packets_per_bit, m.ber, m.errors,
+                m.bits);
+    report.add_row("grid_point")
+        .set("task", static_cast<double>(pt.index))
+        .set("source",
+             pt.source == reader::MeasurementSource::kRssi ? "rssi" : "csi")
+        .set("distance_cm", pt.distance_m * 100.0)
+        .set("pkts_per_bit", pt.packets_per_bit)
+        .set("ber", m.ber)
+        .set("ber_raw", m.ber_raw)
+        .set("errors", static_cast<double>(m.errors))
+        .set("bits", static_cast<double>(m.bits))
+        .set("failed_syncs", static_cast<double>(m.failed_syncs));
+  }
+  if (res.metrics != nullptr) {
+    report.attach_metrics(*res.metrics);
+    // Fold the sweep's merged metrics into a --metrics-out registry, if
+    // one is installed on this thread, so the generic artifact below
+    // covers sweep mode too.
+    if (auto* m = obs::metrics()) m->merge_from(*res.metrics);
+  }
+
+  const std::string json_out = args.str("--json-out");
+  if (!json_out.empty()) {
+    if (!report.write_json(json_out)) {
+      std::fprintf(stderr, "failed to write %s\n", json_out.c_str());
+      return 2;
+    }
+    std::printf("sweep report: %s\n", json_out.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: %s {uplink|coded|downlink|trace|query} [options]\n",
-                 argv[0]);
+    std::fprintf(
+        stderr,
+        "usage: %s {uplink|coded|downlink|trace|query|sweep} [options]\n",
+        argv[0]);
     return 2;
   }
+  const util::Args args(argc, argv);
   const std::string mode = argv[1];
 
   // Observability: install a registry/tracer for the whole run when the
   // corresponding output file is requested.
-  const std::string metrics_out =
-      arg_string(argc, argv, "--metrics-out", "");
-  const std::string trace_out = arg_string(argc, argv, "--trace-out", "");
+  const std::string metrics_out = args.str("--metrics-out");
+  const std::string trace_out = args.str("--trace-out");
   obs::MetricsRegistry registry;
   obs::Tracer tracer;
   std::unique_ptr<obs::ScopedMetrics> metrics_guard;
@@ -250,11 +286,12 @@ int main(int argc, char** argv) {
   }
 
   int rc = 2;
-  if (mode == "uplink") rc = run_uplink(argc, argv);
-  else if (mode == "coded") rc = run_coded(argc, argv);
-  else if (mode == "downlink") rc = run_downlink(argc, argv);
-  else if (mode == "trace") rc = run_trace(argc, argv);
-  else if (mode == "query") rc = run_query(argc, argv);
+  if (mode == "uplink") rc = run_uplink(args);
+  else if (mode == "coded") rc = run_coded(args);
+  else if (mode == "downlink") rc = run_downlink(args);
+  else if (mode == "trace") rc = run_trace(args);
+  else if (mode == "query") rc = run_query(args);
+  else if (mode == "sweep") rc = run_sweep(args);
   else std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
 
   if (!metrics_out.empty()) {

@@ -3,9 +3,11 @@
 #   1. tools/wb_lint.py           repo-specific lint rules
 #   2. ASan+UBSan build, -Werror  (build dir: build-check/)
 #   3. full ctest under the sanitizers
-#   4. observability smoke: one CLI query exchange with --metrics-out /
+#   4. TSan build of the concurrency surface (build dir: build-tsan/) and
+#      the runner + obs test binaries run under it
+#   5. observability smoke: one CLI query exchange with --metrics-out /
 #      --trace-out, both outputs validated as JSON
-#   5. clang-tidy over src/       (skipped with a notice if not installed)
+#   6. clang-tidy over src/       (skipped with a notice if not installed)
 # Exits non-zero on the first failure. Usage: scripts/check.sh [-j N]
 set -euo pipefail
 
@@ -21,19 +23,30 @@ done
 
 BUILD_DIR=build-check
 
-echo "==> [1/5] wb_lint"
+echo "==> [1/6] wb_lint"
 python3 tools/wb_lint.py
 
-echo "==> [2/5] configure + build (WB_SANITIZE=address, WB_WERROR=ON)"
+echo "==> [2/6] configure + build (WB_SANITIZE=address, WB_WERROR=ON)"
 cmake -B "$BUILD_DIR" -S . \
   -DWB_SANITIZE=address -DWB_WERROR=ON \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
 cmake --build "$BUILD_DIR" -j "$JOBS"
 
-echo "==> [3/5] ctest under ASan+UBSan"
+echo "==> [3/6] ctest under ASan+UBSan"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
-echo "==> [4/5] observability smoke (CLI query + JSON validation)"
+echo "==> [4/6] TSan over the concurrency surface (WB_SANITIZE=thread)"
+TSAN_DIR=build-tsan
+cmake -B "$TSAN_DIR" -S . \
+  -DWB_SANITIZE=thread -DWB_WERROR=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+cmake --build "$TSAN_DIR" -j "$JOBS" \
+  --target test_runner_thread_pool test_runner_sweep test_obs_metrics
+"$TSAN_DIR/tests/test_runner_thread_pool"
+"$TSAN_DIR/tests/test_runner_sweep"
+"$TSAN_DIR/tests/test_obs_metrics"
+
+echo "==> [5/6] observability smoke (CLI query + JSON validation)"
 OBS_TMP="$(mktemp -d)"
 trap 'rm -rf "$OBS_TMP"' EXIT
 "$BUILD_DIR/examples/wb_experiment_cli" query \
@@ -55,7 +68,7 @@ print(f"    metrics: {len(counters)} counters over modules {modules}")
 print(f"    trace:   {len(trace['traceEvents'])} events")
 PY
 
-echo "==> [5/5] clang-tidy"
+echo "==> [6/6] clang-tidy"
 if command -v clang-tidy > /dev/null 2>&1; then
   if command -v run-clang-tidy > /dev/null 2>&1; then
     run-clang-tidy -p "$BUILD_DIR" -quiet "src/.*\.cpp$"

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 
+#include "core/downlink_sim.h"
 #include "core/frame.h"
 #include "core/rate_control.h"
 #include "reader/corr_decoder.h"
+#include "reader/downlink_encoder.h"
+#include "runner/seed_derive.h"
 #include "tag/modulator.h"
 
 namespace wb::core {
@@ -349,6 +352,110 @@ std::size_t required_correlation_length(
     if (m.ber_raw < target) return l;
   }
   return 0;
+}
+
+BerMeasurement measure_downlink_ber(const DownlinkExperimentParams& p) {
+  reader::DownlinkEncoderConfig enc_cfg;
+  enc_cfg.slot_us = p.slot_us;
+  reader::DownlinkEncoder encoder(enc_cfg);
+
+  const std::size_t burst_bits =
+      std::min<std::size_t>(enc_cfg.bits_per_chunk(), p.max_burst_bits);
+  BerCounter ber;
+  std::size_t sent = 0;
+  std::uint64_t round = 0;
+  while (sent < p.total_bits) {
+    const std::size_t n = std::min(burst_bits, p.total_bits - sent);
+    BitVec message = downlink_preamble();
+    const BitVec data = random_bits(n, p.seed + round);
+    message.insert(message.end(), data.begin(), data.end());
+    const auto tx = encoder.encode(message, /*start_us=*/500);
+
+    DownlinkSimConfig cfg;
+    cfg.reader_tag_distance_m = p.reader_tag_distance_m;
+    cfg.mcu.bit_duration_us = p.slot_us;
+    cfg.seed = p.seed * 0x9e3779b9ull + round;
+    DownlinkSim sim(cfg);
+    const auto report = sim.run(tx, /*ambient=*/{}, tx.end_us + 1'000);
+
+    // Compare detector slot decisions against the transmitted bits.
+    BitVec truth;
+    truth.reserve(tx.slots.size());
+    for (const auto& s : tx.slots) truth.push_back(s.bit);
+    ber.add(truth, report.slot_levels);
+    sent += n;
+    ++round;
+  }
+  BerMeasurement m;
+  m.ber = ber.ber_floored();
+  m.ber_raw = ber.ber();
+  m.bits = ber.bits();
+  m.errors = ber.errors();
+  return m;
+}
+
+std::vector<UplinkGridPoint> expand_uplink_grid(const UplinkGridSpec& spec) {
+  std::vector<UplinkGridPoint> grid;
+  grid.reserve(spec.sources.size() * spec.distances_m.size() *
+               spec.packets_per_bit.size());
+  for (const auto source : spec.sources) {
+    for (const double distance_m : spec.distances_m) {
+      for (const double pkts : spec.packets_per_bit) {
+        UplinkGridPoint pt;
+        pt.index = grid.size();
+        pt.source = source;
+        pt.distance_m = distance_m;
+        pt.packets_per_bit = pkts;
+        pt.params = spec.base;
+        pt.params.source = source;
+        pt.params.tag_reader_distance_m = distance_m;
+        pt.params.packets_per_bit = pkts;
+        pt.params.seed = runner::derive_seed(spec.base.seed, pt.index);
+        grid.push_back(std::move(pt));
+      }
+    }
+  }
+  return grid;
+}
+
+std::vector<CodedGridPoint> expand_coded_grid(const CodedGridSpec& spec) {
+  std::vector<CodedGridPoint> grid;
+  grid.reserve(spec.distances_m.size() * spec.placements);
+  for (const double distance_m : spec.distances_m) {
+    for (std::size_t placement = 0; placement < spec.placements;
+         ++placement) {
+      CodedGridPoint pt;
+      pt.index = grid.size();
+      pt.distance_m = distance_m;
+      pt.placement = placement;
+      pt.params = spec.base;
+      pt.params.tag_reader_distance_m = distance_m;
+      pt.params.channel_seed = spec.placement_channel_seed_base + placement;
+      pt.params.seed = runner::derive_seed(spec.base.seed, pt.index);
+      grid.push_back(std::move(pt));
+    }
+  }
+  return grid;
+}
+
+std::vector<DownlinkGridPoint> expand_downlink_grid(
+    const DownlinkGridSpec& spec) {
+  std::vector<DownlinkGridPoint> grid;
+  grid.reserve(spec.distances_m.size() * spec.slot_durations_us.size());
+  for (const double distance_m : spec.distances_m) {
+    for (const TimeUs slot_us : spec.slot_durations_us) {
+      DownlinkGridPoint pt;
+      pt.index = grid.size();
+      pt.distance_m = distance_m;
+      pt.slot_us = slot_us;
+      pt.params = spec.base;
+      pt.params.reader_tag_distance_m = distance_m;
+      pt.params.slot_us = slot_us;
+      pt.params.seed = runner::derive_seed(spec.base.seed, pt.index);
+      grid.push_back(std::move(pt));
+    }
+  }
+  return grid;
 }
 
 }  // namespace wb::core

@@ -129,4 +129,88 @@ std::size_t required_correlation_length(
     CodedExperimentParams p, const std::vector<std::size_t>& candidates,
     double target = 1e-2);
 
+// ------------------------------------------------------------- downlink
+
+/// Downlink BER driver shared by bench_fig17 and the CLI (§8.1 setup):
+/// transmits `total_bits` in NAV-reservation-sized bursts with the
+/// downlink preamble prepended to each (so the peak detector charges as
+/// it would mid-message) and counts the tag's slot decisions against the
+/// transmitted bits.
+struct DownlinkExperimentParams {
+  double reader_tag_distance_m = 1.5;
+  TimeUs slot_us = 50;  ///< bit duration; 50 us = 20 kbps
+  std::size_t total_bits = 20'000;
+  /// Bursts are min(encoder bits_per_chunk, this) bits long.
+  std::size_t max_burst_bits = 600;
+  std::uint64_t seed = 1234;
+};
+
+BerMeasurement measure_downlink_ber(const DownlinkExperimentParams& p);
+
+// -------------------------------------------------------------- sweeps
+//
+// Declarative grids for wb::runner parallel sweeps. Expansion is a pure
+// function of the spec: every point's full parameter set — including its
+// seed — is fixed before any task executes, which is what makes sweep
+// results independent of thread count and scheduling. By default each
+// point's seed is runner::derive_seed(base.seed, index); callers that
+// must reproduce a legacy per-point seed formula can overwrite
+// `params.seed` on the expanded grid before running it.
+
+/// Cross product sources × distances × packets_per_bit, indexed row-major
+/// in that order (source-major matches Fig 10's per-source tables).
+struct UplinkGridSpec {
+  UplinkExperimentParams base;  ///< template every point starts from
+  std::vector<reader::MeasurementSource> sources = {
+      reader::MeasurementSource::kCsi};
+  std::vector<double> distances_m;
+  std::vector<double> packets_per_bit;
+};
+
+struct UplinkGridPoint {
+  std::size_t index = 0;
+  reader::MeasurementSource source = reader::MeasurementSource::kCsi;
+  double distance_m = 0.0;
+  double packets_per_bit = 0.0;
+  UplinkExperimentParams params;
+};
+
+std::vector<UplinkGridPoint> expand_uplink_grid(const UplinkGridSpec& spec);
+
+/// Cross product distances × placements (Fig 20's median-over-placements
+/// layout), distance-major. Each placement pins its channel realisation
+/// via `channel_seed = placement_channel_seed_base + placement`.
+struct CodedGridSpec {
+  CodedExperimentParams base;
+  std::vector<double> distances_m;
+  std::size_t placements = 1;
+  std::uint64_t placement_channel_seed_base = 100;
+};
+
+struct CodedGridPoint {
+  std::size_t index = 0;
+  double distance_m = 0.0;
+  std::size_t placement = 0;
+  CodedExperimentParams params;
+};
+
+std::vector<CodedGridPoint> expand_coded_grid(const CodedGridSpec& spec);
+
+/// Cross product distances × slot durations (Fig 17), distance-major.
+struct DownlinkGridSpec {
+  DownlinkExperimentParams base;
+  std::vector<double> distances_m;
+  std::vector<TimeUs> slot_durations_us;
+};
+
+struct DownlinkGridPoint {
+  std::size_t index = 0;
+  double distance_m = 0.0;
+  TimeUs slot_us = 0;
+  DownlinkExperimentParams params;
+};
+
+std::vector<DownlinkGridPoint> expand_downlink_grid(
+    const DownlinkGridSpec& spec);
+
 }  // namespace wb::core

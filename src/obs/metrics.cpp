@@ -8,16 +8,18 @@
 namespace wb::obs {
 
 namespace {
-MetricsRegistry* g_metrics = nullptr;
+// Thread-local: each sweep worker installs (and observes) its own
+// registry; see the metrics() contract in the header.
+thread_local MetricsRegistry* t_metrics = nullptr;
 }  // namespace
 
-MetricsRegistry* metrics() noexcept { return g_metrics; }
+MetricsRegistry* metrics() noexcept { return t_metrics; }
 
-ScopedMetrics::ScopedMetrics(MetricsRegistry& r) : prev_(g_metrics) {
-  g_metrics = &r;
+ScopedMetrics::ScopedMetrics(MetricsRegistry& r) : prev_(t_metrics) {
+  t_metrics = &r;
 }
 
-ScopedMetrics::~ScopedMetrics() { g_metrics = prev_; }
+ScopedMetrics::~ScopedMetrics() { t_metrics = prev_; }
 
 void Gauge::max_of(double x) noexcept {
   double cur = v_.load(std::memory_order_relaxed);
@@ -61,6 +63,34 @@ void LogHistogram::record(double v) noexcept {
   cur = max_.load(std::memory_order_relaxed);
   while (v > cur &&
          !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void LogHistogram::merge_from(const LogHistogram& other) noexcept {
+  if (&other == this) return;
+  const std::uint64_t n = other.count_.load(std::memory_order_relaxed);
+  if (n == 0) return;
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+    const std::uint64_t b = other.buckets_[i].load(std::memory_order_relaxed);
+    if (b != 0) buckets_[i].fetch_add(b, std::memory_order_relaxed);
+  }
+  const std::uint64_t prev = count_.fetch_add(n, std::memory_order_relaxed);
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  const double omin = other.min_.load(std::memory_order_relaxed);
+  const double omax = other.max_.load(std::memory_order_relaxed);
+  if (prev == 0) {
+    min_.store(omin, std::memory_order_relaxed);
+    max_.store(omax, std::memory_order_relaxed);
+    return;
+  }
+  double cur = min_.load(std::memory_order_relaxed);
+  while (omin < cur &&
+         !min_.compare_exchange_weak(cur, omin, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (omax > cur &&
+         !max_.compare_exchange_weak(cur, omax, std::memory_order_relaxed)) {
   }
 }
 
@@ -131,6 +161,35 @@ LogHistogram& MetricsRegistry::histogram(std::string_view name) {
              .first;
   }
   return *it->second;
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  if (&other == this) return;
+  // scoped_lock's deadlock-avoidance orders the two mutexes, so two
+  // threads cross-merging cannot wedge. Instruments are found-or-created
+  // inline (counter()/gauge()/histogram() would re-lock mu_).
+  const std::scoped_lock lock(mu_, other.mu_);
+  for (const auto& [name, c] : other.counters_) {
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+      it = counters_.emplace(name, std::make_unique<Counter>()).first;
+    }
+    it->second->add(c->value());
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    auto it = gauges_.find(name);
+    if (it == gauges_.end()) {
+      it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+    }
+    it->second->set(g->value());
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      it = histograms_.emplace(name, std::make_unique<LogHistogram>()).first;
+    }
+    it->second->merge_from(*h);
+  }
 }
 
 MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {

@@ -77,6 +77,12 @@ class LogHistogram {
 
   void record(double v) noexcept;
 
+  /// Accumulates `other` into this histogram bucket-wise: counts, sums,
+  /// and exact min/max combine as if every sample had been recorded here.
+  /// Addition commutes, so merged percentiles are independent of merge
+  /// order. Safe against concurrent record() calls on either side.
+  void merge_from(const LogHistogram& other) noexcept;
+
   std::uint64_t count() const noexcept {
     return count_.load(std::memory_order_relaxed);
   }
@@ -113,6 +119,15 @@ class MetricsRegistry {
   Gauge& gauge(std::string_view name);
   LogHistogram& histogram(std::string_view name);
 
+  /// Folds every instrument of `other` into this registry, creating
+  /// instruments as needed: counters and histograms accumulate; gauges
+  /// take `other`'s value (last-merge-wins). Merging per-task registries
+  /// in ascending task order therefore reproduces exactly what a serial
+  /// run writing into one shared registry would have left behind — the
+  /// invariant wb::runner's deterministic sweeps rely on. Thread-safe
+  /// against lookups and updates on both registries.
+  void merge_from(const MetricsRegistry& other);
+
   /// A consistent point-in-time copy of every instrument, sorted by name.
   struct HistogramStats {
     std::uint64_t count = 0;
@@ -138,13 +153,17 @@ class MetricsRegistry {
       histograms_;
 };
 
-/// The currently-installed registry; nullptr when observability is off
-/// (the default). Instrumentation sites do
+/// The registry installed on *this thread*; nullptr when observability is
+/// off (the default). Instrumentation sites do
 ///   if (auto* m = obs::metrics()) m->counter("...").add(1);
+/// The install point is thread-local so parallel sweep tasks each observe
+/// their own registry (merged afterwards in task order by wb::runner) and
+/// never race on a registry installed by another thread. Single-threaded
+/// programs see exactly the old process-global behaviour.
 MetricsRegistry* metrics() noexcept;
 
-/// RAII install/restore of the process-global registry (mirrors
-/// ScopedContractPolicy). Not thread-safe to nest from multiple threads.
+/// RAII install/restore of this thread's registry (mirrors
+/// ScopedContractPolicy). Each thread nests its own stack of installs.
 class ScopedMetrics {
  public:
   explicit ScopedMetrics(MetricsRegistry& r);

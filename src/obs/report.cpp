@@ -10,6 +10,7 @@ namespace {
 
 std::string value_json(const RunReport::Value& v) {
   if (const auto* d = std::get_if<double>(&v)) return json_number(*d);
+  if (const auto* b = std::get_if<bool>(&v)) return *b ? "true" : "false";
   // Sequential += (not chained +) sidesteps a GCC 12 -Wrestrict false
   // positive on inlined string concatenation; same throughout this file.
   std::string out = "\"";
@@ -20,6 +21,7 @@ std::string value_json(const RunReport::Value& v) {
 
 std::string value_csv(const RunReport::Value& v) {
   if (const auto* d = std::get_if<double>(&v)) return json_number(*d);
+  if (const auto* b = std::get_if<bool>(&v)) return *b ? "true" : "false";
   // CSV quoting: wrap in quotes, double any inner quote.
   std::string out = "\"";
   for (const char c : std::get<std::string>(v)) {
@@ -51,11 +53,20 @@ RunReport::Row& RunReport::Row::set(std::string_view key,
   return *this;
 }
 
+RunReport::Row& RunReport::Row::set_bool(std::string_view key, bool value) {
+  fields_.emplace_back(std::string(key), Value(value));
+  return *this;
+}
+
 void RunReport::set_meta(std::string_view key, std::string_view value) {
   meta_.emplace_back(std::string(key), Value(std::string(value)));
 }
 
 void RunReport::set_meta(std::string_view key, double value) {
+  meta_.emplace_back(std::string(key), Value(value));
+}
+
+void RunReport::set_meta_bool(std::string_view key, bool value) {
   meta_.emplace_back(std::string(key), Value(value));
 }
 

@@ -2,6 +2,8 @@
 //
 // A report carries three things:
 //   * meta       — free-form key/value context (figure id, seed, mode);
+//                  numbers, strings, and booleans keep their JSON types
+//                  (`"quick": true`, not `1.0`);
 //   * rows       — the tabular results a bench would otherwise printf
 //                  (one named row, ordered fields, numeric or string);
 //   * metrics    — an optional MetricsRegistry snapshot (counters, gauges,
@@ -14,6 +16,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <variant>
 #include <vector>
 
@@ -23,14 +26,24 @@ namespace wb::obs {
 
 class RunReport {
  public:
-  using Value = std::variant<double, std::string>;
+  using Value = std::variant<double, std::string, bool>;
 
   /// One named result row with ordered fields.
+  ///
+  /// The bool overloads are exact-match templates so that a `const char*`
+  /// argument still selects the string overload (a plain `set(..., bool)`
+  /// would win that resolution via pointer->bool conversion) and integer
+  /// arguments keep converting to double rather than becoming ambiguous.
   class Row {
    public:
     explicit Row(std::string name) : name_(std::move(name)) {}
     Row& set(std::string_view key, double value);
     Row& set(std::string_view key, std::string_view value);
+    template <typename T,
+              std::enable_if_t<std::is_same_v<T, bool>, int> = 0>
+    Row& set(std::string_view key, T value) {
+      return set_bool(key, value);
+    }
 
     const std::string& name() const { return name_; }
     const std::vector<std::pair<std::string, Value>>& fields() const {
@@ -38,12 +51,18 @@ class RunReport {
     }
 
    private:
+    Row& set_bool(std::string_view key, bool value);
+
     std::string name_;
     std::vector<std::pair<std::string, Value>> fields_;
   };
 
   void set_meta(std::string_view key, std::string_view value);
   void set_meta(std::string_view key, double value);
+  template <typename T, std::enable_if_t<std::is_same_v<T, bool>, int> = 0>
+  void set_meta(std::string_view key, T value) {
+    set_meta_bool(key, value);
+  }
 
   /// Adds a row; the reference stays valid until the next add_row.
   Row& add_row(std::string_view name);
@@ -66,6 +85,8 @@ class RunReport {
   bool write_csv(const std::string& path) const;
 
  private:
+  void set_meta_bool(std::string_view key, bool value);
+
   std::vector<std::pair<std::string, Value>> meta_;
   std::vector<Row> rows_;
   MetricsRegistry::Snapshot metrics_;

@@ -8,16 +8,20 @@
 namespace wb::obs {
 
 namespace {
-Tracer* g_tracer = nullptr;
+// Thread-local like obs::metrics(): the Tracer itself is not
+// thread-safe, so a tracer installed by one thread must never be fed by
+// another (sweep workers simply trace nothing unless they install their
+// own).
+thread_local Tracer* t_tracer = nullptr;
 }  // namespace
 
-Tracer* tracer() noexcept { return g_tracer; }
+Tracer* tracer() noexcept { return t_tracer; }
 
-ScopedTracer::ScopedTracer(Tracer& t) : prev_(g_tracer) { g_tracer = &t; }
+ScopedTracer::ScopedTracer(Tracer& t) : prev_(t_tracer) { t_tracer = &t; }
 
-ScopedTracer::~ScopedTracer() { g_tracer = prev_; }
+ScopedTracer::~ScopedTracer() { t_tracer = prev_; }
 
-ScopedTraceOffset::ScopedTraceOffset(TimeUs delta_us) : tracer_(g_tracer) {
+ScopedTraceOffset::ScopedTraceOffset(TimeUs delta_us) : tracer_(t_tracer) {
   if (tracer_ != nullptr) {
     prev_ = tracer_->offset();
     tracer_->set_offset(prev_ + delta_us);

@@ -79,10 +79,13 @@ class Tracer {
   TimeUs offset_ = 0;
 };
 
-/// The currently-installed tracer; nullptr when tracing is off.
+/// The tracer installed on *this thread*; nullptr when tracing is off.
+/// Thread-local for the same reason as obs::metrics(): the Tracer is
+/// single-writer, and sweep worker threads must not feed a tracer the
+/// caller's thread installed.
 Tracer* tracer() noexcept;
 
-/// RAII install/restore of the process-global tracer.
+/// RAII install/restore of this thread's tracer.
 class ScopedTracer {
  public:
   explicit ScopedTracer(Tracer& t);

@@ -1,0 +1,28 @@
+#include "runner/merge.h"
+
+#include <variant>
+
+namespace wb::runner {
+
+std::size_t merge_metrics_in_order(
+    obs::MetricsRegistry& dest,
+    const std::vector<std::unique_ptr<obs::MetricsRegistry>>& parts) {
+  std::size_t merged = 0;
+  for (const auto& part : parts) {
+    if (part == nullptr) continue;
+    dest.merge_from(*part);
+    ++merged;
+  }
+  return merged;
+}
+
+void append_report_rows(obs::RunReport& dest, const obs::RunReport& src) {
+  for (const auto& row : src.rows()) {
+    auto& out = dest.add_row(row.name());
+    for (const auto& [key, value] : row.fields()) {
+      std::visit([&out, &key](const auto& v) { out.set(key, v); }, value);
+    }
+  }
+}
+
+}  // namespace wb::runner

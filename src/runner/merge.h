@@ -1,0 +1,34 @@
+// Deterministic, order-aware merging of per-task sweep outputs.
+//
+// Parallel tasks complete in a scheduling-dependent order; everything the
+// caller observes must not. The rule everywhere in this module is: merge
+// in ascending task-index order, which makes the combined output equal to
+// what a serial run with one shared registry/report would have produced
+// (counters and histograms are commutative sums; gauges are last-write-
+// wins, and "last" in task-index order is exactly the serial "last").
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/report.h"
+
+namespace wb::runner {
+
+/// Merges `parts[0], parts[1], ...` into `dest` in that order (parts[i]
+/// holds task i's registry; null entries are skipped — a task that was
+/// run without metrics collection). Returns the number of registries
+/// merged. See obs::MetricsRegistry::merge_from for per-instrument
+/// semantics.
+std::size_t merge_metrics_in_order(
+    obs::MetricsRegistry& dest,
+    const std::vector<std::unique_ptr<obs::MetricsRegistry>>& parts);
+
+/// Appends every row of `src` to `dest`, preserving row order and field
+/// order (used by sweep drivers that build one report per task and emit a
+/// single grid-wide report).
+void append_report_rows(obs::RunReport& dest, const obs::RunReport& src);
+
+}  // namespace wb::runner

@@ -1,0 +1,34 @@
+// Splittable per-task seed derivation for parallel sweeps.
+//
+// A sweep expands into independent tasks; each task must own its entire
+// random universe so that (a) no RNG state is shared across threads and
+// (b) the draws of task i are a pure function of (base_seed, i) — never
+// of which thread ran it or in what order. Tasks then feed the derived
+// seed to sim::RngStream exactly like today's serial drivers do.
+#pragma once
+
+#include <cstdint>
+
+namespace wb::runner {
+
+/// SplitMix64 finalizer (same mixer family as sim::RngStream's core):
+/// a bijective avalanche so consecutive inputs give uncorrelated outputs.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Per-task seed: hash(base_seed, task_index) with two mixing rounds so
+/// neighbouring task indices (0, 1, 2, ...) land in unrelated regions of
+/// seed space. Derivation is asymmetric in its arguments —
+/// derive_seed(a, b) != derive_seed(b, a) — and stable across platforms,
+/// thread counts, and scheduling, which is what makes merged sweep output
+/// bit-identical to a serial run.
+constexpr std::uint64_t derive_seed(std::uint64_t base_seed,
+                                    std::uint64_t task_index) noexcept {
+  return mix64(mix64(base_seed) ^ (task_index * 0xff51afd7ed558ccdull));
+}
+
+}  // namespace wb::runner

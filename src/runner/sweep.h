@@ -1,0 +1,119 @@
+// SweepRunner: deterministic parallel execution of a declarative task grid.
+//
+// A sweep is N independent tasks (one experiment trial each). The runner
+//   * derives each task's RNG seed with the splittable scheme in
+//     seed_derive.h (`seed = derive_seed(base_seed, task_index)`) so no
+//     task shares random state with another,
+//   * executes tasks on a work-stealing ThreadPool (or inline on the
+//     calling thread when threads == 1, preserving serial behaviour
+//     exactly — no pool, no extra threads),
+//   * slots every result by task index and merges per-task
+//     obs::MetricsRegistry snapshots in ascending index order,
+// so the combined output is bit-identical to the serial run and
+// independent of thread count and scheduling (asserted by
+// tests/test_runner_sweep.cpp at --threads 1/2/8).
+//
+// Tasks see the obs globals *thread-locally*: when metrics collection is
+// on, each task runs under its own ScopedMetrics on its worker thread and
+// the registries merge afterwards; a registry or tracer installed by the
+// caller's thread is never written concurrently.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "runner/merge.h"
+#include "runner/seed_derive.h"
+
+namespace wb::runner {
+
+struct SweepConfig {
+  /// Worker count; 0 means default_threads() (the hardware concurrency).
+  /// 1 runs every task inline on the calling thread in index order.
+  unsigned threads = 0;
+
+  /// Base of the splittable per-task seed derivation.
+  std::uint64_t base_seed = 0;
+
+  /// When true, each task runs under a fresh thread-locally installed
+  /// MetricsRegistry and SweepResult::metrics holds the in-order merge.
+  bool collect_metrics = false;
+};
+
+/// What a task callable receives. The params a task actually sweeps over
+/// live in the caller's expanded grid, indexed by `task_index`.
+struct TaskContext {
+  std::size_t task_index = 0;
+  std::uint64_t seed = 0;  ///< derive_seed(base_seed, task_index)
+};
+
+template <typename R>
+struct SweepResult {
+  std::vector<R> results;  ///< results[i] is task i's return value
+  /// In-order merge of the per-task registries; null unless
+  /// SweepConfig::collect_metrics was set.
+  std::unique_ptr<obs::MetricsRegistry> metrics;
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepConfig cfg = {});
+
+  /// The resolved worker count (never 0).
+  unsigned threads() const noexcept { return threads_; }
+
+  /// Runs fn(ctx) for task indices [0, num_tasks). `fn` must be
+  /// const-callable from multiple threads at once (capture the expanded
+  /// grid by const reference) and return a default-constructible value —
+  /// results are slotted into a pre-sized vector by index. A throwing
+  /// task aborts the sweep: the lowest-index exception is rethrown after
+  /// all in-flight tasks drain, so failures are as deterministic as
+  /// successes.
+  template <typename Fn>
+  auto run(std::size_t num_tasks, Fn&& fn)
+      -> SweepResult<std::decay_t<std::invoke_result_t<Fn&, const TaskContext&>>> {
+    using R = std::decay_t<std::invoke_result_t<Fn&, const TaskContext&>>;
+    static_assert(!std::is_void_v<R>,
+                  "sweep tasks must return a value (their measurement)");
+    SweepResult<R> out;
+    out.results.resize(num_tasks);
+    std::vector<std::unique_ptr<obs::MetricsRegistry>> regs(
+        cfg_.collect_metrics ? num_tasks : 0);
+
+    run_indexed(num_tasks, [&](std::size_t i) {
+      const TaskContext ctx{i, derive_seed(cfg_.base_seed, i)};
+      std::optional<obs::ScopedMetrics> metrics_guard;
+      if (cfg_.collect_metrics) {
+        regs[i] = std::make_unique<obs::MetricsRegistry>();
+        metrics_guard.emplace(*regs[i]);
+      }
+      out.results[i] = fn(ctx);
+    });
+
+    if (cfg_.collect_metrics) {
+      out.metrics = std::make_unique<obs::MetricsRegistry>();
+      merge_metrics_in_order(*out.metrics, regs);
+    }
+    return out;
+  }
+
+ private:
+  /// Non-template engine: executes task(0..num_tasks) on the pool (or
+  /// inline when threads() == 1), waits for completion, and rethrows the
+  /// lowest-index captured exception, if any.
+  void run_indexed(std::size_t num_tasks,
+                   const std::function<void(std::size_t)>& task);
+
+  SweepConfig cfg_;
+  unsigned threads_ = 1;
+};
+
+}  // namespace wb::runner

@@ -1,0 +1,111 @@
+#include "runner/thread_pool.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace wb::runner {
+
+unsigned default_threads() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1u : hw;
+}
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  WB_REQUIRE(num_threads >= 1, "a thread pool needs at least one worker");
+  queues_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  threads_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  wait_idle();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> fn) {
+  WB_REQUIRE(static_cast<bool>(fn), "cannot submit an empty task");
+  std::size_t target = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    WB_REQUIRE(!stop_, "cannot submit to a stopping pool");
+    target = next_queue_;
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+    ++pending_;
+    ++epoch_;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    queues_[target]->tasks.push_back(std::move(fn));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+std::function<void()> ThreadPool::grab_task(std::size_t self) {
+  // Own queue first, newest task (back) for cache warmth...
+  {
+    WorkerQueue& q = *queues_[self];
+    const std::lock_guard<std::mutex> lock(q.mu);
+    if (!q.tasks.empty()) {
+      auto fn = std::move(q.tasks.back());
+      q.tasks.pop_back();
+      return fn;
+    }
+  }
+  // ...then steal the oldest task (front) from the next busy victim.
+  for (std::size_t off = 1; off < queues_.size(); ++off) {
+    WorkerQueue& q = *queues_[(self + off) % queues_.size()];
+    const std::lock_guard<std::mutex> lock(q.mu);
+    if (!q.tasks.empty()) {
+      auto fn = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      return fn;
+    }
+  }
+  return {};
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  for (;;) {
+    std::uint64_t seen_epoch = 0;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      seen_epoch = epoch_;
+    }
+    if (auto fn = grab_task(self)) {
+      fn();
+      bool now_idle = false;
+      {
+        const std::lock_guard<std::mutex> lock(mu_);
+        now_idle = (--pending_ == 0);
+      }
+      if (now_idle) idle_cv_.notify_all();
+      continue;
+    }
+    // Saw every queue empty at `seen_epoch`; sleep until either stop or a
+    // submission bumps the epoch (re-scan then — the new task may have
+    // been grabbed by someone else, which is fine, we just loop).
+    std::unique_lock<std::mutex> lock(mu_);
+    work_cv_.wait(lock, [this, seen_epoch] {
+      return stop_ || epoch_ != seen_epoch;
+    });
+    if (stop_) return;
+  }
+}
+
+}  // namespace wb::runner

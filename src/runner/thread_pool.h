@@ -1,0 +1,82 @@
+// Work-stealing thread pool for embarrassingly-parallel sweep tasks.
+//
+// Each worker owns a deque: it pops its own work from the back (LIFO, warm
+// caches) and steals from the front of a victim's deque when empty (FIFO,
+// takes the oldest — least likely to be in the victim's cache). Tasks here
+// are coarse (one full experiment trial, ~milliseconds to seconds), so the
+// queues are mutex-protected — contention is negligible at this
+// granularity and the locking is trivially clean under TSan.
+//
+// The pool executes side effects only; result placement and ordering are
+// the caller's job (SweepRunner slots results by task index, which is how
+// sweep output stays deterministic even though completion order is not).
+//
+// This is the only place in the codebase allowed to create threads:
+// tools/wb_lint.py forbids raw std::thread / std::async outside
+// src/runner/ so parallelism stays behind the deterministic sweep API.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wb::runner {
+
+/// Number of workers to use when the caller does not say: the hardware
+/// concurrency, with a floor of 1 (hardware_concurrency() may return 0).
+unsigned default_threads() noexcept;
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1; pass default_threads() to match
+  /// the machine).
+  explicit ThreadPool(unsigned num_threads);
+
+  /// Drains remaining work, then joins every worker.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned num_threads() const noexcept {
+    return static_cast<unsigned>(threads_.size());
+  }
+
+  /// Enqueue `fn` for execution on some worker. `fn` must not throw (wrap
+  /// and capture exceptions at the call site — SweepRunner stores one
+  /// std::exception_ptr per task). Safe to call from any thread.
+  void submit(std::function<void()> fn);
+
+  /// Block until every task submitted so far has finished running.
+  void wait_idle();
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_loop(std::size_t self);
+  std::function<void()> grab_task(std::size_t self);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> threads_;
+
+  // Sleep/wake machinery: `epoch_` counts submissions so a worker that saw
+  // empty queues can tell "nothing new arrived" from "I lost a race";
+  // `pending_` counts submitted-but-unfinished tasks for wait_idle().
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::uint64_t epoch_ = 0;
+  std::size_t pending_ = 0;
+  bool stop_ = false;
+  std::size_t next_queue_ = 0;  ///< round-robin submission target
+};
+
+}  // namespace wb::runner

@@ -1,0 +1,89 @@
+// Tiny command-line flag scanner shared by every bench binary and the
+// experiment CLI, replacing the per-binary strcmp loops that used to be
+// copy-pasted around (`--quick`, `--json-out`, `--threads`, ...).
+//
+// Grammar is deliberately minimal — positional words are ignored, `--name`
+// is a boolean flag, `--name value` an option; the last occurrence wins.
+// No registration, no help text: binaries document their own flags.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wb::util {
+
+class Args {
+ public:
+  Args(int argc, char** argv) : argc_(argc), argv_(argv) {}
+
+  /// True if `--name` appears anywhere.
+  bool flag(std::string_view name) const {
+    return find(name) >= 0;
+  }
+
+  /// Value following the last `--name`, or `dflt` when absent.
+  std::string str(std::string_view name, std::string_view dflt = "") const {
+    const int i = find_valued(name);
+    return i >= 0 ? argv_[i + 1] : std::string(dflt);
+  }
+
+  double num(std::string_view name, double dflt) const {
+    const int i = find_valued(name);
+    return i >= 0 ? std::atof(argv_[i + 1]) : dflt;
+  }
+
+  std::uint64_t u64(std::string_view name, std::uint64_t dflt) const {
+    const int i = find_valued(name);
+    return i >= 0 ? std::strtoull(argv_[i + 1], nullptr, 10) : dflt;
+  }
+
+  std::size_t size(std::string_view name, std::size_t dflt) const {
+    return static_cast<std::size_t>(u64(name, dflt));
+  }
+
+  /// Comma-separated list of numbers (`--distances-cm 5,30,65`);
+  /// `dflt` when the flag is absent, empty elements skipped.
+  std::vector<double> num_list(std::string_view name,
+                               std::vector<double> dflt = {}) const {
+    const int i = find_valued(name);
+    if (i < 0) return dflt;
+    std::vector<double> out;
+    const std::string_view raw = argv_[i + 1];
+    std::size_t start = 0;
+    while (start <= raw.size()) {
+      std::size_t end = raw.find(',', start);
+      if (end == std::string_view::npos) end = raw.size();
+      if (end > start) {
+        out.push_back(std::atof(std::string(raw.substr(start, end - start))
+                                    .c_str()));
+      }
+      start = end + 1;
+    }
+    return out;
+  }
+
+ private:
+  /// Index of the last occurrence of `name`, or -1.
+  int find(std::string_view name) const {
+    for (int i = argc_ - 1; i >= 1; --i) {
+      if (name == argv_[i]) return i;
+    }
+    return -1;
+  }
+
+  /// Index of the last occurrence of `name` that has a following value.
+  int find_valued(std::string_view name) const {
+    for (int i = argc_ - 2; i >= 1; --i) {
+      if (name == argv_[i]) return i;
+    }
+    return -1;
+  }
+
+  int argc_;
+  char** argv_;
+};
+
+}  // namespace wb::util

@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <cmath>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -149,6 +150,117 @@ TEST(GlobalRegistry, OffByDefaultAndScopedInstall) {
   }
   EXPECT_EQ(metrics(), nullptr);
   EXPECT_EQ(reg.snapshot().counters.size(), 1u);
+}
+
+TEST(MergeFrom, CountersAccumulateAcrossRegistries) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.counter("m.x.total").add(3);
+  b.counter("m.x.total").add(4);
+  b.counter("m.y.total").add(1);  // only in the source
+  a.merge_from(b);
+  const auto snap = a.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].second, 7u);
+  EXPECT_EQ(snap.counters[1].second, 1u);
+  // The source registry is untouched.
+  EXPECT_EQ(b.snapshot().counters[0].second, 4u);
+}
+
+TEST(MergeFrom, GaugesAreLastMergeWins) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.gauge("m.x.level").set(1.0);
+  b.gauge("m.x.level").set(2.0);
+  a.merge_from(b);
+  EXPECT_EQ(a.snapshot().gauges[0].second, 2.0);
+}
+
+TEST(MergeFrom, HistogramsMergeCountSumAndExtremes) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  for (double v : {10.0, 20.0}) a.histogram("m.x.wall_us").record(v);
+  for (double v : {1.0, 100.0, 50.0}) b.histogram("m.x.wall_us").record(v);
+  a.merge_from(b);
+  const auto snap = a.snapshot();
+  const auto& hs = snap.histograms[0].second;
+  EXPECT_EQ(hs.count, 5u);
+  EXPECT_DOUBLE_EQ(hs.sum, 181.0);
+  EXPECT_DOUBLE_EQ(hs.min, 1.0);
+  EXPECT_DOUBLE_EQ(hs.max, 100.0);
+}
+
+TEST(MergeFrom, EmptySourceHistogramDoesNotClobberExtremes) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.histogram("m.x.wall_us").record(5.0);
+  b.histogram("m.x.wall_us");  // exists but never recorded into
+  a.merge_from(b);
+  const auto snap = a.snapshot();
+  const auto& hs = snap.histograms[0].second;
+  EXPECT_EQ(hs.count, 1u);
+  EXPECT_DOUBLE_EQ(hs.min, 5.0);
+  EXPECT_DOUBLE_EQ(hs.max, 5.0);
+}
+
+TEST(MergeFrom, SelfMergeIsANoop) {
+  MetricsRegistry a;
+  a.counter("m.x.total").add(2);
+  a.merge_from(a);
+  EXPECT_EQ(a.snapshot().counters[0].second, 2u);
+}
+
+TEST(MergeFrom, InOrderMergeEqualsSerialSharedRegistry) {
+  // The SweepRunner contract: per-task registries merged in ascending task
+  // index order must reproduce what one shared registry would have seen
+  // from a serial loop.
+  MetricsRegistry serial;
+  std::vector<MetricsRegistry> parts(3);
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    for (MetricsRegistry* reg : {&serial, &parts[i]}) {
+      reg->counter("t.merge.total").add(i + 1);
+      reg->gauge("t.merge.last_index").set(static_cast<double>(i));
+      reg->histogram("t.merge.val").record(static_cast<double>(10 * i + 1));
+    }
+  }
+  MetricsRegistry merged;
+  for (const auto& part : parts) merged.merge_from(part);
+
+  const auto want = serial.snapshot();
+  const auto got = merged.snapshot();
+  ASSERT_EQ(got.counters.size(), want.counters.size());
+  EXPECT_EQ(got.counters[0].second, want.counters[0].second);
+  EXPECT_EQ(got.gauges[0].second, want.gauges[0].second);
+  EXPECT_EQ(got.gauges[0].second, 2.0);  // highest index wins, not fastest
+  EXPECT_EQ(got.histograms[0].second.count, want.histograms[0].second.count);
+  EXPECT_DOUBLE_EQ(got.histograms[0].second.sum,
+                   want.histograms[0].second.sum);
+  EXPECT_DOUBLE_EQ(got.histograms[0].second.min,
+                   want.histograms[0].second.min);
+  EXPECT_DOUBLE_EQ(got.histograms[0].second.max,
+                   want.histograms[0].second.max);
+  EXPECT_DOUBLE_EQ(got.histograms[0].second.p50,
+                   want.histograms[0].second.p50);
+}
+
+TEST(GlobalRegistry, InstallationIsThreadLocal) {
+  // Sweep workers install their own registries; an installation on one
+  // thread must be invisible to every other thread.
+  MetricsRegistry main_reg;
+  ScopedMetrics scope(main_reg);
+  ASSERT_EQ(metrics(), &main_reg);
+
+  MetricsRegistry worker_reg;
+  std::thread worker([&worker_reg] {
+    EXPECT_EQ(metrics(), nullptr);  // main's install not inherited
+    ScopedMetrics worker_scope(worker_reg);
+    metrics()->counter("t.tls.total").add(1);
+  });
+  worker.join();
+
+  EXPECT_EQ(metrics(), &main_reg);  // untouched by the worker's install
+  EXPECT_TRUE(main_reg.snapshot().counters.empty());
+  EXPECT_EQ(worker_reg.snapshot().counters[0].second, 1u);
 }
 
 TEST(GlobalRegistry, DisabledPathIsANoop) {

@@ -22,6 +22,11 @@ metric-name       metric names passed to counter()/gauge()/histogram() in
                   _count, _us, _uj, _bps, _ratio, ...), so dashboards can
                   group by module and interpret values without a data
                   dictionary.
+no-raw-thread     no raw std::thread / std::jthread / std::async outside
+                  src/runner/. Parallelism goes through wb::runner's
+                  SweepRunner so results stay deterministic (per-task
+                  seeds, in-order merge) and the concurrency surface stays
+                  small enough to audit under TSan.
 """
 from __future__ import annotations
 
@@ -137,6 +142,15 @@ class Linter:
                         f"{m.group(1)}() is non-deterministic across "
                         "platforms; use wb::sim::RngStream")
 
+    def check_no_raw_thread(self, path: Path, code: str) -> None:
+        if path.relative_to(SRC).parts[0] == "runner":
+            return
+        for m in re.finditer(r"\bstd\s*::\s*(thread|jthread|async)\b", code):
+            self.report(path, line_of(code, m.start()), "no-raw-thread",
+                        f"std::{m.group(1)} outside src/runner/ bypasses "
+                        "the deterministic sweep API; use "
+                        "wb::runner::SweepRunner (or ThreadPool)")
+
     # Matches `TimeUs name` / `double name` parameter declarations: the name
     # must be followed by `,` or `)` (optionally via a simple default value),
     # which excludes struct fields and locals (they end with `;`).
@@ -189,6 +203,7 @@ class Linter:
             text = path.read_text()
             code = strip_comments_and_strings(text)
             self.check_no_rand(path, code)
+            self.check_no_raw_thread(path, code)
             self.check_metric_names(
                 path, strip_comments_and_strings(text, keep_strings=True))
             if path.suffix == ".h":
