@@ -22,6 +22,7 @@ ScopedMetrics::ScopedMetrics(MetricsRegistry& r) : prev_(t_metrics) {
 ScopedMetrics::~ScopedMetrics() { t_metrics = prev_; }
 
 void Gauge::max_of(double x) noexcept {
+  peak_.store(true, std::memory_order_relaxed);
   double cur = v_.load(std::memory_order_relaxed);
   while (x > cur &&
          !v_.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
@@ -181,7 +182,13 @@ void MetricsRegistry::merge_from(const MetricsRegistry& other) {
     if (it == gauges_.end()) {
       it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
     }
-    it->second->set(g->value());
+    // Peak gauges (max_of) merge with max so the result matches one
+    // shared gauge; plain gauges are last-merge-wins.
+    if (g->is_peak()) {
+      it->second->max_of(g->value());
+    } else {
+      it->second->set(g->value());
+    }
   }
   for (const auto& [name, h] : other.histograms_) {
     auto it = histograms_.find(name);

@@ -45,16 +45,28 @@ class Counter {
 };
 
 /// Last-written (or accumulated) scalar.
+///
+/// A gauge updated through max_of() becomes a *peak* gauge: registry
+/// merges combine it with max() instead of last-merge-wins, so a merged
+/// peak equals what one shared gauge would have recorded. Mixing set()
+/// and max_of() on the same gauge has no serial-equivalent merge and is
+/// unsupported — pick one update style per metric name.
 class Gauge {
  public:
   void set(double x) noexcept { v_.store(x, std::memory_order_relaxed); }
   void add(double dx) noexcept { v_.fetch_add(dx, std::memory_order_relaxed); }
   /// Raise the gauge to `x` if larger (peak tracking, e.g. queue depth).
+  /// Marks the gauge as a peak gauge for merging.
   void max_of(double x) noexcept;
   double value() const noexcept { return v_.load(std::memory_order_relaxed); }
+  /// True once max_of() has ever updated this gauge.
+  bool is_peak() const noexcept {
+    return peak_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<double> v_{0.0};
+  std::atomic<bool> peak_{false};
 };
 
 /// Log-bucketed histogram over positive values (HdrHistogram-style).
@@ -80,7 +92,11 @@ class LogHistogram {
   /// Accumulates `other` into this histogram bucket-wise: counts, sums,
   /// and exact min/max combine as if every sample had been recorded here.
   /// Addition commutes, so merged percentiles are independent of merge
-  /// order. Safe against concurrent record() calls on either side.
+  /// order. Both sides must be quiescent for an exact result: a record()
+  /// racing on `other` may be only partially included, and one racing on
+  /// `this` may have its min/max clobbered by the empty-destination
+  /// seeding path. (The sweep merge runs after wait_idle(), so per-task
+  /// histograms are always quiescent there.)
   void merge_from(const LogHistogram& other) noexcept;
 
   std::uint64_t count() const noexcept {
@@ -121,11 +137,16 @@ class MetricsRegistry {
 
   /// Folds every instrument of `other` into this registry, creating
   /// instruments as needed: counters and histograms accumulate; gauges
-  /// take `other`'s value (last-merge-wins). Merging per-task registries
-  /// in ascending task order therefore reproduces exactly what a serial
-  /// run writing into one shared registry would have left behind — the
-  /// invariant wb::runner's deterministic sweeps rely on. Thread-safe
-  /// against lookups and updates on both registries.
+  /// take `other`'s value (last-merge-wins), except peak gauges (ever
+  /// updated via Gauge::max_of), which combine with max(). Merging
+  /// per-task registries in ascending task order therefore reproduces
+  /// exactly what a serial run writing into one shared registry would
+  /// have left behind — the invariant wb::runner's deterministic sweeps
+  /// rely on. Thread-safe against concurrent lookups and instrument
+  /// creation on both registries; instrument *updates* racing with the
+  /// merge give approximate results (see LogHistogram::merge_from), so
+  /// merge quiescent registries — as the sweep does after wait_idle() —
+  /// when exactness matters.
   void merge_from(const MetricsRegistry& other);
 
   /// A consistent point-in-time copy of every instrument, sorted by name.

@@ -4,8 +4,10 @@
 // caller observes must not. The rule everywhere in this module is: merge
 // in ascending task-index order, which makes the combined output equal to
 // what a serial run with one shared registry/report would have produced
-// (counters and histograms are commutative sums; gauges are last-write-
-// wins, and "last" in task-index order is exactly the serial "last").
+// (counters and histograms are commutative sums; peak gauges — ones
+// updated via Gauge::max_of — combine with max; plain gauges are
+// last-write-wins, and "last" in task-index order is exactly the serial
+// "last").
 #pragma once
 
 #include <cstddef>

@@ -83,6 +83,10 @@ class SweepRunner {
     using R = std::decay_t<std::invoke_result_t<Fn&, const TaskContext&>>;
     static_assert(!std::is_void_v<R>,
                   "sweep tasks must return a value (their measurement)");
+    static_assert(!std::is_same_v<R, bool>,
+                  "sweep tasks must not return bool: std::vector<bool> "
+                  "bit-packs, so writing results[i] from parallel tasks "
+                  "would race on shared bytes — return a struct or int");
     SweepResult<R> out;
     out.results.resize(num_tasks);
     std::vector<std::unique_ptr<obs::MetricsRegistry>> regs(

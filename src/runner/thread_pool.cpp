@@ -35,18 +35,24 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> fn) {
   WB_REQUIRE(static_cast<bool>(fn), "cannot submit an empty task");
-  std::size_t target = 0;
   {
     const std::lock_guard<std::mutex> lock(mu_);
     WB_REQUIRE(!stop_, "cannot submit to a stopping pool");
-    target = next_queue_;
+    const std::size_t target = next_queue_;
     next_queue_ = (next_queue_ + 1) % queues_.size();
     ++pending_;
+    // The push must not happen after the epoch bump becomes visible: a
+    // worker that reads the new epoch must find the task queued, and one
+    // that read the old epoch must see epoch_ != seen_epoch when it goes
+    // to sleep after a failed scan. Holding mu_ across the push makes the
+    // pair atomic w.r.t. the worker's read-scan-sleep sequence (workers
+    // never acquire mu_ while holding a queue mutex, so the mu_ -> q.mu
+    // order here cannot deadlock).
+    {
+      const std::lock_guard<std::mutex> qlock(queues_[target]->mu);
+      queues_[target]->tasks.push_back(std::move(fn));
+    }
     ++epoch_;
-  }
-  {
-    const std::lock_guard<std::mutex> lock(queues_[target]->mu);
-    queues_[target]->tasks.push_back(std::move(fn));
   }
   work_cv_.notify_one();
 }

@@ -4,7 +4,11 @@
 //
 // Grammar is deliberately minimal — positional words are ignored, `--name`
 // is a boolean flag, `--name value` an option; the last occurrence wins.
-// No registration, no help text: binaries document their own flags.
+// No registration, no help text: binaries document their own flags. Misuse
+// fails loudly via WB_REQUIRE rather than being silently reinterpreted: a
+// valued flag with a missing or `--`-prefixed follower (`--json-out
+// --quick`) and non-numeric values for numeric flags (`--threads abc`)
+// are usage errors, not defaults.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +16,8 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/check.h"
 
 namespace wb::util {
 
@@ -32,12 +38,12 @@ class Args {
 
   double num(std::string_view name, double dflt) const {
     const int i = find_valued(name);
-    return i >= 0 ? std::atof(argv_[i + 1]) : dflt;
+    return i >= 0 ? parse_num(argv_[i + 1]) : dflt;
   }
 
   std::uint64_t u64(std::string_view name, std::uint64_t dflt) const {
     const int i = find_valued(name);
-    return i >= 0 ? std::strtoull(argv_[i + 1], nullptr, 10) : dflt;
+    return i >= 0 ? parse_u64(argv_[i + 1]) : dflt;
   }
 
   std::size_t size(std::string_view name, std::size_t dflt) const {
@@ -57,8 +63,8 @@ class Args {
       std::size_t end = raw.find(',', start);
       if (end == std::string_view::npos) end = raw.size();
       if (end > start) {
-        out.push_back(std::atof(std::string(raw.substr(start, end - start))
-                                    .c_str()));
+        out.push_back(
+            parse_num(std::string(raw.substr(start, end - start)).c_str()));
       }
       start = end + 1;
     }
@@ -74,12 +80,33 @@ class Args {
     return -1;
   }
 
-  /// Index of the last occurrence of `name` that has a following value.
+  /// Index of the last occurrence of `name`, validated to be followed by
+  /// a value token; -1 when the flag is absent. A trailing flag with no
+  /// value, or one whose "value" is the next `--flag`, is a usage error.
   int find_valued(std::string_view name) const {
-    for (int i = argc_ - 2; i >= 1; --i) {
-      if (name == argv_[i]) return i;
-    }
-    return -1;
+    const int i = find(name);
+    if (i < 0) return -1;
+    WB_REQUIRE(i + 1 < argc_, "valued flag at end of line is missing its value");
+    const std::string_view value = argv_[i + 1];
+    WB_REQUIRE(value.substr(0, 2) != "--",
+               "value after a valued flag looks like another flag");
+    return i;
+  }
+
+  static double parse_num(const char* s) {
+    char* end = nullptr;
+    const double v = std::strtod(s, &end);
+    WB_REQUIRE(end != s && *end == '\0', "flag value is not a number");
+    return v;
+  }
+
+  static std::uint64_t parse_u64(const char* s) {
+    WB_REQUIRE(*s != '-', "flag value must be a non-negative integer");
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(s, &end, 10);
+    WB_REQUIRE(end != s && *end == '\0',
+               "flag value is not an unsigned integer");
+    return static_cast<std::uint64_t>(v);
   }
 
   int argc_;

@@ -176,6 +176,33 @@ TEST(MergeFrom, GaugesAreLastMergeWins) {
   EXPECT_EQ(a.snapshot().gauges[0].second, 2.0);
 }
 
+TEST(MergeFrom, PeakGaugesMergeWithMax) {
+  // Gauges driven by max_of (e.g. sim.event_queue.depth_peak_count) hold a
+  // peak; after a merge the destination must hold the max across both
+  // sides, not the source's local peak (last-merge-wins would lose a
+  // larger earlier-task peak).
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.gauge("m.x.depth_peak_count").max_of(7.0);
+  b.gauge("m.x.depth_peak_count").max_of(3.0);
+  a.merge_from(b);
+  EXPECT_EQ(a.snapshot().gauges[0].second, 7.0);
+}
+
+TEST(MergeFrom, PeakGaugesIntoFreshRegistryTakeCrossTaskMax) {
+  // The sweep merge starts from an empty destination and folds per-task
+  // registries in ascending index order; a peak gauge must come out as
+  // the cross-task max even when the largest peak is not the last task's.
+  std::vector<MetricsRegistry> parts(3);
+  const double peaks[] = {5.0, 9.0, 2.0};
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    parts[i].gauge("m.x.depth_peak_count").max_of(peaks[i]);
+  }
+  MetricsRegistry merged;
+  for (const auto& part : parts) merged.merge_from(part);
+  EXPECT_EQ(merged.snapshot().gauges[0].second, 9.0);
+}
+
 TEST(MergeFrom, HistogramsMergeCountSumAndExtremes) {
   MetricsRegistry a;
   MetricsRegistry b;
@@ -220,6 +247,8 @@ TEST(MergeFrom, InOrderMergeEqualsSerialSharedRegistry) {
     for (MetricsRegistry* reg : {&serial, &parts[i]}) {
       reg->counter("t.merge.total").add(i + 1);
       reg->gauge("t.merge.last_index").set(static_cast<double>(i));
+      reg->gauge("t.merge.peak_count")
+          .max_of(static_cast<double>((7 * i) % 5));  // peaks 0, 2, 4
       reg->histogram("t.merge.val").record(static_cast<double>(10 * i + 1));
     }
   }
@@ -232,6 +261,8 @@ TEST(MergeFrom, InOrderMergeEqualsSerialSharedRegistry) {
   EXPECT_EQ(got.counters[0].second, want.counters[0].second);
   EXPECT_EQ(got.gauges[0].second, want.gauges[0].second);
   EXPECT_EQ(got.gauges[0].second, 2.0);  // highest index wins, not fastest
+  EXPECT_EQ(got.gauges[1].second, want.gauges[1].second);
+  EXPECT_EQ(got.gauges[1].second, 4.0);  // peak gauge: cross-task max
   EXPECT_EQ(got.histograms[0].second.count, want.histograms[0].second.count);
   EXPECT_DOUBLE_EQ(got.histograms[0].second.sum,
                    want.histograms[0].second.sum);

@@ -82,6 +82,24 @@ TEST(ThreadPool, SubmitFromWorkerThreadIsSafe) {
   EXPECT_EQ(children.load(), 8);
 }
 
+TEST(ThreadPool, TrickledSubmissionsNeverStrandATask) {
+  // Regression for a lost-wakeup race in submit(): the task used to be
+  // pushed to its worker queue after the epoch bump and outside mu_, so a
+  // worker could read the new epoch, scan every queue before the push
+  // landed, and then sleep forever on `epoch_ != seen_epoch` — stranding
+  // the task and deadlocking wait_idle(). Trickling single tasks through
+  // repeated idle phases maximizes sleeping workers at submit time; a
+  // stranded task hangs this test (guarded by the ctest timeout).
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 500; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+    if (i % 2 == 0) pool.wait_idle();
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 500);
+}
+
 TEST(ThreadPool, WorkIsActuallyDistributedWhenWorkersBlock) {
   // Two tasks that each wait for the other to start can only finish if two
   // distinct workers pick them up — a single-threaded pool would deadlock

@@ -1,0 +1,87 @@
+#include "util/args.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace wb::util {
+namespace {
+
+// Builds argv ("prog" + words) with storage owned by the fixture so the
+// Args view stays valid for the whole test body.
+class ArgsTest : public ::testing::Test {
+ protected:
+  Args make(std::vector<std::string> words) {
+    words_ = std::move(words);
+    ptrs_.clear();
+    ptrs_.push_back(prog_.data());
+    for (auto& w : words_) ptrs_.push_back(w.data());
+    return Args(static_cast<int>(ptrs_.size()), ptrs_.data());
+  }
+
+  std::string prog_ = "prog";
+  std::vector<std::string> words_;
+  std::vector<char*> ptrs_;
+};
+
+TEST_F(ArgsTest, BooleanFlagPresenceAndAbsence) {
+  const Args args = make({"--quick", "positional"});
+  EXPECT_TRUE(args.flag("--quick"));
+  EXPECT_FALSE(args.flag("--slow"));
+}
+
+TEST_F(ArgsTest, ValuedFlagsParseAndLastOccurrenceWins) {
+  const Args args =
+      make({"--out", "a.json", "--threads", "8", "--out", "b.json"});
+  EXPECT_EQ(args.str("--out"), "b.json");
+  EXPECT_EQ(args.u64("--threads", 0), 8u);
+  EXPECT_EQ(args.size("--threads", 0), 8u);
+  EXPECT_EQ(args.str("--missing", "dflt"), "dflt");
+  EXPECT_EQ(args.u64("--missing", 3), 3u);
+}
+
+TEST_F(ArgsTest, NumParsesDoublesIncludingNegatives) {
+  const Args args = make({"--distance", "0.3", "--offset", "-5"});
+  EXPECT_DOUBLE_EQ(args.num("--distance", 0.0), 0.3);
+  EXPECT_DOUBLE_EQ(args.num("--offset", 0.0), -5.0);
+  EXPECT_DOUBLE_EQ(args.num("--missing", 1.5), 1.5);
+}
+
+TEST_F(ArgsTest, NumListSplitsOnCommas) {
+  const Args args = make({"--distances-cm", "5,30,,65"});
+  EXPECT_EQ(args.num_list("--distances-cm"),
+            (std::vector<double>{5.0, 30.0, 65.0}));
+  EXPECT_EQ(args.num_list("--missing", {1.0}), std::vector<double>{1.0});
+}
+
+TEST_F(ArgsTest, FlagAsValueIsAUsageError) {
+  // `--json-out --quick` used to silently write a file named "--quick".
+  ScopedContractPolicy guard(ContractPolicy::kThrow);
+  const Args args = make({"--json-out", "--quick"});
+  EXPECT_THROW(args.str("--json-out"), ContractViolation);
+}
+
+TEST_F(ArgsTest, TrailingValuedFlagIsAUsageError) {
+  ScopedContractPolicy guard(ContractPolicy::kThrow);
+  const Args args = make({"--runs", "3", "--json-out"});
+  EXPECT_THROW(args.str("--json-out"), ContractViolation);
+  // Other flags on the same line still parse.
+  EXPECT_EQ(args.u64("--runs", 0), 3u);
+}
+
+TEST_F(ArgsTest, NonNumericValuesFailLoudly) {
+  // `--threads abc` used to parse as 0, meaning "hardware concurrency".
+  ScopedContractPolicy guard(ContractPolicy::kThrow);
+  const Args args = make({"--threads", "abc", "--distance", "1.5x",
+                          "--runs", "-2", "--list", "1,zz,3"});
+  EXPECT_THROW(args.u64("--threads", 0), ContractViolation);
+  EXPECT_THROW(args.num("--distance", 0.0), ContractViolation);
+  EXPECT_THROW(args.u64("--runs", 0), ContractViolation);  // negative u64
+  EXPECT_THROW(args.num_list("--list"), ContractViolation);
+}
+
+}  // namespace
+}  // namespace wb::util
