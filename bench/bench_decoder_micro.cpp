@@ -1,16 +1,69 @@
 // Microbenchmarks of the reader-side decoding kernels and the tag-side
 // circuit simulation, via google-benchmark. These bound how much capture
 // data a software reader can process in real time.
+//
+// Two modes:
+//   (default)        the google-benchmark suite below
+//   --json-out FILE  direct instrumented measurement of the decode hot
+//                    path, written as an obs::RunReport (BENCH_decoder
+//                    .json): ns/packet and allocations/decode for the
+//                    workspace path, the allocating wrappers, and a frozen
+//                    seed-equivalent reference (the pre-workspace
+//                    implementation, kept verbatim below so the perf
+//                    trajectory keeps a fixed baseline). --quick shrinks
+//                    the iteration count. scripts/check.sh gates on
+//                    allocs_per_decode == 0 for the workspace rows.
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <new>
+#include <string>
+
 #include <benchmark/benchmark.h>
 
 #include "core/uplink_sim.h"
+#include "obs/report.h"
 #include "phy/ofdm_envelope.h"
 #include "reader/conditioning.h"
+#include "reader/decode_workspace.h"
 #include "reader/uplink_decoder.h"
 #include "tag/energy_detector.h"
 #include "tag/modulator.h"
+#include "util/args.h"
 #include "util/dsp.h"
 #include "wifi/traffic.h"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+
+}  // namespace
+
+// Binary-local allocation instrumentation: every operator-new in the
+// process bumps the counter, so a measured loop's delta is exactly its
+// allocation count (the "allocations/decode" column of BENCH_decoder
+// .json). Counting is always on — readers take deltas.
+//
+// GCC's -Wmismatched-new-delete inlines the delete below to free() and
+// flags it against operator new; the pair is consistent (both sides go
+// through malloc/free), so silence the false positive for this TU.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -125,6 +178,156 @@ void BM_EnergyDetectorStep(benchmark::State& state) {
 }
 BENCHMARK(BM_EnergyDetectorStep);
 
+// ---------------------------------------------------------------------
+// --json-out mode: direct measurement of the decode hot path.
+
+/// The seed's condition() implementation, frozen verbatim (modulo the
+/// metrics block) as the perf baseline: AoS per-record collection via
+/// push_back with per-call stream_csi index arithmetic, then the
+/// allocating dsp wrappers per stream. Produces values identical to
+/// reader::condition — only the memory behaviour differs.
+reader::ConditionedTrace condition_seed(const wifi::CaptureTrace& trace,
+                                        reader::MeasurementSource source,
+                                        TimeUs movavg_window_us) {
+  reader::ConditionedTrace out;
+  std::vector<std::vector<double>> raw;
+  const std::size_t num_streams =
+      (source == reader::MeasurementSource::kCsi) ? wifi::kNumCsiStreams
+                                                  : phy::kNumAntennas;
+  raw.resize(num_streams);
+  for (const auto& rec : trace) {
+    if (source == reader::MeasurementSource::kCsi && !rec.has_csi) continue;
+    out.timestamps.push_back(rec.timestamp_us);
+    for (std::size_t s = 0; s < num_streams; ++s) {
+      const double v = (source == reader::MeasurementSource::kCsi)
+                           ? wifi::stream_csi(rec, s)
+                           : rec.rssi_dbm[s];
+      raw[s].push_back(v);
+    }
+  }
+  out.streams.resize(num_streams);
+  for (std::size_t s = 0; s < num_streams; ++s) {
+    auto centered = reader::remove_time_moving_average(
+        out.timestamps, raw[s], movavg_window_us);
+    out.streams[s] = normalize_mad(centered);
+  }
+  return out;
+}
+
+struct Sample {
+  double ns_per_packet = 0.0;
+  double allocs_per_decode = 0.0;
+};
+
+/// Times `fn` over `iters` calls (after two warmup calls so workspace
+/// capacities are steady-state) and reads the allocation-counter delta.
+template <typename F>
+Sample measure(F&& fn, std::size_t packets, int iters) {
+  fn();
+  fn();
+  const std::uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  const std::uint64_t a1 = g_allocs.load(std::memory_order_relaxed);
+  const double ns = std::chrono::duration<double, std::nano>(t1 - t0).count();
+  Sample s;
+  s.ns_per_packet =
+      ns / (static_cast<double>(iters) * static_cast<double>(packets));
+  s.allocs_per_decode =
+      static_cast<double>(a1 - a0) / static_cast<double>(iters);
+  return s;
+}
+
+bool run_json_report(const std::string& path, bool quick) {
+  const auto& trace = shared_trace();
+  const std::size_t packets = trace.size();
+  const int iters = quick ? 5 : 25;
+  const auto cfg = shared_decoder_config();
+  const reader::UplinkDecoder dec(cfg);
+
+  obs::RunReport report;
+  report.set_meta("bench", "decoder_micro");
+  report.set_meta("quick", quick);
+  report.set_meta("packets", static_cast<double>(packets));
+  report.set_meta("iters", static_cast<double>(iters));
+
+  auto add = [&report](const char* name, const Sample& s) {
+    report.add_row(name)
+        .set("ns_per_packet", s.ns_per_packet)
+        .set("allocs_per_decode", s.allocs_per_decode);
+    return s;
+  };
+
+  // Frozen pre-workspace reference (see condition_seed above).
+  const Sample full_seed = add("full_decode_seed", measure(
+      [&] {
+        const auto ct =
+            condition_seed(trace, cfg.source, cfg.movavg_window_us);
+        benchmark::DoNotOptimize(dec.decode_conditioned(ct));
+      },
+      packets, iters));
+  add("conditioning_seed", measure(
+      [&] {
+        benchmark::DoNotOptimize(
+            condition_seed(trace, cfg.source, cfg.movavg_window_us));
+      },
+      packets, iters));
+
+  // Current allocating convenience wrappers (fresh workspace per call).
+  add("full_decode_allocating", measure(
+      [&] { benchmark::DoNotOptimize(dec.decode(trace)); }, packets, iters));
+  add("conditioning_allocating", measure(
+      [&] {
+        benchmark::DoNotOptimize(reader::condition(trace, cfg.source));
+      },
+      packets, iters));
+
+  // Steady-state workspace path: one workspace + result, reused.
+  reader::DecodeWorkspace ws;
+  reader::UplinkDecodeResult result;
+  const Sample full_ws = add("full_decode_workspace", measure(
+      [&] {
+        dec.decode_into(trace, ws, result);
+        benchmark::DoNotOptimize(result.found);
+      },
+      packets, iters));
+  reader::DecodeWorkspace cond_ws;
+  reader::ConditionedTrace ct_out;
+  add("conditioning_workspace", measure(
+      [&] {
+        reader::condition_into(trace, cfg.source, cfg.movavg_window_us,
+                               cond_ws, ct_out);
+        benchmark::DoNotOptimize(ct_out.timestamps.data());
+      },
+      packets, iters));
+
+  report.set_meta("speedup_full_decode_vs_seed",
+                  full_seed.ns_per_packet / full_ws.ns_per_packet);
+  if (!report.write_json(path)) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return false;
+  }
+  std::printf("json report: %s\n", path.c_str());
+  std::printf("full decode: seed %.0f ns/pkt (%.0f allocs), workspace "
+              "%.0f ns/pkt (%.0f allocs), speedup %.2fx\n",
+              full_seed.ns_per_packet, full_seed.allocs_per_decode,
+              full_ws.ns_per_packet, full_ws.allocs_per_decode,
+              full_seed.ns_per_packet / full_ws.ns_per_packet);
+  return true;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const std::string json_path = args.str("--json-out");
+  if (!json_path.empty()) {
+    return run_json_report(json_path, args.flag("--quick")) ? 0 : 1;
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

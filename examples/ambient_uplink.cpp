@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "core/uplink_sim.h"
+#include "reader/streaming_decoder.h"
 #include "reader/uplink_decoder.h"
 #include "tag/modulator.h"
 #include "util/codes.h"
@@ -108,6 +109,49 @@ int main() {
     std::printf("beacons only at %2.0f/s   (%5zu pkts): %zu/%zu bit errors %s\n",
                 beacons_per_sec, tl.size(), errors, payload.size(),
                 errors == 0 ? "- clean decode" : "");
+  }
+
+  // --- Case 4: record-by-record streaming decode, drained by flush() ---
+  // The reader consumes the capture live instead of decoding a recorded
+  // trace, and the ambient traffic dies right after the frame's last bit —
+  // so the final frame is only recovered by flushing when the capture ends.
+  {
+    sim::RngStream rng(14);
+    auto traffic_rng = rng.fork("live");
+    const TimeUs bit_us = 12'000;
+    const TimeUs frame_start = 600'000;
+    const TimeUs frame_end = frame_start + 53 * bit_us;
+    const auto tl = wifi::make_cbr_timeline(3'000, frame_end + 5'000,
+                                            wifi::TrafficParams{},
+                                            traffic_rng);
+
+    core::UplinkSimConfig cfg;
+    cfg.channel.tag_pos = {0.05, 0.0};
+    cfg.channel.helper_pos = {3.05, 0.0};
+    cfg.seed = 24;
+    BitVec frame = barker13();
+    frame.insert(frame.end(), payload.begin(), payload.end());
+    tag::Modulator mod(frame, bit_us, frame_start);
+    core::UplinkSim sim(cfg);
+    const auto trace = sim.run(tl, mod);
+
+    reader::StreamingDecoderConfig scfg;
+    scfg.decoder.payload_bits = payload.size();
+    scfg.decoder.bit_duration_us = bit_us;
+    reader::StreamingUplinkDecoder dec(scfg);
+    std::vector<reader::UplinkDecodeResult> frames;
+    for (const auto& rec : trace) {
+      for (auto& f : dec.push(rec)) frames.push_back(std::move(f));
+    }
+    const std::size_t live = frames.size();
+    for (auto& f : dec.flush()) frames.push_back(std::move(f));
+    const std::size_t errors =
+        frames.empty() ? payload.size()
+                       : hamming_distance(payload, frames.front().payload);
+    std::printf(
+        "live capture          (%5zu pkts): %zu frame(s) while streaming, "
+        "%zu drained by flush, %zu/%zu bit errors\n",
+        trace.size(), live, frames.size() - live, errors, payload.size());
   }
 
   std::printf(

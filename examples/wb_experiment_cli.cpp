@@ -7,6 +7,7 @@
 //   wb_experiment_cli coded    [--distance M] [--length L] [--runs N]
 //   wb_experiment_cli downlink [--distance M] [--slot-us N] [--bits N]
 //   wb_experiment_cli trace    [--distance M] [--packets N] --out FILE
+//                              | --in FILE
 //   wb_experiment_cli query    [--distance M] [--helper-pps N]
 //                              [--queries N] [--ack] [--seed N]
 //   wb_experiment_cli sweep    [--distances-cm A,B,...]
@@ -15,7 +16,8 @@
 //                              [--threads N] [--json-out FILE]
 //
 // `trace` writes a capture CSV (an alternating-bit tag) that external
-// tools — or `read_capture_csv` — can consume. `query` drives full
+// tools — or `read_capture_csv` — can consume; `trace --in` reads one
+// back (strict parse: malformed cells are rejected with line:column). `query` drives full
 // request-response round trips through the discrete-event scheduler.
 // `sweep` expands a distance × packets-per-bit grid and runs it on
 // wb::runner worker threads (default: hardware concurrency), emitting one
@@ -33,6 +35,7 @@
 #include "core/downlink_sim.h"
 #include "core/experiments.h"
 #include "core/frame.h"
+#include "core/rate_control.h"
 #include "core/system.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
@@ -105,11 +108,39 @@ int run_downlink(const util::Args& args) {
 }
 
 int run_trace(const util::Args& args) {
+  const std::string in = args.str("--in");
+  if (!in.empty()) {
+    // Inspect a previously written capture: record count, time span, CSI
+    // coverage, and the helper packet rate the rate controller would see.
+    // A malformed cell is reported with its line and column, not decoded
+    // partially.
+    wifi::CaptureTrace trace;
+    try {
+      trace = wifi::load_capture_csv(in);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+    std::printf("read %zu capture records from %s\n", trace.size(),
+                in.c_str());
+    if (!trace.empty()) {
+      std::size_t with_csi = 0;
+      for (const auto& rec : trace) with_csi += rec.has_csi ? 1 : 0;
+      const auto span_us =
+          trace.back().timestamp_us - trace.front().timestamp_us;
+      std::printf("  span     : %.3f s\n",
+                  static_cast<double>(span_us) / 1e6);
+      std::printf("  CSI      : %zu/%zu records\n", with_csi, trace.size());
+      std::printf("  rate     : %.0f pkt/s over the last second\n",
+                  core::RateControl::measured_packet_rate(trace, 1'000'000));
+    }
+    return 0;
+  }
   const double distance = args.num("--distance", 0.05);
   const auto packets = args.size("--packets", 3'000);
   const std::string out = args.str("--out");
   if (out.empty()) {
-    std::fprintf(stderr, "trace mode requires --out FILE\n");
+    std::fprintf(stderr, "trace mode requires --out or --in FILE\n");
     return 2;
   }
   core::UplinkSimConfig cfg;

@@ -8,6 +8,8 @@
 #   5. observability smoke: one CLI query exchange with --metrics-out /
 #      --trace-out, both outputs validated as JSON
 #   6. clang-tidy over src/       (skipped with a notice if not installed)
+#   7. Release perf gate: bench_decoder_micro --json-out must show a
+#      zero-allocation workspace decode (scripts/validate_bench_decoder.py)
 # Exits non-zero on the first failure. Usage: scripts/check.sh [-j N]
 set -euo pipefail
 
@@ -23,19 +25,19 @@ done
 
 BUILD_DIR=build-check
 
-echo "==> [1/6] wb_lint"
+echo "==> [1/7] wb_lint"
 python3 tools/wb_lint.py
 
-echo "==> [2/6] configure + build (WB_SANITIZE=address, WB_WERROR=ON)"
+echo "==> [2/7] configure + build (WB_SANITIZE=address, WB_WERROR=ON)"
 cmake -B "$BUILD_DIR" -S . \
   -DWB_SANITIZE=address -DWB_WERROR=ON \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
 cmake --build "$BUILD_DIR" -j "$JOBS"
 
-echo "==> [3/6] ctest under ASan+UBSan"
+echo "==> [3/7] ctest under ASan+UBSan"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
-echo "==> [4/6] TSan over the concurrency surface (WB_SANITIZE=thread)"
+echo "==> [4/7] TSan over the concurrency surface (WB_SANITIZE=thread)"
 TSAN_DIR=build-tsan
 cmake -B "$TSAN_DIR" -S . \
   -DWB_SANITIZE=thread -DWB_WERROR=ON \
@@ -46,7 +48,7 @@ cmake --build "$TSAN_DIR" -j "$JOBS" \
 "$TSAN_DIR/tests/test_runner_sweep"
 "$TSAN_DIR/tests/test_obs_metrics"
 
-echo "==> [5/6] observability smoke (CLI query + JSON validation)"
+echo "==> [5/7] observability smoke (CLI query + JSON validation)"
 OBS_TMP="$(mktemp -d)"
 trap 'rm -rf "$OBS_TMP"' EXIT
 "$BUILD_DIR/examples/wb_experiment_cli" query \
@@ -68,7 +70,7 @@ print(f"    metrics: {len(counters)} counters over modules {modules}")
 print(f"    trace:   {len(trace['traceEvents'])} events")
 PY
 
-echo "==> [6/6] clang-tidy"
+echo "==> [6/7] clang-tidy"
 if command -v clang-tidy > /dev/null 2>&1; then
   if command -v run-clang-tidy > /dev/null 2>&1; then
     run-clang-tidy -p "$BUILD_DIR" -quiet "src/.*\.cpp$"
@@ -80,5 +82,13 @@ if command -v clang-tidy > /dev/null 2>&1; then
 else
   echo "    clang-tidy not installed; skipping (config: .clang-tidy)"
 fi
+
+echo "==> [7/7] decode hot-path allocation gate (Release bench)"
+PERF_DIR=build-perf
+cmake -B "$PERF_DIR" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+cmake --build "$PERF_DIR" -j "$JOBS" --target bench_decoder_micro
+python3 scripts/validate_bench_decoder.py \
+  --bench "$PERF_DIR/bench/bench_decoder_micro" \
+  --out "$PERF_DIR/BENCH_decoder.json"
 
 echo "==> all checks passed"

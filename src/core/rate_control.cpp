@@ -11,14 +11,23 @@ double RateControl::measured_packet_rate(const wifi::CaptureTrace& trace,
                                          TimeUs window_us) {
   if (trace.empty() || window_us <= 0) return 0.0;
   const TimeUs end = trace.back().timestamp_us;
-  const TimeUs from = end - window_us;
+  // Clamp the averaging span to what the trace actually covers: dividing
+  // by the full window when the capture is shorter silently under-reports
+  // the rate (0.5 s of packets averaged over a 1 s window halves it).
+  const TimeUs effective_us =
+      std::min(window_us, end - trace.front().timestamp_us);
+  if (effective_us <= 0) return 0.0;
+  const TimeUs from = end - effective_us;
+  // Half-open window (from, end]: a packet exactly at `from` belongs to
+  // the previous window, so the span covers exactly the counted packets'
+  // inter-arrival gaps and a steady stream measures its true rate.
   std::size_t n = 0;
   for (auto it = trace.rbegin(); it != trace.rend(); ++it) {
-    if (it->timestamp_us < from) break;
+    if (it->timestamp_us <= from) break;
     ++n;
   }
   const double pps = static_cast<double>(n) /
-                     (static_cast<double>(window_us) / 1e6);
+                     (static_cast<double>(effective_us) / 1e6);
   if (auto* m = obs::metrics()) {
     m->gauge("core.rate_control.measured_pps").set(pps);
   }
@@ -44,12 +53,19 @@ double RateControl::choose_bit_rate(double helper_pps) const {
 }
 
 std::uint8_t RateControl::rate_code(double bit_rate_bps) const {
+  // Locate the rate by the same index scan choose_bit_rate uses (largest
+  // supported rate not above the argument) rather than bare float ==.
+  std::size_t idx = kSupportedBitRates.size();
   for (std::size_t i = 0; i < kSupportedBitRates.size(); ++i) {
-    if (kSupportedBitRates[i] == bit_rate_bps) {
-      return static_cast<std::uint8_t>(i);
-    }
+    if (kSupportedBitRates[i] <= bit_rate_bps) idx = i;
   }
-  return 0;
+  // An unknown rate is a caller bug: silently coding it as the slowest
+  // rate (the old behaviour) made the tag transmit at a rate the reader
+  // never chose and nothing downstream could tell.
+  WB_REQUIRE(idx < kSupportedBitRates.size() &&
+                 kSupportedBitRates[idx] == bit_rate_bps,
+             "rate_code requires one of kSupportedBitRates");
+  return static_cast<std::uint8_t>(idx);
 }
 
 double RateControl::rate_from_code(std::uint8_t code) {

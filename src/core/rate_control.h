@@ -32,7 +32,10 @@ class RateControl {
   explicit RateControl(RateControlParams p) : params_(p) {}
 
   /// Average helper packet rate (packets/s) observed over the most recent
-  /// `window_us` of a capture trace.
+  /// `window_us` of a capture trace. The averaging span is clamped to the
+  /// trace's actual extent (a 0.5 s capture is not averaged over a 1 s
+  /// window), and the window is half-open (end - span, end]: a packet
+  /// exactly at the lower edge is excluded.
   static double measured_packet_rate(const wifi::CaptureTrace& trace,
                                      TimeUs window_us);
 
@@ -44,7 +47,9 @@ class RateControl {
   double choose_bit_rate(double helper_pps) const;
 
   /// Code for the chosen rate, as carried in the query frame's
-  /// bitrate_code field.
+  /// bitrate_code field. The rate must be one of kSupportedBitRates
+  /// (i.e. a choose_bit_rate result); anything else is a contract
+  /// violation, not a silent fallback to the slowest code.
   std::uint8_t rate_code(double bit_rate_bps) const;
 
   /// Inverse of rate_code.

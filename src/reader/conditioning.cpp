@@ -7,15 +7,17 @@
 #include "obs/scoped_timer.h"
 #include "util/check.h"
 
+#include "reader/decode_workspace.h"
 #include "util/dsp.h"
 
 namespace wb::reader {
 
-std::vector<double> remove_time_moving_average(
-    const std::vector<TimeUs>& ts, const std::vector<double>& xs,
-    TimeUs window_us) {
+void remove_time_moving_average(std::span<const TimeUs> ts,
+                                std::span<const double> xs, TimeUs window_us,
+                                std::span<double> out) {
   WB_REQUIRE(ts.size() == xs.size(),
              "one measurement per timestamp is required");
+  WB_REQUIRE(out.size() == xs.size(), "output must cover every sample");
   WB_REQUIRE(window_us > 0, "moving-average window must be positive");
   WB_REQUIRE(std::is_sorted(ts.begin(), ts.end()),
              "capture timestamps must be non-decreasing");
@@ -25,7 +27,6 @@ std::vector<double> remove_time_moving_average(
   // data-dependent baseline creep (a trailing average over a frame edge
   // contains a varying mix of modulated and quiescent samples, which can
   // flip the apparent sign of bits after locally imbalanced runs).
-  std::vector<double> out(xs.size());
   const TimeUs half = window_us / 2;
   std::size_t head = 0;  // first index inside [t_k - half, t_k + half]
   std::size_t tail = 0;  // one past the last index inside
@@ -42,39 +43,72 @@ std::vector<double> remove_time_moving_average(
     const double mean = sum / static_cast<double>(tail - head);
     out[k] = xs[k] - mean;
   }
+}
+
+std::vector<double> remove_time_moving_average(
+    const std::vector<TimeUs>& ts, const std::vector<double>& xs,
+    TimeUs window_us) {
+  std::vector<double> out(xs.size());
+  remove_time_moving_average(std::span<const TimeUs>(ts),
+                             std::span<const double>(xs), window_us, out);
   return out;
 }
 
-ConditionedTrace condition(const wifi::CaptureTrace& trace,
-                           MeasurementSource source,
-                           TimeUs movavg_window_us) {
+void condition_into(const wifi::CaptureTrace& trace, MeasurementSource source,
+                    TimeUs movavg_window_us, DecodeWorkspace& ws,
+                    ConditionedTrace& out) {
   WB_REQUIRE(movavg_window_us > 0, "moving-average window must be positive");
   obs::ScopedTimer timer("reader.conditioning.wall_us");
-  ConditionedTrace out;
 
-  // Collect raw series. For CSI, records without CSI (beacons on the
-  // paper's NIC) are skipped entirely; for RSSI every record counts.
-  std::vector<std::vector<double>> raw;
   const std::size_t num_streams = (source == MeasurementSource::kCsi)
                                       ? wifi::kNumCsiStreams
                                       : phy::kNumAntennas;
-  raw.resize(num_streams);
-  for (const auto& rec : trace) {
-    if (source == MeasurementSource::kCsi && !rec.has_csi) continue;
-    out.timestamps.push_back(rec.timestamp_us);
-    for (std::size_t s = 0; s < num_streams; ++s) {
-      const double v = (source == MeasurementSource::kCsi)
-                           ? wifi::stream_csi(rec, s)
-                           : rec.rssi_dbm[s];
-      raw[s].push_back(v);
-    }
+
+  // Collect raw series straight into preallocated SoA buffers: count the
+  // usable records first, size every stream once, then write by index.
+  // For CSI, records without CSI (beacons on the paper's NIC) are skipped
+  // entirely; for RSSI every record counts.
+  const bool want_csi = source == MeasurementSource::kCsi;
+  std::size_t n = 0;
+  if (want_csi) {
+    for (const auto& rec : trace) n += rec.has_csi ? 1 : 0;
+  } else {
+    n = trace.size();
   }
+  out.timestamps.resize(n);
+  ws.raw.resize(num_streams);
+  for (auto& stream : ws.raw) stream.resize(n);
+
+  std::size_t idx = 0;
+  for (const auto& rec : trace) {
+    if (want_csi && !rec.has_csi) continue;
+    out.timestamps[idx] = rec.timestamp_us;
+    if (want_csi) {
+      // Flattened stream order is antenna-major (stream_index), so the
+      // record's CSI matrix can be copied row by row.
+      std::size_t s = 0;
+      for (std::size_t a = 0; a < phy::kNumAntennas; ++a) {
+        for (std::size_t c = 0; c < phy::kNumSubchannels; ++c) {
+          ws.raw[s++][idx] = rec.csi[a][c];
+        }
+      }
+    } else {
+      for (std::size_t s = 0; s < num_streams; ++s) {
+        ws.raw[s][idx] = rec.rssi_dbm[s];
+      }
+    }
+    ++idx;
+  }
+  WB_ENSURE(idx == n);
 
   out.streams.resize(num_streams);
+  ws.centered.resize(n);
   for (std::size_t s = 0; s < num_streams; ++s) {
-    auto centered =
-        remove_time_moving_average(out.timestamps, raw[s], movavg_window_us);
-    out.streams[s] = normalize_mad(centered);
+    remove_time_moving_average(std::span<const TimeUs>(out.timestamps),
+                               std::span<const double>(ws.raw[s]),
+                               movavg_window_us, ws.centered);
+    out.streams[s].resize(n);
+    normalize_mad(ws.centered, out.streams[s]);
     WB_ENSURE(out.streams[s].size() == out.timestamps.size());
   }
   if (auto* m = obs::metrics()) {
@@ -84,6 +118,14 @@ ConditionedTrace condition(const wifi::CaptureTrace& trace,
     m->gauge("reader.conditioning.streams_count")
         .set(static_cast<double>(num_streams));
   }
+}
+
+ConditionedTrace condition(const wifi::CaptureTrace& trace,
+                           MeasurementSource source,
+                           TimeUs movavg_window_us) {
+  DecodeWorkspace ws;
+  ConditionedTrace out;
+  condition_into(trace, source, movavg_window_us, ws, out);
   return out;
 }
 

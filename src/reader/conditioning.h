@@ -12,12 +12,15 @@
 // decoder treats every stream identically after this stage.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "util/units.h"
 #include "wifi/capture.h"
 
 namespace wb::reader {
+
+struct DecodeWorkspace;  // decode_workspace.h
 
 /// Conditioned measurement series: one value per captured packet per
 /// stream, plus the shared packet timestamps.
@@ -42,10 +45,24 @@ ConditionedTrace condition(const wifi::CaptureTrace& trace,
                            MeasurementSource source,
                            TimeUs movavg_window_us = 400'000);
 
+/// Allocation-free variant of condition(): raw collection and the
+/// moving-average scratch live in `ws` (decode_workspace.h), the result is
+/// written into `out` reusing its capacity. Bit-identical to condition().
+void condition_into(const wifi::CaptureTrace& trace, MeasurementSource source,
+                    TimeUs movavg_window_us, DecodeWorkspace& ws,
+                    ConditionedTrace& out);
+
 /// The moving-average-removal stage alone (exposed for tests and the
 /// ablation bench): y_k = x_k - mean{x_j : t_j in (t_k - window, t_k]}.
 std::vector<double> remove_time_moving_average(
     const std::vector<TimeUs>& ts, const std::vector<double>& xs,
     TimeUs window_us);
+
+/// Span-out variant of remove_time_moving_average: `out.size()` must equal
+/// `xs.size()`; `out` must not alias `xs` (the sliding window re-reads
+/// samples behind the cursor). Bit-identical to the allocating wrapper.
+void remove_time_moving_average(std::span<const TimeUs> ts,
+                                std::span<const double> xs, TimeUs window_us,
+                                std::span<double> out);
 
 }  // namespace wb::reader

@@ -7,6 +7,7 @@
 #include "obs/scoped_timer.h"
 #include "util/check.h"
 
+#include "reader/decode_workspace.h"
 #include "reader/uplink_decoder.h"
 
 namespace wb::reader {
@@ -37,17 +38,18 @@ CodedUplinkDecoder::CodedUplinkDecoder(CodedDecoderConfig cfg)
 
 double CodedUplinkDecoder::preamble_correlation(const ConditionedTrace& ct,
                                                 std::size_t stream,
-                                                TimeUs start_us) const {
+                                                TimeUs start_us,
+                                                DecodeWorkspace& ws) const {
   WB_REQUIRE(stream < ct.num_streams());
   const std::size_t nchips = preamble_chips_bipolar_.size();
-  const auto slots = UplinkDecoder::bin_slots(ct, stream, start_us,
-                                              cfg_.chip_duration_us, nchips);
+  UplinkDecoder::bin_slots_into(ct, stream, start_us, cfg_.chip_duration_us,
+                                nchips, ws.slots);
   std::size_t filled = 0;
   double corr = 0.0;
   for (std::size_t i = 0; i < nchips; ++i) {
-    if (slots[i].count == 0) continue;
+    if (ws.slots[i].count == 0) continue;
     ++filled;
-    corr += slots[i].mean * preamble_chips_bipolar_[i];
+    corr += ws.slots[i].mean * preamble_chips_bipolar_[i];
   }
   if (static_cast<double>(filled) <
           cfg_.min_fill * static_cast<double>(nchips) ||
@@ -57,42 +59,85 @@ double CodedUplinkDecoder::preamble_correlation(const ConditionedTrace& ct,
   return corr / static_cast<double>(filled);
 }
 
+double CodedUplinkDecoder::preamble_correlation(const ConditionedTrace& ct,
+                                                std::size_t stream,
+                                                TimeUs start_us) const {
+  DecodeWorkspace ws;
+  return preamble_correlation(ct, stream, start_us, ws);
+}
+
 CodedDecodeResult CodedUplinkDecoder::decode(
     const wifi::CaptureTrace& trace) const {
-  return decode_conditioned(
-      condition(trace, cfg_.source, cfg_.movavg_window_us));
+  DecodeWorkspace ws;
+  CodedDecodeResult out;
+  decode_into(trace, ws, out);
+  return out;
+}
+
+void CodedUplinkDecoder::decode_into(const wifi::CaptureTrace& trace,
+                                     DecodeWorkspace& ws,
+                                     CodedDecodeResult& out) const {
+  condition_into(trace, cfg_.source, cfg_.movavg_window_us, ws,
+                 ws.conditioned);
+  decode_conditioned_into(ws.conditioned, ws, out);
 }
 
 CodedDecodeResult CodedUplinkDecoder::decode_conditioned(
-    const ConditionedTrace& ct_in) const {
+    const ConditionedTrace& ct) const {
+  DecodeWorkspace ws;
+  CodedDecodeResult out;
+  decode_conditioned_into(ct, ws, out);
+  return out;
+}
+
+void CodedUplinkDecoder::decode_conditioned_into(const ConditionedTrace& ct_in,
+                                                 DecodeWorkspace& ws,
+                                                 CodedDecodeResult& out) const {
   obs::ScopedTimer timer("reader.corr.decode_wall_us");
   if (auto* m = obs::metrics()) {
     m->counter("reader.corr.decodes_total").add(1);
   }
-  CodedDecodeResult res;
-  if (ct_in.num_packets() == 0 || ct_in.num_streams() == 0) return res;
+  out.found = false;
+  out.start_us = 0;
+  out.sync_score = 0.0;
+  out.payload.clear();
+  out.streams.clear();
+  out.polarity.clear();
+  out.weights.clear();
+  out.margin.clear();
+  if (ct_in.num_packets() == 0 || ct_in.num_streams() == 0) return;
 
-  // Winsorise against correlated outliers (see clip_sigma in the config).
-  ConditionedTrace ct = ct_in;
+  // Winsorise against correlated outliers (see clip_sigma in the config)
+  // into the workspace copy; without clipping the input is used as-is.
+  const ConditionedTrace* ct = &ct_in;
   if (cfg_.clip_sigma > 0.0) {
-    for (auto& stream : ct.streams) {
-      for (double& v : stream) {
-        v = std::clamp(v, -cfg_.clip_sigma, cfg_.clip_sigma);
+    ws.clipped.timestamps.assign(ct_in.timestamps.begin(),
+                                 ct_in.timestamps.end());
+    ws.clipped.streams.resize(ct_in.streams.size());
+    for (std::size_t s = 0; s < ct_in.streams.size(); ++s) {
+      const auto& src = ct_in.streams[s];
+      auto& dst = ws.clipped.streams[s];
+      dst.resize(src.size());
+      for (std::size_t k = 0; k < src.size(); ++k) {
+        dst[k] = std::clamp(src[k], -cfg_.clip_sigma, cfg_.clip_sigma);
       }
     }
+    ct = &ws.clipped;
   }
 
-  const std::size_t g = std::min(cfg_.num_good_streams, ct.num_streams());
+  const std::size_t g = std::min(cfg_.num_good_streams, ct->num_streams());
 
   // --- Frame sync ---
   TimeUs best_start = 0;
   double best_score = -1.0;
-  std::vector<double> corrs(ct.num_streams());
-  std::vector<std::size_t> order(ct.num_streams());
+  auto& corrs = ws.corrs;
+  auto& order = ws.order;
+  corrs.resize(ct->num_streams());
+  order.resize(ct->num_streams());
 
   auto evaluate = [&](TimeUs tau) {
-    for (std::size_t s = 0; s < ct.num_streams(); ++s) {
-      corrs[s] = preamble_correlation(ct, s, tau);
+    for (std::size_t s = 0; s < ct->num_streams(); ++s) {
+      corrs[s] = preamble_correlation(*ct, s, tau, ws);
     }
     for (std::size_t s = 0; s < order.size(); ++s) order[s] = s;
     std::partial_sort(order.begin(), order.begin() + static_cast<long>(g),
@@ -108,8 +153,8 @@ CodedDecodeResult CodedUplinkDecoder::decode_conditioned(
     best_start = *cfg_.known_start;
     best_score = evaluate(best_start);
   } else {
-    const TimeUs t0 = ct.timestamps.front();
-    const TimeUs t1 = ct.timestamps.back();
+    const TimeUs t0 = ct->timestamps.front();
+    const TimeUs t1 = ct->timestamps.back();
     const TimeUs from = cfg_.search_from.value_or(t0);
     const TimeUs to =
         std::max(from, cfg_.search_to.value_or(t1 - cfg_.frame_duration_us()));
@@ -126,49 +171,47 @@ CodedDecodeResult CodedUplinkDecoder::decode_conditioned(
     best_score = evaluate(best_start);
   }
 
-  res.found = best_score > 0.0;
-  if (!res.found) return res;
-  res.start_us = best_start;
-  res.sync_score = best_score;
-  res.streams.assign(order.begin(), order.begin() + static_cast<long>(g));
+  out.found = best_score > 0.0;
+  if (!out.found) return;
+  out.start_us = best_start;
+  out.sync_score = best_score;
+  out.streams.assign(order.begin(), order.begin() + static_cast<long>(g));
   for (std::size_t i = 0; i < g; ++i) {
-    const double c = corrs[res.streams[i]];
-    res.polarity.push_back(c >= 0.0 ? 1.0 : -1.0);
-    res.weights.push_back(std::abs(c));
+    const double c = corrs[out.streams[i]];
+    out.polarity.push_back(c >= 0.0 ? 1.0 : -1.0);
+    out.weights.push_back(std::abs(c));
   }
 
   // --- Payload: correlate each bit's chip block against both codes ---
   const std::size_t l = cfg_.chips_per_bit();
-  res.payload.assign(cfg_.payload_bits, 0);
-  res.margin.assign(cfg_.payload_bits, 0.0);
-  // Bin the whole frame once per selected stream.
+  out.payload.assign(cfg_.payload_bits, 0);
+  out.margin.assign(cfg_.payload_bits, 0.0);
+  // Bin each bit's chip block per selected stream (scratch in ws.slots).
   for (std::size_t b = 0; b < cfg_.payload_bits; ++b) {
     const TimeUs block_start =
         best_start + static_cast<TimeUs>((cfg_.preamble.size() + b) * l) *
                          cfg_.chip_duration_us;
     double combined = 0.0;
-    for (std::size_t i = 0; i < res.streams.size(); ++i) {
-      const auto slots =
-          UplinkDecoder::bin_slots(ct, res.streams[i], block_start,
-                                   cfg_.chip_duration_us, l);
+    for (std::size_t i = 0; i < out.streams.size(); ++i) {
+      UplinkDecoder::bin_slots_into(*ct, out.streams[i], block_start,
+                                    cfg_.chip_duration_us, l, ws.slots);
       double diff = 0.0;  // corr(one) - corr(zero)
       for (std::size_t c = 0; c < l; ++c) {
-        if (slots[c].count == 0) continue;
-        diff += slots[c].mean * code_diff_bipolar_[c];
+        if (ws.slots[c].count == 0) continue;
+        diff += ws.slots[c].mean * code_diff_bipolar_[c];
       }
-      combined += res.weights[i] * res.polarity[i] * diff;
+      combined += out.weights[i] * out.polarity[i] * diff;
     }
-    res.payload[b] = combined > 0.0 ? 1 : 0;
-    res.margin[b] = std::abs(combined);
+    out.payload[b] = combined > 0.0 ? 1 : 0;
+    out.margin[b] = std::abs(combined);
   }
   if (auto* m = obs::metrics()) {
     m->counter("reader.corr.sync_found_total").add(1);
-    m->counter("reader.corr.bits_decoded_total").add(res.payload.size());
-    m->gauge("reader.corr.sync_score_ratio").set(res.sync_score);
+    m->counter("reader.corr.bits_decoded_total").add(out.payload.size());
+    m->gauge("reader.corr.sync_score_ratio").set(out.sync_score);
     auto& margin_hist = m->histogram("reader.corr.bit_margin_ratio");
-    for (const double margin : res.margin) margin_hist.record(margin);
+    for (const double margin : out.margin) margin_hist.record(margin);
   }
-  return res;
 }
 
 }  // namespace wb::reader

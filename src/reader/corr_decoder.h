@@ -90,10 +90,23 @@ class CodedUplinkDecoder {
   CodedDecodeResult decode(const wifi::CaptureTrace& trace) const;
   CodedDecodeResult decode_conditioned(const ConditionedTrace& ct) const;
 
+  // ---- allocation-free variants (DESIGN.md §10) ----
+  // Bit-identical to the allocating calls; the winsorised trace copy and
+  // the slot-binning scratch live in `ws`, results reuse `out`'s vectors.
+
+  void decode_into(const wifi::CaptureTrace& trace, DecodeWorkspace& ws,
+                   CodedDecodeResult& out) const;
+  void decode_conditioned_into(const ConditionedTrace& ct, DecodeWorkspace& ws,
+                               CodedDecodeResult& out) const;
+
   /// Per-chip-normalised correlation of a stream against the *coded
   /// preamble* at a candidate start (signed; 0 when under-filled).
   double preamble_correlation(const ConditionedTrace& ct, std::size_t stream,
                               TimeUs start_us) const;
+
+  /// Workspace variant (slot binning scratch in `ws.slots`).
+  double preamble_correlation(const ConditionedTrace& ct, std::size_t stream,
+                              TimeUs start_us, DecodeWorkspace& ws) const;
 
   const CodedDecoderConfig& config() const { return cfg_; }
 

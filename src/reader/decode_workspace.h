@@ -1,0 +1,62 @@
+// Reusable scratch storage for the reader decode hot path (DESIGN.md §10).
+//
+// Every experiment grid point and every streaming scan runs the same
+// pipeline — conditioning, preamble correlation, MRC, thresholding — and
+// each stage used to allocate its working vectors per call (90 CSI streams
+// of per-packet doubles, fresh every decode). A DecodeWorkspace owns those
+// buffers instead; the pipeline resizes them (capacity is kept) so a
+// warmed-up workspace makes the whole decode allocation-free.
+//
+// Ownership rules:
+//   * The workspace is plain scratch: no stage reads a buffer it did not
+//     write in the same call, and nothing outlives the call that filled it
+//     except capacity.
+//   * One workspace per decoder *instance* per thread. Workspaces are not
+//     thread-safe; parallel sweeps (wb::runner) use one per task, matching
+//     the per-task MetricsRegistry pattern.
+//   * Results written through the `*_into` APIs reuse the caller's result
+//     vectors the same way (assign/clear keep capacity), so a reused
+//     result object also stops allocating once warm.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "reader/conditioning.h"
+#include "util/units.h"
+
+namespace wb::reader {
+
+/// Mean/count of the packets binned into one bit or chip slot (shared by
+/// the plain and coded decoders; see UplinkDecoder::bin_slots).
+struct SlotStat {
+  double mean = 0.0;
+  std::size_t count = 0;
+};
+
+struct DecodeWorkspace {
+  // -- conditioning (condition_into) --
+  std::vector<std::vector<double>> raw;  ///< [stream][packet] SoA collection
+  std::vector<double> centered;          ///< moving-average-removal output
+
+  // -- frame sync (find_frame / preamble correlation) --
+  std::vector<SlotStat> slots;           ///< bin_slots_into scratch
+  std::vector<double> corrs;             ///< per-stream preamble correlation
+  std::vector<std::size_t> order;        ///< stream ranking scratch
+  std::vector<std::size_t> best_streams; ///< selected streams of the best tau
+  std::vector<double> best_polarity;     ///< their correlation signs
+
+  // -- MRC + thresholding (decode_conditioned_into) --
+  std::vector<double> y;    ///< combined signal over the frame interval
+  std::vector<TimeUs> yt;   ///< its packet timestamps
+  std::vector<int> votes_one;
+  std::vector<int> votes_zero;
+  std::vector<double> slot_sum;
+  std::vector<int> slot_n;
+
+  // -- whole-trace buffers reused across decodes --
+  ConditionedTrace conditioned;  ///< decode(trace, ws) conditioning output
+  ConditionedTrace clipped;      ///< coded decoder's winsorised copy
+};
+
+}  // namespace wb::reader

@@ -5,16 +5,51 @@
 #include "util/check.h"
 
 namespace wb::reader {
+namespace {
+
+UplinkDecoderConfig make_decoder_config(const StreamingDecoderConfig& cfg) {
+  WB_REQUIRE(!cfg.decoder.search_from && !cfg.decoder.search_to,
+             "the streaming wrapper manages the search window");
+  UplinkDecoderConfig dec_cfg = cfg.decoder;
+  dec_cfg.sync_threshold = cfg.sync_threshold;
+  return dec_cfg;
+}
+
+}  // namespace
 
 StreamingUplinkDecoder::StreamingUplinkDecoder(StreamingDecoderConfig cfg)
-    : cfg_(std::move(cfg)) {
-  WB_REQUIRE(!cfg_.decoder.search_from && !cfg_.decoder.search_to,
-             "the streaming wrapper manages the search window");
-}
+    : cfg_(std::move(cfg)), dec_(make_decoder_config(cfg_)) {}
 
 TimeUs StreamingUplinkDecoder::scan_interval() const {
   if (cfg_.scan_interval_us > 0) return cfg_.scan_interval_us;
   return cfg_.decoder.frame_duration_us() / 2;
+}
+
+bool StreamingUplinkDecoder::scan(TimeUs search_to_us,
+                                  std::vector<UplinkDecodeResult>& out) {
+  dec_.set_search_window(consumed_until_, search_to_us);
+  dec_.decode_into(buffer_, ws_, scratch_);
+  if (!scratch_.found) return false;
+  consumed_until_ = scratch_.start_us + cfg_.decoder.frame_duration_us();
+  ++frames_emitted_;
+  out.push_back(scratch_);
+  return true;
+}
+
+void StreamingUplinkDecoder::trim_history() {
+  // Trim history that no future frame needs: anything older than the
+  // conditioning window behind the consumed point.
+  const TimeUs keep_from =
+      consumed_until_ > cfg_.history_us ? consumed_until_ - cfg_.history_us
+                                        : 0;
+  const auto first_kept = std::lower_bound(
+      buffer_.begin(), buffer_.end(), keep_from,
+      [](const wifi::CaptureRecord& r, TimeUs t) {
+        return r.timestamp_us < t;
+      });
+  if (first_kept != buffer_.begin()) {
+    buffer_.erase(buffer_.begin(), first_kept);
+  }
 }
 
 std::vector<UplinkDecodeResult> StreamingUplinkDecoder::push(
@@ -35,39 +70,34 @@ std::vector<UplinkDecodeResult> StreamingUplinkDecoder::push(
   }
   next_scan_at_ = now + scan_interval();
 
-  UplinkDecoderConfig dec_cfg = cfg_.decoder;
-  dec_cfg.search_from = consumed_until_;
-  dec_cfg.search_to = now - frame_dur;
-  dec_cfg.sync_threshold = cfg_.sync_threshold;
-  if (*dec_cfg.search_to < *dec_cfg.search_from) return out;
+  const TimeUs search_to = now - frame_dur;
+  if (search_to < consumed_until_) return out;
 
-  UplinkDecoder dec(dec_cfg);
-  auto res = dec.decode(buffer_);
-  if (res.found) {
-    consumed_until_ = res.start_us + frame_dur;
-    ++frames_emitted_;
-    out.push_back(std::move(res));
+  if (scan(search_to, out)) {
     // A second frame could already be waiting; scan again promptly.
     next_scan_at_ = now;
   } else {
     // The scanned region is clean; never re-scan it (keeps the buffer and
     // the per-scan cost bounded on quiet air).
-    consumed_until_ = *dec_cfg.search_to;
+    consumed_until_ = search_to;
   }
 
-  // Trim history that no future frame needs: anything older than the
-  // conditioning window behind the consumed point.
-  const TimeUs keep_from =
-      consumed_until_ > cfg_.history_us ? consumed_until_ - cfg_.history_us
-                                        : 0;
-  const auto first_kept = std::lower_bound(
-      buffer_.begin(), buffer_.end(), keep_from,
-      [](const wifi::CaptureRecord& r, TimeUs t) {
-        return r.timestamp_us < t;
-      });
-  if (first_kept != buffer_.begin()) {
-    buffer_.erase(buffer_.begin(), first_kept);
+  trim_history();
+  return out;
+}
+
+std::vector<UplinkDecodeResult> StreamingUplinkDecoder::flush() {
+  std::vector<UplinkDecodeResult> out;
+  if (buffer_.empty()) return out;
+  const TimeUs frame_dur = cfg_.decoder.frame_duration_us();
+  // The latest start whose frame is fully contained in the buffer; a frame
+  // whose tail lands exactly on the final record is included, one that
+  // extends past it is not (its last bits were never observed).
+  const TimeUs search_to = buffer_.back().timestamp_us - frame_dur;
+  while (search_to >= consumed_until_ && scan(search_to, out)) {
   }
+  consumed_until_ = std::max(consumed_until_, search_to);
+  trim_history();
   return out;
 }
 

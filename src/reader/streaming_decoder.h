@@ -42,7 +42,16 @@ class StreamingUplinkDecoder {
 
   /// Feed one capture record (timestamps must be non-decreasing); returns
   /// the frames completed by this record (usually none, occasionally one).
+  /// Scans reuse one decoder instance and one DecodeWorkspace, so the
+  /// steady-state scan path does not allocate (DESIGN.md §10).
   std::vector<UplinkDecodeResult> push(const wifi::CaptureRecord& rec);
+
+  /// Final scan over the not-yet-consumed tail of the buffer. push() only
+  /// scans when a *later* record arrives, so when traffic stops, any frame
+  /// that ended within a scan interval of the last record would otherwise
+  /// be stranded forever. Call when the capture ends (or goes quiet) to
+  /// drain those frames; idempotent — a second flush() emits nothing new.
+  std::vector<UplinkDecodeResult> flush();
 
   /// Records currently buffered (bounded by history + scan horizon).
   std::size_t buffered() const { return buffer_.size(); }
@@ -55,7 +64,18 @@ class StreamingUplinkDecoder {
  private:
   TimeUs scan_interval() const;
 
+  /// One decode over [consumed_until_, search_to]; on success emits into
+  /// `out` and advances consumed_until_ past the frame.
+  bool scan(TimeUs search_to_us, std::vector<UplinkDecodeResult>& out);
+
+  /// Drop records no future frame needs (history window behind the
+  /// consumed point).
+  void trim_history();
+
   StreamingDecoderConfig cfg_;
+  UplinkDecoder dec_;          ///< reused across scans (search window slides)
+  DecodeWorkspace ws_;         ///< reused across scans
+  UplinkDecodeResult scratch_; ///< reused scan result
   wifi::CaptureTrace buffer_;
   TimeUs consumed_until_ = 0;  ///< frames may only start after this
   TimeUs next_scan_at_ = 0;

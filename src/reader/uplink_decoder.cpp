@@ -30,14 +30,15 @@ UplinkDecoder::UplinkDecoder(UplinkDecoderConfig cfg) : cfg_(std::move(cfg)) {
   WB_REQUIRE(cfg_.min_preamble_fill >= 0.0 && cfg_.min_preamble_fill <= 1.0);
 }
 
-std::vector<UplinkDecoder::SlotStat> UplinkDecoder::bin_slots(
-    const ConditionedTrace& ct, std::size_t stream, TimeUs start_us,
-    TimeUs slot_us, std::size_t nslots) {
+void UplinkDecoder::bin_slots_into(const ConditionedTrace& ct,
+                                   std::size_t stream, TimeUs start_us,
+                                   TimeUs slot_us, std::size_t nslots,
+                                   std::vector<SlotStat>& out) {
   WB_REQUIRE(stream < ct.num_streams(), "stream index out of range");
   WB_REQUIRE(slot_us > 0, "slot duration must be positive");
   WB_REQUIRE(ct.streams[stream].size() == ct.timestamps.size(),
              "conditioned stream must cover every packet");
-  std::vector<SlotStat> out(nslots);
+  out.assign(nslots, SlotStat{});
   const auto& ts = ct.timestamps;
   const auto& xs = ct.streams[stream];
   std::size_t k = lower_index(ts, start_us);
@@ -50,30 +51,46 @@ std::vector<UplinkDecoder::SlotStat> UplinkDecoder::bin_slots(
   for (auto& s : out) {
     if (s.count > 0) s.mean /= static_cast<double>(s.count);
   }
+}
+
+std::vector<UplinkDecoder::SlotStat> UplinkDecoder::bin_slots(
+    const ConditionedTrace& ct, std::size_t stream, TimeUs start_us,
+    TimeUs slot_us, std::size_t nslots) {
+  std::vector<SlotStat> out;
+  bin_slots_into(ct, stream, start_us, slot_us, nslots, out);
   return out;
 }
 
 double UplinkDecoder::preamble_correlation(const ConditionedTrace& ct,
                                            std::size_t stream,
-                                           TimeUs start_us) const {
-  const auto slots = bin_slots(ct, stream, start_us, cfg_.bit_duration_us,
-                               cfg_.preamble.size());
+                                           TimeUs start_us,
+                                           DecodeWorkspace& ws) const {
+  bin_slots_into(ct, stream, start_us, cfg_.bit_duration_us,
+                 cfg_.preamble.size(), ws.slots);
   std::size_t filled = 0;
   double corr = 0.0;
-  for (std::size_t i = 0; i < slots.size(); ++i) {
-    if (slots[i].count == 0) continue;
+  for (std::size_t i = 0; i < ws.slots.size(); ++i) {
+    if (ws.slots[i].count == 0) continue;
     ++filled;
-    corr += slots[i].mean * (cfg_.preamble[i] ? 1.0 : -1.0);
+    corr += ws.slots[i].mean * (cfg_.preamble[i] ? 1.0 : -1.0);
   }
   const double need =
-      cfg_.min_preamble_fill * static_cast<double>(slots.size());
+      cfg_.min_preamble_fill * static_cast<double>(ws.slots.size());
   if (static_cast<double>(filled) < need || filled == 0) return 0.0;
   return corr / static_cast<double>(filled);
 }
 
-std::optional<UplinkDecoder::SyncResult> UplinkDecoder::find_frame(
-    const ConditionedTrace& ct) const {
-  if (ct.num_packets() == 0 || ct.num_streams() == 0) return std::nullopt;
+double UplinkDecoder::preamble_correlation(const ConditionedTrace& ct,
+                                           std::size_t stream,
+                                           TimeUs start_us) const {
+  DecodeWorkspace ws;
+  return preamble_correlation(ct, stream, start_us, ws);
+}
+
+bool UplinkDecoder::find_frame(const ConditionedTrace& ct,
+                               DecodeWorkspace& ws, TimeUs& start_us,
+                               double& score) const {
+  if (ct.num_packets() == 0 || ct.num_streams() == 0) return false;
 
   const TimeUs t0 = ct.timestamps.front();
   const TimeUs t1 = ct.timestamps.back();
@@ -87,35 +104,55 @@ std::optional<UplinkDecoder::SyncResult> UplinkDecoder::find_frame(
   const std::size_t g =
       std::min(cfg_.num_good_streams, ct.num_streams());
 
-  std::optional<SyncResult> best;
-  std::vector<double> corrs(ct.num_streams());
-  std::vector<std::size_t> order(ct.num_streams());
+  bool has_best = false;
+  TimeUs best_start = 0;
+  double best_score = 0.0;
+  auto& corrs = ws.corrs;
+  auto& order = ws.order;
+  corrs.resize(ct.num_streams());
+  order.resize(ct.num_streams());
   for (TimeUs tau = from; tau <= to; tau += std::max<TimeUs>(step, 1)) {
     for (std::size_t s = 0; s < ct.num_streams(); ++s) {
-      corrs[s] = preamble_correlation(ct, s, tau);
+      corrs[s] = preamble_correlation(ct, s, tau, ws);
     }
     for (std::size_t s = 0; s < order.size(); ++s) order[s] = s;
     std::partial_sort(order.begin(), order.begin() + static_cast<long>(g),
                       order.end(), [&corrs](std::size_t a, std::size_t b) {
                         return std::abs(corrs[a]) > std::abs(corrs[b]);
                       });
-    double score = 0.0;
-    for (std::size_t i = 0; i < g; ++i) score += std::abs(corrs[order[i]]);
-    score /= static_cast<double>(g);
-    if (!best || score > best->score) {
-      SyncResult r;
-      r.start = tau;
-      r.score = score;
-      r.streams.assign(order.begin(), order.begin() + static_cast<long>(g));
-      r.polarity.reserve(g);
+    double tau_score = 0.0;
+    for (std::size_t i = 0; i < g; ++i) tau_score += std::abs(corrs[order[i]]);
+    tau_score /= static_cast<double>(g);
+    if (!has_best || tau_score > best_score) {
+      has_best = true;
+      best_start = tau;
+      best_score = tau_score;
+      ws.best_streams.assign(order.begin(),
+                             order.begin() + static_cast<long>(g));
+      ws.best_polarity.clear();
       for (std::size_t i = 0; i < g; ++i) {
-        r.polarity.push_back(corrs[order[i]] >= 0.0 ? 1.0 : -1.0);
+        ws.best_polarity.push_back(corrs[order[i]] >= 0.0 ? 1.0 : -1.0);
       }
-      best = std::move(r);
     }
   }
-  if (best && best->score <= cfg_.sync_threshold) return std::nullopt;
-  return best;
+  if (!has_best || best_score <= cfg_.sync_threshold) return false;
+  start_us = best_start;
+  score = best_score;
+  return true;
+}
+
+std::optional<UplinkDecoder::SyncResult> UplinkDecoder::find_frame(
+    const ConditionedTrace& ct) const {
+  DecodeWorkspace ws;
+  TimeUs start = 0;
+  double score = 0.0;
+  if (!find_frame(ct, ws, start, score)) return std::nullopt;
+  SyncResult r;
+  r.start = start;
+  r.score = score;
+  r.streams = std::move(ws.best_streams);
+  r.polarity = std::move(ws.best_polarity);
+  return r;
 }
 
 double UplinkDecoder::preamble_noise_variance(const ConditionedTrace& ct,
@@ -153,47 +190,75 @@ double UplinkDecoder::preamble_noise_variance(const ConditionedTrace& ct,
 
 UplinkDecodeResult UplinkDecoder::decode(
     const wifi::CaptureTrace& trace) const {
-  return decode_conditioned(
-      condition(trace, cfg_.source, cfg_.movavg_window_us));
+  DecodeWorkspace ws;
+  UplinkDecodeResult out;
+  decode_into(trace, ws, out);
+  return out;
+}
+
+void UplinkDecoder::decode_into(const wifi::CaptureTrace& trace,
+                                DecodeWorkspace& ws,
+                                UplinkDecodeResult& out) const {
+  condition_into(trace, cfg_.source, cfg_.movavg_window_us, ws,
+                 ws.conditioned);
+  decode_conditioned_into(ws.conditioned, ws, out);
 }
 
 UplinkDecodeResult UplinkDecoder::decode_conditioned(
     const ConditionedTrace& ct) const {
+  DecodeWorkspace ws;
+  UplinkDecodeResult out;
+  decode_conditioned_into(ct, ws, out);
+  return out;
+}
+
+void UplinkDecoder::decode_conditioned_into(const ConditionedTrace& ct,
+                                            DecodeWorkspace& ws,
+                                            UplinkDecodeResult& out) const {
   obs::ScopedTimer timer("reader.uplink.decode_wall_us");
   auto* m = obs::metrics();
   if (m != nullptr) m->counter("reader.uplink.decodes_total").add(1);
 
-  UplinkDecodeResult res;
-  const auto sync = find_frame(ct);
-  if (!sync) return res;
+  out.found = false;
+  out.start_us = 0;
+  out.sync_score = 0.0;
+  out.payload.clear();
+  out.streams.clear();
+  out.polarity.clear();
+  out.weights.clear();
+  out.confidence.clear();
+  out.packets_used = 0;
 
-  res.found = true;
-  res.start_us = sync->start;
-  res.sync_score = sync->score;
-  res.streams = sync->streams;
-  res.polarity = sync->polarity;
+  TimeUs start = 0;
+  double score = 0.0;
+  if (!find_frame(ct, ws, start, score)) return;
+
+  out.found = true;
+  out.start_us = start;
+  out.sync_score = score;
+  out.streams.assign(ws.best_streams.begin(), ws.best_streams.end());
+  out.polarity.assign(ws.best_polarity.begin(), ws.best_polarity.end());
 
   if (m != nullptr) {
     m->counter("reader.uplink.sync_found_total").add(1);
-    m->gauge("reader.uplink.sync_score_ratio").set(sync->score);
+    m->gauge("reader.uplink.sync_score_ratio").set(score);
     m->gauge("reader.uplink.streams_selected_count")
-        .set(static_cast<double>(sync->streams.size()));
+        .set(static_cast<double>(out.streams.size()));
   }
 
   // MRC weights from preamble-estimated noise variance (§3.2 step 2).
-  res.weights.reserve(res.streams.size());
-  for (std::size_t i = 0; i < res.streams.size(); ++i) {
+  for (std::size_t i = 0; i < out.streams.size(); ++i) {
     const double var = preamble_noise_variance(
-        ct, res.streams[i], res.polarity[i], sync->start);
+        ct, out.streams[i], out.polarity[i], start);
     WB_REQUIRE(var > 0.0, "MRC weight 1/sigma^2 needs a positive variance");
-    res.weights.push_back(1.0 / var);
+    out.weights.push_back(1.0 / var);
   }
-  if (m != nullptr && res.weights.size() > 1) {
+  if (m != nullptr && out.weights.size() > 1) {
     // Dispersion of the MRC weights: max/min per decode. Near 1 means the
     // selected streams are equally trustworthy; large means one stream
     // dominates the combination.
     const auto [lo, hi] =
-        std::minmax_element(res.weights.begin(), res.weights.end());
+        std::minmax_element(out.weights.begin(), out.weights.end());
     if (*lo > 0.0) {
       m->histogram("reader.uplink.mrc_weight_ratio").record(*hi / *lo);
     }
@@ -201,22 +266,24 @@ UplinkDecodeResult UplinkDecoder::decode_conditioned(
 
   // Combined signal y_k over the whole frame interval.
   const auto& ts = ct.timestamps;
-  const TimeUs frame_end = sync->start + cfg_.frame_duration_us();
-  const std::size_t k0 = lower_index(ts, sync->start);
-  std::vector<double> y;
-  std::vector<TimeUs> yt;
+  const TimeUs frame_end = start + cfg_.frame_duration_us();
+  const std::size_t k0 = lower_index(ts, start);
+  auto& y = ws.y;
+  auto& yt = ws.yt;
+  y.clear();
+  yt.clear();
   double wsum = 0.0;
-  for (double w : res.weights) wsum += w;
+  for (double w : out.weights) wsum += w;
   if (wsum <= 0.0) wsum = 1.0;
   for (std::size_t k = k0; k < ts.size() && ts[k] < frame_end; ++k) {
     double acc = 0.0;
-    for (std::size_t i = 0; i < res.streams.size(); ++i) {
-      acc += res.weights[i] * res.polarity[i] * ct.streams[res.streams[i]][k];
+    for (std::size_t i = 0; i < out.streams.size(); ++i) {
+      acc += out.weights[i] * out.polarity[i] * ct.streams[out.streams[i]][k];
     }
     y.push_back(acc / wsum);
     yt.push_back(ts[k]);
   }
-  res.packets_used = y.size();
+  out.packets_used = y.size();
 
   // Hysteresis thresholds from the combined signal's own statistics
   // (§3.2 step 3: mu +- f(sigma)).
@@ -228,54 +295,54 @@ UplinkDecodeResult UplinkDecoder::decode_conditioned(
 
   // Per-bit majority vote over timestamp-binned packets.
   const TimeUs payload_start =
-      sync->start + static_cast<TimeUs>(cfg_.preamble.size()) *
-                        cfg_.bit_duration_us;
-  res.payload.assign(cfg_.payload_bits, 0);
-  res.confidence.assign(cfg_.payload_bits, 0.0);
-  std::vector<int> votes_one(cfg_.payload_bits, 0);
-  std::vector<int> votes_zero(cfg_.payload_bits, 0);
-  std::vector<double> slot_sum(cfg_.payload_bits, 0.0);
-  std::vector<int> slot_n(cfg_.payload_bits, 0);
+      start + static_cast<TimeUs>(cfg_.preamble.size()) *
+                  cfg_.bit_duration_us;
+  out.payload.assign(cfg_.payload_bits, 0);
+  out.confidence.assign(cfg_.payload_bits, 0.0);
+  ws.votes_one.assign(cfg_.payload_bits, 0);
+  ws.votes_zero.assign(cfg_.payload_bits, 0);
+  ws.slot_sum.assign(cfg_.payload_bits, 0.0);
+  ws.slot_n.assign(cfg_.payload_bits, 0);
   for (std::size_t k = 0; k < y.size(); ++k) {
     if (yt[k] < payload_start) continue;
     const auto bit = static_cast<std::size_t>((yt[k] - payload_start) /
                                               cfg_.bit_duration_us);
     if (bit >= cfg_.payload_bits) break;
-    if (y[k] > th1) ++votes_one[bit];
-    else if (y[k] < th0) ++votes_zero[bit];
-    slot_sum[bit] += y[k];
-    ++slot_n[bit];
+    if (y[k] > th1) ++ws.votes_one[bit];
+    else if (y[k] < th0) ++ws.votes_zero[bit];
+    ws.slot_sum[bit] += y[k];
+    ++ws.slot_n[bit];
   }
   for (std::size_t b = 0; b < cfg_.payload_bits; ++b) {
-    const int total = votes_one[b] + votes_zero[b];
-    if (votes_one[b] != votes_zero[b]) {
-      res.payload[b] = votes_one[b] > votes_zero[b] ? 1 : 0;
-      res.confidence[b] =
-          total > 0 ? std::abs(votes_one[b] - votes_zero[b]) /
+    const int total = ws.votes_one[b] + ws.votes_zero[b];
+    if (ws.votes_one[b] != ws.votes_zero[b]) {
+      out.payload[b] = ws.votes_one[b] > ws.votes_zero[b] ? 1 : 0;
+      out.confidence[b] =
+          total > 0 ? std::abs(ws.votes_one[b] - ws.votes_zero[b]) /
                           static_cast<double>(total)
                     : 0.0;
     } else {
       // All packets abstained (hysteresis band) or tie: fall back to the
       // sign of the slot mean against mu.
       const double slot_mean =
-          slot_n[b] > 0 ? slot_sum[b] / static_cast<double>(slot_n[b]) : mu;
-      res.payload[b] = slot_mean > mu ? 1 : 0;
-      res.confidence[b] = 0.0;
+          ws.slot_n[b] > 0 ? ws.slot_sum[b] / static_cast<double>(ws.slot_n[b])
+                           : mu;
+      out.payload[b] = slot_mean > mu ? 1 : 0;
+      out.confidence[b] = 0.0;
     }
   }
   if (m != nullptr) {
-    m->counter("reader.uplink.packets_used_total").add(res.packets_used);
-    m->counter("reader.uplink.bits_decoded_total").add(res.payload.size());
+    m->counter("reader.uplink.packets_used_total").add(out.packets_used);
+    m->counter("reader.uplink.bits_decoded_total").add(out.payload.size());
   }
   if (auto* tr = obs::tracer()) {
     tr->complete(tr->lane("reader"), "uplink_frame", "reader",
-                 res.start_us,
+                 out.start_us,
                  static_cast<TimeUs>(cfg_.frame_duration_us()),
-                 {{"sync_score", res.sync_score},
+                 {{"sync_score", out.sync_score},
                   {"packets_used",
-                   static_cast<double>(res.packets_used)}});
+                   static_cast<double>(out.packets_used)}});
   }
-  return res;
 }
 
 UplinkDecoderConfig rssi_decoder_config(const UplinkDecoderConfig& base) {

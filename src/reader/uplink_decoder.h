@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "reader/conditioning.h"
+#include "reader/decode_workspace.h"
 #include "util/bits.h"
 #include "util/codes.h"
 #include "util/units.h"
@@ -110,22 +111,51 @@ class UplinkDecoder {
   /// conditioning across decoder variants).
   UplinkDecodeResult decode_conditioned(const ConditionedTrace& ct) const;
 
+  // ---- allocation-free variants (DESIGN.md §10) ----
+  // Same pipeline, bit-identical outputs; scratch lives in `ws` and the
+  // result reuses `out`'s vectors, so a warm workspace + reused result
+  // make a decode allocation-free.
+
+  /// Full pipeline; conditioning output is kept in `ws.conditioned`.
+  void decode_into(const wifi::CaptureTrace& trace, DecodeWorkspace& ws,
+                   UplinkDecodeResult& out) const;
+
+  /// Pipeline from an already-conditioned trace.
+  void decode_conditioned_into(const ConditionedTrace& ct, DecodeWorkspace& ws,
+                               UplinkDecodeResult& out) const;
+
+  /// Replace the frame-start search window (used by the streaming wrapper,
+  /// which slides the window forward between scans on one decoder
+  /// instance). nullopt = search the whole trace.
+  void set_search_window(std::optional<TimeUs> from_us,
+                         std::optional<TimeUs> to_us) {
+    cfg_.search_from = from_us;
+    cfg_.search_to = to_us;
+  }
+
   // ---- exposed internals (tested and reused by the ablation benches) ----
 
   /// Mean of stream `s` within [start + i*T, start + (i+1)*T) for each of
   /// `nslots` slots. count==0 slots report mean 0.
-  struct SlotStat {
-    double mean = 0.0;
-    std::size_t count = 0;
-  };
+  using SlotStat = reader::SlotStat;
   static std::vector<SlotStat> bin_slots(const ConditionedTrace& ct,
                                          std::size_t stream, TimeUs start_us,
                                          TimeUs slot_us, std::size_t nslots);
+
+  /// bin_slots writing into a caller-owned buffer (resized to `nslots`,
+  /// capacity reused across calls).
+  static void bin_slots_into(const ConditionedTrace& ct, std::size_t stream,
+                             TimeUs start_us, TimeUs slot_us,
+                             std::size_t nslots, std::vector<SlotStat>& out);
 
   /// Signed per-bit-normalised preamble correlation of one stream at a
   /// candidate frame start; 0 if too few preamble slots are filled.
   double preamble_correlation(const ConditionedTrace& ct, std::size_t stream,
                               TimeUs start_us) const;
+
+  /// Workspace variant (slot binning scratch in `ws.slots`).
+  double preamble_correlation(const ConditionedTrace& ct, std::size_t stream,
+                              TimeUs start_us, DecodeWorkspace& ws) const;
 
   struct SyncResult {
     TimeUs start = 0;
@@ -135,6 +165,12 @@ class UplinkDecoder {
   };
   /// Search the configured window for the frame start.
   std::optional<SyncResult> find_frame(const ConditionedTrace& ct) const;
+
+  /// Workspace variant: returns true when a frame start cleared the sync
+  /// threshold, leaving start/score in the out-params and the selected
+  /// streams/polarities in `ws.best_streams` / `ws.best_polarity`.
+  bool find_frame(const ConditionedTrace& ct, DecodeWorkspace& ws,
+                  TimeUs& start_us, double& score) const;
 
   /// Noise variance of one stream over the preamble slots, given its
   /// polarity (variance of the residual against the known +-1 preamble).

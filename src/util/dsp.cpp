@@ -32,37 +32,57 @@ void MovingAverage::reset() {
   sum_ = 0.0;
 }
 
+void remove_moving_average(std::span<const double> x, std::size_t window,
+                           std::span<double> out) {
+  WB_REQUIRE(window > 0, "window must be positive");
+  WB_REQUIRE(out.size() == x.size(), "output must cover every sample");
+  // Subtract the average of the window *including* the current sample;
+  // with bit periods much shorter than the 400 ms window, the average
+  // tracks the environmental drift while the backscatter square wave
+  // integrates out. Same accumulation order as MovingAverage::push (add
+  // the new sample, then retire the oldest) so results are bit-identical
+  // to the allocating wrapper.
+  double sum = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sum += x[i];
+    if (i >= window) sum -= x[i - window];
+    const std::size_t n = std::min(i + 1, window);
+    out[i] = x[i] - sum / static_cast<double>(n);
+  }
+}
+
 std::vector<double> remove_moving_average(std::span<const double> x,
                                           std::size_t window) {
-  MovingAverage avg(window);
-  std::vector<double> out;
-  out.reserve(x.size());
-  for (double v : x) {
-    // Subtract the average of the window *including* the current sample;
-    // with bit periods much shorter than the 400 ms window, the average
-    // tracks the environmental drift while the backscatter square wave
-    // integrates out.
-    out.push_back(v - avg.push(v));
-  }
+  std::vector<double> out(x.size());
+  remove_moving_average(x, window, out);
   return out;
+}
+
+void normalize_mad(std::span<const double> x, std::span<double> out) {
+  WB_REQUIRE(out.size() == x.size(), "output must cover every sample");
+  double mad = 0.0;
+  for (double v : x) mad += std::abs(v);
+  if (x.empty()) return;
+  mad /= static_cast<double>(x.size());
+  if (mad <= 0.0) {
+    std::copy(x.begin(), x.end(), out.begin());
+    return;
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] / mad;
 }
 
 std::vector<double> normalize_mad(std::span<const double> x) {
-  double mad = 0.0;
-  for (double v : x) mad += std::abs(v);
-  if (x.empty()) return {};
-  mad /= static_cast<double>(x.size());
-  std::vector<double> out(x.begin(), x.end());
-  if (mad <= 0.0) return out;
-  for (double& v : out) v /= mad;
+  std::vector<double> out(x.size());
+  normalize_mad(x, out);
   return out;
 }
 
-std::vector<double> sliding_correlation(std::span<const double> x,
-                                        std::span<const double> tmpl) {
-  if (tmpl.empty() || x.size() < tmpl.size()) return {};
+void sliding_correlation(std::span<const double> x,
+                         std::span<const double> tmpl, std::span<double> out) {
+  WB_REQUIRE(!tmpl.empty() && x.size() >= tmpl.size(),
+             "series must be at least as long as the template");
   const std::size_t n = x.size() - tmpl.size() + 1;
-  std::vector<double> out(n, 0.0);
+  WB_REQUIRE(out.size() == n, "output must have x.size()-tmpl.size()+1 slots");
   for (std::size_t i = 0; i < n; ++i) {
     double s = 0.0;
     for (std::size_t j = 0; j < tmpl.size(); ++j) {
@@ -70,6 +90,13 @@ std::vector<double> sliding_correlation(std::span<const double> x,
     }
     out[i] = s;
   }
+}
+
+std::vector<double> sliding_correlation(std::span<const double> x,
+                                        std::span<const double> tmpl) {
+  if (tmpl.empty() || x.size() < tmpl.size()) return {};
+  std::vector<double> out(x.size() - tmpl.size() + 1);
+  sliding_correlation(x, tmpl, out);
   return out;
 }
 

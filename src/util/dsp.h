@@ -42,16 +42,35 @@ class MovingAverage {
 std::vector<double> remove_moving_average(std::span<const double> x,
                                           std::size_t window);
 
+/// Span-out variant of remove_moving_average for callers that own the
+/// output storage (the decode hot path reuses one buffer across calls).
+/// `out.size()` must equal `x.size()`; `out` must not alias `x` (the
+/// trailing window re-reads samples the output would have overwritten).
+/// Bit-identical to the allocating wrapper.
+void remove_moving_average(std::span<const double> x, std::size_t window,
+                           std::span<double> out);
+
 /// Normalise a zero-mean series so the mean absolute value becomes 1
 /// (paper §3.2 step 1: divide by the average of |x|). A series of all zeros
 /// is returned unchanged.
 std::vector<double> normalize_mad(std::span<const double> x);
+
+/// Span-out variant of normalize_mad. `out.size()` must equal `x.size()`;
+/// `out` may fully alias `x` (in-place normalisation). Bit-identical to
+/// the allocating wrapper.
+void normalize_mad(std::span<const double> x, std::span<double> out);
 
 /// Sliding (valid-mode) correlation of a series against a bipolar template.
 /// out[i] = sum_j x[i+j] * tmpl[j]; out has size x.size()-tmpl.size()+1
 /// (empty if the template is longer than the series).
 std::vector<double> sliding_correlation(std::span<const double> x,
                                         std::span<const double> tmpl);
+
+/// Span-out variant of sliding_correlation. `out.size()` must equal
+/// `x.size() - tmpl.size() + 1` (callers handle the empty case); `out`
+/// must not alias `x` or `tmpl`. Bit-identical to the allocating wrapper.
+void sliding_correlation(std::span<const double> x,
+                         std::span<const double> tmpl, std::span<double> out);
 
 /// Index of the maximum element (0 for an empty span).
 std::size_t argmax(std::span<const double> x);

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/parse.h"
+
 namespace wb::wifi {
 namespace {
 
@@ -30,6 +32,25 @@ std::vector<std::string> split(const std::string& line) {
   // A trailing empty cell ("...,") is dropped by getline; normalise.
   if (!line.empty() && line.back() == ',') out.push_back("");
   return out;
+}
+
+[[noreturn]] void fail_cell(std::size_t line_no, std::size_t column,
+                            const std::string& what,
+                            const std::string& cell) {
+  throw std::runtime_error("capture csv: line " + std::to_string(line_no) +
+                           ", column " + std::to_string(column) + ": " +
+                           what + " (got \"" + cell + "\")");
+}
+
+/// Strict full-cell parse; `column` is the 1-based cell index for errors.
+template <typename T>
+T parse_cell(const std::string& cell, std::size_t line_no, std::size_t column,
+             const char* what) {
+  T value{};
+  if (!util::parse_full(cell, value)) {
+    fail_cell(line_no, column, std::string("expected ") + what, cell);
+  }
+  return value;
 }
 
 }  // namespace
@@ -76,13 +97,37 @@ CaptureTrace read_capture_csv(std::istream& is) {
     }
     CaptureRecord rec;
     std::size_t i = 0;
-    rec.timestamp_us = std::stoll(cells[i++]);
-    rec.source = static_cast<std::uint32_t>(std::stoul(cells[i++]));
-    rec.has_csi = cells[i++] == "1";
-    for (auto& r : rec.rssi_dbm) r = std::stod(cells[i++]);
+    rec.timestamp_us = parse_cell<std::int64_t>(cells[i], line_no, i + 1,
+                                                "integer timestamp_us");
+    ++i;
+    // Unsigned parse: rejects negative source ids outright instead of
+    // wrapping them around like std::stoul would.
+    rec.source =
+        parse_cell<std::uint32_t>(cells[i], line_no, i + 1,
+                                  "non-negative integer source");
+    ++i;
+    if (cells[i] != "0" && cells[i] != "1") {
+      fail_cell(line_no, i + 1, "has_csi must be 0 or 1", cells[i]);
+    }
+    rec.has_csi = cells[i] == "1";
+    ++i;
+    for (auto& r : rec.rssi_dbm) {
+      r = parse_cell<double>(cells[i], line_no, i + 1, "rssi value");
+      ++i;
+    }
     for (auto& ant : rec.csi) {
       for (auto& v : ant) {
-        v = (rec.has_csi && !cells[i].empty()) ? std::stod(cells[i]) : 0.0;
+        if (rec.has_csi) {
+          v = parse_cell<double>(cells[i], line_no, i + 1, "csi value");
+        } else {
+          // RSSI-only rows carry empty CSI cells; anything else means the
+          // row is misaligned with the header.
+          if (!cells[i].empty()) {
+            fail_cell(line_no, i + 1,
+                      "csi cell must be empty when has_csi is 0", cells[i]);
+          }
+          v = 0.0;
+        }
         ++i;
       }
     }

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/check.h"
+
 namespace wb::core {
 namespace {
 
@@ -53,9 +55,15 @@ TEST(RateControl, RateCodeRoundtrip) {
   }
 }
 
-TEST(RateControl, UnknownRateCodesToSlowest) {
+TEST(RateControl, UnknownRateIsAContractViolation) {
+  // Regression: rate_code(123.0) used to silently return code 0 (100 bps)
+  // for any unrecognised rate, so a bad caller value became a tag
+  // transmitting at a rate the reader never chose.
+  ScopedContractPolicy guard(ContractPolicy::kThrow);
   const auto rc = make_rc(5.0);
-  EXPECT_EQ(rc.rate_code(123.0), 0);
+  EXPECT_THROW(rc.rate_code(123.0), ContractViolation);
+  EXPECT_THROW(rc.rate_code(50.0), ContractViolation);     // below all
+  EXPECT_THROW(rc.rate_code(2'000.0), ContractViolation);  // above all
 }
 
 TEST(RateControl, OutOfRangeCodeClamps) {
@@ -93,6 +101,40 @@ TEST(RateControl, MeasuredRateUsesOnlyRecentWindow) {
 
 TEST(RateControl, EmptyTraceZeroRate) {
   EXPECT_DOUBLE_EQ(RateControl::measured_packet_rate({}, 1'000), 0.0);
+}
+
+TEST(RateControl, ShortTraceIsNotDilutedByTheFullWindow) {
+  // Regression: a capture shorter than the window used to be divided by
+  // the full window anyway — 501 packets at 1 ms spacing (0.5 s of air)
+  // over a 1 s window reported ~501 pps instead of 1000 pps, so rate
+  // control picked a rate roughly 2x too slow right after startup.
+  wifi::CaptureTrace trace;
+  for (int i = 0; i <= 500; ++i) {
+    wifi::CaptureRecord r;
+    r.timestamp_us = i * 1'000;
+    trace.push_back(r);
+  }
+  EXPECT_DOUBLE_EQ(RateControl::measured_packet_rate(trace, 1'000'000),
+                   1'000.0);
+}
+
+TEST(RateControl, WindowIsHalfOpenAtTheLowerEdge) {
+  // Documented convention: (end - span, end]. Three packets spaced
+  // exactly one window apart — only the last one is inside the window,
+  // so a steady 1-per-window stream measures exactly 1/window.
+  wifi::CaptureTrace trace;
+  for (int i = 0; i < 3; ++i) {
+    wifi::CaptureRecord r;
+    r.timestamp_us = i * 10'000;
+    trace.push_back(r);
+  }
+  EXPECT_DOUBLE_EQ(RateControl::measured_packet_rate(trace, 10'000), 100.0);
+}
+
+TEST(RateControl, SinglePacketTraceZeroRate) {
+  wifi::CaptureTrace trace;
+  trace.push_back(wifi::CaptureRecord{});  // zero-extent span
+  EXPECT_DOUBLE_EQ(RateControl::measured_packet_rate(trace, 1'000), 0.0);
 }
 
 TEST(RateControl, SupportedRatesAreThePapersSet) {

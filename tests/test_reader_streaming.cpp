@@ -109,6 +109,52 @@ TEST(StreamingDecoder, BufferStaysBounded) {
   EXPECT_LT(max_buffered, 9'000u);
 }
 
+TEST(StreamingDecoder, FlushDrainsStrandedFinalFrame) {
+  // Regression: the helper stops transmitting right after the frame ends
+  // (frame 700'000..885'000, traffic until 890'000). push() only scans a
+  // region once a *later* record extends the buffer past it, so the final
+  // frame used to be stranded forever; flush() must drain it.
+  const BitVec payload = random_bits(24, 10);
+  const auto trace = make_trace({700'000}, {payload}, 5'000, 890'000, 11);
+  StreamingUplinkDecoder dec(stream_config(24, 5'000));
+  std::size_t pushed = 0;
+  for (const auto& rec : trace) {
+    pushed += dec.push(rec).size();
+  }
+  EXPECT_EQ(pushed, 0u);  // the pre-fix behaviour: frame never emitted
+  const auto drained = dec.flush();
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0].payload, payload);
+  EXPECT_EQ(dec.frames_emitted(), 1u);
+}
+
+TEST(StreamingDecoder, FlushIsIdempotent) {
+  const BitVec payload = random_bits(24, 12);
+  const auto trace = make_trace({700'000}, {payload}, 5'000, 890'000, 13);
+  StreamingUplinkDecoder dec(stream_config(24, 5'000));
+  for (const auto& rec : trace) dec.push(rec);
+  EXPECT_EQ(dec.flush().size(), 1u);
+  EXPECT_EQ(dec.flush().size(), 0u);
+  EXPECT_EQ(dec.frames_emitted(), 1u);
+}
+
+TEST(StreamingDecoder, FlushOnEmptyDecoderIsANoOp) {
+  StreamingUplinkDecoder dec(stream_config(24, 5'000));
+  EXPECT_TRUE(dec.flush().empty());
+}
+
+TEST(StreamingDecoder, FlushAfterNormalEmissionAddsNothing) {
+  // Plenty of trailing traffic: push() already emitted the frame, so
+  // flush() must not re-emit it.
+  const BitVec payload = random_bits(24, 14);
+  const auto trace = make_trace({700'000}, {payload}, 5'000, 1'500'000, 15);
+  StreamingUplinkDecoder dec(stream_config(24, 5'000));
+  std::size_t pushed = 0;
+  for (const auto& rec : trace) pushed += dec.push(rec).size();
+  EXPECT_EQ(pushed, 1u);
+  EXPECT_TRUE(dec.flush().empty());
+}
+
 TEST(StreamingDecoder, FrameNeverEmittedTwice) {
   const BitVec payload = random_bits(24, 8);
   const auto trace = make_trace({700'000}, {payload}, 5'000, 3'000'000, 9);

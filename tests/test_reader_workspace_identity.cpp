@@ -1,0 +1,188 @@
+// The workspace decode paths (DESIGN.md §10) promise bit-identical
+// outputs to the allocating wrappers — same arithmetic in the same order,
+// only the memory behaviour differs. These tests pin that promise: every
+// field of every result must compare EXACTLY equal (==, not NEAR), and a
+// workspace reused across traces of different shapes must leave no stale
+// state behind.
+#include <gtest/gtest.h>
+
+#include "core/uplink_sim.h"
+#include "reader/conditioning.h"
+#include "reader/corr_decoder.h"
+#include "reader/decode_workspace.h"
+#include "reader/uplink_decoder.h"
+#include "tag/modulator.h"
+#include "util/codes.h"
+#include "wifi/traffic.h"
+
+namespace wb::reader {
+namespace {
+
+/// Simulated capture with one tag frame; `beacon_gaps` drops CSI on some
+/// records so the CSI-skip path in conditioning is exercised too.
+wifi::CaptureTrace make_capture(TimeUs bit_us, std::size_t payload_bits,
+                                TimeUs until, std::uint64_t seed,
+                                bool beacon_gaps) {
+  core::UplinkSimConfig cfg;
+  cfg.channel.tag_pos = {0.1, 0.0};
+  cfg.channel.helper_pos = {3.1, 0.0};
+  cfg.seed = seed;
+  sim::RngStream rng(seed);
+  auto traffic_rng = rng.fork("t");
+  const auto tl = wifi::make_cbr_timeline(2'000, until, wifi::TrafficParams{},
+                                          traffic_rng);
+  BitVec frame = barker13();
+  const auto payload = random_bits(payload_bits, seed ^ 0xF00D);
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  tag::Modulator mod(frame, bit_us, 300'000);
+  core::UplinkSim sim(cfg);
+  auto trace = sim.run(tl, mod);
+  if (beacon_gaps) {
+    auto gap_rng = rng.fork("gaps");
+    for (auto& rec : trace) {
+      if (gap_rng.chance(0.1)) {
+        rec.has_csi = false;
+        for (auto& ant : rec.csi) ant.fill(0.0);
+      }
+    }
+  }
+  return trace;
+}
+
+void expect_same(const ConditionedTrace& a, const ConditionedTrace& b) {
+  ASSERT_EQ(a.timestamps, b.timestamps);
+  ASSERT_EQ(a.streams.size(), b.streams.size());
+  for (std::size_t s = 0; s < a.streams.size(); ++s) {
+    ASSERT_EQ(a.streams[s], b.streams[s]) << "stream " << s;
+  }
+}
+
+void expect_same(const UplinkDecodeResult& a, const UplinkDecodeResult& b) {
+  EXPECT_EQ(a.found, b.found);
+  EXPECT_EQ(a.start_us, b.start_us);
+  EXPECT_EQ(a.sync_score, b.sync_score);
+  EXPECT_EQ(a.payload, b.payload);
+  EXPECT_EQ(a.streams, b.streams);
+  EXPECT_EQ(a.polarity, b.polarity);
+  EXPECT_EQ(a.weights, b.weights);
+  EXPECT_EQ(a.confidence, b.confidence);
+  EXPECT_EQ(a.packets_used, b.packets_used);
+}
+
+void expect_same(const CodedDecodeResult& a, const CodedDecodeResult& b) {
+  EXPECT_EQ(a.found, b.found);
+  EXPECT_EQ(a.start_us, b.start_us);
+  EXPECT_EQ(a.sync_score, b.sync_score);
+  EXPECT_EQ(a.payload, b.payload);
+  EXPECT_EQ(a.streams, b.streams);
+  EXPECT_EQ(a.polarity, b.polarity);
+  EXPECT_EQ(a.weights, b.weights);
+  EXPECT_EQ(a.margin, b.margin);
+}
+
+TEST(WorkspaceIdentity, ConditioningMatchesAcrossReuse) {
+  // Big trace, then a smaller one, then the big one again: the workspace
+  // must regrow/shrink without leaking values between calls.
+  const auto big = make_capture(10'000, 32, 900'000, 21, true);
+  const auto small = make_capture(5'000, 8, 500'000, 22, false);
+
+  DecodeWorkspace ws;
+  ConditionedTrace out;
+  for (const auto* trace : {&big, &small, &big}) {
+    for (const auto source :
+         {MeasurementSource::kCsi, MeasurementSource::kRssi}) {
+      const auto reference = condition(*trace, source);
+      condition_into(*trace, source, 400'000, ws, out);
+      expect_same(reference, out);
+    }
+  }
+}
+
+TEST(WorkspaceIdentity, UplinkDecodeMatchesAcrossReuse) {
+  const auto big = make_capture(10'000, 32, 900'000, 23, true);
+  const auto small = make_capture(5'000, 8, 500'000, 24, false);
+
+  UplinkDecoderConfig big_cfg;
+  big_cfg.payload_bits = 32;
+  big_cfg.bit_duration_us = 10'000;
+  big_cfg.search_from = 280'000;
+  big_cfg.search_to = 320'000;
+  UplinkDecoderConfig small_cfg;
+  small_cfg.payload_bits = 8;
+  small_cfg.bit_duration_us = 5'000;
+  small_cfg.search_from = 280'000;
+  small_cfg.search_to = 320'000;
+  const UplinkDecoder big_dec(big_cfg);
+  const UplinkDecoder small_dec(small_cfg);
+
+  DecodeWorkspace ws;
+  UplinkDecodeResult out;
+  // Alternate decoders and traces against one shared workspace/result.
+  struct Case {
+    const UplinkDecoder* dec;
+    const wifi::CaptureTrace* trace;
+  };
+  for (const auto& c : {Case{&big_dec, &big}, Case{&small_dec, &small},
+                        Case{&big_dec, &big}}) {
+    const auto reference = c.dec->decode(*c.trace);
+    EXPECT_TRUE(reference.found);
+    c.dec->decode_into(*c.trace, ws, out);
+    expect_same(reference, out);
+  }
+
+  // And the not-found path must reset a previously-filled result.
+  const wifi::CaptureTrace empty;
+  big_dec.decode_into(empty, ws, out);
+  expect_same(big_dec.decode(empty), out);
+  EXPECT_FALSE(out.found);
+  EXPECT_TRUE(out.payload.empty());
+}
+
+TEST(WorkspaceIdentity, CodedDecodeMatchesAcrossReuse) {
+  // Coded frames: 8-chip codes, 6 payload bits, known start. Exercise
+  // both the winsorised (clip_sigma > 0) and unclipped paths.
+  CodedDecoderConfig cfg;
+  cfg.codes = make_orthogonal_pair(8);
+  cfg.payload_bits = 6;
+  cfg.chip_duration_us = 5'000;
+  cfg.known_start = 300'000;
+
+  const auto frame_chips =
+      static_cast<TimeUs>(cfg.frame_chips()) * cfg.chip_duration_us;
+  const auto until = 300'000 + frame_chips + 200'000;
+
+  // Build a capture whose tag modulates the coded chip sequence.
+  core::UplinkSimConfig sim_cfg;
+  sim_cfg.channel.tag_pos = {0.3, 0.0};
+  sim_cfg.channel.helper_pos = {3.3, 0.0};
+  sim_cfg.seed = 25;
+  sim::RngStream rng(25);
+  auto traffic_rng = rng.fork("t");
+  const auto tl = wifi::make_cbr_timeline(2'000, until, wifi::TrafficParams{},
+                                          traffic_rng);
+  BitVec bits = cfg.preamble;
+  const auto payload = random_bits(cfg.payload_bits, 77);
+  bits.insert(bits.end(), payload.begin(), payload.end());
+  BitVec chips;
+  for (std::uint8_t b : bits) {
+    const BitVec& code = b ? cfg.codes.one : cfg.codes.zero;
+    chips.insert(chips.end(), code.begin(), code.end());
+  }
+  tag::Modulator mod(chips, cfg.chip_duration_us, 300'000);
+  core::UplinkSim sim(sim_cfg);
+  const auto trace = sim.run(tl, mod);
+
+  DecodeWorkspace ws;
+  CodedDecodeResult out;
+  for (const double clip : {3.0, 0.0, 3.0}) {
+    cfg.clip_sigma = clip;
+    const CodedUplinkDecoder dec(cfg);
+    const auto reference = dec.decode(trace);
+    EXPECT_TRUE(reference.found);
+    dec.decode_into(trace, ws, out);
+    expect_same(reference, out);
+  }
+}
+
+}  // namespace
+}  // namespace wb::reader

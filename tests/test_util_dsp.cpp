@@ -153,5 +153,37 @@ TEST(RemoveMovingAverage, SinusoidalDriftSuppressed) {
   EXPECT_LT(max_abs, 0.45);  // raw amplitude was 1.0
 }
 
+TEST(SpanVariants, BitIdenticalToAllocatingWrappers) {
+  // The span-out overloads promise the exact same arithmetic in the same
+  // order as the allocating wrappers (DESIGN.md §10) — compare EXACTLY.
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) {
+    xs.push_back(std::sin(0.37 * i) * (1.0 + 0.01 * i));
+  }
+  const std::vector<double> tmpl = {1.0, -1.0, 1.0, 1.0, -1.0};
+
+  const auto rm_ref = remove_moving_average(xs, 32);
+  std::vector<double> rm_out(xs.size(), -99.0);
+  remove_moving_average(xs, 32, rm_out);
+  EXPECT_EQ(rm_ref, rm_out);
+
+  const auto nm_ref = normalize_mad(xs);
+  std::vector<double> nm_out(xs.size(), -99.0);
+  normalize_mad(xs, nm_out);
+  EXPECT_EQ(nm_ref, nm_out);
+
+  const auto sc_ref = sliding_correlation(xs, tmpl);
+  std::vector<double> sc_out(sc_ref.size(), -99.0);
+  sliding_correlation(xs, tmpl, sc_out);
+  EXPECT_EQ(sc_ref, sc_out);
+}
+
+TEST(SpanVariants, NormalizeMadMayAliasItsInput) {
+  std::vector<double> xs = {1.0, -2.0, 3.0, -4.0};
+  const auto ref = normalize_mad(xs);
+  normalize_mad(xs, xs);  // in place
+  EXPECT_EQ(ref, xs);
+}
+
 }  // namespace
 }  // namespace wb

@@ -27,6 +27,11 @@ no-raw-thread     no raw std::thread / std::jthread / std::async outside
                   SweepRunner so results stay deterministic (per-task
                   seeds, in-order merge) and the concurrency surface stays
                   small enough to audit under TSan.
+no-stox           no std::sto{i,l,ll,ul,ull,d,f,ld} outside tests (src/,
+                  bench/, examples/): they accept trailing garbage
+                  ("12abc" -> 12), let stoul wrap negative inputs, and
+                  throw context-free exceptions. Use wb::util::parse_full
+                  (util/parse.h) for strict full-string parsing.
 """
 from __future__ import annotations
 
@@ -142,6 +147,16 @@ class Linter:
                         f"{m.group(1)}() is non-deterministic across "
                         "platforms; use wb::sim::RngStream")
 
+    STOX_RE = re.compile(
+        r"\bstd\s*::\s*(sto(?:i|l|ll|ul|ull|d|f|ld))\s*\(")
+
+    def check_no_stox(self, path: Path, code: str) -> None:
+        for m in self.STOX_RE.finditer(code):
+            self.report(path, line_of(code, m.start()), "no-stox",
+                        f"std::{m.group(1)}() accepts trailing garbage and "
+                        "throws context-free errors; use "
+                        "wb::util::parse_full (util/parse.h)")
+
     def check_no_raw_thread(self, path: Path, code: str) -> None:
         if path.relative_to(SRC).parts[0] == "runner":
             return
@@ -203,6 +218,7 @@ class Linter:
             text = path.read_text()
             code = strip_comments_and_strings(text)
             self.check_no_rand(path, code)
+            self.check_no_stox(path, code)
             self.check_no_raw_thread(path, code)
             self.check_metric_names(
                 path, strip_comments_and_strings(text, keep_strings=True))
@@ -212,6 +228,14 @@ class Linter:
                 mod = path.relative_to(SRC).parts[0]
                 if mod in ("phy", "reader"):
                     self.check_unit_suffix(path, code)
+        # no-stox also covers the non-test binaries outside src/.
+        extra = []
+        for top in ("bench", "examples"):
+            extra.extend(sorted((REPO_ROOT / top).rglob("*.h")))
+            extra.extend(sorted((REPO_ROOT / top).rglob("*.cpp")))
+        for path in extra:
+            self.check_no_stox(path, strip_comments_and_strings(
+                path.read_text()))
         for v in self.violations:
             print(v)
         if self.violations:
