@@ -1,61 +1,99 @@
 #!/usr/bin/env bash
-# Pre-PR correctness gate. Runs, in order:
-#   1. tools/wb_lint.py           repo-specific lint rules
-#   2. ASan+UBSan build, -Werror  (build dir: build-check/)
-#   3. full ctest under the sanitizers
-#   4. TSan build of the concurrency surface (build dir: build-tsan/) and
-#      the runner + obs test binaries run under it
-#   5. observability smoke: one CLI query exchange with --metrics-out /
-#      --trace-out, both outputs validated as JSON
-#   6. clang-tidy over src/       (skipped with a notice if not installed)
-#   7. Release perf gate: bench_decoder_micro --json-out must show a
-#      zero-allocation workspace decode (scripts/validate_bench_decoder.py)
-# Exits non-zero on the first failure. Usage: scripts/check.sh [-j N]
+# Pre-PR correctness gate. Named steps, in default order:
+#   analyze   tools/wb_analyze static analysis (determinism, headers, raii,
+#             legacy lint) + JSON artifact + committed-baseline diff
+#   build     ASan+UBSan build, -Werror        (build dir: build-check/)
+#   test      full ctest under the sanitizers
+#   tsan      TSan build of the concurrency surface (build-tsan/) running
+#             the runner + obs test binaries
+#   obs       observability smoke: one CLI query exchange, --metrics-out /
+#             --trace-out validated as JSON covering all six modules
+#   tidy      clang-tidy over src/  (skipped with a notice if not installed)
+#   perf      Release perf gate: bench_decoder_micro --json-out must show a
+#             zero-allocation workspace decode (validate_bench_decoder.py)
+#
+# Usage: scripts/check.sh [-j N] [--fast] [--only STEP ...]
+#   --fast        analyze + plain build (build-fast/, no sanitizers) + unit
+#                 tests — the doc-change loop; the sanitizer matrix, tidy,
+#                 and the perf gate are skipped
+#   --only STEP   run just the named step(s), in the order given
+#                 (repeatable; step names as listed above)
+# Exits non-zero on the first failure.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
-while getopts "j:" opt; do
-  case "$opt" in
-    j) JOBS="$OPTARG" ;;
-    *) echo "usage: scripts/check.sh [-j N]" >&2; exit 2 ;;
+FAST=0
+ONLY=()
+while [ $# -gt 0 ]; do
+  case "$1" in
+    -j) JOBS="$2"; shift 2 ;;
+    -j*) JOBS="${1#-j}"; shift ;;
+    --fast) FAST=1; shift ;;
+    --only)
+      [ $# -ge 2 ] || { echo "--only needs a step name" >&2; exit 2; }
+      ONLY+=("$2"); shift 2 ;;
+    -h|--help)
+      sed -n '2,21p' "$0"; exit 0 ;;
+    *) echo "usage: scripts/check.sh [-j N] [--fast] [--only STEP ...]" >&2
+       exit 2 ;;
   esac
 done
 
 BUILD_DIR=build-check
-
-echo "==> [1/7] wb_lint"
-python3 tools/wb_lint.py
-
-echo "==> [2/7] configure + build (WB_SANITIZE=address, WB_WERROR=ON)"
-cmake -B "$BUILD_DIR" -S . \
-  -DWB_SANITIZE=address -DWB_WERROR=ON \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
-cmake --build "$BUILD_DIR" -j "$JOBS"
-
-echo "==> [3/7] ctest under ASan+UBSan"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
-
-echo "==> [4/7] TSan over the concurrency surface (WB_SANITIZE=thread)"
 TSAN_DIR=build-tsan
-cmake -B "$TSAN_DIR" -S . \
-  -DWB_SANITIZE=thread -DWB_WERROR=ON \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
-cmake --build "$TSAN_DIR" -j "$JOBS" \
-  --target test_runner_thread_pool test_runner_sweep test_obs_metrics
-"$TSAN_DIR/tests/test_runner_thread_pool"
-"$TSAN_DIR/tests/test_runner_sweep"
-"$TSAN_DIR/tests/test_obs_metrics"
+PERF_DIR=build-perf
+FAST_DIR=build-fast
 
-echo "==> [5/7] observability smoke (CLI query + JSON validation)"
-OBS_TMP="$(mktemp -d)"
-trap 'rm -rf "$OBS_TMP"' EXIT
-"$BUILD_DIR/examples/wb_experiment_cli" query \
-  --queries 1 --distance 0.2 \
-  --metrics-out "$OBS_TMP/smoke.metrics.json" \
-  --trace-out "$OBS_TMP/smoke.trace.json" > /dev/null
-python3 - "$OBS_TMP" <<'PY'
+step_analyze() {
+  mkdir -p "$BUILD_DIR"
+  python3 tools/wb_analyze \
+    --json-out "$BUILD_DIR/wb_analyze.json" \
+    --baseline tools/wb_analyze/baseline.json
+}
+
+step_build() {
+  cmake -B "$BUILD_DIR" -S . \
+    -DWB_SANITIZE=address -DWB_WERROR=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  cmake --build "$BUILD_DIR" -j "$JOBS"
+}
+
+step_test() {
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+}
+
+step_build_fast() {
+  cmake -B "$FAST_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  cmake --build "$FAST_DIR" -j "$JOBS"
+}
+
+step_test_fast() {
+  ctest --test-dir "$FAST_DIR" --output-on-failure -j "$JOBS"
+}
+
+step_tsan() {
+  cmake -B "$TSAN_DIR" -S . \
+    -DWB_SANITIZE=thread -DWB_WERROR=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  cmake --build "$TSAN_DIR" -j "$JOBS" \
+    --target test_runner_thread_pool test_runner_sweep test_obs_metrics
+  "$TSAN_DIR/tests/test_runner_thread_pool"
+  "$TSAN_DIR/tests/test_runner_sweep"
+  "$TSAN_DIR/tests/test_obs_metrics"
+}
+
+step_obs() {
+  local tmp
+  tmp="$(mktemp -d)"
+  # shellcheck disable=SC2064
+  trap "rm -rf '$tmp'" EXIT
+  "$BUILD_DIR/examples/wb_experiment_cli" query \
+    --queries 1 --distance 0.2 \
+    --metrics-out "$tmp/smoke.metrics.json" \
+    --trace-out "$tmp/smoke.trace.json" > /dev/null
+  python3 - "$tmp" <<'PY'
 import json, sys
 tmp = sys.argv[1]
 metrics = json.load(open(tmp + "/smoke.metrics.json"))
@@ -69,26 +107,62 @@ assert trace["traceEvents"], "trace has no events"
 print(f"    metrics: {len(counters)} counters over modules {modules}")
 print(f"    trace:   {len(trace['traceEvents'])} events")
 PY
+}
 
-echo "==> [6/7] clang-tidy"
-if command -v clang-tidy > /dev/null 2>&1; then
+step_tidy() {
+  if ! command -v clang-tidy > /dev/null 2>&1; then
+    echo "    clang-tidy not installed; skipping (config: .clang-tidy)"
+    return 0
+  fi
+  if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+    echo "    no $BUILD_DIR/compile_commands.json — run the build step first" >&2
+    return 1
+  fi
   if command -v run-clang-tidy > /dev/null 2>&1; then
     run-clang-tidy -p "$BUILD_DIR" -quiet "src/.*\.cpp$"
   else
-    # shellcheck disable=SC2046
-    clang-tidy -p "$BUILD_DIR" --quiet $(find src -name '*.cpp') \
-      > /dev/null
+    # Single-binary fallback. Capture output and propagate the exit code:
+    # .clang-tidy sets WarningsAsErrors '*', so any finding exits non-zero
+    # (the old version piped to /dev/null and ignored failures entirely).
+    local log="$BUILD_DIR/clang-tidy.log" rc=0
+    find src -name '*.cpp' -print0 | sort -z | \
+      xargs -0 clang-tidy -p "$BUILD_DIR" --quiet > "$log" 2>&1 || rc=$?
+    if [ "$rc" -ne 0 ]; then
+      cat "$log"
+      echo "    clang-tidy failed (exit $rc); full log: $log" >&2
+      return "$rc"
+    fi
+    echo "    clang-tidy clean ($(find src -name '*.cpp' | wc -l) files)"
   fi
+}
+
+step_perf() {
+  cmake -B "$PERF_DIR" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+  cmake --build "$PERF_DIR" -j "$JOBS" --target bench_decoder_micro
+  python3 scripts/validate_bench_decoder.py \
+    --bench "$PERF_DIR/bench/bench_decoder_micro" \
+    --out "$PERF_DIR/BENCH_decoder.json"
+}
+
+if [ ${#ONLY[@]} -gt 0 ]; then
+  STEPS=("${ONLY[@]}")
+elif [ "$FAST" -eq 1 ]; then
+  STEPS=(analyze build_fast test_fast)
 else
-  echo "    clang-tidy not installed; skipping (config: .clang-tidy)"
+  STEPS=(analyze build test tsan obs tidy perf)
 fi
 
-echo "==> [7/7] decode hot-path allocation gate (Release bench)"
-PERF_DIR=build-perf
-cmake -B "$PERF_DIR" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
-cmake --build "$PERF_DIR" -j "$JOBS" --target bench_decoder_micro
-python3 scripts/validate_bench_decoder.py \
-  --bench "$PERF_DIR/bench/bench_decoder_micro" \
-  --out "$PERF_DIR/BENCH_decoder.json"
+N=${#STEPS[@]}
+i=0
+for step in "${STEPS[@]}"; do
+  i=$((i + 1))
+  case "$step" in
+    analyze|build|test|tsan|obs|tidy|perf|build_fast|test_fast) ;;
+    *) echo "unknown step: $step (steps: analyze build test tsan obs tidy" \
+            "perf)" >&2; exit 2 ;;
+  esac
+  echo "==> [$i/$N] $step"
+  "step_$step"
+done
 
 echo "==> all checks passed"

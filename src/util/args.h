@@ -12,12 +12,12 @@
 #pragma once
 
 #include <cstdint>
-#include <cstdlib>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "util/check.h"
+#include "util/parse.h"
 
 namespace wb::util {
 
@@ -93,20 +93,20 @@ class Args {
     return i;
   }
 
+  // Locale-independent strict parsing: std::strtod would read "0.2" as 0
+  // under a decimal-comma locale, silently shifting every numeric flag.
   static double parse_num(const char* s) {
-    char* end = nullptr;
-    const double v = std::strtod(s, &end);
-    WB_REQUIRE(end != s && *end == '\0', "flag value is not a number");
+    double v = 0.0;
+    WB_REQUIRE(parse_full(std::string_view(s), v),
+               "flag value is not a number");
     return v;
   }
 
   static std::uint64_t parse_u64(const char* s) {
-    WB_REQUIRE(*s != '-', "flag value must be a non-negative integer");
-    char* end = nullptr;
-    const unsigned long long v = std::strtoull(s, &end, 10);
-    WB_REQUIRE(end != s && *end == '\0',
-               "flag value is not an unsigned integer");
-    return static_cast<std::uint64_t>(v);
+    std::uint64_t v = 0;
+    WB_REQUIRE(parse_full(std::string_view(s), v),
+               "flag value is not a non-negative base-10 integer");
+    return v;
   }
 
   int argc_;

@@ -1,0 +1,3 @@
+#pragma once
+#include "mod/a.h"
+namespace wb { struct B { A* peer; }; }

@@ -1,0 +1,3 @@
+#pragma once
+#include "mod/b.h"
+namespace wb { struct A { B b; }; }

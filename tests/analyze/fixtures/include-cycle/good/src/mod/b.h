@@ -1,0 +1,2 @@
+#pragma once
+namespace wb { struct B { int x = 0; }; }

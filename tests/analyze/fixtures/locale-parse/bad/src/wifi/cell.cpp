@@ -1,0 +1,10 @@
+#include <cstdlib>
+#include <sstream>
+#include <string>
+double parse(const std::string& cell) {
+  std::istringstream is(cell);
+  double v = 0.0;
+  is >> v;
+  return v;
+}
+double parse2(const std::string& cell) { return atof(cell.c_str()); }

@@ -1,0 +1,11 @@
+#include <sstream>
+#include <string>
+#include <vector>
+std::vector<std::string> split(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cell;
+  std::istringstream is(line);
+  while (std::getline(is, cell, ',')) out.push_back(cell);  // no extraction
+  return out;
+}
+unsigned shift(unsigned bits) { return bits >> 3; }  // shift, not a stream

@@ -1,0 +1,8 @@
+struct Registry {
+  void counter(const char*);
+  void gauge(const char*);
+};
+void instrument(Registry& r) {
+  r.counter("BadName");
+  r.gauge("core.depth");
+}

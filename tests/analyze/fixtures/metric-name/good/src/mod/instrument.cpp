@@ -1,0 +1,8 @@
+struct Registry {
+  void counter(const char*);
+  void histogram(const char*);
+};
+void instrument(Registry& r) {
+  r.counter("core.downlink.frames_total");
+  r.histogram("reader.decode.latency_us");
+}

@@ -1,0 +1,3 @@
+int* leak() { return new int(42); }
+void assign() { int* p = new int(7); delete p; }
+int* arr() { return new int[8]; }

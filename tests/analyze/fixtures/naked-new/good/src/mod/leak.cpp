@@ -1,0 +1,10 @@
+#include <cstddef>
+#include <memory>
+#include <new>
+struct Pool {
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+};
+void* operator new(std::size_t n);          // allocator machinery: fine
+void operator delete(void* p) noexcept;     // allocator machinery: fine
+std::unique_ptr<int> make() { return std::make_unique<int>(42); }

@@ -1,0 +1,5 @@
+#include <cstdlib>
+int noise() {
+  srand(42);
+  return rand();
+}

@@ -1,0 +1,2 @@
+// rand() in a comment must not fire; sim::RngStream is the real API.
+int noise(int state) { return state * 48271 % 2147483647; }

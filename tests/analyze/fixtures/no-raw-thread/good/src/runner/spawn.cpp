@@ -1,0 +1,6 @@
+#include <thread>
+// src/runner/ owns the concurrency surface; raw threads are legal here.
+void spawn() {
+  std::thread t([] {});
+  t.join();
+}

@@ -1,0 +1,3 @@
+#include <string>
+int parse(const std::string& s) { return std::stoi(s); }
+double parsed(const std::string& s) { return std::stod(s); }

@@ -1,0 +1,4 @@
+#include <string_view>
+// std::stoi appears only in this comment and in the string below.
+inline const char* kWhy = "std::stoi accepts trailing garbage";
+bool parse(std::string_view s, int& out);  // wb::util::parse_full style

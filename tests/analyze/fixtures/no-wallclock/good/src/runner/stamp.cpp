@@ -1,0 +1,5 @@
+#include <chrono>
+// src/runner/ may read the host clock (thread-pool timeouts etc.).
+long stamp() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,6 @@
+// Deliberately missing #pragma once.
+namespace wb {
+struct Widget {
+  int x = 0;
+};
+}  // namespace wb

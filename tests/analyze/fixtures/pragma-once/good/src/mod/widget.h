@@ -1,0 +1,6 @@
+#pragma once
+namespace wb {
+struct Widget {
+  int x = 0;
+};
+}  // namespace wb

@@ -1,0 +1,7 @@
+#include <stdexcept>
+struct Guard {
+  ~Guard() {
+    if (armed) throw std::runtime_error("boom");
+  }
+  bool armed = false;
+};

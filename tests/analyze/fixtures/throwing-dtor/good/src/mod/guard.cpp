@@ -1,0 +1,8 @@
+#include <stdexcept>
+struct Guard {
+  ~Guard() { release(); }  // "throw" in this comment must not fire
+  void release() noexcept;
+  bool armed = false;
+};
+void fire() { throw std::runtime_error("throwing OUTSIDE a dtor is fine"); }
+int mask() { return ~0; }  // bitwise not, not a destructor

@@ -1,0 +1,4 @@
+#pragma once
+namespace wb::phy {
+double attenuation(double distance, double tx_power);
+}  // namespace wb::phy

@@ -1,0 +1,4 @@
+#pragma once
+namespace wb::phy {
+double attenuation_db(double distance_m, double tx_power_dbm);
+}  // namespace wb::phy

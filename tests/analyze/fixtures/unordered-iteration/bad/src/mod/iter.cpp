@@ -1,0 +1,7 @@
+#include <unordered_set>
+int sum(const std::unordered_set<int>& live) {
+  int s = 0;
+  for (int v : live) s += v;
+  return s;
+}
+int first(const std::unordered_set<int>& live) { return *live.begin(); }

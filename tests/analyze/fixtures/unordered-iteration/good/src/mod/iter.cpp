@@ -1,0 +1,9 @@
+#include <map>
+#include <unordered_set>
+int sum(const std::map<int, int>& totals,
+        const std::unordered_set<int>& live) {
+  int s = 0;
+  for (const auto& [k, v] : totals) s += v;    // ordered container: fine
+  s += static_cast<int>(live.count(3));        // point lookup: fine
+  return s;
+}

@@ -1,0 +1,6 @@
+#pragma once
+#include <vector>
+using namespace std;
+namespace wb {
+inline vector<int> v() { return {}; }
+}  // namespace wb

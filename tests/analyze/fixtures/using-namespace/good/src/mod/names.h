@@ -1,0 +1,7 @@
+#pragma once
+#include <vector>
+// A comment mentioning `using namespace std;` must not fire.
+inline const char* kDoc = "using namespace std;";  // nor a string literal
+namespace wb {
+inline std::vector<int> v() { return {}; }
+}  // namespace wb

@@ -1,0 +1,13 @@
+"""Allow both `python3 tools/wb_analyze` (directory invocation, no package
+context) and `python3 -m wb_analyze` (from tools/)."""
+import sys
+
+if __package__ in (None, ""):
+    from pathlib import Path
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    from wb_analyze.engine import main
+else:
+    from .engine import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

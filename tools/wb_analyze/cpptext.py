@@ -1,0 +1,141 @@
+"""Lightweight C++ text tokenization helpers for wb_analyze rules.
+
+Not a parser: rules work on comment/string-stripped text (so keywords in
+comments and literals never fire) plus a handful of structural helpers —
+line mapping, brace matching, angle-bracket matching, and declared-name
+scanning — that together give enough scope awareness for the rule
+catalogue without an AST.
+"""
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+
+def strip_comments_and_strings(text: str, keep_strings: bool = False) -> str:
+    """Blank out comments and string/char literals, preserving offsets.
+
+    Every replaced character becomes a space (newlines are kept), so byte
+    offsets and line numbers in the stripped text match the original.
+    With keep_strings=True only comments are blanked; literal contents
+    stay (used by rules that inspect string arguments, e.g. metric-name).
+    """
+    out: list[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append(re.sub(r"[^\n]", " ", text[i:j]))
+            i = j
+        elif c == "'" and i > 0 and (text[i - 1].isalnum() or text[i - 1] == "_"):
+            # C++14 digit separator (10'000) or a suffix position — not a
+            # character literal.
+            out.append(c)
+            i += 1
+        elif c in "\"'":
+            j = i + 1
+            while j < n and text[j] != c:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            if keep_strings:
+                out.append(text[i:j])
+            else:
+                out.append(c + " " * (j - i - 2) + (c if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text: str, pos: int) -> int:
+    """1-based line number of byte offset `pos`."""
+    return text.count("\n", 0, pos) + 1
+
+
+def match_brace(code: str, open_pos: int) -> int:
+    """Given code[open_pos] == '{', return the offset one past the matching
+    '}'. Returns len(code) if unbalanced (rules then scan to EOF, which is
+    conservative but never crashes on malformed input)."""
+    depth = 0
+    for i in range(open_pos, len(code)):
+        c = code[i]
+        if c == "{":
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(code)
+
+
+def match_angle(code: str, open_pos: int) -> int:
+    """Given code[open_pos] == '<', return the offset one past the matching
+    '>' of a template argument list, tracking nesting. Parentheses inside
+    (e.g. decltype) are skipped wholesale. Returns len(code) if unbalanced."""
+    depth = 0
+    i = open_pos
+    n = len(code)
+    while i < n:
+        c = code[i]
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            # `->` and `>>` inside nested lists: a lone `>` closes one level.
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif c == "(":
+            par = 1
+            i += 1
+            while i < n and par:
+                if code[i] == "(":
+                    par += 1
+                elif code[i] == ")":
+                    par -= 1
+                i += 1
+            continue
+        elif c in ";{}":
+            # A statement boundary inside an argument list means this `<`
+            # was a comparison, not a template list.
+            return open_pos + 1
+        i += 1
+    return n
+
+
+def declared_names(code: str, type_re: str) -> Iterator[tuple[str, int]]:
+    """Yield (name, offset) for every variable/member declared with a type
+    matching `type_re` (a regex for the type head, without template args).
+
+    Handles `Type<...> name`, `Type name` and skips function declarations
+    (`Type name(` is still yielded — callers that care filter on usage, and
+    a false declared-name only matters if the same identifier is also
+    iterated, which is what the rules flag anyway).
+    """
+    for m in re.finditer(type_re, code):
+        i = m.end()
+        # Skip template argument list if present.
+        while i < len(code) and code[i].isspace():
+            i += 1
+        if i < len(code) and code[i] == "<":
+            i = match_angle(code, i)
+        # Optional &, *, const, whitespace before the name.
+        tail = re.match(r"\s*(?:const\s+)?[&*\s]*([A-Za-z_]\w*)", code[i:])
+        if tail:
+            yield tail.group(1), m.start()
+
+
+def directive_lines(text: str) -> set[int]:
+    """1-based line numbers that are preprocessor directives (leading #)."""
+    out: set[int] = set()
+    for i, line in enumerate(text.splitlines(), start=1):
+        if line.lstrip().startswith("#"):
+            out.add(i)
+    return out

@@ -1,0 +1,376 @@
+"""wb_analyze rule engine: file collection, rule registry, suppressions,
+finding aggregation, human/JSON output, and baseline comparison.
+
+The engine is repo-layout aware but root-relocatable: `--root DIR` points
+it at any tree with the same top-level shape (src/, bench/, examples/),
+which is how the fixture corpus under tests/analyze/ drives it.
+
+Suppression contract
+--------------------
+A finding is suppressed by a line comment
+
+    // wb-analyze: allow(<rule>): <justification>
+
+on the same line as the finding or on the line directly above it. The
+justification is mandatory: a bare `allow(<rule>)` is itself reported
+(rule `suppression-hygiene`, error), as is an allow() naming an unknown
+rule or one that suppresses nothing (audit trail for stale suppressions).
+Suppressed findings stay in the JSON artifact with their justification,
+so CI can diff the suppression census against the committed baseline.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from . import cpptext
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+#: Top-level directories scanned for C++ sources, in scan order.
+SCAN_TOPS = ("src", "bench", "examples")
+
+SEVERITIES = ("error", "warning", "note")
+
+SUPPRESS_RE = re.compile(
+    r"//\s*wb-analyze:\s*allow\(\s*([A-Za-z0-9_-]*)\s*\)"
+    r"(?:\s*:\s*(.*?))?\s*$")
+
+
+@dataclass
+class Finding:
+    rule: str
+    severity: str
+    path: str  # posix, relative to the scanned root
+    line: int
+    message: str
+    suppressed: bool = False
+    justification: str | None = None
+
+    def human(self) -> str:
+        tag = " (suppressed)" if self.suppressed else ""
+        return (f"{self.path}:{self.line}: {self.severity}: "
+                f"[{self.rule}] {self.message}{tag}")
+
+
+@dataclass
+class Suppression:
+    rule: str
+    path: str
+    line: int
+    justification: str | None
+    used: bool = False
+
+
+class SourceFile:
+    """One scanned file with lazily computed stripped views."""
+
+    def __init__(self, root: Path, path: Path) -> None:
+        self.path = path
+        self.rel = path.relative_to(root).as_posix()
+        self.text = path.read_text()
+        self._code: str | None = None
+        self._code_with_strings: str | None = None
+
+    @property
+    def code(self) -> str:
+        if self._code is None:
+            self._code = cpptext.strip_comments_and_strings(self.text)
+        return self._code
+
+    @property
+    def code_with_strings(self) -> str:
+        if self._code_with_strings is None:
+            self._code_with_strings = cpptext.strip_comments_and_strings(
+                self.text, keep_strings=True)
+        return self._code_with_strings
+
+    @property
+    def is_header(self) -> bool:
+        return self.path.suffix == ".h"
+
+    @property
+    def top(self) -> str:
+        return self.rel.split("/", 1)[0]
+
+    @property
+    def module(self) -> str:
+        """Second path component (`src/<module>/...`), or "" at top level."""
+        parts = self.rel.split("/")
+        return parts[1] if len(parts) > 2 else ""
+
+
+class Context:
+    """Shared state passed to every rule check."""
+
+    def __init__(self, root: Path, files: list[SourceFile]) -> None:
+        self.root = root
+        self.files = files
+        self.findings: list[Finding] = []
+
+    def report(self, rule: "Rule", f: SourceFile | str, line: int,
+               message: str) -> None:
+        rel = f if isinstance(f, str) else f.rel
+        self.findings.append(
+            Finding(rule.name, rule.severity, rel, line, message))
+
+
+class Rule:
+    """Base class. Subclasses set name/family/severity/description and
+    override check_file() (per file) or check_tree() (once, whole tree)."""
+
+    name = ""
+    family = ""
+    severity = "error"
+    description = ""
+
+    def check_file(self, ctx: Context, f: SourceFile) -> None:
+        pass
+
+    def check_tree(self, ctx: Context) -> None:
+        pass
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    rule = cls()
+    if not rule.name or not rule.description or not rule.family:
+        raise ValueError(f"rule {cls.__name__} missing name/family/description")
+    if rule.severity not in SEVERITIES:
+        raise ValueError(f"rule {rule.name}: bad severity {rule.severity}")
+    if rule.name in _REGISTRY:
+        raise ValueError(f"duplicate rule name {rule.name}")
+    _REGISTRY[rule.name] = rule
+    return cls
+
+
+def registry() -> dict[str, Rule]:
+    # Import for side effect: rule modules self-register on first use.
+    from . import rules  # noqa: F401
+    return _REGISTRY
+
+
+# `suppression-hygiene` is reported by the engine itself, not a Rule
+# subclass, but it needs an entry in the catalogue so allow() of it is
+# legal and fixtures can reference it by name.
+class _SuppressionHygiene(Rule):
+    name = "suppression-hygiene"
+    family = "meta"
+    severity = "error"
+    description = ("every `wb-analyze: allow(rule)` must name a known rule, "
+                   "carry a justification after a colon, and actually "
+                   "suppress something (unused allows are warnings)")
+
+
+_REGISTRY[_SuppressionHygiene.name] = _SuppressionHygiene()
+
+
+def collect_files(root: Path) -> list[SourceFile]:
+    files: list[SourceFile] = []
+    for top in SCAN_TOPS:
+        base = root / top
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*.h")) + sorted(base.rglob("*.cpp")):
+            files.append(SourceFile(root, path))
+    return files
+
+
+def collect_suppressions(files: list[SourceFile]) -> list[Suppression]:
+    out: list[Suppression] = []
+    for f in files:
+        for lineno, line in enumerate(f.text.splitlines(), start=1):
+            m = SUPPRESS_RE.search(line)
+            if m:
+                rule, just = m.group(1), m.group(2)
+                out.append(Suppression(rule, f.rel, lineno,
+                                       just if just else None))
+    return out
+
+
+def apply_suppressions(findings: list[Finding],
+                       supps: list[Suppression]) -> list[Finding]:
+    """Mark suppressed findings, then append suppression-hygiene findings
+    for bare/unknown/unused allows. Returns the full finding list."""
+    hygiene = _REGISTRY["suppression-hygiene"]
+    known = set(_REGISTRY)
+    by_key: dict[tuple[str, str], list[Suppression]] = {}
+    for s in supps:
+        by_key.setdefault((s.rule, s.path), []).append(s)
+
+    for fnd in findings:
+        for s in by_key.get((fnd.rule, fnd.path), []):
+            if s.line in (fnd.line, fnd.line - 1) and s.justification \
+                    and s.rule in known:
+                fnd.suppressed = True
+                fnd.justification = s.justification
+                s.used = True
+                break
+
+    for s in supps:
+        if s.rule not in known:
+            findings.append(Finding(
+                hygiene.name, hygiene.severity, s.path, s.line,
+                f"allow() names unknown rule `{s.rule}` — "
+                "see --list-rules for the catalogue"))
+        elif not s.justification:
+            findings.append(Finding(
+                hygiene.name, hygiene.severity, s.path, s.line,
+                f"bare allow({s.rule}) — a suppression must carry a "
+                "justification: `// wb-analyze: allow(rule): why`"))
+        elif not s.used:
+            findings.append(Finding(
+                hygiene.name, "warning", s.path, s.line,
+                f"allow({s.rule}) suppresses nothing on this or the next "
+                "line — stale suppression, remove it"))
+    return findings
+
+
+def run_analysis(root: Path) -> tuple[Context, list[Suppression]]:
+    rules = registry()
+    files = collect_files(root)
+    ctx = Context(root, files)
+    for rule in rules.values():
+        for f in files:
+            rule.check_file(ctx, f)
+        rule.check_tree(ctx)
+    supps = collect_suppressions(files)
+    apply_suppressions(ctx.findings, supps)
+    ctx.findings.sort(key=lambda x: (x.path, x.line, x.rule))
+    return ctx, supps
+
+
+def counts_by_rule(findings: list[Finding], suppressed: bool) -> dict[str, int]:
+    out = {name: 0 for name in sorted(_REGISTRY)}
+    for f in findings:
+        if f.suppressed == suppressed:
+            out[f.rule] += 1
+    return out
+
+
+def to_json(ctx: Context, supps: list[Suppression]) -> dict:
+    return {
+        "tool": "wb_analyze",
+        "version": 1,
+        "root": str(ctx.root),
+        "files_scanned": len(ctx.files),
+        "counts": counts_by_rule(ctx.findings, suppressed=False),
+        "suppressed_counts": counts_by_rule(ctx.findings, suppressed=True),
+        "findings": [
+            {"rule": f.rule, "severity": f.severity, "path": f.path,
+             "line": f.line, "message": f.message,
+             "suppressed": f.suppressed,
+             **({"justification": f.justification} if f.suppressed else {})}
+            for f in ctx.findings
+        ],
+        "suppressions": [
+            {"rule": s.rule, "path": s.path, "line": s.line,
+             "justification": s.justification, "used": s.used}
+            for s in supps
+        ],
+    }
+
+
+def check_baseline(doc: dict, baseline_path: Path) -> list[str]:
+    """Compare the finding/suppression census against the committed
+    baseline. Any drift (including *fewer* suppressions — the baseline is
+    an audit trail, so improvements must be recorded too) is an error
+    asking for an explicit baseline update."""
+    try:
+        base = json.loads(baseline_path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"baseline {baseline_path}: unreadable ({e})"]
+    problems: list[str] = []
+    for key in ("counts", "suppressed_counts"):
+        want = base.get(key, {})
+        got = doc[key]
+        for rule in sorted(set(want) | set(got)):
+            w, g = want.get(rule, 0), got.get(rule, 0)
+            if w != g:
+                problems.append(
+                    f"{key}[{rule}]: baseline {w}, tree {g} — if intended, "
+                    f"re-run with --write-baseline and commit {baseline_path}")
+    return problems
+
+
+def write_baseline(doc: dict, baseline_path: Path) -> None:
+    slim = {
+        "comment": "wb_analyze finding census. CI fails on any drift; "
+                   "update via `python3 tools/wb_analyze --write-baseline` "
+                   "and commit with the change that moved it.",
+        "counts": {k: v for k, v in doc["counts"].items() if v},
+        "suppressed_counts": {k: v for k, v in doc["suppressed_counts"].items()
+                              if v},
+    }
+    baseline_path.write_text(json.dumps(slim, indent=2) + "\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="wb_analyze",
+        description="Determinism & hygiene static analysis for the Wi-Fi "
+                    "Backscatter codebase.")
+    ap.add_argument("--root", type=Path, default=REPO_ROOT,
+                    help="tree to scan (default: the repo root)")
+    ap.add_argument("--json-out", type=Path,
+                    help="write the machine-readable report here")
+    ap.add_argument("--baseline", type=Path,
+                    help="compare finding/suppression counts against this "
+                         "committed census; any drift fails")
+    ap.add_argument("--write-baseline", action="store_true",
+                    help="rewrite the baseline file (default "
+                         "tools/wb_analyze/baseline.json) from this run")
+    ap.add_argument("--list-rules", action="store_true",
+                    help="print the rule catalogue and exit")
+    ap.add_argument("--quiet", action="store_true",
+                    help="suppress per-finding human output")
+    args = ap.parse_args(argv)
+
+    rules = registry()
+    if args.list_rules:
+        width = max(len(n) for n in rules)
+        for name in sorted(rules):
+            r = rules[name]
+            print(f"{name:<{width}}  [{r.family}/{r.severity}] "
+                  f"{r.description}")
+        return 0
+
+    root = args.root.resolve()
+    ctx, supps = run_analysis(root)
+    doc = to_json(ctx, supps)
+
+    if not args.quiet:
+        for f in ctx.findings:
+            print(f.human())
+
+    if args.json_out:
+        args.json_out.parent.mkdir(parents=True, exist_ok=True)
+        args.json_out.write_text(json.dumps(doc, indent=2) + "\n")
+
+    if args.write_baseline:
+        path = args.baseline or (REPO_ROOT / "tools/wb_analyze/baseline.json")
+        write_baseline(doc, path)
+        print(f"wb_analyze: baseline written to {path}")
+
+    failures = [f for f in ctx.findings
+                if not f.suppressed and f.severity in ("error", "warning")]
+    baseline_problems: list[str] = []
+    if args.baseline and not args.write_baseline:
+        baseline_problems = check_baseline(doc, args.baseline)
+        for p in baseline_problems:
+            print(f"wb_analyze: baseline drift: {p}", file=sys.stderr)
+
+    n_suppressed = sum(doc["suppressed_counts"].values())
+    if failures or baseline_problems:
+        print(f"wb_analyze: {len(failures)} finding(s), "
+              f"{len(baseline_problems)} baseline problem(s)", file=sys.stderr)
+        return 1
+    print(f"wb_analyze: OK ({doc['files_scanned']} files, "
+          f"{len(rules)} rules, {n_suppressed} suppressed finding(s))")
+    return 0

@@ -1,0 +1,5 @@
+"""Rule catalogue. Importing this package registers every rule module."""
+from . import legacy        # noqa: F401
+from . import determinism   # noqa: F401
+from . import headers       # noqa: F401
+from . import raii          # noqa: F401

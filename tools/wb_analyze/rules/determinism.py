@@ -1,0 +1,140 @@
+"""Determinism rules.
+
+The repo's figures (fig10/12/17/20) are bit-reproducible across seeds and
+thread counts; these rules reject the three nondeterminism sources the
+pipeline is sensitive to before they can land:
+
+  unordered-iteration  iteration order of std::unordered_{map,set} is
+                       implementation- and seed-dependent; iterating one
+                       into any result-producing path reorders decoder
+                       output silently
+  no-wallclock         wall-clock reads (chrono clocks, time(), getenv)
+                       make runs unreproducible; all simulation time is
+                       virtual (sim::EventQueue), and only src/runner +
+                       src/obs may touch the host clock
+  locale-parse         stream extraction (`is >> x`) and the C ato*/
+                       strto*/scanf families honour the process locale
+                       (decimal comma!), silently corrupting CSI traces —
+                       route through wb::util::parse_full (util/parse.h)
+"""
+from __future__ import annotations
+
+import re
+
+from ..cpptext import declared_names, line_of, match_angle
+from ..engine import Context, Rule, SourceFile, register
+
+UNORDERED_HEAD_RE = re.compile(
+    r"\bstd\s*::\s*unordered_(?:map|set|multimap|multiset)\b")
+
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(([^;()]*?):([^;]*?)\)")
+
+ITER_CALL = r"\b({names})\s*\.\s*c?r?(?:begin|end)\s*\(\s*\)"
+
+
+@register
+class UnorderedIteration(Rule):
+    name = "unordered-iteration"
+    family = "determinism"
+    severity = "error"
+    description = ("no iteration over std::unordered_{map,set} in src/ "
+                   "(outside the allowlist): iteration order is seed- and "
+                   "platform-dependent and reorders results silently — use "
+                   "std::map, a sorted vector, or sort before iterating")
+
+    # Files where unordered iteration is proven order-insensitive (e.g. the
+    # results are re-sorted before use). Keep empty unless a reviewer signs
+    # off; prefer a `wb-analyze: allow(...)` with justification at the site.
+    ALLOWLIST: frozenset[str] = frozenset()
+
+    def check_file(self, ctx: Context, f: SourceFile) -> None:
+        if f.top != "src" or f.rel in self.ALLOWLIST:
+            return
+        code = f.code
+        names = {n for n, _ in declared_names(code, UNORDERED_HEAD_RE.pattern)}
+        for m in RANGE_FOR_RE.finditer(code):
+            expr = m.group(2).strip()
+            # The iterated expression: either a declared unordered variable
+            # (last path component of `a.b.c`) or an inline unordered temp.
+            last = re.split(r"\.|->", expr)[-1].strip()
+            if last in names or "unordered_" in expr:
+                ctx.report(self, f, line_of(code, m.start()),
+                           f"range-for over unordered container `{expr}`: "
+                           "iteration order is not deterministic")
+        if names:
+            pat = ITER_CALL.format(names="|".join(map(re.escape, names)))
+            for m in re.finditer(pat, code):
+                ctx.report(self, f, line_of(code, m.start()),
+                           f"iterator over unordered container "
+                           f"`{m.group(1)}`: iteration order is not "
+                           "deterministic")
+
+
+@register
+class NoWallclock(Rule):
+    name = "no-wallclock"
+    family = "determinism"
+    severity = "error"
+    description = ("no wall-clock reads (std::chrono system/steady/"
+                   "high_resolution clocks, time(), clock(), gettimeofday, "
+                   "getenv) outside src/runner/ and src/obs/ — simulation "
+                   "time is virtual (sim::EventQueue::now)")
+
+    PATTERNS = (
+        (re.compile(r"\bstd\s*::\s*chrono\s*::\s*"
+                    r"(system_clock|steady_clock|high_resolution_clock)\b"),
+         "std::chrono::{0} reads the host clock"),
+        (re.compile(r"(?<![\w.:>])time\s*\("), "time() reads the host clock"),
+        (re.compile(r"(?<![\w.:>])clock\s*\("),
+         "clock() reads the host clock"),
+        (re.compile(r"\b(?:gettimeofday|clock_gettime|localtime|gmtime)"
+                    r"\s*\("),
+         "{0} reads the host clock"),
+        (re.compile(r"\b(?:std\s*::\s*)?getenv\s*\("),
+         "getenv() makes behaviour depend on the host environment"),
+    )
+
+    def check_file(self, ctx: Context, f: SourceFile) -> None:
+        if f.top == "src" and f.module in ("runner", "obs"):
+            return
+        code = f.code
+        for pat, msg in self.PATTERNS:
+            for m in pat.finditer(code):
+                what = m.group(1) if pat.groups else \
+                    m.group(0).split("(")[0].strip()
+                ctx.report(self, f, line_of(code, m.start()),
+                           msg.format(what)
+                           + "; results must not depend on when or where "
+                             "they run")
+
+
+@register
+class LocaleParse(Rule):
+    name = "locale-parse"
+    family = "determinism"
+    severity = "error"
+    description = ("no locale-sensitive number parsing in trace/decode "
+                   "paths: stream extraction (>>) from stringstreams and "
+                   "the ato*/strto*/sscanf families honour the process "
+                   "locale — use wb::util::parse_full (util/parse.h)")
+
+    STREAM_HEAD_RE = re.compile(r"\bstd\s*::\s*i?stringstream\b")
+    CFUNC_RE = re.compile(
+        r"\b(?:std\s*::\s*)?(atof|atoi|atol|atoll|strtod|strtof|strtold|"
+        r"strtol|strtoul|sscanf|fscanf|setlocale)\s*\(")
+
+    def check_file(self, ctx: Context, f: SourceFile) -> None:
+        code = f.code
+        names = {n for n, _ in
+                 declared_names(code, self.STREAM_HEAD_RE.pattern)}
+        if names:
+            pat = r"\b({0})\s*>>".format("|".join(map(re.escape, names)))
+            for m in re.finditer(pat, code):
+                ctx.report(self, f, line_of(code, m.start()),
+                           f"stream extraction `{m.group(1)} >> …` parses "
+                           "under the process locale (decimal comma "
+                           "corrupts traces); use wb::util::parse_full")
+        for m in self.CFUNC_RE.finditer(code):
+            ctx.report(self, f, line_of(code, m.start()),
+                       f"{m.group(1)}() is locale-sensitive; use "
+                       "wb::util::parse_full (util/parse.h)")

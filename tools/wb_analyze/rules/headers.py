@@ -1,0 +1,108 @@
+"""Header hygiene rules.
+
+include-cycle builds the quoted-include graph over src/ and reports every
+strongly connected component with more than one node (plus self-includes).
+Cycles compile or not depending on include *order* at the call site — the
+classic way a refactor breaks a file that never changed.
+
+Header self-containment (every header compiles as its own TU) is enforced
+by the generated `wb_header_probes` compile target (src/CMakeLists.txt,
+option WB_HEADER_PROBES) rather than by a text rule; this module only
+owns the graph-shaped checks.
+"""
+from __future__ import annotations
+
+import re
+
+from ..engine import Context, Rule, SourceFile, register
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"', re.MULTILINE)
+
+
+@register
+class IncludeCycle(Rule):
+    name = "include-cycle"
+    family = "headers"
+    severity = "error"
+    description = ("no include cycles among headers under src/ (quoted "
+                   "includes, resolved against src/): cycles make "
+                   "compilation depend on include order at the call site")
+
+    def check_tree(self, ctx: Context) -> None:
+        headers = {f.rel: f for f in ctx.files
+                   if f.top == "src" and f.is_header}
+        graph: dict[str, list[str]] = {}
+        for rel, f in headers.items():
+            deps = []
+            # code_with_strings: include paths are string literals, so the
+            # fully stripped view would blank them; comments stay stripped
+            # so a commented-out #include cannot create a phantom edge.
+            for inc in INCLUDE_RE.findall(f.code_with_strings):
+                # Includes are rooted at src/ (e.g. "util/units.h"); fall
+                # back to sibling-relative for robustness.
+                cand = f"src/{inc}"
+                if cand not in headers:
+                    sibling = "/".join(rel.split("/")[:-1] + [inc])
+                    cand = sibling if sibling in headers else cand
+                if cand in headers:
+                    deps.append(cand)
+            graph[rel] = deps
+
+        for scc in tarjan_sccs(graph):
+            cycle = sorted(scc)
+            if len(cycle) > 1 or cycle[0] in graph[cycle[0]]:
+                anchor = cycle[0]
+                ctx.report(self, anchor, 1,
+                           "include cycle: " + " -> ".join(
+                               c.removeprefix("src/") for c in cycle)
+                           + " -> " + cycle[0].removeprefix("src/"))
+
+
+def tarjan_sccs(graph: dict[str, list[str]]) -> list[list[str]]:
+    """Iterative Tarjan: strongly connected components of `graph`."""
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = 0
+
+    for root in sorted(graph):
+        if root in index:
+            continue
+        work: list[tuple[str, int]] = [(root, 0)]
+        while work:
+            node, ei = work[-1]
+            if ei == 0:
+                index[node] = low[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            edges = graph.get(node, [])
+            while ei < len(edges):
+                nxt = edges[ei]
+                ei += 1
+                if nxt not in index:
+                    work[-1] = (node, ei)
+                    work.append((nxt, 0))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    low[node] = min(low[node], index[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if low[node] == index[node]:
+                comp = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    comp.append(w)
+                    if w == node:
+                        break
+                sccs.append(comp)
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+    return sccs

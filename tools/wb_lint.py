@@ -1,250 +1,18 @@
 #!/usr/bin/env python3
-"""Repo-specific lint rules for the Wi-Fi Backscatter codebase.
+"""Legacy shim: wb_lint grew into the wb_analyze framework.
 
-Run from anywhere: paths are resolved relative to the repo root (the parent
-of this file's directory). Exits non-zero if any rule is violated; run by
-scripts/check.sh as part of the pre-PR gate.
-
-Rules
------
-pragma-once       every header under src/ starts its code with #pragma once
-using-namespace   no `using namespace` at any scope in headers under src/
-no-rand           no rand()/srand() anywhere in src/ (use sim::RngStream:
-                  seeded, forkable, deterministic across platforms)
-unit-suffix       public-API scalar parameters in src/phy/ and src/reader/
-                  headers carry a physical-unit suffix (_us, _dbm, _hz, _m,
-                  ...). TimeUs parameters must end in _us; double parameters
-                  whose names say they are physical quantities (power, freq,
-                  duration, loss, ...) must name their unit.
-metric-name       metric names passed to counter()/gauge()/histogram() in
-                  src/ are lowercase dotted `module.subsystem.name` (at
-                  least three segments) and end in a unit suffix (_total,
-                  _count, _us, _uj, _bps, _ratio, ...), so dashboards can
-                  group by module and interpret values without a data
-                  dictionary.
-no-raw-thread     no raw std::thread / std::jthread / std::async outside
-                  src/runner/. Parallelism goes through wb::runner's
-                  SweepRunner so results stay deterministic (per-task
-                  seeds, in-order merge) and the concurrency surface stays
-                  small enough to audit under TSan.
-no-stox           no std::sto{i,l,ll,ul,ull,d,f,ld} outside tests (src/,
-                  bench/, examples/): they accept trailing garbage
-                  ("12abc" -> 12), let stoul wrap negative inputs, and
-                  throw context-free exceptions. Use wb::util::parse_full
-                  (util/parse.h) for strict full-string parsing.
+`python3 tools/wb_lint.py` keeps working (same exit semantics: non-zero
+on any finding) but just drives tools/wb_analyze/, where the six original
+lint rules now live in the `legacy` family alongside the determinism,
+headers, and raii families. Use `python3 tools/wb_analyze --list-rules`
+for the full catalogue.
 """
-from __future__ import annotations
-
-import re
 import sys
 from pathlib import Path
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
-SRC = REPO_ROOT / "src"
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-# Unit suffixes accepted by the unit-suffix rule.
-UNIT_SUFFIXES = (
-    "_us", "_ms", "_s",          # time
-    "_hz", "_khz", "_mhz", "_ghz",  # frequency
-    "_dbm", "_db",               # power / gain, log domain
-    "_mw", "_uw", "_w",          # power, linear
-    "_uj", "_j",                 # energy
-    "_m", "_cm", "_km",          # distance
-    "_bps", "_pps",              # rates
-    "_f",                        # capacitance
-)
-
-# A double parameter whose name contains one of these stems is a physical
-# quantity and must carry a unit suffix.
-PHYSICAL_STEMS = (
-    "power", "freq", "duration", "delay", "window", "interval",
-    "tau", "loss", "atten", "energy", "wavelength", "bandwidth",
-    "distance", "dist",
-)
-
-# Unit suffixes accepted at the end of a metric name (wb::obs convention:
-# the last path segment says what is being counted/measured).
-METRIC_UNIT_SUFFIXES = (
-    "_total", "_count",                    # event / object counts
-    "_us", "_ns", "_s",                    # time
-    "_uj", "_j",                           # energy
-    "_uw", "_mw", "_w",                    # power
-    "_bps", "_pps", "_hz",                 # rates
-    "_bits", "_bytes",                     # sizes
-    "_ratio", "_pct",                      # dimensionless
-    "_db", "_dbm", "_m",                   # physical
-)
-
-
-def strip_comments_and_strings(text: str, keep_strings: bool = False) -> str:
-    """Blank out comments and string/char literals, preserving line numbers.
-
-    With keep_strings=True only comments are blanked; literal contents stay
-    (used by rules that inspect string arguments, e.g. metric-name).
-    """
-    out: list[str] = []
-    i, n = 0, len(text)
-    while i < n:
-        c = text[i]
-        if c == "/" and i + 1 < n and text[i + 1] == "/":
-            j = text.find("\n", i)
-            j = n if j < 0 else j
-            out.append(" " * (j - i))
-            i = j
-        elif c == "/" and i + 1 < n and text[i + 1] == "*":
-            j = text.find("*/", i + 2)
-            j = n if j < 0 else j + 2
-            out.append(re.sub(r"[^\n]", " ", text[i:j]))
-            i = j
-        elif c == "'" and i > 0 and (text[i - 1].isalnum() or text[i - 1] == "_"):
-            # C++14 digit separator (10'000) or a suffix position — not a
-            # character literal.
-            out.append(c)
-            i += 1
-        elif c in "\"'":
-            j = i + 1
-            while j < n and text[j] != c:
-                j += 2 if text[j] == "\\" else 1
-            j = min(j + 1, n)
-            if keep_strings:
-                out.append(text[i:j])
-            else:
-                out.append(c + " " * (j - i - 2) + (c if j - i >= 2 else ""))
-            i = j
-        else:
-            out.append(c)
-            i += 1
-    return "".join(out)
-
-
-def line_of(text: str, pos: int) -> int:
-    return text.count("\n", 0, pos) + 1
-
-
-class Linter:
-    def __init__(self) -> None:
-        self.violations: list[str] = []
-
-    def report(self, path: Path, line: int, rule: str, msg: str) -> None:
-        rel = path.relative_to(REPO_ROOT)
-        self.violations.append(f"{rel}:{line}: [{rule}] {msg}")
-
-    # ---- rules ----
-
-    def check_pragma_once(self, path: Path, code: str) -> None:
-        if not re.search(r"^\s*#\s*pragma\s+once\b", code, re.MULTILINE):
-            self.report(path, 1, "pragma-once", "header lacks #pragma once")
-
-    def check_using_namespace(self, path: Path, code: str) -> None:
-        for m in re.finditer(r"\busing\s+namespace\b", code):
-            self.report(path, line_of(code, m.start()), "using-namespace",
-                        "`using namespace` in a header leaks into every "
-                        "includer; qualify names instead")
-
-    def check_no_rand(self, path: Path, code: str) -> None:
-        for m in re.finditer(r"\b(?:std\s*::\s*)?(s?rand)\s*\(", code):
-            self.report(path, line_of(code, m.start()), "no-rand",
-                        f"{m.group(1)}() is non-deterministic across "
-                        "platforms; use wb::sim::RngStream")
-
-    STOX_RE = re.compile(
-        r"\bstd\s*::\s*(sto(?:i|l|ll|ul|ull|d|f|ld))\s*\(")
-
-    def check_no_stox(self, path: Path, code: str) -> None:
-        for m in self.STOX_RE.finditer(code):
-            self.report(path, line_of(code, m.start()), "no-stox",
-                        f"std::{m.group(1)}() accepts trailing garbage and "
-                        "throws context-free errors; use "
-                        "wb::util::parse_full (util/parse.h)")
-
-    def check_no_raw_thread(self, path: Path, code: str) -> None:
-        if path.relative_to(SRC).parts[0] == "runner":
-            return
-        for m in re.finditer(r"\bstd\s*::\s*(thread|jthread|async)\b", code):
-            self.report(path, line_of(code, m.start()), "no-raw-thread",
-                        f"std::{m.group(1)} outside src/runner/ bypasses "
-                        "the deterministic sweep API; use "
-                        "wb::runner::SweepRunner (or ThreadPool)")
-
-    # Matches `TimeUs name` / `double name` parameter declarations: the name
-    # must be followed by `,` or `)` (optionally via a simple default value),
-    # which excludes struct fields and locals (they end with `;`).
-    PARAM_RE = re.compile(
-        r"\b(TimeUs|double|float)\s+([A-Za-z_]\w*)\s*(?:=\s*[^,;(){}]*)?([,)])")
-
-    def check_unit_suffix(self, path: Path, code: str) -> None:
-        for m in self.PARAM_RE.finditer(code):
-            typ, name = m.group(1), m.group(2)
-            line = line_of(code, m.start())
-            if typ == "TimeUs":
-                if not name.endswith(("_us", "_s")):
-                    self.report(path, line, "unit-suffix",
-                                f"TimeUs parameter `{name}` must carry its "
-                                "unit (e.g. `" + name + "_us`)")
-            elif any(stem in name for stem in PHYSICAL_STEMS):
-                if not name.endswith(UNIT_SUFFIXES):
-                    self.report(path, line, "unit-suffix",
-                                f"{typ} parameter `{name}` names a physical "
-                                "quantity but not its unit (expected one of "
-                                + ", ".join(UNIT_SUFFIXES) + ")")
-
-    # Direct string-literal first argument of an instrument lookup. Computed
-    # names (ternaries, concatenation) are rare and checked by eye.
-    METRIC_CALL_RE = re.compile(
-        r"\b(?:counter|gauge|histogram)\s*\(\s*\"([^\"]*)\"")
-    METRIC_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(?:\.[a-z][a-z0-9_]*){2,}$")
-
-    def check_metric_names(self, path: Path, code_with_strings: str) -> None:
-        for m in self.METRIC_CALL_RE.finditer(code_with_strings):
-            name = m.group(1)
-            line = line_of(code_with_strings, m.start())
-            if not self.METRIC_NAME_RE.match(name):
-                self.report(path, line, "metric-name",
-                            f'metric "{name}" must be lowercase dotted '
-                            "`module.subsystem.name` with at least three "
-                            "segments")
-            elif not name.endswith(METRIC_UNIT_SUFFIXES):
-                self.report(path, line, "metric-name",
-                            f'metric "{name}" must end in a unit suffix '
-                            "(one of " + ", ".join(METRIC_UNIT_SUFFIXES)
-                            + ")")
-
-    # ---- driver ----
-
-    def run(self) -> int:
-        headers = sorted(SRC.rglob("*.h"))
-        sources = sorted(SRC.rglob("*.cpp"))
-        for path in headers + sources:
-            text = path.read_text()
-            code = strip_comments_and_strings(text)
-            self.check_no_rand(path, code)
-            self.check_no_stox(path, code)
-            self.check_no_raw_thread(path, code)
-            self.check_metric_names(
-                path, strip_comments_and_strings(text, keep_strings=True))
-            if path.suffix == ".h":
-                self.check_pragma_once(path, code)
-                self.check_using_namespace(path, code)
-                mod = path.relative_to(SRC).parts[0]
-                if mod in ("phy", "reader"):
-                    self.check_unit_suffix(path, code)
-        # no-stox also covers the non-test binaries outside src/.
-        extra = []
-        for top in ("bench", "examples"):
-            extra.extend(sorted((REPO_ROOT / top).rglob("*.h")))
-            extra.extend(sorted((REPO_ROOT / top).rglob("*.cpp")))
-        for path in extra:
-            self.check_no_stox(path, strip_comments_and_strings(
-                path.read_text()))
-        for v in self.violations:
-            print(v)
-        if self.violations:
-            print(f"wb_lint: {len(self.violations)} violation(s)",
-                  file=sys.stderr)
-            return 1
-        print(f"wb_lint: OK ({len(headers)} headers, {len(sources)} sources)")
-        return 0
-
+from wb_analyze.engine import main  # noqa: E402
 
 if __name__ == "__main__":
-    sys.exit(Linter().run())
+    sys.exit(main(sys.argv[1:]))
