@@ -1,0 +1,6 @@
+#include <chrono>
+#include <cstdlib>
+long stamp() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+const char* home() { return std::getenv("HOME"); }

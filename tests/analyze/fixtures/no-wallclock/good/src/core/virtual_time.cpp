@@ -1,0 +1,3 @@
+// Identifiers containing `time` must not fire the lookbehind patterns.
+long run_time(long now_us);
+long advance(long now_us) { return run_time(now_us) + 5; }

@@ -1,0 +1,7 @@
+// A bare allow with no justification:
+// wb-analyze: allow(no-rand)
+// An allow naming an unknown rule:
+// wb-analyze: allow(definitely-not-a-rule): because I said so
+// A justified allow that suppresses nothing (stale):
+// wb-analyze: allow(no-stox): left behind by a refactor
+int f() { return 1; }

@@ -1,0 +1,5 @@
+#include <chrono>
+long stamp() {
+  // wb-analyze: allow(no-wallclock): fixture demonstrating a justified suppression; value feeds no result
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
