@@ -40,17 +40,17 @@ Outcome run_with_rivals(std::size_t rivals, std::size_t runs,
 
     // The reader sizes the tag's bit rate from a short probe of the
     // helper's delivered rate (the N/M rule, M = 20).
-    mac.run_until(500'000);
+    mac.run_until(TimeUs{500'000});
     const double probe_pps =
         static_cast<double>(mac.stats(helper).delivered) / 0.5;
     const TimeUs bit_us =
-        static_cast<TimeUs>(20.0 * 1e6 / std::max(probe_pps, 50.0));
+        TimeUs::from_us(20.0 * 1e6 / std::max(probe_pps, 50.0));
 
     const std::size_t payload_bits = 32;
-    const TimeUs frame_start = 700'000;
+    const TimeUs frame_start{700'000};
     const TimeUs frame_dur =
-        static_cast<TimeUs>(13 + payload_bits) * bit_us;
-    mac.run_until(frame_start + frame_dur + 100'000);
+        bit_us * static_cast<std::int64_t>(13 + payload_bits);
+    mac.run_until(frame_start + frame_dur + TimeUs{100'000});
 
     // Keep only the helper's delivered frames: the reader filters by
     // transmitter address.
@@ -84,7 +84,7 @@ Outcome run_with_rivals(std::size_t rivals, std::size_t runs,
     } else {
       ber.add_counts(payload.size(), payload.size());
     }
-    out.bit_rate += 1e6 / static_cast<double>(bit_us) /
+    out.bit_rate += 1e6 / static_cast<double>(bit_us.ticks()) /
                     static_cast<double>(runs);
   }
   out.ber = ber.ber_floored();

@@ -21,7 +21,7 @@ double slot_ber(const tag::EnergyDetectorParams& det, std::size_t total_bits,
                 std::uint64_t seed) {
   BerCounter ber;
   reader::DownlinkEncoderConfig enc_cfg;
-  enc_cfg.slot_us = 50;
+  enc_cfg.slot_us = TimeUs{50};
   reader::DownlinkEncoder encoder(enc_cfg);
   std::uint64_t round = 0;
   std::size_t sent = 0;
@@ -30,15 +30,15 @@ double slot_ber(const tag::EnergyDetectorParams& det, std::size_t total_bits,
     BitVec message = core::downlink_preamble();
     const BitVec data = random_bits(n, seed + round);
     message.insert(message.end(), data.begin(), data.end());
-    const auto tx = encoder.encode(message, 500);
+    const auto tx = encoder.encode(message, TimeUs{500});
 
     core::DownlinkSimConfig cfg;
-    cfg.reader_tag_distance_m = 1.75;
+    cfg.reader_tag_distance_m = Meters{1.75};
     cfg.detector = det;
-    cfg.mcu.bit_duration_us = 50;
+    cfg.mcu.bit_duration_us = TimeUs{50};
     cfg.seed = seed * 31 + round;
     core::DownlinkSim sim(cfg);
-    const auto report = sim.run(tx, {}, tx.end_us + 1'000);
+    const auto report = sim.run(tx, {}, tx.end_us + TimeUs{1'000});
     BitVec truth;
     for (const auto& s : tx.slots) truth.push_back(s.bit);
     ber.add(truth, report.slot_levels);

@@ -17,7 +17,7 @@ using namespace wb;
 
 core::UplinkExperimentParams base_params(std::size_t runs) {
   core::UplinkExperimentParams p;
-  p.tag_reader_distance_m = 0.40;
+  p.tag_reader_distance_m = Meters{0.40};
   p.packets_per_bit = 30.0;
   p.runs = runs;
   p.seed = 4242;
@@ -54,11 +54,12 @@ int main(int argc, char** argv) {
     std::printf("hysteresis %.2f sigma (spurious-heavy NIC)%*s  %.2e\n", h,
                 2, "", core::measure_uplink_ber(p).ber);
   }
-  for (TimeUs w : {100'000, 200'000, 800'000, 1'600'000}) {
+  for (TimeUs w : {TimeUs{100'000}, TimeUs{200'000}, TimeUs{800'000},
+                   TimeUs{1'600'000}}) {
     auto p = base_params(runs);
     p.movavg_window_us = w;
     std::printf("moving-average window %4lld ms%*s  %.2e\n",
-                static_cast<long long>(w / 1000), 13, "",
+                static_cast<long long>(w.ticks() / 1000), 13, "",
                 core::measure_uplink_ber(p).ber);
   }
   {

@@ -90,7 +90,7 @@ void ofdm_papr() {
   sim::RngStream rng(3);
   std::vector<double> samples;
   for (int i = 0; i < 100'000; ++i) {
-    samples.push_back(phy::draw_ofdm_raw_power_sample(1.0, rng));
+    samples.push_back(phy::draw_ofdm_raw_power_sample(Milliwatts{1.0}, rng));
   }
   std::sort(samples.begin(), samples.end());
   const double p99 = samples[static_cast<std::size_t>(0.99 * static_cast<double>(samples.size()))];

@@ -76,18 +76,19 @@ const wifi::CaptureTrace& shared_trace() {
     cfg.channel.tag_pos = {0.2, 0.0};
     cfg.channel.helper_pos = {3.2, 0.0};
     cfg.seed = 99;
-    const TimeUs bit_us = 10'000;
+    const TimeUs bit_us{10'000};
     BitVec frame = barker13();
     const auto payload = random_bits(40, 5);
     frame.insert(frame.end(), payload.begin(), payload.end());
-    const TimeUs until =
-        600'000 + static_cast<TimeUs>(frame.size()) * bit_us + 100'000;
+    const TimeUs until = TimeUs{600'000} +
+                         bit_us * static_cast<std::int64_t>(frame.size()) +
+                         TimeUs{100'000};
     sim::RngStream rng(1);
     auto traffic_rng = rng.fork("t");
     const auto tl = wifi::make_cbr_timeline(3000, until,
                                             wifi::TrafficParams{},
                                             traffic_rng);
-    tag::Modulator mod(frame, bit_us, 600'000);
+    tag::Modulator mod(frame, bit_us, TimeUs{600'000});
     core::UplinkSim sim(cfg);
     return sim.run(tl, mod);
   }();
@@ -97,9 +98,9 @@ const wifi::CaptureTrace& shared_trace() {
 reader::UplinkDecoderConfig shared_decoder_config() {
   reader::UplinkDecoderConfig dec;
   dec.payload_bits = 40;
-  dec.bit_duration_us = 10'000;
-  dec.search_from = 600'000 - 20'000;
-  dec.search_to = 600'000 + 20'000;
+  dec.bit_duration_us = TimeUs{10'000};
+  dec.search_from = TimeUs{600'000 - 20'000};
+  dec.search_to = TimeUs{600'000 + 20'000};
   return dec;
 }
 
@@ -121,7 +122,7 @@ void BM_PreambleCorrelation(benchmark::State& state) {
   std::size_t stream = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        dec.preamble_correlation(ct, stream, 600'000));
+        dec.preamble_correlation(ct, stream, TimeUs{600'000}));
     stream = (stream + 1) % ct.num_streams();
   }
 }
@@ -154,11 +155,11 @@ void BM_MovingAverage(benchmark::State& state) {
   sim::RngStream rng(3);
   for (std::size_t i = 0; i < xs.size(); ++i) {
     xs[i] = rng.normal();
-    ts[i] = static_cast<TimeUs>(i) * 333;
+    ts[i] = TimeUs{static_cast<std::int64_t>(i)} * 333;
   }
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        reader::remove_time_moving_average(ts, xs, 400'000));
+        reader::remove_time_moving_average(ts, xs, TimeUs{400'000}));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           state.range(0));
@@ -169,10 +170,10 @@ void BM_EnergyDetectorStep(benchmark::State& state) {
   sim::RngStream rng(4);
   tag::EnergyDetector det(tag::EnergyDetectorParams{}, rng.fork("det"));
   auto env = rng.fork("env");
-  const double p = dbm_to_mw(-25.0);
+  const Milliwatts p{dbm_to_mw(-25.0)};
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        det.step(1.0, phy::draw_ofdm_power_sample(p, env)));
+        det.step(1.0, Milliwatts{phy::draw_ofdm_power_sample(p, env)}));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }

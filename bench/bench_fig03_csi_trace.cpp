@@ -30,9 +30,11 @@ void trace_at(double distance_m, const char* figure, std::size_t packets) {
 
   // Saturating download: ~3000 pkt/s; alternating bits at ~15 pkts/bit.
   const double pps = 3000.0;
-  const TimeUs bit_us = 5'000;
+  const TimeUs bit_us{5'000};
   const TimeUs until =
-      static_cast<TimeUs>(static_cast<double>(packets) / pps * 1e6) + 1;
+      TimeUs{static_cast<std::int64_t>(
+          static_cast<double>(packets) / pps * 1e6)} +
+      TimeUs{1};
 
   sim::RngStream rng(cfg.seed);
   auto traffic_rng = rng.fork("traffic");
@@ -40,11 +42,12 @@ void trace_at(double distance_m, const char* figure, std::size_t packets) {
       wifi::make_cbr_timeline(pps, until, wifi::TrafficParams{}, traffic_rng);
 
   BitVec alternating;
-  for (std::size_t i = 0; i * bit_us < static_cast<std::size_t>(until);
+  for (std::size_t i = 0;
+       bit_us * static_cast<std::int64_t>(i) < until;
        ++i) {
     alternating.push_back(static_cast<std::uint8_t>(i % 2));
   }
-  tag::Modulator mod(alternating, bit_us, 0);
+  tag::Modulator mod(alternating, bit_us, TimeUs{});
 
   core::UplinkSim sim(cfg);
   const auto trace = sim.run(timeline, mod);

@@ -28,23 +28,26 @@ int main(int argc, char** argv) {
   cfg.seed = 7;
 
   const double pps = 3000.0;
-  const TimeUs bit_us = 10'000;
+  const TimeUs bit_us{10'000};
   const TimeUs until =
-      static_cast<TimeUs>(static_cast<double>(packets) / pps * 1e6) + 1;
+      TimeUs{static_cast<std::int64_t>(
+          static_cast<double>(packets) / pps * 1e6)} +
+      TimeUs{1};
 
   sim::RngStream rng(cfg.seed);
   auto traffic_rng = rng.fork("traffic");
   const auto timeline =
       wifi::make_cbr_timeline(pps, until, wifi::TrafficParams{}, traffic_rng);
   BitVec alternating;
-  for (std::size_t i = 0; i * bit_us < static_cast<std::size_t>(until); ++i) {
+  for (std::size_t i = 0;
+       bit_us * static_cast<std::int64_t>(i) < until; ++i) {
     alternating.push_back(static_cast<std::uint8_t>(i % 2));
   }
-  tag::Modulator mod(alternating, bit_us, 0);
+  tag::Modulator mod(alternating, bit_us, TimeUs{});
   core::UplinkSim sim(cfg);
   const auto trace = sim.run(timeline, mod);
   const auto ct =
-      reader::condition(trace, reader::MeasurementSource::kCsi, 400'000);
+      reader::condition(trace, reader::MeasurementSource::kCsi, TimeUs{400'000});
 
   // Histogram the normalised values of antenna 0's 30 sub-channels.
   std::printf("%-12s %-9s %-8s %s\n", "sub-channel", "modes", "stddev",

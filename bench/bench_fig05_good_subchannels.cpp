@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
 
   for (double cm : distances_cm) {
     core::UplinkExperimentParams p;
-    p.tag_reader_distance_m = cm / 100.0;
+    p.tag_reader_distance_m = Meters{cm / 100.0};
     p.packets_per_bit = 30.0;
     p.runs = quick ? 2 : 6;
     p.payload_bits = 40;

@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
   bench::print_row_divider();
   for (double cm : distances_cm) {
     core::UplinkExperimentParams p;
-    p.tag_reader_distance_m = cm / 100.0;
+    p.tag_reader_distance_m = Meters{cm / 100.0};
     p.packets_per_bit = 30.0;
     p.runs = runs;
     p.seed = 42 + static_cast<std::uint64_t>(cm);

@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
   std::vector<core::UplinkExperimentParams> grid;
   for (double pps : helper_rates) {
     core::UplinkExperimentParams p;
-    p.tag_reader_distance_m = 0.05;
+    p.tag_reader_distance_m = Meters{0.05};
     p.helper_pps = pps;
     p.runs = runs;
     p.payload_bits = 48;

@@ -24,9 +24,9 @@ int main(int argc, char** argv) {
   bench::print_row_divider();
   for (std::size_t loc = 0; loc < testbed.helper_locations.size(); ++loc) {
     const auto helper = testbed.helper_locations[loc];
-    const double d = phy::distance(helper, testbed.tag);
+    const Meters d = phy::distance(helper, testbed.tag);
     const bool nlos =
-        testbed.plan.wall_loss_db(helper, testbed.tag) > 0.0;
+        testbed.plan.wall_loss_db(helper, testbed.tag) > Db{};
 
     core::UplinkExperimentParams p;
     p.helper_pos = helper;
@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
     p.runs = runs;
     p.seed = 500 + loc;
     const double pdr = core::measure_packet_delivery(p);
-    std::printf("%-10zu %-12.1f %-8s  %.2f\n", loc + 2, d,
+    std::printf("%-10zu %-12.1f %-8s  %.2f\n", loc + 2, d.value(),
                 nlos ? "no" : "yes", pdr);
     std::fflush(stdout);
   }

@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
     double rate = 0.0;
     for (double r : rates) {
       core::UplinkExperimentParams p;
-      p.tag_reader_distance_m = 0.05;
+      p.tag_reader_distance_m = Meters{0.05};
       p.helper_pps = pps;
       p.packets_per_bit = pps / r;
       if (p.packets_per_bit < 1.5) continue;

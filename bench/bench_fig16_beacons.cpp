@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
         const double m = bps / rate;  // beacons per bit
         if (m < 1.5) continue;
         core::UplinkExperimentParams p;
-        p.tag_reader_distance_m = 0.05;
+        p.tag_reader_distance_m = Meters{0.05};
         p.helper_pps = bps;
         p.packets_per_bit = m;
         p.beacons_only = true;
@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
         // Slow beacon-borne bits need a wider drift-removal window than
         // the default 400 ms (the window must span several bits).
         p.movavg_window_us =
-            std::max<wb::TimeUs>(400'000, 6 * p.bit_duration_us());
+            std::max(TimeUs{400'000}, 6 * p.bit_duration_us());
         p.runs = runs;
         p.seed = 8800 + static_cast<std::uint64_t>(bps * 100 + rate);
         const auto meas = core::measure_uplink_ber(p);

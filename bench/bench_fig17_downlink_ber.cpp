@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
                                             275, 300, 325, 350};
   core::DownlinkGridSpec spec;
   spec.base.total_bits = quick ? 4'000 : 50'000;
-  spec.slot_durations_us = {50, 100, 200};
+  spec.slot_durations_us = {TimeUs{50}, TimeUs{100}, TimeUs{200}};
   for (double cm : distances_cm) spec.distances_m.push_back(cm / 100.0);
   auto grid = core::expand_downlink_grid(spec);
   // Legacy per-point seed formula (1234 + cm + slot_us), so numbers match
@@ -41,7 +41,8 @@ int main(int argc, char** argv) {
   const std::size_t n_rates = spec.slot_durations_us.size();
   for (auto& pt : grid) {
     const double cm = distances_cm[pt.index / n_rates];
-    pt.params.seed = 1234 + static_cast<std::uint64_t>(cm) + pt.slot_us;
+    pt.params.seed = 1234 + static_cast<std::uint64_t>(cm) +
+                     static_cast<std::uint64_t>(pt.slot_us.ticks());
   }
 
   runner::SweepRunner sweep({bench::threads_arg(argc, argv)});
@@ -63,7 +64,7 @@ int main(int argc, char** argv) {
       std::printf("  %10.2e", ber);
       row.set("ber_" +
                   std::to_string(static_cast<long long>(
-                      spec.slot_durations_us[r])) +
+                      spec.slot_durations_us[r].ticks())) +
                   "us",
               ber);
     }

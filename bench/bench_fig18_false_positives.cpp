@@ -33,9 +33,9 @@ int main(int argc, char** argv) {
         wifi::make_ambient_mix_timeline(pps, window_us, traffic_rng);
 
     core::DownlinkSimConfig cfg;
-    cfg.ambient_distance_m = 0.30;  // 30 cm from the AP
-    cfg.reader_tag_distance_m = 1.0;
-    cfg.mcu.bit_duration_us = 50;
+    cfg.ambient_distance_m = Meters{0.30};  // 30 cm from the AP
+    cfg.reader_tag_distance_m = Meters{1.0};
+    cfg.mcu.bit_duration_us = TimeUs{50};
     cfg.seed = 77 + static_cast<std::uint64_t>(hour);
     core::DownlinkSim sim(cfg);
     const auto report =
@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
 
     const double per_hour =
         static_cast<double>(report.decode_entries) * 3.6e9 /
-        static_cast<double>(window_us);
+        static_cast<double>(window_us.ticks());
     std::printf("%-10d  %14.0f  %12.1f\n", hour, pps, per_hour);
     std::fflush(stdout);
   }

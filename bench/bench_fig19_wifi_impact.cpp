@@ -24,17 +24,17 @@ using namespace wb;
 double link_snr_db(const phy::Testbed& tb, std::size_t loc) {
   const phy::PathLossModel pl;
   const double tx_dbm = 16.0;
-  const double loss =
+  const Db loss =
       pl.loss_db(tb.helper_locations[loc], tb.reader, &tb.plan);
   const double noise_dbm = -90.0;  // thermal + NF over 20 MHz
-  return tx_dbm - loss - noise_dbm;
+  return tx_dbm - loss.value() - noise_dbm;
 }
 
 /// Tag-induced SNR ripple (dB) for a tag at `d` meters from the receiver,
 /// from the same backscatter path physics as the uplink channel model.
 double tag_depth_db(double d) {
   phy::UplinkChannelParams ch;
-  const double g = ch.tag_leg_pathloss.amplitude_gain(d);
+  const double g = ch.tag_leg_pathloss.amplitude_gain(Meters{d});
   const double depth = std::abs(phy::TagReflection{}.delta()) * g;
   return 20.0 * std::log10(1.0 + depth) ;
 }
@@ -64,10 +64,10 @@ int main(int argc, char** argv) {
       const double rates[] = {0.0, 100.0, 1000.0};
       for (double tag_rate : rates) {
         wifi::LinkSimConfig cfg;
-        cfg.base_snr_db = snr;
+        cfg.base_snr_db = Db{snr};
         cfg.contention_busy_frac = busy;
         cfg.tag_depth_db =
-            tag_rate > 0.0 ? tag_depth_db(tag_cm / 100.0) : 0.0;
+            Db{tag_rate > 0.0 ? tag_depth_db(tag_cm / 100.0) : 0.0};
         cfg.tag_bit_rate_bps = tag_rate > 0.0 ? tag_rate : 100.0;
         cfg.seed = 40'000 + loc * 97 + static_cast<std::uint64_t>(tag_rate) +
                    static_cast<std::uint64_t>(tag_cm);

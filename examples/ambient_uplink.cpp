@@ -32,7 +32,7 @@ std::size_t run_ambient(const wifi::PacketTimeline& timeline,
 
   BitVec frame = barker13();
   frame.insert(frame.end(), payload.begin(), payload.end());
-  const TimeUs frame_start = 600'000;
+  const TimeUs frame_start{600'000};
   tag::Modulator mod(frame, bit_us, frame_start);
 
   core::UplinkSim sim(cfg);
@@ -68,8 +68,8 @@ int main() {
     bursty.burst_pps = 3000.0;
     bursty.mean_burst_ms = 60.0;
     bursty.mean_idle_ms = 120.0;
-    const TimeUs bit_us = 12'000;  // ~83 bps, conservative for bursts
-    const TimeUs until = 600'000 + 53 * bit_us + 100'000;
+    const TimeUs bit_us{12'000};  // ~83 bps, conservative for bursts
+    const TimeUs until = TimeUs{600'000} + 53 * bit_us + TimeUs{100'000};
     const auto tl =
         wifi::make_bursty_timeline(bursty, until, wifi::TrafficParams{},
                                    traffic_rng);
@@ -84,8 +84,8 @@ int main() {
   {
     sim::RngStream rng(12);
     auto traffic_rng = rng.fork("quiet");
-    const TimeUs bit_us = 40'000;  // 25 bps: quiet network, slow and sure
-    const TimeUs until = 600'000 + 53 * bit_us + 100'000;
+    const TimeUs bit_us{40'000};  // 25 bps: quiet network, slow and sure
+    const TimeUs until = TimeUs{600'000} + 53 * bit_us + TimeUs{100'000};
     const auto tl = wifi::make_poisson_timeline(
         300.0, until, wifi::TrafficParams{}, traffic_rng);
     const auto errors =
@@ -100,8 +100,8 @@ int main() {
     sim::RngStream rng(13);
     auto traffic_rng = rng.fork("beacons");
     const double beacons_per_sec = 50.0;
-    const TimeUs bit_us = 50'000;  // 20 bps from 2.5 beacons per bit
-    const TimeUs until = 600'000 + 53 * bit_us + 100'000;
+    const TimeUs bit_us{50'000};  // 20 bps from 2.5 beacons per bit
+    const TimeUs until = TimeUs{600'000} + 53 * bit_us + TimeUs{100'000};
     const auto tl =
         wifi::make_beacon_timeline(beacons_per_sec, until, 1, traffic_rng);
     const auto errors = run_ambient(tl, reader::MeasurementSource::kRssi,
@@ -118,10 +118,10 @@ int main() {
   {
     sim::RngStream rng(14);
     auto traffic_rng = rng.fork("live");
-    const TimeUs bit_us = 12'000;
-    const TimeUs frame_start = 600'000;
+    const TimeUs bit_us{12'000};
+    const TimeUs frame_start{600'000};
     const TimeUs frame_end = frame_start + 53 * bit_us;
-    const auto tl = wifi::make_cbr_timeline(3'000, frame_end + 5'000,
+    const auto tl = wifi::make_cbr_timeline(3'000, frame_end + TimeUs{5'000},
                                             wifi::TrafficParams{},
                                             traffic_rng);
 

@@ -37,13 +37,13 @@ int main() {
   // The tag's charge ledger: harvesting from the phone that polls it
   // (~60 cm away) plus ambient Wi-Fi, against its idle listening load.
   tag::PowerManagerParams pm_params;
-  pm_params.incident_dbm = -20.0;
+  pm_params.incident_dbm = Dbm{-20.0};
   tag::PowerManager pm(pm_params);
 
   for (double hour = 9.0; hour < 18.0; hour += 0.5) {
     core::SystemConfig cfg;
-    cfg.tag_reader_distance_m = 0.25;
-    cfg.helper_distance_m = 4.0;
+    cfg.tag_reader_distance_m = Meters{0.25};
+    cfg.helper_distance_m = Meters{4.0};
     cfg.helper_pps = wifi::office_load_pps(hour);
     cfg.packets_per_bit = 8.0;
     cfg.max_query_attempts = 6;  // quiet hours need more retries (§4.1)
@@ -62,7 +62,7 @@ int main() {
     // The poll itself: decode the query (one ~6 ms frame per attempt)
     // plus the backscatter response (~0.5 s at 100 bps) — only if the
     // capacitor can afford it.
-    const bool powered = pm.try_decode(6'000) && pm.try_respond(530'000);
+    const bool powered = pm.try_decode(TimeUs{6'000}) && pm.try_respond(TimeUs{530'000});
     core::QueryOutcome out;
     ++polls;
     if (powered) {

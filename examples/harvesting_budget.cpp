@@ -29,10 +29,11 @@ int main() {
   std::printf("%-14s %-14s %-14s %-12s\n", "distance", "incident",
               "harvested", "duty cycle");
   for (double d : {0.15, 0.30, 0.61, 1.0, 2.0}) {  // 0.61 m ~ 2 feet
-    const double inc = incident_power_dbm(16.0, d);
+    const Dbm inc = incident_power_dbm(Dbm{16.0}, Meters{d});
     const double hv = wifi_harvester.harvested_uw(inc);
     const double duty = wifi_harvester.sustainable_duty_cycle(hv, both_uw);
-    std::printf("%-14.2f %-14.1f %-14.2f %-12.2f%s\n", d, inc, hv, duty,
+    std::printf("%-14.2f %-14.1f %-14.2f %-12.2f%s\n", d, inc.value(), hv,
+                duty,
                 duty >= 1.0 ? "  <- continuous" : "");
   }
 
@@ -40,16 +41,17 @@ int main() {
   std::printf("%-14s %-14s %-14s %-12s\n", "distance(km)", "incident",
               "harvested", "duty cycle");
   HarvesterParams tv_params;
-  tv_params.antenna_gain_db = 8.0;  // larger dedicated TV-band antenna
+  tv_params.antenna_gain_db = Db{8.0};  // larger dedicated TV-band antenna
   Harvester tv_harvester{tv_params};
   // The "full system" adds the MCU's sleep draw and periodic activity.
   const double full_system_uw = both_uw + 1.5;
   for (double km : {1.0, 5.0, 10.0, 20.0}) {
-    const double inc = tv_incident_power_dbm(90.0, km);
+    const Dbm inc = tv_incident_power_dbm(Dbm{90.0}, km);
     const double hv = tv_harvester.harvested_uw(inc);
     const double duty =
         tv_harvester.sustainable_duty_cycle(hv, full_system_uw);
-    std::printf("%-14.1f %-14.1f %-14.2f %-12.2f\n", km, inc, hv, duty);
+    std::printf("%-14.1f %-14.1f %-14.2f %-12.2f\n", km, inc.value(), hv,
+                duty);
   }
 
   std::printf("\nburst behaviour from the 100 uF storage capacitor:\n");

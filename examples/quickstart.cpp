@@ -18,8 +18,8 @@ int main() {
   using namespace wb;
 
   core::SystemConfig cfg;
-  cfg.tag_reader_distance_m = 0.15;
-  cfg.helper_distance_m = 3.0;
+  cfg.tag_reader_distance_m = Meters{0.15};
+  cfg.helper_distance_m = Meters{3.0};
   cfg.helper_pps = 1200.0;  // a moderately busy AP
   cfg.seed = 2026;
 
@@ -27,7 +27,7 @@ int main() {
 
   std::printf("Wi-Fi Backscatter quickstart\n");
   std::printf("  tag-reader distance : %.0f cm\n",
-              cfg.tag_reader_distance_m * 100);
+              cfg.tag_reader_distance_m.value() * 100);
   std::printf("  helper packet rate  : %.0f pkt/s\n", cfg.helper_pps);
   std::printf("  commanded bit rate  : %.0f bps (N/M rate control)\n\n",
               system.commanded_bit_rate());

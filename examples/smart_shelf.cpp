@@ -43,7 +43,7 @@ int main() {
   }
   std::printf("  found %zu/%zu tags in %.2f s of air time%s\n",
               inventory.identified.size(), tags.size(),
-              static_cast<double>(inventory.elapsed_us) / 1e6,
+              static_cast<double>(inventory.elapsed_us.ticks()) / 1e6,
               inventory.complete ? "" : " (INCOMPLETE)");
 
   // --- Phase 2: query each identified tag for its stock count ---
@@ -51,7 +51,7 @@ int main() {
   std::size_t ok = 0;
   for (const auto addr : inventory.identified) {
     core::SystemConfig cfg;
-    cfg.tag_reader_distance_m = 0.15;
+    cfg.tag_reader_distance_m = Meters{0.15};
     cfg.helper_pps = 2'000.0;
     cfg.seed = 1000 + addr;
     core::WiFiBackscatterSystem system(cfg);

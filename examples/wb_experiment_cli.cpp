@@ -53,7 +53,7 @@ using namespace wb;
 
 int run_uplink(const util::Args& args) {
   core::UplinkExperimentParams p;
-  p.tag_reader_distance_m = args.num("--distance", 0.3);
+  p.tag_reader_distance_m = Meters{args.num("--distance", 0.3)};
   p.packets_per_bit = args.num("--pkts-per-bit", 30.0);
   p.helper_pps = args.num("--helper-pps", 3'000.0);
   p.runs = args.size("--runs", 10);
@@ -64,7 +64,7 @@ int run_uplink(const util::Args& args) {
   const auto m = core::measure_uplink_ber(p);
   std::printf("uplink %s @ %.0f cm, %.0f pkt/bit, helper %.0f pkt/s\n",
               p.source == reader::MeasurementSource::kRssi ? "RSSI" : "CSI",
-              p.tag_reader_distance_m * 100, p.packets_per_bit,
+              p.tag_reader_distance_m.value() * 100, p.packets_per_bit,
               p.helper_pps);
   std::printf("  bit rate   : %.0f bps\n",
               p.helper_pps / p.packets_per_bit);
@@ -76,14 +76,14 @@ int run_uplink(const util::Args& args) {
 
 int run_coded(const util::Args& args) {
   core::CodedExperimentParams p;
-  p.tag_reader_distance_m = args.num("--distance", 1.6);
+  p.tag_reader_distance_m = Meters{args.num("--distance", 1.6)};
   p.code_length = args.size("--length", 20);
   p.runs = args.size("--runs", 5);
   p.packets_per_chip = args.num("--pkts-per-chip", 2.0);
   p.seed = args.u64("--seed", 1);
   const auto m = core::measure_coded_uplink_ber(p);
   std::printf("coded uplink @ %.0f cm, L=%zu, %.0f pkt/chip\n",
-              p.tag_reader_distance_m * 100, p.code_length,
+              p.tag_reader_distance_m.value() * 100, p.code_length,
               p.packets_per_chip);
   std::printf("  BER: %.3e (%zu errors / %zu bits)\n", m.ber, m.errors,
               m.bits);
@@ -92,16 +92,16 @@ int run_coded(const util::Args& args) {
 
 int run_downlink(const util::Args& args) {
   core::DownlinkExperimentParams p;
-  p.reader_tag_distance_m = args.num("--distance", 1.5);
-  p.slot_us = static_cast<TimeUs>(args.num("--slot-us", 50));
+  p.reader_tag_distance_m = Meters{args.num("--distance", 1.5)};
+  p.slot_us = TimeUs::from_us(args.num("--slot-us", 50));
   p.total_bits = args.size("--bits", 20'000);
   p.max_burst_bits = 500;
   p.seed = args.u64("--seed", 33);
   const auto m = core::measure_downlink_ber(p);
   std::printf("downlink @ %.0f cm, %lld us slots (%.0f kbps)\n",
-              p.reader_tag_distance_m * 100,
-              static_cast<long long>(p.slot_us),
-              1e3 / static_cast<double>(p.slot_us));
+              p.reader_tag_distance_m.value() * 100,
+              static_cast<long long>(p.slot_us.ticks()),
+              1e3 / static_cast<double>(p.slot_us.ticks()));
   std::printf("  slot BER: %.3e (%zu errors / %zu bits)\n", m.ber,
               m.errors, m.bits);
   return 0;
@@ -129,10 +129,10 @@ int run_trace(const util::Args& args) {
       const auto span_us =
           trace.back().timestamp_us - trace.front().timestamp_us;
       std::printf("  span     : %.3f s\n",
-                  static_cast<double>(span_us) / 1e6);
+                  static_cast<double>(span_us.ticks()) / 1e6);
       std::printf("  CSI      : %zu/%zu records\n", with_csi, trace.size());
       std::printf("  rate     : %.0f pkt/s over the last second\n",
-                  core::RateControl::measured_packet_rate(trace, 1'000'000));
+                  core::RateControl::measured_packet_rate(trace, TimeUs{1'000'000}));
     }
     return 0;
   }
@@ -149,17 +149,20 @@ int run_trace(const util::Args& args) {
   cfg.seed = args.u64("--seed", 1);
   const double pps = 3'000.0;
   const TimeUs until =
-      static_cast<TimeUs>(static_cast<double>(packets) / pps * 1e6) + 1;
+      TimeUs{static_cast<std::int64_t>(
+          static_cast<double>(packets) / pps * 1e6)} +
+      TimeUs{1};
   sim::RngStream rng(cfg.seed);
   auto traffic_rng = rng.fork("t");
   const auto tl = wifi::make_cbr_timeline(pps, until, wifi::TrafficParams{},
                                           traffic_rng);
   BitVec alternating;
-  for (std::size_t i = 0; i * 10'000 < static_cast<std::size_t>(until);
+  for (std::size_t i = 0;
+       TimeUs{10'000} * static_cast<std::int64_t>(i) < until;
        ++i) {
     alternating.push_back(static_cast<std::uint8_t>(i % 2));
   }
-  tag::Modulator mod(alternating, 10'000, 0);
+  tag::Modulator mod(alternating, TimeUs{10'000}, TimeUs{});
   core::UplinkSim sim(cfg);
   const auto trace = sim.run(tl, mod);
   const auto n = wifi::save_capture_csv(out, trace);
@@ -169,7 +172,7 @@ int run_trace(const util::Args& args) {
 
 int run_query(const util::Args& args) {
   core::SystemConfig cfg;
-  cfg.tag_reader_distance_m = args.num("--distance", 0.3);
+  cfg.tag_reader_distance_m = Meters{args.num("--distance", 0.3)};
   cfg.helper_pps = args.num("--helper-pps", 3'000.0);
   cfg.ack_enabled = args.flag("--ack");
   cfg.seed = args.u64("--seed", 1);
@@ -180,13 +183,14 @@ int run_query(const util::Args& args) {
   // per query on a fixed virtual cadence, each with a watchdog the
   // completion path cancels (so cancelled events show in sim.* metrics).
   sim::EventQueue queue;
-  constexpr TimeUs kQueryPeriodUs = 5'000'000;
+  constexpr TimeUs kQueryPeriodUs{5'000'000};
   std::size_t succeeded = 0;
   std::size_t attempts = 0;
   for (std::size_t i = 0; i < queries; ++i) {
-    queue.schedule_at(static_cast<TimeUs>(i) * kQueryPeriodUs, [&, i] {
+    queue.schedule_at(kQueryPeriodUs * static_cast<std::int64_t>(i),
+                      [&, i] {
       const std::uint64_t watchdog =
-          queue.schedule_in(kQueryPeriodUs - 1, [i] {
+          queue.schedule_in(kQueryPeriodUs - TimeUs{1}, [i] {
             std::printf("query %zu: watchdog expired\n", i);
           });
       core::Query q;
@@ -208,7 +212,7 @@ int run_query(const util::Args& args) {
   std::printf("query summary: %zu/%zu round trips ok, %zu attempts, "
               "%lld us virtual\n",
               succeeded, queries, attempts,
-              static_cast<long long>(queue.now()));
+              static_cast<long long>(queue.now().ticks()));
   return succeeded == queries ? 0 : 1;
 }
 
@@ -255,13 +259,14 @@ int run_sweep(const util::Args& args) {
   for (const auto& pt : grid) {
     const auto& m = res.results[pt.index];
     std::printf("%-10zu %-14.1f %-10.0f %-12.3e %zu/%zu\n", pt.index,
-                pt.distance_m * 100.0, pt.packets_per_bit, m.ber, m.errors,
+                pt.distance_m.value() * 100.0, pt.packets_per_bit, m.ber,
+                m.errors,
                 m.bits);
     report.add_row("grid_point")
         .set("task", static_cast<double>(pt.index))
         .set("source",
              pt.source == reader::MeasurementSource::kRssi ? "rssi" : "csi")
-        .set("distance_cm", pt.distance_m * 100.0)
+        .set("distance_cm", pt.distance_m.value() * 100.0)
         .set("pkts_per_bit", pt.packets_per_bit)
         .set("ber", m.ber)
         .set("ber_raw", m.ber_raw)

@@ -6,6 +6,11 @@
 #   test      full ctest under the sanitizers
 #   tsan      TSan build of the concurrency surface (build-tsan/) running
 #             the runner + obs test binaries
+#   clang     clang build with -Wthread-safety -Werror (build-clang/):
+#             statically proves the WB_GUARDED_BY/WB_REQUIRES capability
+#             annotations and that the units layer is warnings-clean on
+#             the second toolchain (skipped with a notice if clang++ is
+#             not installed — gcc expands the annotations to nothing)
 #   obs       observability smoke: one CLI query exchange, --metrics-out /
 #             --trace-out validated as JSON covering all six modules
 #   tidy      clang-tidy over src/  (skipped with a notice if not installed)
@@ -43,6 +48,7 @@ done
 
 BUILD_DIR=build-check
 TSAN_DIR=build-tsan
+CLANG_DIR=build-clang
 PERF_DIR=build-perf
 FAST_DIR=build-fast
 
@@ -82,6 +88,20 @@ step_tsan() {
   "$TSAN_DIR/tests/test_runner_thread_pool"
   "$TSAN_DIR/tests/test_runner_sweep"
   "$TSAN_DIR/tests/test_obs_metrics"
+}
+
+step_clang() {
+  if ! command -v clang++ > /dev/null 2>&1; then
+    echo "    clang++ not installed; skipping thread-safety analysis" \
+         "(annotations: src/util/thread_annotations.h)"
+    return 0
+  fi
+  # -Wthread-safety is added by CMakeLists.txt whenever the compiler is
+  # clang; WB_WERROR promotes it (and any units-layer warning) to an error.
+  cmake -B "$CLANG_DIR" -S . \
+    -DCMAKE_CXX_COMPILER=clang++ -DWB_WERROR=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  cmake --build "$CLANG_DIR" -j "$JOBS"
 }
 
 step_obs() {
@@ -149,7 +169,7 @@ if [ ${#ONLY[@]} -gt 0 ]; then
 elif [ "$FAST" -eq 1 ]; then
   STEPS=(analyze build_fast test_fast)
 else
-  STEPS=(analyze build test tsan obs tidy perf)
+  STEPS=(analyze build test tsan clang obs tidy perf)
 fi
 
 N=${#STEPS[@]}
@@ -157,9 +177,9 @@ i=0
 for step in "${STEPS[@]}"; do
   i=$((i + 1))
   case "$step" in
-    analyze|build|test|tsan|obs|tidy|perf|build_fast|test_fast) ;;
-    *) echo "unknown step: $step (steps: analyze build test tsan obs tidy" \
-            "perf)" >&2; exit 2 ;;
+    analyze|build|test|tsan|clang|obs|tidy|perf|build_fast|test_fast) ;;
+    *) echo "unknown step: $step (steps: analyze build test tsan clang obs" \
+            "tidy perf)" >&2; exit 2 ;;
   esac
   echo "==> [$i/$N] $step"
   "step_$step"

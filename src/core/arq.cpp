@@ -10,27 +10,27 @@
 namespace wb::core {
 namespace {
 
-constexpr TimeUs kLeadUs = 600'000;
+constexpr TimeUs kLeadUs{600'000};
 
 /// One tag transmission (frame-layer framed `bits`) decoded at the reader;
 /// returns the decoder result over the framed payload region.
 reader::UplinkDecodeResult transmit_and_decode(const BitVec& bits,
                                                const ArqConfig& cfg,
                                                std::uint64_t round_salt) {
-  const auto bit_us = static_cast<TimeUs>(1e6 / cfg.bit_rate_bps);
+  const auto bit_us = TimeUs::from_us(1e6 / cfg.bit_rate_bps);
   const BitVec frame = build_uplink_frame(bits);
 
   UplinkSimConfig sim_cfg;
   sim_cfg.channel.reader_pos = {0.0, 0.0};
-  sim_cfg.channel.tag_pos = {cfg.tag_reader_distance_m, 0.0};
+  sim_cfg.channel.tag_pos = {cfg.tag_reader_distance_m.value(), 0.0};
   sim_cfg.channel.helper_pos = {
-      cfg.tag_reader_distance_m + cfg.helper_tag_distance_m, 0.0};
+      (cfg.tag_reader_distance_m + cfg.helper_tag_distance_m).value(), 0.0};
   sim_cfg.channel_seed = cfg.seed;  // one placement across rounds
   sim_cfg.seed = cfg.seed * 0x9e3779b9ull + round_salt;
 
-  const TimeUs until = kLeadUs +
-                       static_cast<TimeUs>(frame.size()) * bit_us +
-                       100'000;
+  const TimeUs until =
+      kLeadUs + bit_us * static_cast<std::int64_t>(frame.size()) +
+      TimeUs{100'000};
   sim::RngStream rng(sim_cfg.seed);
   auto traffic_rng = rng.fork("traffic");
   const auto timeline = wifi::make_cbr_timeline(

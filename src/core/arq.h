@@ -21,6 +21,7 @@
 
 #include "core/uplink_sim.h"
 #include "util/bits.h"
+#include "util/units.h"
 
 namespace wb::core {
 
@@ -28,8 +29,8 @@ inline constexpr std::uint8_t kCmdRepeat = 0x03;
 
 struct ArqConfig {
   /// Link geometry / models (same knobs as the experiments).
-  double tag_reader_distance_m = 0.5;
-  double helper_tag_distance_m = 3.0;
+  Meters tag_reader_distance_m{0.5};
+  Meters helper_tag_distance_m{3.0};
   double helper_pps = 3'000.0;
   double bit_rate_bps = 200.0;
 

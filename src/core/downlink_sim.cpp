@@ -21,14 +21,16 @@ struct PowerEvent {
 
 DownlinkSim::DownlinkSim(const DownlinkSimConfig& cfg) : cfg_(cfg) {}
 
-double DownlinkSim::reader_power_mw() const {
-  return dbm_to_mw(cfg_.reader_tx_dbm -
-                   cfg_.pathloss.loss_db(cfg_.reader_tag_distance_m));
+Milliwatts DownlinkSim::reader_power_mw() const {
+  return (cfg_.reader_tx_dbm -
+          cfg_.pathloss.loss_db(cfg_.reader_tag_distance_m))
+      .to_mw();
 }
 
-double DownlinkSim::ambient_power_mw() const {
-  return dbm_to_mw(cfg_.ambient_tx_dbm -
-                   cfg_.pathloss.loss_db(cfg_.ambient_distance_m));
+Milliwatts DownlinkSim::ambient_power_mw() const {
+  return (cfg_.ambient_tx_dbm -
+          cfg_.pathloss.loss_db(cfg_.ambient_distance_m))
+      .to_mw();
 }
 
 DownlinkSimReport DownlinkSim::run(const reader::DownlinkTransmission& tx,
@@ -40,14 +42,16 @@ DownlinkSimReport DownlinkSim::run(const reader::DownlinkTransmission& tx,
   // --- Build the power-change event list ---
   std::vector<PowerEvent> events;
   events.reserve((tx.packets.size() + ambient.size()) * 2);
-  const double p_reader = reader_power_mw();
-  const double p_ambient = ambient_power_mw();
+  const double p_reader = reader_power_mw().value();
+  const double p_ambient = ambient_power_mw().value();
 
   std::vector<std::pair<TimeUs, TimeUs>> nav;
   for (const auto& pkt : tx.packets) {
-    events.push_back({static_cast<double>(pkt.start_us), p_reader});
-    events.push_back({static_cast<double>(pkt.end_us()), -p_reader});
-    if (pkt.kind == wifi::FrameKind::kCtsToSelf && pkt.nav_us > 0) {
+    events.push_back(
+        {static_cast<double>(pkt.start_us.ticks()), p_reader});
+    events.push_back(
+        {static_cast<double>(pkt.end_us().ticks()), -p_reader});
+    if (pkt.kind == wifi::FrameKind::kCtsToSelf && pkt.nav_us > TimeUs{}) {
       nav.emplace_back(pkt.end_us(), pkt.end_us() + pkt.nav_us);
     }
   }
@@ -59,8 +63,10 @@ DownlinkSimReport DownlinkSim::run(const reader::DownlinkTransmission& tx,
           });
       if (blocked) continue;  // compliant station defers out of the window
     }
-    events.push_back({static_cast<double>(pkt.start_us), p_ambient});
-    events.push_back({static_cast<double>(pkt.end_us()), -p_ambient});
+    events.push_back(
+        {static_cast<double>(pkt.start_us.ticks()), p_ambient});
+    events.push_back(
+        {static_cast<double>(pkt.end_us().ticks()), -p_ambient});
   }
   std::sort(events.begin(), events.end(),
             [](const PowerEvent& a, const PowerEvent& b) {
@@ -73,10 +79,12 @@ DownlinkSimReport DownlinkSim::run(const reader::DownlinkTransmission& tx,
   if (!tx.slots.empty()) {
     const double slot_us =
         tx.slots.size() >= 2
-            ? static_cast<double>(tx.slots[1].start_us - tx.slots[0].start_us)
+            ? static_cast<double>(
+                  (tx.slots[1].start_us - tx.slots[0].start_us).ticks())
             : 50.0;
     for (const auto& s : tx.slots) {
-      probes.push_back(static_cast<double>(s.start_us) + 0.5 * slot_us);
+      probes.push_back(static_cast<double>(s.start_us.ticks()) +
+                       0.5 * slot_us);
     }
   }
 
@@ -88,7 +96,7 @@ DownlinkSimReport DownlinkSim::run(const reader::DownlinkTransmission& tx,
   report.slot_levels.reserve(probes.size());
 
   constexpr double kCoarseStepUs = 20.0;
-  const double end = static_cast<double>(until_us);
+  const double end = static_cast<double>(until_us.ticks());
   double t = 0.0;
   double mean_p = 0.0;
   std::size_t event_i = 0;
@@ -108,7 +116,7 @@ DownlinkSimReport DownlinkSim::run(const reader::DownlinkTransmission& tx,
     double next_t = std::min(seg_end, t + step);
     // Hit MCU sample instants and probe instants exactly.
     if (const auto s = mcu.next_sample_time()) {
-      const double st = static_cast<double>(*s);
+      const double st = static_cast<double>(s->ticks());
       if (st > t && st < next_t) next_t = st;
     }
     if (probe_i < probes.size() && probes[probe_i] > t &&
@@ -117,15 +125,19 @@ DownlinkSimReport DownlinkSim::run(const reader::DownlinkTransmission& tx,
     }
     const double dt = next_t - t;
     const double inst_p =
-        mean_p > 1e-12 ? phy::draw_ofdm_power_sample(mean_p, rng_env) : 0.0;
-    const bool new_level = det.step(dt, inst_p);
-    const auto now = static_cast<TimeUs>(std::llround(next_t));
+        mean_p > 1e-12
+            ? phy::draw_ofdm_power_sample(Milliwatts{mean_p}, rng_env)
+            : 0.0;
+    const bool new_level = det.step(dt, Milliwatts{inst_p});
+    const auto now = TimeUs{std::llround(next_t)};
     if (new_level != level) {
       mcu.on_transition(now, new_level);
       level = new_level;
     }
     if (const auto s = mcu.next_sample_time()) {
-      if (static_cast<double>(*s) <= next_t) mcu.on_sample(now, new_level);
+      if (static_cast<double>(s->ticks()) <= next_t) {
+        mcu.on_sample(now, new_level);
+      }
     }
     if (probe_i < probes.size() && probes[probe_i] <= next_t) {
       report.slot_levels.push_back(new_level ? 1 : 0);
@@ -158,7 +170,7 @@ DownlinkSimReport DownlinkSim::run(const reader::DownlinkTransmission& tx,
   }
   if (auto* tr = obs::tracer()) {
     const int lane = tr->lane("tag");
-    tr->complete(lane, "downlink_listen", "tag", 0, until_us,
+    tr->complete(lane, "downlink_listen", "tag", TimeUs{}, until_us,
                  {{"slots", static_cast<double>(report.slot_levels.size())},
                   {"frames_decoded",
                    static_cast<double>(report.decoded.size())}});

@@ -24,15 +24,16 @@
 namespace wb::core {
 
 struct DownlinkSimConfig {
-  /// Reader -> tag distance, meters.
-  double reader_tag_distance_m = 1.0;
+  /// Reader -> tag distance.
+  Meters reader_tag_distance_m{1.0};
 
-  /// Reader transmit power (also used for NAV-respecting ambient suppression).
-  double reader_tx_dbm = 16.0;
+  /// Reader transmit power (also used for NAV-respecting ambient
+  /// suppression).
+  Dbm reader_tx_dbm{16.0};
 
-  /// Distance of the ambient traffic source (AP) from the tag, meters.
-  double ambient_distance_m = 5.0;
-  double ambient_tx_dbm = 16.0;
+  /// Distance of the ambient traffic source (AP) from the tag.
+  Meters ambient_distance_m{5.0};
+  Dbm ambient_tx_dbm{16.0};
 
   /// Whether ambient stations honour the reader's CTS_to_SELF NAV
   /// (802.11-compliant devices do; set false to stress-test).
@@ -62,7 +63,7 @@ struct DownlinkSimReport {
   /// Energy accounting over the simulated interval.
   double detector_energy_uj = 0.0;
   double mcu_energy_uj = 0.0;
-  TimeUs simulated_us = 0;
+  TimeUs simulated_us{0};
 };
 
 class DownlinkSim {
@@ -74,9 +75,9 @@ class DownlinkSim {
   DownlinkSimReport run(const reader::DownlinkTransmission& tx,
                         const wifi::PacketTimeline& ambient, TimeUs until_us);
 
-  /// Received mean power (mW) at the tag from the reader / ambient source.
-  double reader_power_mw() const;
-  double ambient_power_mw() const;
+  /// Received mean power at the tag from the reader / ambient source.
+  Milliwatts reader_power_mw() const;
+  Milliwatts ambient_power_mw() const;
 
  private:
   DownlinkSimConfig cfg_;

@@ -14,8 +14,8 @@ namespace wb::core {
 namespace {
 
 /// Margin of trace captured before/after the tag frame.
-constexpr TimeUs kLeadUs = 600'000;   // fills the 400 ms conditioning window
-constexpr TimeUs kTailUs = 100'000;
+constexpr TimeUs kLeadUs{600'000};   // fills the 400 ms conditioning window
+constexpr TimeUs kTailUs{100'000};
 
 wifi::PacketTimeline make_helper_timeline(bool paced, double pps,
                                           TimeUs until,
@@ -46,8 +46,9 @@ phy::UplinkChannelParams make_channel_params(
     ch.tag_pos = *p.tag_pos;
   } else {
     ch.reader_pos = {0.0, 0.0};
-    ch.tag_pos = {p.tag_reader_distance_m, 0.0};
-    ch.helper_pos = {p.tag_reader_distance_m + p.helper_tag_distance_m, 0.0};
+    ch.tag_pos = {p.tag_reader_distance_m.value(), 0.0};
+    ch.helper_pos = {
+        (p.tag_reader_distance_m + p.helper_tag_distance_m).value(), 0.0};
   }
   ch.plan = p.plan;
   return ch;
@@ -77,7 +78,8 @@ RunOutput run_one_frame(const UplinkExperimentParams& p, std::uint64_t run) {
   frame.insert(frame.end(), payload.begin(), payload.end());
 
   const TimeUs frame_start = kLeadUs;
-  const TimeUs frame_dur = static_cast<TimeUs>(frame.size()) * bit_us;
+  const TimeUs frame_dur =
+      bit_us * static_cast<std::int64_t>(frame.size());
   const TimeUs until = frame_start + frame_dur + kTailUs;
 
   sim::RngStream rng(seed);
@@ -152,7 +154,7 @@ BerMeasurement measure_uplink_ber_random_stream(
     frame.insert(frame.end(), payload.begin(), payload.end());
     const TimeUs frame_start = kLeadUs;
     const TimeUs until = frame_start +
-                         static_cast<TimeUs>(frame.size()) * bit_us +
+                         bit_us * static_cast<std::int64_t>(frame.size()) +
                          kTailUs;
     sim::RngStream rng(seed);
     auto traffic_rng = rng.fork("traffic");
@@ -213,7 +215,7 @@ std::vector<double> measure_per_stream_ber(const UplinkExperimentParams& p) {
     frame.insert(frame.end(), payload.begin(), payload.end());
     const TimeUs frame_start = kLeadUs;
     const TimeUs until = frame_start +
-                         static_cast<TimeUs>(frame.size()) * bit_us +
+                         bit_us * static_cast<std::int64_t>(frame.size()) +
                          kTailUs;
     sim::RngStream rng(seed);
     auto traffic_rng = rng.fork("traffic");
@@ -291,7 +293,7 @@ BerMeasurement measure_coded_uplink_ber(const CodedExperimentParams& p) {
     const std::uint64_t seed =
         p.seed * 0x9e3779b97f4a7c15ull + run * 0xff51afd7ed558ccdull + 1;
     const auto chip_us =
-        static_cast<TimeUs>(1e6 * p.packets_per_chip / p.helper_pps);
+        TimeUs::from_us(1e6 * p.packets_per_chip / p.helper_pps);
 
     UplinkExperimentParams geo;
     geo.tag_reader_distance_m = p.tag_reader_distance_m;
@@ -308,7 +310,7 @@ BerMeasurement measure_coded_uplink_ber(const CodedExperimentParams& p) {
 
     const TimeUs frame_start = kLeadUs;
     const TimeUs frame_dur =
-        static_cast<TimeUs>(frame.size() * p.code_length) * chip_us;
+        chip_us * static_cast<std::int64_t>(frame.size() * p.code_length);
     const TimeUs until = frame_start + frame_dur + kTailUs;
 
     sim::RngStream rng(seed);
@@ -369,14 +371,14 @@ BerMeasurement measure_downlink_ber(const DownlinkExperimentParams& p) {
     BitVec message = downlink_preamble();
     const BitVec data = random_bits(n, p.seed + round);
     message.insert(message.end(), data.begin(), data.end());
-    const auto tx = encoder.encode(message, /*start_us=*/500);
+    const auto tx = encoder.encode(message, /*start_us=*/TimeUs{500});
 
     DownlinkSimConfig cfg;
     cfg.reader_tag_distance_m = p.reader_tag_distance_m;
     cfg.mcu.bit_duration_us = p.slot_us;
     cfg.seed = p.seed * 0x9e3779b9ull + round;
     DownlinkSim sim(cfg);
-    const auto report = sim.run(tx, /*ambient=*/{}, tx.end_us + 1'000);
+    const auto report = sim.run(tx, /*ambient=*/{}, tx.end_us + TimeUs{1'000});
 
     // Compare detector slot decisions against the transmitted bits.
     BitVec truth;
@@ -404,11 +406,11 @@ std::vector<UplinkGridPoint> expand_uplink_grid(const UplinkGridSpec& spec) {
         UplinkGridPoint pt;
         pt.index = grid.size();
         pt.source = source;
-        pt.distance_m = distance_m;
+        pt.distance_m = Meters{distance_m};
         pt.packets_per_bit = pkts;
         pt.params = spec.base;
         pt.params.source = source;
-        pt.params.tag_reader_distance_m = distance_m;
+        pt.params.tag_reader_distance_m = Meters{distance_m};
         pt.params.packets_per_bit = pkts;
         pt.params.seed = runner::derive_seed(spec.base.seed, pt.index);
         grid.push_back(std::move(pt));
@@ -426,10 +428,10 @@ std::vector<CodedGridPoint> expand_coded_grid(const CodedGridSpec& spec) {
          ++placement) {
       CodedGridPoint pt;
       pt.index = grid.size();
-      pt.distance_m = distance_m;
+      pt.distance_m = Meters{distance_m};
       pt.placement = placement;
       pt.params = spec.base;
-      pt.params.tag_reader_distance_m = distance_m;
+      pt.params.tag_reader_distance_m = Meters{distance_m};
       pt.params.channel_seed = spec.placement_channel_seed_base + placement;
       pt.params.seed = runner::derive_seed(spec.base.seed, pt.index);
       grid.push_back(std::move(pt));
@@ -446,10 +448,10 @@ std::vector<DownlinkGridPoint> expand_downlink_grid(
     for (const TimeUs slot_us : spec.slot_durations_us) {
       DownlinkGridPoint pt;
       pt.index = grid.size();
-      pt.distance_m = distance_m;
+      pt.distance_m = Meters{distance_m};
       pt.slot_us = slot_us;
       pt.params = spec.base;
-      pt.params.reader_tag_distance_m = distance_m;
+      pt.params.reader_tag_distance_m = Meters{distance_m};
       pt.params.slot_us = slot_us;
       pt.params.seed = runner::derive_seed(spec.base.seed, pt.index);
       grid.push_back(std::move(pt));

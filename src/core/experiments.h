@@ -21,8 +21,8 @@ namespace wb::core {
 
 /// Parameters shared by the uplink BER experiments (§7.1 setup).
 struct UplinkExperimentParams {
-  double tag_reader_distance_m = 0.05;
-  double helper_tag_distance_m = 3.0;
+  Meters tag_reader_distance_m{0.05};
+  Meters helper_tag_distance_m{3.0};
   double helper_pps = 3000.0;
   double packets_per_bit = 30.0;  ///< M; bit rate = helper_pps / M
   std::size_t payload_bits = 77;  ///< 90-bit message incl. 13-bit preamble
@@ -57,10 +57,10 @@ struct UplinkExperimentParams {
   /// Decoder overrides.
   std::size_t num_good_streams = 10;
   double hysteresis_sigma = 0.25;
-  TimeUs movavg_window_us = 400'000;
+  TimeUs movavg_window_us{400'000};
 
   TimeUs bit_duration_us() const {
-    return static_cast<TimeUs>(1e6 * packets_per_bit / helper_pps);
+    return TimeUs::from_us(1e6 * packets_per_bit / helper_pps);
   }
 };
 
@@ -107,8 +107,8 @@ double achievable_bit_rate(UplinkExperimentParams p, double target_ber = 1e-2);
 /// Long-range coded uplink (Fig 20): BER at a distance for a given
 /// correlation length L.
 struct CodedExperimentParams {
-  double tag_reader_distance_m = 1.6;
-  double helper_tag_distance_m = 3.0;
+  Meters tag_reader_distance_m{1.6};
+  Meters helper_tag_distance_m{3.0};
   double helper_pps = 3000.0;
   double packets_per_chip = 10.0;
   std::size_t code_length = 20;
@@ -137,8 +137,8 @@ std::size_t required_correlation_length(
 /// it would mid-message) and counts the tag's slot decisions against the
 /// transmitted bits.
 struct DownlinkExperimentParams {
-  double reader_tag_distance_m = 1.5;
-  TimeUs slot_us = 50;  ///< bit duration; 50 us = 20 kbps
+  Meters reader_tag_distance_m{1.5};
+  TimeUs slot_us{50};  ///< bit duration; 50 us = 20 kbps
   std::size_t total_bits = 20'000;
   /// Bursts are min(encoder bits_per_chunk, this) bits long.
   std::size_t max_burst_bits = 600;
@@ -170,7 +170,7 @@ struct UplinkGridSpec {
 struct UplinkGridPoint {
   std::size_t index = 0;
   reader::MeasurementSource source = reader::MeasurementSource::kCsi;
-  double distance_m = 0.0;
+  Meters distance_m{};
   double packets_per_bit = 0.0;
   UplinkExperimentParams params;
 };
@@ -189,7 +189,7 @@ struct CodedGridSpec {
 
 struct CodedGridPoint {
   std::size_t index = 0;
-  double distance_m = 0.0;
+  Meters distance_m{};
   std::size_t placement = 0;
   CodedExperimentParams params;
 };
@@ -205,8 +205,8 @@ struct DownlinkGridSpec {
 
 struct DownlinkGridPoint {
   std::size_t index = 0;
-  double distance_m = 0.0;
-  TimeUs slot_us = 0;
+  Meters distance_m{};
+  TimeUs slot_us{0};
   DownlinkExperimentParams params;
 };
 

@@ -11,7 +11,7 @@
 namespace wb::core {
 namespace {
 
-constexpr TimeUs kLeadUs = 600'000;  // fills the conditioning window
+constexpr TimeUs kLeadUs{600'000};  // fills the conditioning window
 
 /// Bits in one inventory reply: 16-bit address through the uplink frame
 /// layer (preamble + address + crc8 + postamble).
@@ -40,12 +40,13 @@ InventoryResult run_inventory(std::span<const InventoryTag> tags,
                                      rng.fork("channel"));
   wifi::NicModel nic(cfg.nic, rng.fork("nic"));
   nic.calibrate(
-      channel.response(std::vector<std::uint8_t>(tags.size(), 0), 0));
+      channel.response(std::vector<std::uint8_t>(tags.size(), 0), TimeUs{}));
 
   std::vector<bool> identified(tags.size(), false);
   std::size_t q = cfg.initial_q;
-  const TimeUs bit_us = static_cast<TimeUs>(1e6 / cfg.bit_rate_bps);
-  const TimeUs slot_us = static_cast<TimeUs>(reply_frame_bits()) * bit_us;
+  const TimeUs bit_us = TimeUs::from_us(1e6 / cfg.bit_rate_bps);
+  const TimeUs slot_us =
+      bit_us * static_cast<std::int64_t>(reply_frame_bits());
 
   for (std::size_t round = 0; round < cfg.max_rounds; ++round) {
     const std::size_t remaining = static_cast<std::size_t>(
@@ -64,8 +65,9 @@ InventoryResult run_inventory(std::span<const InventoryTag> tags,
     }
 
     // Simulate the whole round as one continuous capture.
-    const TimeUs round_dur =
-        kLeadUs + static_cast<TimeUs>(slots) * slot_us + 100'000;
+    const TimeUs round_dur = kLeadUs +
+                             slot_us * static_cast<std::int64_t>(slots) +
+                             TimeUs{100'000};
     auto traffic_rng = rng.fork("traffic", round);
     const auto timeline = wifi::make_cbr_timeline(
         cfg.helper_pps, round_dur, wifi::TrafficParams{}, traffic_rng);
@@ -76,8 +78,9 @@ InventoryResult run_inventory(std::span<const InventoryTag> tags,
       if (chosen[i] >= slots) continue;
       const BitVec frame =
           build_uplink_frame(unpack_uint(tags[i].address, 16));
-      mods.emplace_back(frame, bit_us,
-                        kLeadUs + static_cast<TimeUs>(chosen[i]) * slot_us);
+      mods.emplace_back(
+          frame, bit_us,
+          kLeadUs + slot_us * static_cast<std::int64_t>(chosen[i]));
       mod_tag.push_back(i);
     }
 
@@ -111,7 +114,7 @@ InventoryResult run_inventory(std::span<const InventoryTag> tags,
       dec.payload_bits = uplink_payload_bits(16);
       dec.bit_duration_us = bit_us;
       const TimeUs slot_start =
-          kLeadUs + static_cast<TimeUs>(slot) * slot_us;
+          kLeadUs + slot_us * static_cast<std::int64_t>(slot);
       dec.search_from = slot_start - bit_us;
       dec.search_to = slot_start + bit_us;
       reader::UplinkDecoder decoder(dec);
@@ -135,7 +138,7 @@ InventoryResult run_inventory(std::span<const InventoryTag> tags,
       if (!decoded_someone && repliers.size() > 1) ++log.collisions;
     }
 
-    result.elapsed_us += static_cast<TimeUs>(slots) * slot_us;
+    result.elapsed_us += slot_us * static_cast<std::int64_t>(slots);
     result.rounds.push_back(log);
 
     // Gen-2-style Q adjustment: grow on collisions, shrink on emptiness.

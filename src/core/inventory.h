@@ -52,7 +52,7 @@ struct InventoryResult {
   std::vector<std::uint16_t> identified;  ///< in discovery order
   std::vector<InventoryRoundLog> rounds;
   bool complete = false;  ///< every tag identified
-  TimeUs elapsed_us = 0;  ///< total air time spent on inventory
+  TimeUs elapsed_us{0};  ///< total air time spent on inventory
 };
 
 /// Run the inventory until every tag is identified or max_rounds expire.

@@ -9,14 +9,14 @@ namespace wb::core {
 
 double RateControl::measured_packet_rate(const wifi::CaptureTrace& trace,
                                          TimeUs window_us) {
-  if (trace.empty() || window_us <= 0) return 0.0;
+  if (trace.empty() || window_us <= TimeUs{}) return 0.0;
   const TimeUs end = trace.back().timestamp_us;
   // Clamp the averaging span to what the trace actually covers: dividing
   // by the full window when the capture is shorter silently under-reports
   // the rate (0.5 s of packets averaged over a 1 s window halves it).
   const TimeUs effective_us =
       std::min(window_us, end - trace.front().timestamp_us);
-  if (effective_us <= 0) return 0.0;
+  if (effective_us <= TimeUs{}) return 0.0;
   const TimeUs from = end - effective_us;
   // Half-open window (from, end]: a packet exactly at `from` belongs to
   // the previous window, so the span covers exactly the counted packets'
@@ -27,7 +27,7 @@ double RateControl::measured_packet_rate(const wifi::CaptureTrace& trace,
     ++n;
   }
   const double pps = static_cast<double>(n) /
-                     (static_cast<double>(effective_us) / 1e6);
+                     (static_cast<double>(effective_us.ticks()) / 1e6);
   if (auto* m = obs::metrics()) {
     m->gauge("core.rate_control.measured_pps").set(pps);
   }

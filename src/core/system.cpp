@@ -11,13 +11,13 @@ namespace wb::core {
 
 WiFiBackscatterSystem::WiFiBackscatterSystem(const SystemConfig& cfg)
     : cfg_(cfg) {
-  WB_REQUIRE(cfg.tag_reader_distance_m > 0.0,
+  WB_REQUIRE(cfg.tag_reader_distance_m > Meters{},
              "tag-reader distance must be positive");
-  WB_REQUIRE(cfg.helper_distance_m > 0.0,
+  WB_REQUIRE(cfg.helper_distance_m > Meters{},
              "helper distance must be positive");
   WB_REQUIRE(cfg.helper_pps > 0.0, "helper traffic rate must be positive");
   WB_REQUIRE(cfg.packets_per_bit > 0.0);
-  WB_REQUIRE(cfg.downlink_slot_us > 0);
+  WB_REQUIRE(cfg.downlink_slot_us > TimeUs{});
   WB_REQUIRE(cfg.max_query_attempts > 0);
 }
 
@@ -34,7 +34,7 @@ DownlinkOutcome WiFiBackscatterSystem::send_downlink(const BitVec& data) {
   enc_cfg.slot_us = cfg_.downlink_slot_us;
   reader::DownlinkEncoder encoder(enc_cfg);
   const BitVec message = build_downlink_frame(data);
-  const auto tx = encoder.encode(message, /*start_us=*/2'000);
+  const auto tx = encoder.encode(message, /*start_us=*/TimeUs{2'000});
 
   DownlinkSimConfig sim_cfg;
   sim_cfg.reader_tag_distance_m = cfg_.tag_reader_distance_m;
@@ -47,7 +47,7 @@ DownlinkOutcome WiFiBackscatterSystem::send_downlink(const BitVec& data) {
   // Ambient helper traffic keeps flowing around the reserved window.
   sim::RngStream traffic_rng(sim_cfg.seed);
   auto rng = traffic_rng.fork("downlink-ambient");
-  const TimeUs until = tx.end_us + 5'000;
+  const TimeUs until = tx.end_us + TimeUs{5'000};
   const auto ambient = wifi::make_poisson_timeline(
       cfg_.helper_pps, until, wifi::TrafficParams{}, rng);
 
@@ -72,25 +72,25 @@ UplinkOutcome WiFiBackscatterSystem::receive_uplink(const BitVec& data,
   out.bit_rate_bps = bit_rate_bps;
   WB_REQUIRE(bit_rate_bps > 0.0, "uplink bit rate must be positive");
 
-  const auto bit_us = static_cast<TimeUs>(1e6 / bit_rate_bps);
+  const auto bit_us = TimeUs::from_us(1e6 / bit_rate_bps);
   const BitVec frame = build_uplink_frame(data);
 
   // Geometry: reader at origin, tag on the x axis, helper beyond it.
   UplinkSimConfig sim_cfg;
   sim_cfg.channel.reader_pos = {0.0, 0.0};
-  sim_cfg.channel.tag_pos = {cfg_.tag_reader_distance_m, 0.0};
-  sim_cfg.channel.helper_pos = {cfg_.tag_reader_distance_m +
-                                    cfg_.helper_distance_m,
-                                0.0};
+  sim_cfg.channel.tag_pos = {cfg_.tag_reader_distance_m.value(), 0.0};
+  sim_cfg.channel.helper_pos = {
+      (cfg_.tag_reader_distance_m + cfg_.helper_distance_m).value(), 0.0};
   sim_cfg.channel.multipath = cfg_.multipath;
   sim_cfg.channel.drift = cfg_.drift;
   sim_cfg.channel.tag = cfg_.tag_reflection;
   sim_cfg.nic = cfg_.nic;
   sim_cfg.seed = cfg_.seed ^ (0xc2b2ae35u + round_++);
 
-  const TimeUs frame_start = 50'000;
-  const TimeUs frame_dur = static_cast<TimeUs>(frame.size()) * bit_us;
-  const TimeUs until = frame_start + frame_dur + 50'000;
+  const TimeUs frame_start{50'000};
+  const TimeUs frame_dur =
+      bit_us * static_cast<std::int64_t>(frame.size());
+  const TimeUs until = frame_start + frame_dur + TimeUs{50'000};
   out.simulated_us = until;
 
   sim::RngStream traffic_rng(sim_cfg.seed);
@@ -135,18 +135,17 @@ bool WiFiBackscatterSystem::exchange_ack(bool tag_acks) {
 
   UplinkSimConfig sim_cfg;
   sim_cfg.channel.reader_pos = {0.0, 0.0};
-  sim_cfg.channel.tag_pos = {cfg_.tag_reader_distance_m, 0.0};
-  sim_cfg.channel.helper_pos = {cfg_.tag_reader_distance_m +
-                                    cfg_.helper_distance_m,
-                                0.0};
+  sim_cfg.channel.tag_pos = {cfg_.tag_reader_distance_m.value(), 0.0};
+  sim_cfg.channel.helper_pos = {
+      (cfg_.tag_reader_distance_m + cfg_.helper_distance_m).value(), 0.0};
   sim_cfg.channel.multipath = cfg_.multipath;
   sim_cfg.channel.drift = cfg_.drift;
   sim_cfg.channel.tag = cfg_.tag_reflection;
   sim_cfg.nic = cfg_.nic;
   sim_cfg.seed = cfg_.seed ^ (0x85ebca6bu + round_++);
 
-  const TimeUs ack_start = 500'000;
-  const TimeUs until = ack_start + ack.duration_us() + 50'000;
+  const TimeUs ack_start{500'000};
+  const TimeUs until = ack_start + ack.duration_us() + TimeUs{50'000};
   sim::RngStream traffic_rng(sim_cfg.seed);
   auto rng = traffic_rng.fork("ack-traffic");
   const auto timeline = wifi::make_poisson_timeline(
@@ -179,7 +178,7 @@ QueryOutcome WiFiBackscatterSystem::query(const Query& query,
   // Each protocol leg runs its own sub-simulation with a virtual clock
   // starting at 0; for tracing, `cursor` stitches the legs onto one
   // protocol timeline (ScopedTraceOffset shifts the inner events).
-  TimeUs cursor = 0;
+  TimeUs cursor{0};
   const int proto_lane = tr != nullptr ? tr->lane("protocol") : 0;
 
   // The reader re-transmits its query until it gets a (CRC-valid)
@@ -209,7 +208,8 @@ QueryOutcome WiFiBackscatterSystem::query(const Query& query,
       // exchange_ack simulates [0, ack_start + ack duration + guard)
       // with the defaults below; mirror that window for the timeline.
       const reader::AckConfig ack;
-      const TimeUs ack_dur = 500'000 + ack.duration_us() + 50'000;
+      const TimeUs ack_dur =
+          TimeUs{500'000} + ack.duration_us() + TimeUs{50'000};
       bool detected = false;
       {
         obs::ScopedTraceOffset shift(cursor);

@@ -32,10 +32,10 @@ namespace wb::core {
 
 struct SystemConfig {
   /// Tag-to-reader distance (the paper's main performance axis).
-  double tag_reader_distance_m = 0.15;
+  Meters tag_reader_distance_m{0.15};
 
   /// Helper (AP) to tag distance.
-  double helper_distance_m = 3.0;
+  Meters helper_distance_m{3.0};
 
   /// Helper traffic rate, packets/s.
   double helper_pps = 1000.0;
@@ -47,7 +47,7 @@ struct SystemConfig {
   double packets_per_bit = 10.0;
 
   /// Downlink slot length (50 us == 20 kbps).
-  TimeUs downlink_slot_us = 50;
+  TimeUs downlink_slot_us{50};
 
   /// How many times the reader re-sends an unanswered query (§4.1).
   std::size_t max_query_attempts = 4;
@@ -75,7 +75,7 @@ struct DownlinkOutcome {
   std::optional<Query> decoded_query;  ///< what the tag decoded
   double tag_energy_uj = 0.0;          ///< detector + MCU energy spent
   std::optional<bool> ack_detected;    ///< §4.1 ACK result, if enabled
-  TimeUs simulated_us = 0;             ///< virtual time this leg simulated
+  TimeUs simulated_us{0};             ///< virtual time this leg simulated
 };
 
 /// Result of one uplink response.
@@ -86,7 +86,7 @@ struct UplinkOutcome {
   double bit_rate_bps = 0.0;  ///< rate the tag used
   std::size_t bit_errors = 0; ///< vs the tag's transmitted frame (oracle)
   std::size_t bits_total = 0;
-  TimeUs simulated_us = 0;    ///< virtual time this leg simulated
+  TimeUs simulated_us{0};    ///< virtual time this leg simulated
 };
 
 /// A full query-response round trip.

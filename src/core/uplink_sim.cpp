@@ -11,14 +11,14 @@ UplinkSim::UplinkSim(const UplinkSimConfig& cfg)
       nic_(cfg.nic, sim::RngStream(cfg.seed).fork("nic")) {
   // Fix the NIC's reporting reference once, from the quiescent channel —
   // the AGC must not chase the backscatter modulation.
-  nic_.calibrate(channel_.response(false, 0));
+  nic_.calibrate(channel_.response(false, TimeUs{}));
 }
 
 wifi::CaptureTrace UplinkSim::run(const wifi::PacketTimeline& timeline,
                                   const tag::Modulator& mod) {
   wifi::CaptureTrace trace;
   trace.reserve(timeline.size());
-  TimeUs prev_us = 0;
+  TimeUs prev_us{0};
   for (const auto& pkt : timeline) {
     WB_REQUIRE(pkt.start_us >= prev_us,
                "packet timeline must be in time order");

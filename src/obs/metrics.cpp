@@ -133,7 +133,7 @@ double LogHistogram::percentile(double p) const noexcept {
 
 Counter& MetricsRegistry::counter(std::string_view name) {
   WB_REQUIRE(!name.empty(), "metric name must be non-empty");
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -144,7 +144,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
   WB_REQUIRE(!name.empty(), "metric name must be non-empty");
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -154,7 +154,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 
 LogHistogram& MetricsRegistry::histogram(std::string_view name) {
   WB_REQUIRE(!name.empty(), "metric name must be non-empty");
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
@@ -164,12 +164,23 @@ LogHistogram& MetricsRegistry::histogram(std::string_view name) {
   return *it->second;
 }
 
-void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+// Analysis opt-out for the locking wrapper only: std::scoped_lock carries
+// no capability annotations and its two-mutex deadlock-avoidance protocol
+// cannot be expressed as WB_ACQUIRE scopes. The merge body itself
+// (merge_locked) is fully analyzed under WB_REQUIRES; TSan covers the
+// wrapper.
+void MetricsRegistry::merge_from(const MetricsRegistry& other)
+    WB_NO_THREAD_SAFETY_ANALYSIS {
   if (&other == this) return;
   // scoped_lock's deadlock-avoidance orders the two mutexes, so two
-  // threads cross-merging cannot wedge. Instruments are found-or-created
-  // inline (counter()/gauge()/histogram() would re-lock mu_).
+  // threads cross-merging cannot wedge.
   const std::scoped_lock lock(mu_, other.mu_);
+  merge_locked(other);
+}
+
+// Instruments are found-or-created inline (counter()/gauge()/histogram()
+// would re-lock mu_).
+void MetricsRegistry::merge_locked(const MetricsRegistry& other) {
   for (const auto& [name, c] : other.counters_) {
     auto it = counters_.find(name);
     if (it == counters_.end()) {
@@ -200,7 +211,7 @@ void MetricsRegistry::merge_from(const MetricsRegistry& other) {
 }
 
 MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   Snapshot out;
   out.counters.reserve(counters_.size());
   for (const auto& [name, c] : counters_) {

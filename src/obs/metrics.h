@@ -23,10 +23,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace wb::obs {
 
@@ -167,11 +168,17 @@ class MetricsRegistry {
   Snapshot snapshot() const;
 
  private:
-  mutable std::mutex mu_;  ///< guards the maps, not the instruments
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  /// The merge body; merge_from() calls it with both map locks held.
+  void merge_locked(const MetricsRegistry& other)
+      WB_REQUIRES(mu_, other.mu_);
+
+  mutable util::Mutex mu_;  ///< guards the maps, not the instruments
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      WB_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      WB_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<LogHistogram>, std::less<>>
-      histograms_;
+      histograms_ WB_GUARDED_BY(mu_);
 };
 
 /// The registry installed on *this thread*; nullptr when observability is

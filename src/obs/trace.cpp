@@ -43,7 +43,7 @@ int Tracer::lane(std::string_view name) {
 void Tracer::complete(int lane_id, std::string_view name,
                       std::string_view category, TimeUs start_us,
                       TimeUs dur_us, std::vector<Arg> args) {
-  WB_REQUIRE(dur_us >= 0, "span duration must be non-negative");
+  WB_REQUIRE(dur_us >= TimeUs{}, "span duration must be non-negative");
   events_.push_back(Event{'X', lane_id, start_us + offset_, dur_us,
                           std::string(name), std::string(category),
                           std::move(args)});
@@ -52,12 +52,12 @@ void Tracer::complete(int lane_id, std::string_view name,
 void Tracer::instant(int lane_id, std::string_view name,
                      std::string_view category, TimeUs ts_us,
                      std::vector<Arg> args) {
-  events_.push_back(Event{'i', lane_id, ts_us + offset_, 0, std::string(name),
+  events_.push_back(Event{'i', lane_id, ts_us + offset_, TimeUs{}, std::string(name),
                           std::string(category), std::move(args)});
 }
 
 void Tracer::counter(std::string_view name, TimeUs ts_us, double value) {
-  events_.push_back(Event{'C', 0, ts_us + offset_, 0, std::string(name),
+  events_.push_back(Event{'C', 0, ts_us + offset_, TimeUs{}, std::string(name),
                           "counter", {{std::string(name), value}}});
 }
 
@@ -90,10 +90,10 @@ std::string Tracer::to_json() const {
     out += "\",\"pid\":1,\"tid\":";
     out += std::to_string(e.tid);
     out += ",\"ts\":";
-    out += std::to_string(e.ts);
+    out += std::to_string(e.ts.ticks());
     if (e.phase == 'X') {
       out += ",\"dur\":";
-      out += std::to_string(e.dur);
+      out += std::to_string(e.dur.ticks());
     }
     if (e.phase == 'i') out += ",\"s\":\"t\"";
     if (!e.args.empty()) {

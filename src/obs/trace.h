@@ -76,7 +76,7 @@ class Tracer {
 
   std::vector<Event> events_;
   std::vector<std::string> lanes_;
-  TimeUs offset_ = 0;
+  TimeUs offset_{0};
 };
 
 /// The tracer installed on *this thread*; nullptr when tracing is off.
@@ -110,7 +110,7 @@ class ScopedTraceOffset {
 
  private:
   Tracer* tracer_;
-  TimeUs prev_ = 0;
+  TimeUs prev_{0};
 };
 
 }  // namespace wb::obs

@@ -4,6 +4,8 @@
 
 #include <cstddef>
 
+#include "util/units.h"
+
 namespace wb::phy {
 
 /// The Intel 5300 CSI tool reports channel state for 30 subcarrier groups
@@ -15,11 +17,11 @@ inline constexpr std::size_t kNumSubchannels = 30;
 inline constexpr std::size_t kNumAntennas = 3;
 
 /// 20 MHz Wi-Fi channel.
-inline constexpr double kBandwidthHz = 20e6;
+inline constexpr Hertz kBandwidthHz{20e6};
 
 /// Frequency spacing between the centers of adjacent reported
 /// sub-channels across the 20 MHz band.
-inline constexpr double kSubchannelSpacingHz =
+inline constexpr Hertz kSubchannelSpacingHz =
     kBandwidthHz / static_cast<double>(kNumSubchannels);
 
 }  // namespace wb::phy

@@ -24,9 +24,7 @@ double OuProcess::at(TimeUs t_us) {
   // Out-of-order sampling is supported: dt <= 0 returns the current state
   // without evolving (inventory rounds restart their timelines at t = 0
   // against one long-lived channel).
-  const double dt_s =
-      static_cast<double>(t_us - last_t_) /
-      static_cast<double>(kMicrosPerSec);
+  const double dt_s = (t_us - last_t_).seconds();
   last_t_ = t_us;
   if (dt_s <= 0.0) return x_;
   // Exact discretisation of the OU transition kernel.

@@ -34,7 +34,7 @@ class OuProcess {
   double tau_s_;
   double sigma_;
   sim::RngStream rng_;
-  TimeUs last_t_ = 0;
+  TimeUs last_t_{0};
   double x_ = 0.0;
   bool started_ = false;
 };

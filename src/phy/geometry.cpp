@@ -31,8 +31,8 @@ bool segments_intersect(Vec2 p, Vec2 q, Vec2 a, Vec2 b) {
          on_segment(a, b, q);
 }
 
-double FloorPlan::wall_loss_db(Vec2 p, Vec2 q) const {
-  double loss = 0.0;
+Db FloorPlan::wall_loss_db(Vec2 p, Vec2 q) const {
+  Db loss{};
   for (const Wall& w : walls_) {
     if (segments_intersect(p, q, w.a, w.b)) loss += w.attenuation_db;
   }
@@ -51,7 +51,7 @@ Testbed Testbed::paper_fig13() {
       Vec2{5.5, 2.0},   // location 4: ~5.9 m, LOS
       Vec2{8.8, 1.5},   // location 5: ~8.9 m, NLOS (other room)
   };
-  t.plan.add_wall(Wall{{7.0, -6.0}, {7.0, 6.0}, 7.0});
+  t.plan.add_wall(Wall{{7.0, -6.0}, {7.0, 6.0}, Db{7.0}});
   return t;
 }
 

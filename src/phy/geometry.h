@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "util/units.h"
+
 namespace wb::phy {
 
 /// A point in the testbed plane, meters.
@@ -18,15 +20,15 @@ struct Vec2 {
 inline Vec2 operator-(Vec2 a, Vec2 b) { return {a.x - b.x, a.y - b.y}; }
 inline Vec2 operator+(Vec2 a, Vec2 b) { return {a.x + b.x, a.y + b.y}; }
 
-inline double distance(Vec2 a, Vec2 b) {
-  return std::hypot(a.x - b.x, a.y - b.y);
+inline Meters distance(Vec2 a, Vec2 b) {
+  return Meters{std::hypot(a.x - b.x, a.y - b.y)};
 }
 
 /// A wall segment with a penetration loss.
 struct Wall {
   Vec2 a;
   Vec2 b;
-  double attenuation_db = 6.0;
+  Db attenuation_db{6.0};
 };
 
 /// True if segment pq crosses segment ab (proper intersection; shared
@@ -39,8 +41,8 @@ class FloorPlan {
  public:
   void add_wall(Wall w) { walls_.push_back(w); }
 
-  /// Total wall attenuation (dB) along the straight line p -> q.
-  double wall_loss_db(Vec2 p, Vec2 q) const;
+  /// Total wall attenuation along the straight line p -> q.
+  Db wall_loss_db(Vec2 p, Vec2 q) const;
 
   std::size_t wall_count() const { return walls_.size(); }
 

@@ -10,9 +10,10 @@ MultiTagUplinkChannel::MultiTagUplinkChannel(
     const UplinkChannelParams& base, std::span<const TagPlacement> tags,
     sim::RngStream rng) {
   WB_REQUIRE(!tags.empty(), "a multi-tag channel needs at least one tag");
-  WB_REQUIRE(distance(base.helper_pos, base.reader_pos) > 0.0,
+  WB_REQUIRE(distance(base.helper_pos, base.reader_pos) > Meters{},
              "helper and reader must not be co-located");
-  const double tx_amp = std::sqrt(dbm_to_mw(base.helper_tx_power_dbm));
+  const double tx_amp =
+      std::sqrt(base.helper_tx_power_dbm.to_mw().value());
   const double g_hr = base.pathloss.amplitude_gain(
       base.helper_pos, base.reader_pos, base.plan);
 
@@ -33,10 +34,11 @@ MultiTagUplinkChannel::MultiTagUplinkChannel(
         base.pathloss.amplitude_gain(base.helper_pos, tag.pos, base.plan);
     const double g_tr = base.tag_leg_pathloss.amplitude_gain(
         tag.pos, base.reader_pos, base.plan);
-    const double d_tr = distance(tag.pos, base.reader_pos);
+    const Meters d_tr = distance(tag.pos, base.reader_pos);
     const double rho =
-        base.coherence_dist_m > 0.0
-            ? base.coherence_max * std::exp(-d_tr / base.coherence_dist_m)
+        base.coherence_dist_m > Meters{}
+            ? base.coherence_max *
+                  std::exp(-(d_tr / base.coherence_dist_m))
             : 0.0;
     const double rho_c = std::sqrt(std::max(0.0, 1.0 - rho * rho));
     const auto rcs_delta = tag.reflection.delta();

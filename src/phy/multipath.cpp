@@ -57,7 +57,7 @@ FrequencyResponse draw_frequency_response(const MultipathProfile& profile,
     // Sub-channel center offset from band center, Hz.
     const double f = (static_cast<double>(s) -
                       static_cast<double>(kNumSubchannels - 1) / 2.0) *
-                     kSubchannelSpacingHz;
+                     kSubchannelSpacingHz.value();
     Complex acc{0.0, 0.0};
     for (const Tap& t : taps) {
       const double theta = -2.0 * std::numbers::pi * f * t.delay_s;

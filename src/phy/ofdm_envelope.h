@@ -13,15 +13,16 @@
 #include <cmath>
 
 #include "sim/rng.h"
+#include "util/units.h"
 
 namespace wb::phy {
 
 /// One *instantaneous* received-power sample (mW) of an OFDM burst whose
 /// average received power is `mean_power_mw`. Exponential law == Rayleigh
 /// envelope == complex-Gaussian baseband.
-inline double draw_ofdm_raw_power_sample(double mean_power_mw,
+inline double draw_ofdm_raw_power_sample(Milliwatts mean_power_mw,
                                          sim::RngStream& rng) {
-  return rng.exponential(mean_power_mw);
+  return rng.exponential(mean_power_mw.value());
 }
 
 /// A detector-bandwidth-limited power sample: the diode's video bandwidth
@@ -29,15 +30,15 @@ inline double draw_ofdm_raw_power_sample(double mean_power_mw,
 /// the detector effectively averages ~20 independent envelope samples. The
 /// averaged power is Gamma(k)/k-distributed; we use its normal
 /// approximation (relative std 1/sqrt(k), k = 16), clamped non-negative.
-inline double draw_ofdm_power_sample(double mean_power_mw,
+inline double draw_ofdm_power_sample(Milliwatts mean_power_mw,
                                      sim::RngStream& rng) {
   constexpr double kRelStd = 0.25;  // 1/sqrt(16)
-  const double v = mean_power_mw * (1.0 + kRelStd * rng.normal());
+  const double v = mean_power_mw.value() * (1.0 + kRelStd * rng.normal());
   return v > 0.0 ? v : 0.0;
 }
 
 /// One instantaneous envelope (amplitude, sqrt-mW) sample of the same.
-inline double draw_ofdm_envelope_sample(double mean_power_mw,
+inline double draw_ofdm_envelope_sample(Milliwatts mean_power_mw,
                                         sim::RngStream& rng) {
   return std::sqrt(draw_ofdm_raw_power_sample(mean_power_mw, rng));
 }

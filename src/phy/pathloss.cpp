@@ -7,29 +7,29 @@
 
 namespace wb::phy {
 
-double PathLossModel::loss_db(double d) const {
-  WB_REQUIRE(d >= 0.0, "distance must be non-negative");
+Db PathLossModel::loss_db(Meters d) const {
+  WB_REQUIRE(d >= Meters{}, "distance must be non-negative");
   WB_REQUIRE(exponent > 0.0, "path-loss exponent must be positive");
-  const double d_eff = std::hypot(d, near_field_m);
+  const double d_eff = std::hypot(d.value(), near_field_m.value());
   WB_REQUIRE(d_eff > 0.0,
              "a zero distance needs a positive near-field clamp");
-  return ref_loss_db + 10.0 * exponent * std::log10(d_eff);
+  return ref_loss_db + Db{10.0 * exponent * std::log10(d_eff)};
 }
 
-double PathLossModel::loss_db(Vec2 from, Vec2 to,
-                              const FloorPlan* plan) const {
-  double loss = loss_db(distance(from, to));
+Db PathLossModel::loss_db(Vec2 from, Vec2 to,
+                          const FloorPlan* plan) const {
+  Db loss = loss_db(distance(from, to));
   if (plan != nullptr) loss += plan->wall_loss_db(from, to);
   return loss;
 }
 
-double PathLossModel::amplitude_gain(double d) const {
-  return db_to_amplitude(-loss_db(d));
+double PathLossModel::amplitude_gain(Meters d) const {
+  return (-loss_db(d)).to_amplitude();
 }
 
 double PathLossModel::amplitude_gain(Vec2 from, Vec2 to,
                                      const FloorPlan* plan) const {
-  return db_to_amplitude(-loss_db(from, to, plan));
+  return (-loss_db(from, to, plan)).to_amplitude();
 }
 
 }  // namespace wb::phy

@@ -12,24 +12,24 @@ struct PathLossModel {
   /// Path-loss exponent; ~2.0 free space, 1.8-2.2 indoor LOS.
   double exponent = 2.0;
 
-  /// Loss at the 1 m reference distance, dB. 40 dB is the 2.4 GHz
+  /// Loss at the 1 m reference distance. 40 dB is the 2.4 GHz
   /// free-space value.
-  double ref_loss_db = 40.0;
+  Db ref_loss_db{40.0};
 
   /// Distances below this are clamped via d_eff = hypot(d, near_field_m):
   /// the far-field 1/d law does not hold inside the antenna near field, and
   /// the paper's closest measurements (5 cm) are within it.
-  double near_field_m = 0.08;
+  Meters near_field_m{0.08};
 
-  /// Loss in dB over distance d (meters), without walls.
-  double loss_db(double d) const;
+  /// Loss over distance d, without walls.
+  Db loss_db(Meters d) const;
 
   /// Loss in dB between two points, including wall penetration from `plan`
   /// (pass nullptr for open space).
-  double loss_db(Vec2 from, Vec2 to, const FloorPlan* plan) const;
+  Db loss_db(Vec2 from, Vec2 to, const FloorPlan* plan) const;
 
   /// Linear *amplitude* gain over distance d: 10^(-loss/20).
-  double amplitude_gain(double d) const;
+  double amplitude_gain(Meters d) const;
 
   /// Linear amplitude gain between two points with walls.
   double amplitude_gain(Vec2 from, Vec2 to, const FloorPlan* plan) const;

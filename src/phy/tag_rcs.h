@@ -21,22 +21,22 @@ struct TagReflection {
   /// Complex reflection coefficient in the reflecting state. |gamma| <= 1.
   std::complex<double> gamma_reflect{0.95, 0.0};
 
-  /// Scattering gain of the antenna (dB, amplitude domain): how efficiently
+  /// Scattering gain of the antenna (amplitude domain): how efficiently
   /// incident energy is re-radiated. The prototype's six-patch array gives
   /// it a relatively high value for its size; this is the main calibration
   /// knob tying simulated uplink range to the paper's.
-  double scatter_gain_db = 7.0;
+  Db scatter_gain_db{7.0};
 
   /// Effective complex amplitude factor applied to the
   /// helper->tag->reader path in a given switch state.
   std::complex<double> state_factor(bool reflecting) const {
-    const double g = db_to_amplitude(scatter_gain_db);
+    const double g = scatter_gain_db.to_amplitude();
     return g * (reflecting ? gamma_reflect : gamma_absorb);
   }
 
   /// Contrast between the two states (what the decoder ultimately sees).
   std::complex<double> delta() const {
-    return db_to_amplitude(scatter_gain_db) * (gamma_reflect - gamma_absorb);
+    return scatter_gain_db.to_amplitude() * (gamma_reflect - gamma_absorb);
   }
 };
 

@@ -10,13 +10,14 @@ namespace wb::phy {
 UplinkChannel::UplinkChannel(const UplinkChannelParams& params,
                              sim::RngStream rng)
     : params_(params) {
-  WB_REQUIRE(distance(params.helper_pos, params.reader_pos) > 0.0,
+  WB_REQUIRE(distance(params.helper_pos, params.reader_pos) > Meters{},
              "helper and reader must not be co-located");
-  WB_REQUIRE(distance(params.helper_pos, params.tag_pos) > 0.0,
+  WB_REQUIRE(distance(params.helper_pos, params.tag_pos) > Meters{},
              "helper and tag must not be co-located");
-  WB_REQUIRE(params.coherence_dist_m >= 0.0);
+  WB_REQUIRE(params.coherence_dist_m >= Meters{});
   WB_REQUIRE(params.coherence_max >= 0.0 && params.coherence_max <= 1.0);
-  const double tx_amp = std::sqrt(dbm_to_mw(params.helper_tx_power_dbm));
+  const double tx_amp =
+      std::sqrt(params.helper_tx_power_dbm.to_mw().value());
 
   // Straight-line amplitude gains of the three legs, including walls.
   const double g_hr = params.pathloss.amplitude_gain(
@@ -36,10 +37,11 @@ UplinkChannel::UplinkChannel(const UplinkChannelParams& params,
 
   // Spatial coherence between the backscatter detour and the direct path:
   // high when the tag is close to the reader, vanishing with distance.
-  const double d_tr = distance(params.tag_pos, params.reader_pos);
+  const Meters d_tr = distance(params.tag_pos, params.reader_pos);
   const double rho =
-      params.coherence_dist_m > 0.0
-          ? params.coherence_max * std::exp(-d_tr / params.coherence_dist_m)
+      params.coherence_dist_m > Meters{}
+          ? params.coherence_max *
+                std::exp(-(d_tr / params.coherence_dist_m))
           : 0.0;
   const double rho_c = std::sqrt(std::max(0.0, 1.0 - rho * rho));
 

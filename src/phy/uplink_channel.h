@@ -35,7 +35,7 @@ struct UplinkChannelParams {
   Vec2 tag_pos{0.05, 0.0};
   const FloorPlan* plan = nullptr;  ///< optional walls (not owned)
 
-  double helper_tx_power_dbm = 16.0;
+  Dbm helper_tx_power_dbm{16.0};
 
   PathLossModel pathloss{};
 
@@ -43,7 +43,8 @@ struct UplinkChannelParams {
   /// leg spans 5-210 cm — from inside the antenna near field out to a few
   /// wavelengths — where the effective decay differs from the far-field
   /// room-scale model used for the helper legs.
-  PathLossModel tag_leg_pathloss{.exponent = 2.0, .near_field_m = 0.05};
+  PathLossModel tag_leg_pathloss{.exponent = 2.0,
+                                 .near_field_m = Meters{0.05}};
 
   MultipathProfile multipath{};
   ChannelDrift::Params drift{};
@@ -58,7 +59,7 @@ struct UplinkChannelParams {
   /// decorrelate (rho = exp(-d_tr / coherence)), the per-sub-channel
   /// phases randomise, RSSI modulation washes out, and CSI frequency
   /// diversity (Fig 4/5) fully develops.
-  double coherence_dist_m = 0.35;
+  Meters coherence_dist_m{0.35};
 
   /// Coherent fraction at zero separation. Even with the tag touching the
   /// reader, part of the backscatter arrives through its own reflections,

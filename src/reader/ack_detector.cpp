@@ -11,13 +11,14 @@ namespace wb::reader {
 AckDetection detect_ack(const ConditionedTrace& ct, const AckConfig& cfg,
                         TimeUs expected_start_us) {
   WB_REQUIRE(!cfg.pattern.empty(), "ACK pattern must be non-empty");
-  WB_REQUIRE(cfg.chip_duration_us > 0);
-  WB_REQUIRE(cfg.jitter_us >= 0);
+  WB_REQUIRE(cfg.chip_duration_us > TimeUs{});
+  WB_REQUIRE(cfg.jitter_us >= TimeUs{});
   AckDetection out;
   if (ct.num_packets() == 0) return out;
 
   const std::size_t nchips = cfg.pattern.size();
-  const TimeUs step = std::max<TimeUs>(cfg.chip_duration_us / 4, 1);
+  const TimeUs step =
+      std::max(cfg.chip_duration_us / 4, TimeUs{1});
 
   for (TimeUs tau = expected_start_us - cfg.jitter_us;
        tau <= expected_start_us + cfg.jitter_us; tau += step) {

@@ -25,11 +25,11 @@ struct AckConfig {
   BitVec pattern = bits_from_string("10101010");
 
   /// Chip duration on air.
-  TimeUs chip_duration_us = 10'000;
+  TimeUs chip_duration_us{10'000};
 
   /// Delay between the end of the reader's downlink message and the
   /// tag's ACK (covers the MCU's decode wake-up).
-  TimeUs turnaround_us = 2'000;
+  TimeUs turnaround_us{2'000};
 
   /// Detection threshold on the per-chip-normalised correlation of the
   /// best stream (same scale as the uplink decoder's sync score).
@@ -37,17 +37,17 @@ struct AckConfig {
 
   /// Timing slack searched around the nominal ACK position (the tag's
   /// clock is an RC-trimmed MCU timer).
-  TimeUs jitter_us = 2'000;
+  TimeUs jitter_us{2'000};
 
   TimeUs duration_us() const {
-    return static_cast<TimeUs>(pattern.size()) * chip_duration_us;
+    return chip_duration_us * static_cast<std::int64_t>(pattern.size());
   }
 };
 
 struct AckDetection {
   bool detected = false;
   double score = 0.0;    ///< best correlation magnitude
-  TimeUs at_us = 0;      ///< estimated ACK start
+  TimeUs at_us{0};      ///< estimated ACK start
 };
 
 /// Look for the ACK pattern in a conditioned trace around

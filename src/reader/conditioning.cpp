@@ -18,7 +18,8 @@ void remove_time_moving_average(std::span<const TimeUs> ts,
   WB_REQUIRE(ts.size() == xs.size(),
              "one measurement per timestamp is required");
   WB_REQUIRE(out.size() == xs.size(), "output must cover every sample");
-  WB_REQUIRE(window_us > 0, "moving-average window must be positive");
+  WB_REQUIRE(window_us > TimeUs{},
+             "moving-average window must be positive");
   WB_REQUIRE(std::is_sorted(ts.begin(), ts.end()),
              "capture timestamps must be non-decreasing");
   // Centered window. The paper's receiver subtracts a trailing 400 ms
@@ -57,7 +58,8 @@ std::vector<double> remove_time_moving_average(
 void condition_into(const wifi::CaptureTrace& trace, MeasurementSource source,
                     TimeUs movavg_window_us, DecodeWorkspace& ws,
                     ConditionedTrace& out) {
-  WB_REQUIRE(movavg_window_us > 0, "moving-average window must be positive");
+  WB_REQUIRE(movavg_window_us > TimeUs{},
+             "moving-average window must be positive");
   obs::ScopedTimer timer("reader.conditioning.wall_us");
 
   const std::size_t num_streams = (source == MeasurementSource::kCsi)

@@ -43,7 +43,7 @@ enum class MeasurementSource {
 /// normalisation per stream.
 ConditionedTrace condition(const wifi::CaptureTrace& trace,
                            MeasurementSource source,
-                           TimeUs movavg_window_us = 400'000);
+                           TimeUs movavg_window_us = TimeUs{400'000});
 
 /// Allocation-free variant of condition(): raw collection and the
 /// moving-average scratch live in `ws` (decode_workspace.h), the result is

@@ -17,7 +17,7 @@ CodedUplinkDecoder::CodedUplinkDecoder(CodedDecoderConfig cfg)
   WB_REQUIRE(cfg_.codes.length() >= 2,
              "orthogonal codes need at least two chips");
   WB_REQUIRE(!cfg_.preamble.empty());
-  WB_REQUIRE(cfg_.chip_duration_us > 0);
+  WB_REQUIRE(cfg_.chip_duration_us > TimeUs{});
   WB_REQUIRE(cfg_.num_good_streams > 0);
   WB_REQUIRE(cfg_.min_fill >= 0.0 && cfg_.min_fill <= 1.0);
   // Expand the preamble into its chip template once.
@@ -98,7 +98,7 @@ void CodedUplinkDecoder::decode_conditioned_into(const ConditionedTrace& ct_in,
     m->counter("reader.corr.decodes_total").add(1);
   }
   out.found = false;
-  out.start_us = 0;
+  out.start_us = TimeUs{};
   out.sync_score = 0.0;
   out.payload.clear();
   out.streams.clear();
@@ -128,7 +128,7 @@ void CodedUplinkDecoder::decode_conditioned_into(const ConditionedTrace& ct_in,
   const std::size_t g = std::min(cfg_.num_good_streams, ct->num_streams());
 
   // --- Frame sync ---
-  TimeUs best_start = 0;
+  TimeUs best_start{0};
   double best_score = -1.0;
   auto& corrs = ws.corrs;
   auto& order = ws.order;
@@ -158,9 +158,10 @@ void CodedUplinkDecoder::decode_conditioned_into(const ConditionedTrace& ct_in,
     const TimeUs from = cfg_.search_from.value_or(t0);
     const TimeUs to =
         std::max(from, cfg_.search_to.value_or(t1 - cfg_.frame_duration_us()));
-    const TimeUs step = cfg_.sync_step_us > 0 ? cfg_.sync_step_us
-                                              : cfg_.chip_duration_us / 2;
-    for (TimeUs tau = from; tau <= to; tau += std::max<TimeUs>(step, 1)) {
+    const TimeUs step = cfg_.sync_step_us > TimeUs{}
+                            ? cfg_.sync_step_us
+                            : cfg_.chip_duration_us / 2;
+    for (TimeUs tau = from; tau <= to; tau += std::max(step, TimeUs{1})) {
       const double score = evaluate(tau);
       if (score > best_score) {
         best_score = score;
@@ -189,8 +190,9 @@ void CodedUplinkDecoder::decode_conditioned_into(const ConditionedTrace& ct_in,
   // Bin each bit's chip block per selected stream (scratch in ws.slots).
   for (std::size_t b = 0; b < cfg_.payload_bits; ++b) {
     const TimeUs block_start =
-        best_start + static_cast<TimeUs>((cfg_.preamble.size() + b) * l) *
-                         cfg_.chip_duration_us;
+        best_start +
+        cfg_.chip_duration_us *
+            static_cast<std::int64_t>((cfg_.preamble.size() + b) * l);
     double combined = 0.0;
     for (std::size_t i = 0; i < out.streams.size(); ++i) {
       UplinkDecoder::bin_slots_into(*ct, out.streams[i], block_start,

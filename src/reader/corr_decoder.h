@@ -36,9 +36,9 @@ struct CodedDecoderConfig {
   std::size_t payload_bits = 32;
 
   /// Duration of one chip on air.
-  TimeUs chip_duration_us = 10'000;
+  TimeUs chip_duration_us{10'000};
 
-  TimeUs movavg_window_us = 400'000;
+  TimeUs movavg_window_us{400'000};
 
   std::size_t num_good_streams = 10;
 
@@ -50,7 +50,7 @@ struct CodedDecoderConfig {
   /// Sync search window and step (used when known_start is unset).
   std::optional<TimeUs> search_from;
   std::optional<TimeUs> search_to;
-  TimeUs sync_step_us = 0;  ///< 0 = chip_duration/2
+  TimeUs sync_step_us{0};  ///< 0 = chip_duration/2
 
   double min_fill = 0.5;  ///< min fraction of filled chip slots
 
@@ -68,13 +68,13 @@ struct CodedDecoderConfig {
     return frame_bits() * chips_per_bit();
   }
   TimeUs frame_duration_us() const {
-    return static_cast<TimeUs>(frame_chips()) * chip_duration_us;
+    return chip_duration_us * static_cast<std::int64_t>(frame_chips());
   }
 };
 
 struct CodedDecodeResult {
   bool found = false;
-  TimeUs start_us = 0;
+  TimeUs start_us{0};
   double sync_score = 0.0;
   BitVec payload;
   std::vector<std::size_t> streams;

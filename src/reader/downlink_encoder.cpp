@@ -26,7 +26,7 @@ DownlinkTransmission DownlinkEncoder::encode(const BitVec& message,
         std::min(message.size() - sent, cfg_.bits_per_chunk());
     const TimeUs chunk_air =
         cfg_.cts_duration_us + cfg_.sifs_us +
-        static_cast<TimeUs>(chunk_bits) * cfg_.slot_us;
+        cfg_.slot_us * static_cast<std::int64_t>(chunk_bits);
 
     // CTS_to_SELF reserving the chunk.
     wifi::WifiPacket cts;
@@ -54,7 +54,8 @@ DownlinkTransmission DownlinkEncoder::encode(const BitVec& message,
         p.rate_mbps = 54.0;
         // Bytes that fit the slot at 54 Mbps minus PLCP overhead.
         const double payload_us =
-            std::max<double>(0.0, static_cast<double>(cfg_.slot_us) - 20.0);
+            std::max<double>(
+                0.0, static_cast<double>(cfg_.slot_us.ticks()) - 20.0);
         p.size_bytes = static_cast<std::uint32_t>(payload_us * 54.0 / 8.0);
         tx.packets.push_back(p);
       }

@@ -20,32 +20,34 @@ struct DownlinkEncoderConfig {
   /// Bit slot duration; also the packet length. 50 us -> 20 kbps,
   /// 100 us -> 10 kbps, 200 us -> 5 kbps (the paper's three operating
   /// points).
-  TimeUs slot_us = 50;
+  TimeUs slot_us{50};
 
   /// Reader transmit power (the paper uses +16 dBm).
-  double tx_power_dbm = 16.0;
+  Dbm tx_power_dbm{16.0};
 
   /// Airtime of the CTS_to_SELF frame itself (14-byte control frame at a
   /// basic rate plus PLCP preamble).
-  TimeUs cts_duration_us = 30;
+  TimeUs cts_duration_us{30};
 
   /// Guard gap between the CTS frame and the first bit slot. Must exceed
   /// the tag detector's comparator fall time (~15 us with the default
   /// smoothing), or the CTS fuses onto the preamble's first run and the
   /// tag's interval matcher never sees the frame start.
-  TimeUs sifs_us = 40;
+  TimeUs sifs_us{40};
 
   /// Largest NAV reservation the standard allows (§4.1: 32 ms).
   TimeUs max_nav_us = wifi::kMaxNavUs;
 
   /// Idle gap between successive reserved chunks (contention window the
   /// reader must win again).
-  TimeUs inter_chunk_gap_us = 300;
+  TimeUs inter_chunk_gap_us{300};
 
   std::uint32_t reader_station_id = 100;
 
   /// Bits per second this configuration yields inside a chunk.
-  double bitrate_bps() const { return 1e6 / static_cast<double>(slot_us); }
+  double bitrate_bps() const {
+    return 1e6 / static_cast<double>(slot_us.ticks());
+  }
 
   /// Max message bits per reserved chunk.
   std::size_t bits_per_chunk() const {
@@ -56,7 +58,7 @@ struct DownlinkEncoderConfig {
 
 /// One ground-truth bit slot of the transmission.
 struct DownlinkSlot {
-  TimeUs start_us = 0;
+  TimeUs start_us{0};
   std::uint8_t bit = 0;  ///< 1 = packet on air, 0 = silence
 };
 
@@ -64,8 +66,8 @@ struct DownlinkSlot {
 struct DownlinkTransmission {
   std::vector<wifi::WifiPacket> packets;  ///< CTS frames + bit packets
   std::vector<DownlinkSlot> slots;        ///< ground truth, all bits
-  TimeUs start_us = 0;
-  TimeUs end_us = 0;
+  TimeUs start_us{0};
+  TimeUs end_us{0};
 };
 
 class DownlinkEncoder {

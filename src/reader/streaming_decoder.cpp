@@ -21,7 +21,7 @@ StreamingUplinkDecoder::StreamingUplinkDecoder(StreamingDecoderConfig cfg)
     : cfg_(std::move(cfg)), dec_(make_decoder_config(cfg_)) {}
 
 TimeUs StreamingUplinkDecoder::scan_interval() const {
-  if (cfg_.scan_interval_us > 0) return cfg_.scan_interval_us;
+  if (cfg_.scan_interval_us > TimeUs{}) return cfg_.scan_interval_us;
   return cfg_.decoder.frame_duration_us() / 2;
 }
 
@@ -40,8 +40,9 @@ void StreamingUplinkDecoder::trim_history() {
   // Trim history that no future frame needs: anything older than the
   // conditioning window behind the consumed point.
   const TimeUs keep_from =
-      consumed_until_ > cfg_.history_us ? consumed_until_ - cfg_.history_us
-                                        : 0;
+      consumed_until_ > cfg_.history_us
+          ? consumed_until_ - cfg_.history_us
+          : TimeUs{};
   const auto first_kept = std::lower_bound(
       buffer_.begin(), buffer_.end(), keep_from,
       [](const wifi::CaptureRecord& r, TimeUs t) {

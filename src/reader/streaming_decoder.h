@@ -29,11 +29,11 @@ struct StreamingDecoderConfig {
 
   /// How far (in time) beyond one frame the buffer must extend before a
   /// scan is attempted; also the re-scan cadence. 0 = half a frame.
-  TimeUs scan_interval_us = 0;
+  TimeUs scan_interval_us{0};
 
   /// History retained behind the consumed point (must cover the
   /// conditioning window).
-  TimeUs history_us = 1'000'000;
+  TimeUs history_us{1'000'000};
 };
 
 class StreamingUplinkDecoder {
@@ -77,8 +77,8 @@ class StreamingUplinkDecoder {
   DecodeWorkspace ws_;         ///< reused across scans
   UplinkDecodeResult scratch_; ///< reused scan result
   wifi::CaptureTrace buffer_;
-  TimeUs consumed_until_ = 0;  ///< frames may only start after this
-  TimeUs next_scan_at_ = 0;
+  TimeUs consumed_until_{0};  ///< frames may only start after this
+  TimeUs next_scan_at_{0};
   std::uint64_t frames_emitted_ = 0;
 };
 

@@ -23,9 +23,9 @@ std::size_t lower_index(const std::vector<TimeUs>& ts, TimeUs t) {
 
 UplinkDecoder::UplinkDecoder(UplinkDecoderConfig cfg) : cfg_(std::move(cfg)) {
   WB_REQUIRE(!cfg_.preamble.empty());
-  WB_REQUIRE(cfg_.bit_duration_us > 0);
+  WB_REQUIRE(cfg_.bit_duration_us > TimeUs{});
   WB_REQUIRE(cfg_.num_good_streams > 0);
-  WB_REQUIRE(cfg_.movavg_window_us > 0);
+  WB_REQUIRE(cfg_.movavg_window_us > TimeUs{});
   WB_REQUIRE(cfg_.hysteresis_sigma >= 0.0);
   WB_REQUIRE(cfg_.min_preamble_fill >= 0.0 && cfg_.min_preamble_fill <= 1.0);
 }
@@ -35,14 +35,15 @@ void UplinkDecoder::bin_slots_into(const ConditionedTrace& ct,
                                    TimeUs slot_us, std::size_t nslots,
                                    std::vector<SlotStat>& out) {
   WB_REQUIRE(stream < ct.num_streams(), "stream index out of range");
-  WB_REQUIRE(slot_us > 0, "slot duration must be positive");
+  WB_REQUIRE(slot_us > TimeUs{}, "slot duration must be positive");
   WB_REQUIRE(ct.streams[stream].size() == ct.timestamps.size(),
              "conditioned stream must cover every packet");
   out.assign(nslots, SlotStat{});
   const auto& ts = ct.timestamps;
   const auto& xs = ct.streams[stream];
   std::size_t k = lower_index(ts, start_us);
-  const TimeUs end = start_us + static_cast<TimeUs>(nslots) * slot_us;
+  const TimeUs end =
+      start_us + slot_us * static_cast<std::int64_t>(nslots);
   for (; k < ts.size() && ts[k] < end; ++k) {
     const auto slot = static_cast<std::size_t>((ts[k] - start_us) / slot_us);
     out[slot].mean += xs[k];
@@ -99,19 +100,20 @@ bool UplinkDecoder::find_frame(const ConditionedTrace& ct,
   from = std::max(from, t0 - cfg_.bit_duration_us);
   to = std::max(to, from);
   const TimeUs step =
-      cfg_.sync_step_us > 0 ? cfg_.sync_step_us : cfg_.bit_duration_us / 4;
+      cfg_.sync_step_us > TimeUs{} ? cfg_.sync_step_us
+                                   : cfg_.bit_duration_us / 4;
 
   const std::size_t g =
       std::min(cfg_.num_good_streams, ct.num_streams());
 
   bool has_best = false;
-  TimeUs best_start = 0;
+  TimeUs best_start{0};
   double best_score = 0.0;
   auto& corrs = ws.corrs;
   auto& order = ws.order;
   corrs.resize(ct.num_streams());
   order.resize(ct.num_streams());
-  for (TimeUs tau = from; tau <= to; tau += std::max<TimeUs>(step, 1)) {
+  for (TimeUs tau = from; tau <= to; tau += std::max(step, TimeUs{1})) {
     for (std::size_t s = 0; s < ct.num_streams(); ++s) {
       corrs[s] = preamble_correlation(ct, s, tau, ws);
     }
@@ -144,7 +146,7 @@ bool UplinkDecoder::find_frame(const ConditionedTrace& ct,
 std::optional<UplinkDecoder::SyncResult> UplinkDecoder::find_frame(
     const ConditionedTrace& ct) const {
   DecodeWorkspace ws;
-  TimeUs start = 0;
+  TimeUs start{0};
   double score = 0.0;
   if (!find_frame(ct, ws, start, score)) return std::nullopt;
   SyncResult r;
@@ -162,8 +164,9 @@ double UplinkDecoder::preamble_noise_variance(const ConditionedTrace& ct,
   WB_REQUIRE(stream < ct.num_streams(), "stream index out of range");
   const auto& ts = ct.timestamps;
   const auto& xs = ct.streams[stream];
-  const TimeUs end = start_us + static_cast<TimeUs>(cfg_.preamble.size()) *
-                                    cfg_.bit_duration_us;
+  const TimeUs end =
+      start_us + cfg_.bit_duration_us *
+                     static_cast<std::int64_t>(cfg_.preamble.size());
   double sum = 0.0, sum2 = 0.0;
   std::size_t n = 0;
   for (std::size_t k = lower_index(ts, start_us);
@@ -220,7 +223,7 @@ void UplinkDecoder::decode_conditioned_into(const ConditionedTrace& ct,
   if (m != nullptr) m->counter("reader.uplink.decodes_total").add(1);
 
   out.found = false;
-  out.start_us = 0;
+  out.start_us = TimeUs{};
   out.sync_score = 0.0;
   out.payload.clear();
   out.streams.clear();
@@ -229,7 +232,7 @@ void UplinkDecoder::decode_conditioned_into(const ConditionedTrace& ct,
   out.confidence.clear();
   out.packets_used = 0;
 
-  TimeUs start = 0;
+  TimeUs start{0};
   double score = 0.0;
   if (!find_frame(ct, ws, start, score)) return;
 
@@ -295,8 +298,8 @@ void UplinkDecoder::decode_conditioned_into(const ConditionedTrace& ct,
 
   // Per-bit majority vote over timestamp-binned packets.
   const TimeUs payload_start =
-      start + static_cast<TimeUs>(cfg_.preamble.size()) *
-                  cfg_.bit_duration_us;
+      start + cfg_.bit_duration_us *
+                  static_cast<std::int64_t>(cfg_.preamble.size());
   out.payload.assign(cfg_.payload_bits, 0);
   out.confidence.assign(cfg_.payload_bits, 0.0);
   ws.votes_one.assign(cfg_.payload_bits, 0);

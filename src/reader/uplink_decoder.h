@@ -47,10 +47,10 @@ struct UplinkDecoderConfig {
   std::size_t payload_bits = 77;
 
   /// Tag bit duration (the reader assigned it in its query, §5).
-  TimeUs bit_duration_us = 10'000;
+  TimeUs bit_duration_us{10'000};
 
   /// Moving-average window for conditioning (§3.2: 400 ms).
-  TimeUs movavg_window_us = 400'000;
+  TimeUs movavg_window_us{400'000};
 
   /// How many "good" streams to combine (§3.2: top ten).
   std::size_t num_good_streams = 10;
@@ -62,7 +62,7 @@ struct UplinkDecoderConfig {
   double hysteresis_sigma = 0.25;
 
   /// Frame-start search grid step; 0 = bit_duration / 4.
-  TimeUs sync_step_us = 0;
+  TimeUs sync_step_us{0};
 
   /// Optional restriction of the frame-start search to [from, to]. When
   /// unset the whole trace is searched. Experiments that know roughly when
@@ -83,14 +83,14 @@ struct UplinkDecoderConfig {
     return preamble.size() + payload_bits;
   }
   TimeUs frame_duration_us() const {
-    return static_cast<TimeUs>(frame_bits()) * bit_duration_us;
+    return bit_duration_us * static_cast<std::int64_t>(frame_bits());
   }
 };
 
 /// Everything the decoder reports about one frame reception attempt.
 struct UplinkDecodeResult {
   bool found = false;           ///< sync succeeded
-  TimeUs start_us = 0;          ///< estimated frame start
+  TimeUs start_us{0};          ///< estimated frame start
   double sync_score = 0.0;      ///< mean |corr| over the selected streams
   BitVec payload;               ///< decoded payload bits
   std::vector<std::size_t> streams;  ///< selected stream indices (ranked)
@@ -158,7 +158,7 @@ class UplinkDecoder {
                               TimeUs start_us, DecodeWorkspace& ws) const;
 
   struct SyncResult {
-    TimeUs start = 0;
+    TimeUs start{0};
     double score = 0.0;
     std::vector<std::size_t> streams;  ///< ranked by |corr|, size <= G
     std::vector<double> polarity;      ///< sign of corr per stream

@@ -26,7 +26,7 @@ ThreadPool::ThreadPool(unsigned num_threads) {
 ThreadPool::~ThreadPool() {
   wait_idle();
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -36,7 +36,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> fn) {
   WB_REQUIRE(static_cast<bool>(fn), "cannot submit an empty task");
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     WB_REQUIRE(!stop_, "cannot submit to a stopping pool");
     const std::size_t target = next_queue_;
     next_queue_ = (next_queue_ + 1) % queues_.size();
@@ -49,7 +49,7 @@ void ThreadPool::submit(std::function<void()> fn) {
     // never acquire mu_ while holding a queue mutex, so the mu_ -> q.mu
     // order here cannot deadlock).
     {
-      const std::lock_guard<std::mutex> qlock(queues_[target]->mu);
+      const util::MutexLock qlock(queues_[target]->mu);
       queues_[target]->tasks.push_back(std::move(fn));
     }
     ++epoch_;
@@ -58,15 +58,19 @@ void ThreadPool::submit(std::function<void()> fn) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+  // Open-coded wait loop: the thread-safety analysis cannot see into a
+  // predicate lambda, but it can see that mu_ is held around each
+  // pending_ read here (condition_variable_any unlocks/relocks mu_
+  // itself inside wait()).
+  const util::MutexLock lock(mu_);
+  while (pending_ != 0) idle_cv_.wait(mu_);
 }
 
 std::function<void()> ThreadPool::grab_task(std::size_t self) {
   // Own queue first, newest task (back) for cache warmth...
   {
     WorkerQueue& q = *queues_[self];
-    const std::lock_guard<std::mutex> lock(q.mu);
+    const util::MutexLock lock(q.mu);
     if (!q.tasks.empty()) {
       auto fn = std::move(q.tasks.back());
       q.tasks.pop_back();
@@ -76,7 +80,7 @@ std::function<void()> ThreadPool::grab_task(std::size_t self) {
   // ...then steal the oldest task (front) from the next busy victim.
   for (std::size_t off = 1; off < queues_.size(); ++off) {
     WorkerQueue& q = *queues_[(self + off) % queues_.size()];
-    const std::lock_guard<std::mutex> lock(q.mu);
+    const util::MutexLock lock(q.mu);
     if (!q.tasks.empty()) {
       auto fn = std::move(q.tasks.front());
       q.tasks.pop_front();
@@ -90,14 +94,14 @@ void ThreadPool::worker_loop(std::size_t self) {
   for (;;) {
     std::uint64_t seen_epoch = 0;
     {
-      const std::lock_guard<std::mutex> lock(mu_);
+      const util::MutexLock lock(mu_);
       seen_epoch = epoch_;
     }
     if (auto fn = grab_task(self)) {
       fn();
       bool now_idle = false;
       {
-        const std::lock_guard<std::mutex> lock(mu_);
+        const util::MutexLock lock(mu_);
         now_idle = (--pending_ == 0);
       }
       if (now_idle) idle_cv_.notify_all();
@@ -106,10 +110,8 @@ void ThreadPool::worker_loop(std::size_t self) {
     // Saw every queue empty at `seen_epoch`; sleep until either stop or a
     // submission bumps the epoch (re-scan then — the new task may have
     // been grabbed by someone else, which is fine, we just loop).
-    std::unique_lock<std::mutex> lock(mu_);
-    work_cv_.wait(lock, [this, seen_epoch] {
-      return stop_ || epoch_ != seen_epoch;
-    });
+    const util::MutexLock lock(mu_);
+    while (!stop_ && epoch_ == seen_epoch) work_cv_.wait(mu_);
     if (stop_) return;
   }
 }

@@ -21,9 +21,10 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace wb::runner {
 
@@ -57,8 +58,8 @@ class ThreadPool {
 
  private:
   struct WorkerQueue {
-    std::mutex mu;
-    std::deque<std::function<void()>> tasks;
+    util::Mutex mu;
+    std::deque<std::function<void()>> tasks WB_GUARDED_BY(mu);
   };
 
   void worker_loop(std::size_t self);
@@ -70,13 +71,14 @@ class ThreadPool {
   // Sleep/wake machinery: `epoch_` counts submissions so a worker that saw
   // empty queues can tell "nothing new arrived" from "I lost a race";
   // `pending_` counts submitted-but-unfinished tasks for wait_idle().
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable idle_cv_;
-  std::uint64_t epoch_ = 0;
-  std::size_t pending_ = 0;
-  bool stop_ = false;
-  std::size_t next_queue_ = 0;  ///< round-robin submission target
+  util::Mutex mu_;
+  std::condition_variable_any work_cv_;  // _any: waits on util::Mutex
+  std::condition_variable_any idle_cv_;
+  std::uint64_t epoch_ WB_GUARDED_BY(mu_) = 0;
+  std::size_t pending_ WB_GUARDED_BY(mu_) = 0;
+  bool stop_ WB_GUARDED_BY(mu_) = false;
+  /// Round-robin submission target.
+  std::size_t next_queue_ WB_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace wb::runner

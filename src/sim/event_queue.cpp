@@ -22,7 +22,7 @@ std::uint64_t EventQueue::schedule_at(TimeUs at, EventFn fn) {
 }
 
 std::uint64_t EventQueue::schedule_in(TimeUs delay, EventFn fn) {
-  WB_REQUIRE(delay >= 0, "delay must be non-negative");
+  WB_REQUIRE(delay >= TimeUs{}, "delay must be non-negative");
   return schedule_at(now_ + delay, std::move(fn));
 }
 

@@ -74,7 +74,7 @@ class EventQueue {
   /// Advances the clock and fires `e` (shared tail of run/step).
   void fire(const Entry& e);
 
-  TimeUs now_ = 0;
+  TimeUs now_{0};
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_id_ = 1;
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;

@@ -10,7 +10,7 @@ namespace wb::tag {
 EnergyDetector::EnergyDetector(const EnergyDetectorParams& params,
                                sim::RngStream rng)
     : params_(params), rng_(rng),
-      noise_mw_(dbm_to_mw(params.noise_floor_dbm)) {
+      noise_mw_(params.noise_floor_dbm.to_mw().value()) {
   WB_REQUIRE(params.smooth_tau_us > 0.0,
              "RC smoothing time constant must be positive");
   WB_REQUIRE(params.peak_decay_tau_us > 0.0,
@@ -22,14 +22,15 @@ EnergyDetector::EnergyDetector(const EnergyDetectorParams& params,
              "energy budgets must be non-negative");
 }
 
-bool EnergyDetector::step(double dt_us, double power_mw) {
+bool EnergyDetector::step(double dt_us, Milliwatts power_mw) {
   WB_REQUIRE(dt_us > 0.0, "time step must be positive");
-  WB_REQUIRE(power_mw >= 0.0, "instantaneous power cannot be negative");
+  WB_REQUIRE(power_mw >= Milliwatts{},
+             "instantaneous power cannot be negative");
   // Square-law diode: output voltage proportional to input power, riding
   // on the detector's input-referred noise. Noise is one-sided-ish in a
   // real diode; we use |power + n| with Gaussian n of sigma = noise floor.
   const double noisy =
-      std::abs(power_mw + rng_.normal(0.0, noise_mw_));
+      std::abs(power_mw.value() + rng_.normal(0.0, noise_mw_));
 
   // RC low-pass smoothing of the detected envelope.
   const double a = 1.0 - std::exp(-dt_us / params_.smooth_tau_us);
@@ -62,7 +63,7 @@ void EnergyDetector::idle(double gap_us) {
   double remaining = gap_us;
   while (remaining > 0.0) {
     const double dt = std::min(kCoarseStepUs, remaining);
-    step(dt, 0.0);
+    step(dt, Milliwatts{});
     remaining -= dt;
   }
 }

@@ -27,10 +27,10 @@
 namespace wb::tag {
 
 struct EnergyDetectorParams {
-  /// Input-referred noise of the detector, dBm. This is the knob that sets
+  /// Input-referred noise of the detector. This is the knob that sets
   /// the downlink range: packets whose received power is near or below it
   /// disappear into the diode noise.
-  double noise_floor_dbm = -37.5;
+  Dbm noise_floor_dbm{-37.5};
 
   /// RC time constant of the envelope smoother, microseconds. Larger =
   /// less OFDM flicker but slower edges — this is what makes 50 us packets
@@ -63,7 +63,7 @@ class EnergyDetector {
   /// `power_mw` over the step; returns the comparator output after the
   /// step. dt_us may vary call-to-call (the simulator samples finely
   /// around packets and coarsely in silence).
-  bool step(double dt_us, double power_mw);
+  bool step(double dt_us, Milliwatts power_mw);
 
   /// Idle the circuit for a long gap (no signal, only noise). Equivalent
   /// to many step() calls with noise-only input but O(gap/coarse_step).

@@ -8,25 +8,25 @@
 
 namespace wb::tag {
 
-double incident_power_dbm(double tx_dbm, double d_m, double ref_loss_db) {
-  WB_REQUIRE(d_m > 0.0, "distance must be positive");
-  const double d = std::max(d_m, 0.05);
-  return tx_dbm - (ref_loss_db + 20.0 * std::log10(d));
+Dbm incident_power_dbm(Dbm tx_dbm, Meters d_m, Db ref_loss_db) {
+  WB_REQUIRE(d_m > Meters{}, "distance must be positive");
+  const double d = std::max(d_m.value(), 0.05);
+  return tx_dbm - (ref_loss_db + Db{amplitude_ratio_to_db(d)});
 }
 
-double tv_incident_power_dbm(double tower_erp_dbm, double d_km) {
+Dbm tv_incident_power_dbm(Dbm tower_erp_dbm, double d_km) {
   WB_REQUIRE(d_km > 0.0, "distance must be positive");
   // ~600 MHz free-space reference loss at 1 m is ~28 dB; TV propagation
   // over km adds terrain/clutter, folded into an exponent of 2.4.
   const double d_m = std::max(d_km * 1000.0, 1.0);
-  return tower_erp_dbm - (28.0 + 24.0 * std::log10(d_m));
+  return tower_erp_dbm - Db{28.0 + 24.0 * std::log10(d_m)};
 }
 
-double Harvester::harvested_uw(double incident_dbm) const {
+double Harvester::harvested_uw(Dbm incident_dbm) const {
   WB_REQUIRE(params_.efficiency > 0.0 && params_.efficiency <= 1.0);
   WB_REQUIRE(params_.source_duty >= 0.0 && params_.source_duty <= 1.0);
   const double in_mw =
-      dbm_to_mw(incident_dbm + params_.antenna_gain_db) *
+      (incident_dbm + params_.antenna_gain_db).to_mw().value() *
       params_.source_duty;
   return in_mw * params_.efficiency * 1e3;  // mW -> uW
 }

@@ -18,9 +18,9 @@ struct HarvesterParams {
   /// tag sees (SMS7630-class diodes reach 10-20% there).
   double efficiency = 0.15;
 
-  /// Effective antenna aperture gain for harvesting, dB (the patch array
+  /// Effective antenna aperture gain for harvesting (the patch array
   /// was designed for the 2.4 GHz band).
-  double antenna_gain_db = 6.0;
+  Db antenna_gain_db{6.0};
 
   /// Storage capacitor, farads; sets how long bursts can be sustained.
   double storage_cap_f = 100e-6;
@@ -34,22 +34,21 @@ struct HarvesterParams {
   double source_duty = 1.0;
 };
 
-/// Power delivered to the incident wavefront at the tag, dBm, for a
+/// Power delivered to the incident wavefront at the tag, for a
 /// transmitter EIRP `tx_dbm` at distance `d_m` with path-loss exponent 2
 /// (free space, 40 dB at 1 m reference for 2.4 GHz).
-double incident_power_dbm(double tx_dbm, double d_m,
-                          double ref_loss_db = 40.0);
+Dbm incident_power_dbm(Dbm tx_dbm, Meters d_m, Db ref_loss_db = Db{40.0});
 
 /// TV-band incident power at a given distance from a broadcast tower.
 /// TV towers radiate ~1 MW EIRP around 600 MHz (ref loss ~28 dB at 1 m).
-double tv_incident_power_dbm(double tower_erp_dbm, double d_km);
+Dbm tv_incident_power_dbm(Dbm tower_erp_dbm, double d_km);
 
 class Harvester {
  public:
   explicit Harvester(const HarvesterParams& params) : params_(params) {}
 
-  /// DC power harvested (microwatts) from an incident RF power in dBm.
-  double harvested_uw(double incident_dbm) const;
+  /// DC power harvested (microwatts) from an incident RF power.
+  double harvested_uw(Dbm incident_dbm) const;
 
   /// Largest duty cycle (0..1) at which a load of `load_uw` can run
   /// sustainably from the given harvested power (clipped to 1).

@@ -35,7 +35,7 @@ Mcu::Mcu(McuParams params) : params_(std::move(params)) {
   WB_REQUIRE(!params_.preamble.empty());
   WB_REQUIRE(params_.preamble.front() == 1,
              "preamble must start with a packet (rising edge)");
-  WB_REQUIRE(params_.bit_duration_us > 0);
+  WB_REQUIRE(params_.bit_duration_us > TimeUs{});
   WB_REQUIRE(params_.payload_bits > 0);
   WB_REQUIRE(params_.interval_tolerance >= 0.0 &&
              params_.interval_tolerance < 1.0);
@@ -45,11 +45,11 @@ Mcu::Mcu(McuParams params) : params_(std::move(params)) {
   // not guaranteed).
   run_template_.reserve(runs.size() - 1);
   for (std::size_t i = 0; i + 1 < runs.size(); ++i) {
-    run_template_.push_back(static_cast<TimeUs>(runs[i]) *
-                            params_.bit_duration_us);
+    run_template_.push_back(
+        params_.bit_duration_us * static_cast<std::int64_t>(runs[i]));
   }
   last_run_us_ =
-      static_cast<TimeUs>(runs.back()) * params_.bit_duration_us;
+      params_.bit_duration_us * static_cast<std::int64_t>(runs.back());
   WB_ENSURE(!run_template_.empty(),
             "preamble needs at least two runs to be matchable");
 }
@@ -77,7 +77,7 @@ void Mcu::on_transition(TimeUs t, bool level) {
     m->counter("tag.mcu.wakeups_total").add(1);
   }
 
-  if (last_transition_ >= 0) {
+  if (last_transition_ >= TimeUs{}) {
     recent_intervals_.push_back(t - last_transition_);
     if (recent_intervals_.size() > run_template_.size()) {
       recent_intervals_.erase(recent_intervals_.begin());
@@ -86,8 +86,8 @@ void Mcu::on_transition(TimeUs t, bool level) {
       bool match = true;
       for (std::size_t i = 0; i < run_template_.size(); ++i) {
         const double expected =
-            static_cast<double>(run_template_[i]);
-        const double got = static_cast<double>(recent_intervals_[i]);
+            static_cast<double>(run_template_[i].ticks());
+        const double got = static_cast<double>(recent_intervals_[i].ticks());
         if (std::abs(got - expected) >
             params_.interval_tolerance * expected) {
           match = false;
@@ -127,7 +127,7 @@ void Mcu::enter_decode_mode(TimeUs payload_start) {
 std::optional<TimeUs> Mcu::next_sample_time() const {
   if (state_ != State::kDecoding) return std::nullopt;
   return payload_start_ +
-         static_cast<TimeUs>(next_bit_) * params_.bit_duration_us +
+         params_.bit_duration_us * static_cast<std::int64_t>(next_bit_) +
          params_.bit_duration_us / 2;
 }
 
@@ -143,7 +143,7 @@ void Mcu::on_sample(TimeUs t, bool level) {
     spend_active(params_.power.decode_us);
     decoded_.push_back(McuDecodeResult{payload_start_, bits_});
     state_ = State::kPreambleDetect;
-    last_transition_ = -1;
+    last_transition_ = TimeUs{-1};
     if (auto* m = obs::metrics()) {
       m->counter("tag.mcu.frames_decoded_total").add(1);
     }
@@ -151,9 +151,9 @@ void Mcu::on_sample(TimeUs t, bool level) {
 }
 
 double Mcu::energy_uj(TimeUs now) const {
-  const TimeUs since = genesis_set_ ? now - genesis_ : 0;
+  const TimeUs since = genesis_set_ ? now - genesis_ : TimeUs{};
   const double sleep_uj =
-      params_.power.sleep_uw * static_cast<double>(since) * 1e-6;
+      params_.power.sleep_uw * static_cast<double>(since.ticks()) * 1e-6;
   return active_energy_uj_ + sleep_uj;
 }
 

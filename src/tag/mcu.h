@@ -41,7 +41,7 @@ struct McuParams {
   BitVec preamble;
 
   /// Downlink bit (slot) duration: one Wi-Fi packet or one equal silence.
-  TimeUs bit_duration_us = 50;
+  TimeUs bit_duration_us{50};
 
   /// Payload length in bits that follows the preamble (Fig 7: 64-bit
   /// payload including CRC).
@@ -60,7 +60,7 @@ struct McuParams {
 /// One decoded downlink packet (bits as sampled; CRC checking is the
 /// caller's framing concern).
 struct McuDecodeResult {
-  TimeUs payload_start_us = 0;
+  TimeUs payload_start_us{0};
   BitVec payload;
 };
 
@@ -104,13 +104,13 @@ class Mcu {
 
   McuParams params_;
   std::vector<TimeUs> run_template_;  ///< expected preamble run intervals
-  TimeUs last_run_us_ = 0;            ///< duration of the final preamble run
+  TimeUs last_run_us_{0};            ///< duration of the final preamble run
 
   State state_ = State::kPreambleDetect;
   std::vector<TimeUs> recent_intervals_;
-  TimeUs last_transition_ = -1;
+  TimeUs last_transition_{-1};
 
-  TimeUs payload_start_ = 0;
+  TimeUs payload_start_{0};
   std::size_t next_bit_ = 0;
   BitVec bits_;
 
@@ -118,7 +118,7 @@ class Mcu {
   std::uint64_t decode_entries_ = 0;
 
   double active_energy_uj_ = 0.0;
-  TimeUs genesis_ = 0;
+  TimeUs genesis_{0};
   bool genesis_set_ = false;
 };
 

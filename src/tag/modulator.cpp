@@ -9,7 +9,7 @@ Modulator::Modulator(BitVec frame, TimeUs bit_duration, TimeUs start_time)
       chips_(frame_),
       chip_duration_(bit_duration),
       start_(start_time) {
-  WB_REQUIRE(chip_duration_ > 0, "bit duration must be positive");
+  WB_REQUIRE(chip_duration_ > TimeUs{}, "bit duration must be positive");
   WB_REQUIRE(is_binary(frame_));
 }
 
@@ -18,7 +18,7 @@ Modulator::Modulator(BitVec frame, const OrthogonalCodePair& codes,
     : frame_(std::move(frame)),
       chip_duration_(chip_duration),
       start_(start_time) {
-  WB_REQUIRE(chip_duration_ > 0, "chip duration must be positive");
+  WB_REQUIRE(chip_duration_ > TimeUs{}, "chip duration must be positive");
   WB_REQUIRE(is_binary(frame_));
   WB_REQUIRE(codes.length() >= 2,
              "orthogonal codes need at least two chips");
@@ -42,7 +42,8 @@ bool Modulator::active_at(TimeUs t) const {
 
 double Modulator::frame_energy_uj(const ModulatorPower& p) const {
   const double seconds =
-      static_cast<double>(duration()) / static_cast<double>(kMicrosPerSec);
+      static_cast<double>(duration().ticks()) /
+      static_cast<double>(kMicrosPerSec.ticks());
   return p.active_uw * seconds;  // uW * s == uJ
 }
 

@@ -50,7 +50,7 @@ class Modulator {
   TimeUs start_time() const { return start_; }
   TimeUs end_time() const { return start_ + duration(); }
   TimeUs duration() const {
-    return static_cast<TimeUs>(chips_.size()) * chip_duration_;
+    return chip_duration_ * static_cast<std::int64_t>(chips_.size());
   }
   TimeUs chip_duration() const { return chip_duration_; }
   const BitVec& chip_sequence() const { return chips_; }

@@ -26,8 +26,8 @@ PowerManager::PowerManager(const PowerManagerParams& p) : params_(p) {
 }
 
 void PowerManager::account(TimeUs dt, double load_uw) {
-  WB_REQUIRE(dt >= 0, "time cannot run backwards");
-  const double seconds = static_cast<double>(dt) * 1e-6;
+  WB_REQUIRE(dt >= TimeUs{}, "time cannot run backwards");
+  const double seconds = static_cast<double>(dt.ticks()) * 1e-6;
   const double in = harvest_uw_ * seconds;
   const double out = load_uw * seconds;
   harvested_uj_ += in;
@@ -36,7 +36,8 @@ void PowerManager::account(TimeUs dt, double load_uw) {
   update_brownout();
   WB_ENSURE(stored_uj_ >= 0.0 && stored_uj_ <= capacity_uj_);
   if (auto* m = obs::metrics()) {
-    m->counter("tag.power.accounted_us").add(static_cast<std::uint64_t>(dt));
+    m->counter("tag.power.accounted_us")
+        .add(static_cast<std::uint64_t>(dt.ticks()));
     m->gauge("tag.power.harvested_uj").set(harvested_uj_);
     m->gauge("tag.power.spent_uj").set(spent_uj_);
     m->gauge("tag.power.stored_uj").set(stored_uj_);

@@ -19,8 +19,8 @@ namespace wb::tag {
 struct PowerManagerParams {
   HarvesterParams harvester{};
 
-  /// Incident RF power at the tag, dBm (from the ambient source mix).
-  double incident_dbm = -14.0;  // ~30 cm from a +16 dBm transmitter
+  /// Incident RF power at the tag (from the ambient source mix).
+  Dbm incident_dbm{-14.0};  // ~30 cm from a +16 dBm transmitter
 
   /// Continuous draw while "listening": energy detector + MCU sleep, uW.
   double idle_load_uw = 1.5;

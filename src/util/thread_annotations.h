@@ -1,0 +1,76 @@
+// Clang thread-safety capability annotations and the annotated locking
+// primitives built on them.
+//
+// Under clang, `-Wthread-safety` statically proves that every access to a
+// WB_GUARDED_BY member happens while its mutex is held (the CI clang job
+// and scripts/check.sh's clang step build with it promoted to an error).
+// Under gcc — the primary toolchain — every macro expands to nothing and
+// wb::util::Mutex/MutexLock behave exactly like std::mutex/lock_guard.
+//
+// The std types themselves cannot be annotated portably (libstdc++ carries
+// no capability attributes, and libc++ hides them behind a config macro),
+// which is why the thin wrappers below exist: they are the repo's locking
+// vocabulary wherever analysis matters (src/runner/, src/obs/).
+// Condition-variable users pair Mutex with std::condition_variable_any,
+// which accepts any BasicLockable.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define WB_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef WB_THREAD_ANNOTATION
+#define WB_THREAD_ANNOTATION(x)
+#endif
+
+#define WB_CAPABILITY(x) WB_THREAD_ANNOTATION(capability(x))
+#define WB_SCOPED_CAPABILITY WB_THREAD_ANNOTATION(scoped_lockable)
+#define WB_GUARDED_BY(x) WB_THREAD_ANNOTATION(guarded_by(x))
+#define WB_PT_GUARDED_BY(x) WB_THREAD_ANNOTATION(pt_guarded_by(x))
+#define WB_REQUIRES(...) \
+  WB_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define WB_ACQUIRE(...) \
+  WB_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define WB_RELEASE(...) \
+  WB_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define WB_TRY_ACQUIRE(...) \
+  WB_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define WB_EXCLUDES(...) WB_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define WB_NO_THREAD_SAFETY_ANALYSIS \
+  WB_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace wb::util {
+
+/// std::mutex with a capability annotation so WB_GUARDED_BY members can
+/// name it. Meets BasicLockable/Lockable, so std::scoped_lock and
+/// std::condition_variable_any take it directly.
+class WB_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() WB_ACQUIRE() { mu_.lock(); }
+  void unlock() WB_RELEASE() { mu_.unlock(); }
+  bool try_lock() WB_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock of a Mutex (std::lock_guard shape, annotation-aware).
+class WB_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) WB_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() WB_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace wb::util

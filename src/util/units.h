@@ -1,22 +1,53 @@
-// Physical-unit helpers shared across the Wi-Fi Backscatter simulator.
+// Physical units for the Wi-Fi Backscatter simulator: strong types with
+// explicit constructors and only physically meaningful operators, so a
+// dB-vs-linear or microsecond-vs-millisecond mixup is a compile error
+// instead of a silently corrupted figure.
 //
 // Conventions used throughout the codebase:
-//   * time      : microseconds as int64_t (sim ticks) unless noted otherwise
-//   * power     : milliwatts (linear) or dBm, always named explicitly
-//   * distance  : meters (double)
-//   * frequency : Hz (double)
+//   * time      : TimeUs — integer microsecond sim ticks (strong int64_t)
+//   * power     : Milliwatts (linear) or Dbm (log); gains/losses are Db
+//   * distance  : Meters
+//   * frequency : Hertz
+//
+// Operator table (everything else is a compile error; see
+// tests/compile_fail/):
+//   Dbm  + Db   -> Dbm      apply a gain/loss to an absolute power
+//   Dbm  - Db   -> Dbm
+//   Dbm  - Dbm  -> Db       power ratio between two absolute levels
+//   Db   ± Db   -> Db       cascade gains/losses
+//   Db   * k    -> Db       scale a per-unit loss (k walls, n decades)
+//   Mw   ± Mw   -> Mw       linear powers add (MRC combining)
+//   Mw   * k, Mw / k -> Mw
+//   Mw   / Mw   -> double   linear power ratio
+//   Meters/Hertz: ± within type, scale by double, ratio within type
+//   TimeUs ± TimeUs -> TimeUs; TimeUs * n, TimeUs / n (integral n);
+//   TimeUs / TimeUs -> int64 (count); TimeUs % TimeUs -> TimeUs
+//
+// Conversions are explicit and all live here (the wb_analyze `units`
+// family forbids inline pow/log10 dB math elsewhere):
+//   Dbm::to_mw(), Milliwatts::to_dbm(), Db::to_ratio(),
+//   Db::to_amplitude(), Db::from_ratio(), Db::from_amplitude(),
+//   Hertz::wavelength(), TimeUs::seconds().
+// The raw-double helpers (dbm_to_mw & co) remain for internal math on
+// unwrapped values; the strong members delegate to them, so typed and raw
+// paths are bit-identical.
+//
+// Zero cost: every type is one double/int64_t with constexpr inline
+// members — codegen is identical to the raw scalar (the Release perf gate
+// and byte-identical fig artifacts pin this).
 #pragma once
 
 #include <cmath>
+#include <compare>
 #include <cstdint>
+#include <limits>
+#include <ostream>
+#include <type_traits>
 
 namespace wb {
+namespace units {
 
-/// Simulation time in microseconds. 64-bit: ~292k years of range.
-using TimeUs = std::int64_t;
-
-inline constexpr TimeUs kMicrosPerMilli = 1'000;
-inline constexpr TimeUs kMicrosPerSec = 1'000'000;
+// ---- raw-double conversion helpers (the only home of dB math) ----
 
 /// Convert a linear power in milliwatts to dBm. `mw` must be > 0.
 inline double mw_to_dbm(double mw) { return 10.0 * std::log10(mw); }
@@ -27,20 +58,342 @@ inline double dbm_to_mw(double dbm) { return std::pow(10.0, dbm / 10.0); }
 /// Convert a linear power ratio to decibels. `ratio` must be > 0.
 inline double ratio_to_db(double ratio) { return 10.0 * std::log10(ratio); }
 
+/// Convert a linear *amplitude* (voltage) ratio to decibels.
+inline double amplitude_ratio_to_db(double ratio) {
+  return 20.0 * std::log10(ratio);
+}
+
 /// Convert decibels to a linear power ratio.
 inline double db_to_ratio(double db) { return std::pow(10.0, db / 10.0); }
 
 /// Convert decibels to a linear *amplitude* (voltage) ratio.
 inline double db_to_amplitude(double db) { return std::pow(10.0, db / 20.0); }
 
+// ---- strong types ----
+
+class Dbm;
+class Milliwatts;
+
+/// A relative power gain or loss in decibels (log domain).
+class Db {
+ public:
+  constexpr Db() = default;
+  explicit constexpr Db(double db) : v_(db) {}
+
+  constexpr double value() const { return v_; }
+
+  /// Linear power ratio 10^(db/10).
+  double to_ratio() const { return db_to_ratio(v_); }
+  /// Linear amplitude (voltage) ratio 10^(db/20).
+  double to_amplitude() const { return db_to_amplitude(v_); }
+  static Db from_ratio(double ratio) { return Db{ratio_to_db(ratio)}; }
+  static Db from_amplitude(double ratio) {
+    return Db{amplitude_ratio_to_db(ratio)};
+  }
+
+  friend constexpr Db operator+(Db a, Db b) { return Db{a.v_ + b.v_}; }
+  friend constexpr Db operator-(Db a, Db b) { return Db{a.v_ - b.v_}; }
+  friend constexpr Db operator-(Db a) { return Db{-a.v_}; }
+  friend constexpr Db operator*(Db a, double k) { return Db{a.v_ * k}; }
+  friend constexpr Db operator*(double k, Db a) { return Db{k * a.v_}; }
+  friend constexpr Db operator/(Db a, double k) { return Db{a.v_ / k}; }
+  constexpr Db& operator+=(Db o) { v_ += o.v_; return *this; }
+  constexpr Db& operator-=(Db o) { v_ -= o.v_; return *this; }
+
+  friend constexpr auto operator<=>(Db, Db) = default;
+  friend std::ostream& operator<<(std::ostream& os, Db x) {
+    return os << x.v_ << " dB";
+  }
+
+ private:
+  double v_ = 0.0;
+};
+
+/// An absolute power level in dBm (log domain, referenced to 1 mW).
+class Dbm {
+ public:
+  constexpr Dbm() = default;
+  explicit constexpr Dbm(double dbm) : v_(dbm) {}
+
+  constexpr double value() const { return v_; }
+
+  /// Linear power, milliwatts. Defined after Milliwatts.
+  inline Milliwatts to_mw() const;
+
+  // Absolute powers shift by gains; they do not add to each other
+  // (Dbm + Dbm is a compile error — combine in Milliwatts instead).
+  friend constexpr Dbm operator+(Dbm a, Db g) { return Dbm{a.v_ + g.value()}; }
+  friend constexpr Dbm operator+(Db g, Dbm a) { return Dbm{g.value() + a.v_}; }
+  friend constexpr Dbm operator-(Dbm a, Db g) { return Dbm{a.v_ - g.value()}; }
+  friend constexpr Db operator-(Dbm a, Dbm b) { return Db{a.v_ - b.v_}; }
+  constexpr Dbm& operator+=(Db g) { v_ += g.value(); return *this; }
+  constexpr Dbm& operator-=(Db g) { v_ -= g.value(); return *this; }
+
+  friend constexpr auto operator<=>(Dbm, Dbm) = default;
+  friend std::ostream& operator<<(std::ostream& os, Dbm x) {
+    return os << x.v_ << " dBm";
+  }
+
+ private:
+  double v_ = 0.0;
+};
+
+/// Linear power in milliwatts. Linear powers add (MRC, superposition).
+class Milliwatts {
+ public:
+  constexpr Milliwatts() = default;
+  explicit constexpr Milliwatts(double mw) : v_(mw) {}
+
+  constexpr double value() const { return v_; }
+
+  /// Log-domain absolute power; value() must be > 0.
+  Dbm to_dbm() const { return Dbm{mw_to_dbm(v_)}; }
+
+  friend constexpr Milliwatts operator+(Milliwatts a, Milliwatts b) {
+    return Milliwatts{a.v_ + b.v_};
+  }
+  friend constexpr Milliwatts operator-(Milliwatts a, Milliwatts b) {
+    return Milliwatts{a.v_ - b.v_};
+  }
+  friend constexpr Milliwatts operator*(Milliwatts a, double k) {
+    return Milliwatts{a.v_ * k};
+  }
+  friend constexpr Milliwatts operator*(double k, Milliwatts a) {
+    return Milliwatts{k * a.v_};
+  }
+  friend constexpr Milliwatts operator/(Milliwatts a, double k) {
+    return Milliwatts{a.v_ / k};
+  }
+  friend constexpr double operator/(Milliwatts a, Milliwatts b) {
+    return a.v_ / b.v_;
+  }
+  constexpr Milliwatts& operator+=(Milliwatts o) { v_ += o.v_; return *this; }
+  constexpr Milliwatts& operator-=(Milliwatts o) { v_ -= o.v_; return *this; }
+
+  friend constexpr auto operator<=>(Milliwatts, Milliwatts) = default;
+  friend std::ostream& operator<<(std::ostream& os, Milliwatts x) {
+    return os << x.v_ << " mW";
+  }
+
+ private:
+  double v_ = 0.0;
+};
+
+inline Milliwatts Dbm::to_mw() const { return Milliwatts{dbm_to_mw(v_)}; }
+
+/// Distance in meters.
+class Meters {
+ public:
+  constexpr Meters() = default;
+  explicit constexpr Meters(double m) : v_(m) {}
+
+  constexpr double value() const { return v_; }
+
+  friend constexpr Meters operator+(Meters a, Meters b) {
+    return Meters{a.v_ + b.v_};
+  }
+  friend constexpr Meters operator-(Meters a, Meters b) {
+    return Meters{a.v_ - b.v_};
+  }
+  friend constexpr Meters operator*(Meters a, double k) {
+    return Meters{a.v_ * k};
+  }
+  friend constexpr Meters operator*(double k, Meters a) {
+    return Meters{k * a.v_};
+  }
+  friend constexpr Meters operator/(Meters a, double k) {
+    return Meters{a.v_ / k};
+  }
+  friend constexpr double operator/(Meters a, Meters b) { return a.v_ / b.v_; }
+
+  friend constexpr auto operator<=>(Meters, Meters) = default;
+  friend std::ostream& operator<<(std::ostream& os, Meters x) {
+    return os << x.v_ << " m";
+  }
+
+ private:
+  double v_ = 0.0;
+};
+
+/// Frequency in hertz.
+class Hertz {
+ public:
+  constexpr Hertz() = default;
+  explicit constexpr Hertz(double hz) : v_(hz) {}
+
+  constexpr double value() const { return v_; }
+
+  /// Wavelength at this carrier frequency. Defined after kSpeedOfLight.
+  inline Meters wavelength() const;
+
+  friend constexpr Hertz operator+(Hertz a, Hertz b) {
+    return Hertz{a.v_ + b.v_};
+  }
+  friend constexpr Hertz operator-(Hertz a, Hertz b) {
+    return Hertz{a.v_ - b.v_};
+  }
+  friend constexpr Hertz operator*(Hertz a, double k) {
+    return Hertz{a.v_ * k};
+  }
+  friend constexpr Hertz operator*(double k, Hertz a) {
+    return Hertz{k * a.v_};
+  }
+  friend constexpr Hertz operator/(Hertz a, double k) {
+    return Hertz{a.v_ / k};
+  }
+  friend constexpr double operator/(Hertz a, Hertz b) { return a.v_ / b.v_; }
+
+  friend constexpr auto operator<=>(Hertz, Hertz) = default;
+  friend std::ostream& operator<<(std::ostream& os, Hertz x) {
+    return os << x.v_ << " Hz";
+  }
+
+ private:
+  double v_ = 0.0;
+};
+
+/// Simulation time in integer microsecond ticks (strong int64_t: ~292k
+/// years of range). Scaling by a *count* is meaningful (n bits of
+/// duration T); scaling by another time, or implicit conversion from a
+/// raw integer of unknown unit, is not.
+class TimeUs {
+ public:
+  constexpr TimeUs() = default;
+  explicit constexpr TimeUs(std::int64_t ticks) : t_(ticks) {}
+
+  /// The largest representable instant, usable as a "never" sentinel.
+  /// (std::numeric_limits is deliberately NOT specialized: its primary
+  /// template silently returns TimeUs{} for unknown types.)
+  static constexpr TimeUs max() {
+    return TimeUs{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  /// The raw tick count (microseconds).
+  constexpr std::int64_t ticks() const { return t_; }
+  /// This instant/duration in seconds, as a double.
+  constexpr double seconds() const {
+    return static_cast<double>(t_) / 1e6;
+  }
+
+  /// Truncate a fractional microsecond count (an intermediate like
+  /// `1e6 / bit_rate`, not a stored quantity) onto the integer grid.
+  /// Named so the narrowing is a visible, greppable decision.
+  static constexpr TimeUs from_us(double us) {
+    return TimeUs{static_cast<std::int64_t>(us)};
+  }
+
+  friend constexpr TimeUs operator+(TimeUs a, TimeUs b) {
+    return TimeUs{a.t_ + b.t_};
+  }
+  friend constexpr TimeUs operator-(TimeUs a, TimeUs b) {
+    return TimeUs{a.t_ - b.t_};
+  }
+  friend constexpr TimeUs operator-(TimeUs a) { return TimeUs{-a.t_}; }
+  constexpr TimeUs& operator+=(TimeUs o) { t_ += o.t_; return *this; }
+  constexpr TimeUs& operator-=(TimeUs o) { t_ -= o.t_; return *this; }
+
+  template <class I, class = std::enable_if_t<std::is_integral_v<I>>>
+  friend constexpr TimeUs operator*(TimeUs a, I n) {
+    return TimeUs{a.t_ * static_cast<std::int64_t>(n)};
+  }
+  template <class I, class = std::enable_if_t<std::is_integral_v<I>>>
+  friend constexpr TimeUs operator*(I n, TimeUs a) {
+    return TimeUs{static_cast<std::int64_t>(n) * a.t_};
+  }
+  template <class I, class = std::enable_if_t<std::is_integral_v<I>>>
+  friend constexpr TimeUs operator/(TimeUs a, I n) {
+    return TimeUs{a.t_ / static_cast<std::int64_t>(n)};
+  }
+  /// How many `b`-long intervals fit in `a` (dimensionless count).
+  friend constexpr std::int64_t operator/(TimeUs a, TimeUs b) {
+    return a.t_ / b.t_;
+  }
+  friend constexpr TimeUs operator%(TimeUs a, TimeUs b) {
+    return TimeUs{a.t_ % b.t_};
+  }
+
+  friend constexpr auto operator<=>(TimeUs, TimeUs) = default;
+  friend std::ostream& operator<<(std::ostream& os, TimeUs x) {
+    return os << x.t_ << " us";
+  }
+
+ private:
+  std::int64_t t_ = 0;
+};
+
+// ---- literals (400'000_us reads better than TimeUs{400'000}) ----
+
+constexpr TimeUs operator""_us(unsigned long long t) {
+  return TimeUs{static_cast<std::int64_t>(t)};
+}
+constexpr TimeUs operator""_ms(unsigned long long t) {
+  return TimeUs{static_cast<std::int64_t>(t) * 1'000};
+}
+constexpr TimeUs operator""_s(unsigned long long t) {
+  return TimeUs{static_cast<std::int64_t>(t) * 1'000'000};
+}
+constexpr Dbm operator""_dbm(long double v) {
+  return Dbm{static_cast<double>(v)};
+}
+constexpr Db operator""_db(long double v) { return Db{static_cast<double>(v)}; }
+constexpr Milliwatts operator""_mw(long double v) {
+  return Milliwatts{static_cast<double>(v)};
+}
+constexpr Meters operator""_m(long double v) {
+  return Meters{static_cast<double>(v)};
+}
+constexpr Hertz operator""_hz(long double v) {
+  return Hertz{static_cast<double>(v)};
+}
+
+// ---- constants ----
+
+inline constexpr TimeUs kMicrosPerMilli{1'000};
+inline constexpr TimeUs kMicrosPerSec{1'000'000};
+
 /// Speed of light in m/s; used for wavelength computations.
 inline constexpr double kSpeedOfLight = 299'792'458.0;
 
 /// Center frequency of Wi-Fi channel 6 (2.4 GHz ISM band), used by the
 /// paper's prototype for all experiments.
-inline constexpr double kWifiChannel6Hz = 2.437e9;
+inline constexpr Hertz kWifiChannel6{2.437e9};
 
-/// Wavelength at a given carrier frequency, in meters.
+/// Wavelength at a given carrier frequency, in meters (raw-double helper;
+/// the typed path is Hertz::wavelength()).
 inline double wavelength_m(double freq_hz) { return kSpeedOfLight / freq_hz; }
+
+inline Meters Hertz::wavelength() const {
+  return Meters{wavelength_m(v_)};
+}
+
+}  // namespace units
+
+// The units vocabulary is part of wb's core API surface: every module
+// spells wb::TimeUs / wb::Dbm / … unqualified inside namespace wb.
+using units::operator""_us;   // NOLINT(misc-unused-using-decls)
+using units::operator""_ms;   // NOLINT(misc-unused-using-decls)
+using units::operator""_s;    // NOLINT(misc-unused-using-decls)
+using units::operator""_dbm;  // NOLINT(misc-unused-using-decls)
+using units::operator""_db;   // NOLINT(misc-unused-using-decls)
+using units::operator""_mw;   // NOLINT(misc-unused-using-decls)
+using units::operator""_m;    // NOLINT(misc-unused-using-decls)
+using units::operator""_hz;   // NOLINT(misc-unused-using-decls)
+using units::Db;
+using units::Dbm;
+using units::Hertz;
+using units::Meters;
+using units::Milliwatts;
+using units::TimeUs;
+using units::amplitude_ratio_to_db;
+using units::db_to_amplitude;
+using units::db_to_ratio;
+using units::dbm_to_mw;
+using units::kMicrosPerMilli;
+using units::kMicrosPerSec;
+using units::kSpeedOfLight;
+using units::kWifiChannel6;
+using units::mw_to_dbm;
+using units::ratio_to_db;
+using units::wavelength_m;
 
 }  // namespace wb

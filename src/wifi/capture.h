@@ -16,7 +16,7 @@ namespace wb::wifi {
 /// Per-packet measurement record, modelled on the output of the Intel 5300
 /// CSI tool (timestamp, 30 sub-channel amplitudes x 3 antennas, RSSI).
 struct CaptureRecord {
-  TimeUs timestamp_us = 0;     ///< MAC timestamp from the packet header
+  TimeUs timestamp_us{0};     ///< MAC timestamp from the packet header
   std::uint32_t source = 0;    ///< transmitter station id (from the header)
   bool has_csi = true;         ///< beacons lack CSI on the paper's NIC
 

@@ -16,12 +16,12 @@ LinkSimResult run_link_sim(const LinkSimConfig& cfg, TimeUs duration) {
   LinkSimResult res;
 
   const TimeUs tag_half_period_us =
-      cfg.tag_depth_db > 0.0
-          ? static_cast<TimeUs>(5e5 / cfg.tag_bit_rate_bps)
-          : 0;
+      cfg.tag_depth_db > Db{}
+          ? TimeUs{static_cast<std::int64_t>(5e5 / cfg.tag_bit_rate_bps)}
+          : TimeUs{};
 
   double t = 0.0;
-  const double end = static_cast<double>(duration);
+  const double end = static_cast<double>(duration.ticks());
   const double interval_us = 500'000.0;
   double interval_end = interval_us;
   double interval_bits = 0.0;
@@ -42,18 +42,20 @@ LinkSimResult run_link_sim(const LinkSimConfig& cfg, TimeUs duration) {
     const double rate = adapter.current_rate_mbps();
     rate_stats.push(rate);
     const double airtime =
-        static_cast<double>(airtime_us(cfg.payload_bytes, rate));
+        static_cast<double>(airtime_us(cfg.payload_bytes, rate).ticks());
 
     // Tag square wave: the reflection alternately adds and removes a
     // small amount of multipath energy.
-    double tag_term = 0.0;
-    if (tag_half_period_us > 0) {
+    Db tag_term{};
+    if (tag_half_period_us > TimeUs{}) {
       const bool phase =
-          (static_cast<TimeUs>(t) / tag_half_period_us) % 2 == 0;
+          (TimeUs{static_cast<std::int64_t>(t)} / tag_half_period_us) % 2 ==
+          0;
       tag_term = phase ? cfg.tag_depth_db : -cfg.tag_depth_db;
     }
-    const double snr = cfg.base_snr_db +
-                       rng_fade.normal(0.0, cfg.snr_jitter_db) + tag_term;
+    const Db snr =
+        cfg.base_snr_db +
+        Db{rng_fade.normal(0.0, cfg.snr_jitter_db.value())} + tag_term;
     const bool ok =
         !rng_loss.chance(packet_error_rate(snr, rate, cfg.payload_bytes));
     adapter.on_result(ok);

@@ -22,14 +22,14 @@ namespace wb::wifi {
 
 struct LinkSimConfig {
   /// Mean SNR of the transmitter->receiver link, dB.
-  double base_snr_db = 28.0;
+  Db base_snr_db{28.0};
 
   /// Fast-fading jitter on per-packet SNR, dB std-dev.
-  double snr_jitter_db = 1.5;
+  Db snr_jitter_db{1.5};
 
   /// Peak SNR perturbation caused by the tag's reflection, dB (0 = no
   /// tag). The tag alternates the channel between +depth and -depth.
-  double tag_depth_db = 0.0;
+  Db tag_depth_db{0.0};
 
   /// Tag bit rate driving the square wave, bits/s (ignored at depth 0).
   double tag_bit_rate_bps = 100.0;

@@ -28,7 +28,7 @@ void DcfMac::enqueue(std::uint32_t station, TimeUs arrival,
   auto& s = stations_.at(station);
   WB_REQUIRE(s.queue.empty() || s.queue.back().arrival <= arrival,
              "packet arrivals must be in time order");
-  s.queue.push_back(Pending{arrival, size, rate_mbps, false, 0});
+  s.queue.push_back(Pending{arrival, size, rate_mbps, false, TimeUs{}});
   ++s.stats.enqueued;
 }
 
@@ -37,8 +37,8 @@ void DcfMac::enqueue_poisson(std::uint32_t station, double pps,
                              double rate_mbps, sim::RngStream& rng) {
   WB_REQUIRE(pps > 0.0, "packet rate must be positive");
   double t = rng.exponential(1e6 / pps);
-  while (t < static_cast<double>(duration)) {
-    enqueue(station, static_cast<TimeUs>(t), size, rate_mbps);
+  while (t < static_cast<double>(duration.ticks())) {
+    enqueue(station, TimeUs{static_cast<std::int64_t>(t)}, size, rate_mbps);
     t += rng.exponential(1e6 / pps);
   }
 }
@@ -82,7 +82,7 @@ void DcfMac::pop_frame(Station& s) {
 }
 
 TimeUs DcfMac::next_arrival_after(TimeUs t) const {
-  TimeUs best = std::numeric_limits<TimeUs>::max();
+  TimeUs best = TimeUs::max();
   for (const auto& s : stations_) {
     if (s.saturated) return t;  // always ready
     if (s.head < s.queue.size()) {
@@ -104,7 +104,7 @@ void DcfMac::run_until(TimeUs until) {
     }
     if (eligible.empty()) {
       const TimeUs next = next_arrival_after(contention_start);
-      if (next >= until || next == std::numeric_limits<TimeUs>::max()) {
+      if (next >= until || next == TimeUs::max()) {
         now_ = until;
         return;
       }
@@ -125,7 +125,7 @@ void DcfMac::run_until(TimeUs until) {
       min_backoff = std::min(min_backoff, *stations_[i].backoff);
     }
     const TimeUs tx_time =
-        contention_start + static_cast<TimeUs>(min_backoff) * kSlotUs;
+        contention_start + kSlotUs * static_cast<std::int64_t>(min_backoff);
     if (tx_time >= until) {
       now_ = until;
       return;
@@ -143,7 +143,7 @@ void DcfMac::run_until(TimeUs until) {
 
     // Transmit: single winner succeeds, several collide.
     const bool collision = winners.size() > 1;
-    TimeUs longest_air = 0;
+    TimeUs longest_air{0};
     for (std::size_t i : winners) {
       auto& s = stations_[i];
       const Pending frame = frame_of(s, tx_time);
@@ -210,7 +210,7 @@ void DcfMac::run_until(TimeUs until) {
     airtime_total_ += busy;
     if (auto* m = obs::metrics()) {
       m->counter("wifi.mac.airtime_us")
-          .add(static_cast<std::uint64_t>(busy));
+          .add(static_cast<std::uint64_t>(busy.ticks()));
     }
     now_ = busy_until_;
   }
@@ -231,8 +231,9 @@ const StationStats& DcfMac::stats(std::uint32_t station) const {
 }
 
 double DcfMac::utilisation() const {
-  if (now_ <= 0) return 0.0;
-  return static_cast<double>(airtime_total_) / static_cast<double>(now_);
+  if (now_ <= TimeUs{}) return 0.0;
+  return static_cast<double>(airtime_total_.ticks()) /
+         static_cast<double>(now_.ticks());
 }
 
 }  // namespace wb::wifi

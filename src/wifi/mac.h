@@ -26,8 +26,8 @@
 namespace wb::wifi {
 
 /// 802.11 DCF timing constants (802.11g, long slot).
-inline constexpr TimeUs kSlotUs = 9;
-inline constexpr TimeUs kSifsUs = 10;
+inline constexpr TimeUs kSlotUs{9};
+inline constexpr TimeUs kSifsUs{10};
 inline constexpr TimeUs kDifsUs = kSifsUs + 2 * kSlotUs;  // 28 us
 inline constexpr std::size_t kCwMin = 15;
 inline constexpr std::size_t kCwMax = 1023;
@@ -99,7 +99,7 @@ class DcfMac {
     std::uint32_t size;
     double rate;
     bool is_cts = false;
-    TimeUs nav_us = 0;
+    TimeUs nav_us{0};
   };
   struct Station {
     std::vector<Pending> queue;  ///< FIFO (front = index head)
@@ -121,10 +121,10 @@ class DcfMac {
   sim::RngStream rng_;
   std::vector<Station> stations_;
   std::vector<AirFrame> log_;
-  TimeUs now_ = 0;
-  TimeUs busy_until_ = 0;  ///< medium busy (frames + SIFS + ACK)
-  TimeUs nav_until_ = 0;   ///< virtual carrier sense
-  TimeUs airtime_total_ = 0;
+  TimeUs now_{0};
+  TimeUs busy_until_{0};  ///< medium busy (frames + SIFS + ACK)
+  TimeUs nav_until_{0};   ///< virtual carrier sense
+  TimeUs airtime_total_{0};
   std::uint64_t next_packet_id_ = 1;
 };
 

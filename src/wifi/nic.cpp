@@ -52,7 +52,7 @@ CaptureRecord NicModel::measure(const phy::CsiMatrix& h, TimeUs t,
   // estimator error is set by the packet's preamble SNR, which the direct
   // path dominates.
   const double noise_sd = params_.csi_noise_rel * ref_amp_;
-  const double noise_mw = dbm_to_mw(params_.noise_floor_dbm);
+  const double noise_mw = params_.noise_floor_dbm.to_mw().value();
 
   // Spurious whole-snapshot event?
   double spurious = 1.0;
@@ -88,9 +88,10 @@ CaptureRecord NicModel::measure(const phy::CsiMatrix& h, TimeUs t,
     double rssi = mw_to_dbm(power_mw +
                             noise_mw * static_cast<double>(
                                            phy::kNumSubchannels));
-    rssi += rng_.normal(0.0, params_.rssi_noise_db);
-    if (params_.rssi_quant_db > 0.0) {
-      rssi = std::round(rssi / params_.rssi_quant_db) * params_.rssi_quant_db;
+    rssi += rng_.normal(0.0, params_.rssi_noise_db.value());
+    if (params_.rssi_quant_db > Db{}) {
+      const double q = params_.rssi_quant_db.value();
+      rssi = std::round(rssi / q) * q;
     }
     rec.rssi_dbm[a] = rssi;
   }

@@ -59,13 +59,13 @@ struct NicModelParams {
   /// Per-packet RSSI measurement jitter (AGC + reporting), dB std-dev,
   /// applied before quantisation. Real cards bounce a dB or so packet to
   /// packet even in a frozen channel.
-  double rssi_noise_db = 0.18;
+  Db rssi_noise_db{0.18};
 
   /// RSSI quantisation step, dB.
-  double rssi_quant_db = 1.0;
+  Db rssi_quant_db{1.0};
 
   /// Thermal noise power per sub-channel, dBm, adding an RSSI noise floor.
-  double noise_floor_dbm = -95.0;
+  Dbm noise_floor_dbm{-95.0};
 };
 
 /// Stateless-per-packet NIC front end (holds only its RNG + calibration).

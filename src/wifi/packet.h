@@ -28,14 +28,14 @@ struct WifiPacket {
   std::uint32_t source = 0;  ///< station id of transmitter
   std::uint32_t dest = 0;    ///< station id of receiver (0 = broadcast)
   FrameKind kind = FrameKind::kData;
-  TimeUs start_us = 0;
-  TimeUs duration_us = 0;
+  TimeUs start_us{0};
+  TimeUs duration_us{0};
   double rate_mbps = 54.0;
   std::uint32_t size_bytes = 1500;
 
   /// NAV reservation carried by the frame (CTS_to_SELF), microseconds
   /// after frame end during which compliant stations defer.
-  TimeUs nav_us = 0;
+  TimeUs nav_us{0};
 
   TimeUs end_us() const { return start_us + duration_us; }
 };
@@ -45,15 +45,15 @@ struct WifiPacket {
 inline TimeUs airtime_us(std::uint32_t size_bytes, double rate_mbps) {
   const double payload_us =
       static_cast<double>(size_bytes) * 8.0 / rate_mbps;
-  return static_cast<TimeUs>(payload_us + 20.0 + 0.5);
+  return TimeUs::from_us(payload_us + 20.0 + 0.5);
 }
 
 /// The smallest frame the paper uses on the downlink: ~40-50 us at
 /// 54 Mbps (§4.1).
-inline constexpr TimeUs kMinPacketUs = 40;
+inline constexpr TimeUs kMinPacketUs{40};
 
 /// 802.11 limits a CTS_to_SELF reservation to 32 ms (§4.1).
-inline constexpr TimeUs kMaxNavUs = 32'000;
+inline constexpr TimeUs kMaxNavUs{32'000};
 
 const char* to_string(FrameKind k);
 

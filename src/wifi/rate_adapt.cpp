@@ -6,26 +6,27 @@
 
 namespace wb::wifi {
 
-double required_snr_db(double rate_mbps) {
+Db required_snr_db(double rate_mbps) {
   // Standard OFDM demodulation thresholds (dB) for 802.11g rates.
-  if (rate_mbps <= 6.0) return 5.0;
-  if (rate_mbps <= 9.0) return 6.0;
-  if (rate_mbps <= 12.0) return 8.0;
-  if (rate_mbps <= 18.0) return 10.5;
-  if (rate_mbps <= 24.0) return 13.5;
-  if (rate_mbps <= 36.0) return 17.5;
-  if (rate_mbps <= 48.0) return 21.5;
-  return 23.5;
+  if (rate_mbps <= 6.0) return Db{5.0};
+  if (rate_mbps <= 9.0) return Db{6.0};
+  if (rate_mbps <= 12.0) return Db{8.0};
+  if (rate_mbps <= 18.0) return Db{10.5};
+  if (rate_mbps <= 24.0) return Db{13.5};
+  if (rate_mbps <= 36.0) return Db{17.5};
+  if (rate_mbps <= 48.0) return Db{21.5};
+  return Db{23.5};
 }
 
-double packet_error_rate(double snr_db, double rate_mbps,
+double packet_error_rate(Db snr_db, double rate_mbps,
                          std::size_t size_bytes) {
   // Logistic PER curve centred on the rate's threshold, sharpened to the
   // ~2 dB transition width of real OFDM links; frame length shifts the
   // effective threshold slightly (10*log10 of the bit count ratio / 10).
   const double len_shift =
       1.0 * std::log10(static_cast<double>(size_bytes) / 1000.0);
-  const double margin = snr_db - (required_snr_db(rate_mbps) + len_shift);
+  const double margin =
+      (snr_db - (required_snr_db(rate_mbps) + Db{len_shift})).value();
   return 1.0 / (1.0 + std::exp(2.2 * margin));
 }
 

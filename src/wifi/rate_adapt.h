@@ -8,16 +8,17 @@
 
 #include <cstddef>
 
+#include "util/units.h"
 #include "wifi/packet.h"
 
 namespace wb::wifi {
 
-/// Minimum SNR (dB) at which each 802.11g rate starts working well.
-double required_snr_db(double rate_mbps);
+/// Minimum SNR at which each 802.11g rate starts working well.
+Db required_snr_db(double rate_mbps);
 
 /// Packet error probability at a given SNR for a given rate and payload
 /// size (longer frames fail more at equal SNR).
-double packet_error_rate(double snr_db, double rate_mbps,
+double packet_error_rate(Db snr_db, double rate_mbps,
                          std::size_t size_bytes);
 
 /// Automatic-Rate-Fallback adapter: step the rate up after a streak of

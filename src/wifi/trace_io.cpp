@@ -60,7 +60,7 @@ std::size_t write_capture_csv(std::ostream& os, const CaptureTrace& trace) {
   os << std::setprecision(17);
   os << header_line() << "\n";
   for (const auto& rec : trace) {
-    os << rec.timestamp_us << ',' << rec.source << ','
+    os << rec.timestamp_us.ticks() << ',' << rec.source << ','
        << (rec.has_csi ? 1 : 0);
     for (double r : rec.rssi_dbm) os << ',' << r;
     for (const auto& ant : rec.csi) {
@@ -97,8 +97,8 @@ CaptureTrace read_capture_csv(std::istream& is) {
     }
     CaptureRecord rec;
     std::size_t i = 0;
-    rec.timestamp_us = parse_cell<std::int64_t>(cells[i], line_no, i + 1,
-                                                "integer timestamp_us");
+    rec.timestamp_us = TimeUs{parse_cell<std::int64_t>(
+        cells[i], line_no, i + 1, "integer timestamp_us")};
     ++i;
     // Unsigned parse: rejects negative source ids outright instead of
     // wrapping them around like std::stoul would.

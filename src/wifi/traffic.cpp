@@ -14,10 +14,10 @@ namespace {
 PacketTimeline note_generated(PacketTimeline out) {
   if (auto* m = obs::metrics()) {
     m->counter("wifi.traffic.packets_generated_total").add(out.size());
-    TimeUs air = 0;
+    TimeUs air{0};
     for (const WifiPacket& p : out) air += p.duration_us;
     m->counter("wifi.traffic.generated_airtime_us")
-        .add(static_cast<std::uint64_t>(air));
+        .add(static_cast<std::uint64_t>(air.ticks()));
   }
   return out;
 }
@@ -44,13 +44,13 @@ PacketTimeline make_cbr_timeline(double pps, TimeUs duration,
   PacketTimeline out;
   const double interval_us = 1e6 / pps;
   std::uint64_t id = 0;
-  for (double t = 0.0; t < static_cast<double>(duration);
+  for (double t = 0.0; t < static_cast<double>(duration.ticks());
        t += interval_us) {
     const double jitter =
         rng.uniform(-jitter_frac, jitter_frac) * interval_us;
     const double start = std::max(0.0, t + jitter);
-    if (start >= static_cast<double>(duration)) break;
-    out.push_back(data_packet(static_cast<TimeUs>(start), p, id++));
+    if (start >= static_cast<double>(duration.ticks())) break;
+    out.push_back(data_packet(TimeUs{static_cast<std::int64_t>(start)}, p, id++));
   }
   std::sort(out.begin(), out.end(),
             [](const WifiPacket& a, const WifiPacket& b) {
@@ -67,8 +67,8 @@ PacketTimeline make_poisson_timeline(double pps, TimeUs duration,
   const double mean_gap_us = 1e6 / pps;
   std::uint64_t id = 0;
   double t = rng.exponential(mean_gap_us);
-  while (t < static_cast<double>(duration)) {
-    out.push_back(data_packet(static_cast<TimeUs>(t), p, id++));
+  while (t < static_cast<double>(duration.ticks())) {
+    out.push_back(data_packet(TimeUs{static_cast<std::int64_t>(t)}, p, id++));
     t += rng.exponential(mean_gap_us);
   }
   return note_generated(std::move(out));
@@ -80,7 +80,7 @@ PacketTimeline make_bursty_timeline(const BurstyParams& b, TimeUs duration,
   PacketTimeline out;
   std::uint64_t id = 0;
   double t = 0.0;
-  const double dur = static_cast<double>(duration);
+  const double dur = static_cast<double>(duration.ticks());
   // Bounded Pareto keeps single bursts/idles from swallowing the whole
   // experiment while preserving heavy-tailed variability.
   const double burst_lo = b.mean_burst_ms * 0.2;
@@ -93,7 +93,7 @@ PacketTimeline make_bursty_timeline(const BurstyParams& b, TimeUs duration,
     const double gap_us = 1e6 / b.burst_pps;
     double pt = t + rng.exponential(gap_us);
     while (pt < burst_end) {
-      out.push_back(data_packet(static_cast<TimeUs>(pt), p, id++));
+      out.push_back(data_packet(TimeUs{static_cast<std::int64_t>(pt)}, p, id++));
       pt += rng.exponential(gap_us);
     }
     const double idle_ms = rng.pareto(b.pareto_alpha, idle_lo, idle_hi);
@@ -109,7 +109,7 @@ PacketTimeline make_beacon_timeline(double beacons_per_sec, TimeUs duration,
   PacketTimeline out;
   const double interval_us = 1e6 / beacons_per_sec;
   std::uint64_t id = 0;
-  for (double t = 0.0; t < static_cast<double>(duration);
+  for (double t = 0.0; t < static_cast<double>(duration.ticks());
        t += interval_us) {
     WifiPacket pkt;
     pkt.id = id++;
@@ -118,7 +118,7 @@ PacketTimeline make_beacon_timeline(double beacons_per_sec, TimeUs duration,
     // Beacons go out at a basic rate and carry ~100 bytes of management
     // payload; exact TBTT has sub-ms scheduling jitter on real APs.
     pkt.start_us =
-        static_cast<TimeUs>(t + rng.uniform(0.0, 300.0));
+        TimeUs::from_us(t + rng.uniform(0.0, 300.0));
     pkt.size_bytes = 100;
     pkt.rate_mbps = 6.0;
     pkt.duration_us = airtime_us(pkt.size_bytes, pkt.rate_mbps);
@@ -157,7 +157,7 @@ PacketTimeline make_office_timeline(double start_hour, TimeUs duration,
                                     sim::RngStream& rng) {
   PacketTimeline out;
   std::uint64_t id = 0;
-  const double dur = static_cast<double>(duration);
+  const double dur = static_cast<double>(duration.ticks());
   double t = 0.0;
   while (t < dur) {
     const double hour = start_hour + t / 3.6e9;
@@ -168,7 +168,7 @@ PacketTimeline make_office_timeline(double start_hour, TimeUs duration,
     const double gap_us = 1e6 / std::max(1.0, pps);
     double pt = t + rng.exponential(gap_us);
     while (pt < minute_end) {
-      out.push_back(data_packet(static_cast<TimeUs>(pt), p, id++));
+      out.push_back(data_packet(TimeUs{static_cast<std::int64_t>(pt)}, p, id++));
       pt += rng.exponential(gap_us);
     }
     t = minute_end;
@@ -181,7 +181,7 @@ PacketTimeline make_ambient_mix_timeline(double pps, TimeUs duration,
   WB_REQUIRE(pps > 0.0, "packet rate must be positive");
   PacketTimeline out;
   std::uint64_t id = 0;
-  const double dur = static_cast<double>(duration);
+  const double dur = static_cast<double>(duration.ticks());
   // Each "arrival" is a data frame + its ACK, so halve the arrival rate to
   // keep the overall packet rate near `pps`.
   const double mean_gap_us = 2e6 / pps;
@@ -191,7 +191,7 @@ PacketTimeline make_ambient_mix_timeline(double pps, TimeUs duration,
     WifiPacket pkt;
     pkt.id = id++;
     pkt.source = 1;
-    pkt.start_us = static_cast<TimeUs>(t);
+    pkt.start_us = TimeUs{static_cast<std::int64_t>(t)};
     if (kind < 0.6) {
       // A TCP-style train: 1-8 data frames separated by DIFS + backoff
       // (tens of microseconds), each followed by its SIFS + ACK. These
@@ -216,16 +216,17 @@ PacketTimeline make_ambient_mix_timeline(double pps, TimeUs duration,
         ack.id = id++;
         ack.source = 2;
         ack.kind = FrameKind::kAck;
-        ack.start_us = data.end_us() + 10;
+        ack.start_us = data.end_us() + TimeUs{10};
         ack.size_bytes = 14;
         ack.rate_mbps = 24.0;
         ack.duration_us = airtime_us(ack.size_bytes, ack.rate_mbps);
         out.push_back(ack);
         // DIFS (28 us) + random backoff slots before the next frame.
-        cursor = ack.end_us() + 28 +
-                 static_cast<TimeUs>(rng.uniform_int(10) * 9);
+        cursor = ack.end_us() + TimeUs{28} +
+                 TimeUs{static_cast<std::int64_t>(
+                     rng.uniform_int(10) * 9)};
       }
-      t = static_cast<double>(cursor);
+      t = static_cast<double>(cursor.ticks());
     } else if (kind < 0.9) {
       // Short control/QoS-null style frames.
       pkt.kind = FrameKind::kProbe;

@@ -1,4 +1,6 @@
 #pragma once
+#include "util/units.h"
 namespace wb::phy {
-double attenuation_db(double distance_m, double tx_power_dbm);
+double attenuation_db(wb::units::Meters distance_m,
+                      wb::units::Dbm tx_power_dbm);
 }  // namespace wb::phy

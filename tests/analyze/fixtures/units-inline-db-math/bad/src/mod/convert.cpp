@@ -1,0 +1,6 @@
+#include <cmath>
+namespace wb::mod {
+double to_mw(double dbm) { return std::pow(10.0, dbm / 10.0); }
+double to_db(double ratio) { return 10.0 * std::log10(ratio); }
+double to_amp_db(double r) { return 20.0 * std::log10(r); }
+}  // namespace wb::mod

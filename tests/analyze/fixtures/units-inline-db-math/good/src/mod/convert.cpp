@@ -1,0 +1,6 @@
+#include "util/units.h"
+namespace wb::mod {
+double to_mw(double dbm) { return wb::units::dbm_to_mw(dbm); }
+double to_db(double ratio) { return wb::units::ratio_to_db(ratio); }
+double to_amp_db(double r) { return wb::units::amplitude_ratio_to_db(r); }
+}  // namespace wb::mod

@@ -1,0 +1,7 @@
+namespace wb::mod {
+double total(double a_dbm, double b_dbm, double floor_mw, double gain_db) {
+  const double sum = a_dbm + b_dbm;
+  const double mixed = floor_mw + gain_db;
+  return sum + mixed;
+}
+}  // namespace wb::mod

@@ -1,0 +1,6 @@
+#include "util/units.h"
+namespace wb::mod {
+wb::units::Milliwatts total(wb::units::Dbm a, wb::units::Dbm b) {
+  return a.to_mw() + b.to_mw();
+}
+}  // namespace wb::mod

@@ -1,0 +1,8 @@
+#pragma once
+namespace wb::mod {
+struct LinkBudget {
+  double tx_power_dbm = 16.0;
+  float wall_loss_db = 0.0f;
+};
+double margin(double noise_mw, double range_m);
+}  // namespace wb::mod

@@ -1,0 +1,13 @@
+#pragma once
+#include "util/units.h"
+namespace wb::mod {
+struct LinkBudget {
+  wb::units::Dbm tx_power_dbm{16.0};
+  wb::units::Db wall_loss_db{};
+};
+struct CaptureCell {
+  double rssi_dbm[3];     // wire-shaped C array: stays raw by contract
+  double smooth_tau_us = 5.0;  // fractional-us analog constant: raw ok
+};
+double margin(wb::units::Milliwatts noise_mw, wb::units::Meters range_m);
+}  // namespace wb::mod

@@ -27,10 +27,11 @@ FIXTURES = Path(__file__).resolve().parent / "fixtures"
 ANALYZER = REPO / "tools" / "wb_analyze"
 
 
-def run_case(root: Path, json_out: Path) -> tuple[int, dict]:
+def run_case(root: Path, json_out: Path,
+             extra: list[str] | None = None) -> tuple[int, dict]:
     proc = subprocess.run(
         [sys.executable, str(ANALYZER), "--root", str(root),
-         "--json-out", str(json_out), "--quiet"],
+         "--json-out", str(json_out), "--quiet", *(extra or [])],
         capture_output=True, text=True)
     try:
         doc = json.loads(json_out.read_text())
@@ -76,6 +77,41 @@ def main() -> int:
                         failures.append(
                             f"{rule}/good: expected clean run, got exit {rc}"
                             f" counts {nonzero}")
+
+        # --rule filtering, driven against a real bad fixture: filtering
+        # to the fixture's own rule still fires; filtering to an
+        # unrelated rule is clean (and must not flag the unrelated
+        # rule's suppressions as stale); an unknown name is usage error.
+        filter_root = FIXTURES / "units-raw-api" / "bad"
+        cases += 3
+        rc, doc = run_case(filter_root, Path(tmp) / "filter.own.json",
+                           extra=["--rule", "units-raw-api"])
+        hits = {r: c for r, c in doc.get("counts", {}).items() if c}
+        if rc == 0 or set(hits) != {"units-raw-api"}:
+            failures.append(
+                f"--rule own: expected only units-raw-api, got exit {rc} "
+                f"counts {hits}")
+        rc, doc = run_case(filter_root, Path(tmp) / "filter.other.json",
+                           extra=["--rule", "no-rand", "--rule", "no-stox"])
+        hits = {r: c for r, c in doc.get("counts", {}).items() if c}
+        if rc != 0 or hits:
+            failures.append(
+                f"--rule other: expected clean, got exit {rc} counts {hits}")
+        rc, _ = run_case(filter_root, Path(tmp) / "filter.unknown.json",
+                         extra=["--rule", "no-such-rule"])
+        if rc != 2:
+            failures.append(f"--rule unknown: expected exit 2, got {rc}")
+
+    # --list-rules must include every units-family rule with its family.
+    listing = subprocess.run(
+        [sys.executable, str(ANALYZER), "--list-rules"],
+        capture_output=True, text=True)
+    cases += 1
+    missing = [r for r in ("units-raw-api", "units-inline-db-math",
+                           "units-mixed-domain")
+               if r not in listing.stdout or "[units/" not in listing.stdout]
+    if listing.returncode != 0 or missing:
+        failures.append(f"--list-rules: missing units rules {missing}")
 
     # The legacy entry point must stay alive (ROADMAP pre-PR gate docs and
     # muscle memory both call it).

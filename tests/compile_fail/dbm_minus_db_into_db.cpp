@@ -1,0 +1,16 @@
+// Dbm - Db is still an absolute power (Dbm), not a gain (Db): the
+// result type follows the operator table, not the spelling.
+#include "util/units.h"
+
+int main() {
+  const wb::Dbm rx{-40.0};
+  const wb::Db margin{6.0};
+#ifdef WB_COMPILE_FAIL
+  const wb::Db bad = rx - margin;
+  (void)bad;
+#else
+  const wb::Dbm good = rx - margin;
+  (void)good;
+#endif
+  return 0;
+}

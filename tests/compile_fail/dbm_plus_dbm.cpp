@@ -1,0 +1,15 @@
+// Adding two absolute dBm powers is not physical (log-domain values do
+// not superpose); combine in Milliwatts instead.
+#include "util/units.h"
+
+int main() {
+  const wb::Dbm a{3.0};
+  const wb::Dbm b{4.0};
+#ifdef WB_COMPILE_FAIL
+  const auto bad = a + b;
+  (void)bad;
+#endif
+  (void)a;
+  (void)b;
+  return 0;
+}

@@ -1,0 +1,17 @@
+// An unlabelled double never silently becomes an absolute power; the
+// Dbm constructor is explicit.
+#include "util/units.h"
+
+namespace {
+double measure_noise_floor() { return -91.0; }
+void record(wb::Dbm level) { (void)level; }
+}  // namespace
+
+int main() {
+#ifdef WB_COMPILE_FAIL
+  record(measure_noise_floor());
+#else
+  record(wb::Dbm{measure_noise_floor()});
+#endif
+  return 0;
+}

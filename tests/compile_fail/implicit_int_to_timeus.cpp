@@ -1,0 +1,16 @@
+// A raw integer of unknown unit never silently becomes simulation time;
+// TimeUs construction is explicit (or via the _us/_ms/_s literals).
+#include "util/units.h"
+
+namespace {
+void schedule(wb::TimeUs at) { (void)at; }
+}  // namespace
+
+int main() {
+#ifdef WB_COMPILE_FAIL
+  schedule(400);
+#else
+  schedule(wb::TimeUs{400});
+#endif
+  return 0;
+}

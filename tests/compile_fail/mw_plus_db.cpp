@@ -1,0 +1,16 @@
+// Linear milliwatts and log-domain decibels live in different domains;
+// one side must be converted explicitly before they can meet.
+#include "util/units.h"
+
+int main() {
+  const wb::Milliwatts p{1.0};
+  const wb::Db gain{3.0};
+#ifdef WB_COMPILE_FAIL
+  const auto bad = p + gain;
+  (void)bad;
+#else
+  const wb::Milliwatts good = p * gain.to_ratio();
+  (void)good;
+#endif
+  return 0;
+}

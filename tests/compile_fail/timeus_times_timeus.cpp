@@ -1,0 +1,16 @@
+// Time times time is not a duration. Scaling by a dimensionless count
+// is fine; multiplying two TimeUs values (or scaling by a non-integral
+// factor) is a compile error.
+#include "util/units.h"
+
+int main() {
+  const wb::TimeUs bit{400};
+#ifdef WB_COMPILE_FAIL
+  const auto bad = bit * bit;
+  (void)bad;
+#else
+  const wb::TimeUs good = bit * 8;
+  (void)good;
+#endif
+  return 0;
+}

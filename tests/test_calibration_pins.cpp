@@ -19,7 +19,7 @@ namespace {
 
 core::UplinkExperimentParams uplink_at(double d, std::uint64_t seed) {
   core::UplinkExperimentParams p;
-  p.tag_reader_distance_m = d;
+  p.tag_reader_distance_m = Meters{d};
   p.packets_per_bit = 30.0;
   p.payload_bits = 40;
   p.runs = 5;
@@ -72,7 +72,7 @@ TEST(CalibrationPins, ModulationDepthAtCloseRange) {
 
 TEST(CalibrationPins, CodedExtendsRangePastTwoMeters) {
   core::CodedExperimentParams p;
-  p.tag_reader_distance_m = 2.1;
+  p.tag_reader_distance_m = Meters{2.1};
   p.packets_per_chip = 2.0;
   p.code_length = 32;
   p.payload_bits = 16;
@@ -93,13 +93,13 @@ double downlink_slot_ber(double distance_m, TimeUs slot_us,
     BitVec message = core::downlink_preamble();
     const BitVec data = random_bits(400, seed + round);
     message.insert(message.end(), data.begin(), data.end());
-    const auto tx = encoder.encode(message, 500);
+    const auto tx = encoder.encode(message, TimeUs{500});
     core::DownlinkSimConfig cfg;
-    cfg.reader_tag_distance_m = distance_m;
+    cfg.reader_tag_distance_m = Meters{distance_m};
     cfg.mcu.bit_duration_us = slot_us;
     cfg.seed = seed * 131 + round;
     core::DownlinkSim sim(cfg);
-    const auto rep = sim.run(tx, {}, tx.end_us + 1'000);
+    const auto rep = sim.run(tx, {}, tx.end_us + TimeUs{1'000});
     BitVec truth;
     for (const auto& s : tx.slots) truth.push_back(s.bit);
     ber.add(truth, rep.slot_levels);
@@ -108,13 +108,13 @@ double downlink_slot_ber(double distance_m, TimeUs slot_us,
 }
 
 TEST(CalibrationPins, Downlink20kbpsCliffNearTwoMeters) {
-  EXPECT_LT(downlink_slot_ber(1.5, 50, 1), 1e-2);
-  EXPECT_GT(downlink_slot_ber(3.0, 50, 1), 3e-2);
+  EXPECT_LT(downlink_slot_ber(1.5, TimeUs{50}, 1), 1e-2);
+  EXPECT_GT(downlink_slot_ber(3.0, TimeUs{50}, 1), 3e-2);
 }
 
 TEST(CalibrationPins, Downlink10kbpsOutranges20kbps) {
-  const double at_2_6m_fast = downlink_slot_ber(2.6, 50, 2);
-  const double at_2_6m_slow = downlink_slot_ber(2.6, 100, 2);
+  const double at_2_6m_fast = downlink_slot_ber(2.6, TimeUs{50}, 2);
+  const double at_2_6m_slow = downlink_slot_ber(2.6, TimeUs{100}, 2);
   EXPECT_LT(at_2_6m_slow, at_2_6m_fast);
   EXPECT_LT(at_2_6m_slow, 1e-2);
 }
@@ -123,7 +123,7 @@ TEST(CalibrationPins, Downlink10kbpsOutranges20kbps) {
 
 TEST(CalibrationPins, KilobitUplinkNeedsKiloHelperRate) {
   core::UplinkExperimentParams p;
-  p.tag_reader_distance_m = 0.05;
+  p.tag_reader_distance_m = Meters{0.05};
   p.payload_bits = 48;
   p.runs = 3;
   p.seed = 5;

@@ -9,7 +9,7 @@ namespace {
 
 TEST(Arq, CleanLinkDeliversInOneRound) {
   ArqConfig cfg;
-  cfg.tag_reader_distance_m = 0.10;
+  cfg.tag_reader_distance_m = Meters{0.10};
   cfg.seed = 1;
   const BitVec data = random_bits(40, 5);
   const auto rep = run_selective_repeat(data, cfg);
@@ -27,7 +27,7 @@ TEST(Arq, MarginalLinkRecoversWithRepeats) {
   std::size_t attempted = 0;
   for (std::uint64_t seed = 1; seed <= 14; ++seed) {
     ArqConfig cfg;
-    cfg.tag_reader_distance_m = 0.72;  // marginal for CSI decoding
+    cfg.tag_reader_distance_m = Meters{0.72};  // marginal for CSI decoding
     cfg.seed = seed;
     const BitVec data = random_bits(48, seed);
     const auto rep = run_selective_repeat(data, cfg);
@@ -48,7 +48,7 @@ TEST(Arq, MarginalLinkRecoversWithRepeats) {
 
 TEST(Arq, HopelessLinkGivesUpCleanly) {
   ArqConfig cfg;
-  cfg.tag_reader_distance_m = 4.0;  // far past uplink range
+  cfg.tag_reader_distance_m = Meters{4.0};  // far past uplink range
   cfg.max_repeats = 2;
   cfg.seed = 3;
   const BitVec data = random_bits(32, 9);
@@ -59,7 +59,7 @@ TEST(Arq, HopelessLinkGivesUpCleanly) {
 
 TEST(Arq, ReportsAccounting) {
   ArqConfig cfg;
-  cfg.tag_reader_distance_m = 0.10;
+  cfg.tag_reader_distance_m = Meters{0.10};
   cfg.seed = 4;
   const BitVec data = random_bits(24, 2);
   const auto rep = run_selective_repeat(data, cfg);

@@ -7,7 +7,7 @@ namespace {
 
 SystemConfig friendly(std::uint64_t seed) {
   SystemConfig cfg;
-  cfg.tag_reader_distance_m = 0.10;
+  cfg.tag_reader_distance_m = Meters{0.10};
   cfg.helper_pps = 2'000.0;
   cfg.seed = seed;
   return cfg;

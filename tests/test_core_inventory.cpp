@@ -29,8 +29,8 @@ TEST(MultiTagChannel, ResponseSumsActiveDeltas) {
       {{0.1, 0.0}, {}}, {{0.2, 0.1}, {}}};
   phy::MultiTagUplinkChannel ch(base, tags, sim::RngStream(1));
   ASSERT_EQ(ch.num_tags(), 2u);
-  const auto none = ch.response(std::vector<std::uint8_t>{0, 0}, 0);
-  const auto both = ch.response(std::vector<std::uint8_t>{1, 1}, 0);
+  const auto none = ch.response(std::vector<std::uint8_t>{0, 0}, TimeUs{});
+  const auto both = ch.response(std::vector<std::uint8_t>{1, 1}, TimeUs{});
   for (std::size_t a = 0; a < phy::kNumAntennas; ++a) {
     for (std::size_t s = 0; s < phy::kNumSubchannels; ++s) {
       const auto expected =
@@ -149,11 +149,11 @@ TEST(Inventory, ElapsedTimeAccumulates) {
   cfg.seed = 8;
   const auto tags = shelf(2);
   const auto res = run_inventory(tags, cfg);
-  EXPECT_GT(res.elapsed_us, 0);
-  TimeUs expected = 0;
-  const TimeUs bit_us = static_cast<TimeUs>(1e6 / cfg.bit_rate_bps);
+  EXPECT_GT(res.elapsed_us, TimeUs{});
+  TimeUs expected{0};
+  const TimeUs bit_us = TimeUs::from_us(1e6 / cfg.bit_rate_bps);
   for (const auto& r : res.rounds) {
-    expected += static_cast<TimeUs>(r.slots) * 50 * bit_us;
+    expected += bit_us * static_cast<std::int64_t>(r.slots * 50);
   }
   EXPECT_EQ(res.elapsed_us, expected);
 }

@@ -75,10 +75,10 @@ TEST(RateControl, MeasuredPacketRate) {
   wifi::CaptureTrace trace;
   for (int i = 0; i < 100; ++i) {
     wifi::CaptureRecord r;
-    r.timestamp_us = i * 1'000;  // 1000 pkt/s
+    r.timestamp_us = TimeUs{i * 1'000};  // 1000 pkt/s
     trace.push_back(r);
   }
-  EXPECT_NEAR(RateControl::measured_packet_rate(trace, 50'000), 1'000.0,
+  EXPECT_NEAR(RateControl::measured_packet_rate(trace, TimeUs{50'000}), 1'000.0,
               50.0);
 }
 
@@ -87,20 +87,20 @@ TEST(RateControl, MeasuredRateUsesOnlyRecentWindow) {
   // 10 packets long ago, then 50 packets in the last 10 ms.
   for (int i = 0; i < 10; ++i) {
     wifi::CaptureRecord r;
-    r.timestamp_us = i * 100;
+    r.timestamp_us = TimeUs{i * 100};
     trace.push_back(r);
   }
   for (int i = 0; i < 50; ++i) {
     wifi::CaptureRecord r;
-    r.timestamp_us = 1'000'000 + i * 200;
+    r.timestamp_us = TimeUs{1'000'000 + i * 200};
     trace.push_back(r);
   }
-  EXPECT_NEAR(RateControl::measured_packet_rate(trace, 10'000), 5'000.0,
+  EXPECT_NEAR(RateControl::measured_packet_rate(trace, TimeUs{10'000}), 5'000.0,
               100.0);
 }
 
 TEST(RateControl, EmptyTraceZeroRate) {
-  EXPECT_DOUBLE_EQ(RateControl::measured_packet_rate({}, 1'000), 0.0);
+  EXPECT_DOUBLE_EQ(RateControl::measured_packet_rate({}, TimeUs{1'000}), 0.0);
 }
 
 TEST(RateControl, ShortTraceIsNotDilutedByTheFullWindow) {
@@ -111,10 +111,10 @@ TEST(RateControl, ShortTraceIsNotDilutedByTheFullWindow) {
   wifi::CaptureTrace trace;
   for (int i = 0; i <= 500; ++i) {
     wifi::CaptureRecord r;
-    r.timestamp_us = i * 1'000;
+    r.timestamp_us = TimeUs{i * 1'000};
     trace.push_back(r);
   }
-  EXPECT_DOUBLE_EQ(RateControl::measured_packet_rate(trace, 1'000'000),
+  EXPECT_DOUBLE_EQ(RateControl::measured_packet_rate(trace, TimeUs{1'000'000}),
                    1'000.0);
 }
 
@@ -125,16 +125,16 @@ TEST(RateControl, WindowIsHalfOpenAtTheLowerEdge) {
   wifi::CaptureTrace trace;
   for (int i = 0; i < 3; ++i) {
     wifi::CaptureRecord r;
-    r.timestamp_us = i * 10'000;
+    r.timestamp_us = TimeUs{i * 10'000};
     trace.push_back(r);
   }
-  EXPECT_DOUBLE_EQ(RateControl::measured_packet_rate(trace, 10'000), 100.0);
+  EXPECT_DOUBLE_EQ(RateControl::measured_packet_rate(trace, TimeUs{10'000}), 100.0);
 }
 
 TEST(RateControl, SinglePacketTraceZeroRate) {
   wifi::CaptureTrace trace;
   trace.push_back(wifi::CaptureRecord{});  // zero-extent span
-  EXPECT_DOUBLE_EQ(RateControl::measured_packet_rate(trace, 1'000), 0.0);
+  EXPECT_DOUBLE_EQ(RateControl::measured_packet_rate(trace, TimeUs{1'000}), 0.0);
 }
 
 TEST(RateControl, SupportedRatesAreThePapersSet) {

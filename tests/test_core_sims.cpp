@@ -28,7 +28,7 @@ TEST(UplinkSim, OneRecordPerPacket) {
   const auto tl = wifi::make_cbr_timeline(1'000, kMicrosPerSec,
                                           wifi::TrafficParams{},
                                           traffic_rng);
-  tag::Modulator mod(BitVec(100, 1), 10'000, 0);
+  tag::Modulator mod(BitVec(100, 1), TimeUs{10'000}, TimeUs{});
   UplinkSim sim(close_range_config(2));
   const auto trace = sim.run(tl, mod);
   ASSERT_EQ(trace.size(), tl.size());
@@ -50,7 +50,7 @@ TEST(UplinkSim, TagModulationVisibleInCsi) {
   for (int i = 0; i < 100; ++i) {
     alternating.push_back(static_cast<std::uint8_t>(i % 2));
   }
-  tag::Modulator mod(alternating, 10'000, 0);
+  tag::Modulator mod(alternating, TimeUs{10'000}, TimeUs{});
 
   UplinkSim sim_mod(close_range_config(4));
   UplinkSim sim_idle(close_range_config(4));
@@ -91,7 +91,7 @@ TEST(UplinkSim, ChannelSeedFixesPlacement) {
 
   sim::RngStream rng(5);
   auto traffic_rng = rng.fork("t");
-  const auto tl = wifi::make_cbr_timeline(1'000, 100'000,
+  const auto tl = wifi::make_cbr_timeline(1'000, TimeUs{100'000},
                                           wifi::TrafficParams{},
                                           traffic_rng);
   UplinkSim sa(a), sb(b);
@@ -106,7 +106,7 @@ TEST(UplinkSim, ChannelSeedFixesPlacement) {
 TEST(UplinkSim, DeterministicForSeed) {
   sim::RngStream rng(6);
   auto traffic_rng = rng.fork("t");
-  const auto tl = wifi::make_cbr_timeline(500, 100'000,
+  const auto tl = wifi::make_cbr_timeline(500, TimeUs{100'000},
                                           wifi::TrafficParams{},
                                           traffic_rng);
   UplinkSim a(close_range_config(42));
@@ -126,13 +126,13 @@ TEST(DownlinkSim, SlotLevelsMatchTransmittedBitsAtCloseRange) {
   BitVec message = downlink_preamble();
   const BitVec data = random_bits(40, 77);
   message.insert(message.end(), data.begin(), data.end());
-  const auto tx = enc.encode(message, 1'000);
+  const auto tx = enc.encode(message, TimeUs{1'000});
 
   DownlinkSimConfig cfg;
-  cfg.reader_tag_distance_m = 0.3;
+  cfg.reader_tag_distance_m = Meters{0.3};
   cfg.seed = 8;
   DownlinkSim sim(cfg);
-  const auto rep = sim.run(tx, {}, tx.end_us + 2'000);
+  const auto rep = sim.run(tx, {}, tx.end_us + TimeUs{2'000});
   ASSERT_EQ(rep.slot_levels.size(), tx.slots.size());
   std::size_t errors = 0;
   for (std::size_t i = 0; i < tx.slots.size(); ++i) {
@@ -145,13 +145,13 @@ TEST(DownlinkSim, McuDecodesFullFrame) {
   reader::DownlinkEncoder enc(reader::DownlinkEncoderConfig{});
   const BitVec data = random_bits(kDownlinkDataBits, 13);
   const auto message = build_downlink_frame(data);
-  const auto tx = enc.encode(message, 1'000);
+  const auto tx = enc.encode(message, TimeUs{1'000});
 
   DownlinkSimConfig cfg;
-  cfg.reader_tag_distance_m = 0.5;
+  cfg.reader_tag_distance_m = Meters{0.5};
   cfg.seed = 9;
   DownlinkSim sim(cfg);
-  const auto rep = sim.run(tx, {}, tx.end_us + 2'000);
+  const auto rep = sim.run(tx, {}, tx.end_us + TimeUs{2'000});
   ASSERT_EQ(rep.decoded.size(), 1u);
   const auto parsed = parse_downlink_payload(rep.decoded[0].payload);
   ASSERT_TRUE(parsed.has_value());
@@ -161,21 +161,21 @@ TEST(DownlinkSim, McuDecodesFullFrame) {
 TEST(DownlinkSim, NavSuppressesAmbientDuringMessage) {
   reader::DownlinkEncoder enc(reader::DownlinkEncoderConfig{});
   const auto message = build_downlink_frame(random_bits(56, 14));
-  const auto tx = enc.encode(message, 5'000);
+  const auto tx = enc.encode(message, TimeUs{5'000});
 
   // Dense ambient traffic through the reserved window.
   sim::RngStream rng(10);
   auto traffic_rng = rng.fork("t");
   const auto ambient = wifi::make_poisson_timeline(
-      5'000, tx.end_us + 10'000, wifi::TrafficParams{}, traffic_rng);
+      5'000, tx.end_us + TimeUs{10'000}, wifi::TrafficParams{}, traffic_rng);
 
   DownlinkSimConfig cfg;
-  cfg.reader_tag_distance_m = 0.5;
-  cfg.ambient_distance_m = 2.0;
+  cfg.reader_tag_distance_m = Meters{0.5};
+  cfg.ambient_distance_m = Meters{2.0};
   cfg.ambient_respects_nav = true;
   cfg.seed = 11;
   DownlinkSim sim(cfg);
-  const auto rep = sim.run(tx, ambient, tx.end_us + 10'000);
+  const auto rep = sim.run(tx, ambient, tx.end_us + TimeUs{10'000});
   // The frame must still decode: compliant neighbours defer.
   ASSERT_GE(rep.decoded.size(), 1u);
   EXPECT_TRUE(
@@ -185,19 +185,19 @@ TEST(DownlinkSim, NavSuppressesAmbientDuringMessage) {
 TEST(DownlinkSim, NonCompliantAmbientCorruptsSilences) {
   reader::DownlinkEncoder enc(reader::DownlinkEncoderConfig{});
   const auto message = build_downlink_frame(random_bits(56, 15));
-  const auto tx = enc.encode(message, 5'000);
+  const auto tx = enc.encode(message, TimeUs{5'000});
   sim::RngStream rng(12);
   auto traffic_rng = rng.fork("t");
   const auto ambient = wifi::make_poisson_timeline(
-      8'000, tx.end_us + 10'000, wifi::TrafficParams{}, traffic_rng);
+      8'000, tx.end_us + TimeUs{10'000}, wifi::TrafficParams{}, traffic_rng);
 
   DownlinkSimConfig cfg;
-  cfg.reader_tag_distance_m = 1.2;
-  cfg.ambient_distance_m = 0.8;  // loud interferer
+  cfg.reader_tag_distance_m = Meters{1.2};
+  cfg.ambient_distance_m = Meters{0.8};  // loud interferer
   cfg.ambient_respects_nav = false;
   cfg.seed = 13;
   DownlinkSim sim(cfg);
-  const auto rep = sim.run(tx, ambient, tx.end_us + 10'000);
+  const auto rep = sim.run(tx, ambient, tx.end_us + TimeUs{10'000});
   std::size_t errors = 0;
   for (std::size_t i = 0; i < tx.slots.size(); ++i) {
     if (rep.slot_levels[i] != tx.slots[i].bit) ++errors;
@@ -208,11 +208,11 @@ TEST(DownlinkSim, NonCompliantAmbientCorruptsSilences) {
 TEST(DownlinkSim, EnergyAccountingPositive) {
   reader::DownlinkEncoder enc(reader::DownlinkEncoderConfig{});
   const auto tx = enc.encode(build_downlink_frame(random_bits(56, 16)),
-                             1'000);
+                             TimeUs{1'000});
   DownlinkSimConfig cfg;
   cfg.seed = 14;
   DownlinkSim sim(cfg);
-  const auto rep = sim.run(tx, {}, tx.end_us + 1'000);
+  const auto rep = sim.run(tx, {}, tx.end_us + TimeUs{1'000});
   EXPECT_GT(rep.detector_energy_uj, 0.0);
   EXPECT_GT(rep.mcu_energy_uj, 0.0);
   // The always-on detector at ~1 uW over ~10 ms is ~0.01 uJ.
@@ -221,9 +221,9 @@ TEST(DownlinkSim, EnergyAccountingPositive) {
 
 TEST(DownlinkSim, ReceivedPowerFollowsDistance) {
   DownlinkSimConfig near_cfg;
-  near_cfg.reader_tag_distance_m = 0.5;
+  near_cfg.reader_tag_distance_m = Meters{0.5};
   DownlinkSimConfig far_cfg;
-  far_cfg.reader_tag_distance_m = 2.0;
+  far_cfg.reader_tag_distance_m = Meters{2.0};
   DownlinkSim near_sim(near_cfg), far_sim(far_cfg);
   EXPECT_GT(near_sim.reader_power_mw(), far_sim.reader_power_mw() * 10.0);
 }

@@ -7,8 +7,8 @@ namespace {
 
 SystemConfig friendly_config(std::uint64_t seed) {
   SystemConfig cfg;
-  cfg.tag_reader_distance_m = 0.10;
-  cfg.helper_distance_m = 3.0;
+  cfg.tag_reader_distance_m = Meters{0.10};
+  cfg.helper_distance_m = Meters{3.0};
   cfg.helper_pps = 2'000.0;
   cfg.seed = seed;
   return cfg;
@@ -79,7 +79,7 @@ TEST(System, QueryCarriesCommandedRateCode) {
 
 TEST(System, RssiUplinkWorksAtCloseRange) {
   SystemConfig cfg = friendly_config(6);
-  cfg.tag_reader_distance_m = 0.05;
+  cfg.tag_reader_distance_m = Meters{0.05};
   cfg.uplink_source = reader::MeasurementSource::kRssi;
   WiFiBackscatterSystem sys(cfg);
   const BitVec data = random_bits(16, 5);
@@ -111,7 +111,7 @@ TEST(System, AckEnabledQuerySucceeds) {
 TEST(System, AckPreventsUplinkWaitOnMissedQuery) {
   SystemConfig cfg = friendly_config(10);
   cfg.ack_enabled = true;
-  cfg.tag_reader_distance_m = 8.0;  // downlink cannot reach
+  cfg.tag_reader_distance_m = Meters{8.0};  // downlink cannot reach
   cfg.max_query_attempts = 2;
   WiFiBackscatterSystem sys(cfg);
   Query q;
@@ -125,7 +125,7 @@ TEST(System, AckPreventsUplinkWaitOnMissedQuery) {
 
 TEST(System, FarDownlinkFailsGracefully) {
   SystemConfig cfg = friendly_config(7);
-  cfg.tag_reader_distance_m = 8.0;  // far beyond downlink range
+  cfg.tag_reader_distance_m = Meters{8.0};  // far beyond downlink range
   cfg.max_query_attempts = 2;
   WiFiBackscatterSystem sys(cfg);
   Query q;

@@ -20,7 +20,7 @@ TEST(FailureInjection, AllAntennasWeak) {
   // flat gain), which is exactly why the paper could keep its bad antenna
   // in the pipeline (§7.1).
   core::UplinkExperimentParams p;
-  p.tag_reader_distance_m = 0.05;
+  p.tag_reader_distance_m = Meters{0.05};
   p.runs = 3;
   p.payload_bits = 24;
   p.nic.weak_antenna = 0;  // one designated weak antenna...
@@ -34,7 +34,7 @@ TEST(FailureInjection, ExtremeSpuriousNic) {
   // A quarter of all packets carry spurious snapshots: close-range
   // decoding should degrade but not collapse (majority voting).
   core::UplinkExperimentParams p;
-  p.tag_reader_distance_m = 0.05;
+  p.tag_reader_distance_m = Meters{0.05};
   p.runs = 3;
   p.payload_bits = 24;
   p.nic.spurious_prob = 0.25;
@@ -45,7 +45,7 @@ TEST(FailureInjection, ExtremeSpuriousNic) {
 
 TEST(FailureInjection, CrushingNoiseFailsCleanly) {
   core::UplinkExperimentParams p;
-  p.tag_reader_distance_m = 0.05;
+  p.tag_reader_distance_m = Meters{0.05};
   p.runs = 2;
   p.payload_bits = 24;
   p.nic.csi_noise_rel = 5.0;  // SNR << 1 everywhere
@@ -58,10 +58,10 @@ TEST(FailureInjection, CrushingNoiseFailsCleanly) {
 
 TEST(FailureInjection, DecoderHandlesSinglePacketTrace) {
   wifi::CaptureTrace trace(1);
-  trace[0].timestamp_us = 0;
+  trace[0].timestamp_us = TimeUs{};
   reader::UplinkDecoderConfig cfg;
   cfg.payload_bits = 8;
-  cfg.bit_duration_us = 1'000;
+  cfg.bit_duration_us = TimeUs{1'000};
   reader::UplinkDecoder dec(cfg);
   const auto res = dec.decode(trace);
   EXPECT_FALSE(res.found);
@@ -73,14 +73,14 @@ TEST(FailureInjection, DecoderHandlesAllIdenticalMeasurements) {
   wifi::CaptureTrace trace;
   for (int i = 0; i < 2'000; ++i) {
     wifi::CaptureRecord r;
-    r.timestamp_us = i * 500;
+    r.timestamp_us = TimeUs{i * 500};
     for (auto& ant : r.csi) ant.fill(7.0);
     r.rssi_dbm.fill(-40.0);
     trace.push_back(r);
   }
   reader::UplinkDecoderConfig cfg;
   cfg.payload_bits = 16;
-  cfg.bit_duration_us = 5'000;
+  cfg.bit_duration_us = TimeUs{5'000};
   cfg.sync_threshold = 0.1;
   reader::UplinkDecoder dec(cfg);
   EXPECT_FALSE(dec.decode(trace).found);
@@ -133,9 +133,10 @@ TEST(FailureInjection, DownlinkRejectsMassiveCorruption) {
 
 TEST(FailureInjection, ConditioningSurvivesIdenticalTimestamps) {
   // Several packets sharing one timestamp (bursted delivery reports).
-  std::vector<TimeUs> ts = {100, 100, 100, 200, 200, 300};
+  std::vector<TimeUs> ts = {TimeUs{100}, TimeUs{100}, TimeUs{100},
+                            TimeUs{200}, TimeUs{200}, TimeUs{300}};
   std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
-  const auto y = reader::remove_time_moving_average(ts, xs, 1'000);
+  const auto y = reader::remove_time_moving_average(ts, xs, TimeUs{1'000});
   EXPECT_EQ(y.size(), xs.size());
   for (double v : y) {
     EXPECT_TRUE(std::isfinite(v));

@@ -10,7 +10,7 @@ namespace {
 
 UplinkExperimentParams quick_params(double distance_m, std::uint64_t seed) {
   UplinkExperimentParams p;
-  p.tag_reader_distance_m = distance_m;
+  p.tag_reader_distance_m = Meters{distance_m};
   p.packets_per_bit = 30.0;
   p.payload_bits = 40;
   p.runs = 4;
@@ -92,7 +92,7 @@ TEST(Experiments, CodedDecoderReachesBeyondPlainRange) {
   // At 1.2 m the plain decoder is dead (Fig 6) but a 20-chip code works
   // (Fig 20).
   CodedExperimentParams coded;
-  coded.tag_reader_distance_m = 1.2;
+  coded.tag_reader_distance_m = Meters{1.2};
   coded.code_length = 20;
   coded.packets_per_chip = 4.0;
   coded.payload_bits = 12;
@@ -109,7 +109,7 @@ TEST(Experiments, CodedDecoderReachesBeyondPlainRange) {
 
 TEST(Experiments, LongerCodesExtendRange) {
   CodedExperimentParams p;
-  p.tag_reader_distance_m = 2.0;
+  p.tag_reader_distance_m = Meters{2.0};
   p.packets_per_chip = 2.0;
   p.payload_bits = 12;
   p.runs = 3;
@@ -123,7 +123,7 @@ TEST(Experiments, LongerCodesExtendRange) {
 
 TEST(Experiments, RequiredLengthMonotoneInterface) {
   CodedExperimentParams p;
-  p.tag_reader_distance_m = 0.6;
+  p.tag_reader_distance_m = Meters{0.6};
   p.packets_per_chip = 2.0;
   p.payload_bits = 12;
   p.runs = 2;
@@ -134,7 +134,7 @@ TEST(Experiments, RequiredLengthMonotoneInterface) {
 
 TEST(Experiments, BeaconOnlyUplinkWorks) {
   UplinkExperimentParams p;
-  p.tag_reader_distance_m = 0.05;
+  p.tag_reader_distance_m = Meters{0.05};
   p.helper_pps = 50.0;  // beacons/s
   p.packets_per_bit = 2.5;
   p.beacons_only = true;
@@ -150,7 +150,7 @@ TEST(Experiments, GeometryOverridesAreUsed) {
   // Putting the helper behind a thick wall must reduce absolute signal
   // but leave relative decoding workable (Fig 14's point).
   phy::FloorPlan plan;
-  plan.add_wall(phy::Wall{{1.5, -5.0}, {1.5, 5.0}, 8.0});
+  plan.add_wall(phy::Wall{{1.5, -5.0}, {1.5, 5.0}, Db{8.0}});
   UplinkExperimentParams p = quick_params(0.05, 12);
   p.helper_pos = phy::Vec2{4.0, 0.0};
   p.reader_pos = phy::Vec2{0.0, 0.0};

@@ -23,7 +23,7 @@ std::uint64_t counter_value(const obs::MetricsRegistry::Snapshot& snap,
 
 TEST(ObsSystem, QueryRoundTripPopulatesMetricsAcrossLayers) {
   core::SystemConfig cfg;
-  cfg.tag_reader_distance_m = 0.2;
+  cfg.tag_reader_distance_m = Meters{0.2};
   cfg.helper_pps = 3'000.0;
   cfg.seed = 5;
 
@@ -83,7 +83,7 @@ TEST(ObsSystem, QueryRoundTripPopulatesMetricsAcrossLayers) {
 
 TEST(ObsSystem, QueryTraceStitchesLegsOntoOneTimeline) {
   core::SystemConfig cfg;
-  cfg.tag_reader_distance_m = 0.2;
+  cfg.tag_reader_distance_m = Meters{0.2};
   cfg.helper_pps = 3'000.0;
   cfg.seed = 5;
 
@@ -104,14 +104,14 @@ TEST(ObsSystem, QueryTraceStitchesLegsOntoOneTimeline) {
   EXPECT_NE(json.find("\"downlink_listen\""), std::string::npos);
   EXPECT_NE(json.find("\"uplink_frame\""), std::string::npos);
   // Offset restored after query() completes.
-  EXPECT_EQ(tracer.offset(), 0);
+  EXPECT_EQ(tracer.offset(), TimeUs{});
 }
 
 TEST(ObsSystem, MetricsOffIsStillSuccessful) {
   ASSERT_EQ(obs::metrics(), nullptr);
   ASSERT_EQ(obs::tracer(), nullptr);
   core::SystemConfig cfg;
-  cfg.tag_reader_distance_m = 0.2;
+  cfg.tag_reader_distance_m = Meters{0.2};
   cfg.helper_pps = 3'000.0;
   cfg.seed = 5;
   core::WiFiBackscatterSystem system(cfg);
@@ -125,7 +125,7 @@ TEST(ObsSystem, MetricsOffIsStillSuccessful) {
 TEST(ObsSystem, SameSeedSameOutcomeWithAndWithoutMetrics) {
   // Observability must not perturb simulation results.
   core::SystemConfig cfg;
-  cfg.tag_reader_distance_m = 0.2;
+  cfg.tag_reader_distance_m = Meters{0.2};
   cfg.helper_pps = 3'000.0;
   cfg.seed = 11;
   core::Query q;

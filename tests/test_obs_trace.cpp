@@ -37,9 +37,10 @@ TEST(Tracer, LanesAreStableAndNamed) {
 TEST(Tracer, EventsAppearInJson) {
   Tracer t;
   const int lane = t.lane("protocol");
-  t.complete(lane, "query", "core", 100, 50, {{"attempt", 1.0}});
-  t.instant(lane, "decoded", "tag", 160);
-  t.counter("depth", 10, 3.0);
+  t.complete(lane, "query", "core", TimeUs{100}, TimeUs{50},
+             {{"attempt", 1.0}});
+  t.instant(lane, "decoded", "tag", TimeUs{160});
+  t.counter("depth", TimeUs{10}, 3.0);
   EXPECT_EQ(t.num_events(), 3u);
 
   const std::string json = t.to_json();
@@ -59,7 +60,7 @@ TEST(Tracer, JsonIsStructurallyBalanced) {
   // brackets, and no raw control characters inside the output.
   Tracer t;
   const int lane = t.lane("lane \"quoted\"\n");
-  t.complete(lane, "evil\tname", "cat", 0, 1);
+  t.complete(lane, "evil\tname", "cat", TimeUs{}, TimeUs{1});
   const std::string json = t.to_json();
   int braces = 0, brackets = 0;
   bool in_string = false, escaped = false;
@@ -94,14 +95,14 @@ TEST(Tracer, OffsetShiftsTimestamps) {
   const int lane = t.lane("l");
   ScopedTracer scope(t);
   {
-    ScopedTraceOffset shift(1'000);
-    tracer()->complete(lane, "inner", "c", 10, 5);
+    ScopedTraceOffset shift(TimeUs{1'000});
+    tracer()->complete(lane, "inner", "c", TimeUs{10}, TimeUs{5});
     {
-      ScopedTraceOffset nested(100);
-      tracer()->instant(lane, "nested", "c", 1);
+      ScopedTraceOffset nested(TimeUs{100});
+      tracer()->instant(lane, "nested", "c", TimeUs{1});
     }
   }
-  tracer()->instant(lane, "outer", "c", 7);
+  tracer()->instant(lane, "outer", "c", TimeUs{7});
   const std::string json = t.to_json();
   EXPECT_NE(json.find("\"ts\":1010"), std::string::npos);  // 10 + 1000
   EXPECT_NE(json.find("\"ts\":1101"), std::string::npos);  // 1 + 1100
@@ -110,13 +111,13 @@ TEST(Tracer, OffsetShiftsTimestamps) {
 
 TEST(Tracer, GlobalOffByDefaultAndOffsetNoopWhenOff) {
   EXPECT_EQ(tracer(), nullptr);
-  ScopedTraceOffset shift(500);  // must not crash with no tracer installed
+  ScopedTraceOffset shift(TimeUs{500});  // must not crash with no tracer installed
   EXPECT_EQ(tracer(), nullptr);
 }
 
 TEST(Tracer, WriteJsonRoundTrip) {
   Tracer t;
-  t.complete(t.lane("x"), "e", "c", 0, 2);
+  t.complete(t.lane("x"), "e", "c", TimeUs{}, TimeUs{2});
   const std::string path = ::testing::TempDir() + "wb_trace_test.json";
   ASSERT_TRUE(t.write_json(path));
   std::FILE* f = std::fopen(path.c_str(), "r");

@@ -21,7 +21,7 @@ TEST(OuProcess, StartsFromStationaryDistribution) {
   for (int i = 0; i < 2'000; ++i) {
     sim::RngStream rng(static_cast<std::uint64_t>(i) + 1);
     OuProcess ou(1.0, 0.5, rng);
-    stats.push(ou.at(0));
+    stats.push(ou.at(TimeUs{0}));
   }
   EXPECT_NEAR(stats.mean(), 0.0, 0.05);
   EXPECT_NEAR(stats.stddev(), 0.5, 0.05);
@@ -31,7 +31,7 @@ TEST(OuProcess, StationaryVarianceOverTime) {
   sim::RngStream rng(3);
   OuProcess ou(0.5, 0.2, rng);
   RunningStats stats;
-  for (TimeUs t = 0; t < 60 * kMicrosPerSec; t += 10'000) {
+  for (TimeUs t{0}; t < kMicrosPerSec * 60; t += TimeUs{10'000}) {
     stats.push(ou.at(t));
   }
   EXPECT_NEAR(stats.stddev(), 0.2, 0.05);
@@ -40,8 +40,8 @@ TEST(OuProcess, StationaryVarianceOverTime) {
 TEST(OuProcess, ContinuousOverSmallSteps) {
   sim::RngStream rng(4);
   OuProcess ou(2.0, 0.1, rng);
-  double prev = ou.at(0);
-  for (TimeUs t = 100; t < 100'000; t += 100) {
+  double prev = ou.at(TimeUs{0});
+  for (TimeUs t{100}; t < TimeUs{100'000}; t += TimeUs{100}) {
     const double x = ou.at(t);
     EXPECT_LT(std::abs(x - prev), 0.05);  // 100 us steps are tiny vs tau
     prev = x;
@@ -51,8 +51,8 @@ TEST(OuProcess, ContinuousOverSmallSteps) {
 TEST(OuProcess, ZeroDtReturnsSameValue) {
   sim::RngStream rng(5);
   OuProcess ou(1.0, 0.3, rng);
-  const double a = ou.at(1'000);
-  const double b = ou.at(1'000);
+  const double a = ou.at(TimeUs{1'000});
+  const double b = ou.at(TimeUs{1'000});
   EXPECT_DOUBLE_EQ(a, b);
 }
 
@@ -62,8 +62,8 @@ TEST(UplinkChannel, ResponseIsDirectPlusDelta) {
   p.drift.antenna_sigma = 0.0;  // disable drift for exactness
   p.drift.subchannel_sigma = 0.0;
   UplinkChannel ch(p, rng);
-  const auto off = ch.response(false, 0);
-  const auto on = ch.response(true, 0);
+  const auto off = ch.response(false, TimeUs{});
+  const auto on = ch.response(true, TimeUs{});
   for (std::size_t a = 0; a < kNumAntennas; ++a) {
     for (std::size_t s = 0; s < kNumSubchannels; ++s) {
       EXPECT_NEAR(std::abs(on[a][s] - off[a][s] - ch.delta()[a][s]), 0.0,
@@ -94,8 +94,8 @@ TEST(UplinkChannel, DepthIsSubstantialAtCloseRange) {
 TEST(UplinkChannel, DriftChangesResponseOverTime) {
   sim::RngStream rng(9);
   UplinkChannel ch(params_at(0.3), rng);
-  const auto h0 = ch.response(false, 0);
-  const auto h1 = ch.response(false, 10 * kMicrosPerSec);
+  const auto h0 = ch.response(false, TimeUs{});
+  const auto h1 = ch.response(false, kMicrosPerSec * 10);
   double diff = 0.0;
   for (std::size_t a = 0; a < kNumAntennas; ++a) {
     for (std::size_t s = 0; s < kNumSubchannels; ++s) {
@@ -131,7 +131,7 @@ TEST(UplinkChannel, CoherenceAlignsDeltaWithDirectAtCloseRange) {
 
 TEST(UplinkChannel, WallAttenuatesEverything) {
   FloorPlan plan;
-  plan.add_wall(Wall{{1.5, -5}, {1.5, 5}, 10.0});
+  plan.add_wall(Wall{{1.5, -5}, {1.5, 5}, Db{10.0}});
   UplinkChannelParams with_wall = params_at(0.3);
   with_wall.plan = &plan;  // wall between helper (3.3, 0) and the others
   sim::RngStream rng1(11), rng2(11);
@@ -160,7 +160,7 @@ TEST(ChannelDrift, BoundedByConfiguredSigma) {
   sim::RngStream rng(12);
   ChannelDrift drift(p, rng);
   RunningStats stats;
-  for (TimeUs t = 0; t < 30 * kMicrosPerSec; t += 5'000) {
+  for (TimeUs t{0}; t < kMicrosPerSec * 30; t += TimeUs{5'000}) {
     stats.push(drift.at(0, 0, t));
   }
   // Combined stationary sigma ~ sqrt(0.03^2 + 0.008^2) ~ 0.031.

@@ -9,8 +9,8 @@ namespace wb::phy {
 namespace {
 
 TEST(Geometry, Distance) {
-  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
-  EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}).value(), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}).value(), 0.0);
 }
 
 TEST(Geometry, SegmentsCross) {
@@ -35,42 +35,45 @@ TEST(Geometry, CollinearOverlapCountsAsCross) {
 
 TEST(FloorPlan, WallLossAccumulates) {
   FloorPlan plan;
-  plan.add_wall(Wall{{1, -1}, {1, 1}, 6.0});
-  plan.add_wall(Wall{{2, -1}, {2, 1}, 4.0});
-  EXPECT_DOUBLE_EQ(plan.wall_loss_db({0, 0}, {3, 0}), 10.0);
-  EXPECT_DOUBLE_EQ(plan.wall_loss_db({0, 0}, {0.5, 0}), 0.0);
-  EXPECT_DOUBLE_EQ(plan.wall_loss_db({1.5, 0}, {3, 0}), 4.0);
+  plan.add_wall(Wall{{1, -1}, {1, 1}, Db{6.0}});
+  plan.add_wall(Wall{{2, -1}, {2, 1}, Db{4.0}});
+  EXPECT_DOUBLE_EQ(plan.wall_loss_db({0, 0}, {3, 0}).value(), 10.0);
+  EXPECT_DOUBLE_EQ(plan.wall_loss_db({0, 0}, {0.5, 0}).value(), 0.0);
+  EXPECT_DOUBLE_EQ(plan.wall_loss_db({1.5, 0}, {3, 0}).value(), 4.0);
 }
 
 TEST(Testbed, PaperFig13Layout) {
   const auto tb = Testbed::paper_fig13();
   EXPECT_EQ(tb.helper_locations.size(), 4u);
-  EXPECT_NEAR(distance(tb.reader, tb.tag), 0.05, 1e-12);
+  EXPECT_NEAR(distance(tb.reader, tb.tag).value(), 0.05, 1e-12);
   // Locations 2-4 LOS, 3-6 m; location 5 NLOS behind the wall, ~9 m.
   for (std::size_t i = 0; i < 3; ++i) {
-    const double d = distance(tb.helper_locations[i], tb.tag);
+    const double d = distance(tb.helper_locations[i], tb.tag).value();
     EXPECT_GE(d, 2.5) << i;
     EXPECT_LE(d, 6.5) << i;
     EXPECT_DOUBLE_EQ(
-        tb.plan.wall_loss_db(tb.helper_locations[i], tb.tag), 0.0)
+        tb.plan.wall_loss_db(tb.helper_locations[i], tb.tag).value(),
+        0.0)
         << i;
   }
-  EXPECT_GT(distance(tb.helper_locations[3], tb.tag), 8.0);
-  EXPECT_GT(tb.plan.wall_loss_db(tb.helper_locations[3], tb.tag), 0.0);
+  EXPECT_GT(distance(tb.helper_locations[3], tb.tag), Meters{8.0});
+  EXPECT_GT(tb.plan.wall_loss_db(tb.helper_locations[3], tb.tag),
+            Db{});
 }
 
 TEST(PathLoss, FreeSpaceReference) {
   PathLossModel pl;
-  pl.near_field_m = 0.0;
-  EXPECT_NEAR(pl.loss_db(1.0), 40.0, 1e-9);
-  EXPECT_NEAR(pl.loss_db(10.0), 60.0, 1e-9);  // +20 dB per decade at n=2
+  pl.near_field_m = Meters{};
+  EXPECT_NEAR(pl.loss_db(Meters{1.0}).value(), 40.0, 1e-9);
+  // +20 dB per decade at n=2
+  EXPECT_NEAR(pl.loss_db(Meters{10.0}).value(), 60.0, 1e-9);
 }
 
 TEST(PathLoss, MonotoneInDistance) {
   PathLossModel pl;
   double prev = -1e9;
   for (double d : {0.05, 0.1, 0.5, 1.0, 3.0, 10.0}) {
-    const double loss = pl.loss_db(d);
+    const double loss = pl.loss_db(Meters{d}).value();
     EXPECT_GT(loss, prev);
     prev = loss;
   }
@@ -78,25 +81,25 @@ TEST(PathLoss, MonotoneInDistance) {
 
 TEST(PathLoss, NearFieldClampBoundsCloseRange) {
   PathLossModel pl;
-  pl.near_field_m = 0.08;
+  pl.near_field_m = Meters{0.08};
   // Below the clamp the loss flattens: 1 cm and 5 cm differ by < 3 dB.
-  EXPECT_LT(pl.loss_db(0.05) - pl.loss_db(0.01), 3.0);
+  EXPECT_LT(pl.loss_db(Meters{0.05}) - pl.loss_db(Meters{0.01}), Db{3.0});
 }
 
 TEST(PathLoss, AmplitudeGainMatchesLoss) {
   PathLossModel pl;
-  const double d = 2.0;
+  const Meters d{2.0};
   EXPECT_NEAR(pl.amplitude_gain(d),
-              db_to_amplitude(-pl.loss_db(d)), 1e-12);
+              (-pl.loss_db(d)).to_amplitude(), 1e-12);
 }
 
 TEST(PathLoss, WallsAddToPointToPointLoss) {
   FloorPlan plan;
-  plan.add_wall(Wall{{1, -1}, {1, 1}, 7.0});
+  plan.add_wall(Wall{{1, -1}, {1, 1}, Db{7.0}});
   PathLossModel pl;
-  const double with_wall = pl.loss_db({0, 0}, {2, 0}, &plan);
-  const double without = pl.loss_db({0, 0}, {2, 0}, nullptr);
-  EXPECT_NEAR(with_wall - without, 7.0, 1e-12);
+  const Db with_wall = pl.loss_db({0, 0}, {2, 0}, &plan);
+  const Db without = pl.loss_db({0, 0}, {2, 0}, nullptr);
+  EXPECT_NEAR((with_wall - without).value(), 7.0, 1e-12);
 }
 
 TEST(Units, DbmRoundtrip) {
@@ -112,7 +115,7 @@ TEST(Units, DbHelpers) {
 }
 
 TEST(Units, Wavelength24GHz) {
-  EXPECT_NEAR(wavelength_m(kWifiChannel6Hz), 0.123, 0.001);
+  EXPECT_NEAR(kWifiChannel6.wavelength().value(), 0.123, 0.001);
 }
 
 }  // namespace

@@ -82,10 +82,11 @@ TEST_P(ChannelSeedSweep, NicMeasurementsBounded) {
   p.helper_pos = {3.2, 0.0};
   phy::UplinkChannel ch(p, rng.fork("ch"));
   wifi::NicModel nic(wifi::NicModelParams{}, rng.fork("nic"));
-  nic.calibrate(ch.response(false, 0));
+  nic.calibrate(ch.response(false, TimeUs{}));
   for (int i = 0; i < 50; ++i) {
-    const auto rec = nic.measure(ch.response(i % 2 == 0, i * 500), i * 500,
-                                 1, wifi::FrameKind::kData);
+    const auto rec =
+        nic.measure(ch.response(i % 2 == 0, TimeUs{i * 500}),
+                    TimeUs{i * 500}, 1, wifi::FrameKind::kData);
     for (const auto& ant : rec.csi) {
       for (double v : ant) {
         ASSERT_TRUE(std::isfinite(v));
@@ -107,7 +108,7 @@ class LinkSnrSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(LinkSnrSweep, ThroughputAndPerWellFormed) {
   wifi::LinkSimConfig cfg;
-  cfg.base_snr_db = static_cast<double>(GetParam());
+  cfg.base_snr_db = Db{static_cast<double>(GetParam())};
   cfg.seed = static_cast<std::uint64_t>(GetParam());
   const auto r = wifi::run_link_sim(cfg, 2 * kMicrosPerSec);
   EXPECT_GE(r.per, 0.0);

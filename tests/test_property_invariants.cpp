@@ -48,20 +48,22 @@ TEST_P(SeededProperty, ModulatorChipCountInvariant) {
   const std::size_t code_len = 2 + 2 * rng.uniform_int(40);
   const BitVec frame = random_bits(nbits, seed);
   const auto codes = make_orthogonal_pair(code_len);
-  tag::Modulator plain(frame, 100, 0);
-  tag::Modulator coded(frame, codes, 100, 0);
+  tag::Modulator plain(frame, TimeUs{100}, TimeUs{});
+  tag::Modulator coded(frame, codes, TimeUs{100}, TimeUs{});
   EXPECT_EQ(plain.chip_sequence().size(), nbits);
   EXPECT_EQ(coded.chip_sequence().size(), nbits * code_len);
-  EXPECT_EQ(coded.duration(), plain.duration() * static_cast<TimeUs>(
-                                                     code_len));
+  EXPECT_EQ(coded.duration(),
+            plain.duration() * static_cast<std::int64_t>(code_len));
 }
 
 TEST_P(SeededProperty, ModulatorStateMatchesChipTable) {
   const std::uint64_t seed = GetParam();
   const BitVec frame = random_bits(20, seed);
-  tag::Modulator mod(frame, 250, 5'000);
+  tag::Modulator mod(frame, TimeUs{250}, TimeUs{5'000});
   for (std::size_t c = 0; c < frame.size(); ++c) {
-    const TimeUs mid = 5'000 + static_cast<TimeUs>(c) * 250 + 125;
+    const TimeUs mid = TimeUs{5'000} +
+                       TimeUs{250} * static_cast<std::int64_t>(c) +
+                       TimeUs{125};
     EXPECT_EQ(mod.state_at(mid), frame[c] != 0);
   }
 }
@@ -71,9 +73,9 @@ TEST_P(SeededProperty, ConditioningPreservesShape) {
   sim::RngStream rng(seed);
   wifi::CaptureTrace trace;
   const std::size_t n = 20 + rng.uniform_int(100);
-  TimeUs t = 0;
+  TimeUs t{0};
   for (std::size_t i = 0; i < n; ++i) {
-    t += 200 + static_cast<TimeUs>(rng.uniform_int(2'000));
+    t += TimeUs{static_cast<std::int64_t>(200 + rng.uniform_int(2'000))};
     wifi::CaptureRecord r;
     r.timestamp_us = t;
     for (auto& ant : r.csi) {
@@ -83,7 +85,8 @@ TEST_P(SeededProperty, ConditioningPreservesShape) {
     trace.push_back(r);
   }
   const auto ct =
-      reader::condition(trace, reader::MeasurementSource::kCsi, 50'000);
+      reader::condition(trace, reader::MeasurementSource::kCsi,
+                        TimeUs{50'000});
   ASSERT_EQ(ct.num_packets(), n);
   ASSERT_EQ(ct.num_streams(), wifi::kNumCsiStreams);
   // Timestamps preserved and sorted.
@@ -113,7 +116,7 @@ TEST_P(SeededProperty, DecoderOutputLengthAlwaysPayloadBits) {
   }
   reader::UplinkDecoderConfig cfg;
   cfg.payload_bits = 7 + seed % 20;
-  cfg.bit_duration_us = 4'000;
+  cfg.bit_duration_us = TimeUs{4'000};
   cfg.num_good_streams = 3;
   reader::UplinkDecoder dec(cfg);
   const auto res = dec.decode_conditioned(ct);
@@ -133,11 +136,11 @@ TEST_P(SeededProperty, DownlinkScheduleInternallyConsistent) {
   const std::uint64_t seed = GetParam();
   sim::RngStream rng(seed);
   reader::DownlinkEncoderConfig cfg;
-  const TimeUs slots[] = {50, 100, 200};
+  const TimeUs slots[] = {TimeUs{50}, TimeUs{100}, TimeUs{200}};
   cfg.slot_us = slots[rng.uniform_int(3)];
   reader::DownlinkEncoder enc(cfg);
   const BitVec message = random_bits(1 + rng.uniform_int(900), seed);
-  const auto tx = enc.encode(message, 1'000);
+  const auto tx = enc.encode(message, TimeUs{1'000});
 
   ASSERT_EQ(tx.slots.size(), message.size());
   // Slot bits reproduce the message; every '1' slot is covered by a data
@@ -173,10 +176,11 @@ TEST_P(SeededProperty, EndToEndUplinkFrameRecovery) {
   const BitVec payload = random_bits(20, seed ^ 0xAA);
   BitVec frame = barker13();
   frame.insert(frame.end(), payload.begin(), payload.end());
-  const TimeUs bit_us = 10'000;
-  const TimeUs start = 600'000;
-  const TimeUs until = start + static_cast<TimeUs>(frame.size()) * bit_us +
-                       50'000;
+  const TimeUs bit_us{10'000};
+  const TimeUs start{600'000};
+  const TimeUs until = start +
+                       bit_us * static_cast<std::int64_t>(frame.size()) +
+                       TimeUs{50'000};
   sim::RngStream rng(seed);
   auto traffic_rng = rng.fork("t");
   const auto tl = wifi::make_cbr_timeline(3'000, until,

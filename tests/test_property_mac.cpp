@@ -30,18 +30,18 @@ TEST_P(MacSweep, ConservationInvariants) {
   // The clock reaches the horizon; a frame that started before it may
   // finish past it, bounded by one frame cycle.
   EXPECT_GE(mac.now(), horizon);
-  EXPECT_LE(mac.now(), horizon + 30'000);
+  EXPECT_LE(mac.now(), horizon + TimeUs{30'000});
   EXPECT_GE(mac.utilisation(), 0.0);
   EXPECT_LE(mac.utilisation(), 1.0);
 
   // Airtime conservation: every logged frame fits inside the horizon and
   // successful frames never overlap each other.
-  TimeUs prev_end = 0;
+  TimeUs prev_end{0};
   for (const auto& f : mac.log()) {
-    EXPECT_GE(f.packet.start_us, 0);
-    EXPECT_LE(f.packet.end_us(), horizon + 10'000);
+    EXPECT_GE(f.packet.start_us, TimeUs{});
+    EXPECT_LE(f.packet.end_us(), horizon + TimeUs{10'000});
     if (!f.collided) {
-      EXPECT_GE(f.packet.start_us, prev_end - 1);
+      EXPECT_GE(f.packet.start_us, prev_end - TimeUs{1});
       prev_end = f.packet.end_us();
     }
   }
@@ -76,7 +76,7 @@ TEST_P(MacSeedSweep, DeterministicForSeed) {
     const auto b = mac.add_station();
     mac.make_saturated(a, 1'000, 54.0);
     mac.make_saturated(b, 700, 24.0);
-    mac.run_until(300'000);
+    mac.run_until(TimeUs{300'000});
     return std::make_pair(mac.stats(a).delivered, mac.stats(b).delivered);
   };
   EXPECT_EQ(run(GetParam()), run(GetParam()));
@@ -91,8 +91,8 @@ TEST(MacProperty, ReservationAlwaysRespectedAcrossSeeds) {
     const auto reader = mac.add_station();
     const auto rival = mac.add_station();
     mac.make_saturated(rival, 1'500, 54.0);
-    mac.reserve(reader, 20'000, 5'000);
-    mac.run_until(80'000);
+    mac.reserve(reader, TimeUs{20'000}, TimeUs{5'000});
+    mac.run_until(TimeUs{80'000});
     const AirFrame* cts = nullptr;
     for (const auto& f : mac.log()) {
       if (f.packet.kind == FrameKind::kCtsToSelf && !f.collided) cts = &f;

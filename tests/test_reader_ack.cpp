@@ -19,7 +19,7 @@ wifi::CaptureTrace make_trace(bool with_ack, TimeUs ack_start,
   sim_cfg.seed = seed;
   sim::RngStream rng(seed);
   auto traffic_rng = rng.fork("t");
-  const TimeUs until = ack_start + cfg.duration_us() + 100'000;
+  const TimeUs until = ack_start + cfg.duration_us() + TimeUs{100'000};
   const auto tl = wifi::make_cbr_timeline(3'000, until,
                                           wifi::TrafficParams{},
                                           traffic_rng);
@@ -31,27 +31,27 @@ wifi::CaptureTrace make_trace(bool with_ack, TimeUs ack_start,
 
 TEST(AckDetector, DetectsAckAtExpectedTime) {
   AckConfig cfg;
-  const TimeUs ack_start = 700'000;
+  const TimeUs ack_start{700'000};
   const auto trace = make_trace(true, ack_start, cfg, 0.15, 1);
   const auto det = detect_ack(trace, cfg, ack_start);
   EXPECT_TRUE(det.detected);
-  EXPECT_NEAR(static_cast<double>(det.at_us),
-              static_cast<double>(ack_start),
-              static_cast<double>(cfg.jitter_us));
+  EXPECT_NEAR(static_cast<double>(det.at_us.ticks()),
+              static_cast<double>(ack_start.ticks()),
+              static_cast<double>(cfg.jitter_us.ticks()));
 }
 
 TEST(AckDetector, ToleratesTagClockSkew) {
   AckConfig cfg;
-  const TimeUs nominal = 700'000;
+  const TimeUs nominal{700'000};
   // Tag fires 1.5 ms late (inside the jitter window).
-  const auto trace = make_trace(true, nominal + 1'500, cfg, 0.15, 2);
+  const auto trace = make_trace(true, nominal + TimeUs{1'500}, cfg, 0.15, 2);
   EXPECT_TRUE(detect_ack(trace, cfg, nominal).detected);
 }
 
 TEST(AckDetector, SilentTagNotDetected) {
   AckConfig cfg;
-  const auto trace = make_trace(false, 700'000, cfg, 0.15, 3);
-  const auto det = detect_ack(trace, cfg, 700'000);
+  const auto trace = make_trace(false, TimeUs{700'000}, cfg, 0.15, 3);
+  const auto det = detect_ack(trace, cfg, TimeUs{700'000});
   EXPECT_FALSE(det.detected);
   EXPECT_LT(det.score, cfg.threshold);
 }
@@ -59,8 +59,8 @@ TEST(AckDetector, SilentTagNotDetected) {
 TEST(AckDetector, NoFalsePositivesOverSeeds) {
   AckConfig cfg;
   for (std::uint64_t seed = 10; seed < 18; ++seed) {
-    const auto trace = make_trace(false, 700'000, cfg, 0.15, seed);
-    EXPECT_FALSE(detect_ack(trace, cfg, 700'000).detected)
+    const auto trace = make_trace(false, TimeUs{700'000}, cfg, 0.15, seed);
+    EXPECT_FALSE(detect_ack(trace, cfg, TimeUs{700'000}).detected)
         << "seed " << seed;
   }
 }
@@ -69,8 +69,8 @@ TEST(AckDetector, DetectsAcrossSeeds) {
   AckConfig cfg;
   std::size_t hits = 0;
   for (std::uint64_t seed = 20; seed < 28; ++seed) {
-    const auto trace = make_trace(true, 700'000, cfg, 0.15, seed);
-    if (detect_ack(trace, cfg, 700'000).detected) ++hits;
+    const auto trace = make_trace(true, TimeUs{700'000}, cfg, 0.15, seed);
+    if (detect_ack(trace, cfg, TimeUs{700'000}).detected) ++hits;
   }
   EXPECT_GE(hits, 7u);
 }
@@ -88,12 +88,14 @@ TEST(AckDetector, LongerPatternsRejectNoiseBetter) {
   double short_noise = 0.0, long_noise = 0.0;
   for (std::uint64_t seed = 30; seed < 36; ++seed) {
     short_noise +=
-        detect_ack(make_trace(false, 700'000, short_cfg, 0.15, seed),
-                   short_cfg, 700'000)
+        detect_ack(
+            make_trace(false, TimeUs{700'000}, short_cfg, 0.15, seed),
+            short_cfg, TimeUs{700'000})
             .score;
     long_noise +=
-        detect_ack(make_trace(false, 700'000, long_cfg, 0.15, seed),
-                   long_cfg, 700'000)
+        detect_ack(
+            make_trace(false, TimeUs{700'000}, long_cfg, 0.15, seed),
+            long_cfg, TimeUs{700'000})
             .score;
   }
   EXPECT_GT(short_noise, 1.5 * long_noise);
@@ -101,7 +103,7 @@ TEST(AckDetector, LongerPatternsRejectNoiseBetter) {
 
 TEST(AckDetector, EmptyTraceNotDetected) {
   AckConfig cfg;
-  EXPECT_FALSE(detect_ack(ConditionedTrace{}, cfg, 0).detected);
+  EXPECT_FALSE(detect_ack(ConditionedTrace{}, cfg, TimeUs{}).detected);
 }
 
 }  // namespace

@@ -24,10 +24,10 @@ TEST(Conditioning, RemovesConstantOffset) {
   std::vector<TimeUs> ts;
   std::vector<double> xs;
   for (int i = 0; i < 100; ++i) {
-    ts.push_back(i * 1'000);
+    ts.push_back(TimeUs{i * 1'000});
     xs.push_back(5.0);
   }
-  const auto y = remove_time_moving_average(ts, xs, 20'000);
+  const auto y = remove_time_moving_average(ts, xs, TimeUs{20'000});
   for (double v : y) EXPECT_NEAR(v, 0.0, 1e-12);
 }
 
@@ -43,11 +43,11 @@ TEST(Conditioning, CenteredWindowHasNoBaselineCreep) {
   int k = 0;
   for (char c : pattern) {
     for (int i = 0; i < 10; ++i, ++k) {
-      ts.push_back(k * 300);
+      ts.push_back(TimeUs{k * 300});
       xs.push_back(c == '1' ? 1.0 : 0.0);
     }
   }
-  const auto y = remove_time_moving_average(ts, xs, 30'000);  // 100 samples
+  const auto y = remove_time_moving_average(ts, xs, TimeUs{30'000});  // 100 samples
   // Check the '0' bit right after the run of ones (samples 170-179) is
   // negative and the '1' bit after it positive.
   for (int i = 172; i < 178; ++i) EXPECT_LT(y[i], 0.0) << i;
@@ -59,28 +59,29 @@ TEST(Conditioning, TracksSlowDrift) {
   std::vector<TimeUs> ts;
   std::vector<double> xs;
   for (int i = 0; i < 1'000; ++i) {
-    ts.push_back(i * 1'000);
+    ts.push_back(TimeUs{i * 1'000});
     xs.push_back(0.01 * i);
   }
-  const auto y = remove_time_moving_average(ts, xs, 50'000);
+  const auto y = remove_time_moving_average(ts, xs, TimeUs{50'000});
   for (std::size_t i = 100; i + 100 < y.size(); ++i) {
     EXPECT_NEAR(y[i], 0.0, 0.05);
   }
 }
 
 TEST(Conditioning, HandlesIrregularTimestamps) {
-  std::vector<TimeUs> ts = {0, 1'000, 50'000, 51'000, 200'000};
+  std::vector<TimeUs> ts = {TimeUs{0}, TimeUs{1'000}, TimeUs{50'000},
+                            TimeUs{51'000}, TimeUs{200'000}};
   std::vector<double> xs = {1.0, 1.0, 1.0, 1.0, 1.0};
-  const auto y = remove_time_moving_average(ts, xs, 10'000);
+  const auto y = remove_time_moving_average(ts, xs, TimeUs{10'000});
   for (double v : y) EXPECT_NEAR(v, 0.0, 1e-12);
 }
 
 TEST(Conditioning, CsiTraceShapes) {
   wifi::CaptureTrace trace;
   for (int i = 0; i < 50; ++i) {
-    trace.push_back(record_at(i * 1'000, 4.0 + (i % 2), -40.0));
+    trace.push_back(record_at(TimeUs{i * 1'000}, 4.0 + (i % 2), -40.0));
   }
-  const auto ct = condition(trace, MeasurementSource::kCsi, 20'000);
+  const auto ct = condition(trace, MeasurementSource::kCsi, TimeUs{20'000});
   EXPECT_EQ(ct.num_streams(), wifi::kNumCsiStreams);
   EXPECT_EQ(ct.num_packets(), 50u);
   for (const auto& s : ct.streams) {
@@ -91,36 +92,36 @@ TEST(Conditioning, CsiTraceShapes) {
 TEST(Conditioning, RssiTraceHasAntennaStreams) {
   wifi::CaptureTrace trace;
   for (int i = 0; i < 50; ++i) {
-    trace.push_back(record_at(i * 1'000, 4.0, -40.0 - (i % 2)));
+    trace.push_back(record_at(TimeUs{i * 1'000}, 4.0, -40.0 - (i % 2)));
   }
-  const auto ct = condition(trace, MeasurementSource::kRssi, 20'000);
+  const auto ct = condition(trace, MeasurementSource::kRssi, TimeUs{20'000});
   EXPECT_EQ(ct.num_streams(), phy::kNumAntennas);
 }
 
 TEST(Conditioning, CsiSkipsRecordsWithoutCsi) {
   wifi::CaptureTrace trace;
   for (int i = 0; i < 20; ++i) {
-    trace.push_back(record_at(i * 1'000, 4.0, -40.0, i % 2 == 0));
+    trace.push_back(record_at(TimeUs{i * 1'000}, 4.0, -40.0, i % 2 == 0));
   }
-  const auto ct = condition(trace, MeasurementSource::kCsi, 20'000);
+  const auto ct = condition(trace, MeasurementSource::kCsi, TimeUs{20'000});
   EXPECT_EQ(ct.num_packets(), 10u);
 }
 
 TEST(Conditioning, RssiKeepsAllRecords) {
   wifi::CaptureTrace trace;
   for (int i = 0; i < 20; ++i) {
-    trace.push_back(record_at(i * 1'000, 4.0, -40.0, i % 2 == 0));
+    trace.push_back(record_at(TimeUs{i * 1'000}, 4.0, -40.0, i % 2 == 0));
   }
-  const auto ct = condition(trace, MeasurementSource::kRssi, 20'000);
+  const auto ct = condition(trace, MeasurementSource::kRssi, TimeUs{20'000});
   EXPECT_EQ(ct.num_packets(), 20u);
 }
 
 TEST(Conditioning, NormalisedToUnitMeanAbs) {
   wifi::CaptureTrace trace;
   for (int i = 0; i < 200; ++i) {
-    trace.push_back(record_at(i * 1'000, 4.0 + 0.5 * (i % 2), -40.0));
+    trace.push_back(record_at(TimeUs{i * 1'000}, 4.0 + 0.5 * (i % 2), -40.0));
   }
-  const auto ct = condition(trace, MeasurementSource::kCsi, 20'000);
+  const auto ct = condition(trace, MeasurementSource::kCsi, TimeUs{20'000});
   double mad = 0.0;
   for (double v : ct.streams[0]) mad += std::abs(v);
   mad /= static_cast<double>(ct.streams[0].size());
@@ -131,9 +132,9 @@ TEST(Conditioning, SquareWaveMapsNearPlusMinusOne) {
   wifi::CaptureTrace trace;
   for (int i = 0; i < 400; ++i) {
     const double bit = (i / 10) % 2 ? 1.0 : 0.0;
-    trace.push_back(record_at(i * 1'000, 4.0 + bit, -40.0));
+    trace.push_back(record_at(TimeUs{i * 1'000}, 4.0 + bit, -40.0));
   }
-  const auto ct = condition(trace, MeasurementSource::kCsi, 100'000);
+  const auto ct = condition(trace, MeasurementSource::kCsi, TimeUs{100'000});
   // Interior samples should sit near +1 / -1 (paper §3.2's target).
   for (std::size_t i = 100; i < 300; ++i) {
     EXPECT_NEAR(std::abs(ct.streams[0][i]), 1.0, 0.25) << i;
@@ -141,7 +142,7 @@ TEST(Conditioning, SquareWaveMapsNearPlusMinusOne) {
 }
 
 TEST(Conditioning, EmptyTrace) {
-  const auto ct = condition({}, MeasurementSource::kCsi, 20'000);
+  const auto ct = condition({}, MeasurementSource::kCsi, TimeUs{20'000});
   EXPECT_EQ(ct.num_packets(), 0u);
   EXPECT_EQ(ct.num_streams(), wifi::kNumCsiStreams);
 }

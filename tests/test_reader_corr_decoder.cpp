@@ -11,7 +11,7 @@ namespace {
 /// noise; mirrors the tag's coded modulator output.
 struct CodedSynthetic {
   ConditionedTrace ct;
-  TimeUs frame_start = 0;
+  TimeUs frame_start{0};
   BitVec payload;
 };
 
@@ -22,9 +22,9 @@ struct CodedSpec {
   double noise = 0.4;
   double packet_interval_us = 500;
   std::size_t code_length = 8;
-  TimeUs chip_us = 2'000;
+  TimeUs chip_us{2'000};
   std::size_t payload_bits = 10;
-  TimeUs lead_us = 30'000;
+  TimeUs lead_us{30'000};
   std::uint64_t seed = 3;
 };
 
@@ -42,14 +42,14 @@ CodedSynthetic make_coded(const CodedSpec& spec) {
     chips.insert(chips.end(), c.begin(), c.end());
   }
 
-  const TimeUs end = spec.lead_us +
-                     static_cast<TimeUs>(chips.size()) * spec.chip_us +
-                     30'000;
+  const TimeUs end =
+      spec.lead_us +
+      spec.chip_us * static_cast<std::int64_t>(chips.size()) + TimeUs{30'000};
   sim::RngStream rng(spec.seed);
   auto noise_rng = rng.fork("noise");
-  for (double t = 0.0; t < static_cast<double>(end);
+  for (double t = 0.0; t < static_cast<double>(end.ticks());
        t += spec.packet_interval_us) {
-    out.ct.timestamps.push_back(static_cast<TimeUs>(t));
+    out.ct.timestamps.push_back(TimeUs{static_cast<std::int64_t>(t)});
   }
   out.ct.streams.resize(spec.num_streams);
   for (std::size_t s = 0; s < spec.num_streams; ++s) {
@@ -96,9 +96,9 @@ TEST(CodedDecoder, SyncSearchFindsFrame) {
   CodedUplinkDecoder dec(config_for(spec));
   const auto res = dec.decode_conditioned(syn.ct);
   ASSERT_TRUE(res.found);
-  EXPECT_NEAR(static_cast<double>(res.start_us),
-              static_cast<double>(syn.frame_start),
-              static_cast<double>(spec.chip_us));
+  EXPECT_NEAR(static_cast<double>(res.start_us.ticks()),
+              static_cast<double>(syn.frame_start.ticks()),
+              static_cast<double>(spec.chip_us.ticks()));
   EXPECT_EQ(res.payload, syn.payload);
 }
 
@@ -181,11 +181,11 @@ TEST(CodedDecoder, FrameGeometryHelpers) {
   CodedDecoderConfig cfg;
   cfg.codes = make_orthogonal_pair(20);
   cfg.payload_bits = 16;
-  cfg.chip_duration_us = 1'000;
+  cfg.chip_duration_us = TimeUs{1'000};
   EXPECT_EQ(cfg.chips_per_bit(), 20u);
   EXPECT_EQ(cfg.frame_bits(), 13u + 16u);
   EXPECT_EQ(cfg.frame_chips(), 29u * 20u);
-  EXPECT_EQ(cfg.frame_duration_us(), 580'000);
+  EXPECT_EQ(cfg.frame_duration_us(), TimeUs{580'000});
 }
 
 class CodedLengthSweep : public ::testing::TestWithParam<std::size_t> {};

@@ -10,7 +10,7 @@ namespace {
 TEST(DownlinkEncoder, OneSlotPerMessageBit) {
   DownlinkEncoder enc(DownlinkEncoderConfig{});
   const BitVec message = bits_from_string("10110");
-  const auto tx = enc.encode(message, 1'000);
+  const auto tx = enc.encode(message, TimeUs{1'000});
   ASSERT_EQ(tx.slots.size(), 5u);
   for (std::size_t i = 0; i < 5; ++i) {
     EXPECT_EQ(tx.slots[i].bit, message[i]);
@@ -21,7 +21,7 @@ TEST(DownlinkEncoder, PacketsOnlyForOneBits) {
   DownlinkEncoderConfig cfg;
   DownlinkEncoder enc(cfg);
   const BitVec message = bits_from_string("1010011");
-  const auto tx = enc.encode(message, 0);
+  const auto tx = enc.encode(message, TimeUs{});
   std::size_t data_packets = 0;
   for (const auto& pkt : tx.packets) {
     if (pkt.kind == wifi::FrameKind::kData) ++data_packets;
@@ -31,26 +31,26 @@ TEST(DownlinkEncoder, PacketsOnlyForOneBits) {
 
 TEST(DownlinkEncoder, SlotsAreContiguousAndUniform) {
   DownlinkEncoderConfig cfg;
-  cfg.slot_us = 100;
+  cfg.slot_us = TimeUs{100};
   DownlinkEncoder enc(cfg);
-  const auto tx = enc.encode(BitVec(20, 1), 500);
+  const auto tx = enc.encode(BitVec(20, 1), TimeUs{500});
   for (std::size_t i = 1; i < tx.slots.size(); ++i) {
-    EXPECT_EQ(tx.slots[i].start_us - tx.slots[i - 1].start_us, 100);
+    EXPECT_EQ(tx.slots[i].start_us - tx.slots[i - 1].start_us, TimeUs{100});
   }
 }
 
 TEST(DownlinkEncoder, CtsPrecedesFirstSlot) {
   DownlinkEncoder enc(DownlinkEncoderConfig{});
-  const auto tx = enc.encode(BitVec(8, 1), 2'000);
+  const auto tx = enc.encode(BitVec(8, 1), TimeUs{2'000});
   ASSERT_FALSE(tx.packets.empty());
   EXPECT_EQ(tx.packets.front().kind, wifi::FrameKind::kCtsToSelf);
-  EXPECT_EQ(tx.packets.front().start_us, 2'000);
+  EXPECT_EQ(tx.packets.front().start_us, TimeUs{2'000});
   EXPECT_GT(tx.slots.front().start_us, tx.packets.front().end_us());
 }
 
 TEST(DownlinkEncoder, NavCoversWholeChunk) {
   DownlinkEncoder enc(DownlinkEncoderConfig{});
-  const auto tx = enc.encode(BitVec(40, 1), 0);
+  const auto tx = enc.encode(BitVec(40, 1), TimeUs{});
   const auto& cts = tx.packets.front();
   const TimeUs nav_end = cts.end_us() + cts.nav_us;
   EXPECT_GE(nav_end, tx.slots.back().start_us +
@@ -60,10 +60,10 @@ TEST(DownlinkEncoder, NavCoversWholeChunk) {
 
 TEST(DownlinkEncoder, LongMessageSplitsIntoChunks) {
   DownlinkEncoderConfig cfg;
-  cfg.slot_us = 50;
+  cfg.slot_us = TimeUs{50};
   DownlinkEncoder enc(cfg);
   const std::size_t per_chunk = cfg.bits_per_chunk();
-  const auto tx = enc.encode(BitVec(per_chunk + 10, 1), 0);
+  const auto tx = enc.encode(BitVec(per_chunk + 10, 1), TimeUs{});
   std::size_t cts_count = 0;
   for (const auto& pkt : tx.packets) {
     if (pkt.kind == wifi::FrameKind::kCtsToSelf) ++cts_count;
@@ -74,9 +74,9 @@ TEST(DownlinkEncoder, LongMessageSplitsIntoChunks) {
 
 TEST(DownlinkEncoder, NoNavExceeds32ms) {
   DownlinkEncoderConfig cfg;
-  cfg.slot_us = 200;
+  cfg.slot_us = TimeUs{200};
   DownlinkEncoder enc(cfg);
-  const auto tx = enc.encode(BitVec(500, 1), 0);
+  const auto tx = enc.encode(BitVec(500, 1), TimeUs{});
   for (const auto& pkt : tx.packets) {
     if (pkt.kind == wifi::FrameKind::kCtsToSelf) {
       EXPECT_LE(pkt.nav_us, wifi::kMaxNavUs);
@@ -86,9 +86,9 @@ TEST(DownlinkEncoder, NoNavExceeds32ms) {
 
 TEST(DownlinkEncoder, BitrateMatchesSlotDuration) {
   DownlinkEncoderConfig cfg;
-  cfg.slot_us = 50;
+  cfg.slot_us = TimeUs{50};
   EXPECT_DOUBLE_EQ(cfg.bitrate_bps(), 20'000.0);
-  cfg.slot_us = 200;
+  cfg.slot_us = TimeUs{200};
   EXPECT_DOUBLE_EQ(cfg.bitrate_bps(), 5'000.0);
 }
 
@@ -96,25 +96,26 @@ TEST(DownlinkEncoder, PaperMessageTiming) {
   // §4.1: a 64-bit payload with a 16-bit preamble at 50 us slots takes
   // ~4.0 ms on air.
   DownlinkEncoderConfig cfg;
-  cfg.slot_us = 50;
+  cfg.slot_us = TimeUs{50};
   DownlinkEncoder enc(cfg);
-  const auto tx = enc.encode(BitVec(80, 1), 0);
-  EXPECT_NEAR(static_cast<double>(tx.end_us - tx.start_us), 4'000.0, 150.0);
+  const auto tx = enc.encode(BitVec(80, 1), TimeUs{});
+  EXPECT_NEAR(static_cast<double>((tx.end_us - tx.start_us).ticks()),
+              4'000.0, 150.0);
 }
 
 TEST(DownlinkEncoder, EmptyMessage) {
   DownlinkEncoder enc(DownlinkEncoderConfig{});
-  const auto tx = enc.encode(BitVec{}, 100);
+  const auto tx = enc.encode(BitVec{}, TimeUs{100});
   EXPECT_TRUE(tx.slots.empty());
   EXPECT_TRUE(tx.packets.empty());
-  EXPECT_EQ(tx.end_us, 100);
+  EXPECT_EQ(tx.end_us, TimeUs{100});
 }
 
 TEST(DownlinkEncoder, GuardGapExceedsDetectorFallTime) {
   // Regression: a guard gap at SIFS scale (10 us) fuses the CTS onto the
   // preamble's first run at the tag's comparator.
   DownlinkEncoderConfig cfg;
-  EXPECT_GE(cfg.sifs_us, 25);
+  EXPECT_GE(cfg.sifs_us, TimeUs{25});
 }
 
 }  // namespace

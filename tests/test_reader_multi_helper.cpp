@@ -16,8 +16,8 @@ namespace {
 struct TwoHelperWorld {
   wifi::CaptureTrace trace;
   BitVec payload;
-  TimeUs frame_start = 600'000;
-  TimeUs bit_us = 10'000;
+  TimeUs frame_start{600'000};
+  TimeUs bit_us{10'000};
 };
 
 TwoHelperWorld make_world(double pps_each, std::size_t payload_bits,
@@ -43,11 +43,11 @@ TwoHelperWorld make_world(double pps_each, std::size_t payload_bits,
   wifi::NicModelParams nic_params;
   nic_params.csi_noise_rel = noise_rel;
   wifi::NicModel nic(nic_params, rng.fork("nic"));
-  nic.calibrate(ch1.response(false, 0));
+  nic.calibrate(ch1.response(false, TimeUs{}));
 
   const TimeUs until = w.frame_start +
-                       static_cast<TimeUs>(frame.size()) * w.bit_us +
-                       100'000;
+                       w.bit_us * static_cast<std::int64_t>(frame.size()) +
+                       TimeUs{100'000};
   wifi::TrafficParams t1;
   t1.source = 1;
   wifi::TrafficParams t2;
@@ -127,7 +127,7 @@ TEST(MultiHelper, FusionBeatsEitherSourceAtLowRate) {
 TEST(MultiHelper, EmptyTraceNotFound) {
   UplinkDecoderConfig cfg;
   cfg.payload_bits = 8;
-  cfg.bit_duration_us = 1'000;
+  cfg.bit_duration_us = TimeUs{1'000};
   MultiHelperDecoder dec(cfg);
   EXPECT_FALSE(dec.decode({}).found);
 }

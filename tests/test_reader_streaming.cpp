@@ -54,8 +54,9 @@ StreamingDecoderConfig stream_config(std::size_t payload_bits,
 
 TEST(StreamingDecoder, EmitsSingleFrame) {
   const BitVec payload = random_bits(24, 1);
-  const auto trace = make_trace({700'000}, {payload}, 5'000, 1'500'000, 2);
-  StreamingUplinkDecoder dec(stream_config(24, 5'000));
+  const auto trace = make_trace({TimeUs{700'000}}, {payload}, TimeUs{5'000},
+                                TimeUs{1'500'000}, 2);
+  StreamingUplinkDecoder dec(stream_config(24, TimeUs{5'000}));
   std::vector<UplinkDecodeResult> got;
   for (const auto& rec : trace) {
     auto frames = dec.push(rec);
@@ -71,8 +72,9 @@ TEST(StreamingDecoder, EmitsTwoFramesInOrder) {
   const BitVec p2 = random_bits(24, 4);
   // Frames at 0.7 s and 1.4 s (frame = 37 bits * 5 ms = 185 ms).
   const auto trace =
-      make_trace({700'000, 1'400'000}, {p1, p2}, 5'000, 2'200'000, 5);
-  StreamingUplinkDecoder dec(stream_config(24, 5'000));
+      make_trace({TimeUs{700'000}, TimeUs{1'400'000}}, {p1, p2},
+                 TimeUs{5'000}, TimeUs{2'200'000}, 5);
+  StreamingUplinkDecoder dec(stream_config(24, TimeUs{5'000}));
   std::vector<UplinkDecodeResult> got;
   for (const auto& rec : trace) {
     auto frames = dec.push(rec);
@@ -85,8 +87,8 @@ TEST(StreamingDecoder, EmitsTwoFramesInOrder) {
 }
 
 TEST(StreamingDecoder, QuietAirEmitsNothing) {
-  const auto trace = make_trace({}, {}, 5'000, 1'200'000, 6);
-  StreamingUplinkDecoder dec(stream_config(24, 5'000));
+  const auto trace = make_trace({}, {}, TimeUs{5'000}, TimeUs{1'200'000}, 6);
+  StreamingUplinkDecoder dec(stream_config(24, TimeUs{5'000}));
   std::size_t emitted = 0;
   for (const auto& rec : trace) {
     emitted += dec.push(rec).size();
@@ -95,9 +97,9 @@ TEST(StreamingDecoder, QuietAirEmitsNothing) {
 }
 
 TEST(StreamingDecoder, BufferStaysBounded) {
-  const auto trace = make_trace({}, {}, 5'000, 4'000'000, 7);
-  StreamingDecoderConfig cfg = stream_config(24, 5'000);
-  cfg.history_us = 500'000;
+  const auto trace = make_trace({}, {}, TimeUs{5'000}, TimeUs{4'000'000}, 7);
+  StreamingDecoderConfig cfg = stream_config(24, TimeUs{5'000});
+  cfg.history_us = TimeUs{500'000};
   StreamingUplinkDecoder dec(cfg);
   std::size_t max_buffered = 0;
   for (const auto& rec : trace) {
@@ -115,8 +117,9 @@ TEST(StreamingDecoder, FlushDrainsStrandedFinalFrame) {
   // region once a *later* record extends the buffer past it, so the final
   // frame used to be stranded forever; flush() must drain it.
   const BitVec payload = random_bits(24, 10);
-  const auto trace = make_trace({700'000}, {payload}, 5'000, 890'000, 11);
-  StreamingUplinkDecoder dec(stream_config(24, 5'000));
+  const auto trace = make_trace({TimeUs{700'000}}, {payload}, TimeUs{5'000},
+                                TimeUs{890'000}, 11);
+  StreamingUplinkDecoder dec(stream_config(24, TimeUs{5'000}));
   std::size_t pushed = 0;
   for (const auto& rec : trace) {
     pushed += dec.push(rec).size();
@@ -130,8 +133,9 @@ TEST(StreamingDecoder, FlushDrainsStrandedFinalFrame) {
 
 TEST(StreamingDecoder, FlushIsIdempotent) {
   const BitVec payload = random_bits(24, 12);
-  const auto trace = make_trace({700'000}, {payload}, 5'000, 890'000, 13);
-  StreamingUplinkDecoder dec(stream_config(24, 5'000));
+  const auto trace = make_trace({TimeUs{700'000}}, {payload}, TimeUs{5'000},
+                                TimeUs{890'000}, 13);
+  StreamingUplinkDecoder dec(stream_config(24, TimeUs{5'000}));
   for (const auto& rec : trace) dec.push(rec);
   EXPECT_EQ(dec.flush().size(), 1u);
   EXPECT_EQ(dec.flush().size(), 0u);
@@ -139,7 +143,7 @@ TEST(StreamingDecoder, FlushIsIdempotent) {
 }
 
 TEST(StreamingDecoder, FlushOnEmptyDecoderIsANoOp) {
-  StreamingUplinkDecoder dec(stream_config(24, 5'000));
+  StreamingUplinkDecoder dec(stream_config(24, TimeUs{5'000}));
   EXPECT_TRUE(dec.flush().empty());
 }
 
@@ -147,8 +151,9 @@ TEST(StreamingDecoder, FlushAfterNormalEmissionAddsNothing) {
   // Plenty of trailing traffic: push() already emitted the frame, so
   // flush() must not re-emit it.
   const BitVec payload = random_bits(24, 14);
-  const auto trace = make_trace({700'000}, {payload}, 5'000, 1'500'000, 15);
-  StreamingUplinkDecoder dec(stream_config(24, 5'000));
+  const auto trace = make_trace({TimeUs{700'000}}, {payload}, TimeUs{5'000},
+                                TimeUs{1'500'000}, 15);
+  StreamingUplinkDecoder dec(stream_config(24, TimeUs{5'000}));
   std::size_t pushed = 0;
   for (const auto& rec : trace) pushed += dec.push(rec).size();
   EXPECT_EQ(pushed, 1u);
@@ -157,8 +162,9 @@ TEST(StreamingDecoder, FlushAfterNormalEmissionAddsNothing) {
 
 TEST(StreamingDecoder, FrameNeverEmittedTwice) {
   const BitVec payload = random_bits(24, 8);
-  const auto trace = make_trace({700'000}, {payload}, 5'000, 3'000'000, 9);
-  StreamingUplinkDecoder dec(stream_config(24, 5'000));
+  const auto trace = make_trace({TimeUs{700'000}}, {payload}, TimeUs{5'000},
+                                TimeUs{3'000'000}, 9);
+  StreamingUplinkDecoder dec(stream_config(24, TimeUs{5'000}));
   std::size_t emitted = 0;
   for (const auto& rec : trace) {
     emitted += dec.push(rec).size();

@@ -13,7 +13,7 @@ namespace {
 /// and additive Gaussian noise; packets arrive at a fixed rate.
 struct SyntheticTrace {
   ConditionedTrace ct;
-  TimeUs frame_start = 0;
+  TimeUs frame_start{0};
   BitVec payload;
 };
 
@@ -23,9 +23,9 @@ struct SyntheticSpec {
   double gain = 1.0;              ///< signal amplitude on good streams
   double noise = 0.3;
   double packet_interval_us = 500;
-  TimeUs bit_us = 5'000;
+  TimeUs bit_us{5'000};
   std::size_t payload_bits = 24;
-  TimeUs lead_us = 50'000;
+  TimeUs lead_us{50'000};
   bool alternate_polarity = false;  ///< invert every other good stream
   std::uint64_t seed = 1;
 };
@@ -37,15 +37,15 @@ SyntheticTrace make_synthetic(const SyntheticSpec& spec) {
   BitVec frame = barker13();
   frame.insert(frame.end(), out.payload.begin(), out.payload.end());
 
-  const TimeUs end = spec.lead_us +
-                     static_cast<TimeUs>(frame.size()) * spec.bit_us +
-                     50'000;
+  const TimeUs end =
+      spec.lead_us +
+      spec.bit_us * static_cast<std::int64_t>(frame.size()) + TimeUs{50'000};
   sim::RngStream rng(spec.seed);
   auto noise_rng = rng.fork("noise");
 
-  for (double t = 0.0; t < static_cast<double>(end);
+  for (double t = 0.0; t < static_cast<double>(end.ticks());
        t += spec.packet_interval_us) {
-    out.ct.timestamps.push_back(static_cast<TimeUs>(t));
+    out.ct.timestamps.push_back(TimeUs{static_cast<std::int64_t>(t)});
   }
   out.ct.streams.resize(spec.num_streams);
   for (std::size_t s = 0; s < spec.num_streams; ++s) {
@@ -77,9 +77,11 @@ UplinkDecoderConfig config_for(const SyntheticSpec& spec) {
 
 TEST(BinSlots, MeansAndCounts) {
   ConditionedTrace ct;
-  ct.timestamps = {0, 100, 200, 1'000, 1'100, 2'500};
+  ct.timestamps = {TimeUs{0},     TimeUs{100},   TimeUs{200},
+                   TimeUs{1'000}, TimeUs{1'100}, TimeUs{2'500}};
   ct.streams = {{1.0, 2.0, 3.0, 10.0, 20.0, 7.0}};
-  const auto slots = UplinkDecoder::bin_slots(ct, 0, 0, 1'000, 3);
+  const auto slots =
+      UplinkDecoder::bin_slots(ct, 0, TimeUs{0}, TimeUs{1'000}, 3);
   ASSERT_EQ(slots.size(), 3u);
   EXPECT_EQ(slots[0].count, 3u);
   EXPECT_DOUBLE_EQ(slots[0].mean, 2.0);
@@ -91,9 +93,10 @@ TEST(BinSlots, MeansAndCounts) {
 
 TEST(BinSlots, IgnoresPacketsOutsideRange) {
   ConditionedTrace ct;
-  ct.timestamps = {-500, 0, 500, 5'000};
+  ct.timestamps = {TimeUs{-500}, TimeUs{0}, TimeUs{500}, TimeUs{5'000}};
   ct.streams = {{100.0, 1.0, 2.0, 100.0}};
-  const auto slots = UplinkDecoder::bin_slots(ct, 0, 0, 1'000, 1);
+  const auto slots =
+      UplinkDecoder::bin_slots(ct, 0, TimeUs{0}, TimeUs{1'000}, 1);
   EXPECT_EQ(slots[0].count, 2u);
   EXPECT_DOUBLE_EQ(slots[0].mean, 1.5);
 }
@@ -136,9 +139,9 @@ TEST(UplinkDecoder, FindsFrameStart) {
   UplinkDecoder dec(config_for(spec));
   const auto sync = dec.find_frame(syn.ct);
   ASSERT_TRUE(sync.has_value());
-  EXPECT_NEAR(static_cast<double>(sync->start),
-              static_cast<double>(syn.frame_start),
-              static_cast<double>(spec.bit_us) / 2.0);
+  EXPECT_NEAR(static_cast<double>(sync->start.ticks()),
+              static_cast<double>(syn.frame_start.ticks()),
+              static_cast<double>(spec.bit_us.ticks()) / 2.0);
 }
 
 TEST(UplinkDecoder, SelectsGoodStreams) {
@@ -320,8 +323,9 @@ TEST_P(DecoderBitRateSweep, DecodesAcrossBitDurations) {
 }
 
 INSTANTIATE_TEST_SUITE_P(BitDurations, DecoderBitRateSweep,
-                         ::testing::Values(1'000, 2'000, 5'000, 10'000,
-                                           20'000));
+                         ::testing::Values(TimeUs{1'000}, TimeUs{2'000},
+                                           TimeUs{5'000}, TimeUs{10'000},
+                                           TimeUs{20'000}));
 
 }  // namespace
 }  // namespace wb::reader

@@ -34,7 +34,7 @@ wifi::CaptureTrace make_capture(TimeUs bit_us, std::size_t payload_bits,
   BitVec frame = barker13();
   const auto payload = random_bits(payload_bits, seed ^ 0xF00D);
   frame.insert(frame.end(), payload.begin(), payload.end());
-  tag::Modulator mod(frame, bit_us, 300'000);
+  tag::Modulator mod(frame, bit_us, TimeUs{300'000});
   core::UplinkSim sim(cfg);
   auto trace = sim.run(tl, mod);
   if (beacon_gaps) {
@@ -83,8 +83,8 @@ void expect_same(const CodedDecodeResult& a, const CodedDecodeResult& b) {
 TEST(WorkspaceIdentity, ConditioningMatchesAcrossReuse) {
   // Big trace, then a smaller one, then the big one again: the workspace
   // must regrow/shrink without leaking values between calls.
-  const auto big = make_capture(10'000, 32, 900'000, 21, true);
-  const auto small = make_capture(5'000, 8, 500'000, 22, false);
+  const auto big = make_capture(TimeUs{10'000}, 32, TimeUs{900'000}, 21, true);
+  const auto small = make_capture(TimeUs{5'000}, 8, TimeUs{500'000}, 22, false);
 
   DecodeWorkspace ws;
   ConditionedTrace out;
@@ -92,26 +92,26 @@ TEST(WorkspaceIdentity, ConditioningMatchesAcrossReuse) {
     for (const auto source :
          {MeasurementSource::kCsi, MeasurementSource::kRssi}) {
       const auto reference = condition(*trace, source);
-      condition_into(*trace, source, 400'000, ws, out);
+      condition_into(*trace, source, TimeUs{400'000}, ws, out);
       expect_same(reference, out);
     }
   }
 }
 
 TEST(WorkspaceIdentity, UplinkDecodeMatchesAcrossReuse) {
-  const auto big = make_capture(10'000, 32, 900'000, 23, true);
-  const auto small = make_capture(5'000, 8, 500'000, 24, false);
+  const auto big = make_capture(TimeUs{10'000}, 32, TimeUs{900'000}, 23, true);
+  const auto small = make_capture(TimeUs{5'000}, 8, TimeUs{500'000}, 24, false);
 
   UplinkDecoderConfig big_cfg;
   big_cfg.payload_bits = 32;
-  big_cfg.bit_duration_us = 10'000;
-  big_cfg.search_from = 280'000;
-  big_cfg.search_to = 320'000;
+  big_cfg.bit_duration_us = TimeUs{10'000};
+  big_cfg.search_from = TimeUs{280'000};
+  big_cfg.search_to = TimeUs{320'000};
   UplinkDecoderConfig small_cfg;
   small_cfg.payload_bits = 8;
-  small_cfg.bit_duration_us = 5'000;
-  small_cfg.search_from = 280'000;
-  small_cfg.search_to = 320'000;
+  small_cfg.bit_duration_us = TimeUs{5'000};
+  small_cfg.search_from = TimeUs{280'000};
+  small_cfg.search_to = TimeUs{320'000};
   const UplinkDecoder big_dec(big_cfg);
   const UplinkDecoder small_dec(small_cfg);
 
@@ -144,12 +144,12 @@ TEST(WorkspaceIdentity, CodedDecodeMatchesAcrossReuse) {
   CodedDecoderConfig cfg;
   cfg.codes = make_orthogonal_pair(8);
   cfg.payload_bits = 6;
-  cfg.chip_duration_us = 5'000;
-  cfg.known_start = 300'000;
+  cfg.chip_duration_us = TimeUs{5'000};
+  cfg.known_start = TimeUs{300'000};
 
   const auto frame_chips =
-      static_cast<TimeUs>(cfg.frame_chips()) * cfg.chip_duration_us;
-  const auto until = 300'000 + frame_chips + 200'000;
+      cfg.chip_duration_us * static_cast<std::int64_t>(cfg.frame_chips());
+  const auto until = TimeUs{300'000} + frame_chips + TimeUs{200'000};
 
   // Build a capture whose tag modulates the coded chip sequence.
   core::UplinkSimConfig sim_cfg;
@@ -168,7 +168,7 @@ TEST(WorkspaceIdentity, CodedDecodeMatchesAcrossReuse) {
     const BitVec& code = b ? cfg.codes.one : cfg.codes.zero;
     chips.insert(chips.end(), code.begin(), code.end());
   }
-  tag::Modulator mod(chips, cfg.chip_duration_us, 300'000);
+  tag::Modulator mod(chips, cfg.chip_duration_us, TimeUs{300'000});
   core::UplinkSim sim(sim_cfg);
   const auto trace = sim.run(tl, mod);
 

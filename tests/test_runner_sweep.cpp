@@ -189,10 +189,10 @@ TEST(SweepRunner, GridExpansionDerivesSeedsFromBase) {
     EXPECT_EQ(pt.params.seed, derive_seed(42, pt.index));
   }
   // Distance is the outer loop within a source, packets the inner one.
-  EXPECT_EQ(grid[0].distance_m, 0.05);
-  EXPECT_EQ(grid[1].distance_m, 0.05);
+  EXPECT_EQ(grid[0].distance_m, Meters{0.05});
+  EXPECT_EQ(grid[1].distance_m, Meters{0.05});
   EXPECT_EQ(grid[1].packets_per_bit, 6.0);
-  EXPECT_EQ(grid[2].distance_m, 0.30);
+  EXPECT_EQ(grid[2].distance_m, Meters{0.30});
 }
 
 TEST(SweepRunner, LowestIndexExceptionWinsDeterministically) {

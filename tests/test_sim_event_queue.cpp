@@ -11,19 +11,19 @@ namespace {
 TEST(EventQueue, RunsInTimeOrder) {
   EventQueue q;
   std::vector<int> order;
-  q.schedule_at(30, [&] { order.push_back(3); });
-  q.schedule_at(10, [&] { order.push_back(1); });
-  q.schedule_at(20, [&] { order.push_back(2); });
+  q.schedule_at(TimeUs{30}, [&] { order.push_back(3); });
+  q.schedule_at(TimeUs{10}, [&] { order.push_back(1); });
+  q.schedule_at(TimeUs{20}, [&] { order.push_back(2); });
   q.run_all();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
-  EXPECT_EQ(q.now(), 30);
+  EXPECT_EQ(q.now(), TimeUs{30});
 }
 
 TEST(EventQueue, SameTimeFifo) {
   EventQueue q;
   std::vector<int> order;
   for (int i = 0; i < 5; ++i) {
-    q.schedule_at(100, [&order, i] { order.push_back(i); });
+    q.schedule_at(TimeUs{100}, [&order, i] { order.push_back(i); });
   }
   q.run_all();
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
@@ -31,18 +31,18 @@ TEST(EventQueue, SameTimeFifo) {
 
 TEST(EventQueue, ScheduleInIsRelative) {
   EventQueue q;
-  TimeUs fired_at = -1;
-  q.schedule_at(50, [&] {
-    q.schedule_in(25, [&] { fired_at = q.now(); });
+  TimeUs fired_at{-1};
+  q.schedule_at(TimeUs{50}, [&] {
+    q.schedule_in(TimeUs{25}, [&] { fired_at = q.now(); });
   });
   q.run_all();
-  EXPECT_EQ(fired_at, 75);
+  EXPECT_EQ(fired_at, TimeUs{75});
 }
 
 TEST(EventQueue, CancelPreventsExecution) {
   EventQueue q;
   bool fired = false;
-  const auto id = q.schedule_at(10, [&] { fired = true; });
+  const auto id = q.schedule_at(TimeUs{10}, [&] { fired = true; });
   q.cancel(id);
   q.run_all();
   EXPECT_FALSE(fired);
@@ -58,8 +58,8 @@ TEST(EventQueue, CancelUnknownIdIsNoop) {
 
 TEST(EventQueue, CancelTwiceCountsOnce) {
   EventQueue q;
-  const auto id = q.schedule_at(10, [] {});
-  q.schedule_at(20, [] {});
+  const auto id = q.schedule_at(TimeUs{10}, [] {});
+  q.schedule_at(TimeUs{20}, [] {});
   q.cancel(id);
   q.cancel(id);
   EXPECT_EQ(q.pending(), 1u);
@@ -69,34 +69,34 @@ TEST(EventQueue, CancelTwiceCountsOnce) {
 TEST(EventQueue, RunUntilStopsAtHorizon) {
   EventQueue q;
   std::vector<TimeUs> fired;
-  for (TimeUs t : {10, 20, 30, 40}) {
+  for (TimeUs t : {TimeUs{10}, TimeUs{20}, TimeUs{30}, TimeUs{40}}) {
     q.schedule_at(t, [&fired, &q] { fired.push_back(q.now()); });
   }
-  EXPECT_EQ(q.run_until(25), 2u);
-  EXPECT_EQ(fired, (std::vector<TimeUs>{10, 20}));
-  EXPECT_EQ(q.now(), 25);
+  EXPECT_EQ(q.run_until(TimeUs{25}), 2u);
+  EXPECT_EQ(fired, (std::vector<TimeUs>{TimeUs{10}, TimeUs{20}}));
+  EXPECT_EQ(q.now(), TimeUs{25});
   EXPECT_EQ(q.pending(), 2u);
 }
 
 TEST(EventQueue, RunUntilIncludesExactBoundary) {
   EventQueue q;
   bool fired = false;
-  q.schedule_at(25, [&] { fired = true; });
-  q.run_until(25);
+  q.schedule_at(TimeUs{25}, [&] { fired = true; });
+  q.run_until(TimeUs{25});
   EXPECT_TRUE(fired);
 }
 
 TEST(EventQueue, RunUntilAdvancesClockWithoutEvents) {
   EventQueue q;
-  q.run_until(1'000);
-  EXPECT_EQ(q.now(), 1'000);
+  q.run_until(TimeUs{1'000});
+  EXPECT_EQ(q.now(), TimeUs{1'000});
 }
 
 TEST(EventQueue, StepFiresExactlyOne) {
   EventQueue q;
   int count = 0;
-  q.schedule_at(1, [&] { ++count; });
-  q.schedule_at(2, [&] { ++count; });
+  q.schedule_at(TimeUs{1}, [&] { ++count; });
+  q.schedule_at(TimeUs{2}, [&] { ++count; });
   EXPECT_TRUE(q.step());
   EXPECT_EQ(count, 1);
   EXPECT_TRUE(q.step());
@@ -108,23 +108,23 @@ TEST(EventQueue, SelfReschedulingProcess) {
   int ticks = 0;
   std::function<void()> tick = [&] {
     ++ticks;
-    if (ticks < 5) q.schedule_in(10, tick);
+    if (ticks < 5) q.schedule_in(TimeUs{10}, tick);
   };
-  q.schedule_at(0, tick);
-  q.run_until(1'000);
+  q.schedule_at(TimeUs{0}, tick);
+  q.run_until(TimeUs{1'000});
   EXPECT_EQ(ticks, 5);
-  EXPECT_EQ(q.now(), 1'000);
+  EXPECT_EQ(q.now(), TimeUs{1'000});
 }
 
 TEST(EventQueue, CancelTombstoneBeyondHorizonSurvives) {
   // A cancelled event beyond the horizon must not block later runs.
   EventQueue q;
-  const auto id = q.schedule_at(100, [] { FAIL(); });
+  const auto id = q.schedule_at(TimeUs{100}, [] { FAIL(); });
   bool fired = false;
-  q.schedule_at(50, [&] { fired = true; });
-  q.run_until(60);
+  q.schedule_at(TimeUs{50}, [&] { fired = true; });
+  q.run_until(TimeUs{60});
   q.cancel(id);
-  q.run_until(200);
+  q.run_until(TimeUs{200});
   EXPECT_TRUE(fired);
   EXPECT_TRUE(q.empty());
 }
@@ -132,8 +132,8 @@ TEST(EventQueue, CancelTombstoneBeyondHorizonSurvives) {
 TEST(EventQueue, CancelFromInsideHandler) {
   EventQueue q;
   bool second_fired = false;
-  const auto id2 = q.schedule_at(20, [&] { second_fired = true; });
-  q.schedule_at(10, [&] { q.cancel(id2); });
+  const auto id2 = q.schedule_at(TimeUs{20}, [&] { second_fired = true; });
+  q.schedule_at(TimeUs{10}, [&] { q.cancel(id2); });
   q.run_all();
   EXPECT_FALSE(second_fired);
 }
@@ -142,13 +142,13 @@ TEST(EventQueue, CancelAfterFireKeepsAccountingCorrect) {
   // Regression: cancelling an id that already fired used to corrupt the
   // live count, making pending() wrap and empty() lie.
   EventQueue q;
-  const auto id = q.schedule_at(10, [] {});
+  const auto id = q.schedule_at(TimeUs{10}, [] {});
   q.run_all();
   EXPECT_TRUE(q.empty());
   q.cancel(id);  // must be a no-op
   EXPECT_TRUE(q.empty());
   EXPECT_EQ(q.pending(), 0u);
-  q.schedule_at(20, [] {});
+  q.schedule_at(TimeUs{20}, [] {});
   EXPECT_EQ(q.pending(), 1u);
   EXPECT_EQ(q.run_all(), 1u);
 }
@@ -158,14 +158,14 @@ TEST(EventQueue, CancelAfterTombstoneConsumedIsNoop) {
   // the same id passed the tombstone-presence guard and double-decremented
   // the pending count.
   EventQueue q;
-  const auto id = q.schedule_at(10, [] { FAIL(); });
+  const auto id = q.schedule_at(TimeUs{10}, [] { FAIL(); });
   q.cancel(id);
   q.run_all();  // consumes the tombstone
   q.cancel(id);  // must be a no-op
   q.cancel(id);
   EXPECT_EQ(q.pending(), 0u);
   bool fired = false;
-  q.schedule_at(30, [&] { fired = true; });
+  q.schedule_at(TimeUs{30}, [&] { fired = true; });
   EXPECT_EQ(q.pending(), 1u);
   EXPECT_FALSE(q.empty());
   q.run_all();
@@ -175,15 +175,15 @@ TEST(EventQueue, CancelAfterTombstoneConsumedIsNoop) {
 
 TEST(EventQueue, PendingTracksLiveEventsOnly) {
   EventQueue q;
-  const auto a = q.schedule_at(10, [] {});
-  const auto b = q.schedule_at(20, [] {});
-  q.schedule_at(30, [] {});
+  const auto a = q.schedule_at(TimeUs{10}, [] {});
+  const auto b = q.schedule_at(TimeUs{20}, [] {});
+  q.schedule_at(TimeUs{30}, [] {});
   EXPECT_EQ(q.pending(), 3u);
   q.cancel(a);
   EXPECT_EQ(q.pending(), 2u);
   q.cancel(a);  // repeat: no effect
   EXPECT_EQ(q.pending(), 2u);
-  q.run_until(20);
+  q.run_until(TimeUs{20});
   EXPECT_EQ(q.pending(), 1u);
   q.cancel(b);  // already fired: no effect
   EXPECT_EQ(q.pending(), 1u);

@@ -10,12 +10,12 @@ namespace {
 
 EnergyDetectorParams quiet_params() {
   EnergyDetectorParams p;
-  p.noise_floor_dbm = -90.0;  // essentially noiseless for unit tests
+  p.noise_floor_dbm = Dbm{-90.0};  // essentially noiseless for unit tests
   return p;
 }
 
 /// Feed constant power for `us` microseconds at 1 us steps.
-bool feed(EnergyDetector& det, double us, double power_mw) {
+bool feed(EnergyDetector& det, double us, Milliwatts power_mw) {
   bool level = det.comparator();
   for (double t = 0.0; t < us; t += 1.0) {
     level = det.step(1.0, power_mw);
@@ -27,27 +27,27 @@ TEST(EnergyDetector, ComparatorRisesOnStrongSignal) {
   sim::RngStream rng(1);
   EnergyDetector det(quiet_params(), rng);
   EXPECT_FALSE(det.comparator());
-  EXPECT_TRUE(feed(det, 100.0, dbm_to_mw(-20.0)));
+  EXPECT_TRUE(feed(det, 100.0, Milliwatts{dbm_to_mw(-20.0)}));
 }
 
 TEST(EnergyDetector, ComparatorFallsInSilence) {
   sim::RngStream rng(2);
   EnergyDetector det(quiet_params(), rng);
-  feed(det, 100.0, dbm_to_mw(-20.0));
-  EXPECT_FALSE(feed(det, 60.0, 0.0));
+  feed(det, 100.0, Milliwatts{dbm_to_mw(-20.0)});
+  EXPECT_FALSE(feed(det, 60.0, Milliwatts{0.0}));
 }
 
 TEST(EnergyDetector, ThresholdIsHalfPeak) {
   sim::RngStream rng(3);
   EnergyDetector det(quiet_params(), rng);
-  feed(det, 200.0, 1.0);
+  feed(det, 200.0, Milliwatts{1.0});
   EXPECT_NEAR(det.threshold(), det.peak() / 2.0, 1e-9);
 }
 
 TEST(EnergyDetector, PeakTracksSignalLevel) {
   sim::RngStream rng(4);
   EnergyDetector det(quiet_params(), rng);
-  feed(det, 300.0, 2.0);
+  feed(det, 300.0, Milliwatts{2.0});
   EXPECT_NEAR(det.peak(), 2.0, 0.2);
 }
 
@@ -56,7 +56,7 @@ TEST(EnergyDetector, PeakDecaysOverTime) {
   EnergyDetectorParams p = quiet_params();
   p.peak_decay_tau_us = 1'000.0;
   EnergyDetector det(p, rng);
-  feed(det, 200.0, 1.0);
+  feed(det, 200.0, Milliwatts{1.0});
   const double before = det.peak();
   det.idle(2'000.0);
   EXPECT_LT(det.peak(), before * 0.3);  // 2 time constants
@@ -68,11 +68,11 @@ TEST(EnergyDetector, Detects50usPacket) {
   sim::RngStream rng(6);
   EnergyDetector det(quiet_params(), rng);
   // Charge the peak reference with a preamble-like burst first.
-  feed(det, 100.0, dbm_to_mw(-20.0));
-  feed(det, 100.0, 0.0);
+  feed(det, 100.0, Milliwatts{dbm_to_mw(-20.0)});
+  feed(det, 100.0, Milliwatts{0.0});
   EXPECT_FALSE(det.comparator());
-  EXPECT_TRUE(feed(det, 50.0, dbm_to_mw(-20.0)));
-  EXPECT_FALSE(feed(det, 50.0, 0.0));
+  EXPECT_TRUE(feed(det, 50.0, Milliwatts{dbm_to_mw(-20.0)}));
+  EXPECT_FALSE(feed(det, 50.0, Milliwatts{0.0}));
 }
 
 TEST(EnergyDetector, PacketBelowNoiseFloorIsIndistinguishable) {
@@ -81,7 +81,7 @@ TEST(EnergyDetector, PacketBelowNoiseFloorIsIndistinguishable) {
   // pattern is tracked faithfully.
   auto agreement = [](double power_dbm) {
     EnergyDetectorParams p;
-    p.noise_floor_dbm = -37.5;
+    p.noise_floor_dbm = Dbm{-37.5};
     sim::RngStream rng(7);
     EnergyDetector det(p, rng);
     int agree = 0, total = 0;
@@ -89,7 +89,7 @@ TEST(EnergyDetector, PacketBelowNoiseFloorIsIndistinguishable) {
     for (int slot = 0; slot < 200; ++slot) {
       const bool on = slot % 2 == 0;
       for (int t = 0; t < 50; ++t) {
-        level = det.step(1.0, on ? dbm_to_mw(power_dbm) : 0.0);
+        level = det.step(1.0, Milliwatts{on ? dbm_to_mw(power_dbm) : 0.0});
       }
       // Sample at slot end (settled).
       if (level == on) ++agree;
@@ -107,13 +107,14 @@ TEST(EnergyDetector, HysteresisSuppressesChatter) {
   sim::RngStream rng(8);
   EnergyDetectorParams p = quiet_params();
   EnergyDetector det(p, rng);
-  feed(det, 200.0, 1.0);
+  feed(det, 200.0, Milliwatts{1.0});
   const double th = det.threshold();
   int transitions = 0;
   bool level = det.comparator();
   sim::RngStream jitter(9);
   for (int i = 0; i < 2'000; ++i) {
-    const bool nl = det.step(1.0, th * (1.0 + 0.02 * jitter.normal()));
+    const bool nl = det.step(1.0,
+                             Milliwatts{th * (1.0 + 0.02 * jitter.normal())});
     if (nl != level) ++transitions;
     level = nl;
   }
@@ -124,11 +125,11 @@ TEST(EnergyDetector, IdleMatchesExplicitZeroSteps) {
   sim::RngStream rng_a(10), rng_b(10);
   EnergyDetector a(quiet_params(), rng_a);
   EnergyDetector b(quiet_params(), rng_b);
-  feed(a, 100.0, 1.0);
-  feed(b, 100.0, 1.0);
+  feed(a, 100.0, Milliwatts{1.0});
+  feed(b, 100.0, Milliwatts{1.0});
   a.idle(400.0);
   for (double t = 0.0; t < 400.0; t += 20.0) {
-    b.step(20.0, 0.0);
+    b.step(20.0, Milliwatts{});
   }
   EXPECT_NEAR(a.peak(), b.peak(), 1e-6);
   EXPECT_EQ(a.comparator(), b.comparator());
@@ -137,7 +138,7 @@ TEST(EnergyDetector, IdleMatchesExplicitZeroSteps) {
 TEST(EnergyDetector, EnergyAccountingAtQuiescentDraw) {
   sim::RngStream rng(11);
   EnergyDetector det(quiet_params(), rng);
-  feed(det, 1'000.0, 0.5);  // 1 ms
+  feed(det, 1'000.0, Milliwatts{0.5});  // 1 ms
   // 1 uW for 1 ms = 1e-3 uJ.
   EXPECT_NEAR(det.energy_uj(), 1e-3, 1e-5);
 }
@@ -145,7 +146,7 @@ TEST(EnergyDetector, EnergyAccountingAtQuiescentDraw) {
 TEST(EnergyDetector, ResetClearsState) {
   sim::RngStream rng(12);
   EnergyDetector det(quiet_params(), rng);
-  feed(det, 200.0, 1.0);
+  feed(det, 200.0, Milliwatts{1.0});
   det.reset();
   EXPECT_FALSE(det.comparator());
   EXPECT_DOUBLE_EQ(det.peak(), 0.0);
@@ -161,10 +162,10 @@ TEST(EnergyDetector, SlowRiseDelaysShortPackets) {
     EnergyDetectorParams p = quiet_params();
     p.smooth_tau_us = tau;
     EnergyDetector det(p, rng);
-    feed(det, 150.0, 1.0);  // charge peak
-    feed(det, 150.0, 0.0);
+    feed(det, 150.0, Milliwatts{1.0});  // charge peak
+    feed(det, 150.0, Milliwatts{0.0});
     double t = 0.0;
-    while (t < 100.0 && !det.step(1.0, 1.0)) t += 1.0;
+    while (t < 100.0 && !det.step(1.0, Milliwatts{1.0})) t += 1.0;
     return t;
   };
   EXPECT_LT(rise_time(5.0), rise_time(25.0));
@@ -176,7 +177,7 @@ TEST(OfdmEnvelope, RawSamplesAreExponential) {
   int above_2x = 0;
   const int n = 50'000;
   for (int i = 0; i < n; ++i) {
-    const double x = phy::draw_ofdm_raw_power_sample(2.0, rng);
+    const double x = phy::draw_ofdm_raw_power_sample(Milliwatts{2.0}, rng);
     sum += x;
     if (x > 4.0) ++above_2x;
   }
@@ -190,7 +191,7 @@ TEST(OfdmEnvelope, BandlimitedSamplesHaveReducedVariance) {
   double sum = 0.0, sum2 = 0.0;
   const int n = 50'000;
   for (int i = 0; i < n; ++i) {
-    const double x = phy::draw_ofdm_power_sample(2.0, rng);
+    const double x = phy::draw_ofdm_power_sample(Milliwatts{2.0}, rng);
     EXPECT_GE(x, 0.0);
     sum += x;
     sum2 += x * x;

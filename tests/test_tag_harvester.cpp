@@ -7,18 +7,20 @@ namespace {
 
 TEST(Harvester, IncidentPowerFreeSpace) {
   // +16 dBm at 1 m with 40 dB reference loss -> -24 dBm.
-  EXPECT_NEAR(incident_power_dbm(16.0, 1.0), -24.0, 1e-9);
+  EXPECT_NEAR(incident_power_dbm(Dbm{16.0}, Meters{1.0}).value(), -24.0,
+              1e-9);
   // Each doubling of distance costs 6 dB.
-  EXPECT_NEAR(incident_power_dbm(16.0, 2.0), -30.0, 0.05);
+  EXPECT_NEAR(incident_power_dbm(Dbm{16.0}, Meters{2.0}).value(), -30.0,
+              0.05);
 }
 
 TEST(Harvester, HarvestedPowerScalesWithEfficiency) {
   HarvesterParams p;
   p.efficiency = 0.15;
-  p.antenna_gain_db = 0.0;
+  p.antenna_gain_db = Db{};
   Harvester h(p);
   // 0 dBm incident = 1 mW -> 150 uW at 15%.
-  EXPECT_NEAR(h.harvested_uw(0.0), 150.0, 1e-6);
+  EXPECT_NEAR(h.harvested_uw(Dbm{}), 150.0, 1e-6);
 }
 
 TEST(Harvester, DutyCycleClampedToOne) {
@@ -37,7 +39,7 @@ TEST(Harvester, PaperClaimContinuousAtOneFoot) {
   // §6: "the Wi-Fi power harvester can continuously run both the
   // transmitter and receiver from a distance of one foot".
   Harvester h{HarvesterParams{}};
-  const double incident = incident_power_dbm(16.0, 0.3048);
+  const Dbm incident = incident_power_dbm(Dbm{16.0}, Meters{0.3048});
   const double harvested = h.harvested_uw(incident);
   EXPECT_GE(h.sustainable_duty_cycle(harvested, 0.65 + 9.0), 1.0);
 }
@@ -46,9 +48,9 @@ TEST(Harvester, TvAt10KmSupportsAboutHalfDuty) {
   // §6: "the full system could be powered with a duty cycle of around 50%
   // at a distance of 10 km from a TV broadcast tower" (dual-antenna).
   HarvesterParams p;
-  p.antenna_gain_db = 8.0;
+  p.antenna_gain_db = Db{8.0};
   Harvester h(p);
-  const double incident = tv_incident_power_dbm(90.0, 10.0);
+  const Dbm incident = tv_incident_power_dbm(Dbm{90.0}, 10.0);
   const double duty =
       h.sustainable_duty_cycle(h.harvested_uw(incident), 0.65 + 9.0 + 1.5);
   EXPECT_GT(duty, 0.01);
@@ -82,15 +84,16 @@ TEST(Harvester, MonotoneInDistance) {
   Harvester h{HarvesterParams{}};
   double prev = 1e9;
   for (double d : {0.1, 0.3, 1.0, 3.0}) {
-    const double uw = h.harvested_uw(incident_power_dbm(16.0, d));
+    const double uw =
+        h.harvested_uw(incident_power_dbm(Dbm{16.0}, Meters{d}));
     EXPECT_LT(uw, prev);
     prev = uw;
   }
 }
 
 TEST(Harvester, TvIncidentFallsWithDistance) {
-  EXPECT_GT(tv_incident_power_dbm(90.0, 1.0),
-            tv_incident_power_dbm(90.0, 10.0));
+  EXPECT_GT(tv_incident_power_dbm(Dbm{90.0}, 1.0),
+            tv_incident_power_dbm(Dbm{90.0}, 10.0));
 }
 
 }  // namespace

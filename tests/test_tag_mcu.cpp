@@ -19,20 +19,21 @@ EdgeStream edges_for(const BitVec& bits, TimeUs t0, TimeUs bit_us) {
   for (std::size_t i = 0; i < bits.size(); ++i) {
     const bool b = bits[i] != 0;
     if (b != level) {
-      s.edges.emplace_back(t0 + static_cast<TimeUs>(i) * bit_us, b);
+      s.edges.emplace_back(
+          t0 + bit_us * static_cast<std::int64_t>(i), b);
       level = b;
     }
   }
   if (level) {
-    s.edges.emplace_back(t0 + static_cast<TimeUs>(bits.size()) * bit_us,
-                         false);
+    s.edges.emplace_back(
+        t0 + bit_us * static_cast<std::int64_t>(bits.size()), false);
   }
   return s;
 }
 
 McuParams test_params() {
   McuParams p = McuParams::defaults();
-  p.bit_duration_us = 50;
+  p.bit_duration_us = TimeUs{50};
   p.payload_bits = 8;
   return p;
 }
@@ -44,8 +45,9 @@ std::vector<McuDecodeResult> run_frame(Mcu& mcu, const BitVec& payload,
   message.insert(message.end(), payload.begin(), payload.end());
   const auto stream = edges_for(message, t0, bit_us);
   std::size_t e = 0;
-  for (TimeUs t = t0 - 100;
-       t < t0 + static_cast<TimeUs>(message.size() + 2) * bit_us; ++t) {
+  const TimeUs end =
+      t0 + bit_us * static_cast<std::int64_t>(message.size() + 2);
+  for (TimeUs t = t0 - TimeUs{100}; t < end; t += TimeUs{1}) {
     while (e < stream.edges.size() && stream.edges[e].first <= t) {
       mcu.on_transition(stream.edges[e].first, stream.edges[e].second);
       ++e;
@@ -65,7 +67,7 @@ std::vector<McuDecodeResult> run_frame(Mcu& mcu, const BitVec& payload,
 TEST(Mcu, DecodesCleanFrame) {
   Mcu mcu(test_params());
   const BitVec payload = {1, 0, 1, 1, 0, 0, 1, 0};
-  const auto decoded = run_frame(mcu, payload, 10'000, 50);
+  const auto decoded = run_frame(mcu, payload, TimeUs{10'000}, TimeUs{50});
   ASSERT_EQ(decoded.size(), 1u);
   EXPECT_EQ(decoded[0].payload, payload);
   EXPECT_EQ(mcu.decode_mode_entries(), 1u);
@@ -74,18 +76,18 @@ TEST(Mcu, DecodesCleanFrame) {
 TEST(Mcu, PayloadStartAfterPreamble) {
   Mcu mcu(test_params());
   const BitVec payload = {1, 1, 1, 1, 0, 0, 0, 0};
-  const auto decoded = run_frame(mcu, payload, 10'000, 50);
+  const auto decoded = run_frame(mcu, payload, TimeUs{10'000}, TimeUs{50});
   ASSERT_EQ(decoded.size(), 1u);
   EXPECT_EQ(decoded[0].payload_start_us,
-            10'000 + 16 * 50);  // 16-bit preamble
+            TimeUs{10'000 + 16 * 50});  // 16-bit preamble
 }
 
 TEST(Mcu, RearmsAfterDecode) {
   Mcu mcu(test_params());
   const BitVec p1 = {1, 0, 1, 0, 1, 0, 1, 0};
   const BitVec p2 = {0, 1, 1, 0, 0, 1, 1, 0};
-  run_frame(mcu, p1, 10'000, 50);
-  const auto decoded = run_frame(mcu, p2, 50'000, 50);
+  run_frame(mcu, p1, TimeUs{10'000}, TimeUs{50});
+  const auto decoded = run_frame(mcu, p2, TimeUs{50'000}, TimeUs{50});
   ASSERT_EQ(decoded.size(), 2u);
   EXPECT_EQ(decoded[1].payload, p2);
 }
@@ -98,20 +100,21 @@ TEST(Mcu, ToleratesIntervalJitter) {
   BitVec message = params.preamble;
   const BitVec payload = {1, 0, 0, 1, 1, 0, 1, 1};
   message.insert(message.end(), payload.begin(), payload.end());
-  auto stream = edges_for(message, 10'000, 50);
+  auto stream = edges_for(message, TimeUs{10'000}, TimeUs{50});
   sim::RngStream rng(3);
   for (auto& [t, level] : stream.edges) {
-    t += static_cast<TimeUs>(rng.uniform(-5.0, 5.0));
+    t += TimeUs{static_cast<std::int64_t>(rng.uniform(-5.0, 5.0))};
   }
   std::size_t e = 0;
-  for (TimeUs t = 9'000; t < 12'500; ++t) {
+  for (TimeUs t{9'000}; t < TimeUs{12'500}; t += TimeUs{1}) {
     while (e < stream.edges.size() && stream.edges[e].first <= t) {
       mcu.on_transition(stream.edges[e].first, stream.edges[e].second);
       ++e;
     }
     if (const auto s = mcu.next_sample_time()) {
       if (*s <= t) {
-        const auto idx = static_cast<std::size_t>((*s - 10'000) / 50);
+        const auto idx =
+            static_cast<std::size_t>((*s - TimeUs{10'000}) / TimeUs{50});
         mcu.on_sample(*s, idx < message.size() && message[idx] != 0);
       }
     }
@@ -124,7 +127,7 @@ TEST(Mcu, RejectsWrongIntervalPattern) {
   Mcu mcu(test_params());
   // Uniform 50 us toggling does not match the preamble's run structure.
   bool level = false;
-  for (TimeUs t = 0; t < 20'000; t += 50) {
+  for (TimeUs t{0}; t < TimeUs{20'000}; t += TimeUs{50}) {
     level = !level;
     mcu.on_transition(t, level);
   }
@@ -138,7 +141,8 @@ TEST(Mcu, RejectsScaledPattern) {
   Mcu mcu(params);
   BitVec message = params.preamble;
   message.insert(message.end(), 8, 0);
-  const auto stream = edges_for(message, 0, 100);  // 2x slower
+  const auto stream =
+      edges_for(message, TimeUs{}, TimeUs{100});  // 2x slower
   for (const auto& [t, level] : stream.edges) {
     mcu.on_transition(t, level);
   }
@@ -150,7 +154,7 @@ TEST(Mcu, SampleTimesAreMidBit) {
   Mcu mcu(params);
   BitVec message = params.preamble;
   message.insert(message.end(), 8, 1);
-  const auto stream = edges_for(message, 0, 50);
+  const auto stream = edges_for(message, TimeUs{}, TimeUs{50});
   for (const auto& [t, level] : stream.edges) {
     mcu.on_transition(t, level);
     if (mcu.decoding()) break;
@@ -158,28 +162,29 @@ TEST(Mcu, SampleTimesAreMidBit) {
   ASSERT_TRUE(mcu.decoding());
   const auto s = mcu.next_sample_time();
   ASSERT_TRUE(s.has_value());
-  EXPECT_EQ(*s, 16 * 50 + 25);  // middle of the first payload bit
+  EXPECT_EQ(*s, TimeUs{16 * 50 + 25});  // middle of the first payload bit
 }
 
 TEST(Mcu, EnergyGrowsWithActivity) {
   McuParams params = test_params();
   Mcu quiet_mcu(params);
   Mcu busy_mcu(params);
-  quiet_mcu.on_transition(0, true);
-  busy_mcu.on_transition(0, true);
-  for (TimeUs t = 10; t < 10'000; t += 10) {
-    busy_mcu.on_transition(t, (t / 10) % 2 == 0);
+  quiet_mcu.on_transition(TimeUs{}, true);
+  busy_mcu.on_transition(TimeUs{}, true);
+  for (TimeUs t{10}; t < TimeUs{10'000}; t += TimeUs{10}) {
+    busy_mcu.on_transition(t, (t / TimeUs{10}) % 2 == 0);
   }
-  EXPECT_GT(busy_mcu.energy_uj(10'000), quiet_mcu.energy_uj(10'000));
+  EXPECT_GT(busy_mcu.energy_uj(TimeUs{10'000}),
+            quiet_mcu.energy_uj(TimeUs{10'000}));
 }
 
 TEST(Mcu, SleepEnergyDominatesWhenIdle) {
   McuParams params = test_params();
   Mcu mcu(params);
-  mcu.on_transition(0, true);
-  mcu.on_transition(100, false);
+  mcu.on_transition(TimeUs{}, true);
+  mcu.on_transition(TimeUs{100}, false);
   // One hour idle at 0.5 uW sleep ~ 1800 uJ; two wakes ~ 0.007 uJ.
-  const double e = mcu.energy_uj(3'600 * kMicrosPerSec);
+  const double e = mcu.energy_uj(kMicrosPerSec * 3'600);
   EXPECT_NEAR(e, 1'800.0, 10.0);
 }
 

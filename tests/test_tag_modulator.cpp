@@ -7,65 +7,65 @@ namespace {
 
 TEST(Modulator, StateFollowsFrameBits) {
   const BitVec frame = {1, 0, 1, 1, 0};
-  Modulator mod(frame, 100, 1'000);
-  EXPECT_TRUE(mod.state_at(1'000));
-  EXPECT_TRUE(mod.state_at(1'099));
-  EXPECT_FALSE(mod.state_at(1'100));
-  EXPECT_TRUE(mod.state_at(1'250));
-  EXPECT_TRUE(mod.state_at(1'399));
-  EXPECT_FALSE(mod.state_at(1'450));
+  Modulator mod(frame, TimeUs{100}, TimeUs{1'000});
+  EXPECT_TRUE(mod.state_at(TimeUs{1'000}));
+  EXPECT_TRUE(mod.state_at(TimeUs{1'099}));
+  EXPECT_FALSE(mod.state_at(TimeUs{1'100}));
+  EXPECT_TRUE(mod.state_at(TimeUs{1'250}));
+  EXPECT_TRUE(mod.state_at(TimeUs{1'399}));
+  EXPECT_FALSE(mod.state_at(TimeUs{1'450}));
 }
 
 TEST(Modulator, AbsorbingOutsideFrame) {
   const BitVec frame = {1, 1, 1};
-  Modulator mod(frame, 100, 1'000);
-  EXPECT_FALSE(mod.state_at(0));
-  EXPECT_FALSE(mod.state_at(999));
-  EXPECT_FALSE(mod.state_at(1'300));  // one past the end
-  EXPECT_FALSE(mod.state_at(50'000));
+  Modulator mod(frame, TimeUs{100}, TimeUs{1'000});
+  EXPECT_FALSE(mod.state_at(TimeUs{0}));
+  EXPECT_FALSE(mod.state_at(TimeUs{999}));
+  EXPECT_FALSE(mod.state_at(TimeUs{1'300}));  // one past the end
+  EXPECT_FALSE(mod.state_at(TimeUs{50'000}));
 }
 
 TEST(Modulator, ActiveWindow) {
-  Modulator mod(BitVec{1, 0}, 500, 2'000);
-  EXPECT_FALSE(mod.active_at(1'999));
-  EXPECT_TRUE(mod.active_at(2'000));
-  EXPECT_TRUE(mod.active_at(2'999));
-  EXPECT_FALSE(mod.active_at(3'000));
-  EXPECT_EQ(mod.duration(), 1'000);
-  EXPECT_EQ(mod.end_time(), 3'000);
+  Modulator mod(BitVec{1, 0}, TimeUs{500}, TimeUs{2'000});
+  EXPECT_FALSE(mod.active_at(TimeUs{1'999}));
+  EXPECT_TRUE(mod.active_at(TimeUs{2'000}));
+  EXPECT_TRUE(mod.active_at(TimeUs{2'999}));
+  EXPECT_FALSE(mod.active_at(TimeUs{3'000}));
+  EXPECT_EQ(mod.duration(), TimeUs{1'000});
+  EXPECT_EQ(mod.end_time(), TimeUs{3'000});
 }
 
 TEST(Modulator, CodedModeExpandsBitsToChips) {
   const auto codes = make_orthogonal_pair(4);
   const BitVec frame = {1, 0};
-  Modulator mod(frame, codes, 10, 0);
+  Modulator mod(frame, codes, TimeUs{10}, TimeUs{0});
   EXPECT_EQ(mod.chip_sequence().size(), 8u);
   // First 4 chips == code one, next 4 == code zero.
   for (std::size_t c = 0; c < 4; ++c) {
     EXPECT_EQ(mod.chip_sequence()[c], codes.one[c]);
     EXPECT_EQ(mod.chip_sequence()[4 + c], codes.zero[c]);
   }
-  EXPECT_EQ(mod.duration(), 80);
+  EXPECT_EQ(mod.duration(), TimeUs{80});
 }
 
 TEST(Modulator, CodedStateAtChipBoundaries) {
   const auto codes = make_orthogonal_pair(4);
-  Modulator mod(BitVec{1}, codes, 10, 100);
+  Modulator mod(BitVec{1}, codes, TimeUs{10}, TimeUs{100});
   for (std::size_t c = 0; c < 4; ++c) {
-    EXPECT_EQ(mod.state_at(100 + static_cast<TimeUs>(c) * 10),
+    EXPECT_EQ(mod.state_at(TimeUs{100} + TimeUs{10} * static_cast<std::int64_t>(c)),
               codes.one[c] != 0);
   }
 }
 
 TEST(Modulator, PlainModeChipsEqualFrame) {
   const BitVec frame = {1, 0, 1};
-  Modulator mod(frame, 10, 0);
+  Modulator mod(frame, TimeUs{10}, TimeUs{0});
   EXPECT_EQ(mod.chip_sequence(), frame);
   EXPECT_EQ(mod.frame(), frame);
 }
 
 TEST(Modulator, FrameEnergyMatchesPowerTimesTime) {
-  Modulator mod(BitVec(100, 1), 10'000, 0);  // 1 s on air
+  Modulator mod(BitVec(100, 1), TimeUs{10'000}, TimeUs{0});  // 1 s on air
   // 0.65 uW for 1 s = 0.65 uJ.
   EXPECT_NEAR(mod.frame_energy_uj(), 0.65, 1e-9);
   ModulatorPower half;
@@ -74,10 +74,10 @@ TEST(Modulator, FrameEnergyMatchesPowerTimesTime) {
 }
 
 TEST(Modulator, EmptyFrameNeverActive) {
-  Modulator mod(BitVec{}, 100, 0);
-  EXPECT_FALSE(mod.active_at(0));
-  EXPECT_FALSE(mod.state_at(0));
-  EXPECT_EQ(mod.duration(), 0);
+  Modulator mod(BitVec{}, TimeUs{100}, TimeUs{0});
+  EXPECT_FALSE(mod.active_at(TimeUs{0}));
+  EXPECT_FALSE(mod.state_at(TimeUs{0}));
+  EXPECT_EQ(mod.duration(), TimeUs{});
 }
 
 }  // namespace

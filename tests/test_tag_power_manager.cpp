@@ -7,13 +7,13 @@ namespace {
 
 PowerManagerParams near_reader() {
   PowerManagerParams p;
-  p.incident_dbm = -10.0;  // very close: harvest >> loads
+  p.incident_dbm = Dbm{-10.0};  // very close: harvest >> loads
   return p;
 }
 
 PowerManagerParams far_from_power() {
   PowerManagerParams p;
-  p.incident_dbm = -32.0;  // harvest below even the idle load
+  p.incident_dbm = Dbm{-32.0};  // harvest below even the idle load
   return p;
 }
 
@@ -64,8 +64,8 @@ TEST(PowerManager, RefusesWorkWhileBrownedOut) {
   p.initial_fraction = 0.05;  // below the brown-out threshold
   PowerManager pm(p);
   EXPECT_TRUE(pm.browned_out());
-  EXPECT_FALSE(pm.try_decode(1'000));
-  EXPECT_FALSE(pm.try_respond(1'000));
+  EXPECT_FALSE(pm.try_decode(TimeUs{1'000}));
+  EXPECT_FALSE(pm.try_respond(TimeUs{1'000}));
 }
 
 TEST(PowerManager, RecoversWithHysteresis) {
@@ -74,11 +74,11 @@ TEST(PowerManager, RecoversWithHysteresis) {
   PowerManager pm(p);
   EXPECT_TRUE(pm.browned_out());
   // Charge past the brown-out threshold but below resume: still out.
-  while (pm.stored_fraction() < 0.2) pm.idle(100'000);
+  while (pm.stored_fraction() < 0.2) pm.idle(TimeUs{100'000});
   EXPECT_TRUE(pm.browned_out());
-  while (pm.stored_fraction() < 0.35) pm.idle(100'000);
+  while (pm.stored_fraction() < 0.35) pm.idle(TimeUs{100'000});
   EXPECT_FALSE(pm.browned_out());
-  EXPECT_TRUE(pm.try_decode(1'000));
+  EXPECT_TRUE(pm.try_decode(TimeUs{1'000}));
 }
 
 TEST(PowerManager, EnergyLedgerBalances) {
@@ -105,12 +105,12 @@ TEST(PowerManager, PaperDutyCycleBehaviour) {
   // (§6); far away it is not, and the sustainable duty cycle matches the
   // harvest/load ratio.
   PowerManagerParams near_p;
-  near_p.incident_dbm = incident_power_dbm(16.0, 0.3048);
+  near_p.incident_dbm = incident_power_dbm(Dbm{16.0}, Meters{0.3048});
   PowerManager near_pm(near_p);
   EXPECT_GT(near_pm.idle_margin_uw(), 0.0);
 
   PowerManagerParams far_p;
-  far_p.incident_dbm = incident_power_dbm(16.0, 2.0);
+  far_p.incident_dbm = incident_power_dbm(Dbm{16.0}, Meters{2.0});
   far_p.idle_load_uw = 9.65;  // full rx + tx chain always on
   PowerManager far_pm(far_p);
   EXPECT_LT(far_pm.idle_margin_uw(), 0.0);

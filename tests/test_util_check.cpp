@@ -98,12 +98,13 @@ TEST(CheckDeathTest, DefaultPolicyAbortsWithLocation) {
 TEST(WiredContracts, EventQueueRejectsSchedulingIntoThePast) {
   ScopedContractPolicy guard(ContractPolicy::kThrow);
   sim::EventQueue q;
-  q.schedule_at(1'000, [] {});
-  q.run_until(1'000);
-  ASSERT_EQ(q.now(), 1'000);
-  EXPECT_THROW(q.schedule_at(999, [] {}), ContractViolation);
-  EXPECT_THROW(q.schedule_in(-1, [] {}), ContractViolation);
-  EXPECT_THROW(q.schedule_at(2'000, sim::EventFn{}), ContractViolation);
+  q.schedule_at(TimeUs{1'000}, [] {});
+  q.run_until(TimeUs{1'000});
+  ASSERT_EQ(q.now(), TimeUs{1'000});
+  EXPECT_THROW(q.schedule_at(TimeUs{999}, [] {}), ContractViolation);
+  EXPECT_THROW(q.schedule_in(TimeUs{-1}, [] {}), ContractViolation);
+  EXPECT_THROW(q.schedule_at(TimeUs{2'000}, sim::EventFn{}),
+               ContractViolation);
 }
 
 TEST(WiredContracts, RngRejectsDegenerateDistributions) {
@@ -117,7 +118,7 @@ TEST(WiredContracts, RngRejectsDegenerateDistributions) {
 TEST(WiredContracts, DecoderConfigMustBeWellFormed) {
   ScopedContractPolicy guard(ContractPolicy::kThrow);
   reader::UplinkDecoderConfig cfg;
-  cfg.bit_duration_us = 0;
+  cfg.bit_duration_us = TimeUs{};
   EXPECT_THROW(reader::UplinkDecoder{cfg}, ContractViolation);
   cfg = reader::UplinkDecoderConfig{};
   cfg.preamble.clear();
@@ -129,24 +130,27 @@ TEST(WiredContracts, DecoderConfigMustBeWellFormed) {
 
 TEST(WiredContracts, ConditioningRejectsMalformedSeries) {
   ScopedContractPolicy guard(ContractPolicy::kThrow);
-  const std::vector<TimeUs> sorted{0, 10, 20};
-  const std::vector<TimeUs> unsorted{0, 20, 10};
+  const std::vector<TimeUs> sorted{TimeUs{0}, TimeUs{10}, TimeUs{20}};
+  const std::vector<TimeUs> unsorted{TimeUs{0}, TimeUs{20}, TimeUs{10}};
   const std::vector<double> xs{1.0, 2.0, 3.0};
-  EXPECT_THROW(reader::remove_time_moving_average(sorted, xs, 0),
-               ContractViolation);
-  EXPECT_THROW(reader::remove_time_moving_average(unsorted, xs, 100),
+  EXPECT_THROW(reader::remove_time_moving_average(sorted, xs, TimeUs{}),
                ContractViolation);
   EXPECT_THROW(
-      reader::remove_time_moving_average({0, 10}, xs, 100),
-      ContractViolation);
+      reader::remove_time_moving_average(unsorted, xs, TimeUs{100}),
+               ContractViolation);
+  EXPECT_THROW(reader::remove_time_moving_average({TimeUs{0}, TimeUs{10}},
+                                                  xs, TimeUs{100}),
+               ContractViolation);
 }
 
 TEST(WiredContracts, PhyDriftRejectsOutOfRangeStream) {
   ScopedContractPolicy guard(ContractPolicy::kThrow);
   sim::RngStream rng(3);
   phy::ChannelDrift drift(phy::ChannelDrift::Params{}, rng.fork("d"));
-  EXPECT_THROW(drift.at(phy::kNumAntennas, 0, 0), ContractViolation);
-  EXPECT_THROW(drift.at(0, phy::kNumSubchannels, 0), ContractViolation);
+  EXPECT_THROW(drift.at(phy::kNumAntennas, 0, TimeUs{}),
+               ContractViolation);
+  EXPECT_THROW(drift.at(0, phy::kNumSubchannels, TimeUs{}),
+               ContractViolation);
   phy::ChannelDrift::Params bad;
   bad.antenna_tau_s = 0.0;
   EXPECT_THROW(phy::ChannelDrift(bad, rng.fork("b")), ContractViolation);
@@ -154,7 +158,8 @@ TEST(WiredContracts, PhyDriftRejectsOutOfRangeStream) {
 
 TEST(WiredContracts, HarvesterRejectsNonPhysicalBudgets) {
   ScopedContractPolicy guard(ContractPolicy::kThrow);
-  EXPECT_THROW(tag::incident_power_dbm(30.0, 0.0), ContractViolation);
+  EXPECT_THROW(tag::incident_power_dbm(Dbm{30.0}, Meters{}),
+               ContractViolation);
   tag::Harvester ok{tag::HarvesterParams{}};
   EXPECT_THROW(ok.sustainable_duty_cycle(-1.0, 10.0), ContractViolation);
   tag::HarvesterParams p;

@@ -1,0 +1,201 @@
+#include "util/units.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+#include <type_traits>
+
+#include <gtest/gtest.h>
+
+namespace wb {
+namespace {
+
+// ---- compile-time contract (the SFINAE-visible half; the hard errors
+// like `Dbm + Dbm` live in tests/compile_fail/) ----
+
+// Zero cost: each strong type is exactly its underlying scalar.
+static_assert(sizeof(Dbm) == sizeof(double));
+static_assert(sizeof(Db) == sizeof(double));
+static_assert(sizeof(Milliwatts) == sizeof(double));
+static_assert(sizeof(Meters) == sizeof(double));
+static_assert(sizeof(Hertz) == sizeof(double));
+static_assert(sizeof(TimeUs) == sizeof(std::int64_t));
+static_assert(std::is_trivially_copyable_v<Dbm>);
+static_assert(std::is_trivially_copyable_v<TimeUs>);
+
+// Construction from a raw scalar is always explicit — an unlabelled
+// number never silently becomes a physical quantity.
+static_assert(!std::is_convertible_v<double, Dbm>);
+static_assert(!std::is_convertible_v<double, Db>);
+static_assert(!std::is_convertible_v<double, Milliwatts>);
+static_assert(!std::is_convertible_v<double, Meters>);
+static_assert(!std::is_convertible_v<double, Hertz>);
+static_assert(!std::is_convertible_v<std::int64_t, TimeUs>);
+static_assert(!std::is_convertible_v<int, TimeUs>);
+static_assert(std::is_constructible_v<Dbm, double>);
+static_assert(std::is_constructible_v<TimeUs, std::int64_t>);
+
+// Cross-type mixes are not SFINAE-constructible either.
+static_assert(!std::is_constructible_v<Dbm, Db>);
+static_assert(!std::is_constructible_v<Db, Dbm>);
+static_assert(!std::is_constructible_v<Milliwatts, Dbm>);
+static_assert(!std::is_constructible_v<Meters, Hertz>);
+
+// Only the physically meaningful operators exist. std::plus<void> probes
+// operator+ through overload resolution without hard errors.
+static_assert(!std::is_invocable_v<std::plus<>, Dbm, Dbm>);
+static_assert(std::is_invocable_v<std::plus<>, Dbm, Db>);
+static_assert(std::is_invocable_v<std::plus<>, Db, Db>);
+static_assert(std::is_invocable_v<std::plus<>, Milliwatts, Milliwatts>);
+static_assert(!std::is_invocable_v<std::plus<>, Milliwatts, Db>);
+static_assert(!std::is_invocable_v<std::plus<>, Milliwatts, Dbm>);
+static_assert(!std::is_invocable_v<std::plus<>, Meters, Hertz>);
+static_assert(!std::is_invocable_v<std::multiplies<>, TimeUs, TimeUs>);
+static_assert(!std::is_invocable_v<std::multiplies<>, TimeUs, double>);
+static_assert(std::is_invocable_v<std::multiplies<>, TimeUs, int>);
+
+// Result types follow the operator table.
+static_assert(std::is_same_v<decltype(Dbm{0.0} + Db{0.0}), Dbm>);
+static_assert(std::is_same_v<decltype(Dbm{0.0} - Dbm{0.0}), Db>);
+static_assert(std::is_same_v<decltype(Milliwatts{1.0} / Milliwatts{1.0}),
+                             double>);
+static_assert(std::is_same_v<decltype(TimeUs{1} / TimeUs{1}), std::int64_t>);
+static_assert(std::is_same_v<decltype(TimeUs{1} % TimeUs{1}), TimeUs>);
+
+std::int64_t ulp_distance(double a, double b) {
+  std::int64_t ia = 0;
+  std::int64_t ib = 0;
+  std::memcpy(&ia, &a, sizeof(a));
+  std::memcpy(&ib, &b, sizeof(b));
+  return ia > ib ? ia - ib : ib - ia;
+}
+
+// ---- the zero-added-error property: every typed conversion is
+// bit-identical to the raw helper it delegates to ----
+
+TEST(UnitsProperty, TypedConversionsBitIdenticalToRawHelpers) {
+  for (double x = -120.0; x <= 30.0; x += 0.0137) {
+    EXPECT_EQ(Dbm{x}.to_mw().value(), units::dbm_to_mw(x)) << x;
+    EXPECT_EQ(Db{x}.to_ratio(), db_to_ratio(x)) << x;
+    EXPECT_EQ(Db{x}.to_amplitude(), db_to_amplitude(x)) << x;
+  }
+  for (double mw = 1e-12; mw < 1e3; mw *= 1.0137) {
+    EXPECT_EQ(Milliwatts{mw}.to_dbm().value(), mw_to_dbm(mw)) << mw;
+    EXPECT_EQ(Db::from_ratio(mw).value(), ratio_to_db(mw)) << mw;
+    EXPECT_EQ(Db::from_amplitude(mw).value(), amplitude_ratio_to_db(mw))
+        << mw;
+  }
+}
+
+TEST(UnitsProperty, TypedRoundTripBitIdenticalToRawRoundTrip) {
+  // The strong types add no floating-point error of their own: a
+  // dBm -> mW -> dBm trip through the types lands on exactly the double
+  // the raw-helper trip lands on, and that double is within a hair of
+  // the start (the residue is libm's, not the type layer's).
+  for (double x = -120.0; x <= 30.0; x += 0.0137) {
+    const double typed = Dbm{x}.to_mw().to_dbm().value();
+    const double raw = units::mw_to_dbm(units::dbm_to_mw(x));
+    EXPECT_EQ(typed, raw) << x;
+    EXPECT_NEAR(typed, x, 1e-12) << x;
+  }
+  for (double mw = 1e-12; mw < 1e3; mw *= 1.0137) {
+    const double typed = Milliwatts{mw}.to_dbm().to_mw().value();
+    const double raw = units::dbm_to_mw(units::mw_to_dbm(mw));
+    EXPECT_EQ(typed, raw) << mw;
+    EXPECT_LE(ulp_distance(typed, mw), 64) << mw;
+  }
+}
+
+TEST(UnitsProperty, DecadePointsRoundTripExactly) {
+  // Powers of ten are where calibration constants live (0 dBm = 1 mW,
+  // 20 dBm = 100 mW); those round-trip bit-exactly through the types.
+  for (double x = -120.0; x <= 120.0; x += 10.0) {
+    EXPECT_EQ(Dbm{x}.to_mw().to_dbm().value(), x);
+    EXPECT_EQ(Db{x}.to_ratio(), std::pow(10.0, x / 10.0));
+  }
+  EXPECT_EQ(Dbm{0.0}.to_mw().value(), 1.0);
+  EXPECT_EQ(Dbm{10.0}.to_mw().value(), 10.0);
+  EXPECT_EQ(Dbm{20.0}.to_mw().value(), 100.0);
+  EXPECT_EQ(Dbm{-30.0}.to_mw().to_dbm().value(), -30.0);
+  EXPECT_EQ(Db{0.0}.to_ratio(), 1.0);
+  EXPECT_EQ(Db{3.0}.to_amplitude(), db_to_amplitude(3.0));
+}
+
+// ---- operator semantics ----
+
+TEST(Units, LogDomainOperatorTable) {
+  const Dbm tx{20.0};
+  const Db loss{-47.5};
+  EXPECT_DOUBLE_EQ((tx + loss).value(), -27.5);
+  EXPECT_DOUBLE_EQ((loss + tx).value(), -27.5);
+  EXPECT_DOUBLE_EQ((tx - Db{3.0}).value(), 17.0);
+  EXPECT_DOUBLE_EQ((tx - Dbm{-27.5}).value(), 47.5);  // Dbm - Dbm -> Db
+  EXPECT_DOUBLE_EQ((Db{3.0} + Db{4.0}).value(), 7.0);
+  EXPECT_DOUBLE_EQ((Db{3.0} - Db{4.0}).value(), -1.0);
+  EXPECT_DOUBLE_EQ((-Db{3.0}).value(), -3.0);
+  EXPECT_DOUBLE_EQ((Db{3.0} * 4.0).value(), 12.0);  // 4 walls' worth
+  EXPECT_DOUBLE_EQ((Db{12.0} / 4.0).value(), 3.0);
+  Dbm p{0.0};
+  p += Db{5.0};
+  p -= Db{2.0};
+  EXPECT_DOUBLE_EQ(p.value(), 3.0);
+}
+
+TEST(Units, LinearDomainOperatorTable) {
+  const Milliwatts a{0.25};
+  const Milliwatts b{0.75};
+  EXPECT_DOUBLE_EQ((a + b).value(), 1.0);  // MRC combining adds linearly
+  EXPECT_DOUBLE_EQ((b - a).value(), 0.5);
+  EXPECT_DOUBLE_EQ((a * 4.0).value(), 1.0);
+  EXPECT_DOUBLE_EQ((4.0 * a).value(), 1.0);
+  EXPECT_DOUBLE_EQ((b / 3.0).value(), 0.25);
+  EXPECT_DOUBLE_EQ(b / a, 3.0);  // Mw / Mw -> dimensionless ratio
+  EXPECT_DOUBLE_EQ((Meters{6.0} / Meters{2.0}), 3.0);
+  EXPECT_DOUBLE_EQ((Hertz{2.4e9} / 2.0).value(), 1.2e9);
+}
+
+TEST(Units, TimeUsArithmetic) {
+  const TimeUs bit{400};
+  EXPECT_EQ((bit * 8).ticks(), 3200);
+  EXPECT_EQ((8 * bit).ticks(), 3200);
+  EXPECT_EQ((bit / 4).ticks(), 100);
+  EXPECT_EQ(TimeUs{3200} / bit, 8);  // dimensionless count
+  EXPECT_EQ((TimeUs{1001} % TimeUs{400}).ticks(), 201);
+  EXPECT_EQ((TimeUs{100} + TimeUs{23}).ticks(), 123);
+  EXPECT_EQ((TimeUs{100} - TimeUs{23}).ticks(), 77);
+  EXPECT_EQ((-TimeUs{5}).ticks(), -5);
+  EXPECT_DOUBLE_EQ(TimeUs{1'500'000}.seconds(), 1.5);
+  EXPECT_EQ(TimeUs::max().ticks(),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_LT(TimeUs{0}, TimeUs::max());
+}
+
+TEST(Units, LiteralsAndConstants) {
+  EXPECT_EQ((400_us).ticks(), 400);
+  EXPECT_EQ((3_ms).ticks(), 3'000);
+  EXPECT_EQ((2_s).ticks(), 2'000'000);
+  EXPECT_EQ(kMicrosPerMilli.ticks(), 1'000);
+  EXPECT_EQ(kMicrosPerSec.ticks(), 1'000'000);
+  EXPECT_DOUBLE_EQ((20.0_dbm).value(), 20.0);
+  EXPECT_DOUBLE_EQ((-3.0_db).value(), -3.0);
+  EXPECT_DOUBLE_EQ((1.5_mw).value(), 1.5);
+  EXPECT_DOUBLE_EQ((2.4_m).value(), 2.4);
+  EXPECT_DOUBLE_EQ((2.437e9_hz).value(), 2.437e9);
+  EXPECT_EQ(units::kWifiChannel6.value(), 2.437e9);
+  EXPECT_EQ(units::kWifiChannel6.wavelength().value(),
+            wavelength_m(2.437e9));
+}
+
+TEST(Units, ComparisonAndStreaming) {
+  EXPECT_LT(Dbm{-80.0}, Dbm{-40.0});
+  EXPECT_GE(Db{3.0}, Db{3.0});
+  EXPECT_EQ(Milliwatts{1.0}, Milliwatts{1.0});
+  std::ostringstream os;
+  os << Dbm{-27.5} << " / " << Db{3.0} << " / " << Milliwatts{2.0} << " / "
+     << Meters{1.5} << " / " << Hertz{2.4e9} << " / " << TimeUs{400};
+  EXPECT_EQ(os.str(), "-27.5 dBm / 3 dB / 2 mW / 1.5 m / 2.4e+09 Hz / 400 us");
+}
+
+}  // namespace
+}  // namespace wb

@@ -9,7 +9,7 @@ TEST(DcfMac, SingleStationDeliversEverything) {
   DcfMac mac{sim::RngStream(1)};
   const auto s = mac.add_station();
   for (int i = 0; i < 50; ++i) {
-    mac.enqueue(s, i * 1'000, 500, 24.0);
+    mac.enqueue(s, TimeUs{i * 1'000}, 500, 24.0);
   }
   mac.run_until(kMicrosPerSec);
   EXPECT_EQ(mac.stats(s).delivered, 50u);
@@ -22,7 +22,7 @@ TEST(DcfMac, FramesNeverOverlapInTime) {
   for (int i = 0; i < 4; ++i) {
     mac.make_saturated(mac.add_station(), 1'000, 54.0);
   }
-  mac.run_until(200'000);
+  mac.run_until(TimeUs{200'000});
   const auto& log = mac.log();
   ASSERT_GT(log.size(), 10u);
   for (std::size_t i = 1; i < log.size(); ++i) {
@@ -85,8 +85,8 @@ TEST(DcfMac, NavBlocksOtherStations) {
   const auto reader = mac.add_station();
   const auto other = mac.add_station();
   mac.make_saturated(other, 1'500, 54.0);
-  mac.reserve(reader, 10'000, 8'000);  // 8 ms reservation
-  mac.run_until(60'000);
+  mac.reserve(reader, TimeUs{10'000}, TimeUs{8'000});  // 8 ms reservation
+  mac.run_until(TimeUs{60'000});
 
   // Find the CTS and verify no other frame starts inside its NAV.
   const AirFrame* cts = nullptr;
@@ -109,11 +109,11 @@ TEST(DcfMac, TrafficResumesAfterNav) {
   const auto reader = mac.add_station();
   const auto other = mac.add_station();
   mac.make_saturated(other, 1'000, 54.0);
-  mac.reserve(reader, 5'000, 10'000);
-  mac.run_until(100'000);
+  mac.reserve(reader, TimeUs{5'000}, TimeUs{10'000});
+  mac.run_until(TimeUs{100'000});
   bool frame_after_nav = false;
   for (const auto& f : mac.log()) {
-    if (f.packet.kind == FrameKind::kData && f.packet.start_us > 20'000) {
+    if (f.packet.kind == FrameKind::kData && f.packet.start_us > TimeUs{20'000}) {
       frame_after_nav = true;
     }
   }

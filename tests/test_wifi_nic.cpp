@@ -20,10 +20,10 @@ NicModelParams quiet_params() {
   p.csi_noise_rel = 0.0;
   p.csi_noise_spread = 0.0;
   p.spurious_prob = 0.0;
-  p.rssi_noise_db = 0.0;
+  p.rssi_noise_db = Db{};
   p.weak_antenna = phy::kNumAntennas;  // disabled
   p.csi_quant_step = 0.0;
-  p.rssi_quant_db = 0.0;
+  p.rssi_quant_db = Db{};
   return p;
 }
 
@@ -33,7 +33,7 @@ TEST(Nic, CalibratedScaleMapsRmsToCsiScale) {
   NicModel nic(p, rng);
   const auto h = flat_channel(0.02);
   nic.calibrate(h);
-  const auto rec = nic.measure(h, 0, 1, FrameKind::kData);
+  const auto rec = nic.measure(h, TimeUs{}, 1, FrameKind::kData);
   for (std::size_t a = 0; a < phy::kNumAntennas; ++a) {
     for (std::size_t s = 0; s < phy::kNumSubchannels; ++s) {
       EXPECT_NEAR(rec.csi[a][s], p.csi_scale, 1e-9);
@@ -45,7 +45,7 @@ TEST(Nic, AutoCalibratesOnFirstPacket) {
   NicModelParams p = quiet_params();
   sim::RngStream rng(2);
   NicModel nic(p, rng);
-  const auto rec = nic.measure(flat_channel(0.01), 0, 1, FrameKind::kData);
+  const auto rec = nic.measure(flat_channel(0.01), TimeUs{}, 1, FrameKind::kData);
   EXPECT_NEAR(rec.csi[0][0], p.csi_scale, 1e-9);
 }
 
@@ -56,7 +56,7 @@ TEST(Nic, CalibrationDoesNotTrackModulation) {
   sim::RngStream rng(3);
   NicModel nic(p, rng);
   nic.calibrate(flat_channel(0.01));
-  const auto rec = nic.measure(flat_channel(0.012), 1, 1, FrameKind::kData);
+  const auto rec = nic.measure(flat_channel(0.012), TimeUs{1}, 1, FrameKind::kData);
   EXPECT_NEAR(rec.csi[0][0], p.csi_scale * 1.2, 1e-9);
 }
 
@@ -66,7 +66,7 @@ TEST(Nic, QuantisationGrid) {
   sim::RngStream rng(4);
   NicModel nic(p, rng);
   nic.calibrate(flat_channel(0.01));
-  const auto rec = nic.measure(flat_channel(0.0101), 0, 1, FrameKind::kData);
+  const auto rec = nic.measure(flat_channel(0.0101), TimeUs{}, 1, FrameKind::kData);
   const double steps = rec.csi[0][0] / 0.05;
   EXPECT_NEAR(steps, std::round(steps), 1e-9);
 }
@@ -78,14 +78,14 @@ TEST(Nic, WeakAntennaReportsLowCsi) {
   sim::RngStream rng(5);
   NicModel nic(p, rng);
   nic.calibrate(flat_channel(0.01));
-  const auto rec = nic.measure(flat_channel(0.01), 0, 1, FrameKind::kData);
+  const auto rec = nic.measure(flat_channel(0.01), TimeUs{}, 1, FrameKind::kData);
   EXPECT_NEAR(rec.csi[2][0], rec.csi[0][0] * 0.08, 1e-9);
 }
 
 TEST(Nic, BeaconsCarryNoCsi) {
   sim::RngStream rng(6);
   NicModel nic(quiet_params(), rng);
-  const auto rec = nic.measure(flat_channel(0.01), 0, 1, FrameKind::kBeacon);
+  const auto rec = nic.measure(flat_channel(0.01), TimeUs{}, 1, FrameKind::kBeacon);
   EXPECT_FALSE(rec.has_csi);
   // RSSI is still present.
   EXPECT_GT(rec.rssi_dbm[0], -95.0);
@@ -95,19 +95,19 @@ TEST(Nic, RssiReflectsTotalPower) {
   sim::RngStream rng(7);
   NicModel nic(quiet_params(), rng);
   nic.calibrate(flat_channel(0.01));
-  const auto weak = nic.measure(flat_channel(0.01), 0, 1, FrameKind::kData);
+  const auto weak = nic.measure(flat_channel(0.01), TimeUs{}, 1, FrameKind::kData);
   const auto strong =
-      nic.measure(flat_channel(0.02), 1, 1, FrameKind::kData);
+      nic.measure(flat_channel(0.02), TimeUs{1}, 1, FrameKind::kData);
   // 2x amplitude = +6.02 dB.
   EXPECT_NEAR(strong.rssi_dbm[0] - weak.rssi_dbm[0], 6.02, 0.05);
 }
 
 TEST(Nic, RssiQuantisedToWholeDb) {
   NicModelParams p = quiet_params();
-  p.rssi_quant_db = 1.0;
+  p.rssi_quant_db = Db{1.0};
   sim::RngStream rng(8);
   NicModel nic(p, rng);
-  const auto rec = nic.measure(flat_channel(0.013), 0, 1, FrameKind::kData);
+  const auto rec = nic.measure(flat_channel(0.013), TimeUs{}, 1, FrameKind::kData);
   for (double r : rec.rssi_dbm) {
     EXPECT_NEAR(r, std::round(r), 1e-9);
   }

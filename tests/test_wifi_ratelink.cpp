@@ -7,7 +7,7 @@ namespace wb::wifi {
 namespace {
 
 TEST(RateAdapt, ThresholdsMonotoneInRate) {
-  double prev = 0.0;
+  Db prev{};
   for (double r : kPhyRatesMbps) {
     EXPECT_GT(required_snr_db(r), prev);
     prev = required_snr_db(r);
@@ -17,21 +17,21 @@ TEST(RateAdapt, ThresholdsMonotoneInRate) {
 TEST(RateAdapt, PerMonotoneDecreasingInSnr) {
   double prev = 1.0;
   for (double snr = 0.0; snr <= 40.0; snr += 2.0) {
-    const double per = packet_error_rate(snr, 54.0, 1000);
+    const double per = packet_error_rate(Db{snr}, 54.0, 1000);
     EXPECT_LE(per, prev + 1e-12);
     prev = per;
   }
 }
 
 TEST(RateAdapt, PerHighBelowThresholdLowAbove) {
-  EXPECT_GT(packet_error_rate(required_snr_db(54.0) - 4.0, 54.0, 1000),
+  EXPECT_GT(packet_error_rate(required_snr_db(54.0) - Db{4.0}, 54.0, 1000),
             0.95);
-  EXPECT_LT(packet_error_rate(required_snr_db(54.0) + 4.0, 54.0, 1000),
+  EXPECT_LT(packet_error_rate(required_snr_db(54.0) + Db{4.0}, 54.0, 1000),
             0.05);
 }
 
 TEST(RateAdapt, LongerFramesFailMore) {
-  const double snr = required_snr_db(24.0) + 0.5;
+  const Db snr = required_snr_db(24.0) + Db{0.5};
   EXPECT_GT(packet_error_rate(snr, 24.0, 1500),
             packet_error_rate(snr, 24.0, 100));
 }
@@ -73,7 +73,7 @@ TEST(Arf, SaturatesAtExtremes) {
 
 TEST(LinkSim, ConvergesToHighRateAtHighSnr) {
   LinkSimConfig cfg;
-  cfg.base_snr_db = 35.0;
+  cfg.base_snr_db = Db{35.0};
   cfg.seed = 1;
   const auto r = run_link_sim(cfg, 5 * kMicrosPerSec);
   EXPECT_GT(r.mean_rate_mbps, 45.0);
@@ -83,7 +83,7 @@ TEST(LinkSim, ConvergesToHighRateAtHighSnr) {
 
 TEST(LinkSim, LowSnrPicksLowRate) {
   LinkSimConfig cfg;
-  cfg.base_snr_db = 9.0;
+  cfg.base_snr_db = Db{9.0};
   cfg.seed = 2;
   const auto r = run_link_sim(cfg, 5 * kMicrosPerSec);
   EXPECT_LT(r.mean_rate_mbps, 15.0);
@@ -94,7 +94,7 @@ TEST(LinkSim, ThroughputMonotoneInSnr) {
   double prev = 0.0;
   for (double snr : {8.0, 14.0, 20.0, 28.0}) {
     LinkSimConfig cfg;
-    cfg.base_snr_db = snr;
+    cfg.base_snr_db = Db{snr};
     cfg.seed = 3;
     const auto r = run_link_sim(cfg, 5 * kMicrosPerSec);
     EXPECT_GT(r.mean_throughput_mbps, prev) << snr;
@@ -104,7 +104,7 @@ TEST(LinkSim, ThroughputMonotoneInSnr) {
 
 TEST(LinkSim, ContentionReducesThroughput) {
   LinkSimConfig base;
-  base.base_snr_db = 30.0;
+  base.base_snr_db = Db{30.0};
   base.seed = 4;
   LinkSimConfig busy = base;
   busy.contention_busy_frac = 0.5;
@@ -117,10 +117,10 @@ TEST(LinkSim, TagRippleWithinVariance) {
   // Fig 19's claim: the tag's small SNR ripple does not measurably change
   // throughput under rate adaptation.
   LinkSimConfig base;
-  base.base_snr_db = 30.0;
+  base.base_snr_db = Db{30.0};
   base.seed = 5;
   LinkSimConfig tagged = base;
-  tagged.tag_depth_db = 0.8;
+  tagged.tag_depth_db = Db{0.8};
   tagged.tag_bit_rate_bps = 1'000.0;
   const auto r0 = run_link_sim(base, 20 * kMicrosPerSec);
   const auto r1 = run_link_sim(tagged, 20 * kMicrosPerSec);

@@ -15,9 +15,9 @@ namespace {
 CaptureTrace sample_trace(std::size_t n, std::uint64_t seed) {
   sim::RngStream rng(seed);
   CaptureTrace trace;
-  TimeUs t = 0;
+  TimeUs t{0};
   for (std::size_t i = 0; i < n; ++i) {
-    t += 200 + static_cast<TimeUs>(rng.uniform_int(2'000));
+    t += TimeUs{static_cast<std::int64_t>(200 + rng.uniform_int(2'000))};
     CaptureRecord rec;
     rec.timestamp_us = t;
     rec.source = static_cast<std::uint32_t>(rng.uniform_int(5));
@@ -62,10 +62,10 @@ TEST(TraceIo, RoundtripPropertyRandomTraces) {
   for (std::uint64_t seed = 100; seed < 108; ++seed) {
     sim::RngStream rng(seed);
     CaptureTrace trace;
-    TimeUs t = -50'000 + static_cast<TimeUs>(rng.uniform_int(100'000));
+    TimeUs t{-50'000 + static_cast<std::int64_t>(rng.uniform_int(100'000))};
     const std::size_t n = 5 + rng.uniform_int(40);
     for (std::size_t i = 0; i < n; ++i) {
-      t += 1 + static_cast<TimeUs>(rng.uniform_int(5'000));
+      t += TimeUs{static_cast<std::int64_t>(1 + rng.uniform_int(5'000))};
       CaptureRecord rec;
       rec.timestamp_us = t;
       rec.source = static_cast<std::uint32_t>(rng.uniform_int(8));
@@ -102,7 +102,7 @@ TEST(TraceIo, RoundtripPropertyRandomTraces) {
 /// A one-record CSV with recognisable cell values, for tampering.
 std::string one_row_csv(bool has_csi) {
   CaptureRecord rec;
-  rec.timestamp_us = 1'234'567;
+  rec.timestamp_us = TimeUs{1'234'567};
   rec.source = 3;
   rec.has_csi = has_csi;
   for (auto& r : rec.rssi_dbm) r = -40.0;

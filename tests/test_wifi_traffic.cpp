@@ -27,7 +27,7 @@ TEST(Traffic, CbrEvenSpacing) {
   const auto t =
       make_cbr_timeline(100, kMicrosPerSec, TrafficParams{}, rng, 0.0);
   for (std::size_t i = 1; i < t.size(); ++i) {
-    EXPECT_NEAR(static_cast<double>(t[i].start_us - t[i - 1].start_us),
+    EXPECT_NEAR(static_cast<double>((t[i].start_us - t[i - 1].start_us).ticks()),
                 10'000.0, 2.0);
   }
 }
@@ -47,7 +47,7 @@ TEST(Traffic, PoissonInterarrivalsExponential) {
   // CV of exponential inter-arrivals is 1.
   std::vector<double> gaps;
   for (std::size_t i = 1; i < t.size(); ++i) {
-    gaps.push_back(static_cast<double>(t[i].start_us - t[i - 1].start_us));
+    gaps.push_back(static_cast<double>((t[i].start_us - t[i - 1].start_us).ticks()));
   }
   double mean = 0.0;
   for (double g : gaps) mean += g;
@@ -74,8 +74,8 @@ TEST(Traffic, PacketsCarrySourceAndAirtime) {
 
 TEST(Traffic, AirtimeFormula) {
   // 1500 B at 54 Mbps = 222 us payload + 20 us PLCP.
-  EXPECT_EQ(airtime_us(1500, 54.0), 242);
-  EXPECT_EQ(airtime_us(14, 24.0), 25);  // ACK-ish (4.7 us payload + 20 + rounding)
+  EXPECT_EQ(airtime_us(1500, 54.0), TimeUs{242});
+  EXPECT_EQ(airtime_us(14, 24.0), TimeUs{25});  // ACK-ish (4.7 us payload + 20 + rounding)
 }
 
 TEST(Traffic, BurstyLongRunRate) {
@@ -101,9 +101,9 @@ TEST(Traffic, BurstyIsBurstier) {
   const auto t =
       make_bursty_timeline(b, 30 * kMicrosPerSec, TrafficParams{}, rng);
   std::vector<double> counts;
-  for (TimeUs w = 0; w < 30 * kMicrosPerSec; w += 100'000) {
+  for (TimeUs w{0}; w < 30 * kMicrosPerSec; w += TimeUs{100'000}) {
     counts.push_back(
-        static_cast<double>(packets_in_window(t, w, w + 100'000)));
+        static_cast<double>(packets_in_window(t, w, w + TimeUs{100'000})));
   }
   double mean = 0.0;
   for (double c : counts) mean += c;
@@ -168,14 +168,14 @@ TEST(Traffic, MergeSortsByStart) {
 
 TEST(Traffic, PacketsInWindow) {
   PacketTimeline t;
-  for (TimeUs s : {10, 20, 30, 40}) {
+  for (TimeUs s : {TimeUs{10}, TimeUs{20}, TimeUs{30}, TimeUs{40}}) {
     WifiPacket p;
     p.start_us = s;
     t.push_back(p);
   }
-  EXPECT_EQ(packets_in_window(t, 15, 35), 2u);
-  EXPECT_EQ(packets_in_window(t, 0, 100), 4u);
-  EXPECT_EQ(packets_in_window(t, 41, 100), 0u);
+  EXPECT_EQ(packets_in_window(t, TimeUs{15}, TimeUs{35}), 2u);
+  EXPECT_EQ(packets_in_window(t, TimeUs{0}, TimeUs{100}), 4u);
+  EXPECT_EQ(packets_in_window(t, TimeUs{41}, TimeUs{100}), 0u);
 }
 
 TEST(Traffic, AmbientMixHasAcksAfterData) {
@@ -199,7 +199,7 @@ TEST(Traffic, AmbientMixShortGapsExist) {
   std::size_t short_gaps = 0;
   for (std::size_t i = 1; i < t.size(); ++i) {
     const TimeUs gap = t[i].start_us - t[i - 1].end_us();
-    if (gap >= 0 && gap < 150) ++short_gaps;
+    if (gap >= TimeUs{} && gap < TimeUs{150}) ++short_gaps;
   }
   EXPECT_GT(short_gaps, t.size() / 4);
 }

@@ -195,9 +195,15 @@ def collect_suppressions(files: list[SourceFile]) -> list[Suppression]:
 
 
 def apply_suppressions(findings: list[Finding],
-                       supps: list[Suppression]) -> list[Finding]:
+                       supps: list[Suppression],
+                       only: set[str] | None = None) -> list[Finding]:
     """Mark suppressed findings, then append suppression-hygiene findings
-    for bare/unknown/unused allows. Returns the full finding list."""
+    for bare/unknown/unused allows. Returns the full finding list.
+
+    With a rule filter (`only`), hygiene findings are emitted only when
+    `suppression-hygiene` itself is in the filter, and an allow() for a
+    rule that did not run is never flagged as unused (it had no chance
+    to suppress anything this run)."""
     hygiene = _REGISTRY["suppression-hygiene"]
     known = set(_REGISTRY)
     by_key: dict[tuple[str, str], list[Suppression]] = {}
@@ -213,7 +219,11 @@ def apply_suppressions(findings: list[Finding],
                 s.used = True
                 break
 
+    if only is not None and hygiene.name not in only:
+        return findings
     for s in supps:
+        if only is not None and s.rule in known and s.rule not in only:
+            continue
         if s.rule not in known:
             findings.append(Finding(
                 hygiene.name, hygiene.severity, s.path, s.line,
@@ -232,16 +242,21 @@ def apply_suppressions(findings: list[Finding],
     return findings
 
 
-def run_analysis(root: Path) -> tuple[Context, list[Suppression]]:
+def run_analysis(root: Path,
+                 only: set[str] | None = None
+                 ) -> tuple[Context, list[Suppression]]:
+    """Run every registered rule (or just `only`, a set of rule names)."""
     rules = registry()
     files = collect_files(root)
     ctx = Context(root, files)
-    for rule in rules.values():
+    for name, rule in rules.items():
+        if only is not None and name not in only:
+            continue
         for f in files:
             rule.check_file(ctx, f)
         rule.check_tree(ctx)
     supps = collect_suppressions(files)
-    apply_suppressions(ctx.findings, supps)
+    apply_suppressions(ctx.findings, supps, only)
     ctx.findings.sort(key=lambda x: (x.path, x.line, x.rule))
     return ctx, supps
 
@@ -326,6 +341,9 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--write-baseline", action="store_true",
                     help="rewrite the baseline file (default "
                          "tools/wb_analyze/baseline.json) from this run")
+    ap.add_argument("--rule", action="append", dest="rules", metavar="NAME",
+                    help="run only this rule (repeatable); see --list-rules "
+                         "for names")
     ap.add_argument("--list-rules", action="store_true",
                     help="print the rule catalogue and exit")
     ap.add_argument("--quiet", action="store_true",
@@ -341,8 +359,21 @@ def main(argv: list[str] | None = None) -> int:
                   f"{r.description}")
         return 0
 
+    only: set[str] | None = None
+    if args.rules:
+        unknown = sorted(set(args.rules) - set(rules))
+        if unknown:
+            print("wb_analyze: unknown rule(s): " + ", ".join(unknown)
+                  + " — see --list-rules for the catalogue", file=sys.stderr)
+            return 2
+        if args.baseline or args.write_baseline:
+            print("wb_analyze: --rule filters the census, so it cannot be "
+                  "combined with --baseline/--write-baseline", file=sys.stderr)
+            return 2
+        only = set(args.rules)
+
     root = args.root.resolve()
-    ctx, supps = run_analysis(root)
+    ctx, supps = run_analysis(root, only)
     doc = to_json(ctx, supps)
 
     if not args.quiet:

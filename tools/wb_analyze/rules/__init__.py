@@ -3,3 +3,4 @@ from . import legacy        # noqa: F401
 from . import determinism   # noqa: F401
 from . import headers       # noqa: F401
 from . import raii          # noqa: F401
+from . import units         # noqa: F401

@@ -1,0 +1,134 @@
+"""Dimensional-safety rules backing the wb::units strong types.
+
+src/util/units.h is the one home of dB/linear conversion math and the
+only place a physical quantity may live in a raw double. These rules
+keep it that way:
+
+  units-raw-api        a double/float parameter or field in a src/ header
+                       whose name ends in a power/gain/distance/frequency
+                       suffix must use the strong type (Dbm, Db,
+                       Milliwatts, Meters, Hertz) instead
+  units-inline-db-math no pow(10, x/10)-style or 10*log10-style dB
+                       conversions outside util/units.h — call the
+                       conversion helpers so typed and raw paths stay
+                       bit-identical
+  units-mixed-domain   no `a_dbm + b_dbm` (absolute log powers do not
+                       add; combine in Milliwatts) and no +/- between a
+                       linear `_mw` value and a log `_db`/`_dbm` value
+
+Raw `double ..._us` stays legal: sub-microsecond analog constants
+(smoothing taus, fall times) intentionally carry fractional microseconds
+that the integer TimeUs cannot. C-array fields (`double rssi_dbm[3]`)
+also stay raw: they are wire/ABI-shaped capture records, and the strong
+types would change aggregate initialisation.
+"""
+from __future__ import annotations
+
+import re
+
+from ..cpptext import line_of
+from ..engine import Context, Rule, SourceFile, register
+
+#: Suffix -> strong type expected for a scalar with that suffix.
+STRONG_TYPE_FOR_SUFFIX = {
+    "_dbm": "Dbm",
+    "_db": "Db",
+    "_mw": "Milliwatts",
+    "_m": "Meters",
+    "_hz": "Hertz",
+}
+
+#: The one file allowed to do raw dB math and hold raw-double quantities.
+UNITS_HEADER = "src/util/units.h"
+
+
+def _in_scope(f: SourceFile) -> bool:
+    return f.top == "src" and f.rel != UNITS_HEADER
+
+
+@register
+class UnitsRawApi(Rule):
+    name = "units-raw-api"
+    family = "units"
+    severity = "error"
+    description = ("double/float parameters and fields in src/ headers "
+                   "named *_dbm/_db/_mw/_m/_hz must use the wb::units "
+                   "strong type (Dbm, Db, Milliwatts, Meters, Hertz); "
+                   "only util/units.h holds raw-double quantities")
+
+    # `double name_dbm` followed by `,` `)` `;` `=` or `{` — a parameter
+    # or a (possibly default-initialised) field, but not a function name
+    # (those are followed by `(`) and not a C array (followed by `[`).
+    DECL_RE = re.compile(
+        r"\b(double|float)\s+([A-Za-z_]\w*?(_dbm|_db|_mw|_m|_hz))"
+        r"\s*([,);={\[])")
+
+    def check_file(self, ctx: Context, f: SourceFile) -> None:
+        if not _in_scope(f) or not f.is_header:
+            return
+        for m in self.DECL_RE.finditer(f.code):
+            typ, name, suffix, term = m.groups()
+            if term == "[":
+                continue  # C-array capture field: stays raw by contract
+            strong = STRONG_TYPE_FOR_SUFFIX[suffix]
+            ctx.report(self, f, line_of(f.code, m.start()),
+                       f"{typ} `{name}` is a physical quantity; use "
+                       f"wb::units::{strong} so unit mixups fail to "
+                       "compile")
+
+
+@register
+class UnitsInlineDbMath(Rule):
+    name = "units-inline-db-math"
+    family = "units"
+    severity = "error"
+    description = ("no inline dB<->linear conversion math (pow(10, x/10), "
+                   "10*log10, 20*log10) in src/ outside util/units.h — "
+                   "use dbm_to_mw/mw_to_dbm/Db::to_ratio & co so every "
+                   "conversion is one audited expression")
+
+    POW10_RE = re.compile(r"\bpow\s*\(\s*10(?:\.0*)?\s*,")
+    LOG10_RE = re.compile(
+        r"\b(10|20)(?:\.0*)?\s*\*\s*(?:std\s*::\s*)?log10\s*\(")
+
+    def check_file(self, ctx: Context, f: SourceFile) -> None:
+        if not _in_scope(f):
+            return
+        for m in self.POW10_RE.finditer(f.code):
+            ctx.report(self, f, line_of(f.code, m.start()),
+                       "inline 10^x dB conversion; use "
+                       "wb::units::dbm_to_mw/db_to_ratio/db_to_amplitude "
+                       "(util/units.h)")
+        for m in self.LOG10_RE.finditer(f.code):
+            helper = ("mw_to_dbm/ratio_to_db" if m.group(1) == "10"
+                      else "amplitude_ratio_to_db")
+            ctx.report(self, f, line_of(f.code, m.start()),
+                       f"inline {m.group(1)}*log10 dB conversion; use "
+                       f"wb::units::{helper} (util/units.h)")
+
+
+@register
+class UnitsMixedDomain(Rule):
+    name = "units-mixed-domain"
+    family = "units"
+    severity = "error"
+    description = ("no `a_dbm + b_dbm` (absolute log powers do not add — "
+                   "combine in Milliwatts) and no +/- mixing a linear "
+                   "*_mw value with a log *_db/*_dbm value in src/")
+
+    DBM_PLUS_DBM_RE = re.compile(r"\b\w+_dbm\s*\+\s*\w+_dbm\b")
+    MW_LOG_MIX_RE = re.compile(
+        r"\b\w+_mw\s*[-+]\s*\w+_db(?:m)?\b"
+        r"|\b\w+_db(?:m)?\s*[-+]\s*\w+_mw\b")
+
+    def check_file(self, ctx: Context, f: SourceFile) -> None:
+        if not _in_scope(f):
+            return
+        for m in self.DBM_PLUS_DBM_RE.finditer(f.code):
+            ctx.report(self, f, line_of(f.code, m.start()),
+                       "adding two absolute dBm powers is not physical; "
+                       "convert to Milliwatts, add, convert back")
+        for m in self.MW_LOG_MIX_RE.finditer(f.code):
+            ctx.report(self, f, line_of(f.code, m.start()),
+                       "adding/subtracting across linear (mW) and log "
+                       "(dB/dBm) domains; convert one side first")
