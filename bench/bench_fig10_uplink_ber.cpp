@@ -47,7 +47,11 @@ int main(int argc, char** argv) {
                               cm * 100 + pt.packets_per_bit);
   }
 
-  runner::SweepRunner sweep({bench::threads_arg(argc, argv)});
+  const std::string forensics_out = bench::forensics_out_path(argc, argv);
+  runner::SweepConfig sweep_cfg;
+  sweep_cfg.threads = bench::threads_arg(argc, argv);
+  sweep_cfg.collect_forensics = !forensics_out.empty();
+  runner::SweepRunner sweep(sweep_cfg);
   const auto res =
       sweep.run(grid.size(), [&grid](const runner::TaskContext& ctx) {
         return core::measure_uplink_ber(grid[ctx.task_index].params);
@@ -80,5 +84,15 @@ int main(int argc, char** argv) {
   std::printf(
       "\nPaper reference: CSI decodes below BER 1e-2 out to ~65 cm with\n"
       "30 pkt/bit; RSSI only to ~30 cm; fewer packets per bit is worse.\n");
+  if (!forensics_out.empty() && res.forensics != nullptr) {
+    if (!res.forensics->write_jsonl(forensics_out)) {
+      std::fprintf(stderr, "failed to write %s\n", forensics_out.c_str());
+      return 1;
+    }
+    res.forensics->write_exemplars(forensics_out);
+    std::printf("forensics (%llu drops): %s\n",
+                static_cast<unsigned long long>(res.forensics->total_drops()),
+                forensics_out.c_str());
+  }
   return report.finish() ? 0 : 1;
 }

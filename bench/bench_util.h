@@ -9,6 +9,9 @@
 //   --json-out FILE  write the obs::RunReport twin of the printed table
 //   --threads N      sweep worker threads (default: hardware concurrency;
 //                    1 = serial). Sweep output is bit-identical at any N.
+//   --forensics-out FILE  (sweep benches) write the merged decode-forensics
+//                    JSONL — per-task sinks merged in task-index order, so
+//                    the file is bit-identical at any --threads.
 #pragma once
 
 #include <cstdio>
@@ -32,6 +35,11 @@ inline bool quick_mode(int argc, char** argv) {
 /// Value of `--json-out FILE`, or "" when not given.
 inline std::string json_out_path(int argc, char** argv) {
   return util::Args(argc, argv).str("--json-out");
+}
+
+/// Value of `--forensics-out FILE`, or "" when not given.
+inline std::string forensics_out_path(int argc, char** argv) {
+  return util::Args(argc, argv).str("--forensics-out");
 }
 
 /// Value of `--threads N` (0 and absent both mean "the hardware's

@@ -28,15 +28,28 @@
 //   --metrics-out FILE   write a JSON run report with every wb::obs metric
 //   --trace-out FILE     write Chrome trace_event JSON (open in
 //                        chrome://tracing or https://ui.perfetto.dev)
+//   --forensics-out FILE write decode-forensics JSONL (drop taxonomy
+//                        counts + flight-recorder events) plus exemplar
+//                        capture CSV sidecars (`FILE.<stage>_<reason>.N.csv`,
+//                        replayable via `trace --in`); also arms a
+//                        contract-failure dump to FILE.crash.jsonl
+//   --slo RULE           declarative SLO rule (repeatable), e.g.
+//                        `ber=core.system.uplink_bit_errors_total/`
+//                        `core.system.uplink_bits_delivered_total<=0.01`;
+//                        any breach after the run exits 4
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/downlink_sim.h"
 #include "core/experiments.h"
 #include "core/frame.h"
 #include "core/rate_control.h"
 #include "core/system.h"
+#include "obs/flight_recorder.h"
+#include "obs/forensics.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
@@ -238,6 +251,10 @@ int run_sweep(const util::Args& args) {
   cfg.threads = static_cast<unsigned>(args.u64("--threads", 0));
   cfg.base_seed = spec.base.seed;
   cfg.collect_metrics = true;
+  // Collect per-task forensics whenever a sink is installed for the run
+  // (--forensics-out); the per-task sinks merge in task-index order, so
+  // the combined taxonomy is thread-count independent.
+  cfg.collect_forensics = obs::forensics() != nullptr;
   runner::SweepRunner sweep(cfg);
   const auto res =
       sweep.run(grid.size(), [&grid](const runner::TaskContext& ctx) {
@@ -281,6 +298,10 @@ int run_sweep(const util::Args& args) {
     // covers sweep mode too.
     if (auto* m = obs::metrics()) m->merge_from(*res.metrics);
   }
+  if (res.forensics != nullptr) {
+    // Same for the merged drop taxonomy and the --forensics-out sink.
+    if (auto* fx = obs::forensics()) fx->merge_from(*res.forensics);
+  }
 
   const std::string json_out = args.str("--json-out");
   if (!json_out.empty()) {
@@ -310,15 +331,37 @@ int main(int argc, char** argv) {
   // corresponding output file is requested.
   const std::string metrics_out = args.str("--metrics-out");
   const std::string trace_out = args.str("--trace-out");
+  const std::string forensics_out = args.str("--forensics-out");
+  const std::vector<std::string> slo_specs = args.str_list("--slo");
   obs::MetricsRegistry registry;
   obs::Tracer tracer;
+  obs::ForensicsSink forensics;
+  obs::FlightRecorder recorder;
   std::unique_ptr<obs::ScopedMetrics> metrics_guard;
   std::unique_ptr<obs::ScopedTracer> tracer_guard;
-  if (!metrics_out.empty()) {
+  std::unique_ptr<obs::ScopedForensics> forensics_guard;
+  std::unique_ptr<obs::ScopedFlightRecorder> recorder_guard;
+  std::unique_ptr<obs::ScopedContractDump> dump_guard;
+  // SLO rules read metrics, so evaluating them needs a registry even when
+  // no --metrics-out artifact was asked for.
+  if (!metrics_out.empty() || !slo_specs.empty()) {
     metrics_guard = std::make_unique<obs::ScopedMetrics>(registry);
   }
   if (!trace_out.empty()) {
     tracer_guard = std::make_unique<obs::ScopedTracer>(tracer);
+  }
+  if (!forensics_out.empty()) {
+    forensics_guard = std::make_unique<obs::ScopedForensics>(forensics);
+    recorder_guard = std::make_unique<obs::ScopedFlightRecorder>(&recorder);
+    dump_guard = std::make_unique<obs::ScopedContractDump>(
+        forensics_out + ".crash.jsonl");
+  }
+  obs::HealthMonitor health;
+  for (const auto& spec : slo_specs) {
+    if (!health.add_rule(spec)) {
+      std::fprintf(stderr, "malformed --slo rule '%s'\n", spec.c_str());
+      return 2;
+    }
   }
 
   int rc = 2;
@@ -349,6 +392,28 @@ int main(int argc, char** argv) {
     }
     std::printf("trace (%zu events): %s\n", tracer.num_events(),
                 trace_out.c_str());
+  }
+  // Evaluate SLOs before writing forensics so breach events appear in
+  // the JSONL artifact.
+  if (health.num_rules() > 0) {
+    const auto statuses = health.evaluate(
+        registry, TimeUs{0}, recorder_guard != nullptr ? &recorder : nullptr);
+    for (const auto& st : statuses) {
+      std::printf("slo %-48s %s value=%.6g%s\n", st.name.c_str(),
+                  st.breached ? "BREACH" : "ok", st.value,
+                  st.has_value ? "" : " (no such instrument)");
+    }
+    if (health.breached_count() > 0 && rc == 0) rc = 4;
+  }
+  if (!forensics_out.empty()) {
+    if (!forensics.write_jsonl(forensics_out, &recorder)) {
+      std::fprintf(stderr, "failed to write %s\n", forensics_out.c_str());
+      return 2;
+    }
+    const std::size_t sidecars = forensics.write_exemplars(forensics_out);
+    std::printf("forensics (%llu drops, %zu exemplar files): %s\n",
+                static_cast<unsigned long long>(forensics.total_drops()),
+                sidecars, forensics_out.c_str());
   }
   return rc;
 }

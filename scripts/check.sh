@@ -12,10 +12,16 @@
 #             the second toolchain (skipped with a notice if clang++ is
 #             not installed — gcc expands the annotations to nothing)
 #   obs       observability smoke: one CLI query exchange, --metrics-out /
-#             --trace-out validated as JSON covering all six modules
+#             --trace-out validated as JSON covering all six modules;
+#             --forensics-out JSONL diffed against the DropReason enum
+#             (exact two-way coverage) and a sweep byte-compared at
+#             --threads 1 vs 8
 #   tidy      clang-tidy over src/  (skipped with a notice if not installed)
 #   perf      Release perf gate: bench_decoder_micro --json-out must show a
 #             zero-allocation workspace decode (validate_bench_decoder.py)
+#             and bench_obs_overhead must hold the forensics budget — <=5%
+#             decode overhead, zero steady-state allocations
+#             (validate_bench_obs.py)
 #
 # Usage: scripts/check.sh [-j N] [--fast] [--only STEP ...]
 #   --fast        analyze + plain build (build-fast/, no sanitizers) + unit
@@ -40,7 +46,7 @@ while [ $# -gt 0 ]; do
       [ $# -ge 2 ] || { echo "--only needs a step name" >&2; exit 2; }
       ONLY+=("$2"); shift 2 ;;
     -h|--help)
-      sed -n '2,21p' "$0"; exit 0 ;;
+      sed -n '2,31p' "$0"; exit 0 ;;
     *) echo "usage: scripts/check.sh [-j N] [--fast] [--only STEP ...]" >&2
        exit 2 ;;
   esac
@@ -127,6 +133,55 @@ assert trace["traceEvents"], "trace has no events"
 print(f"    metrics: {len(counters)} counters over modules {modules}")
 print(f"    trace:   {len(trace['traceEvents'])} events")
 PY
+  # Decode forensics: a query exchange with the taxonomy and SLO watchdog
+  # on. The JSONL's aggregate reason lines (emitted even at zero) must
+  # cover the DropReason enum in src/obs/forensics.h exactly — a new
+  # enumerator without an export line (or vice versa) fails here.
+  "$BUILD_DIR/examples/wb_experiment_cli" query \
+    --queries 1 --distance 0.2 \
+    --forensics-out "$tmp/smoke.forensics.jsonl" \
+    --slo "mac_drops=forensics.wifi_mac.collision_total<=1000000" > /dev/null
+  python3 - "$tmp/smoke.forensics.jsonl" src/obs/forensics.h <<'PY'
+import json, re, sys
+jsonl_path, header_path = sys.argv[1], sys.argv[2]
+header = open(header_path).read()
+
+def enum_tokens(name):
+    body = re.search(r"enum class %s\s*:[^{]*\{(.*?)\n\};" % name,
+                     header, re.S).group(1)
+    names = re.findall(r"^\s*k([A-Za-z0-9]+),", body, re.M)
+    return {re.sub(r"(?<!^)([A-Z])", r"_\1", n).lower() for n in names}
+
+lines = [json.loads(l) for l in open(jsonl_path) if l.strip()]
+by_type = {}
+for l in lines:
+    by_type.setdefault(l["type"], []).append(l)
+exported_reasons = {l["reason"] for l in by_type.get("reason", [])}
+enum_reasons = enum_tokens("DropReason")
+assert exported_reasons == enum_reasons, (
+    f"taxonomy drift: enum-only {sorted(enum_reasons - exported_reasons)}, "
+    f"export-only {sorted(exported_reasons - enum_reasons)}")
+stages = {l["stage"] for l in by_type.get("stage", [])}
+num_stages = len(re.findall(r"^\s*k[A-Za-z0-9]+,", re.search(
+    r"enum class DropStage\s*:[^{]*\{(.*?)\n\};", header, re.S).group(1),
+    re.M))
+assert len(stages) == num_stages, (
+    f"{len(stages)} stage lines vs {num_stages} DropStage enumerators")
+for l in by_type["stage"]:
+    assert l["attempts"] == l["decodes"] + l["drops"], f"ledger broken: {l}"
+print(f"    forensics: {len(exported_reasons)} reasons x {len(stages)} "
+      f"stages covered, per-stage ledgers reconcile")
+PY
+  # Thread-count determinism: the same sweep at --threads 1 and 8 must
+  # write byte-identical forensics JSONL (per-task sinks, in-order merge).
+  for t in 1 8; do
+    "$BUILD_DIR/examples/wb_experiment_cli" sweep \
+      --distances-cm 5,30 --pkts-per-bit 10 --runs 2 --seed 11 \
+      --threads "$t" --json-out "$tmp/sweep.t$t.json" \
+      --forensics-out "$tmp/sweep.t$t.jsonl" > /dev/null
+  done
+  cmp "$tmp/sweep.t1.jsonl" "$tmp/sweep.t8.jsonl"
+  echo "    forensics: sweep JSONL byte-identical at --threads 1 vs 8"
 }
 
 step_tidy() {
@@ -158,10 +213,17 @@ step_tidy() {
 
 step_perf() {
   cmake -B "$PERF_DIR" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
-  cmake --build "$PERF_DIR" -j "$JOBS" --target bench_decoder_micro
+  cmake --build "$PERF_DIR" -j "$JOBS" \
+    --target bench_decoder_micro bench_obs_overhead
   python3 scripts/validate_bench_decoder.py \
     --bench "$PERF_DIR/bench/bench_decoder_micro" \
     --out "$PERF_DIR/BENCH_decoder.json"
+  # Forensics-layer budget: recorder+taxonomy-on decode within 5% of off
+  # and zero steady-state allocations (the ctest smoke runs the same
+  # validator with a relaxed bound; Release is where the 5% is meaningful).
+  python3 scripts/validate_bench_obs.py \
+    --bench "$PERF_DIR/bench/bench_obs_overhead" \
+    --out "$PERF_DIR/BENCH_obs.json"
 }
 
 if [ ${#ONLY[@]} -gt 0 ]; then

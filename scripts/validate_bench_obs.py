@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_obs.json produced by `bench_obs_overhead --json-out`.
+
+Checks the schema (meta + the four measurement rows) and enforces the
+forensics-layer contract: the recorder/taxonomy-enabled decode rows must
+not allocate in steady state (the ring and counters are preallocated;
+exemplar serialisation stops once the per-cell cap fills during warmup),
+and the successful-decode overhead must stay within budget (5% relative
+ns/packet by default). Used by the ctest smoke test and scripts/check.sh's
+Release perf gate.
+
+Usage:
+  validate_bench_obs.py FILE                      # validate existing file
+  validate_bench_obs.py --bench BIN --out FILE    # run the bench first
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+REQUIRED_ROWS = (
+    "decode_off",
+    "drop_off",
+    "decode_forensics_on",
+    "drop_forensics_on",
+)
+INSTRUMENTED_ROWS = ("decode_forensics_on", "drop_forensics_on")
+
+MAX_INSTRUMENTED_ALLOCS = 0
+MAX_OVERHEAD_PCT = 5.0
+
+
+def fail(msg):
+    print(f"validate_bench_obs: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("json_file", nargs="?", help="existing report to validate")
+    ap.add_argument("--bench", help="bench_obs_overhead binary to run first")
+    ap.add_argument("--out", help="report path when running --bench")
+    ap.add_argument("--quick", action="store_true",
+                    help="pass --quick to the bench")
+    ap.add_argument("--max-allocs", type=float,
+                    default=MAX_INSTRUMENTED_ALLOCS)
+    ap.add_argument("--max-overhead-pct", type=float,
+                    default=MAX_OVERHEAD_PCT)
+    args = ap.parse_args()
+
+    if args.bench:
+        if not args.out:
+            fail("--bench requires --out")
+        cmd = [args.bench, "--json-out", args.out]
+        if args.quick:
+            cmd.append("--quick")
+        proc = subprocess.run(cmd)
+        if proc.returncode != 0:
+            fail(f"bench exited with {proc.returncode}")
+        path = args.out
+    elif args.json_file:
+        path = args.json_file
+    else:
+        fail("give a report file or --bench/--out")
+
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot read {path}: {e}")
+
+    meta = report.get("meta")
+    if not isinstance(meta, dict):
+        fail("missing meta object")
+    if meta.get("bench") != "obs_overhead":
+        fail(f"meta.bench is {meta.get('bench')!r}, want 'obs_overhead'")
+    for key in ("packets", "iters"):
+        if not isinstance(meta.get(key), (int, float)) or meta[key] <= 0:
+            fail(f"meta.{key} missing or not a positive number")
+    for key in ("overhead_pct", "drop_overhead_pct"):
+        if not isinstance(meta.get(key), (int, float)):
+            fail(f"meta.{key} missing or not a number")
+    if not isinstance(meta.get("quick"), bool):
+        fail("meta.quick missing or not a bool")
+
+    rows = {r.get("row"): r for r in report.get("rows", [])}
+    for name in REQUIRED_ROWS:
+        row = rows.get(name)
+        if row is None:
+            fail(f"missing row {name!r}")
+        for key in ("ns_per_packet", "allocs_per_decode"):
+            v = row.get(key)
+            if not isinstance(v, (int, float)) or v < 0:
+                fail(f"row {name!r}: {key} missing or negative")
+        if row["ns_per_packet"] <= 0:
+            fail(f"row {name!r}: ns_per_packet must be positive")
+
+    for name in INSTRUMENTED_ROWS:
+        allocs = rows[name]["allocs_per_decode"]
+        if allocs > args.max_allocs:
+            fail(f"row {name!r}: {allocs} allocations/decode exceeds the "
+                 f"budget of {args.max_allocs} — the forensics steady "
+                 f"state must not allocate")
+
+    overhead = meta["overhead_pct"]
+    if overhead > args.max_overhead_pct:
+        fail(f"overhead_pct {overhead:.2f} exceeds the budget of "
+             f"{args.max_overhead_pct}%")
+
+    print(f"validate_bench_obs: OK ({path}: overhead {overhead:+.2f}%, "
+          f"instrumented allocs "
+          f"{[rows[n]['allocs_per_decode'] for n in INSTRUMENTED_ROWS]})")
+
+
+if __name__ == "__main__":
+    main()

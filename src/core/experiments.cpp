@@ -99,6 +99,7 @@ RunOutput run_one_frame(const UplinkExperimentParams& p, std::uint64_t run) {
   dec.num_good_streams =
       p.source == reader::MeasurementSource::kRssi ? 1 : p.num_good_streams;
   dec.hysteresis_sigma = p.hysteresis_sigma;
+  dec.sync_threshold = p.sync_threshold;
   // The reader knows roughly when it queried the tag; search +-2 bits.
   dec.search_from = frame_start - 2 * bit_us;
   dec.search_to = frame_start + 2 * bit_us;

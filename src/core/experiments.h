@@ -58,6 +58,11 @@ struct UplinkExperimentParams {
   std::size_t num_good_streams = 10;
   double hysteresis_sigma = 0.25;
   TimeUs movavg_window_us{400'000};
+  /// Minimum sync score to accept a frame (0 = accept the best window
+  /// unconditionally, the paper's offline-decode behaviour). Runs whose
+  /// best score falls below count as failed syncs — and surface in decode
+  /// forensics as low_snr drops.
+  double sync_threshold = 0.0;
 
   TimeUs bit_duration_us() const {
     return TimeUs::from_us(1e6 * packets_per_bit / helper_pps);

@@ -1,5 +1,7 @@
 #include "core/system.h"
 
+#include "obs/flight_recorder.h"
+#include "obs/forensics.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "reader/ack_detector.h"
@@ -63,6 +65,18 @@ DownlinkOutcome WiFiBackscatterSystem::send_downlink(const BitVec& data) {
       break;
     }
   }
+  if (auto* fx = obs::forensics()) {
+    fx->record_attempt(obs::DropStage::kCoreDownlink);
+    if (out.delivered) {
+      fx->record_decode(obs::DropStage::kCoreDownlink);
+    } else {
+      // No tag-side frame at all means the energy detector never fired;
+      // frames that decoded but failed to parse died on the checksum.
+      fx->record_drop(obs::DropStage::kCoreDownlink,
+                      report.decoded.empty() ? obs::DropReason::kNoPreamble
+                                             : obs::DropReason::kCrcFail);
+    }
+  }
   return out;
 }
 
@@ -113,8 +127,20 @@ UplinkOutcome WiFiBackscatterSystem::receive_uplink(const BitVec& data,
   reader::UplinkDecoder decoder(dec_cfg);
   const auto result = decoder.decode(trace);
 
+  auto* fx = obs::forensics();
+  if (fx != nullptr) fx->record_attempt(obs::DropStage::kCoreUplink);
+
   out.sync_found = result.found;
-  if (!result.found) return out;
+  if (!result.found) {
+    // Propagate the decoder's own diagnosis onto the protocol-level
+    // stage (the decoder already recorded it against reader.uplink).
+    if (fx != nullptr) {
+      fx->record_drop(obs::DropStage::kCoreUplink,
+                      result.drop_reason.value_or(
+                          obs::DropReason::kNoPreamble));
+    }
+    return out;
+  }
 
   // Oracle BER against what the tag actually sent (frame minus preamble).
   const BitVec sent_payload(frame.begin() + static_cast<long>(
@@ -126,6 +152,10 @@ UplinkOutcome WiFiBackscatterSystem::receive_uplink(const BitVec& data,
   if (auto parsed = parse_uplink_payload(result.payload, data.size())) {
     out.delivered = true;
     out.data = std::move(*parsed);
+    if (fx != nullptr) fx->record_decode(obs::DropStage::kCoreUplink);
+  } else if (fx != nullptr) {
+    // Bits came out of the decoder but the frame checksum rejected them.
+    fx->record_drop(obs::DropStage::kCoreUplink, obs::DropReason::kCrcFail);
   }
   return out;
 }
@@ -167,7 +197,13 @@ QueryOutcome WiFiBackscatterSystem::query(const Query& query,
   QueryOutcome out;
   auto* m = obs::metrics();
   auto* tr = obs::tracer();
+  auto* rec = obs::recorder();
   if (m != nullptr) m->counter("core.system.queries_total").add(1);
+  if (rec != nullptr) {
+    rec->log(TimeUs{0}, obs::Severity::kInfo, "core.system", "query_start",
+             {{"max_attempts",
+               static_cast<double>(cfg_.max_query_attempts)}});
+  }
 
   // Rate control: fold the commanded rate into the query frame.
   RateControl rc(RateControlParams{cfg_.packets_per_bit, 0.8});
@@ -197,6 +233,13 @@ QueryOutcome WiFiBackscatterSystem::query(const Query& query,
                    {{"attempt", static_cast<double>(attempt)},
                     {"delivered", dl.delivered ? 1.0 : 0.0}});
     }
+    if (rec != nullptr) {
+      rec->log(cursor, dl.delivered ? obs::Severity::kInfo
+                                    : obs::Severity::kWarn,
+               "core.system", "downlink_query",
+               {{"attempt", static_cast<double>(attempt)},
+                {"delivered", dl.delivered ? 1.0 : 0.0}});
+    }
     cursor += dl.simulated_us;
     out.downlink.attempts = attempt;
     out.downlink.delivered = dl.delivered;
@@ -219,6 +262,12 @@ QueryOutcome WiFiBackscatterSystem::query(const Query& query,
         tr->complete(proto_lane, "ack_exchange", "core", cursor, ack_dur,
                      {{"detected", detected ? 1.0 : 0.0}});
       }
+      if (rec != nullptr) {
+        rec->log(cursor, detected ? obs::Severity::kInfo
+                                  : obs::Severity::kWarn,
+                 "core.system", "ack_exchange",
+                 {{"detected", detected ? 1.0 : 0.0}});
+      }
       cursor += ack_dur;
       out.downlink.ack_detected = detected;
       if (!detected) continue;
@@ -238,6 +287,13 @@ QueryOutcome WiFiBackscatterSystem::query(const Query& query,
                    ul.simulated_us,
                    {{"delivered", ul.delivered ? 1.0 : 0.0},
                     {"bit_rate_bps", ul.bit_rate_bps}});
+    }
+    if (rec != nullptr) {
+      rec->log(cursor, ul.delivered ? obs::Severity::kInfo
+                                    : obs::Severity::kWarn,
+               "core.system", "uplink_response",
+               {{"delivered", ul.delivered ? 1.0 : 0.0},
+                {"bit_rate_bps", ul.bit_rate_bps}});
     }
     cursor += ul.simulated_us;
     out.uplink = ul;

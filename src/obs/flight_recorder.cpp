@@ -1,0 +1,173 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/json.h"
+
+namespace wb::obs {
+
+namespace {
+
+// Thread-local, like obs::metrics(): sweep workers must not feed a
+// recorder the caller's thread installed.
+thread_local FlightRecorder* t_recorder = nullptr;
+
+// Contract-dump target. A fixed buffer (not std::string) so installing
+// the hook cannot allocate during unwinding and the path survives
+// whatever state the process is in when a contract fails.
+char g_dump_path[512] = {};
+
+void dump_on_contract_failure(const char* message) noexcept {
+  FlightRecorder* rec = t_recorder;
+  if (rec == nullptr || g_dump_path[0] == '\0') return;
+  // Append the violation itself so the dump is self-describing, then
+  // flush the ring. Timestamp 0 + the recorder's current offset: the
+  // violation interrupts whatever leg was running.
+  rec->log(TimeUs{0}, Severity::kError, "contract", message);
+  rec->write_jsonl(g_dump_path);
+}
+
+void copy_trunc(char* dst, std::size_t cap, std::string_view src) noexcept {
+  const std::size_t n = std::min(src.size(), cap - 1);
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+
+}  // namespace
+
+FlightRecorder* recorder() noexcept { return t_recorder; }
+
+ScopedFlightRecorder::ScopedFlightRecorder(FlightRecorder* rec)
+    : prev_(t_recorder) {
+  t_recorder = rec;
+}
+
+ScopedFlightRecorder::~ScopedFlightRecorder() { t_recorder = prev_; }
+
+const char* to_string(Severity sev) noexcept {
+  switch (sev) {
+    case Severity::kDebug: return "debug";
+    case Severity::kInfo: return "info";
+    case Severity::kWarn: return "warn";
+    case Severity::kError: return "error";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  const util::MutexLock lock(mu_);
+  ring_.resize(capacity_);
+}
+
+void FlightRecorder::log(
+    TimeUs ts_us, Severity sev, std::string_view module,
+    std::string_view message,
+    std::initializer_list<std::pair<std::string_view, double>> fields) noexcept {
+  const util::MutexLock lock(mu_);
+  Event& e = ring_[next_seq_ % capacity_];
+  e.seq = next_seq_++;
+  e.ts = ts_us + offset_;
+  e.severity = sev;
+  copy_trunc(e.module, kModuleBytes, module);
+  copy_trunc(e.message, kMessageBytes, message);
+  e.num_fields = 0;
+  for (const auto& [key, value] : fields) {
+    if (e.num_fields >= kMaxFields) break;
+    Field& f = e.fields[e.num_fields++];
+    copy_trunc(f.key, kKeyBytes, key);
+    f.value = value;
+  }
+}
+
+std::size_t FlightRecorder::size() const {
+  const util::MutexLock lock(mu_);
+  return static_cast<std::size_t>(
+      std::min<std::uint64_t>(next_seq_, capacity_));
+}
+
+std::uint64_t FlightRecorder::total_logged() const {
+  const util::MutexLock lock(mu_);
+  return next_seq_;
+}
+
+void FlightRecorder::clear() {
+  const util::MutexLock lock(mu_);
+  next_seq_ = 0;
+}
+
+TimeUs FlightRecorder::offset() const {
+  const util::MutexLock lock(mu_);
+  return offset_;
+}
+
+void FlightRecorder::set_offset(TimeUs offset_us) {
+  const util::MutexLock lock(mu_);
+  offset_ = offset_us;
+}
+
+std::vector<FlightRecorder::Event> FlightRecorder::events() const {
+  const util::MutexLock lock(mu_);
+  std::vector<Event> out;
+  const std::uint64_t held = std::min<std::uint64_t>(next_seq_, capacity_);
+  out.reserve(static_cast<std::size_t>(held));
+  const std::uint64_t first = next_seq_ - held;
+  for (std::uint64_t s = first; s < next_seq_; ++s) {
+    out.push_back(ring_[s % capacity_]);
+  }
+  return out;
+}
+
+std::string FlightRecorder::to_jsonl() const {
+  std::string out;
+  for (const Event& e : events()) {
+    out += "{\"type\":\"event\",\"seq\":";
+    out += std::to_string(e.seq);
+    out += ",\"ts_us\":";
+    out += std::to_string(e.ts.ticks());
+    out += ",\"severity\":\"";
+    out += to_string(e.severity);
+    out += "\",\"module\":\"";
+    out += json_escape(e.module);
+    out += "\",\"message\":\"";
+    out += json_escape(e.message);
+    out += "\",\"fields\":{";
+    for (std::uint32_t i = 0; i < e.num_fields; ++i) {
+      if (i != 0) out += ',';
+      out += '"';
+      out += json_escape(e.fields[i].key);
+      out += "\":";
+      out += json_number(e.fields[i].value);
+    }
+    out += "}}\n";
+  }
+  return out;
+}
+
+bool FlightRecorder::write_jsonl(const std::string& path) const noexcept {
+  try {
+    const std::string body = to_jsonl();
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) return false;
+    const std::size_t n = std::fwrite(body.data(), 1, body.size(), f);
+    const bool ok = n == body.size();
+    return std::fclose(f) == 0 && ok;
+  } catch (...) {
+    return false;
+  }
+}
+
+ScopedContractDump::ScopedContractDump(const std::string& path)
+    : prev_hook_(contract_failure_hook()), prev_path_(g_dump_path) {
+  copy_trunc(g_dump_path, sizeof(g_dump_path), path);
+  set_contract_failure_hook(&dump_on_contract_failure);
+}
+
+ScopedContractDump::~ScopedContractDump() {
+  copy_trunc(g_dump_path, sizeof(g_dump_path), prev_path_);
+  set_contract_failure_hook(prev_hook_);
+}
+
+}  // namespace wb::obs

@@ -1,0 +1,145 @@
+// Flight recorder: a fixed-capacity ring of structured log events on the
+// simulation's virtual clock — the "last N things the pipeline did" that a
+// postmortem wants when a run dies.
+//
+// Events carry a virtual-time timestamp, severity, module tag, message,
+// and up to four numeric key=value fields. All storage is preallocated in
+// the constructor and log() only writes into it (truncating copies into
+// fixed-width char arrays), so steady-state recording allocates nothing —
+// the bench_obs_overhead gate pins this.
+//
+// Like the tracer, the recorder has a per-thread install point with an
+// offset so sub-simulations running their own virtual clocks from 0 land
+// on the outer protocol timeline (ScopedTraceOffset shifts both).
+//
+// ScopedContractDump hooks the recorder into WB_REQUIRE/WB_ENSURE: when a
+// contract fails anywhere on any thread, the failing thread's recorder
+// ring is flushed as JSONL to a fixed path before the violation is
+// rethrown or aborts — the black box survives the crash.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+#include "util/thread_annotations.h"
+#include "util/units.h"
+
+namespace wb::obs {
+
+/// Event severity, ordered least to most severe.
+enum class Severity : std::uint8_t { kDebug, kInfo, kWarn, kError };
+inline constexpr std::size_t kNumSeverities = 4;
+
+/// Lowercase severity token, e.g. "warn" (stable export token).
+const char* to_string(Severity sev) noexcept;
+
+/// Fixed-capacity ring of structured events; oldest events are
+/// overwritten once the ring wraps. Thread-safe (one mutex around the
+/// ring) though the intended shape is one recorder per thread.
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 256;
+  static constexpr std::size_t kMaxFields = 4;
+  static constexpr std::size_t kKeyBytes = 24;     ///< incl. NUL
+  static constexpr std::size_t kModuleBytes = 24;  ///< incl. NUL
+  static constexpr std::size_t kMessageBytes = 96; ///< incl. NUL
+
+  /// One numeric annotation; key is truncated to kKeyBytes-1.
+  struct Field {
+    char key[kKeyBytes] = {};
+    double value = 0.0;
+  };
+
+  struct Event {
+    std::uint64_t seq = 0;  ///< monotonically increasing, never reused
+    TimeUs ts{0};           ///< virtual time (recorder offset applied)
+    Severity severity = Severity::kInfo;
+    char module[kModuleBytes] = {};
+    char message[kMessageBytes] = {};
+    Field fields[kMaxFields];
+    std::uint32_t num_fields = 0;
+  };
+
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Record one event. Zero-allocation: module/message/keys are truncated
+  /// into the ring slot; fields beyond kMaxFields are dropped.
+  void log(TimeUs ts_us, Severity sev, std::string_view module,
+           std::string_view message,
+           std::initializer_list<std::pair<std::string_view, double>>
+               fields = {}) noexcept;
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  /// Events currently held (<= capacity()).
+  std::size_t size() const;
+  /// Total events ever logged; size() < total_logged() means the ring
+  /// wrapped and the oldest (total_logged - size) events were overwritten.
+  std::uint64_t total_logged() const;
+  void clear();
+
+  /// Offset added to every logged timestamp (see ScopedTraceOffset).
+  TimeUs offset() const;
+  void set_offset(TimeUs offset_us);
+
+  /// Oldest-first copy of the ring (allocates; export/inspection only).
+  std::vector<Event> events() const;
+
+  /// One JSON object per line, oldest first:
+  /// {"type":"event","seq":N,"ts_us":T,"severity":"warn","module":"m",
+  ///  "message":"...","fields":{"k":v,...}}
+  std::string to_jsonl() const;
+  /// Returns false if the file cannot be written. noexcept so the
+  /// contract-violation hook can call it while unwinding.
+  bool write_jsonl(const std::string& path) const noexcept;
+
+ private:
+  mutable util::Mutex mu_;
+  std::vector<Event> ring_ WB_GUARDED_BY(mu_);  ///< preallocated, capacity_ slots
+  std::size_t capacity_;
+  std::uint64_t next_seq_ WB_GUARDED_BY(mu_) = 0;
+  TimeUs offset_ WB_GUARDED_BY(mu_){0};
+};
+
+/// The recorder installed on *this thread*; nullptr when recording is off.
+FlightRecorder* recorder() noexcept;
+
+/// RAII install/restore of this thread's recorder. Accepts nullptr to
+/// *suppress* an outer recorder for a scope — sweep tasks use this so an
+/// inline (threads=1) run records exactly what a worker thread would.
+class ScopedFlightRecorder {
+ public:
+  explicit ScopedFlightRecorder(FlightRecorder* rec);
+  ~ScopedFlightRecorder();
+  ScopedFlightRecorder(const ScopedFlightRecorder&) = delete;
+  ScopedFlightRecorder& operator=(const ScopedFlightRecorder&) = delete;
+
+ private:
+  FlightRecorder* prev_;
+};
+
+/// While alive, any contract violation (WB_REQUIRE/WB_ENSURE/WB_INVARIANT)
+/// dumps the failing thread's recorder ring as JSONL to `path` before the
+/// policy (throw/abort) runs. Installs a wb::ContractFailureHook; nesting
+/// restores the previous hook and path on destruction.
+class ScopedContractDump {
+ public:
+  explicit ScopedContractDump(const std::string& path);
+  ~ScopedContractDump();
+  ScopedContractDump(const ScopedContractDump&) = delete;
+  ScopedContractDump& operator=(const ScopedContractDump&) = delete;
+
+ private:
+  ContractFailureHook prev_hook_;
+  std::string prev_path_;
+};
+
+}  // namespace wb::obs

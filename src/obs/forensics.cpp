@@ -1,0 +1,280 @@
+#include "obs/forensics.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "obs/flight_recorder.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace wb::obs {
+
+namespace {
+// Thread-local: each sweep worker installs (and observes) its own sink;
+// see the forensics() contract in the header.
+thread_local ForensicsSink* t_forensics = nullptr;
+}  // namespace
+
+ForensicsSink* forensics() noexcept { return t_forensics; }
+
+ScopedForensics::ScopedForensics(ForensicsSink& sink) : prev_(t_forensics) {
+  t_forensics = &sink;
+}
+
+ScopedForensics::~ScopedForensics() { t_forensics = prev_; }
+
+// Both switches are exhaustive with no default so -Wswitch (and the
+// wb_analyze drop-taxonomy rule) catch a new enumerator without a token.
+const char* to_string(DropStage stage) noexcept {
+  switch (stage) {
+    case DropStage::kConditioning: return "reader.conditioning";
+    case DropStage::kUplinkDecoder: return "reader.uplink";
+    case DropStage::kCorrDecoder: return "reader.corr";
+    case DropStage::kAckDetector: return "reader.ack";
+    case DropStage::kStreamingDecoder: return "reader.streaming";
+    case DropStage::kCoreUplink: return "core.uplink";
+    case DropStage::kCoreDownlink: return "core.downlink";
+    case DropStage::kWifiMac: return "wifi.mac";
+  }
+  return "unknown";
+}
+
+const char* to_string(DropReason reason) noexcept {
+  switch (reason) {
+    case DropReason::kEmptyTrace: return "empty_trace";
+    case DropReason::kNoPreamble: return "no_preamble";
+    case DropReason::kLowSnr: return "low_snr";
+    case DropReason::kClipped: return "clipped";
+    case DropReason::kCollision: return "collision";
+    case DropReason::kSlicerAmbiguous: return "slicer_ambiguous";
+    case DropReason::kCrcFail: return "crc_fail";
+    case DropReason::kDrainedIncomplete: return "drained_incomplete";
+  }
+  return "unknown";
+}
+
+const char* metric_token(DropStage stage) noexcept {
+  switch (stage) {
+    case DropStage::kConditioning: return "reader_conditioning";
+    case DropStage::kUplinkDecoder: return "reader_uplink";
+    case DropStage::kCorrDecoder: return "reader_corr";
+    case DropStage::kAckDetector: return "reader_ack";
+    case DropStage::kStreamingDecoder: return "reader_streaming";
+    case DropStage::kCoreUplink: return "core_uplink";
+    case DropStage::kCoreDownlink: return "core_downlink";
+    case DropStage::kWifiMac: return "wifi_mac";
+  }
+  return "unknown";
+}
+
+ForensicsSink::ForensicsSink(std::size_t exemplar_cap)
+    : exemplar_cap_(exemplar_cap) {}
+
+void ForensicsSink::record_attempt(DropStage stage) noexcept {
+  attempts_[static_cast<std::size_t>(stage)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void ForensicsSink::record_decode(DropStage stage) noexcept {
+  decodes_[static_cast<std::size_t>(stage)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void ForensicsSink::record_drop(DropStage stage, DropReason reason) {
+  drops_[cell(stage, reason)].fetch_add(1, std::memory_order_relaxed);
+  // Mirror into the installed metrics registry so RunReports (and
+  // wb_report_diff) surface drop reasons as ordinary counters.
+  if (auto* m = metrics()) {
+    std::string name = "forensics.";
+    name += metric_token(stage);
+    name += '.';
+    name += to_string(reason);
+    name += "_total";
+    m->counter(name).add(1);
+  }
+}
+
+bool ForensicsSink::wants_exemplar(DropStage stage,
+                                   DropReason reason) const noexcept {
+  return exemplar_counts_[cell(stage, reason)].load(
+             std::memory_order_relaxed) < exemplar_cap_;
+}
+
+void ForensicsSink::add_exemplar(DropStage stage, DropReason reason,
+                                 std::string csv) {
+  const util::MutexLock lock(mu_);
+  auto& n = exemplar_counts_[cell(stage, reason)];
+  const std::uint32_t ordinal = n.load(std::memory_order_relaxed);
+  if (ordinal >= exemplar_cap_) return;
+  exemplars_.push_back(Exemplar{stage, reason, ordinal, std::move(csv)});
+  n.store(ordinal + 1, std::memory_order_relaxed);
+}
+
+std::uint64_t ForensicsSink::attempts(DropStage stage) const noexcept {
+  return attempts_[static_cast<std::size_t>(stage)].load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t ForensicsSink::decodes(DropStage stage) const noexcept {
+  return decodes_[static_cast<std::size_t>(stage)].load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t ForensicsSink::drops(DropStage stage,
+                                   DropReason reason) const noexcept {
+  return drops_[cell(stage, reason)].load(std::memory_order_relaxed);
+}
+
+std::uint64_t ForensicsSink::total_drops(DropStage stage) const noexcept {
+  std::uint64_t total = 0;
+  for (std::size_t r = 0; r < kNumDropReasons; ++r) {
+    total += drops_[cell(stage, static_cast<DropReason>(r))].load(
+        std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t ForensicsSink::total_drops() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& d : drops_) total += d.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::size_t ForensicsSink::num_exemplars() const {
+  const util::MutexLock lock(mu_);
+  return exemplars_.size();
+}
+
+void ForensicsSink::merge_from(const ForensicsSink& other) {
+  if (&other == this) return;
+  for (std::size_t s = 0; s < kNumDropStages; ++s) {
+    attempts_[s].fetch_add(other.attempts_[s].load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+    decodes_[s].fetch_add(other.decodes_[s].load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  }
+  for (std::size_t c = 0; c < drops_.size(); ++c) {
+    drops_[c].fetch_add(other.drops_[c].load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+  }
+  // Copy the other sink's exemplars (in its stored order) until this
+  // sink's per-(stage, reason) caps fill. std::scoped_lock's
+  // deadlock-avoidance orders the two mutexes.
+  std::vector<Exemplar> copied;
+  {
+    const util::MutexLock lock(other.mu_);
+    copied = other.exemplars_;
+  }
+  for (auto& e : copied) add_exemplar(e.stage, e.reason, std::move(e.csv));
+}
+
+std::string ForensicsSink::to_jsonl(const FlightRecorder* recorder) const {
+  std::string out;
+  out += "{\"type\":\"meta\",\"schema\":\"wb.forensics.v1\","
+         "\"exemplar_cap\":";
+  out += json_number(static_cast<double>(exemplar_cap_));
+  out += "}\n";
+  for (std::size_t s = 0; s < kNumDropStages; ++s) {
+    const auto stage = static_cast<DropStage>(s);
+    out += "{\"type\":\"stage\",\"stage\":\"";
+    out += to_string(stage);
+    out += "\",\"attempts\":";
+    out += json_number(static_cast<double>(attempts(stage)));
+    out += ",\"decodes\":";
+    out += json_number(static_cast<double>(decodes(stage)));
+    out += ",\"drops\":";
+    out += json_number(static_cast<double>(total_drops(stage)));
+    out += "}\n";
+  }
+  // Aggregate per-reason totals, zeros included: every DropReason
+  // enumerator appears in every export — the coverage surface the
+  // check.sh obs step diffs against the header.
+  for (std::size_t r = 0; r < kNumDropReasons; ++r) {
+    const auto reason = static_cast<DropReason>(r);
+    std::uint64_t total = 0;
+    for (std::size_t s = 0; s < kNumDropStages; ++s) {
+      total += drops(static_cast<DropStage>(s), reason);
+    }
+    out += "{\"type\":\"reason\",\"reason\":\"";
+    out += to_string(reason);
+    out += "\",\"drops\":";
+    out += json_number(static_cast<double>(total));
+    out += "}\n";
+  }
+  for (std::size_t s = 0; s < kNumDropStages; ++s) {
+    for (std::size_t r = 0; r < kNumDropReasons; ++r) {
+      const auto stage = static_cast<DropStage>(s);
+      const auto reason = static_cast<DropReason>(r);
+      const std::uint64_t n = drops(stage, reason);
+      if (n == 0) continue;
+      out += "{\"type\":\"drop\",\"stage\":\"";
+      out += to_string(stage);
+      out += "\",\"reason\":\"";
+      out += to_string(reason);
+      out += "\",\"count\":";
+      out += json_number(static_cast<double>(n));
+      out += "}\n";
+    }
+  }
+  {
+    const util::MutexLock lock(mu_);
+    for (const auto& e : exemplars_) {
+      // "file" is relative to the write_exemplars() prefix, so the JSONL
+      // bytes do not depend on where the sidecars land.
+      out += "{\"type\":\"exemplar\",\"stage\":\"";
+      out += to_string(e.stage);
+      out += "\",\"reason\":\"";
+      out += to_string(e.reason);
+      out += "\",\"ordinal\":";
+      out += json_number(static_cast<double>(e.ordinal));
+      out += ",\"bytes\":";
+      out += json_number(static_cast<double>(e.csv.size()));
+      out += ",\"file\":\"";
+      out += metric_token(e.stage);
+      out += '_';
+      out += to_string(e.reason);
+      out += '.';
+      out += std::to_string(e.ordinal);
+      out += ".csv\"}\n";
+    }
+  }
+  if (recorder != nullptr) out += recorder->to_jsonl();
+  return out;
+}
+
+bool ForensicsSink::write_jsonl(const std::string& path,
+                                const FlightRecorder* recorder) const {
+  const std::string body = to_jsonl(recorder);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::size_t n = std::fwrite(body.data(), 1, body.size(), f);
+  const bool ok = n == body.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+std::size_t ForensicsSink::write_exemplars(const std::string& prefix) const {
+  std::vector<Exemplar> copied;
+  {
+    const util::MutexLock lock(mu_);
+    copied = exemplars_;
+  }
+  std::size_t written = 0;
+  for (const auto& e : copied) {
+    std::string path = prefix;
+    path += '.';
+    path += metric_token(e.stage);
+    path += '_';
+    path += to_string(e.reason);
+    path += '.';
+    path += std::to_string(e.ordinal);
+    path += ".csv";
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) continue;
+    const std::size_t n = std::fwrite(e.csv.data(), 1, e.csv.size(), f);
+    if (std::fclose(f) == 0 && n == e.csv.size()) ++written;
+  }
+  return written;
+}
+
+}  // namespace wb::obs

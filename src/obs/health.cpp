@@ -1,0 +1,215 @@
+#include "obs/health.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "obs/flight_recorder.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "util/parse.h"
+
+namespace wb::obs {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::optional<SloRule::Stat> parse_stat(std::string_view token) {
+  if (token == "value") return SloRule::Stat::kValue;
+  if (token == "p50") return SloRule::Stat::kP50;
+  if (token == "p95") return SloRule::Stat::kP95;
+  if (token == "p99") return SloRule::Stat::kP99;
+  if (token == "mean") return SloRule::Stat::kMean;
+  if (token == "count") return SloRule::Stat::kCount;
+  return std::nullopt;
+}
+
+const char* stat_token(SloRule::Stat stat) {
+  switch (stat) {
+    case SloRule::Stat::kValue: return "value";
+    case SloRule::Stat::kP50: return "p50";
+    case SloRule::Stat::kP95: return "p95";
+    case SloRule::Stat::kP99: return "p99";
+    case SloRule::Stat::kMean: return "mean";
+    case SloRule::Stat::kCount: return "count";
+  }
+  return "value";
+}
+
+/// Counter (then gauge) value by name; nullopt when neither exists.
+std::optional<double> scalar_value(const MetricsRegistry::Snapshot& snap,
+                                   const std::string& name) {
+  const auto c = std::lower_bound(
+      snap.counters.begin(), snap.counters.end(), name,
+      [](const auto& kv, const std::string& n) { return kv.first < n; });
+  if (c != snap.counters.end() && c->first == name) {
+    return static_cast<double>(c->second);
+  }
+  const auto g = std::lower_bound(
+      snap.gauges.begin(), snap.gauges.end(), name,
+      [](const auto& kv, const std::string& n) { return kv.first < n; });
+  if (g != snap.gauges.end() && g->first == name) return g->second;
+  return std::nullopt;
+}
+
+std::optional<MetricsRegistry::HistogramStats> histogram_stats(
+    const MetricsRegistry::Snapshot& snap, const std::string& name) {
+  const auto h = std::lower_bound(
+      snap.histograms.begin(), snap.histograms.end(), name,
+      [](const auto& kv, const std::string& n) { return kv.first < n; });
+  if (h != snap.histograms.end() && h->first == name) return h->second;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<SloRule> parse_slo_rule(std::string_view spec) {
+  SloRule rule;
+  const auto le = spec.find("<=");
+  const auto ge = spec.find(">=");
+  std::size_t op_pos = 0;
+  if (le != std::string_view::npos &&
+      (ge == std::string_view::npos || le < ge)) {
+    rule.op = SloRule::Op::kLe;
+    op_pos = le;
+  } else if (ge != std::string_view::npos) {
+    rule.op = SloRule::Op::kGe;
+    op_pos = ge;
+  } else {
+    return std::nullopt;
+  }
+
+  const std::string_view bound_text = trim(spec.substr(op_pos + 2));
+  if (!util::parse_full(bound_text, rule.bound)) return std::nullopt;
+
+  std::string_view left = trim(spec.substr(0, op_pos));
+  if (const auto eq = left.find('='); eq != std::string_view::npos) {
+    rule.name = std::string(trim(left.substr(0, eq)));
+    if (rule.name.empty()) return std::nullopt;
+    left = trim(left.substr(eq + 1));
+  }
+  if (const auto colon = left.rfind(':'); colon != std::string_view::npos) {
+    const auto stat = parse_stat(trim(left.substr(colon + 1)));
+    if (!stat) return std::nullopt;
+    rule.stat = *stat;
+    left = trim(left.substr(0, colon));
+  }
+  if (const auto slash = left.find('/'); slash != std::string_view::npos) {
+    // Ratios divide two scalar instruments; histogram stats of a ratio
+    // have no meaning here.
+    if (rule.stat != SloRule::Stat::kValue) return std::nullopt;
+    rule.metric = std::string(trim(left.substr(0, slash)));
+    rule.denominator = std::string(trim(left.substr(slash + 1)));
+    if (rule.denominator.empty()) return std::nullopt;
+  } else {
+    rule.metric = std::string(left);
+  }
+  if (rule.metric.empty()) return std::nullopt;
+  if (rule.name.empty()) rule.name = to_string(rule);
+  return rule;
+}
+
+std::string to_string(const SloRule& rule) {
+  std::string base = rule.metric;
+  if (!rule.denominator.empty()) {
+    base += '/';
+    base += rule.denominator;
+  }
+  if (rule.stat != SloRule::Stat::kValue) {
+    base += ':';
+    base += stat_token(rule.stat);
+  }
+  base += rule.op == SloRule::Op::kLe ? "<=" : ">=";
+  base += json_number(rule.bound);
+  if (!rule.name.empty() && rule.name != base) {
+    return rule.name + "=" + base;
+  }
+  return base;
+}
+
+void HealthMonitor::add_rule(SloRule rule) {
+  rules_.push_back(State{std::move(rule), false});
+}
+
+bool HealthMonitor::add_rule(std::string_view spec) {
+  auto rule = parse_slo_rule(spec);
+  if (!rule) return false;
+  add_rule(std::move(*rule));
+  return true;
+}
+
+std::vector<SloStatus> HealthMonitor::evaluate(const MetricsRegistry& m,
+                                               TimeUs now,
+                                               FlightRecorder* rec) {
+  const auto snap = m.snapshot();
+  std::vector<SloStatus> out;
+  out.reserve(rules_.size());
+  for (auto& state : rules_) {
+    const SloRule& rule = state.rule;
+    SloStatus status;
+    status.name = rule.name;
+    if (!rule.denominator.empty()) {
+      const auto num = scalar_value(snap, rule.metric);
+      const auto den = scalar_value(snap, rule.denominator);
+      status.has_value = num.has_value() && den.has_value();
+      if (status.has_value && *den != 0.0) status.value = *num / *den;
+    } else if (rule.stat == SloRule::Stat::kValue) {
+      const auto v = scalar_value(snap, rule.metric);
+      status.has_value = v.has_value();
+      status.value = v.value_or(0.0);
+    } else {
+      const auto h = histogram_stats(snap, rule.metric);
+      status.has_value = h.has_value();
+      if (h) {
+        switch (rule.stat) {
+          case SloRule::Stat::kP50: status.value = h->p50; break;
+          case SloRule::Stat::kP95: status.value = h->p95; break;
+          case SloRule::Stat::kP99: status.value = h->p99; break;
+          case SloRule::Stat::kMean:
+            status.value =
+                h->count ? h->sum / static_cast<double>(h->count) : 0.0;
+            break;
+          case SloRule::Stat::kCount:
+            status.value = static_cast<double>(h->count);
+            break;
+          case SloRule::Stat::kValue: break;  // unreachable, parse rejects
+        }
+      }
+    }
+    // Ceilings with nothing measured are vacuously healthy; floors with
+    // nothing measured are breached (the supply the rule demands never
+    // materialised).
+    if (rule.op == SloRule::Op::kLe) {
+      status.breached = status.has_value && status.value > rule.bound;
+    } else {
+      status.breached = !status.has_value || status.value < rule.bound;
+    }
+    if (status.breached != state.breached && rec != nullptr) {
+      std::string msg = status.breached ? "slo breach: " : "slo recovered: ";
+      msg += rule.name;
+      rec->log(now, status.breached ? Severity::kError : Severity::kInfo,
+               "health", msg,
+               {{"value", status.value}, {"bound", rule.bound}});
+    }
+    state.breached = status.breached;
+    out.push_back(std::move(status));
+  }
+  return out;
+}
+
+std::size_t HealthMonitor::breached_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& state : rules_) n += state.breached ? 1 : 0;
+  return n;
+}
+
+}  // namespace wb::obs

@@ -1,0 +1,94 @@
+// HealthMonitor: declarative SLO rules evaluated deterministically on the
+// virtual clock against the installed metrics registry.
+//
+// A rule is one line of grammar (the CLI's repeatable --slo flag and
+// check.sh both speak it):
+//
+//   [name=]metric[/denominator][:stat] (<=|>=) bound
+//
+//   * `metric` is an instrument name. With `/denominator`, the rule value
+//     is the ratio of two counter/gauge values (0 when the denominator is
+//     0) — how a BER ceiling is written:
+//       ber=core.system.uplink_bit_errors_total/core.system.uplink_bits_delivered_total<=0.01
+//   * `:stat` selects a histogram statistic (`p50`, `p95`, `p99`, `mean`,
+//     `count`); omitted, the rule reads a counter (then gauge) value —
+//     p99 decode latency: `reader.uplink.decode_us:p99<=5000`, queue
+//     watermark: `core.stream.queue_depth_peak_count<=64`, harvest floor:
+//     `tag.harvester.energy_uj>=1.0`.
+//   * A missing instrument evaluates as value 0 with `has_value=false`;
+//     `<=` rules treat it as satisfied (nothing measured, nothing over),
+//     `>=` rules as breached (a floor with no supply is a breach).
+//
+// evaluate() is stateful: breach/recovery *transitions* emit kError/kInfo
+// events into the flight recorder (when one is supplied), so a sweep's
+// recorder shows when an SLO went unhealthy on the protocol timeline, not
+// one alert per evaluation tick. Everything runs on virtual time —
+// identical runs produce identical alert streams.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/units.h"
+
+namespace wb::obs {
+
+class FlightRecorder;
+class MetricsRegistry;
+
+/// One parsed SLO rule.
+struct SloRule {
+  /// Which statistic of the instrument the rule reads.
+  enum class Stat { kValue, kP50, kP95, kP99, kMean, kCount };
+  enum class Op { kLe, kGe };
+
+  std::string name;         ///< label for alerts; defaults to the spec text
+  std::string metric;       ///< instrument name (numerator for ratios)
+  std::string denominator;  ///< empty unless the rule is a ratio
+  Stat stat = Stat::kValue;
+  Op op = Op::kLe;
+  double bound = 0.0;
+};
+
+/// Parse one rule from the grammar above; nullopt on malformed input.
+std::optional<SloRule> parse_slo_rule(std::string_view spec);
+
+/// Canonical one-line rendering (parseable by parse_slo_rule).
+std::string to_string(const SloRule& rule);
+
+/// Outcome of one rule at one evaluation.
+struct SloStatus {
+  std::string name;       ///< rule name
+  double value = 0.0;     ///< what the rule measured (0 when absent)
+  bool has_value = false; ///< the instrument existed in the registry
+  bool breached = false;
+};
+
+/// Holds rules plus their breach state across evaluations.
+class HealthMonitor {
+ public:
+  void add_rule(SloRule rule);
+  /// Parse-and-add; false (and no rule added) on malformed spec.
+  bool add_rule(std::string_view spec);
+  std::size_t num_rules() const noexcept { return rules_.size(); }
+
+  /// Evaluate every rule against a snapshot of `m` at virtual time `now`.
+  /// Transitions (healthy->breached, breached->healthy) log kError/kInfo
+  /// events into `rec` when non-null. Returns statuses in rule order.
+  std::vector<SloStatus> evaluate(const MetricsRegistry& m, TimeUs now,
+                                  FlightRecorder* rec = nullptr);
+
+  /// Rules currently in breach (after the last evaluate()).
+  std::size_t breached_count() const noexcept;
+
+ private:
+  struct State {
+    SloRule rule;
+    bool breached = false;
+  };
+  std::vector<State> rules_;
+};
+
+}  // namespace wb::obs

@@ -109,8 +109,21 @@ class LogHistogram {
   double min() const noexcept;
   double max() const noexcept;
 
-  /// Value at percentile p in [0, 100] (bucket geometric midpoint,
-  /// clamped to the exact min/max). 0 when empty.
+  /// Value at percentile p by the nearest-rank method: the value of the
+  /// sample at 1-based rank ceil(p/100 * count), read as its bucket's
+  /// geometric midpoint clamped to the exact [min(), max()].
+  ///
+  /// Pinned edge behaviour (tests/test_obs_metrics.cpp asserts each):
+  ///   * empty histogram       -> exactly 0.0 for every p;
+  ///   * p <= 0                -> the lowest sample's bucket (rank is
+  ///                              floored to 1, p is clamped to [0, 100]);
+  ///   * p >= 100              -> the highest sample's bucket;
+  ///   * all samples in one bucket -> every p in [0, 100] returns the
+  ///                              same value (midpoint clamped to the
+  ///                              exact min/max);
+  ///   * samples <= kMinValue  -> the underflow bucket has no meaningful
+  ///                              midpoint, so the exact min() is
+  ///                              returned instead.
   double percentile(double p) const noexcept;
 
  private:

@@ -19,6 +19,24 @@ std::string value_json(const RunReport::Value& v) {
   return out;
 }
 
+// RFC 4180: a field containing a comma, quote, or line break must be
+// wrapped in quotes with inner quotes doubled; any other field may be
+// emitted bare. Used for row names and header keys — string VALUES are
+// always quoted (below) so a numeric-looking string round-trips as a
+// string.
+std::string csv_field(std::string_view text) {
+  const bool needs_quoting =
+      text.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quoting) return std::string(text);
+  std::string out = "\"";
+  for (const char c : text) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
 std::string value_csv(const RunReport::Value& v) {
   if (const auto* d = std::get_if<double>(&v)) return json_number(*d);
   if (const auto* b = std::get_if<bool>(&v)) return *b ? "true" : "false";
@@ -167,10 +185,10 @@ std::string RunReport::rows_csv() const {
     }
   }
   std::string out = "row";
-  for (const auto& k : keys) out += "," + k;
+  for (const auto& k : keys) out += "," + csv_field(k);
   out += "\n";
   for (const Row& row : rows_) {
-    out += row.name();
+    out += csv_field(row.name());
     for (const auto& k : keys) {
       out += ",";
       for (const auto& [key, value] : row.fields()) {

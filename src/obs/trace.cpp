@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "obs/flight_recorder.h"
 #include "obs/json.h"
 #include "util/check.h"
 
@@ -21,15 +22,23 @@ ScopedTracer::ScopedTracer(Tracer& t) : prev_(t_tracer) { t_tracer = &t; }
 
 ScopedTracer::~ScopedTracer() { t_tracer = prev_; }
 
-ScopedTraceOffset::ScopedTraceOffset(TimeUs delta_us) : tracer_(t_tracer) {
+ScopedTraceOffset::ScopedTraceOffset(TimeUs delta_us)
+    : tracer_(t_tracer), recorder_(recorder()) {
   if (tracer_ != nullptr) {
     prev_ = tracer_->offset();
     tracer_->set_offset(prev_ + delta_us);
+  }
+  // The flight recorder shares the tracer's stitched protocol timeline:
+  // a sub-simulation's events land at the same virtual instant in both.
+  if (recorder_ != nullptr) {
+    prev_rec_ = recorder_->offset();
+    recorder_->set_offset(prev_rec_ + delta_us);
   }
 }
 
 ScopedTraceOffset::~ScopedTraceOffset() {
   if (tracer_ != nullptr) tracer_->set_offset(prev_);
+  if (recorder_ != nullptr) recorder_->set_offset(prev_rec_);
 }
 
 int Tracer::lane(std::string_view name) {

@@ -97,10 +97,12 @@ class ScopedTracer {
   Tracer* prev_;
 };
 
-/// Shifts the installed tracer's clock by `delta_us` for the current
-/// scope: events recorded by inner sub-simulations (which run their own
-/// virtual clocks from 0) land at the right place on the outer timeline.
-/// No-op when tracing is off.
+class FlightRecorder;
+
+/// Shifts the installed tracer's *and* flight recorder's clocks by
+/// `delta_us` for the current scope: events recorded by inner
+/// sub-simulations (which run their own virtual clocks from 0) land at
+/// the right place on the outer timeline. No-op when both are off.
 class ScopedTraceOffset {
  public:
   explicit ScopedTraceOffset(TimeUs delta_us);
@@ -110,7 +112,9 @@ class ScopedTraceOffset {
 
  private:
   Tracer* tracer_;
+  FlightRecorder* recorder_;
   TimeUs prev_{0};
+  TimeUs prev_rec_{0};
 };
 
 }  // namespace wb::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/flight_recorder.h"
 #include "reader/uplink_decoder.h"
 #include "util/check.h"
 
@@ -13,13 +14,27 @@ AckDetection detect_ack(const ConditionedTrace& ct, const AckConfig& cfg,
   WB_REQUIRE(!cfg.pattern.empty(), "ACK pattern must be non-empty");
   WB_REQUIRE(cfg.chip_duration_us > TimeUs{});
   WB_REQUIRE(cfg.jitter_us >= TimeUs{});
+  auto* fx = obs::forensics();
+  if (fx != nullptr) fx->record_attempt(obs::DropStage::kAckDetector);
+  const auto drop = [&](AckDetection& out, obs::DropReason reason) {
+    out.drop_reason = reason;
+    if (fx != nullptr) fx->record_drop(obs::DropStage::kAckDetector, reason);
+    if (auto* rec = obs::recorder()) {
+      rec->log(expected_start_us, obs::Severity::kWarn, "reader.ack",
+               obs::to_string(reason), {{"score", out.score}});
+    }
+  };
   AckDetection out;
-  if (ct.num_packets() == 0) return out;
+  if (ct.num_packets() == 0) {
+    drop(out, obs::DropReason::kEmptyTrace);
+    return out;
+  }
 
   const std::size_t nchips = cfg.pattern.size();
   const TimeUs step =
       std::max(cfg.chip_duration_us / 4, TimeUs{1});
 
+  bool any_scored = false;
   for (TimeUs tau = expected_start_us - cfg.jitter_us;
        tau <= expected_start_us + cfg.jitter_us; tau += step) {
     for (std::size_t s = 0; s < ct.num_streams(); ++s) {
@@ -33,6 +48,7 @@ AckDetection detect_ack(const ConditionedTrace& ct, const AckConfig& cfg,
         corr += slots[c].mean * (cfg.pattern[c] ? 1.0 : -1.0);
       }
       if (filled < nchips / 2 || filled == 0) continue;
+      any_scored = true;
       const double score = std::abs(corr) / static_cast<double>(filled);
       if (score > out.score) {
         out.score = score;
@@ -41,6 +57,15 @@ AckDetection detect_ack(const ConditionedTrace& ct, const AckConfig& cfg,
     }
   }
   out.detected = out.score >= cfg.threshold;
+  if (out.detected) {
+    if (fx != nullptr) fx->record_decode(obs::DropStage::kAckDetector);
+  } else {
+    // Never scoring a window means no chip pattern was ever visible in
+    // the search region; scoring below threshold means it was there but
+    // too faint to trust.
+    drop(out, any_scored ? obs::DropReason::kLowSnr
+                         : obs::DropReason::kNoPreamble);
+  }
   return out;
 }
 

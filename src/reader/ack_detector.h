@@ -12,6 +12,7 @@
 
 #include <optional>
 
+#include "obs/forensics.h"
 #include "reader/conditioning.h"
 #include "util/bits.h"
 #include "util/units.h"
@@ -48,6 +49,8 @@ struct AckDetection {
   bool detected = false;
   double score = 0.0;    ///< best correlation magnitude
   TimeUs at_us{0};      ///< estimated ACK start
+  /// Why detection failed; engaged exactly when !detected.
+  std::optional<obs::DropReason> drop_reason;
 };
 
 /// Look for the ACK pattern in a conditioned trace around

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/forensics.h"
 #include "obs/metrics.h"
 #include "obs/scoped_timer.h"
 #include "util/check.h"
@@ -119,6 +120,17 @@ void condition_into(const wifi::CaptureTrace& trace, MeasurementSource source,
         .add(out.timestamps.size());
     m->gauge("reader.conditioning.streams_count")
         .set(static_cast<double>(num_streams));
+  }
+  if (auto* fx = obs::forensics()) {
+    // A trace that loses every record here (e.g. beacons-only capture on
+    // a CSI decoder) dies at conditioning, not downstream.
+    fx->record_attempt(obs::DropStage::kConditioning);
+    if (n == 0) {
+      fx->record_drop(obs::DropStage::kConditioning,
+                      obs::DropReason::kEmptyTrace);
+    } else {
+      fx->record_decode(obs::DropStage::kConditioning);
+    }
   }
 }
 

@@ -3,14 +3,25 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/flight_recorder.h"
+#include "obs/forensics.h"
 #include "obs/metrics.h"
 #include "obs/scoped_timer.h"
 #include "util/check.h"
+#include "wifi/trace_io.h"
 
 #include "reader/decode_workspace.h"
 #include "reader/uplink_decoder.h"
 
 namespace wb::reader {
+namespace {
+
+/// Above this winsorised-sample share, a failed sync is attributed to
+/// clipping (interference the clamp fought) rather than a missing
+/// preamble.
+constexpr double kClippedDistrustFraction = 0.05;
+
+}  // namespace
 
 CodedUplinkDecoder::CodedUplinkDecoder(CodedDecoderConfig cfg)
     : cfg_(std::move(cfg)) {
@@ -80,6 +91,15 @@ void CodedUplinkDecoder::decode_into(const wifi::CaptureTrace& trace,
   condition_into(trace, cfg_.source, cfg_.movavg_window_us, ws,
                  ws.conditioned);
   decode_conditioned_into(ws.conditioned, ws, out);
+  // Raw-trace overload: failed attempts leave a replayable exemplar.
+  if (out.drop_reason) {
+    auto* fx = obs::forensics();
+    if (fx != nullptr &&
+        fx->wants_exemplar(obs::DropStage::kCorrDecoder, *out.drop_reason)) {
+      fx->add_exemplar(obs::DropStage::kCorrDecoder, *out.drop_reason,
+                       wifi::capture_csv_string(trace));
+    }
+  }
 }
 
 CodedDecodeResult CodedUplinkDecoder::decode_conditioned(
@@ -94,9 +114,21 @@ void CodedUplinkDecoder::decode_conditioned_into(const ConditionedTrace& ct_in,
                                                  DecodeWorkspace& ws,
                                                  CodedDecodeResult& out) const {
   obs::ScopedTimer timer("reader.corr.decode_wall_us");
+  auto* fx = obs::forensics();
   if (auto* m = obs::metrics()) {
     m->counter("reader.corr.decodes_total").add(1);
   }
+  if (fx != nullptr) fx->record_attempt(obs::DropStage::kCorrDecoder);
+  const auto drop = [&](obs::DropReason reason) {
+    out.drop_reason = reason;
+    if (fx != nullptr) fx->record_drop(obs::DropStage::kCorrDecoder, reason);
+    if (auto* rec = obs::recorder()) {
+      rec->log(ct_in.num_packets() > 0 ? ct_in.timestamps.front() : TimeUs{0},
+               obs::Severity::kWarn, "reader.corr", obs::to_string(reason),
+               {{"sync_score", out.sync_score},
+                {"clipped_fraction", out.clipped_fraction}});
+    }
+  };
   out.found = false;
   out.start_us = TimeUs{};
   out.sync_score = 0.0;
@@ -105,12 +137,19 @@ void CodedUplinkDecoder::decode_conditioned_into(const ConditionedTrace& ct_in,
   out.polarity.clear();
   out.weights.clear();
   out.margin.clear();
-  if (ct_in.num_packets() == 0 || ct_in.num_streams() == 0) return;
+  out.clipped_fraction = 0.0;
+  out.drop_reason.reset();
+  if (ct_in.num_packets() == 0 || ct_in.num_streams() == 0) {
+    drop(obs::DropReason::kEmptyTrace);
+    return;
+  }
 
   // Winsorise against correlated outliers (see clip_sigma in the config)
   // into the workspace copy; without clipping the input is used as-is.
   const ConditionedTrace* ct = &ct_in;
   if (cfg_.clip_sigma > 0.0) {
+    std::size_t clamped = 0;
+    std::size_t total = 0;
     ws.clipped.timestamps.assign(ct_in.timestamps.begin(),
                                  ct_in.timestamps.end());
     ws.clipped.streams.resize(ct_in.streams.size());
@@ -119,9 +158,14 @@ void CodedUplinkDecoder::decode_conditioned_into(const ConditionedTrace& ct_in,
       auto& dst = ws.clipped.streams[s];
       dst.resize(src.size());
       for (std::size_t k = 0; k < src.size(); ++k) {
+        if (src[k] > cfg_.clip_sigma || src[k] < -cfg_.clip_sigma) ++clamped;
         dst[k] = std::clamp(src[k], -cfg_.clip_sigma, cfg_.clip_sigma);
       }
+      total += src.size();
     }
+    out.clipped_fraction =
+        total > 0 ? static_cast<double>(clamped) / static_cast<double>(total)
+                  : 0.0;
     ct = &ws.clipped;
   }
 
@@ -173,7 +217,15 @@ void CodedUplinkDecoder::decode_conditioned_into(const ConditionedTrace& ct_in,
   }
 
   out.found = best_score > 0.0;
-  if (!out.found) return;
+  if (!out.found) {
+    // A correlator that clamped a substantial share of its input was
+    // fighting interference, not silence: blame the clipping, otherwise
+    // the coded preamble simply never appeared.
+    drop(out.clipped_fraction > kClippedDistrustFraction
+             ? obs::DropReason::kClipped
+             : obs::DropReason::kNoPreamble);
+    return;
+  }
   out.start_us = best_start;
   out.sync_score = best_score;
   out.streams.assign(order.begin(), order.begin() + static_cast<long>(g));
@@ -214,6 +266,7 @@ void CodedUplinkDecoder::decode_conditioned_into(const ConditionedTrace& ct_in,
     auto& margin_hist = m->histogram("reader.corr.bit_margin_ratio");
     for (const double margin : out.margin) margin_hist.record(margin);
   }
+  if (fx != nullptr) fx->record_decode(obs::DropStage::kCorrDecoder);
 }
 
 }  // namespace wb::reader

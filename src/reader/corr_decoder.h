@@ -16,6 +16,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/forensics.h"
 #include "reader/conditioning.h"
 #include "util/bits.h"
 #include "util/codes.h"
@@ -81,6 +82,10 @@ struct CodedDecodeResult {
   std::vector<double> polarity;
   std::vector<double> weights;
   std::vector<double> margin;  ///< per bit: |corr1-corr0| combined
+  /// Fraction of samples the winsoriser clamped (0 when clipping is off).
+  double clipped_fraction = 0.0;
+  /// Why the attempt failed; engaged exactly when !found.
+  std::optional<obs::DropReason> drop_reason;
 };
 
 class CodedUplinkDecoder {

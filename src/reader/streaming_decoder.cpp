@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/flight_recorder.h"
+#include "obs/forensics.h"
 #include "util/check.h"
 
 namespace wb::reader {
@@ -32,6 +34,10 @@ bool StreamingUplinkDecoder::scan(TimeUs search_to_us,
   if (!scratch_.found) return false;
   consumed_until_ = scratch_.start_us + cfg_.decoder.frame_duration_us();
   ++frames_emitted_;
+  if (auto* fx = obs::forensics()) {
+    fx->record_attempt(obs::DropStage::kStreamingDecoder);
+    fx->record_decode(obs::DropStage::kStreamingDecoder);
+  }
   out.push_back(scratch_);
   return true;
 }
@@ -59,6 +65,7 @@ std::vector<UplinkDecodeResult> StreamingUplinkDecoder::push(
                  rec.timestamp_us >= buffer_.back().timestamp_us,
              "capture records must arrive in time order");
   buffer_.push_back(rec);
+  drained_reported_ = false;  // new data: the next flush() drains afresh
 
   std::vector<UplinkDecodeResult> out;
   const TimeUs now = rec.timestamp_us;
@@ -98,6 +105,26 @@ std::vector<UplinkDecodeResult> StreamingUplinkDecoder::flush() {
   while (search_to >= consumed_until_ && scan(search_to, out)) {
   }
   consumed_until_ = std::max(consumed_until_, search_to);
+
+  // Whatever still sits past the consumed point can never be decoded —
+  // a frame starting there would extend beyond the last observed record.
+  // Report the discarded partial tail once per drained session.
+  if (!drained_reported_ &&
+      buffer_.back().timestamp_us > consumed_until_) {
+    drained_reported_ = true;
+    if (auto* fx = obs::forensics()) {
+      fx->record_attempt(obs::DropStage::kStreamingDecoder);
+      fx->record_drop(obs::DropStage::kStreamingDecoder,
+                      obs::DropReason::kDrainedIncomplete);
+    }
+    if (auto* rec = obs::recorder()) {
+      rec->log(consumed_until_, obs::Severity::kInfo, "reader.streaming",
+               "drained_incomplete",
+               {{"tail_us", static_cast<double>(
+                     (buffer_.back().timestamp_us - consumed_until_)
+                         .ticks())}});
+    }
+  }
   trim_history();
   return out;
 }

@@ -80,6 +80,10 @@ class StreamingUplinkDecoder {
   TimeUs consumed_until_{0};  ///< frames may only start after this
   TimeUs next_scan_at_{0};
   std::uint64_t frames_emitted_ = 0;
+  /// flush() already reported this session's drained tail (keeps the
+  /// idempotent second flush() from double-counting the drop; reset when
+  /// push() buffers new records).
+  bool drained_reported_ = false;
 };
 
 }  // namespace wb::reader

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/flight_recorder.h"
+#include "obs/forensics.h"
 #include "obs/metrics.h"
 #include "obs/scoped_timer.h"
 #include "obs/trace.h"
 #include "util/check.h"
+#include "wifi/trace_io.h"
 
 #include "util/dsp.h"
 
@@ -91,7 +94,18 @@ double UplinkDecoder::preamble_correlation(const ConditionedTrace& ct,
 bool UplinkDecoder::find_frame(const ConditionedTrace& ct,
                                DecodeWorkspace& ws, TimeUs& start_us,
                                double& score) const {
-  if (ct.num_packets() == 0 || ct.num_streams() == 0) return false;
+  obs::DropReason failure{};
+  return find_frame(ct, ws, start_us, score, failure);
+}
+
+bool UplinkDecoder::find_frame(const ConditionedTrace& ct,
+                               DecodeWorkspace& ws, TimeUs& start_us,
+                               double& score,
+                               obs::DropReason& failure) const {
+  if (ct.num_packets() == 0 || ct.num_streams() == 0) {
+    failure = obs::DropReason::kEmptyTrace;
+    return false;
+  }
 
   const TimeUs t0 = ct.timestamps.front();
   const TimeUs t1 = ct.timestamps.back();
@@ -137,7 +151,14 @@ bool UplinkDecoder::find_frame(const ConditionedTrace& ct,
       }
     }
   }
-  if (!has_best || best_score <= cfg_.sync_threshold) return false;
+  if (!has_best || best_score <= cfg_.sync_threshold) {
+    // A best score of exactly 0 means no candidate window ever met the
+    // preamble-fill bar — the preamble was never seen. A positive score
+    // at/below the threshold is a correlation too weak to trust.
+    failure = (!has_best || best_score <= 0.0) ? obs::DropReason::kNoPreamble
+                                               : obs::DropReason::kLowSnr;
+    return false;
+  }
   start_us = best_start;
   score = best_score;
   return true;
@@ -205,6 +226,19 @@ void UplinkDecoder::decode_into(const wifi::CaptureTrace& trace,
   condition_into(trace, cfg_.source, cfg_.movavg_window_us, ws,
                  ws.conditioned);
   decode_conditioned_into(ws.conditioned, ws, out);
+  // This overload still holds the raw capture, so it is the one place a
+  // failed attempt can leave a replayable exemplar behind. wants_exemplar
+  // gates the (allocating) serialization to the first few drops per
+  // reason.
+  if (out.drop_reason) {
+    auto* fx = obs::forensics();
+    if (fx != nullptr &&
+        fx->wants_exemplar(obs::DropStage::kUplinkDecoder,
+                           *out.drop_reason)) {
+      fx->add_exemplar(obs::DropStage::kUplinkDecoder, *out.drop_reason,
+                       wifi::capture_csv_string(trace));
+    }
+  }
 }
 
 UplinkDecodeResult UplinkDecoder::decode_conditioned(
@@ -220,7 +254,9 @@ void UplinkDecoder::decode_conditioned_into(const ConditionedTrace& ct,
                                             UplinkDecodeResult& out) const {
   obs::ScopedTimer timer("reader.uplink.decode_wall_us");
   auto* m = obs::metrics();
+  auto* fx = obs::forensics();
   if (m != nullptr) m->counter("reader.uplink.decodes_total").add(1);
+  if (fx != nullptr) fx->record_attempt(obs::DropStage::kUplinkDecoder);
 
   out.found = false;
   out.start_us = TimeUs{};
@@ -231,10 +267,31 @@ void UplinkDecoder::decode_conditioned_into(const ConditionedTrace& ct,
   out.weights.clear();
   out.confidence.clear();
   out.packets_used = 0;
+  out.drop_reason.reset();
+
+  // Every failure exit funnels through here: one (stage, reason) drop
+  // plus a flight-recorder breadcrumb with the sync evidence.
+  const auto drop = [&](obs::DropReason reason, double best_score) {
+    out.drop_reason = reason;
+    if (fx != nullptr) {
+      fx->record_drop(obs::DropStage::kUplinkDecoder, reason);
+    }
+    if (auto* rec = obs::recorder()) {
+      rec->log(ct.num_packets() > 0 ? ct.timestamps.front() : TimeUs{0},
+               obs::Severity::kWarn, "reader.uplink",
+               obs::to_string(reason),
+               {{"sync_score", best_score},
+                {"packets", static_cast<double>(ct.num_packets())}});
+    }
+  };
 
   TimeUs start{0};
   double score = 0.0;
-  if (!find_frame(ct, ws, start, score)) return;
+  obs::DropReason sync_failure{};
+  if (!find_frame(ct, ws, start, score, sync_failure)) {
+    drop(sync_failure, score);
+    return;
+  }
 
   out.found = true;
   out.start_us = start;
@@ -316,6 +373,29 @@ void UplinkDecoder::decode_conditioned_into(const ConditionedTrace& ct,
     ws.slot_sum[bit] += y[k];
     ++ws.slot_n[bit];
   }
+
+  // Sync can lock onto preamble-region energy while not a single packet
+  // lands in the payload interval; every bit decision below would then be
+  // the mu-fallback guess. That is not a decode — reject the frame.
+  std::size_t payload_packets = 0;
+  for (const int n : ws.slot_n) {
+    payload_packets += static_cast<std::size_t>(n);
+  }
+  if (payload_packets == 0) {
+    const double best_score = out.sync_score;
+    out.found = false;
+    out.start_us = TimeUs{};
+    out.sync_score = 0.0;
+    out.payload.clear();
+    out.streams.clear();
+    out.polarity.clear();
+    out.weights.clear();
+    out.confidence.clear();
+    out.packets_used = 0;
+    drop(obs::DropReason::kSlicerAmbiguous, best_score);
+    return;
+  }
+
   for (std::size_t b = 0; b < cfg_.payload_bits; ++b) {
     const int total = ws.votes_one[b] + ws.votes_zero[b];
     if (ws.votes_one[b] != ws.votes_zero[b]) {
@@ -338,6 +418,7 @@ void UplinkDecoder::decode_conditioned_into(const ConditionedTrace& ct,
     m->counter("reader.uplink.packets_used_total").add(out.packets_used);
     m->counter("reader.uplink.bits_decoded_total").add(out.payload.size());
   }
+  if (fx != nullptr) fx->record_decode(obs::DropStage::kUplinkDecoder);
   if (auto* tr = obs::tracer()) {
     tr->complete(tr->lane("reader"), "uplink_frame", "reader",
                  out.start_us,

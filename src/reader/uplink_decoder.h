@@ -27,6 +27,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/forensics.h"
 #include "reader/conditioning.h"
 #include "reader/decode_workspace.h"
 #include "util/bits.h"
@@ -98,6 +99,8 @@ struct UplinkDecodeResult {
   std::vector<double> weights;       ///< MRC weights per selected stream
   std::vector<double> confidence;    ///< per payload bit, |vote margin| 0..1
   std::size_t packets_used = 0;      ///< packets in the frame interval
+  /// Why the attempt failed; engaged exactly when !found.
+  std::optional<obs::DropReason> drop_reason;
 };
 
 class UplinkDecoder {
@@ -171,6 +174,14 @@ class UplinkDecoder {
   /// streams/polarities in `ws.best_streams` / `ws.best_polarity`.
   bool find_frame(const ConditionedTrace& ct, DecodeWorkspace& ws,
                   TimeUs& start_us, double& score) const;
+
+  /// Diagnosing variant: on failure, `failure` names the drop reason —
+  /// kEmptyTrace (no packets/streams reached sync), kNoPreamble (no
+  /// candidate window ever correlated), or kLowSnr (best correlation
+  /// positive but at/below the sync threshold).
+  bool find_frame(const ConditionedTrace& ct, DecodeWorkspace& ws,
+                  TimeUs& start_us, double& score,
+                  obs::DropReason& failure) const;
 
   /// Noise variance of one stream over the preamble slots, given its
   /// polarity (variance of the residual against the known +-1 preamble).

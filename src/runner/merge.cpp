@@ -16,6 +16,18 @@ std::size_t merge_metrics_in_order(
   return merged;
 }
 
+std::size_t merge_forensics_in_order(
+    obs::ForensicsSink& dest,
+    const std::vector<std::unique_ptr<obs::ForensicsSink>>& parts) {
+  std::size_t merged = 0;
+  for (const auto& part : parts) {
+    if (part == nullptr) continue;
+    dest.merge_from(*part);
+    ++merged;
+  }
+  return merged;
+}
+
 void append_report_rows(obs::RunReport& dest, const obs::RunReport& src) {
   for (const auto& row : src.rows()) {
     auto& out = dest.add_row(row.name());

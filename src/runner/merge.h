@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/forensics.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 
@@ -32,5 +33,14 @@ std::size_t merge_metrics_in_order(
 /// order (used by sweep drivers that build one report per task and emit a
 /// single grid-wide report).
 void append_report_rows(obs::RunReport& dest, const obs::RunReport& src);
+
+/// Merges per-task forensics sinks into `dest` in task-index order
+/// (counters are commutative sums; exemplars append in task order and
+/// re-apply dest's per-cell cap, so the survivors are the lowest-index
+/// tasks' — exactly the serial outcome). Null entries are skipped.
+/// Returns the number of sinks merged.
+std::size_t merge_forensics_in_order(
+    obs::ForensicsSink& dest,
+    const std::vector<std::unique_ptr<obs::ForensicsSink>>& parts);
 
 }  // namespace wb::runner

@@ -29,6 +29,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/flight_recorder.h"
+#include "obs/forensics.h"
 #include "obs/metrics.h"
 #include "runner/merge.h"
 #include "runner/seed_derive.h"
@@ -46,6 +48,18 @@ struct SweepConfig {
   /// When true, each task runs under a fresh thread-locally installed
   /// MetricsRegistry and SweepResult::metrics holds the in-order merge.
   bool collect_metrics = false;
+
+  /// When true, each task runs under a fresh thread-locally installed
+  /// ForensicsSink and SweepResult::forensics holds the in-order merge.
+  /// Any flight recorder installed on the calling thread is suppressed
+  /// for the task's duration (even at threads == 1): recorder events
+  /// interleave by completion order, so letting tasks share the caller's
+  /// ring would make its contents depend on scheduling.
+  bool collect_forensics = false;
+
+  /// Per-(stage, reason) exemplar capacity of each task's sink and of the
+  /// merged sink (the merge re-applies the cap in task-index order).
+  std::size_t forensics_exemplar_cap = obs::ForensicsSink::kDefaultExemplarCap;
 };
 
 /// What a task callable receives. The params a task actually sweeps over
@@ -61,6 +75,9 @@ struct SweepResult {
   /// In-order merge of the per-task registries; null unless
   /// SweepConfig::collect_metrics was set.
   std::unique_ptr<obs::MetricsRegistry> metrics;
+  /// In-order merge of the per-task forensics sinks; null unless
+  /// SweepConfig::collect_forensics was set.
+  std::unique_ptr<obs::ForensicsSink> forensics;
 };
 
 class SweepRunner {
@@ -91,6 +108,8 @@ class SweepRunner {
     out.results.resize(num_tasks);
     std::vector<std::unique_ptr<obs::MetricsRegistry>> regs(
         cfg_.collect_metrics ? num_tasks : 0);
+    std::vector<std::unique_ptr<obs::ForensicsSink>> sinks(
+        cfg_.collect_forensics ? num_tasks : 0);
 
     run_indexed(num_tasks, [&](std::size_t i) {
       const TaskContext ctx{i, derive_seed(cfg_.base_seed, i)};
@@ -99,12 +118,25 @@ class SweepRunner {
         regs[i] = std::make_unique<obs::MetricsRegistry>();
         metrics_guard.emplace(*regs[i]);
       }
+      std::optional<obs::ScopedForensics> forensics_guard;
+      std::optional<obs::ScopedFlightRecorder> recorder_guard;
+      if (cfg_.collect_forensics) {
+        sinks[i] =
+            std::make_unique<obs::ForensicsSink>(cfg_.forensics_exemplar_cap);
+        forensics_guard.emplace(*sinks[i]);
+        recorder_guard.emplace(nullptr);  // see SweepConfig::collect_forensics
+      }
       out.results[i] = fn(ctx);
     });
 
     if (cfg_.collect_metrics) {
       out.metrics = std::make_unique<obs::MetricsRegistry>();
       merge_metrics_in_order(*out.metrics, regs);
+    }
+    if (cfg_.collect_forensics) {
+      out.forensics =
+          std::make_unique<obs::ForensicsSink>(cfg_.forensics_exemplar_cap);
+      merge_forensics_in_order(*out.forensics, sinks);
     }
     return out;
   }

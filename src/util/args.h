@@ -50,6 +50,24 @@ class Args {
     return static_cast<std::size_t>(u64(name, dflt));
   }
 
+  /// Values of EVERY occurrence of `--name value`, in command-line order
+  /// (repeatable flags like `--slo RULE --slo RULE`). Each occurrence is
+  /// validated like str(); absent flag yields an empty vector.
+  std::vector<std::string> str_list(std::string_view name) const {
+    std::vector<std::string> out;
+    for (int i = 1; i < argc_; ++i) {
+      if (name != argv_[i]) continue;
+      WB_REQUIRE(i + 1 < argc_,
+                 "valued flag at end of line is missing its value");
+      const std::string_view value = argv_[i + 1];
+      WB_REQUIRE(value.substr(0, 2) != "--",
+                 "value after a valued flag looks like another flag");
+      out.emplace_back(value);
+      ++i;  // skip the consumed value
+    }
+    return out;
+  }
+
   /// Comma-separated list of numbers (`--distances-cm 5,30,65`);
   /// `dflt` when the flag is absent, empty elements skipped.
   std::vector<double> num_list(std::string_view name,

@@ -8,6 +8,7 @@ namespace wb {
 namespace {
 
 std::atomic<ContractPolicy> g_policy{ContractPolicy::kAbort};
+std::atomic<ContractFailureHook> g_failure_hook{nullptr};
 
 }  // namespace
 
@@ -19,6 +20,14 @@ void set_contract_policy(ContractPolicy policy) noexcept {
   g_policy.store(policy, std::memory_order_relaxed);
 }
 
+ContractFailureHook contract_failure_hook() noexcept {
+  return g_failure_hook.load(std::memory_order_relaxed);
+}
+
+void set_contract_failure_hook(ContractFailureHook hook) noexcept {
+  g_failure_hook.store(hook, std::memory_order_relaxed);
+}
+
 namespace detail {
 
 [[noreturn]] void contract_fail(const char* kind, const char* expr,
@@ -27,6 +36,7 @@ namespace detail {
   std::snprintf(buf, sizeof(buf), "%s:%d: %s violated: %s%s%s", file, line,
                 kind, expr, msg != nullptr ? " — " : "",
                 msg != nullptr ? msg : "");
+  if (ContractFailureHook hook = contract_failure_hook()) hook(buf);
   if (contract_policy() == ContractPolicy::kThrow) {
     throw ContractViolation(buf);
   }

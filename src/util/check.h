@@ -53,6 +53,20 @@ class ScopedContractPolicy {
   ContractPolicy prev_;
 };
 
+/// Observer called with the formatted violation message ("file:line: kind
+/// violated: expr — msg") *before* the policy (throw/abort) runs, on the
+/// failing thread. Must not throw and must tolerate being called during
+/// unwinding — the intended use is flushing diagnostics (e.g. the obs
+/// flight recorder's dump-on-violation). nullptr disables it.
+using ContractFailureHook = void (*)(const char* message) noexcept;
+
+/// Currently installed hook (nullptr when none).
+ContractFailureHook contract_failure_hook() noexcept;
+
+/// Install/replace the process-global hook; returns nothing, callers that
+/// need nesting save contract_failure_hook() first.
+void set_contract_failure_hook(ContractFailureHook hook) noexcept;
+
 namespace detail {
 /// Reports a violation per the current policy. Never returns.
 [[noreturn]] void contract_fail(const char* kind, const char* expr,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/forensics.h"
 #include "obs/metrics.h"
 #include "util/check.h"
 
@@ -163,6 +164,19 @@ void DcfMac::run_until(TimeUs until) {
         if (collision) m->counter("wifi.mac.collisions_total").add(1);
         if (!collision && frame.is_cts) {
           m->counter("wifi.mac.nav_reservations_total").add(1);
+        }
+      }
+      // Forensics: each air transmission is one attempt; a collided tx is
+      // the drop (the retry-limit branch below re-submits the same frame,
+      // so it is not a second drop — this keeps attempts == decodes +
+      // drops at this stage).
+      if (auto* fx = obs::forensics()) {
+        fx->record_attempt(obs::DropStage::kWifiMac);
+        if (collision) {
+          fx->record_drop(obs::DropStage::kWifiMac,
+                          obs::DropReason::kCollision);
+        } else {
+          fx->record_decode(obs::DropStage::kWifiMac);
         }
       }
 

@@ -149,4 +149,10 @@ CaptureTrace load_capture_csv(const std::string& path) {
   return read_capture_csv(is);
 }
 
+std::string capture_csv_string(const CaptureTrace& trace) {
+  std::ostringstream os;
+  write_capture_csv(os, trace);
+  return std::move(os).str();
+}
+
 }  // namespace wb::wifi

@@ -27,4 +27,9 @@ std::size_t save_capture_csv(const std::string& path,
                              const CaptureTrace& trace);
 CaptureTrace load_capture_csv(const std::string& path);
 
+/// The CSV as one string — what drop sites hand to the obs forensics
+/// exemplar store (obs cannot name wifi types, so exemplars travel
+/// pre-serialized and stay replayable via `trace_io --in`).
+std::string capture_csv_string(const CaptureTrace& trace);
+
 }  // namespace wb::wifi

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <cstdint>
+
+namespace wb::obs {
+
+enum class DropStage : std::uint8_t {
+  kDecoder,
+};
+
+enum class DropReason : std::uint8_t {
+  kNoPreamble,
+  kCrcFail,
+};
+
+const char* to_string(DropStage stage) noexcept;
+const char* to_string(DropReason reason) noexcept;
+
+}  // namespace wb::obs

@@ -1,0 +1,10 @@
+#include "obs/forensics.h"
+
+namespace wb::reader {
+
+// kCrcFail is never recorded anywhere: dead taxonomy.
+wb::obs::DropReason classify() {
+  return wb::obs::DropReason::kNoPreamble;
+}
+
+}  // namespace wb::reader

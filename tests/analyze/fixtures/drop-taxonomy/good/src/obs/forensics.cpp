@@ -1,0 +1,23 @@
+#include "obs/forensics.h"
+
+namespace wb::obs {
+
+const char* to_string(DropStage stage) noexcept {
+  switch (stage) {
+    case DropStage::kDecoder:
+      return "decoder";
+  }
+  return "unknown";
+}
+
+const char* to_string(DropReason reason) noexcept {
+  switch (reason) {
+    case DropReason::kNoPreamble:
+      return "no_preamble";
+    case DropReason::kCrcFail:
+      return "crc_fail";
+  }
+  return "unknown";
+}
+
+}  // namespace wb::obs

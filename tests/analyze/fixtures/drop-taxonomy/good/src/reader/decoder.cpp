@@ -1,0 +1,10 @@
+#include "obs/forensics.h"
+
+namespace wb::reader {
+
+wb::obs::DropReason classify(bool synced) {
+  if (!synced) return wb::obs::DropReason::kNoPreamble;
+  return wb::obs::DropReason::kCrcFail;
+}
+
+}  // namespace wb::reader

@@ -1,0 +1,149 @@
+#include "obs/flight_recorder.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.h"
+#include "util/check.h"
+
+namespace wb::obs {
+namespace {
+
+TEST(FlightRecorder, OffByDefault) {
+  EXPECT_EQ(recorder(), nullptr);
+}
+
+TEST(FlightRecorder, ScopedInstallAndRestore) {
+  FlightRecorder outer(8);
+  {
+    ScopedFlightRecorder g(&outer);
+    EXPECT_EQ(recorder(), &outer);
+    {
+      FlightRecorder inner(8);
+      ScopedFlightRecorder g2(&inner);
+      EXPECT_EQ(recorder(), &inner);
+    }
+    EXPECT_EQ(recorder(), &outer);
+  }
+  EXPECT_EQ(recorder(), nullptr);
+}
+
+TEST(FlightRecorder, NullInstallSuppressesAnOuterRecorder) {
+  FlightRecorder outer(8);
+  ScopedFlightRecorder g(&outer);
+  {
+    ScopedFlightRecorder off(nullptr);
+    EXPECT_EQ(recorder(), nullptr);
+  }
+  EXPECT_EQ(recorder(), &outer);
+}
+
+TEST(FlightRecorder, RingKeepsOnlyTheNewestEvents) {
+  FlightRecorder rec(4);
+  for (int i = 0; i < 10; ++i) {
+    rec.log(TimeUs{i}, Severity::kInfo, "m", "e",
+            {{"i", static_cast<double>(i)}});
+  }
+  EXPECT_EQ(rec.total_logged(), 10u);
+  EXPECT_EQ(rec.size(), 4u);
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first, and only the newest four survive.
+  EXPECT_EQ(events.front().seq, 6u);
+  EXPECT_EQ(events.back().seq, 9u);
+  EXPECT_EQ(events.front().ts.ticks(), 6);
+}
+
+TEST(FlightRecorder, TruncatesLongStringsInsteadOfAllocating) {
+  FlightRecorder rec(2);
+  const std::string long_module(100, 'm');
+  const std::string long_message(300, 'x');
+  rec.log(TimeUs{1}, Severity::kWarn, long_module, long_message,
+          {{"k", 1.0}});
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_LT(std::string(events[0].module).size(), long_module.size());
+  EXPECT_LT(std::string(events[0].message).size(), long_message.size());
+}
+
+TEST(FlightRecorder, KeepsAtMostMaxFields) {
+  FlightRecorder rec(2);
+  rec.log(TimeUs{1}, Severity::kInfo, "m", "e",
+          {{"a", 1.0}, {"b", 2.0}, {"c", 3.0}, {"d", 4.0}, {"e", 5.0}});
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].num_fields, FlightRecorder::kMaxFields);
+}
+
+TEST(FlightRecorder, JsonlIsOneEventPerLine) {
+  FlightRecorder rec(4);
+  rec.log(TimeUs{5}, Severity::kError, "core", "boom", {{"x", 2.5}});
+  const std::string jsonl = rec.to_jsonl();
+  EXPECT_NE(jsonl.find("\"type\":\"event\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"severity\":\"error\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"module\":\"core\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"ts_us\":5"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"x\":2.5"), std::string::npos);
+}
+
+TEST(FlightRecorder, OffsetShiftsTimestamps) {
+  FlightRecorder rec(4);
+  rec.set_offset(TimeUs{1'000});
+  rec.log(TimeUs{5}, Severity::kInfo, "m", "e", {});
+  EXPECT_EQ(rec.events()[0].ts.ticks(), 1'005);
+}
+
+TEST(FlightRecorder, ScopedTraceOffsetShiftsRecorderClock) {
+  FlightRecorder rec(4);
+  ScopedFlightRecorder g(&rec);
+  {
+    ScopedTraceOffset shift(TimeUs{500});
+    recorder()->log(TimeUs{1}, Severity::kInfo, "m", "sub", {});
+  }
+  recorder()->log(TimeUs{2}, Severity::kInfo, "m", "outer", {});
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].ts.ticks(), 501);  // shifted onto the outer timeline
+  EXPECT_EQ(events[1].ts.ticks(), 2);    // restored
+}
+
+TEST(FlightRecorder, ContractDumpWritesRingOnFailure) {
+  const std::string path =
+      ::testing::TempDir() + "wb_contract_dump_test.jsonl";
+  std::remove(path.c_str());
+  FlightRecorder rec(8);
+  ScopedFlightRecorder g(&rec);
+  rec.log(TimeUs{1}, Severity::kInfo, "test", "before_failure", {});
+  {
+    ScopedContractPolicy policy(ContractPolicy::kThrow);
+    ScopedContractDump dump(path);
+    EXPECT_THROW(WB_REQUIRE(false, "intentional failure for dump test"),
+                 ContractViolation);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string content(1 << 16, '\0');
+  content.resize(std::fread(content.data(), 1, content.size(), f));
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_NE(content.find("before_failure"), std::string::npos);
+  // The failure itself is logged as a kError "contract" event. The full
+  // "file:line: precondition violated" message exceeds the ring's
+  // fixed-width message slot, so only the (truncated) head is pinned.
+  EXPECT_NE(content.find("\"module\":\"contract\""), std::string::npos);
+  EXPECT_NE(content.find("precondition violated"), std::string::npos);
+}
+
+TEST(FlightRecorder, ContractDumpRestoresPreviousHook) {
+  const ContractFailureHook prev = contract_failure_hook();
+  {
+    ScopedContractDump dump("/tmp/unused_dump.jsonl");
+    EXPECT_NE(contract_failure_hook(), prev);
+  }
+  EXPECT_EQ(contract_failure_hook(), prev);
+}
+
+}  // namespace
+}  // namespace wb::obs

@@ -1,0 +1,183 @@
+#include "obs/health.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+
+namespace wb::obs {
+namespace {
+
+// ------------------------------------------------------------- grammar
+
+TEST(SloGrammar, PlainCounterCeiling) {
+  const auto rule = parse_slo_rule("core.stream.queue_depth_peak_count<=64");
+  ASSERT_TRUE(rule.has_value());
+  EXPECT_EQ(rule->metric, "core.stream.queue_depth_peak_count");
+  EXPECT_TRUE(rule->denominator.empty());
+  EXPECT_EQ(rule->stat, SloRule::Stat::kValue);
+  EXPECT_EQ(rule->op, SloRule::Op::kLe);
+  EXPECT_DOUBLE_EQ(rule->bound, 64.0);
+  // Unnamed rules get the canonical spec as their name.
+  EXPECT_EQ(rule->name, "core.stream.queue_depth_peak_count<=64");
+}
+
+TEST(SloGrammar, NamedRatioRule) {
+  const auto rule = parse_slo_rule(
+      "ber=core.system.uplink_bit_errors_total/"
+      "core.system.uplink_bits_delivered_total<=0.01");
+  ASSERT_TRUE(rule.has_value());
+  EXPECT_EQ(rule->name, "ber");
+  EXPECT_EQ(rule->metric, "core.system.uplink_bit_errors_total");
+  EXPECT_EQ(rule->denominator, "core.system.uplink_bits_delivered_total");
+  EXPECT_DOUBLE_EQ(rule->bound, 0.01);
+}
+
+TEST(SloGrammar, HistogramStatAndFloor) {
+  const auto p99 = parse_slo_rule("reader.uplink.decode_us:p99<=5000");
+  ASSERT_TRUE(p99.has_value());
+  EXPECT_EQ(p99->metric, "reader.uplink.decode_us");
+  EXPECT_EQ(p99->stat, SloRule::Stat::kP99);
+
+  const auto floor = parse_slo_rule("tag.harvester.energy_uj>=1.0");
+  ASSERT_TRUE(floor.has_value());
+  EXPECT_EQ(floor->op, SloRule::Op::kGe);
+  EXPECT_DOUBLE_EQ(floor->bound, 1.0);
+}
+
+TEST(SloGrammar, MalformedSpecsAreRejected) {
+  EXPECT_FALSE(parse_slo_rule("").has_value());
+  EXPECT_FALSE(parse_slo_rule("no.operator.here").has_value());
+  EXPECT_FALSE(parse_slo_rule("m<=").has_value());          // no bound
+  EXPECT_FALSE(parse_slo_rule("m<=abc").has_value());       // bad bound
+  EXPECT_FALSE(parse_slo_rule("<=5").has_value());          // no metric
+  EXPECT_FALSE(parse_slo_rule("=m<=5").has_value());        // empty name
+  EXPECT_FALSE(parse_slo_rule("m/<=5").has_value());        // empty denom
+  EXPECT_FALSE(parse_slo_rule("m:p42<=5").has_value());     // unknown stat
+  EXPECT_FALSE(parse_slo_rule("a/b:p99<=5").has_value());   // ratio + stat
+}
+
+TEST(SloGrammar, ToStringRoundTrips) {
+  for (const char* spec :
+       {"a.b.c_total<=10", "x>=0.5", "lat=reader.uplink.decode_us:p95<=100",
+        "ber=errs/bits<=0.01"}) {
+    const auto rule = parse_slo_rule(spec);
+    ASSERT_TRUE(rule.has_value()) << spec;
+    const auto reparsed = parse_slo_rule(to_string(*rule));
+    ASSERT_TRUE(reparsed.has_value()) << to_string(*rule);
+    EXPECT_EQ(reparsed->name, rule->name);
+    EXPECT_EQ(reparsed->metric, rule->metric);
+    EXPECT_EQ(reparsed->denominator, rule->denominator);
+    EXPECT_EQ(reparsed->stat, rule->stat);
+    EXPECT_EQ(reparsed->op, rule->op);
+    EXPECT_DOUBLE_EQ(reparsed->bound, rule->bound);
+  }
+}
+
+// ---------------------------------------------------------- evaluation
+
+TEST(HealthMonitor, AddRuleRejectsMalformedSpecs) {
+  HealthMonitor mon;
+  EXPECT_FALSE(mon.add_rule("garbage"));
+  EXPECT_EQ(mon.num_rules(), 0u);
+  EXPECT_TRUE(mon.add_rule("m<=1"));
+  EXPECT_EQ(mon.num_rules(), 1u);
+}
+
+TEST(HealthMonitor, CounterGaugeAndHistogramRules) {
+  MetricsRegistry reg;
+  reg.counter("errs").add(2);
+  reg.counter("bits").add(400);
+  reg.gauge("energy").set(3.5);
+  for (int i = 0; i < 100; ++i) reg.histogram("lat").record(10.0);
+
+  HealthMonitor mon;
+  ASSERT_TRUE(mon.add_rule("ber=errs/bits<=0.01"));       // 0.005 -> ok
+  ASSERT_TRUE(mon.add_rule("energy>=1.0"));               // 3.5   -> ok
+  ASSERT_TRUE(mon.add_rule("lat:count>=100"));            // 100   -> ok
+  ASSERT_TRUE(mon.add_rule("errs<=1"));                   // 2     -> breach
+
+  const auto statuses = mon.evaluate(reg, TimeUs{0});
+  ASSERT_EQ(statuses.size(), 4u);
+  EXPECT_EQ(statuses[0].name, "ber");
+  EXPECT_TRUE(statuses[0].has_value);
+  EXPECT_DOUBLE_EQ(statuses[0].value, 0.005);
+  EXPECT_FALSE(statuses[0].breached);
+  EXPECT_DOUBLE_EQ(statuses[1].value, 3.5);
+  EXPECT_FALSE(statuses[1].breached);
+  EXPECT_DOUBLE_EQ(statuses[2].value, 100.0);
+  EXPECT_FALSE(statuses[2].breached);
+  EXPECT_TRUE(statuses[3].breached);
+  EXPECT_EQ(mon.breached_count(), 1u);
+}
+
+TEST(HealthMonitor, MissingInstrumentVacuousForCeilingBreachForFloor) {
+  MetricsRegistry reg;
+  HealthMonitor mon;
+  ASSERT_TRUE(mon.add_rule("never.measured<=10"));
+  ASSERT_TRUE(mon.add_rule("never.supplied>=1"));
+  const auto statuses = mon.evaluate(reg, TimeUs{0});
+  ASSERT_EQ(statuses.size(), 2u);
+  EXPECT_FALSE(statuses[0].has_value);
+  EXPECT_FALSE(statuses[0].breached);  // ceiling: nothing measured, nothing over
+  EXPECT_FALSE(statuses[1].has_value);
+  EXPECT_TRUE(statuses[1].breached);   // floor: the supply never materialised
+}
+
+TEST(HealthMonitor, ZeroDenominatorRatioIsZero) {
+  MetricsRegistry reg;
+  reg.counter("errs").add(5);
+  reg.counter("bits");  // registered, value 0
+  HealthMonitor mon;
+  ASSERT_TRUE(mon.add_rule("errs/bits<=0.01"));
+  const auto statuses = mon.evaluate(reg, TimeUs{0});
+  EXPECT_TRUE(statuses[0].has_value);
+  EXPECT_DOUBLE_EQ(statuses[0].value, 0.0);
+  EXPECT_FALSE(statuses[0].breached);
+}
+
+TEST(HealthMonitor, TransitionsLogOnceIntoTheRecorder) {
+  MetricsRegistry reg;
+  FlightRecorder rec(16);
+  HealthMonitor mon;
+  ASSERT_TRUE(mon.add_rule("floor=supply>=5"));
+
+  // Breach on the first evaluation (counter at 0): one kError event.
+  mon.evaluate(reg, TimeUs{100}, &rec);
+  EXPECT_EQ(mon.breached_count(), 1u);
+  ASSERT_EQ(rec.size(), 1u);
+  {
+    const auto events = rec.events();
+    EXPECT_EQ(events[0].severity, Severity::kError);
+    EXPECT_STREQ(events[0].module, "health");
+    EXPECT_NE(std::string(events[0].message).find("slo breach: floor"),
+              std::string::npos);
+    EXPECT_EQ(events[0].ts.ticks(), 100);
+  }
+
+  // Still breached: no second alert for the same condition.
+  mon.evaluate(reg, TimeUs{200}, &rec);
+  EXPECT_EQ(rec.size(), 1u);
+
+  // Supply arrives: one kInfo recovery event.
+  reg.counter("supply").add(10);
+  mon.evaluate(reg, TimeUs{300}, &rec);
+  EXPECT_EQ(mon.breached_count(), 0u);
+  ASSERT_EQ(rec.size(), 2u);
+  {
+    const auto events = rec.events();
+    EXPECT_EQ(events[1].severity, Severity::kInfo);
+    EXPECT_NE(std::string(events[1].message).find("slo recovered: floor"),
+              std::string::npos);
+    EXPECT_EQ(events[1].ts.ticks(), 300);
+  }
+
+  // Healthy again: still quiet.
+  mon.evaluate(reg, TimeUs{400}, &rec);
+  EXPECT_EQ(rec.size(), 2u);
+}
+
+}  // namespace
+}  // namespace wb::obs

@@ -71,6 +71,56 @@ TEST(LogHistogram, PercentileClampedToExactExtremes) {
   EXPECT_DOUBLE_EQ(h.percentile(100), 123.0);
 }
 
+TEST(LogHistogram, EmptyPercentileIsZeroForEveryP) {
+  // Pinned contract (metrics.h): an empty histogram answers exactly 0.0
+  // regardless of p, including out-of-range p.
+  LogHistogram h;
+  EXPECT_EQ(h.percentile(0), 0.0);
+  EXPECT_EQ(h.percentile(100), 0.0);
+  EXPECT_EQ(h.percentile(-10), 0.0);
+  EXPECT_EQ(h.percentile(250), 0.0);
+}
+
+TEST(LogHistogram, PercentileZeroIsLowestSampleHundredIsHighest) {
+  // Nearest-rank: p=0 floors to rank 1 (the lowest sample's bucket),
+  // p=100 is rank n (the highest sample's). With two samples far apart,
+  // the two ends must differ and each clamp to its exact extreme (each
+  // sits alone in its bucket, so the clamp gives the exact value).
+  LogHistogram h;
+  h.record(2.0);
+  h.record(512.0);
+  EXPECT_NEAR(h.percentile(0), 2.0, 0.2);       // within bucket error
+  EXPECT_NEAR(h.percentile(100), 512.0, 50.0);  // within bucket error
+  // Rank semantics are exact even though values are bucketed:
+  // p=50 with n=2 → rank ceil(1.0) = 1 → still the lowest sample;
+  // just past the halfway boundary → rank 2, the highest sample.
+  EXPECT_DOUBLE_EQ(h.percentile(50), h.percentile(0));
+  EXPECT_DOUBLE_EQ(h.percentile(51), h.percentile(100));
+  EXPECT_LT(h.percentile(50), h.percentile(51));
+}
+
+TEST(LogHistogram, OutOfRangePIsClampedNotUndefined) {
+  LogHistogram h;
+  h.record(2.0);
+  h.record(512.0);
+  EXPECT_DOUBLE_EQ(h.percentile(-5), h.percentile(0));
+  EXPECT_DOUBLE_EQ(h.percentile(1e9), h.percentile(100));
+}
+
+TEST(LogHistogram, SingleBucketAnswersSameValueForEveryP) {
+  // Many samples all within one geometric bucket (2^(1/8) ≈ 1.09 wide):
+  // every percentile is that bucket's midpoint clamped to the exact
+  // extremes, so all of [0, 100] answers the same value, inside [min,max].
+  LogHistogram h;
+  for (int i = 0; i < 100; ++i) h.record(100.0 + 0.01 * i);  // 100..100.99
+  const double p0 = h.percentile(0);
+  EXPECT_DOUBLE_EQ(h.percentile(25), p0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), p0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), p0);
+  EXPECT_GE(p0, h.min());
+  EXPECT_LE(p0, h.max());
+}
+
 TEST(LogHistogram, NonPositiveValuesLandInUnderflowBucket) {
   LogHistogram h;
   h.record(0.0);

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Tests for tools/wb_report_diff.py (registered in ctest as
+`tools_report_diff`). Drives the real CLI via subprocess, the same way
+check.sh and CI call it."""
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+TOOL = REPO / "tools" / "wb_report_diff.py"
+
+
+def report(counters=None, gauges=None, histograms=None, rows=None,
+           meta=None) -> dict:
+    return {
+        "meta": meta or {"tool": "t"},
+        "rows": rows or [],
+        "metrics": {
+            "counters": counters or {},
+            "gauges": gauges or {},
+            "histograms": histograms or {},
+        },
+    }
+
+
+class ReportDiffTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.tmp = Path(self._tmp.name)
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def run_diff(self, base: dict, cur: dict, *extra: str):
+        bpath = self.tmp / "base.json"
+        cpath = self.tmp / "cur.json"
+        bpath.write_text(json.dumps(base))
+        cpath.write_text(json.dumps(cur))
+        return subprocess.run(
+            [sys.executable, str(TOOL), str(bpath), str(cpath), *extra],
+            capture_output=True, text=True)
+
+    def test_identical_reports_exit_zero(self):
+        doc = report(counters={"a.b_total": 3})
+        p = self.run_diff(doc, doc)
+        self.assertEqual(p.returncode, 0, p.stdout + p.stderr)
+        self.assertIn("identical", p.stdout)
+
+    def test_changed_counter_is_reported_but_not_fatal(self):
+        p = self.run_diff(report(counters={"a.b_total": 3}),
+                          report(counters={"a.b_total": 6}))
+        self.assertEqual(p.returncode, 0)
+        self.assertIn("a.b_total: 3 -> 6", p.stdout)
+        self.assertIn("+100.00%", p.stdout)
+
+    def test_injected_metric_regression_fails_gate(self):
+        # The acceptance-criteria case: a gated metric regresses -> exit 1.
+        p = self.run_diff(
+            report(histograms={"reader.uplink.decode_wall_us": {
+                "count": 10, "p99": 100.0}}),
+            report(histograms={"reader.uplink.decode_wall_us": {
+                "count": 10, "p99": 120.0}}),
+            "--max-rel-increase", "reader.*.decode_wall_us:p99=5")
+        self.assertEqual(p.returncode, 1, p.stdout + p.stderr)
+        self.assertIn("GATE", p.stdout)
+        self.assertIn("decode_wall_us:p99", p.stdout)
+
+    def test_increase_within_gate_passes(self):
+        p = self.run_diff(
+            report(histograms={"x.wall_us": {"p99": 100.0}}),
+            report(histograms={"x.wall_us": {"p99": 103.0}}),
+            "--max-rel-increase", "x.wall_us:p99=5")
+        self.assertEqual(p.returncode, 0, p.stdout + p.stderr)
+
+    def test_decrease_never_breaches_gate(self):
+        p = self.run_diff(
+            report(counters={"x_total": 10}),
+            report(counters={"x_total": 2}),
+            "--max-rel-increase", "x_total=0")
+        self.assertEqual(p.returncode, 0, p.stdout + p.stderr)
+
+    def test_rise_from_zero_baseline_breaches_gate(self):
+        p = self.run_diff(
+            report(counters={"x_total": 0}),
+            report(counters={"x_total": 1}),
+            "--max-rel-increase", "x_total=50")
+        self.assertEqual(p.returncode, 1)
+
+    def test_new_drop_reason_always_printed(self):
+        p = self.run_diff(
+            report(counters={"forensics.reader_uplink.low_snr_total": 0}),
+            report(counters={"forensics.reader_uplink.low_snr_total": 4}),
+            "--quiet")
+        self.assertEqual(p.returncode, 0)  # informational without the gate
+        self.assertIn("drop-reason NEW: "
+                      "forensics.reader_uplink.low_snr_total = 4", p.stdout)
+
+    def test_fail_on_new_drop_reasons_gates(self):
+        p = self.run_diff(
+            report(),
+            report(counters={"forensics.reader_uplink.clipped_total": 2}),
+            "--fail-on-new-drop-reasons")
+        self.assertEqual(p.returncode, 1)
+        self.assertIn("GATE new-drop-reasons", p.stdout)
+
+    def test_vanished_drop_reason_printed(self):
+        p = self.run_diff(
+            report(counters={"forensics.wifi_mac.collision_total": 7}),
+            report(counters={"forensics.wifi_mac.collision_total": 0}))
+        self.assertEqual(p.returncode, 0)
+        self.assertIn("drop-reason GONE", p.stdout)
+
+    def test_meta_and_row_deltas_reported(self):
+        p = self.run_diff(
+            report(meta={"mode": "sweep"},
+                   rows=[{"row": "grid_point", "ber": 0.01}]),
+            report(meta={"mode": "sweep", "quick": True},
+                   rows=[{"row": "grid_point", "ber": 0.02}]))
+        self.assertEqual(p.returncode, 0)
+        self.assertIn("meta: 'quick' appeared", p.stdout)
+        self.assertIn("ber: 0.01 -> 0.02", p.stdout)
+
+    def test_malformed_input_exits_two(self):
+        bad = self.tmp / "bad.json"
+        bad.write_text("{not json")
+        ok = self.tmp / "ok.json"
+        ok.write_text(json.dumps(report()))
+        p = subprocess.run(
+            [sys.executable, str(TOOL), str(bad), str(ok)],
+            capture_output=True, text=True)
+        self.assertEqual(p.returncode, 2)
+
+    def test_bad_gate_spec_exits_two(self):
+        p = self.run_diff(report(), report(),
+                          "--max-rel-increase", "no-equals-sign")
+        self.assertEqual(p.returncode, 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

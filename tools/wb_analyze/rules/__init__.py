@@ -2,5 +2,6 @@
 from . import legacy        # noqa: F401
 from . import determinism   # noqa: F401
 from . import headers       # noqa: F401
+from . import obs           # noqa: F401
 from . import raii          # noqa: F401
 from . import units         # noqa: F401

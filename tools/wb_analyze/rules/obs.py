@@ -1,0 +1,85 @@
+"""Observability rules.
+
+  drop-taxonomy    the decode-forensics taxonomy (src/obs/forensics.h)
+                   must stay closed and live: every DropStage/DropReason
+                   enumerator needs an explicit `case` in its to_string()
+                   switch in forensics.cpp (a missing case means exported
+                   JSONL silently labels that value "unknown"), and every
+                   DropReason must be recorded somewhere in src/ outside
+                   src/obs/ (an unreferenced reason is dead taxonomy that
+                   reads as "this never happens" when really "nothing
+                   reports it")
+"""
+from __future__ import annotations
+
+import re
+
+from ..engine import Context, Rule, SourceFile, register
+
+ENUM_RE = re.compile(
+    r"enum\s+class\s+(DropStage|DropReason)\s*:\s*[A-Za-z0-9_:\s]+\{"
+    r"([^}]*)\}", re.S)
+
+ENUMERATOR_RE = re.compile(r"\bk[A-Z][A-Za-z0-9]*\b")
+
+
+def _enumerators(header_code: str) -> dict[str, list[str]]:
+    """Enum name -> enumerator list, parsed from forensics.h."""
+    out: dict[str, list[str]] = {}
+    for m in ENUM_RE.finditer(header_code):
+        out[m.group(1)] = ENUMERATOR_RE.findall(m.group(2))
+    return out
+
+
+@register
+class DropTaxonomy(Rule):
+    name = "drop-taxonomy"
+    family = "observability"
+    severity = "error"
+    description = ("every DropStage/DropReason enumerator must have an "
+                   "explicit `case` in its to_string() switch in "
+                   "src/obs/forensics.cpp, and every DropReason must be "
+                   "referenced in src/ outside src/obs/ — a reason nothing "
+                   "records is dead taxonomy")
+
+    def check_tree(self, ctx: Context) -> None:
+        header = _find(ctx, "src/obs/forensics.h")
+        if header is None:
+            return  # tree without the forensics layer: nothing to check
+        enums = _enumerators(header.code)
+        impl = _find(ctx, "src/obs/forensics.cpp")
+        if impl is None:
+            ctx.report(self, header.rel, 1,
+                       "src/obs/forensics.cpp is missing: to_string() "
+                       "switches cannot be checked")
+            return
+
+        for enum_name, enumerators in sorted(enums.items()):
+            for enumerator in enumerators:
+                case_re = re.compile(
+                    r"case\s+" + re.escape(enum_name) + r"\s*::\s*" +
+                    re.escape(enumerator) + r"\b")
+                if not case_re.search(impl.code):
+                    ctx.report(self, impl.rel, 1,
+                               f"{enum_name}::{enumerator} has no `case` in "
+                               f"a switch in forensics.cpp: to_string() "
+                               f"would export it as \"unknown\"")
+
+        reasons = enums.get("DropReason", [])
+        use_files = [f for f in ctx.files
+                     if f.top == "src" and f.module != "obs"]
+        for enumerator in reasons:
+            use_re = re.compile(r"DropReason\s*::\s*" +
+                                re.escape(enumerator) + r"\b")
+            if not any(use_re.search(f.code) for f in use_files):
+                ctx.report(self, header.rel, 1,
+                           f"DropReason::{enumerator} is never referenced "
+                           f"in src/ outside src/obs/: either record it at "
+                           f"a failure exit or retire the enumerator")
+
+
+def _find(ctx: Context, rel: str) -> SourceFile | None:
+    for f in ctx.files:
+        if f.rel == rel:
+            return f
+    return None

@@ -1,0 +1,205 @@
+#!/usr/bin/env python3
+"""Compare two obs::RunReport JSON artifacts (baseline vs current).
+
+Reports, in order:
+  * meta keys that changed, appeared, or vanished;
+  * row-count changes and per-row field deltas (rows matched by index);
+  * metric deltas over a flattened metric map — counters and gauges by
+    name, histograms as `name:stat` for each exported stat — with
+    absolute and relative change;
+  * new / vanished metrics, with `forensics.*` counters (the decode drop
+    taxonomy) always listed explicitly even when --quiet.
+
+Gates (any breach exits 1):
+  --max-rel-increase PATTERN=PCT
+        fnmatch PATTERN over flattened metric names; a matched metric may
+        not increase by more than PCT percent relative to baseline
+        (baseline 0 -> any increase breaches). Repeatable.
+  --fail-on-new-drop-reasons
+        breach when a forensics.* counter is nonzero in current but
+        absent or zero in baseline: a drop reason that never fired before
+        is firing now.
+
+Exit codes: 0 = no gated regressions, 1 = at least one gate breached,
+2 = usage or unreadable/malformed input. Differences alone never fail:
+without gates the tool is purely informational.
+"""
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import json
+import sys
+
+HIST_STATS = ("count", "sum", "min", "max", "p50", "p95", "p99")
+
+
+def load_report(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"wb_report_diff: cannot read {path}: {e}", file=sys.stderr)
+        raise SystemExit(2)
+    if not isinstance(doc, dict):
+        print(f"wb_report_diff: {path}: not a JSON object", file=sys.stderr)
+        raise SystemExit(2)
+    return doc
+
+
+def flatten_metrics(doc: dict) -> dict[str, float]:
+    """Counters/gauges by name; histograms as `name:stat`."""
+    out: dict[str, float] = {}
+    metrics = doc.get("metrics", {}) or {}
+    for kind in ("counters", "gauges"):
+        for name, value in (metrics.get(kind, {}) or {}).items():
+            out[name] = float(value)
+    for name, stats in (metrics.get("histograms", {}) or {}).items():
+        for stat in HIST_STATS:
+            if stat in stats:
+                out[f"{name}:{stat}"] = float(stats[stat])
+    return out
+
+
+def rel_change(base: float, cur: float) -> float | None:
+    """Relative change in percent; None when baseline is zero."""
+    if base == 0.0:
+        return None
+    return (cur - base) / abs(base) * 100.0
+
+
+def fmt_rel(base: float, cur: float) -> str:
+    r = rel_change(base, cur)
+    return f"{r:+.2f}%" if r is not None else "n/a (baseline 0)"
+
+
+def diff_meta(base: dict, cur: dict, out: list[str]) -> None:
+    bmeta, cmeta = base.get("meta", {}) or {}, cur.get("meta", {}) or {}
+    for key in sorted(set(bmeta) | set(cmeta)):
+        if key not in cmeta:
+            out.append(f"meta: '{key}' vanished (was {bmeta[key]!r})")
+        elif key not in bmeta:
+            out.append(f"meta: '{key}' appeared ({cmeta[key]!r})")
+        elif bmeta[key] != cmeta[key]:
+            out.append(f"meta: '{key}': {bmeta[key]!r} -> {cmeta[key]!r}")
+
+
+def diff_rows(base: dict, cur: dict, out: list[str]) -> None:
+    brows, crows = base.get("rows", []) or [], cur.get("rows", []) or []
+    if len(brows) != len(crows):
+        out.append(f"rows: count {len(brows)} -> {len(crows)}")
+    for i, (b, c) in enumerate(zip(brows, crows)):
+        label = f"row[{i}] ({c.get('row', '?')})"
+        for key in sorted(set(b) | set(c)):
+            if key not in c:
+                out.append(f"{label}: field '{key}' vanished")
+            elif key not in b:
+                out.append(f"{label}: field '{key}' appeared ({c[key]!r})")
+            elif b[key] != c[key]:
+                delta = ""
+                if isinstance(b[key], (int, float)) and \
+                        isinstance(c[key], (int, float)) and \
+                        not isinstance(b[key], bool):
+                    delta = f" ({fmt_rel(float(b[key]), float(c[key]))})"
+                out.append(f"{label}: {key}: {b[key]!r} -> {c[key]!r}{delta}")
+
+
+def is_drop_counter(name: str) -> bool:
+    return name.startswith("forensics.") and ":" not in name
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(
+        prog="wb_report_diff", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("baseline", help="baseline RunReport JSON")
+    ap.add_argument("current", help="current RunReport JSON")
+    ap.add_argument("--max-rel-increase", action="append", default=[],
+                    metavar="PATTERN=PCT",
+                    help="gate: matched metrics may not rise more than "
+                         "PCT%% over baseline (repeatable)")
+    ap.add_argument("--fail-on-new-drop-reasons", action="store_true",
+                    help="gate: fail when a forensics.* counter fires "
+                         "that was silent in the baseline")
+    ap.add_argument("--quiet", action="store_true",
+                    help="print only gate breaches and the forensics "
+                         "summary")
+    args = ap.parse_args(argv)
+
+    gates: list[tuple[str, float]] = []
+    for spec in args.max_rel_increase:
+        pattern, eq, pct = spec.partition("=")
+        try:
+            if not eq or not pattern:
+                raise ValueError(spec)
+            gates.append((pattern, float(pct)))
+        except ValueError:
+            print(f"wb_report_diff: bad --max-rel-increase '{spec}' "
+                  f"(want PATTERN=PCT)", file=sys.stderr)
+            return 2
+
+    base_doc = load_report(args.baseline)
+    cur_doc = load_report(args.current)
+    base = flatten_metrics(base_doc)
+    cur = flatten_metrics(cur_doc)
+
+    info: list[str] = []
+    diff_meta(base_doc, cur_doc, info)
+    diff_rows(base_doc, cur_doc, info)
+
+    for name in sorted(set(base) & set(cur)):
+        if base[name] != cur[name]:
+            info.append(f"metric {name}: {base[name]:g} -> {cur[name]:g} "
+                        f"({fmt_rel(base[name], cur[name])})")
+
+    new_names = sorted(set(cur) - set(base))
+    gone_names = sorted(set(base) - set(cur))
+    for name in new_names:
+        info.append(f"metric {name}: new ({cur[name]:g})")
+    for name in gone_names:
+        info.append(f"metric {name}: vanished (was {base[name]:g})")
+
+    if not args.quiet:
+        for line in info:
+            print(line)
+        if not info:
+            print("wb_report_diff: reports are identical")
+
+    # The drop-taxonomy summary always prints: a reason that starts (or
+    # stops) firing is the headline of any decode regression.
+    new_drops = [n for n in cur
+                 if is_drop_counter(n) and cur[n] > 0.0
+                 and base.get(n, 0.0) == 0.0]
+    gone_drops = [n for n in base
+                  if is_drop_counter(n) and base[n] > 0.0
+                  and cur.get(n, 0.0) == 0.0]
+    for name in sorted(new_drops):
+        print(f"drop-reason NEW: {name} = {cur[name]:g}")
+    for name in sorted(gone_drops):
+        print(f"drop-reason GONE: {name} (was {base[name]:g})")
+
+    breaches: list[str] = []
+    for pattern, pct in gates:
+        for name in sorted(set(base) | set(cur)):
+            if not fnmatch.fnmatch(name, pattern):
+                continue
+            b, c = base.get(name, 0.0), cur.get(name, 0.0)
+            if c <= b:
+                continue
+            r = rel_change(b, c)
+            if r is None or r > pct:
+                shown = f"{r:.2f}%" if r is not None else "inf"
+                breaches.append(
+                    f"GATE {pattern}<=+{pct:g}%: {name} rose {shown} "
+                    f"({b:g} -> {c:g})")
+    if args.fail_on_new_drop_reasons and new_drops:
+        breaches.append(
+            "GATE new-drop-reasons: " + ", ".join(sorted(new_drops)))
+
+    for line in breaches:
+        print(line)
+    return 1 if breaches else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
