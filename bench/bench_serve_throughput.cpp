@@ -1,0 +1,294 @@
+// Measures the live-capture service's sustained ingest throughput: N
+// staggered replicas of one decodable capture merged in timestamp order
+// and pushed through CaptureService::submit() + drain_all(), exactly the
+// wb_experiment_cli `serve` path.
+//
+// Emits BENCH_serve.json (an obs::RunReport):
+//   rows  sessions_1 / sessions_8 with records_per_pass, pkts_per_sec,
+//         ns_per_record, allocs_per_record, frames_per_pass, and submit
+//         latency percentiles (latency_p50_ns/p95/p99) from a separate
+//         untimed pass
+//   meta  ring/policy/threads of the measured configuration
+//
+// scripts/validate_bench_serve.py gates on allocs_per_record == 0 for
+// the steady-state ingest+dispatch path (ring, pending queues, frame
+// rings, and decoder workspaces are preallocated; the forensics exemplar
+// cap fills during warmup) and frames_per_pass == sessions (drain loses
+// no decodable frame). The block-producer policy is measured: it is the
+// only one that admits every record, so the frame gate is exact.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "core/uplink_sim.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "serve/capture_service.h"
+#include "tag/modulator.h"
+#include "util/args.h"
+#include "wifi/replay.h"
+#include "wifi/traffic.h"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+
+}  // namespace
+
+// Binary-local allocation instrumentation, as in bench_obs_overhead: the
+// delta across a measured loop is exactly its allocation count.
+//
+// GCC's -Wmismatched-new-delete inlines the delete below to free() and
+// flags it against operator new; the pair is consistent (both sides go
+// through malloc/free), so silence the false positive for this TU.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace wb;
+
+constexpr std::size_t kPayloadBits = 24;
+constexpr TimeUs kBitUs{5'000};
+constexpr TimeUs kStagger{1'733};
+constexpr std::size_t kRing = 64;
+
+/// One decodable frame (preamble + 24-bit payload at 0.7 s) over helper
+/// CBR traffic — the per-session streaming decoders emit exactly one
+/// frame per full pass.
+const wifi::CaptureTrace& shared_trace() {
+  static const wifi::CaptureTrace trace = [] {
+    core::UplinkSimConfig cfg;
+    cfg.channel.tag_pos = {0.08, 0.0};
+    cfg.channel.helper_pos = {3.08, 0.0};
+    cfg.seed = 17;
+    sim::RngStream rng(1);
+    auto traffic_rng = rng.fork("t");
+    const auto tl = wifi::make_cbr_timeline(3'000, TimeUs{1'200'000},
+                                            wifi::TrafficParams{},
+                                            traffic_rng);
+    BitVec frame = barker13();
+    const auto payload = random_bits(kPayloadBits, 5);
+    frame.insert(frame.end(), payload.begin(), payload.end());
+    tag::Modulator mod(frame, kBitUs, TimeUs{700'000});
+    core::UplinkSim sim(cfg);
+    return sim.run(tl, mod);
+  }();
+  return trace;
+}
+
+serve::ServeConfig serve_config(std::size_t sessions) {
+  serve::ServeConfig cfg;
+  cfg.ring_capacity = kRing;
+  cfg.policy = serve::BackpressurePolicy::kBlockProducer;
+  cfg.max_sessions = sessions;
+  cfg.dispatch_threads = 1;  // the alloc-gated deterministic inline path
+  cfg.decoder.decoder.payload_bits = kPayloadBits;
+  cfg.decoder.decoder.bit_duration_us = kBitUs;
+  // A frame-ring slot's payload storage is first-touch allocated; a small
+  // ring models a consumer that keeps up, so the warmup passes (one frame
+  // per pass) warm every slot and steady state reuses them.
+  cfg.frame_capacity = 2;
+  return cfg;
+}
+
+struct Sample {
+  double records_per_pass = 0.0;
+  double pkts_per_sec = 0.0;
+  double ns_per_record = 0.0;
+  double allocs_per_record = 0.0;
+  double frames_per_pass = 0.0;
+  double latency_p50_ns = 0.0;
+  double latency_p95_ns = 0.0;
+  double latency_p99_ns = 0.0;
+};
+
+/// One full service pass: every staggered record submitted in merged
+/// timestamp order, then the stranded tails drained. `epoch` shifts the
+/// whole pass forward in service time — the per-session decoders require
+/// monotone timestamps across their lifetime, so each pass replays the
+/// same air at a later epoch, exactly like a tag re-keying the same
+/// payload.
+std::size_t run_pass(serve::CaptureService& svc, wifi::MultiSessionFeed& feed,
+                     TimeUs epoch) {
+  feed.rewind();
+  std::uint32_t session = 0;
+  wifi::CaptureRecord rec{};
+  while (feed.next(session, rec)) {
+    rec.timestamp_us = rec.timestamp_us + epoch;
+    const auto err = svc.submit(session, rec);
+    if (!err.ok()) {
+      std::fprintf(stderr, "submit failed: %s\n",
+                   serve::to_string(err.code()));
+      std::exit(1);
+    }
+  }
+  return svc.drain_all();
+}
+
+/// Times full passes after three warmup passes (ring/pending/frame/
+/// workspace capacities reach steady state and the forensics exemplar
+/// caps fill).
+/// The timed window repeats kReps times and the *minimum* is reported —
+/// noise only ever adds time. The allocation delta spans all repetitions
+/// (the budget is zero, so any rep allocating fails regardless of which).
+/// Submit latency percentiles come from one extra untimed pass so the
+/// clock reads never perturb the throughput numbers.
+Sample measure(std::size_t sessions, int iters) {
+  constexpr int kReps = 3;
+  serve::CaptureService svc(serve_config(sessions));
+  for (std::uint32_t id = 0; id < sessions; ++id) {
+    const auto err = svc.attach(id);
+    if (!err.ok()) {
+      std::fprintf(stderr, "attach failed: %s\n",
+                   serve::to_string(err.code()));
+      std::exit(1);
+    }
+  }
+  wifi::MultiSessionFeed feed(
+      wifi::fan_out(shared_trace(), sessions, kStagger));
+  const auto records = static_cast<double>(feed.remaining());
+  // One pass spans the base trace plus the last session's stagger; space
+  // epochs a second apart beyond that so passes never overlap in time.
+  const TimeUs period =
+      shared_trace().back().timestamp_us +
+      kStagger * static_cast<std::int64_t>(sessions) + TimeUs{1'000'000};
+  std::int64_t pass = 0;
+  const auto next_epoch = [&] {
+    return period * pass++;
+  };
+
+  // Three warmup passes: capacities reach steady state in the first, and
+  // the forensics exemplar caps (2 per cell) fill by the third even for
+  // cells that fire once per pass — the inter-epoch gap scan drops one
+  // no_preamble per pass starting at the *second* pass, so its cell
+  // saturates during the third. Any later serialization would allocate.
+  std::size_t drained = 0;
+  drained = run_pass(svc, feed, next_epoch());
+  drained = run_pass(svc, feed, next_epoch());
+  drained = run_pass(svc, feed, next_epoch());
+
+  const std::uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
+  double best_ns = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    // wb-analyze: allow(no-wallclock): wall-clock is the measurand here — this timing harness reports pkts/sec, never feeds results
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) {
+      drained = run_pass(svc, feed, next_epoch());
+      benchmark::DoNotOptimize(drained);
+    }
+    // wb-analyze: allow(no-wallclock): wall-clock is the measurand here (end of the timed window)
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ns =
+        std::chrono::duration<double, std::nano>(t1 - t0).count();
+    if (rep == 0 || ns < best_ns) best_ns = ns;
+  }
+  const std::uint64_t a1 = g_allocs.load(std::memory_order_relaxed);
+
+  const std::uint64_t frames_before = svc.frames_total();
+  obs::LogHistogram latency;
+  {
+    const TimeUs epoch = next_epoch();
+    feed.rewind();
+    std::uint32_t session = 0;
+    wifi::CaptureRecord rec{};
+    while (feed.next(session, rec)) {
+      rec.timestamp_us = rec.timestamp_us + epoch;
+      // wb-analyze: allow(no-wallclock): wall-clock is the measurand here — per-submit latency feeding the reported percentiles only
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto err = svc.submit(session, rec);
+      // wb-analyze: allow(no-wallclock): wall-clock is the measurand here (end of the latency window)
+      const auto t1 = std::chrono::steady_clock::now();
+      benchmark::DoNotOptimize(err.ok());
+      latency.record(
+          std::chrono::duration<double, std::nano>(t1 - t0).count());
+    }
+    svc.drain_all();
+  }
+
+  Sample s;
+  s.records_per_pass = records;
+  const double per_pass_ns = best_ns / static_cast<double>(iters);
+  s.pkts_per_sec = records / (per_pass_ns * 1e-9);
+  s.ns_per_record = per_pass_ns / records;
+  s.allocs_per_record = static_cast<double>(a1 - a0) /
+                        (static_cast<double>(kReps * iters) * records);
+  // Every pass decodes the same frames; the untimed latency pass ran once
+  // after frames_before was read, so the delta is one pass's yield.
+  s.frames_per_pass =
+      static_cast<double>(svc.frames_total() - frames_before);
+  s.latency_p50_ns = latency.percentile(50.0);
+  s.latency_p95_ns = latency.percentile(95.0);
+  s.latency_p99_ns = latency.percentile(99.0);
+  return s;
+}
+
+int run(const std::string& path, bool quick) {
+  const std::size_t session_counts[] = {1, 8};
+  const int iters = quick ? 2 : 8;
+
+  obs::RunReport report;
+  report.set_meta("bench", "serve_throughput");
+  report.set_meta("quick", quick);
+  report.set_meta("iters", static_cast<double>(iters));
+  report.set_meta("trace_records", static_cast<double>(shared_trace().size()));
+  report.set_meta("ring_capacity", static_cast<double>(kRing));
+  report.set_meta("policy", "block_producer");
+  report.set_meta("dispatch_threads", 1.0);
+
+  for (const std::size_t sessions : session_counts) {
+    const Sample s = measure(sessions, iters);
+    const std::string row = "sessions_" + std::to_string(sessions);
+    report.add_row(row)
+        .set("sessions", static_cast<double>(sessions))
+        .set("records_per_pass", s.records_per_pass)
+        .set("pkts_per_sec", s.pkts_per_sec)
+        .set("ns_per_record", s.ns_per_record)
+        .set("allocs_per_record", s.allocs_per_record)
+        .set("frames_per_pass", s.frames_per_pass)
+        .set("latency_p50_ns", s.latency_p50_ns)
+        .set("latency_p95_ns", s.latency_p95_ns)
+        .set("latency_p99_ns", s.latency_p99_ns);
+    std::printf("sessions %zu: %.0f pkts/s (%.0f ns/record, "
+                "%.2f allocs/record), %.0f frame(s)/pass, "
+                "submit p50/p95/p99 %.0f/%.0f/%.0f ns\n",
+                sessions, s.pkts_per_sec, s.ns_per_record,
+                s.allocs_per_record, s.frames_per_pass, s.latency_p50_ns,
+                s.latency_p95_ns, s.latency_p99_ns);
+  }
+
+  if (!report.write_json(path)) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("json report: %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const std::string json_path = args.str("--json-out", "BENCH_serve.json");
+  return run(json_path, args.flag("--quick"));
+}

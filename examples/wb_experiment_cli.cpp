@@ -14,6 +14,10 @@
 //                              [--pkts-per-bit A,B,...] [--helper-pps N]
 //                              [--runs N] [--seed N] [--rssi]
 //                              [--threads N] [--json-out FILE]
+//   wb_experiment_cli serve    [--in FILE] [--sessions N] [--ring N]
+//                              [--policy block|drop-oldest|drop-newest]
+//                              [--threads N] [--packets N] [--distance M]
+//                              [--stagger-us N] [--seed N]
 //
 // `trace` writes a capture CSV (an alternating-bit tag) that external
 // tools — or `read_capture_csv` — can consume; `trace --in` reads one
@@ -23,6 +27,11 @@
 // wb::runner worker threads (default: hardware concurrency), emitting one
 // obs::RunReport for the whole grid — rows in grid order, per-task
 // metrics merged in task order, bit-identical output at any --threads.
+// `serve` replays a capture (recorded via `trace --out`, or synthetic)
+// as N staggered concurrent sessions through the wb::serve
+// CaptureService and prints per-session decodes plus the service's
+// property snapshot; with --forensics-out the merged serve forensics
+// (ingest ledger + per-session decode taxonomy) lands in the JSONL.
 //
 // Observability (any mode):
 //   --metrics-out FILE   write a JSON run report with every wb::obs metric
@@ -54,10 +63,12 @@
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "runner/sweep.h"
+#include "serve/capture_service.h"
 #include "sim/event_queue.h"
 #include "tag/modulator.h"
 #include "util/args.h"
 #include "util/stats.h"
+#include "wifi/replay.h"
 #include "wifi/trace_io.h"
 
 namespace {
@@ -314,13 +325,139 @@ int run_sweep(const util::Args& args) {
   return 0;
 }
 
+bool parse_policy(const std::string& s, serve::BackpressurePolicy& out) {
+  if (s.empty() || s == "block") {
+    out = serve::BackpressurePolicy::kBlockProducer;
+  } else if (s == "drop-oldest") {
+    out = serve::BackpressurePolicy::kDropOldest;
+  } else if (s == "drop-newest") {
+    out = serve::BackpressurePolicy::kDropNewest;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+int run_serve(const util::Args& args) {
+  serve::ServeConfig cfg;
+  const std::size_t sessions = args.size("--sessions", 3);
+  cfg.max_sessions = sessions;
+  cfg.ring_capacity = args.size("--ring", 256);
+  cfg.dispatch_threads = static_cast<unsigned>(args.u64("--threads", 1));
+  if (!parse_policy(args.str("--policy"), cfg.policy)) {
+    std::fprintf(stderr,
+                 "unknown --policy '%s' (block|drop-oldest|drop-newest)\n",
+                 args.str("--policy").c_str());
+    return 2;
+  }
+  const std::size_t payload_bits = args.size("--payload-bits", 24);
+  const TimeUs bit_us = TimeUs::from_us(args.num("--bit-us", 5'000));
+  cfg.decoder.decoder.payload_bits = payload_bits;
+  cfg.decoder.decoder.bit_duration_us = bit_us;
+  const std::uint64_t seed = args.u64("--seed", 1);
+
+  // Source capture: a recorded CSV, or a synthetic frame (the streaming
+  // decoder's preamble + payload at 0.7 s) over helper CBR traffic.
+  wifi::CaptureTrace trace;
+  const std::string in = args.str("--in");
+  if (!in.empty()) {
+    try {
+      trace = wifi::load_capture_csv(in);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+  } else {
+    const auto packets = args.size("--packets", 3'600);
+    const double distance = args.num("--distance", 0.08);
+    core::UplinkSimConfig sim_cfg;
+    sim_cfg.channel.tag_pos = {distance, 0.0};
+    sim_cfg.channel.helper_pos = {distance + 3.0, 0.0};
+    sim_cfg.seed = seed;
+    const double pps = 3'000.0;
+    const TimeUs until = TimeUs{static_cast<std::int64_t>(
+        static_cast<double>(packets) / pps * 1e6)};
+    sim::RngStream rng(seed);
+    auto traffic_rng = rng.fork("t");
+    const auto tl = wifi::make_cbr_timeline(pps, until, wifi::TrafficParams{},
+                                            traffic_rng);
+    BitVec frame = barker13();
+    const BitVec payload = random_bits(payload_bits, seed);
+    frame.insert(frame.end(), payload.begin(), payload.end());
+    tag::Modulator mod(frame, bit_us, TimeUs{700'000});
+    core::UplinkSim sim(sim_cfg);
+    trace = sim.run(tl, mod);
+  }
+  if (trace.empty()) {
+    std::fprintf(stderr, "serve: capture is empty\n");
+    return 1;
+  }
+
+  serve::CaptureService svc(cfg);
+  for (std::uint32_t id = 0; id < sessions; ++id) {
+    const auto err = svc.attach(id);
+    if (!err.ok()) {
+      std::fprintf(stderr, "attach %u: %s (%s)\n", id,
+                   serve::to_string(err.code()), err.message().c_str());
+      return 1;
+    }
+  }
+
+  // Replay the capture as `sessions` concurrent time-staggered streams
+  // merged in global timestamp order — what a live multi-NIC feed looks
+  // like to the service.
+  const TimeUs stagger = TimeUs::from_us(args.num("--stagger-us", 1'733));
+  wifi::MultiSessionFeed feed(wifi::fan_out(trace, sessions, stagger));
+  std::uint32_t session = 0;
+  wifi::CaptureRecord rec{};
+  while (feed.next(session, rec)) {
+    const auto err = svc.submit(session, rec);
+    if (!err.ok()) {
+      std::fprintf(stderr, "submit (session %u): %s (%s)\n", session,
+                   serve::to_string(err.code()), err.message().c_str());
+      return 1;
+    }
+  }
+  const std::size_t drained = svc.drain_all();
+
+  std::printf("serve: %zu sessions x %zu records, ring %zu (%s), "
+              "threads %u\n",
+              sessions, trace.size(), cfg.ring_capacity,
+              serve::to_string(cfg.policy), cfg.dispatch_threads);
+  for (std::uint32_t id = 0; id < sessions; ++id) {
+    const serve::Session* s = svc.find(id);
+    if (s == nullptr) continue;
+    std::printf("  session %-3u state=%-8s records=%llu frames=%llu\n", id,
+                serve::to_string(s->state()),
+                static_cast<unsigned long long>(s->records_dispatched()),
+                static_cast<unsigned long long>(s->frames_total()));
+  }
+  std::printf("  drained %zu frame(s) at shutdown\n", drained);
+  std::printf("properties:\n");
+  for (const auto& kv : svc.properties()) {
+    std::printf("  %-36s %s\n", kv.first.c_str(), kv.second.c_str());
+  }
+
+  svc.publish_metrics();
+  // Fold the service's forensics (ingest ledger + per-session decode
+  // taxonomy) into the --forensics-out sink, if one is installed.
+  if (auto* fx = obs::forensics()) svc.merge_forensics_into(*fx);
+  const auto err = svc.stop();
+  if (!err.ok()) {
+    std::fprintf(stderr, "stop: %s\n", serve::to_string(err.code()));
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(
         stderr,
-        "usage: %s {uplink|coded|downlink|trace|query|sweep} [options]\n",
+        "usage: %s {uplink|coded|downlink|trace|query|sweep|serve} "
+        "[options]\n",
         argv[0]);
     return 2;
   }
@@ -371,6 +508,7 @@ int main(int argc, char** argv) {
   else if (mode == "trace") rc = run_trace(args);
   else if (mode == "query") rc = run_query(args);
   else if (mode == "sweep") rc = run_sweep(args);
+  else if (mode == "serve") rc = run_serve(args);
   else std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
 
   if (!metrics_out.empty()) {

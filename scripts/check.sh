@@ -5,7 +5,7 @@
 #   build     ASan+UBSan build, -Werror        (build dir: build-check/)
 #   test      full ctest under the sanitizers
 #   tsan      TSan build of the concurrency surface (build-tsan/) running
-#             the runner + obs test binaries
+#             the runner + obs + serve test binaries
 #   clang     clang build with -Wthread-safety -Werror (build-clang/):
 #             statically proves the WB_GUARDED_BY/WB_REQUIRES capability
 #             annotations and that the units layer is warnings-clean on
@@ -14,14 +14,18 @@
 #   obs       observability smoke: one CLI query exchange, --metrics-out /
 #             --trace-out validated as JSON covering all six modules;
 #             --forensics-out JSONL diffed against the DropReason enum
-#             (exact two-way coverage) and a sweep byte-compared at
-#             --threads 1 vs 8
+#             (exact two-way coverage), a sweep byte-compared at
+#             --threads 1 vs 8, and the serve mode's stdout + forensics
+#             byte-compared at --threads 1 vs 8
 #   tidy      clang-tidy over src/  (skipped with a notice if not installed)
 #   perf      Release perf gate: bench_decoder_micro --json-out must show a
-#             zero-allocation workspace decode (validate_bench_decoder.py)
-#             and bench_obs_overhead must hold the forensics budget — <=5%
+#             zero-allocation workspace decode (validate_bench_decoder.py),
+#             bench_obs_overhead must hold the forensics budget — <=5%
 #             decode overhead, zero steady-state allocations
-#             (validate_bench_obs.py)
+#             (validate_bench_obs.py) — and bench_serve_throughput must
+#             sustain 8 concurrent sessions with zero steady-state
+#             ingest/dispatch allocations and a lossless drain
+#             (validate_bench_serve.py)
 #
 # Usage: scripts/check.sh [-j N] [--fast] [--only STEP ...]
 #   --fast        analyze + plain build (build-fast/, no sanitizers) + unit
@@ -90,10 +94,12 @@ step_tsan() {
     -DWB_SANITIZE=thread -DWB_WERROR=ON \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
   cmake --build "$TSAN_DIR" -j "$JOBS" \
-    --target test_runner_thread_pool test_runner_sweep test_obs_metrics
+    --target test_runner_thread_pool test_runner_sweep test_obs_metrics \
+             test_serve_service
   "$TSAN_DIR/tests/test_runner_thread_pool"
   "$TSAN_DIR/tests/test_runner_sweep"
   "$TSAN_DIR/tests/test_obs_metrics"
+  "$TSAN_DIR/tests/test_serve_service"
 }
 
 step_clang() {
@@ -182,6 +188,24 @@ PY
   done
   cmp "$tmp/sweep.t1.jsonl" "$tmp/sweep.t8.jsonl"
   echo "    forensics: sweep JSONL byte-identical at --threads 1 vs 8"
+  # Live-capture service determinism: the same multi-session replay with
+  # inline dispatch and an 8-worker pool must print the same report and
+  # export byte-identical merged forensics (per-session private sinks,
+  # ascending-id merge).
+  for t in 1 8; do
+    "$BUILD_DIR/examples/wb_experiment_cli" serve \
+      --sessions 3 --ring 64 --packets 3600 --seed 11 --threads "$t" \
+      --forensics-out "$tmp/serve.t$t.jsonl" > "$tmp/serve.t$t.out"
+  done
+  cmp "$tmp/serve.t1.jsonl" "$tmp/serve.t8.jsonl"
+  # The report prints the configured thread count and the forensics
+  # output path; mask those two tokens.
+  for t in 1 8; do
+    sed -e "s/threads [0-9]*/threads N/" -e "s/serve\.t[0-9]*/serve.tN/" \
+      "$tmp/serve.t$t.out" > "$tmp/serve.t$t.masked"
+  done
+  cmp "$tmp/serve.t1.masked" "$tmp/serve.t8.masked"
+  echo "    serve: report + forensics byte-identical at --threads 1 vs 8"
 }
 
 step_tidy() {
@@ -214,7 +238,7 @@ step_tidy() {
 step_perf() {
   cmake -B "$PERF_DIR" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
   cmake --build "$PERF_DIR" -j "$JOBS" \
-    --target bench_decoder_micro bench_obs_overhead
+    --target bench_decoder_micro bench_obs_overhead bench_serve_throughput
   python3 scripts/validate_bench_decoder.py \
     --bench "$PERF_DIR/bench/bench_decoder_micro" \
     --out "$PERF_DIR/BENCH_decoder.json"
@@ -224,6 +248,12 @@ step_perf() {
   python3 scripts/validate_bench_obs.py \
     --bench "$PERF_DIR/bench/bench_obs_overhead" \
     --out "$PERF_DIR/BENCH_obs.json"
+  # Live-capture service budget: 8 concurrent sessions sustained with
+  # zero steady-state ingest/dispatch allocations, measured submit
+  # latency percentiles, and one decoded frame per session per pass.
+  python3 scripts/validate_bench_serve.py \
+    --bench "$PERF_DIR/bench/bench_serve_throughput" \
+    --out "$PERF_DIR/BENCH_serve.json"
 }
 
 if [ ${#ONLY[@]} -gt 0 ]; then

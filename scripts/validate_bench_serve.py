@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_serve.json produced by `bench_serve_throughput --json-out`.
+
+Checks the schema (meta + the sessions_1/sessions_8 rows) and enforces the
+live-capture-service contract: the steady-state ingest+dispatch path must
+not allocate (ring, pending queues, frame rings, and decoder workspaces
+are preallocated; the forensics exemplar caps fill during warmup), every
+pass must decode one frame per session (drain loses no decodable frame),
+and the service must sustain a positive packet rate with measured submit
+latency percentiles. Used by the ctest smoke test and scripts/check.sh's
+Release perf gate.
+
+Usage:
+  validate_bench_serve.py FILE                      # validate existing file
+  validate_bench_serve.py --bench BIN --out FILE    # run the bench first
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+REQUIRED_ROWS = ("sessions_1", "sessions_8")
+ROW_KEYS = (
+    "sessions",
+    "records_per_pass",
+    "pkts_per_sec",
+    "ns_per_record",
+    "allocs_per_record",
+    "frames_per_pass",
+    "latency_p50_ns",
+    "latency_p95_ns",
+    "latency_p99_ns",
+)
+
+MAX_STEADY_STATE_ALLOCS = 0
+MIN_CONCURRENT_SESSIONS = 8
+
+
+def fail(msg):
+    print(f"validate_bench_serve: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("json_file", nargs="?", help="existing report to validate")
+    ap.add_argument("--bench", help="bench_serve_throughput binary to run")
+    ap.add_argument("--out", help="report path when running --bench")
+    ap.add_argument("--quick", action="store_true",
+                    help="pass --quick to the bench")
+    ap.add_argument("--max-allocs", type=float,
+                    default=MAX_STEADY_STATE_ALLOCS)
+    args = ap.parse_args()
+
+    if args.bench:
+        if not args.out:
+            fail("--bench requires --out")
+        cmd = [args.bench, "--json-out", args.out]
+        if args.quick:
+            cmd.append("--quick")
+        proc = subprocess.run(cmd)
+        if proc.returncode != 0:
+            fail(f"bench exited with {proc.returncode}")
+        path = args.out
+    elif args.json_file:
+        path = args.json_file
+    else:
+        fail("give a report file or --bench/--out")
+
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot read {path}: {e}")
+
+    meta = report.get("meta")
+    if not isinstance(meta, dict):
+        fail("missing meta object")
+    if meta.get("bench") != "serve_throughput":
+        fail(f"meta.bench is {meta.get('bench')!r}, want 'serve_throughput'")
+    for key in ("iters", "trace_records", "ring_capacity"):
+        if not isinstance(meta.get(key), (int, float)) or meta[key] <= 0:
+            fail(f"meta.{key} missing or not a positive number")
+    if meta.get("policy") != "block_producer":
+        fail(f"meta.policy is {meta.get('policy')!r}: the frame gate is "
+             "exact only for the lossless block_producer policy")
+    if not isinstance(meta.get("quick"), bool):
+        fail("meta.quick missing or not a bool")
+
+    rows = {r.get("row"): r for r in report.get("rows", [])}
+    for name in REQUIRED_ROWS:
+        row = rows.get(name)
+        if row is None:
+            fail(f"missing row {name!r}")
+        for key in ROW_KEYS:
+            v = row.get(key)
+            if not isinstance(v, (int, float)) or v < 0:
+                fail(f"row {name!r}: {key} missing or negative")
+        for key in ("pkts_per_sec", "ns_per_record", "latency_p50_ns",
+                    "latency_p95_ns", "latency_p99_ns"):
+            if row[key] <= 0:
+                fail(f"row {name!r}: {key} must be positive")
+        if not (row["latency_p50_ns"] <= row["latency_p95_ns"]
+                <= row["latency_p99_ns"]):
+            fail(f"row {name!r}: latency percentiles are not monotone")
+
+        allocs = row["allocs_per_record"]
+        if allocs > args.max_allocs:
+            fail(f"row {name!r}: {allocs} allocations/record exceeds the "
+                 f"budget of {args.max_allocs} — the serve steady state "
+                 f"must not allocate on the ingest/dispatch path")
+        # Drain loses no decodable frame: one frame per session per pass.
+        if row["frames_per_pass"] != row["sessions"]:
+            fail(f"row {name!r}: {row['frames_per_pass']} frames/pass, "
+                 f"want {row['sessions']} (one per session)")
+
+    if rows["sessions_8"]["sessions"] < MIN_CONCURRENT_SESSIONS:
+        fail(f"sessions_8 row measured {rows['sessions_8']['sessions']} "
+             f"sessions, want >= {MIN_CONCURRENT_SESSIONS}")
+
+    r8 = rows["sessions_8"]
+    print(f"validate_bench_serve: OK ({path}: 8 sessions at "
+          f"{r8['pkts_per_sec']:.0f} pkts/s, submit p99 "
+          f"{r8['latency_p99_ns']:.0f} ns, "
+          f"{r8['allocs_per_record']:.2f} allocs/record)")
+
+
+if __name__ == "__main__":
+    main()

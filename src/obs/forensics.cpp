@@ -36,6 +36,7 @@ const char* to_string(DropStage stage) noexcept {
     case DropStage::kCoreUplink: return "core.uplink";
     case DropStage::kCoreDownlink: return "core.downlink";
     case DropStage::kWifiMac: return "wifi.mac";
+    case DropStage::kIngest: return "serve.ingest";
   }
   return "unknown";
 }
@@ -50,6 +51,7 @@ const char* to_string(DropReason reason) noexcept {
     case DropReason::kSlicerAmbiguous: return "slicer_ambiguous";
     case DropReason::kCrcFail: return "crc_fail";
     case DropReason::kDrainedIncomplete: return "drained_incomplete";
+    case DropReason::kBackpressure: return "backpressure";
   }
   return "unknown";
 }
@@ -64,6 +66,7 @@ const char* metric_token(DropStage stage) noexcept {
     case DropStage::kCoreUplink: return "core_uplink";
     case DropStage::kCoreDownlink: return "core_downlink";
     case DropStage::kWifiMac: return "wifi_mac";
+    case DropStage::kIngest: return "serve_ingest";
   }
   return "unknown";
 }

@@ -47,8 +47,9 @@ enum class DropStage : std::uint8_t {
   kCoreUplink,        ///< core::WiFiBackscatterSystem uplink leg
   kCoreDownlink,      ///< core::WiFiBackscatterSystem downlink leg
   kWifiMac,           ///< wifi::MacSimulator transmissions
+  kIngest,            ///< serve::IngestRing admission (capture service)
 };
-inline constexpr std::size_t kNumDropStages = 8;
+inline constexpr std::size_t kNumDropStages = 9;
 
 /// Why the packet/frame died. One failure exit maps to exactly one reason.
 enum class DropReason : std::uint8_t {
@@ -60,8 +61,9 @@ enum class DropReason : std::uint8_t {
   kSlicerAmbiguous,    ///< sync found but payload slots carry no packets
   kCrcFail,            ///< bits decoded but the frame checksum rejected them
   kDrainedIncomplete,  ///< flush() discarded a partial tail window
+  kBackpressure,       ///< ingest ring full: record evicted or rejected
 };
-inline constexpr std::size_t kNumDropReasons = 8;
+inline constexpr std::size_t kNumDropReasons = 9;
 
 /// Dotted stage name, e.g. "reader.uplink" (stable export token).
 const char* to_string(DropStage stage) noexcept;

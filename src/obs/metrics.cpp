@@ -19,6 +19,10 @@ ScopedMetrics::ScopedMetrics(MetricsRegistry& r) : prev_(t_metrics) {
   t_metrics = &r;
 }
 
+ScopedMetrics::ScopedMetrics(MetricsRegistry* r) : prev_(t_metrics) {
+  t_metrics = r;
+}
+
 ScopedMetrics::~ScopedMetrics() { t_metrics = prev_; }
 
 void Gauge::max_of(double x) noexcept {

@@ -205,9 +205,14 @@ MetricsRegistry* metrics() noexcept;
 
 /// RAII install/restore of this thread's registry (mirrors
 /// ScopedContractPolicy). Each thread nests its own stack of installs.
+/// The pointer form mirrors ScopedFlightRecorder: passing nullptr
+/// *suppresses* metrics for the scope — serve's session dispatch uses it
+/// so decoder-internal metrics are identical whether a session runs
+/// inline (caller's registry visible) or on a worker thread (none).
 class ScopedMetrics {
  public:
   explicit ScopedMetrics(MetricsRegistry& r);
+  explicit ScopedMetrics(MetricsRegistry* r);
   ~ScopedMetrics();
   ScopedMetrics(const ScopedMetrics&) = delete;
   ScopedMetrics& operator=(const ScopedMetrics&) = delete;

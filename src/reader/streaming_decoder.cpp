@@ -12,10 +12,26 @@ namespace {
 UplinkDecoderConfig make_decoder_config(const StreamingDecoderConfig& cfg) {
   WB_REQUIRE(!cfg.decoder.search_from && !cfg.decoder.search_to,
              "the streaming wrapper manages the search window");
+  WB_REQUIRE(cfg.history_us >= cfg.decoder.movavg_window_us,
+             "history_us must cover the conditioning window "
+             "(decoder.movavg_window_us): a shorter history trims records "
+             "the moving-average filter still needs");
   UplinkDecoderConfig dec_cfg = cfg.decoder;
   dec_cfg.sync_threshold = cfg.sync_threshold;
   return dec_cfg;
 }
+
+/// Adapter backing the vector-returning push()/flush() overloads.
+class VectorSink final : public FrameSink {
+ public:
+  explicit VectorSink(std::vector<UplinkDecodeResult>& out) : out_(out) {}
+  void on_frame(const UplinkDecodeResult& frame) override {
+    out_.push_back(frame);
+  }
+
+ private:
+  std::vector<UplinkDecodeResult>& out_;
+};
 
 }  // namespace
 
@@ -27,8 +43,15 @@ TimeUs StreamingUplinkDecoder::scan_interval() const {
   return cfg_.decoder.frame_duration_us() / 2;
 }
 
-bool StreamingUplinkDecoder::scan(TimeUs search_to_us,
-                                  std::vector<UplinkDecodeResult>& out) {
+void StreamingUplinkDecoder::reset() {
+  buffer_.clear();  // keeps capacity: the next session reuses the storage
+  consumed_until_ = TimeUs{0};
+  next_scan_at_ = TimeUs{0};
+  frames_emitted_ = 0;
+  drained_reported_ = false;
+}
+
+bool StreamingUplinkDecoder::scan(TimeUs search_to_us, FrameSink& sink) {
   dec_.set_search_window(consumed_until_, search_to_us);
   dec_.decode_into(buffer_, ws_, scratch_);
   if (!scratch_.found) return false;
@@ -38,7 +61,7 @@ bool StreamingUplinkDecoder::scan(TimeUs search_to_us,
     fx->record_attempt(obs::DropStage::kStreamingDecoder);
     fx->record_decode(obs::DropStage::kStreamingDecoder);
   }
-  out.push_back(scratch_);
+  sink.on_frame(scratch_);
   return true;
 }
 
@@ -59,29 +82,30 @@ void StreamingUplinkDecoder::trim_history() {
   }
 }
 
-std::vector<UplinkDecodeResult> StreamingUplinkDecoder::push(
-    const wifi::CaptureRecord& rec) {
+std::size_t StreamingUplinkDecoder::push_impl(const wifi::CaptureRecord& rec,
+                                              FrameSink& sink) {
   WB_REQUIRE(buffer_.empty() ||
                  rec.timestamp_us >= buffer_.back().timestamp_us,
              "capture records must arrive in time order");
   buffer_.push_back(rec);
   drained_reported_ = false;  // new data: the next flush() drains afresh
 
-  std::vector<UplinkDecodeResult> out;
   const TimeUs now = rec.timestamp_us;
   const TimeUs frame_dur = cfg_.decoder.frame_duration_us();
 
   // Scan when enough new air time has accumulated: the newest possible
   // frame start we can fully decode is now - frame_dur.
   if (now < next_scan_at_ || now - consumed_until_ < frame_dur) {
-    return out;
+    return 0;
   }
   next_scan_at_ = now + scan_interval();
 
   const TimeUs search_to = now - frame_dur;
-  if (search_to < consumed_until_) return out;
+  if (search_to < consumed_until_) return 0;
 
-  if (scan(search_to, out)) {
+  std::size_t emitted = 0;
+  if (scan(search_to, sink)) {
+    ++emitted;
     // A second frame could already be waiting; scan again promptly.
     next_scan_at_ = now;
   } else {
@@ -91,18 +115,32 @@ std::vector<UplinkDecodeResult> StreamingUplinkDecoder::push(
   }
 
   trim_history();
+  return emitted;
+}
+
+std::size_t StreamingUplinkDecoder::push(const wifi::CaptureRecord& rec,
+                                         FrameSink& sink) {
+  return push_impl(rec, sink);
+}
+
+std::vector<UplinkDecodeResult> StreamingUplinkDecoder::push(
+    const wifi::CaptureRecord& rec) {
+  std::vector<UplinkDecodeResult> out;
+  VectorSink sink(out);
+  push_impl(rec, sink);
   return out;
 }
 
-std::vector<UplinkDecodeResult> StreamingUplinkDecoder::flush() {
-  std::vector<UplinkDecodeResult> out;
-  if (buffer_.empty()) return out;
+std::size_t StreamingUplinkDecoder::flush_impl(FrameSink& sink) {
+  if (buffer_.empty()) return 0;
   const TimeUs frame_dur = cfg_.decoder.frame_duration_us();
   // The latest start whose frame is fully contained in the buffer; a frame
   // whose tail lands exactly on the final record is included, one that
   // extends past it is not (its last bits were never observed).
   const TimeUs search_to = buffer_.back().timestamp_us - frame_dur;
-  while (search_to >= consumed_until_ && scan(search_to, out)) {
+  std::size_t emitted = 0;
+  while (search_to >= consumed_until_ && scan(search_to, sink)) {
+    ++emitted;
   }
   consumed_until_ = std::max(consumed_until_, search_to);
 
@@ -126,6 +164,17 @@ std::vector<UplinkDecodeResult> StreamingUplinkDecoder::flush() {
     }
   }
   trim_history();
+  return emitted;
+}
+
+std::size_t StreamingUplinkDecoder::flush(FrameSink& sink) {
+  return flush_impl(sink);
+}
+
+std::vector<UplinkDecodeResult> StreamingUplinkDecoder::flush() {
+  std::vector<UplinkDecodeResult> out;
+  VectorSink sink(out);
+  flush_impl(sink);
   return out;
 }
 

@@ -17,7 +17,8 @@ namespace wb::reader {
 
 struct StreamingDecoderConfig {
   /// Frame format / decoding parameters. search_from/search_to are
-  /// managed by the wrapper and must be left unset.
+  /// managed by the wrapper and must be left unset (WB_REQUIRE'd at
+  /// construction).
   UplinkDecoderConfig decoder{};
 
   /// Minimum sync score to emit a frame. Pure ambient noise (drift +
@@ -31,9 +32,22 @@ struct StreamingDecoderConfig {
   /// scan is attempted; also the re-scan cadence. 0 = half a frame.
   TimeUs scan_interval_us{0};
 
-  /// History retained behind the consumed point (must cover the
-  /// conditioning window).
+  /// History retained behind the consumed point. Must cover the
+  /// conditioning window (decoder.movavg_window_us) — a shorter history
+  /// would trim records conditioning still needs, silently degrading
+  /// every later scan (WB_REQUIRE'd at construction).
   TimeUs history_us{1'000'000};
+};
+
+/// Receiver of decoded frames for the allocation-free delivery path.
+/// on_frame() observes the wrapper's reused scratch result: copy what you
+/// need before returning — the reference dies with the call.
+class FrameSink {
+ public:
+  virtual void on_frame(const UplinkDecodeResult& frame) = 0;
+
+ protected:
+  ~FrameSink() = default;
 };
 
 class StreamingUplinkDecoder {
@@ -46,12 +60,27 @@ class StreamingUplinkDecoder {
   /// steady-state scan path does not allocate (DESIGN.md §10).
   std::vector<UplinkDecodeResult> push(const wifi::CaptureRecord& rec);
 
+  /// Allocation-free variant: frames go to `sink.on_frame()` instead of a
+  /// returned vector; returns how many frames were emitted. This is the
+  /// serving-path API (wb::serve sessions implement FrameSink and copy
+  /// payloads into preallocated slots).
+  std::size_t push(const wifi::CaptureRecord& rec, FrameSink& sink);
+
   /// Final scan over the not-yet-consumed tail of the buffer. push() only
   /// scans when a *later* record arrives, so when traffic stops, any frame
   /// that ended within a scan interval of the last record would otherwise
   /// be stranded forever. Call when the capture ends (or goes quiet) to
   /// drain those frames; idempotent — a second flush() emits nothing new.
   std::vector<UplinkDecodeResult> flush();
+
+  /// Sink variant of flush(); returns how many frames were emitted.
+  std::size_t flush(FrameSink& sink);
+
+  /// Return to the freshly constructed state while keeping the buffer's
+  /// and workspace's capacity: clears buffered records, the consumed/scan
+  /// cursors, and the emit counter. Lets a serving layer reuse one
+  /// decoder (and its warmed allocations) across session attach cycles.
+  void reset();
 
   /// Records currently buffered (bounded by history + scan horizon).
   std::size_t buffered() const { return buffer_.size(); }
@@ -65,8 +94,11 @@ class StreamingUplinkDecoder {
   TimeUs scan_interval() const;
 
   /// One decode over [consumed_until_, search_to]; on success emits into
-  /// `out` and advances consumed_until_ past the frame.
-  bool scan(TimeUs search_to_us, std::vector<UplinkDecodeResult>& out);
+  /// `sink` and advances consumed_until_ past the frame.
+  bool scan(TimeUs search_to_us, FrameSink& sink);
+
+  std::size_t push_impl(const wifi::CaptureRecord& rec, FrameSink& sink);
+  std::size_t flush_impl(FrameSink& sink);
 
   /// Drop records no future frame needs (history window behind the
   /// consumed point).

@@ -1,0 +1,45 @@
+#include "runner/indexed_for.h"
+
+#include <algorithm>
+#include <exception>
+#include <vector>
+
+#include "runner/thread_pool.h"
+
+namespace wb::runner {
+
+void for_each_index(unsigned workers, std::size_t num_tasks,
+                    const std::function<void(std::size_t)>& task) {
+  if (num_tasks == 0) return;
+
+  const unsigned effective = static_cast<unsigned>(
+      std::min<std::size_t>(workers == 0 ? 1 : workers, num_tasks));
+  if (effective <= 1) {
+    // Serial path: the calling thread, in index order — exactly what the
+    // pre-runner benches did, with no pool construction cost.
+    for (std::size_t i = 0; i < num_tasks; ++i) task(i);
+    return;
+  }
+
+  std::vector<std::exception_ptr> errors(num_tasks);
+  {
+    ThreadPool pool(effective);
+    for (std::size_t i = 0; i < num_tasks; ++i) {
+      pool.submit([&task, &errors, i] {
+        try {
+          task(i);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+  // Deterministic failure: rethrow the lowest task index's exception, not
+  // whichever thread happened to fail first.
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace wb::runner

@@ -1,0 +1,27 @@
+// Deterministic indexed parallel-for: the execution engine underneath
+// SweepRunner, exposed so other fan-out layers (wb::serve's per-session
+// dispatch) share one scheduling policy instead of growing their own
+// threads.
+//
+// Contract (identical to SweepRunner::run_indexed, which delegates here):
+//   * workers <= 1 or num_tasks <= 1 runs every task inline on the
+//     calling thread in ascending index order — no pool, no extra
+//     threads, serial behaviour preserved exactly;
+//   * otherwise tasks run on a work-stealing ThreadPool; a throwing task
+//     does not abort its siblings — after all in-flight tasks drain, the
+//     *lowest-index* exception is rethrown, so failures are as
+//     deterministic as successes.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace wb::runner {
+
+/// Runs task(i) for every i in [0, num_tasks). `task` must be safe to
+/// invoke concurrently for distinct indices (shared state only via its
+/// own synchronisation); per-index state needs none.
+void for_each_index(unsigned workers, std::size_t num_tasks,
+                    const std::function<void(std::size_t)>& task);
+
+}  // namespace wb::runner

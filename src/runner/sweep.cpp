@@ -1,7 +1,6 @@
 #include "runner/sweep.h"
 
-#include <algorithm>
-
+#include "runner/indexed_for.h"
 #include "runner/thread_pool.h"
 
 namespace wb::runner {
@@ -12,36 +11,7 @@ SweepRunner::SweepRunner(SweepConfig cfg) : cfg_(cfg) {
 
 void SweepRunner::run_indexed(
     std::size_t num_tasks, const std::function<void(std::size_t)>& task) {
-  if (num_tasks == 0) return;
-
-  const unsigned workers = static_cast<unsigned>(
-      std::min<std::size_t>(threads_, num_tasks));
-  if (workers <= 1) {
-    // Serial path: the calling thread, in index order — exactly what the
-    // pre-runner benches did, with no pool construction cost.
-    for (std::size_t i = 0; i < num_tasks; ++i) task(i);
-    return;
-  }
-
-  std::vector<std::exception_ptr> errors(num_tasks);
-  {
-    ThreadPool pool(workers);
-    for (std::size_t i = 0; i < num_tasks; ++i) {
-      pool.submit([&task, &errors, i] {
-        try {
-          task(i);
-        } catch (...) {
-          errors[i] = std::current_exception();
-        }
-      });
-    }
-    pool.wait_idle();
-  }
-  // Deterministic failure: rethrow the lowest task index's exception, not
-  // whichever thread happened to fail first.
-  for (const std::exception_ptr& e : errors) {
-    if (e) std::rethrow_exception(e);
-  }
+  for_each_index(threads_, num_tasks, task);
 }
 
 }  // namespace wb::runner

@@ -1,0 +1,60 @@
+// Shill-style error taxonomy for the capture service: every control-plane
+// operation (attach/detach/submit/stop) returns an Error carrying a
+// stable code plus a human-readable message, instead of throwing or
+// returning bare bools. Codes are coarse on purpose — callers branch on
+// the code, humans read the message.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace wb::serve {
+
+enum class ErrorCode : std::uint8_t {
+  kSuccess,           ///< not an error
+  kInvalidArguments,  ///< malformed request (bad id, bad config value)
+  kAlreadyExists,     ///< attach of a session id that is already attached
+  kNotFound,          ///< operation names a session that is not attached
+  kWrongState,        ///< operation illegal in the service's current state
+  kCapacity,          ///< all session slots busy
+  kOperationFailed,   ///< internal failure not covered above
+};
+
+/// Stable snake-case token (export/log surface).
+inline const char* to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kSuccess: return "success";
+    case ErrorCode::kInvalidArguments: return "invalid_arguments";
+    case ErrorCode::kAlreadyExists: return "already_exists";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kWrongState: return "wrong_state";
+    case ErrorCode::kCapacity: return "capacity";
+    case ErrorCode::kOperationFailed: return "operation_failed";
+  }
+  return "unknown";
+}
+
+/// Value-type operation result. Default-constructed = success; the
+/// success path never builds a message (no allocation on the hot path).
+class Error {
+ public:
+  Error() = default;
+
+  static Error success() { return Error(); }
+  static Error make(ErrorCode code, std::string message) {
+    Error e;
+    e.code_ = code;
+    e.message_ = std::move(message);
+    return e;
+  }
+
+  bool ok() const noexcept { return code_ == ErrorCode::kSuccess; }
+  ErrorCode code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return message_; }
+
+ private:
+  ErrorCode code_ = ErrorCode::kSuccess;
+  std::string message_;
+};
+
+}  // namespace wb::serve

@@ -1,0 +1,64 @@
+#include "wifi/replay.h"
+
+#include "util/check.h"
+
+namespace wb::wifi {
+
+std::vector<ReplayStream> fan_out(const CaptureTrace& trace,
+                                  std::size_t sessions, TimeUs stagger_us,
+                                  std::uint32_t first_session) {
+  WB_REQUIRE(stagger_us >= TimeUs{0}, "stagger must be non-negative");
+  std::vector<ReplayStream> streams(sessions);
+  for (std::size_t k = 0; k < sessions; ++k) {
+    streams[k].session =
+        first_session + static_cast<std::uint32_t>(k);
+    streams[k].offset_us = stagger_us * static_cast<std::int64_t>(k);
+    streams[k].trace = &trace;
+  }
+  return streams;
+}
+
+MultiSessionFeed::MultiSessionFeed(std::vector<ReplayStream> streams)
+    : streams_(std::move(streams)), cursor_(streams_.size(), 0) {}
+
+bool MultiSessionFeed::next(std::uint32_t& session, CaptureRecord& record) {
+  // Linear scan over the (few) streams: pick the earliest shifted
+  // timestamp, lowest session id on ties. Strict `<` on both keys keeps
+  // the choice independent of stream declaration order.
+  std::size_t best = streams_.size();
+  TimeUs best_ts{0};
+  std::uint32_t best_session = 0;
+  for (std::size_t k = 0; k < streams_.size(); ++k) {
+    const auto* trace = streams_[k].trace;
+    if (trace == nullptr || cursor_[k] >= trace->size()) continue;
+    const TimeUs ts =
+        (*trace)[cursor_[k]].timestamp_us + streams_[k].offset_us;
+    if (best == streams_.size() || ts < best_ts ||
+        (ts == best_ts && streams_[k].session < best_session)) {
+      best = k;
+      best_ts = ts;
+      best_session = streams_[k].session;
+    }
+  }
+  if (best == streams_.size()) return false;
+  session = streams_[best].session;
+  record = (*streams_[best].trace)[cursor_[best]];
+  record.timestamp_us = best_ts;
+  ++cursor_[best];
+  return true;
+}
+
+std::size_t MultiSessionFeed::remaining() const {
+  std::size_t n = 0;
+  for (std::size_t k = 0; k < streams_.size(); ++k) {
+    if (streams_[k].trace == nullptr) continue;
+    n += streams_[k].trace->size() - cursor_[k];
+  }
+  return n;
+}
+
+void MultiSessionFeed::rewind() {
+  for (auto& c : cursor_) c = 0;
+}
+
+}  // namespace wb::wifi

@@ -1,0 +1,62 @@
+// Deterministic multi-session trace replay: turns recorded (or synthetic)
+// capture traces into the interleaved per-session record stream a live
+// capture service would see from N concurrent monitor-mode NICs.
+//
+// Each ReplayStream names a source trace, a session id, and a time
+// offset; MultiSessionFeed merges the streams in *global shifted
+// timestamp order* (ties broken by ascending session id), so the
+// interleave is a pure function of the inputs — the property wb::serve's
+// determinism tests lean on. The feed never copies the underlying
+// traces; next() materialises one shifted record at a time.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/units.h"
+#include "wifi/capture.h"
+
+namespace wb::wifi {
+
+/// One replayed stream: `trace`'s records, timestamps shifted by
+/// `offset_us`, attributed to `session`.
+struct ReplayStream {
+  std::uint32_t session = 0;
+  TimeUs offset_us{0};
+  const CaptureTrace* trace = nullptr;
+};
+
+/// Replays the same trace as `sessions` concurrent streams with session
+/// ids first_session, first_session+1, … and start offsets staggered by
+/// `stagger_us` per stream (stream k starts k * stagger_us later) — the
+/// standard synthetic multi-session load for serve benches and smokes.
+std::vector<ReplayStream> fan_out(const CaptureTrace& trace,
+                                  std::size_t sessions, TimeUs stagger_us,
+                                  std::uint32_t first_session = 0);
+
+/// Merges N replay streams into one record sequence ordered by shifted
+/// timestamp (ties: lowest session id first).
+class MultiSessionFeed {
+ public:
+  /// Streams must each be internally time-ordered (CaptureTrace always
+  /// is); null traces are treated as empty.
+  explicit MultiSessionFeed(std::vector<ReplayStream> streams);
+
+  /// Produces the next record in global order into the out-params;
+  /// returns false when every stream is exhausted. The produced record is
+  /// the source record with its timestamp shifted by the stream offset.
+  bool next(std::uint32_t& session, CaptureRecord& record);
+
+  /// Records not yet produced, across all streams.
+  std::size_t remaining() const;
+
+  /// Restart every stream from its beginning.
+  void rewind();
+
+ private:
+  std::vector<ReplayStream> streams_;
+  std::vector<std::size_t> cursor_;  ///< next record index per stream
+};
+
+}  // namespace wb::wifi

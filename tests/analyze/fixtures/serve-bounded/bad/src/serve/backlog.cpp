@@ -1,0 +1,32 @@
+// Fixture: every banned construct in one serve data-plane file — growth
+// calls, unbounded node containers, and blocking primitives.
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <list>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wb::serve {
+
+struct Backlog {
+  std::deque<int> items;
+  std::list<int> overflow;
+  std::condition_variable cv;
+  std::mutex m;
+  std::vector<int> staged;
+
+  void enqueue(int v) {
+    staged.push_back(v);
+    items.emplace_back(v);
+  }
+
+  void drain() {
+    std::unique_lock<std::mutex> lk(m);
+    cv.wait(lk);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+};
+
+}  // namespace wb::serve

@@ -1,0 +1,8 @@
+// Fixture: the rule is scoped to src/serve/ — growth elsewhere is fine.
+#include <vector>
+
+namespace wb::core {
+
+void collect(std::vector<int>& out, int v) { out.push_back(v); }
+
+}  // namespace wb::core

@@ -1,0 +1,33 @@
+// Fixture: the sanctioned shape — storage preallocated at construction,
+// writes by index, backpressure handled by refusing (not waiting).
+#include <cstddef>
+#include <vector>
+
+namespace wb::serve {
+
+class Ring {
+ public:
+  explicit Ring(std::size_t capacity) : slots_(capacity, 0) {}
+
+  bool push(int v) {
+    if (count_ == slots_.size()) return false;
+    slots_[(head_ + count_) % slots_.size()] = v;
+    ++count_;
+    return true;
+  }
+
+  bool pop(int& out) {
+    if (count_ == 0) return false;
+    out = slots_[head_];
+    head_ = (head_ + 1) % slots_.size();
+    --count_;
+    return true;
+  }
+
+ private:
+  std::vector<int> slots_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace wb::serve

@@ -62,6 +62,9 @@ TEST(ForensicsSink, StableExportTokens) {
   EXPECT_STREQ(to_string(DropReason::kLowSnr), "low_snr");
   EXPECT_STREQ(to_string(DropReason::kDrainedIncomplete),
                "drained_incomplete");
+  EXPECT_STREQ(to_string(DropStage::kIngest), "serve.ingest");
+  EXPECT_STREQ(metric_token(DropStage::kIngest), "serve_ingest");
+  EXPECT_STREQ(to_string(DropReason::kBackpressure), "backpressure");
 }
 
 TEST(ForensicsSink, DropMirrorsCounterIntoInstalledRegistry) {

@@ -4,6 +4,7 @@
 
 #include "core/uplink_sim.h"
 #include "tag/modulator.h"
+#include "util/check.h"
 #include "util/codes.h"
 #include "wifi/traffic.h"
 
@@ -158,6 +159,79 @@ TEST(StreamingDecoder, FlushAfterNormalEmissionAddsNothing) {
   for (const auto& rec : trace) pushed += dec.push(rec).size();
   EXPECT_EQ(pushed, 1u);
   EXPECT_TRUE(dec.flush().empty());
+}
+
+TEST(StreamingDecoder, ConfigWithSearchWindowViolates) {
+  // The wrapper owns the search window; a caller-set bound would
+  // silently fight the sliding window, so construction must reject it.
+  ScopedContractPolicy guard(ContractPolicy::kThrow);
+  StreamingDecoderConfig with_from = stream_config(24, TimeUs{5'000});
+  with_from.decoder.search_from = TimeUs{100'000};
+  EXPECT_THROW(StreamingUplinkDecoder{with_from}, ContractViolation);
+  StreamingDecoderConfig with_to = stream_config(24, TimeUs{5'000});
+  with_to.decoder.search_to = TimeUs{900'000};
+  EXPECT_THROW(StreamingUplinkDecoder{with_to}, ContractViolation);
+}
+
+TEST(StreamingDecoder, HistoryShorterThanConditioningWindowViolates) {
+  // history_us < movavg_window_us would trim records the moving-average
+  // filter still needs, silently degrading every later scan.
+  ScopedContractPolicy guard(ContractPolicy::kThrow);
+  StreamingDecoderConfig cfg = stream_config(24, TimeUs{5'000});
+  cfg.decoder.movavg_window_us = TimeUs{400'000};
+  cfg.history_us = TimeUs{399'999};
+  EXPECT_THROW(StreamingUplinkDecoder{cfg}, ContractViolation);
+  // Exactly covering the window is legal.
+  cfg.history_us = TimeUs{400'000};
+  EXPECT_NO_THROW(StreamingUplinkDecoder{cfg});
+}
+
+TEST(StreamingDecoder, ResetRestoresFreshState) {
+  const BitVec payload = random_bits(24, 1);
+  const auto trace = make_trace({TimeUs{700'000}}, {payload}, TimeUs{5'000},
+                                TimeUs{1'500'000}, 2);
+  StreamingUplinkDecoder dec(stream_config(24, TimeUs{5'000}));
+  std::size_t first = 0;
+  for (const auto& rec : trace) first += dec.push(rec).size();
+  EXPECT_EQ(first, 1u);
+  dec.reset();
+  EXPECT_EQ(dec.buffered(), 0u);
+  EXPECT_EQ(dec.frames_emitted(), 0u);
+  // The same records decode identically in the decoder's second life
+  // (reset() would otherwise reject them as out of time order).
+  std::vector<UplinkDecodeResult> got;
+  for (const auto& rec : trace) {
+    auto frames = dec.push(rec);
+    got.insert(got.end(), frames.begin(), frames.end());
+  }
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].payload, payload);
+}
+
+TEST(StreamingDecoder, SinkOverloadMatchesVectorOverload) {
+  struct CountingSink final : FrameSink {
+    std::vector<BitVec> payloads;
+    void on_frame(const UplinkDecodeResult& frame) override {
+      payloads.push_back(frame.payload);
+    }
+  };
+  const BitVec payload = random_bits(24, 1);
+  const auto trace = make_trace({TimeUs{700'000}}, {payload}, TimeUs{5'000},
+                                TimeUs{1'500'000}, 2);
+  StreamingUplinkDecoder vec_dec(stream_config(24, TimeUs{5'000}));
+  StreamingUplinkDecoder sink_dec(stream_config(24, TimeUs{5'000}));
+  CountingSink sink;
+  std::vector<UplinkDecodeResult> vec_got;
+  std::size_t sink_got = 0;
+  for (const auto& rec : trace) {
+    auto frames = vec_dec.push(rec);
+    vec_got.insert(vec_got.end(), frames.begin(), frames.end());
+    sink_got += sink_dec.push(rec, sink);
+  }
+  ASSERT_EQ(vec_got.size(), 1u);
+  ASSERT_EQ(sink_got, 1u);
+  ASSERT_EQ(sink.payloads.size(), 1u);
+  EXPECT_EQ(sink.payloads[0], vec_got[0].payload);
 }
 
 TEST(StreamingDecoder, FrameNeverEmittedTwice) {

@@ -1,0 +1,65 @@
+"""Live-capture-service rules.
+
+  serve-bounded    src/serve/ is the always-on data plane: every container
+                   is preallocated and written by index, and nothing on
+                   the dispatch path may block. Growth calls
+                   (push_back/emplace_back), node-based unbounded
+                   containers (std::deque/std::list), and blocking
+                   primitives (condition variables, wait*/sleep*,
+                   std::this_thread) are banned in the module — a single
+                   growing container turns a "bounded memory per session"
+                   promise into a slow leak under a hostile feed, and a
+                   single blocking wait breaks the deterministic
+                   virtual-time "block by dispatching inline" contract.
+                   (std::map::emplace on control-plane maps is fine: the
+                   retired-forensics archive is explicitly capped.)
+"""
+from __future__ import annotations
+
+import re
+
+from ..cpptext import line_of
+from ..engine import Context, Rule, SourceFile, register
+
+
+@register
+class ServeBounded(Rule):
+    name = "serve-bounded"
+    family = "serve"
+    severity = "error"
+    description = ("src/serve/ must stay preallocated and non-blocking: no "
+                   "container growth calls (push_back/emplace_back), no "
+                   "unbounded node containers (std::deque/std::list), and "
+                   "no blocking primitives (std::condition_variable, "
+                   ".wait()/wait_for/wait_until, sleep_for/sleep_until, "
+                   "std::this_thread) — the service owns bounded memory "
+                   "and 'blocks' by dispatching inline")
+
+    PATTERNS = (
+        (re.compile(r"\.\s*(push_back|emplace_back)\s*\("),
+         "container growth `{0}` — serve storage is preallocated at "
+         "construction and written by index"),
+        (re.compile(r"\bstd\s*::\s*(deque|list)\s*<"),
+         "std::{0} is an unbounded node container — use a preallocated "
+         "ring or vector with an explicit capacity"),
+        (re.compile(r"\bstd\s*::\s*condition_variable\b"),
+         "std::condition_variable is a blocking primitive — backpressure "
+         "'blocks' deterministically by running the dispatch loop inline"),
+        (re.compile(r"\.\s*(wait|wait_for|wait_until)\s*\("),
+         "blocking `.{0}()` — nothing in the service may sleep or wait; "
+         "drive progress from submit()/poll()"),
+        (re.compile(r"\bstd\s*::\s*this_thread\s*::\s*"
+                    r"(sleep_for|sleep_until|yield)\b"),
+         "std::this_thread::{0} stalls the driver thread — the service "
+         "must stay deterministic and non-blocking"),
+    )
+
+    def check_file(self, ctx: Context, f: SourceFile) -> None:
+        if f.top != "src" or f.module != "serve":
+            return
+        code = f.code
+        for pat, msg in self.PATTERNS:
+            for m in pat.finditer(code):
+                what = m.group(1) if pat.groups else m.group(0)
+                ctx.report(self, f, line_of(code, m.start()),
+                           msg.format(what))
