@@ -215,6 +215,67 @@ reader::ConditionedTrace condition_seed(const wifi::CaptureTrace& trace,
   return out;
 }
 
+/// The pre-vectorisation workspace conditioning, frozen as the scalar
+/// reference for the conditioning speedup gate (scripts/check.sh passes
+/// --min-conditioning-speedup to the validator): SoA collection into
+/// reused per-stream buffers, then the retained span kernels one stream
+/// at a time. Values are identical to condition_into and both paths are
+/// allocation-free once warm — the only difference is stream batching,
+/// so the conditioning_workspace/conditioning_scalar ratio measures the
+/// vectorised kernels, not allocator noise.
+struct ScalarConditionScratch {
+  std::vector<std::vector<double>> raw;  ///< [stream][packet]
+  std::vector<double> centered;          ///< one stream's centered series
+};
+
+void condition_scalar_into(const wifi::CaptureTrace& trace,
+                           reader::MeasurementSource source,
+                           TimeUs movavg_window_us,
+                           ScalarConditionScratch& ws,
+                           reader::ConditionedTrace& out) {
+  const bool want_csi = source == reader::MeasurementSource::kCsi;
+  const std::size_t num_streams =
+      want_csi ? wifi::kNumCsiStreams : phy::kNumAntennas;
+  std::size_t n = 0;
+  if (want_csi) {
+    for (const auto& rec : trace) n += rec.has_csi ? 1 : 0;
+  } else {
+    n = trace.size();
+  }
+  out.timestamps.resize(n);
+  ws.raw.resize(num_streams);
+  for (auto& stream : ws.raw) stream.resize(n);
+
+  std::size_t idx = 0;
+  for (const auto& rec : trace) {
+    if (want_csi && !rec.has_csi) continue;
+    out.timestamps[idx] = rec.timestamp_us;
+    if (want_csi) {
+      std::size_t s = 0;
+      for (std::size_t a = 0; a < phy::kNumAntennas; ++a) {
+        for (std::size_t c = 0; c < phy::kNumSubchannels; ++c) {
+          ws.raw[s++][idx] = rec.csi[a][c];
+        }
+      }
+    } else {
+      for (std::size_t s = 0; s < num_streams; ++s) {
+        ws.raw[s][idx] = rec.rssi_dbm[s];
+      }
+    }
+    ++idx;
+  }
+
+  out.streams.resize(num_streams);
+  ws.centered.resize(n);
+  for (std::size_t s = 0; s < num_streams; ++s) {
+    reader::remove_time_moving_average(
+        std::span<const TimeUs>(out.timestamps),
+        std::span<const double>(ws.raw[s]), movavg_window_us, ws.centered);
+    out.streams[s].resize(n);
+    normalize_mad(ws.centered, out.streams[s]);
+  }
+}
+
 struct Sample {
   double ns_per_packet = 0.0;
   double allocs_per_decode = 0.0;
@@ -297,7 +358,7 @@ bool run_json_report(const std::string& path, bool quick) {
       packets, iters));
   reader::DecodeWorkspace cond_ws;
   reader::ConditionedTrace ct_out;
-  add("conditioning_workspace", measure(
+  const Sample cond_ws_sample = add("conditioning_workspace", measure(
       [&] {
         reader::condition_into(trace, cfg.source, cfg.movavg_window_us,
                                cond_ws, ct_out);
@@ -305,8 +366,37 @@ bool run_json_report(const std::string& path, bool quick) {
       },
       packets, iters));
 
+  // Scalar conditioning reference (see condition_scalar_into above):
+  // same steady-state memory behaviour, per-stream scalar kernels. The
+  // workspace/scalar ratio is the vectorisation-speedup gate.
+  ScalarConditionScratch scalar_ws;
+  reader::ConditionedTrace scalar_out;
+  const Sample cond_scalar = add("conditioning_scalar", measure(
+      [&] {
+        condition_scalar_into(trace, cfg.source, cfg.movavg_window_us,
+                              scalar_ws, scalar_out);
+        benchmark::DoNotOptimize(scalar_out.timestamps.data());
+      },
+      packets, iters));
+
+  // Batch entry point: four traces through one workspace per call. The
+  // per-packet cost should match full_decode_workspace (the batch API is
+  // a loop sharing scratch, not a different pipeline) and stay
+  // allocation-free once the result vector is warm.
+  const std::vector<wifi::CaptureTrace> batch(4, trace);
+  reader::DecodeWorkspace batch_ws;
+  std::vector<reader::UplinkDecodeResult> batch_results;
+  add("full_decode_batch", measure(
+      [&] {
+        dec.decode_batch_into(batch, batch_ws, batch_results);
+        benchmark::DoNotOptimize(batch_results.data());
+      },
+      packets * batch.size(), iters));
+
   report.set_meta("speedup_full_decode_vs_seed",
                   full_seed.ns_per_packet / full_ws.ns_per_packet);
+  report.set_meta("speedup_conditioning_vs_scalar",
+                  cond_scalar.ns_per_packet / cond_ws_sample.ns_per_packet);
   if (!report.write_json(path)) {
     std::fprintf(stderr, "failed to write %s\n", path.c_str());
     return false;
@@ -317,6 +407,10 @@ bool run_json_report(const std::string& path, bool quick) {
               full_seed.ns_per_packet, full_seed.allocs_per_decode,
               full_ws.ns_per_packet, full_ws.allocs_per_decode,
               full_seed.ns_per_packet / full_ws.ns_per_packet);
+  std::printf("conditioning: scalar %.0f ns/pkt, batched %.0f ns/pkt, "
+              "speedup %.2fx\n",
+              cond_scalar.ns_per_packet, cond_ws_sample.ns_per_packet,
+              cond_scalar.ns_per_packet / cond_ws_sample.ns_per_packet);
   return true;
 }
 

@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
 """Validate a BENCH_decoder.json produced by `bench_decoder_micro --json-out`.
 
-Checks the schema (meta + the six measurement rows) and enforces the
-steady-state allocation budget on the workspace rows: the decode hot path
-must not allocate per call (DESIGN.md §10). Used by the ctest smoke test
-and by scripts/check.sh.
+Checks the schema (meta + the eight measurement rows) and enforces two
+steady-state gates on the workspace rows: the decode hot path must not
+allocate per call (DESIGN.md §10), and the stream-batched conditioning
+kernels must beat the frozen scalar reference by --min-conditioning-speedup
+(DESIGN.md §15; the ratio is vectorisation only — both paths are
+allocation-free). Used by the ctest smoke test and by scripts/check.sh.
 
 Usage:
   validate_bench_decoder.py FILE                      # validate existing file
@@ -23,11 +25,19 @@ REQUIRED_ROWS = (
     "conditioning_allocating",
     "full_decode_workspace",
     "conditioning_workspace",
+    "conditioning_scalar",
+    "full_decode_batch",
 )
-WORKSPACE_ROWS = ("full_decode_workspace", "conditioning_workspace")
+WORKSPACE_ROWS = ("full_decode_workspace", "conditioning_workspace",
+                  "full_decode_batch")
 
 # Budgeted steady-state allocations per decode for the workspace path.
 MAX_WORKSPACE_ALLOCS = 0
+
+# Required conditioning_scalar/conditioning_workspace ratio. 2.0 is the
+# Release gate (scripts/check.sh); the ctest smoke test passes 0 because
+# Debug/-O0 builds do not vectorise.
+MIN_CONDITIONING_SPEEDUP = 2.0
 
 
 def fail(msg):
@@ -44,6 +54,10 @@ def main():
                     help="pass --quick to the bench")
     ap.add_argument("--max-workspace-allocs", type=float,
                     default=MAX_WORKSPACE_ALLOCS)
+    ap.add_argument("--min-conditioning-speedup", type=float,
+                    default=MIN_CONDITIONING_SPEEDUP,
+                    help="required conditioning_scalar/conditioning_workspace "
+                         "ratio (0 disables, for unoptimised builds)")
     args = ap.parse_args()
 
     if args.bench:
@@ -72,7 +86,8 @@ def main():
         fail("missing meta object")
     if meta.get("bench") != "decoder_micro":
         fail(f"meta.bench is {meta.get('bench')!r}, want 'decoder_micro'")
-    for key in ("packets", "iters", "speedup_full_decode_vs_seed"):
+    for key in ("packets", "iters", "speedup_full_decode_vs_seed",
+                "speedup_conditioning_vs_scalar"):
         if not isinstance(meta.get(key), (int, float)) or meta[key] <= 0:
             fail(f"meta.{key} missing or not a positive number")
     if not isinstance(meta.get("quick"), bool):
@@ -96,9 +111,16 @@ def main():
             fail(f"row {name!r}: {allocs} allocations/decode exceeds the "
                  f"budget of {args.max_workspace_allocs}")
 
+    cond_speedup = meta["speedup_conditioning_vs_scalar"]
+    if cond_speedup < args.min_conditioning_speedup:
+        fail(f"conditioning speedup {cond_speedup:.2f}x is below the "
+             f"required {args.min_conditioning_speedup:.2f}x "
+             f"(conditioning_scalar / conditioning_workspace)")
+
     speedup = meta["speedup_full_decode_vs_seed"]
     print(f"validate_bench_decoder: OK ({path}: "
-          f"speedup {speedup:.2f}x vs seed, workspace allocs "
+          f"speedup {speedup:.2f}x vs seed, conditioning "
+          f"{cond_speedup:.2f}x vs scalar, workspace allocs "
           f"{[rows[n]['allocs_per_decode'] for n in WORKSPACE_ROWS]})")
 
 

@@ -6,6 +6,7 @@
 #include "core/frame.h"
 #include "core/rate_control.h"
 #include "reader/corr_decoder.h"
+#include "reader/decode_workspace.h"
 #include "reader/downlink_encoder.h"
 #include "runner/seed_derive.h"
 #include "tag/modulator.h"
@@ -56,13 +57,14 @@ phy::UplinkChannelParams make_channel_params(
 
 namespace {
 
-/// Run one frame through the simulator; returns (sent payload, result).
-struct RunOutput {
+/// One simulated frame: the payload the tag sent and the raw capture.
+struct SimOutput {
   BitVec sent;
-  reader::UplinkDecodeResult result;
+  wifi::CaptureTrace trace;
 };
 
-RunOutput run_one_frame(const UplinkExperimentParams& p, std::uint64_t run) {
+SimOutput simulate_one_frame(const UplinkExperimentParams& p,
+                             std::uint64_t run) {
   const TimeUs bit_us = p.bit_duration_us();
   const std::uint64_t seed =
       p.seed * 0x9e3779b97f4a7c15ull + run * 0xc2b2ae3d27d4eb4full + 1;
@@ -88,8 +90,19 @@ RunOutput run_one_frame(const UplinkExperimentParams& p, std::uint64_t run) {
 
   tag::Modulator mod(frame, bit_us, frame_start);
   UplinkSim sim(sim_cfg);
-  const auto trace = sim.run(timeline, mod);
+  SimOutput out;
+  out.sent = payload;
+  out.trace = sim.run(timeline, mod);
+  return out;
+}
 
+/// Decoder configuration for the plain uplink experiments. Run-invariant
+/// (the frame start is the fixed query lead time), so callers hoist the
+/// decoder — and with it a workspace and result buffers — out of the run
+/// loop and decode every trace through decode_into (DESIGN.md §15).
+reader::UplinkDecoderConfig experiment_decoder_config(
+    const UplinkExperimentParams& p) {
+  const TimeUs bit_us = p.bit_duration_us();
   reader::UplinkDecoderConfig dec;
   dec.source = p.source;
   dec.preamble = barker13();
@@ -101,14 +114,9 @@ RunOutput run_one_frame(const UplinkExperimentParams& p, std::uint64_t run) {
   dec.hysteresis_sigma = p.hysteresis_sigma;
   dec.sync_threshold = p.sync_threshold;
   // The reader knows roughly when it queried the tag; search +-2 bits.
-  dec.search_from = frame_start - 2 * bit_us;
-  dec.search_to = frame_start + 2 * bit_us;
-
-  reader::UplinkDecoder decoder(dec);
-  RunOutput out;
-  out.sent = payload;
-  out.result = decoder.decode(trace);
-  return out;
+  dec.search_from = kLeadUs - 2 * bit_us;
+  dec.search_to = kLeadUs + 2 * bit_us;
+  return dec;
 }
 
 }  // namespace
@@ -116,14 +124,18 @@ RunOutput run_one_frame(const UplinkExperimentParams& p, std::uint64_t run) {
 BerMeasurement measure_uplink_ber(const UplinkExperimentParams& p) {
   BerCounter ber;
   BerMeasurement m;
+  const reader::UplinkDecoder decoder(experiment_decoder_config(p));
+  reader::DecodeWorkspace ws;
+  reader::UplinkDecodeResult result;
   for (std::size_t run = 0; run < p.runs; ++run) {
-    const auto out = run_one_frame(p, run);
-    if (!out.result.found) {
+    const auto out = simulate_one_frame(p, run);
+    decoder.decode_into(out.trace, ws, result);
+    if (!result.found) {
       ++m.failed_syncs;
       ber.add_counts(out.sent.size(), out.sent.size());
       continue;
     }
-    ber.add(out.sent, out.result.payload);
+    ber.add(out.sent, result.payload);
   }
   m.ber = ber.ber_floored();
   m.ber_raw = ber.ber();
@@ -260,10 +272,13 @@ std::vector<double> measure_per_stream_ber(const UplinkExperimentParams& p) {
 
 double measure_packet_delivery(const UplinkExperimentParams& p) {
   std::size_t delivered = 0;
+  const reader::UplinkDecoder decoder(experiment_decoder_config(p));
+  reader::DecodeWorkspace ws;
+  reader::UplinkDecodeResult result;
   for (std::size_t run = 0; run < p.runs; ++run) {
-    const auto out = run_one_frame(p, run);
-    if (out.result.found &&
-        hamming_distance(out.sent, out.result.payload) == 0) {
+    const auto out = simulate_one_frame(p, run);
+    decoder.decode_into(out.trace, ws, result);
+    if (result.found && hamming_distance(out.sent, result.payload) == 0) {
       ++delivered;
     }
   }
@@ -290,11 +305,27 @@ double achievable_bit_rate(UplinkExperimentParams p, double target_ber) {
 BerMeasurement measure_coded_uplink_ber(const CodedExperimentParams& p) {
   BerCounter ber;
   BerMeasurement m;
+  // Codes, chip duration and the decoder are run-invariant; the runs only
+  // redraw payloads, noise and traffic. Hoisting them (with a workspace)
+  // makes the loop allocation-light, same as measure_uplink_ber.
+  const auto chip_us =
+      TimeUs::from_us(1e6 * p.packets_per_chip / p.helper_pps);
+  const auto codes = make_orthogonal_pair(p.code_length);
+  const TimeUs frame_start = kLeadUs;
+
+  reader::CodedDecoderConfig dec;
+  dec.codes = codes;
+  dec.preamble = barker13();
+  dec.payload_bits = p.payload_bits;
+  dec.chip_duration_us = chip_us;
+  dec.known_start = frame_start;  // query-synchronised experiment (§10)
+  const reader::CodedUplinkDecoder decoder(dec);
+  reader::DecodeWorkspace ws;
+  reader::CodedDecodeResult result;
+
   for (std::size_t run = 0; run < p.runs; ++run) {
     const std::uint64_t seed =
         p.seed * 0x9e3779b97f4a7c15ull + run * 0xff51afd7ed558ccdull + 1;
-    const auto chip_us =
-        TimeUs::from_us(1e6 * p.packets_per_chip / p.helper_pps);
 
     UplinkExperimentParams geo;
     geo.tag_reader_distance_m = p.tag_reader_distance_m;
@@ -304,12 +335,10 @@ BerMeasurement measure_coded_uplink_ber(const CodedExperimentParams& p) {
     sim_cfg.seed = seed;
     sim_cfg.channel_seed = p.channel_seed;
 
-    const auto codes = make_orthogonal_pair(p.code_length);
     const BitVec payload = random_bits(p.payload_bits, seed ^ 0xabcdu);
     BitVec frame = barker13();
     frame.insert(frame.end(), payload.begin(), payload.end());
 
-    const TimeUs frame_start = kLeadUs;
     const TimeUs frame_dur =
         chip_us * static_cast<std::int64_t>(frame.size() * p.code_length);
     const TimeUs until = frame_start + frame_dur + kTailUs;
@@ -323,14 +352,7 @@ BerMeasurement measure_coded_uplink_ber(const CodedExperimentParams& p) {
     UplinkSim sim(sim_cfg);
     const auto trace = sim.run(timeline, mod);
 
-    reader::CodedDecoderConfig dec;
-    dec.codes = codes;
-    dec.preamble = barker13();
-    dec.payload_bits = p.payload_bits;
-    dec.chip_duration_us = chip_us;
-    dec.known_start = frame_start;  // query-synchronised experiment (§10)
-    reader::CodedUplinkDecoder decoder(dec);
-    const auto result = decoder.decode(trace);
+    decoder.decode_into(trace, ws, result);
     if (!result.found) {
       ber.add_counts(payload.size(), payload.size());
       ++m.failed_syncs;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "obs/forensics.h"
 #include "obs/metrics.h"
@@ -10,6 +11,7 @@
 
 #include "reader/decode_workspace.h"
 #include "util/dsp.h"
+#include "util/simd.h"
 
 namespace wb::reader {
 
@@ -19,6 +21,10 @@ void remove_time_moving_average(std::span<const TimeUs> ts,
   WB_REQUIRE(ts.size() == xs.size(),
              "one measurement per timestamp is required");
   WB_REQUIRE(out.size() == xs.size(), "output must cover every sample");
+  WB_REQUIRE(!detail::spans_overlap(xs.data(), xs.size(), out.data(),
+                                    out.size()),
+             "out must not alias xs: the sliding window re-reads samples "
+             "behind the cursor");
   WB_REQUIRE(window_us > TimeUs{},
              "moving-average window must be positive");
   WB_REQUIRE(std::is_sorted(ts.begin(), ts.end()),
@@ -56,6 +62,172 @@ std::vector<double> remove_time_moving_average(
   return out;
 }
 
+namespace {
+
+// Shared body of the remove_time_moving_average_rows variants. When `mad`
+// is non-null it accumulates |out| per column alongside the centering
+// sweep (the fused-MAD overload); the accumulation reads each output
+// value the instant it is produced, in the same row order wb::mad_rows
+// would read the finished matrix, so the sums are bit-identical.
+WB_SIMD_MULTIVERSION
+void movavg_rows_impl(std::span<const TimeUs> ts, std::span<const double> rows,
+                      std::size_t stride, TimeUs window_us,
+                      std::span<double> sum_scratch,
+                      std::span<double> out_rows, double* mad) {
+  WB_REQUIRE(stride > 0 && stride % simd::kLanes == 0,
+             "row stride must be a positive multiple of the pack width");
+  WB_REQUIRE(rows.size() == ts.size() * stride,
+             "rows must hold one stride-wide row per timestamp");
+  WB_REQUIRE(out_rows.size() == rows.size(),
+             "output must cover every sample");
+  WB_REQUIRE(sum_scratch.size() == stride,
+             "window-sum scratch needs one accumulator per lane column");
+  WB_REQUIRE(!detail::spans_overlap(rows.data(), rows.size(),
+                                    out_rows.data(), out_rows.size()),
+             "out_rows must not alias rows: the sliding window re-reads "
+             "samples behind the cursor");
+  WB_REQUIRE(!detail::spans_overlap(sum_scratch.data(), sum_scratch.size(),
+                                    out_rows.data(), out_rows.size()),
+             "window-sum scratch must not alias the output");
+  WB_REQUIRE(window_us > TimeUs{},
+             "moving-average window must be positive");
+  WB_REQUIRE(std::is_sorted(ts.begin(), ts.end()),
+             "capture timestamps must be non-decreasing");
+  using P = simd::dpack;
+  const TimeUs half = window_us / 2;
+  const std::size_t n = ts.size();
+  std::size_t head = 0;  // first row inside [t_k - half, t_k + half]
+  std::size_t tail = 0;  // one past the last row inside
+  for (double& s : sum_scratch) s = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    // Same cursor advance and per-column add/retire order as the span
+    // variant — the window bounds depend only on the shared timestamps,
+    // which is what makes batching across columns free.
+    while (tail < n && ts[tail] <= ts[k] + half) {
+      const double* row = rows.data() + tail * stride;
+      for (std::size_t g = 0; g < stride; g += simd::kLanes) {
+        (P::load(sum_scratch.data() + g) + P::load(row + g))
+            .store(sum_scratch.data() + g);
+      }
+      ++tail;
+    }
+    while (ts[head] < ts[k] - half) {
+      const double* row = rows.data() + head * stride;
+      for (std::size_t g = 0; g < stride; g += simd::kLanes) {
+        (P::load(sum_scratch.data() + g) - P::load(row + g))
+            .store(sum_scratch.data() + g);
+      }
+      ++head;
+    }
+    const P nwin = P::broadcast(static_cast<double>(tail - head));
+    const double* x = rows.data() + k * stride;
+    double* o = out_rows.data() + k * stride;
+    if (mad != nullptr) {
+      for (std::size_t g = 0; g < stride; g += simd::kLanes) {
+        const P out = P::load(x + g) - P::load(sum_scratch.data() + g) / nwin;
+        out.store(o + g);
+        (P::load(mad + g) + P::abs(out)).store(mad + g);
+      }
+    } else {
+      for (std::size_t g = 0; g < stride; g += simd::kLanes) {
+        (P::load(x + g) - P::load(sum_scratch.data() + g) / nwin)
+            .store(o + g);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void remove_time_moving_average_rows(std::span<const TimeUs> ts,
+                                     std::span<const double> rows,
+                                     std::size_t stride, TimeUs window_us,
+                                     std::span<double> sum_scratch,
+                                     std::span<double> out_rows) {
+  movavg_rows_impl(ts, rows, stride, window_us, sum_scratch, out_rows,
+                   nullptr);
+}
+
+void remove_time_moving_average_rows(std::span<const TimeUs> ts,
+                                     std::span<const double> rows,
+                                     std::size_t stride, TimeUs window_us,
+                                     std::span<double> sum_scratch,
+                                     std::span<double> out_rows,
+                                     std::span<double> mad_out) {
+  WB_REQUIRE(mad_out.size() == stride,
+             "mad output needs one accumulator per lane column");
+  WB_REQUIRE(!detail::spans_overlap(mad_out.data(), mad_out.size(),
+                                    out_rows.data(), out_rows.size()),
+             "mad output must not alias the output rows");
+  WB_REQUIRE(!detail::spans_overlap(mad_out.data(), mad_out.size(),
+                                    sum_scratch.data(), sum_scratch.size()),
+             "mad output must not alias the window sums");
+  for (double& m : mad_out) m = 0.0;
+  movavg_rows_impl(ts, rows, stride, window_us, sum_scratch, out_rows,
+                   mad_out.data());
+  if (ts.empty()) {
+    // No rows: every column is degenerate, same safe divisors mad_rows
+    // produces on an empty matrix.
+    for (double& m : mad_out) m = 1.0;
+    return;
+  }
+  // Same divisor fixup as mad_rows: degenerate columns (mad <= 0) divide
+  // by 1.0, an exact copy.
+  const double n = static_cast<double>(ts.size());
+  for (double& m : mad_out) {
+    const double mad = m / n;
+    m = mad <= 0.0 ? 1.0 : mad;
+  }
+}
+
+namespace {
+
+// Transpose the conditioned [packet][lane] rows back to the
+// [stream][packet] vectors the decoders consume, dividing each column by
+// its MAD on the way out — normalize_mad_rows' divide pass fused into the
+// transpose, one matrix pass instead of two. Each element still sees the
+// same single IEEE divide by the same mad_rows divisor, so the output is
+// bit-identical to normalize-then-copy. Reads are contiguous pack loads
+// (stride is padded past num_streams, so the last group may cover inert
+// padding columns); writes fan each lane out to its stream vector.
+WB_SIMD_MULTIVERSION
+void transpose_divide_rows(const double* rows, std::size_t stride,
+                           std::size_t n, const double* mad,
+                           std::size_t num_streams,
+                           std::vector<std::vector<double>>& streams) {
+  using P = simd::dpack;
+  constexpr std::size_t L = simd::kLanes;
+  for (std::size_t g = 0; g < num_streams; g += L) {
+    const std::size_t lanes = std::min(L, num_streams - g);
+    const P d = P::load(mad + g);
+    double* dst[L] = {};
+    for (std::size_t l = 0; l < lanes; ++l) dst[l] = streams[g + l].data();
+    std::size_t k = 0;
+    if (lanes == L) {
+      // L×L blocks: L pack loads down the rows, an in-register transpose,
+      // L contiguous pack stores across the streams. Each element still
+      // sees its one IEEE divide; only the store pattern changes.
+      for (; k + L <= n; k += L) {
+        P v[L];
+        for (std::size_t r = 0; r < L; ++r) {
+          v[r] = P::load(rows + (k + r) * stride + g) / d;
+        }
+        for (std::size_t l = 0; l < L; ++l) {
+          P w;
+          for (std::size_t r = 0; r < L; ++r) w.lane[r] = v[r].lane[l];
+          w.store(dst[l] + k);
+        }
+      }
+    }
+    for (; k < n; ++k) {
+      const P v = P::load(rows + k * stride + g) / d;
+      for (std::size_t l = 0; l < lanes; ++l) dst[l][k] = v.lane[l];
+    }
+  }
+}
+
+}  // namespace
+
 void condition_into(const wifi::CaptureTrace& trace, MeasurementSource source,
                     TimeUs movavg_window_us, DecodeWorkspace& ws,
                     ConditionedTrace& out) {
@@ -79,40 +251,56 @@ void condition_into(const wifi::CaptureTrace& trace, MeasurementSource source,
     n = trace.size();
   }
   out.timestamps.resize(n);
-  ws.raw.resize(num_streams);
-  for (auto& stream : ws.raw) stream.resize(n);
+
+  // Interleaved [packet][lane] rows (DESIGN.md §15): each record writes one
+  // contiguous row — the order a record naturally arrives in — and the
+  // batched kernels then center + normalise all stream columns per time
+  // step in one pass. The stride pads up to the pack width; padding lanes
+  // are zero-filled so they ride through the kernels as inert columns.
+  const std::size_t stride =
+      (num_streams + simd::kLanes - 1) / simd::kLanes * simd::kLanes;
+  ws.raw_rows.resize(n * stride);
+  ws.centered_rows.resize(n * stride);
+  ws.row_sums.resize(stride);
+  ws.row_mads.resize(stride);
 
   std::size_t idx = 0;
   for (const auto& rec : trace) {
     if (want_csi && !rec.has_csi) continue;
     out.timestamps[idx] = rec.timestamp_us;
+    double* row = ws.raw_rows.data() + idx * stride;
     if (want_csi) {
-      // Flattened stream order is antenna-major (stream_index), so the
-      // record's CSI matrix can be copied row by row.
-      std::size_t s = 0;
+      // Lane order is antenna-major (stream_index), so the record's CSI
+      // matrix is copied row by row — each antenna row is contiguous.
       for (std::size_t a = 0; a < phy::kNumAntennas; ++a) {
-        for (std::size_t c = 0; c < phy::kNumSubchannels; ++c) {
-          ws.raw[s++][idx] = rec.csi[a][c];
-        }
+        std::memcpy(row + a * phy::kNumSubchannels, rec.csi[a].data(),
+                    phy::kNumSubchannels * sizeof(double));
       }
     } else {
       for (std::size_t s = 0; s < num_streams; ++s) {
-        ws.raw[s][idx] = rec.rssi_dbm[s];
+        row[s] = rec.rssi_dbm[s];
       }
     }
+    for (std::size_t s = num_streams; s < stride; ++s) row[s] = 0.0;
     ++idx;
   }
   WB_ENSURE(idx == n);
 
   out.streams.resize(num_streams);
-  ws.centered.resize(n);
   for (std::size_t s = 0; s < num_streams; ++s) {
-    remove_time_moving_average(std::span<const TimeUs>(out.timestamps),
-                               std::span<const double>(ws.raw[s]),
-                               movavg_window_us, ws.centered);
     out.streams[s].resize(n);
-    normalize_mad(ws.centered, out.streams[s]);
-    WB_ENSURE(out.streams[s].size() == out.timestamps.size());
+  }
+  if (n > 0) {
+    // Fused pipeline, bit-identical to remove_time_moving_average_rows +
+    // normalize_mad_rows + a plain transpose: the MAD divisors accumulate
+    // inside the centering sweep (conditioning.h) and the divide rides the
+    // transpose, so the matrix crosses memory twice instead of four times.
+    remove_time_moving_average_rows(
+        std::span<const TimeUs>(out.timestamps),
+        std::span<const double>(ws.raw_rows), stride, movavg_window_us,
+        ws.row_sums, ws.centered_rows, ws.row_mads);
+    transpose_divide_rows(ws.centered_rows.data(), stride, n,
+                          ws.row_mads.data(), num_streams, out.streams);
   }
   if (auto* m = obs::metrics()) {
     m->counter("reader.conditioning.traces_total").add(1);

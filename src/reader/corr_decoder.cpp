@@ -12,6 +12,7 @@
 
 #include "reader/decode_workspace.h"
 #include "reader/uplink_decoder.h"
+#include "util/simd.h"
 
 namespace wb::reader {
 namespace {
@@ -31,6 +32,11 @@ CodedUplinkDecoder::CodedUplinkDecoder(CodedDecoderConfig cfg)
   WB_REQUIRE(cfg_.chip_duration_us > TimeUs{});
   WB_REQUIRE(cfg_.num_good_streams > 0);
   WB_REQUIRE(cfg_.min_fill >= 0.0 && cfg_.min_fill <= 1.0);
+  WB_REQUIRE(!(cfg_.search_from && cfg_.search_to) ||
+                 *cfg_.search_to >= *cfg_.search_from,
+             "search window must satisfy search_to >= search_from — an "
+             "inverted window used to be silently collapsed to a single "
+             "probe offset");
   // Expand the preamble into its chip template once.
   preamble_chips_bipolar_.reserve(cfg_.preamble.size() *
                                   cfg_.chips_per_bit());
@@ -102,6 +108,15 @@ void CodedUplinkDecoder::decode_into(const wifi::CaptureTrace& trace,
   }
 }
 
+void CodedUplinkDecoder::decode_batch_into(
+    std::span<const wifi::CaptureTrace> traces, DecodeWorkspace& ws,
+    std::vector<CodedDecodeResult>& out) const {
+  out.resize(traces.size());
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    decode_into(traces[i], ws, out[i]);
+  }
+}
+
 CodedDecodeResult CodedUplinkDecoder::decode_conditioned(
     const ConditionedTrace& ct) const {
   DecodeWorkspace ws;
@@ -146,9 +161,15 @@ void CodedUplinkDecoder::decode_conditioned_into(const ConditionedTrace& ct_in,
 
   // Winsorise against correlated outliers (see clip_sigma in the config)
   // into the workspace copy; without clipping the input is used as-is.
+  // Vectorised elementwise (pack clamp matches std::clamp lane for lane);
+  // the clamp count is an exact integer however the lanes are summed, so
+  // the per-lane counters can be folded with one hsum.
   const ConditionedTrace* ct = &ct_in;
   if (cfg_.clip_sigma > 0.0) {
-    std::size_t clamped = 0;
+    using P = simd::dpack;
+    const P lo = P::broadcast(-cfg_.clip_sigma);
+    const P hi = P::broadcast(cfg_.clip_sigma);
+    double clamped = 0.0;
     std::size_t total = 0;
     ws.clipped.timestamps.assign(ct_in.timestamps.begin(),
                                  ct_in.timestamps.end());
@@ -157,15 +178,31 @@ void CodedUplinkDecoder::decode_conditioned_into(const ConditionedTrace& ct_in,
       const auto& src = ct_in.streams[s];
       auto& dst = ws.clipped.streams[s];
       dst.resize(src.size());
-      for (std::size_t k = 0; k < src.size(); ++k) {
-        if (src[k] > cfg_.clip_sigma || src[k] < -cfg_.clip_sigma) ++clamped;
+      const std::size_t main = src.size() - src.size() % simd::kLanes;
+      P cnt = P::zero();
+      for (std::size_t k = 0; k < main; k += simd::kLanes) {
+        const P v = P::load(src.data() + k);
+        P over;
+        for (std::size_t l = 0; l < simd::kLanes; ++l) {
+          over.lane[l] =
+              (v.lane[l] > cfg_.clip_sigma || v.lane[l] < -cfg_.clip_sigma)
+                  ? 1.0
+                  : 0.0;
+        }
+        cnt += over;
+        P::clamp(v, lo, hi).store(dst.data() + k);
+      }
+      clamped += cnt.hsum();
+      for (std::size_t k = main; k < src.size(); ++k) {
+        if (src[k] > cfg_.clip_sigma || src[k] < -cfg_.clip_sigma) {
+          clamped += 1.0;
+        }
         dst[k] = std::clamp(src[k], -cfg_.clip_sigma, cfg_.clip_sigma);
       }
       total += src.size();
     }
     out.clipped_fraction =
-        total > 0 ? static_cast<double>(clamped) / static_cast<double>(total)
-                  : 0.0;
+        total > 0 ? clamped / static_cast<double>(total) : 0.0;
     ct = &ws.clipped;
   }
 
@@ -179,9 +216,29 @@ void CodedUplinkDecoder::decode_conditioned_into(const ConditionedTrace& ct_in,
   corrs.resize(ct->num_streams());
   order.resize(ct->num_streams());
 
+  // One shared slot map per candidate start, per-stream contiguous sum
+  // passes after it — bit-identical to preamble_correlation per stream
+  // (same accumulation order, same sum/count division, shared fill gate).
+  const std::size_t nchips = preamble_chips_bipolar_.size();
   auto evaluate = [&](TimeUs tau) {
+    UplinkDecoder::bin_window_into(*ct, tau, cfg_.chip_duration_us, nchips,
+                                   ws);
+    const double need = cfg_.min_fill * static_cast<double>(nchips);
+    const bool enough =
+        static_cast<double>(ws.bin_filled) >= need && ws.bin_filled > 0;
     for (std::size_t s = 0; s < ct->num_streams(); ++s) {
-      corrs[s] = preamble_correlation(*ct, s, tau, ws);
+      if (!enough) {
+        corrs[s] = 0.0;
+        continue;
+      }
+      UplinkDecoder::bin_stream_sums_into(*ct, s, ws);
+      double corr = 0.0;
+      for (std::size_t i = 0; i < nchips; ++i) {
+        if (ws.bin_count[i] == 0) continue;
+        corr += (ws.bin_sums[i] / static_cast<double>(ws.bin_count[i])) *
+                preamble_chips_bipolar_[i];
+      }
+      corrs[s] = corr / static_cast<double>(ws.bin_filled);
     }
     for (std::size_t s = 0; s < order.size(); ++s) order[s] = s;
     std::partial_sort(order.begin(), order.begin() + static_cast<long>(g),
@@ -207,6 +264,8 @@ void CodedUplinkDecoder::decode_conditioned_into(const ConditionedTrace& ct_in,
                             : cfg_.chip_duration_us / 2;
     for (TimeUs tau = from; tau <= to; tau += std::max(step, TimeUs{1})) {
       const double score = evaluate(tau);
+      // First-max-wins: the strict `>` keeps the *earliest* tau among
+      // equal peaks. Pinned by tests — see the uplink decoder's sync loop.
       if (score > best_score) {
         best_score = score;
         best_start = tau;
@@ -239,20 +298,24 @@ void CodedUplinkDecoder::decode_conditioned_into(const ConditionedTrace& ct_in,
   const std::size_t l = cfg_.chips_per_bit();
   out.payload.assign(cfg_.payload_bits, 0);
   out.margin.assign(cfg_.payload_bits, 0.0);
-  // Bin each bit's chip block per selected stream (scratch in ws.slots).
+  // One shared slot map per chip block, reused by every selected stream
+  // (the map depends only on the timestamps) — bit-identical to the
+  // per-(bit, stream) bin_slots_into it replaces.
   for (std::size_t b = 0; b < cfg_.payload_bits; ++b) {
     const TimeUs block_start =
         best_start +
         cfg_.chip_duration_us *
             static_cast<std::int64_t>((cfg_.preamble.size() + b) * l);
+    UplinkDecoder::bin_window_into(*ct, block_start, cfg_.chip_duration_us,
+                                   l, ws);
     double combined = 0.0;
     for (std::size_t i = 0; i < out.streams.size(); ++i) {
-      UplinkDecoder::bin_slots_into(*ct, out.streams[i], block_start,
-                                    cfg_.chip_duration_us, l, ws.slots);
+      UplinkDecoder::bin_stream_sums_into(*ct, out.streams[i], ws);
       double diff = 0.0;  // corr(one) - corr(zero)
       for (std::size_t c = 0; c < l; ++c) {
-        if (ws.slots[c].count == 0) continue;
-        diff += ws.slots[c].mean * code_diff_bipolar_[c];
+        if (ws.bin_count[c] == 0) continue;
+        diff += (ws.bin_sums[c] / static_cast<double>(ws.bin_count[c])) *
+                code_diff_bipolar_[c];
       }
       combined += out.weights[i] * out.polarity[i] * diff;
     }

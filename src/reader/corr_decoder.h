@@ -14,6 +14,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "obs/forensics.h"
@@ -48,7 +49,9 @@ struct CodedDecoderConfig {
   /// the coded preamble over the trace.
   std::optional<TimeUs> known_start;
 
-  /// Sync search window and step (used when known_start is unset).
+  /// Sync search window and step (used when known_start is unset). When
+  /// both ends are set, `to` must not precede `from` — the constructor
+  /// rejects an inverted window instead of silently collapsing it.
   std::optional<TimeUs> search_from;
   std::optional<TimeUs> search_to;
   TimeUs sync_step_us{0};  ///< 0 = chip_duration/2
@@ -103,6 +106,14 @@ class CodedUplinkDecoder {
                    CodedDecodeResult& out) const;
   void decode_conditioned_into(const ConditionedTrace& ct, DecodeWorkspace& ws,
                                CodedDecodeResult& out) const;
+
+  /// Batch decode (DESIGN.md §15): every trace through one workspace;
+  /// `out` is resized to traces.size() and its entries reused, so a
+  /// warmed-up batch is allocation-free. Bit-identical to calling
+  /// decode_into per trace.
+  void decode_batch_into(std::span<const wifi::CaptureTrace> traces,
+                         DecodeWorkspace& ws,
+                         std::vector<CodedDecodeResult>& out) const;
 
   /// Per-chip-normalised correlation of a stream against the *coded
   /// preamble* at a candidate start (signed; 0 when under-filled).

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "reader/conditioning.h"
@@ -35,13 +36,28 @@ struct SlotStat {
 };
 
 struct DecodeWorkspace {
-  // -- conditioning (condition_into) --
-  std::vector<std::vector<double>> raw;  ///< [stream][packet] SoA collection
-  std::vector<double> centered;          ///< moving-average-removal output
+  // -- conditioning (condition_into, DESIGN.md §15) --
+  // Row-major [packet][lane] matrices: one row per usable record, one lane
+  // per stream, the stride padded up to a multiple of simd::kLanes so the
+  // batched kernels run branch-free (padding lanes carry zeros).
+  std::vector<double> raw_rows;       ///< interleaved raw collection
+  std::vector<double> centered_rows;  ///< kernel output (normalised in place)
+  std::vector<double> row_sums;       ///< per-lane window-sum scratch
+  std::vector<double> row_mads;       ///< per-lane MAD divisors
 
   // -- frame sync (find_frame / preamble correlation) --
   std::vector<SlotStat> slots;           ///< bin_slots_into scratch
   std::vector<double> corrs;             ///< per-stream preamble correlation
+
+  // Stream-batched slot binning (UplinkDecoder::bin_window_into): the
+  // timestamp→slot map and per-slot packet counts are shared by every
+  // stream of a window, so they are computed once per candidate start.
+  std::vector<std::uint32_t> bin_slot_of;  ///< slot of each window packet
+  std::vector<std::uint32_t> bin_count;    ///< packets binned per slot
+  std::vector<double> bin_sums;            ///< per-slot sums of one stream
+  std::size_t bin_first = 0;   ///< trace index of the window's first packet
+  std::size_t bin_nslots = 0;  ///< slots in the prepared window
+  std::size_t bin_filled = 0;  ///< slots with at least one packet
   std::vector<std::size_t> order;        ///< stream ranking scratch
   std::vector<std::size_t> best_streams; ///< selected streams of the best tau
   std::vector<double> best_polarity;     ///< their correlation signs

@@ -12,6 +12,7 @@
 #include "wifi/trace_io.h"
 
 #include "util/dsp.h"
+#include "util/simd.h"
 
 namespace wb::reader {
 namespace {
@@ -31,6 +32,11 @@ UplinkDecoder::UplinkDecoder(UplinkDecoderConfig cfg) : cfg_(std::move(cfg)) {
   WB_REQUIRE(cfg_.movavg_window_us > TimeUs{});
   WB_REQUIRE(cfg_.hysteresis_sigma >= 0.0);
   WB_REQUIRE(cfg_.min_preamble_fill >= 0.0 && cfg_.min_preamble_fill <= 1.0);
+  WB_REQUIRE(!(cfg_.search_from && cfg_.search_to) ||
+                 *cfg_.search_to >= *cfg_.search_from,
+             "search window must satisfy search_to >= search_from — an "
+             "inverted window used to be silently collapsed to a single "
+             "probe offset");
 }
 
 void UplinkDecoder::bin_slots_into(const ConditionedTrace& ct,
@@ -54,6 +60,43 @@ void UplinkDecoder::bin_slots_into(const ConditionedTrace& ct,
   }
   for (auto& s : out) {
     if (s.count > 0) s.mean /= static_cast<double>(s.count);
+  }
+}
+
+void UplinkDecoder::bin_window_into(const ConditionedTrace& ct,
+                                    TimeUs start_us, TimeUs slot_us,
+                                    std::size_t nslots, DecodeWorkspace& ws) {
+  WB_REQUIRE(slot_us > TimeUs{}, "slot duration must be positive");
+  const auto& ts = ct.timestamps;
+  std::size_t k = lower_index(ts, start_us);
+  ws.bin_first = k;
+  ws.bin_nslots = nslots;
+  ws.bin_slot_of.clear();
+  ws.bin_count.assign(nslots, 0);
+  const TimeUs end = start_us + slot_us * static_cast<std::int64_t>(nslots);
+  for (; k < ts.size() && ts[k] < end; ++k) {
+    const auto slot =
+        static_cast<std::uint32_t>((ts[k] - start_us) / slot_us);
+    ws.bin_slot_of.push_back(slot);
+    ++ws.bin_count[slot];
+  }
+  ws.bin_filled = 0;
+  for (const std::uint32_t c : ws.bin_count) {
+    if (c > 0) ++ws.bin_filled;
+  }
+}
+
+void UplinkDecoder::bin_stream_sums_into(const ConditionedTrace& ct,
+                                         std::size_t stream,
+                                         DecodeWorkspace& ws) {
+  WB_REQUIRE(stream < ct.num_streams(), "stream index out of range");
+  WB_REQUIRE(ct.streams[stream].size() == ct.timestamps.size(),
+             "conditioned stream must cover every packet");
+  const auto& xs = ct.streams[stream];
+  ws.bin_sums.assign(ws.bin_nslots, 0.0);
+  const std::size_t k0 = ws.bin_first;
+  for (std::size_t j = 0; j < ws.bin_slot_of.size(); ++j) {
+    ws.bin_sums[ws.bin_slot_of[j]] += xs[k0 + j];
   }
 }
 
@@ -112,6 +155,10 @@ bool UplinkDecoder::find_frame(const ConditionedTrace& ct,
   TimeUs from = cfg_.search_from.value_or(t0);
   TimeUs to = cfg_.search_to.value_or(t1 - cfg_.frame_duration_us());
   from = std::max(from, t0 - cfg_.bit_duration_us);
+  // The constructor rejects an inverted *configured* window; this clamp
+  // only covers the data-derived default (a trace shorter than one frame
+  // makes t1 - frame_duration precede `from`), where probing the single
+  // offset `from` is the right degenerate search.
   to = std::max(to, from);
   const TimeUs step =
       cfg_.sync_step_us > TimeUs{} ? cfg_.sync_step_us
@@ -119,6 +166,7 @@ bool UplinkDecoder::find_frame(const ConditionedTrace& ct,
 
   const std::size_t g =
       std::min(cfg_.num_good_streams, ct.num_streams());
+  const std::size_t nslots = cfg_.preamble.size();
 
   bool has_best = false;
   TimeUs best_start{0};
@@ -128,8 +176,29 @@ bool UplinkDecoder::find_frame(const ConditionedTrace& ct,
   corrs.resize(ct.num_streams());
   order.resize(ct.num_streams());
   for (TimeUs tau = from; tau <= to; tau += std::max(step, TimeUs{1})) {
+    // One shared slot map per candidate start, then a contiguous
+    // sum-accumulation pass per stream: bit-identical to running
+    // preamble_correlation per stream (same accumulation order, same
+    // sum/count division, shared fill gate), minus the per-stream
+    // timestamp walks.
+    bin_window_into(ct, tau, cfg_.bit_duration_us, nslots, ws);
+    const double need =
+        cfg_.min_preamble_fill * static_cast<double>(nslots);
+    const bool enough = static_cast<double>(ws.bin_filled) >= need &&
+                        ws.bin_filled > 0;
     for (std::size_t s = 0; s < ct.num_streams(); ++s) {
-      corrs[s] = preamble_correlation(ct, s, tau, ws);
+      if (!enough) {
+        corrs[s] = 0.0;
+        continue;
+      }
+      bin_stream_sums_into(ct, s, ws);
+      double corr = 0.0;
+      for (std::size_t i = 0; i < nslots; ++i) {
+        if (ws.bin_count[i] == 0) continue;
+        corr += (ws.bin_sums[i] / static_cast<double>(ws.bin_count[i])) *
+                (cfg_.preamble[i] ? 1.0 : -1.0);
+      }
+      corrs[s] = corr / static_cast<double>(ws.bin_filled);
     }
     for (std::size_t s = 0; s < order.size(); ++s) order[s] = s;
     std::partial_sort(order.begin(), order.begin() + static_cast<long>(g),
@@ -139,6 +208,9 @@ bool UplinkDecoder::find_frame(const ConditionedTrace& ct,
     double tau_score = 0.0;
     for (std::size_t i = 0; i < g; ++i) tau_score += std::abs(corrs[order[i]]);
     tau_score /= static_cast<double>(g);
+    // First-max-wins: the strict `>` keeps the *earliest* tau among equal
+    // peaks. Load-bearing and pinned by tests — a reassociated reduction
+    // or a `>=` here would silently shift which frame start wins.
     if (!has_best || tau_score > best_score) {
       has_best = true;
       best_start = tau;
@@ -241,6 +313,15 @@ void UplinkDecoder::decode_into(const wifi::CaptureTrace& trace,
   }
 }
 
+void UplinkDecoder::decode_batch_into(
+    std::span<const wifi::CaptureTrace> traces, DecodeWorkspace& ws,
+    std::vector<UplinkDecodeResult>& out) const {
+  out.resize(traces.size());
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    decode_into(traces[i], ws, out[i]);
+  }
+}
+
 UplinkDecodeResult UplinkDecoder::decode_conditioned(
     const ConditionedTrace& ct) const {
   DecodeWorkspace ws;
@@ -324,25 +405,45 @@ void UplinkDecoder::decode_conditioned_into(const ConditionedTrace& ct,
     }
   }
 
-  // Combined signal y_k over the whole frame interval.
+  // Combined signal y_k over the whole frame interval, vectorised over
+  // time (DESIGN.md §15): y starts at zero and the selected streams are
+  // accumulated one at a time in selection order, so every y_k replays the
+  // scalar chain ((0 + w0*p0*x0) + w1*p1*x1) + ... before one division by
+  // wsum — bit-identical to the per-packet scalar loop.
   const auto& ts = ct.timestamps;
   const TimeUs frame_end = start + cfg_.frame_duration_us();
   const std::size_t k0 = lower_index(ts, start);
+  const std::size_t k1 = lower_index(ts, frame_end);
+  const std::size_t nwin = k1 - k0;
   auto& y = ws.y;
   auto& yt = ws.yt;
-  y.clear();
-  yt.clear();
+  y.assign(nwin, 0.0);
+  yt.assign(ts.begin() + static_cast<std::ptrdiff_t>(k0),
+            ts.begin() + static_cast<std::ptrdiff_t>(k1));
   double wsum = 0.0;
   for (double w : out.weights) wsum += w;
   if (wsum <= 0.0) wsum = 1.0;
-  for (std::size_t k = k0; k < ts.size() && ts[k] < frame_end; ++k) {
-    double acc = 0.0;
-    for (std::size_t i = 0; i < out.streams.size(); ++i) {
-      acc += out.weights[i] * out.polarity[i] * ct.streams[out.streams[i]][k];
+  using P = simd::dpack;
+  const std::size_t main = nwin - nwin % simd::kLanes;
+  for (std::size_t i = 0; i < out.streams.size(); ++i) {
+    // (w*p) is what the scalar expression w * p * x multiplies x by
+    // (left-to-right association), so hoisting the product is exact.
+    const double wp = out.weights[i] * out.polarity[i];
+    const P wpv = P::broadcast(wp);
+    const double* x = ct.streams[out.streams[i]].data() + k0;
+    for (std::size_t k = 0; k < main; k += simd::kLanes) {
+      P::mul_add(wpv, P::load(x + k), P::load(y.data() + k))
+          .store(y.data() + k);
     }
-    y.push_back(acc / wsum);
-    yt.push_back(ts[k]);
+    for (std::size_t k = main; k < nwin; ++k) {
+      y[k] = wp * x[k] + y[k];
+    }
   }
+  const P wsv = P::broadcast(wsum);
+  for (std::size_t k = 0; k < main; k += simd::kLanes) {
+    (P::load(y.data() + k) / wsv).store(y.data() + k);
+  }
+  for (std::size_t k = main; k < nwin; ++k) y[k] = y[k] / wsum;
   out.packets_used = y.size();
 
   // Hysteresis thresholds from the combined signal's own statistics

@@ -25,12 +25,14 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "obs/forensics.h"
 #include "reader/conditioning.h"
 #include "reader/decode_workspace.h"
 #include "util/bits.h"
+#include "util/check.h"
 #include "util/codes.h"
 #include "util/units.h"
 #include "wifi/capture.h"
@@ -68,7 +70,9 @@ struct UplinkDecoderConfig {
   /// Optional restriction of the frame-start search to [from, to]. When
   /// unset the whole trace is searched. Experiments that know roughly when
   /// the tag was queried narrow this for speed; the decoder still
-  /// fine-syncs within the window.
+  /// fine-syncs within the window. When both ends are set, `to` must not
+  /// precede `from` — the constructor rejects an inverted window instead
+  /// of silently collapsing it to a single probe offset.
   std::optional<TimeUs> search_from;
   std::optional<TimeUs> search_to;
 
@@ -127,11 +131,23 @@ class UplinkDecoder {
   void decode_conditioned_into(const ConditionedTrace& ct, DecodeWorkspace& ws,
                                UplinkDecodeResult& out) const;
 
+  /// Batch decode (DESIGN.md §15): run every trace through this decoder,
+  /// reusing one workspace across the whole span; `out` is resized to
+  /// traces.size() with each entry reused like the single-trace overload,
+  /// so a warmed-up batch is allocation-free. Bit-identical to calling
+  /// decode_into per trace.
+  void decode_batch_into(std::span<const wifi::CaptureTrace> traces,
+                         DecodeWorkspace& ws,
+                         std::vector<UplinkDecodeResult>& out) const;
+
   /// Replace the frame-start search window (used by the streaming wrapper,
   /// which slides the window forward between scans on one decoder
-  /// instance). nullopt = search the whole trace.
+  /// instance). nullopt = search the whole trace; a window with both ends
+  /// set must be coherent (to >= from), like at construction.
   void set_search_window(std::optional<TimeUs> from_us,
                          std::optional<TimeUs> to_us) {
+    WB_REQUIRE(!(from_us && to_us) || *to_us >= *from_us,
+               "search window must satisfy search_to >= search_from");
     cfg_.search_from = from_us;
     cfg_.search_to = to_us;
   }
@@ -150,6 +166,25 @@ class UplinkDecoder {
   static void bin_slots_into(const ConditionedTrace& ct, std::size_t stream,
                              TimeUs start_us, TimeUs slot_us,
                              std::size_t nslots, std::vector<SlotStat>& out);
+
+  // Stream-batched binning (DESIGN.md §15). The timestamp→slot map and the
+  // per-slot packet counts depend only on the shared timestamps, so
+  // bin_window_into computes them once per candidate window (into
+  // ws.bin_slot_of / ws.bin_count / ws.bin_first / ws.bin_nslots /
+  // ws.bin_filled); bin_stream_sums_into then accumulates one stream's
+  // per-slot sums (ws.bin_sums) with a single contiguous pass. Per slot,
+  // sum/count reproduces bin_slots_into's mean bit-for-bit (same packet
+  // accumulation order, same single division).
+
+  /// Prepare the shared slot map for [start, start + nslots*slot_us).
+  static void bin_window_into(const ConditionedTrace& ct, TimeUs start_us,
+                              TimeUs slot_us, std::size_t nslots,
+                              DecodeWorkspace& ws);
+
+  /// Per-slot sums of `stream` over the window prepared by the last
+  /// bin_window_into on `ws`.
+  static void bin_stream_sums_into(const ConditionedTrace& ct,
+                                   std::size_t stream, DecodeWorkspace& ws);
 
   /// Signed per-bit-normalised preamble correlation of one stream at a
   /// candidate frame start; 0 if too few preamble slots are filled.

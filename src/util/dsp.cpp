@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "util/check.h"
+#include "util/simd.h"
 
 namespace wb {
 
@@ -36,6 +37,10 @@ void remove_moving_average(std::span<const double> x, std::size_t window,
                            std::span<double> out) {
   WB_REQUIRE(window > 0, "window must be positive");
   WB_REQUIRE(out.size() == x.size(), "output must cover every sample");
+  WB_REQUIRE(!detail::spans_overlap(x.data(), x.size(), out.data(),
+                                    out.size()),
+             "out must not alias x: the trailing window re-reads samples "
+             "the output would have overwritten");
   // Subtract the average of the window *including* the current sample;
   // with bit periods much shorter than the 400 ms window, the average
   // tracks the environmental drift while the backscatter square wave
@@ -60,6 +65,12 @@ std::vector<double> remove_moving_average(std::span<const double> x,
 
 void normalize_mad(std::span<const double> x, std::span<double> out) {
   WB_REQUIRE(out.size() == x.size(), "output must cover every sample");
+  WB_REQUIRE(out.data() == x.data() ||
+                 !detail::spans_overlap(x.data(), x.size(), out.data(),
+                                        out.size()),
+             "out must fully alias x (in-place) or not overlap at all: a "
+             "partial overlap makes the divide pass read elements it "
+             "already overwrote");
   double mad = 0.0;
   for (double v : x) mad += std::abs(v);
   if (x.empty()) return;
@@ -77,12 +88,82 @@ std::vector<double> normalize_mad(std::span<const double> x) {
   return out;
 }
 
+WB_SIMD_MULTIVERSION
+void mad_rows(std::span<const double> rows, std::size_t stride,
+              std::size_t n_rows, std::span<double> mad_out) {
+  WB_REQUIRE(stride > 0 && stride % simd::kLanes == 0,
+             "row stride must be a positive multiple of the pack width");
+  WB_REQUIRE(rows.size() == n_rows * stride,
+             "rows must hold n_rows rows of stride lanes");
+  WB_REQUIRE(mad_out.size() == stride,
+             "mad output needs one accumulator per lane column");
+  WB_REQUIRE(!detail::spans_overlap(mad_out.data(), mad_out.size(),
+                                    rows.data(), rows.size()),
+             "mad output must not alias the input rows");
+  if (n_rows == 0) {
+    // Every column of an empty matrix is degenerate: the safe divisor.
+    for (double& m : mad_out) m = 1.0;
+    return;
+  }
+  using P = simd::dpack;
+  // Per-column mean |x|, accumulated in row (= time) order so each column
+  // replays the scalar normalize_mad accumulation chain.
+  for (double& m : mad_out) m = 0.0;
+  for (std::size_t k = 0; k < n_rows; ++k) {
+    const double* row = rows.data() + k * stride;
+    for (std::size_t g = 0; g < stride; g += simd::kLanes) {
+      (P::load(mad_out.data() + g) + P::abs(P::load(row + g)))
+          .store(mad_out.data() + g);
+    }
+  }
+  // Degenerate columns (mad <= 0) divide by 1.0 — an exact copy, which is
+  // also what keeps all-zero padding columns untouched.
+  const double n = static_cast<double>(n_rows);
+  for (std::size_t c = 0; c < stride; ++c) {
+    const double mad = mad_out[c] / n;
+    mad_out[c] = mad <= 0.0 ? 1.0 : mad;
+  }
+}
+
+WB_SIMD_MULTIVERSION
+void normalize_mad_rows(std::span<const double> rows, std::size_t stride,
+                        std::size_t n_rows, std::span<double> mad_scratch,
+                        std::span<double> out_rows) {
+  WB_REQUIRE(out_rows.size() == rows.size(),
+             "output must cover every sample");
+  WB_REQUIRE(out_rows.data() == rows.data() ||
+                 !detail::spans_overlap(rows.data(), rows.size(),
+                                        out_rows.data(), out_rows.size()),
+             "out_rows must fully alias rows (in-place) or not overlap at "
+             "all");
+  WB_REQUIRE(!detail::spans_overlap(mad_scratch.data(), mad_scratch.size(),
+                                    out_rows.data(), out_rows.size()),
+             "mad scratch must not alias the output");
+  mad_rows(rows, stride, n_rows, mad_scratch);
+  if (n_rows == 0) return;
+  using P = simd::dpack;
+  // Elementwise divide (safe in place).
+  for (std::size_t k = 0; k < n_rows; ++k) {
+    const double* src = rows.data() + k * stride;
+    double* dst = out_rows.data() + k * stride;
+    for (std::size_t g = 0; g < stride; g += simd::kLanes) {
+      (P::load(src + g) / P::load(mad_scratch.data() + g)).store(dst + g);
+    }
+  }
+}
+
 void sliding_correlation(std::span<const double> x,
                          std::span<const double> tmpl, std::span<double> out) {
   WB_REQUIRE(!tmpl.empty() && x.size() >= tmpl.size(),
              "series must be at least as long as the template");
   const std::size_t n = x.size() - tmpl.size() + 1;
   WB_REQUIRE(out.size() == n, "output must have x.size()-tmpl.size()+1 slots");
+  WB_REQUIRE(!detail::spans_overlap(x.data(), x.size(), out.data(),
+                                    out.size()) &&
+                 !detail::spans_overlap(tmpl.data(), tmpl.size(), out.data(),
+                                        out.size()),
+             "out must not alias x or tmpl: each output reads a window of "
+             "inputs that earlier outputs would have overwritten");
   for (std::size_t i = 0; i < n; ++i) {
     double s = 0.0;
     for (std::size_t j = 0; j < tmpl.size(); ++j) {

@@ -4,10 +4,23 @@
 
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <span>
 #include <vector>
 
 namespace wb {
+
+namespace detail {
+/// True when the double ranges [a, a+an) and [b, b+bn) share any element.
+/// Uses std::less for a total pointer order, so the aliasing contracts
+/// below can be checked across unrelated allocations.
+inline bool spans_overlap(const double* a, std::size_t an, const double* b,
+                          std::size_t bn) {
+  if (an == 0 || bn == 0) return false;
+  const std::less<const double*> lt;
+  return lt(a, b + bn) && lt(b, a + an);
+}
+}  // namespace detail
 
 /// Streaming moving average over a fixed-size window (used for the signal
 /// conditioning step of paper §3.2, which subtracts a 400 ms moving average
@@ -56,9 +69,36 @@ void remove_moving_average(std::span<const double> x, std::size_t window,
 std::vector<double> normalize_mad(std::span<const double> x);
 
 /// Span-out variant of normalize_mad. `out.size()` must equal `x.size()`;
-/// `out` may fully alias `x` (in-place normalisation). Bit-identical to
-/// the allocating wrapper.
+/// `out` may fully alias `x` (in-place normalisation, same first element),
+/// but a *partial* overlap is rejected: the divide pass would read
+/// elements it already overwrote. Bit-identical to the allocating wrapper.
 void normalize_mad(std::span<const double> x, std::span<double> out);
+
+/// Stream-batched normalize_mad over a row-major [row][lane] matrix
+/// (DESIGN.md §15): `rows` holds `n_rows` rows of `stride` lanes each, and
+/// every lane *column* is normalised independently, exactly as the span
+/// variant normalises one series — per column, |x| accumulates in row
+/// order and columns whose mean absolute value is <= 0 are copied
+/// unchanged (their divisor is 1.0, which is an exact copy). `stride`
+/// must be a multiple of simd::kLanes (callers pad; all-zero padding
+/// columns come back unchanged). `mad_scratch` must have `stride`
+/// elements. `out_rows` may fully alias `rows` (in-place) but must not
+/// partially overlap. Bit-identical per column to normalize_mad.
+void normalize_mad_rows(std::span<const double> rows, std::size_t stride,
+                        std::size_t n_rows, std::span<double> mad_scratch,
+                        std::span<double> out_rows);
+
+/// The divisor half of normalize_mad_rows on its own: writes each lane
+/// column's mean absolute value into `mad_out[c]`, with degenerate
+/// columns (mad <= 0) replaced by 1.0 so dividing by the result is
+/// always safe and an exact copy for all-zero columns. An empty matrix
+/// (n_rows == 0) makes every column degenerate: all divisors are 1.0. Accumulation is
+/// in row (= time) order per column, replaying the scalar normalize_mad
+/// chain. Callers that want to fuse the divide into a later pass (e.g.
+/// conditioning's transpose) use this; normalize_mad_rows is exactly
+/// mad_rows followed by the elementwise divide.
+void mad_rows(std::span<const double> rows, std::size_t stride,
+              std::size_t n_rows, std::span<double> mad_out);
 
 /// Sliding (valid-mode) correlation of a series against a bipolar template.
 /// out[i] = sum_j x[i+j] * tmpl[j]; out has size x.size()-tmpl.size()+1

@@ -1,0 +1,7 @@
+#include <immintrin.h>
+
+double sum4(const double* p) {
+  __m256d v = _mm256_loadu_pd(p);
+  __m256d h = _mm256_hadd_pd(v, v);
+  return _mm256_cvtsd_f64(h);
+}

@@ -1,0 +1,7 @@
+// Miniature stand-in for the real wrapper header: the carve-out lets
+// src/util/simd.h (and only it) touch platform intrinsics.
+#pragma once
+
+#include <immintrin.h>
+
+inline double lane0(__m128d v) { return _mm_cvtsd_f64(v); }

@@ -1,10 +1,12 @@
 #include "reader/conditioning.h"
 
 #include <cmath>
+#include <span>
 
 #include <gtest/gtest.h>
 
 #include "sim/rng.h"
+#include "util/check.h"
 #include "util/dsp.h"
 
 namespace wb::reader {
@@ -145,6 +147,196 @@ TEST(Conditioning, EmptyTrace) {
   const auto ct = condition({}, MeasurementSource::kCsi, TimeUs{20'000});
   EXPECT_EQ(ct.num_packets(), 0u);
   EXPECT_EQ(ct.num_streams(), wifi::kNumCsiStreams);
+}
+
+// -- stream-batched kernels (DESIGN.md §15) -----------------------------
+
+/// Irregular but sorted timestamps so the window cursors actually move.
+std::vector<TimeUs> make_ts(std::size_t n) {
+  std::vector<TimeUs> ts(n);
+  std::int64_t t = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    t += 200 + 150 * static_cast<std::int64_t>(k % 7);
+    ts[k] = TimeUs{t};
+  }
+  return ts;
+}
+
+std::vector<double> make_matrix(std::size_t n, std::size_t stride) {
+  std::vector<double> rows(n * stride);
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t c = 0; c + 1 < stride; ++c) {
+      rows[k * stride + c] =
+          std::sin(0.23 * static_cast<double>(k * stride + c)) +
+          0.05 * static_cast<double>(c);
+    }
+    rows[k * stride + stride - 1] = 0.0;  // padding column
+  }
+  return rows;
+}
+
+TEST(Conditioning, RowsMovingAverageMatchesPerColumnSpanKernel) {
+  const std::size_t stride = 8;
+  const TimeUs w{2'000};
+  // Lengths around the pack width cover the pack loop, the scalar
+  // remainder, and the degenerate single-row matrix.
+  for (const std::size_t n : {std::size_t{1}, std::size_t{5},
+                              std::size_t{37}}) {
+    const auto ts = make_ts(n);
+    const auto rows = make_matrix(n, stride);
+    std::vector<double> out(rows.size(), -99.0), sums(stride);
+    remove_time_moving_average_rows(ts, rows, stride, w, sums, out);
+    for (std::size_t c = 0; c < stride; ++c) {
+      std::vector<double> col(n), want(n);
+      for (std::size_t k = 0; k < n; ++k) col[k] = rows[k * stride + c];
+      remove_time_moving_average(std::span<const TimeUs>(ts),
+                                 std::span<const double>(col), w, want);
+      for (std::size_t k = 0; k < n; ++k) {
+        EXPECT_EQ(out[k * stride + c], want[k]) << "col " << c << " k " << k;
+      }
+    }
+  }
+}
+
+TEST(Conditioning, FusedMadOverloadMatchesKernelSequence) {
+  const std::size_t stride = 8, n = 37;
+  const auto ts = make_ts(n);
+  const auto rows = make_matrix(n, stride);
+  const TimeUs w{2'000};
+
+  std::vector<double> out_a(rows.size()), sums(stride), mads_seq(stride);
+  remove_time_moving_average_rows(ts, rows, stride, w, sums, out_a);
+  mad_rows(out_a, stride, n, mads_seq);
+
+  std::vector<double> out_b(rows.size()), mads_fused(stride, -99.0);
+  remove_time_moving_average_rows(ts, rows, stride, w, sums, out_b,
+                                  mads_fused);
+  EXPECT_EQ(out_a, out_b);
+  EXPECT_EQ(mads_seq, mads_fused);
+}
+
+TEST(Conditioning, FusedMadOverloadEmptyInputYieldsSafeDivisors) {
+  std::vector<double> sums(8), mads(8, -99.0);
+  remove_time_moving_average_rows({}, std::span<const double>(), 8,
+                                  TimeUs{2'000}, sums, std::span<double>(),
+                                  mads);
+  // No rows: every column is degenerate, so every divisor is the safe 1.0.
+  for (double v : mads) EXPECT_EQ(v, 1.0);
+}
+
+TEST(Conditioning, SpanKernelsRejectAliasedOutputs) {
+  ScopedContractPolicy guard(ContractPolicy::kThrow);
+  const std::size_t stride = 8, n = 5;
+  const auto ts = make_ts(n);
+  auto rows = make_matrix(n, stride);
+  std::vector<double> sums(stride), mads(stride);
+
+  // Span variant: the sliding window re-reads behind the cursor.
+  std::vector<double> xs(n, 1.0);
+  EXPECT_THROW(remove_time_moving_average(std::span<const TimeUs>(ts),
+                                          std::span<const double>(xs),
+                                          TimeUs{2'000},
+                                          std::span<double>(xs)),
+               ContractViolation);
+  // Rows variant: output over the input matrix.
+  EXPECT_THROW(remove_time_moving_average_rows(
+                   ts, rows, stride, TimeUs{2'000}, sums,
+                   std::span<double>(rows.data(), rows.size())),
+               ContractViolation);
+  // Fused overload: mad vector aliasing the window sums.
+  std::vector<double> out(rows.size());
+  EXPECT_THROW(remove_time_moving_average_rows(
+                   ts, rows, stride, TimeUs{2'000}, sums, out,
+                   std::span<double>(sums.data(), stride)),
+               ContractViolation);
+}
+
+/// Composes the documented pipeline out of the retained scalar kernels:
+/// per stream, collect -> remove_time_moving_average -> normalize_mad.
+ConditionedTrace condition_scalar_reference(const wifi::CaptureTrace& trace,
+                                            MeasurementSource source,
+                                            TimeUs window_us) {
+  ConditionedTrace out;
+  const bool want_csi = source == MeasurementSource::kCsi;
+  const std::size_t num_streams =
+      want_csi ? wifi::kNumCsiStreams : phy::kNumAntennas;
+  for (const auto& rec : trace) {
+    if (want_csi && !rec.has_csi) continue;
+    out.timestamps.push_back(rec.timestamp_us);
+  }
+  out.streams.resize(num_streams);
+  std::vector<double> raw, centered;
+  for (std::size_t s = 0; s < num_streams; ++s) {
+    raw.clear();
+    for (const auto& rec : trace) {
+      if (want_csi && !rec.has_csi) continue;
+      raw.push_back(want_csi ? rec.csi[s / phy::kNumSubchannels]
+                                      [s % phy::kNumSubchannels]
+                             : rec.rssi_dbm[s]);
+    }
+    centered.assign(raw.size(), 0.0);
+    remove_time_moving_average(std::span<const TimeUs>(out.timestamps),
+                               std::span<const double>(raw), window_us,
+                               centered);
+    out.streams[s].assign(raw.size(), 0.0);
+    normalize_mad(centered, out.streams[s]);
+  }
+  return out;
+}
+
+TEST(Conditioning, BatchedPipelineBitIdenticalToScalarReference) {
+  // The whole point of the stream-batched kernels: condition() must equal
+  // the per-stream scalar composition EXACTLY, for CSI (with skipped
+  // records) and RSSI alike.
+  sim::RngStream rng(11);
+  wifi::CaptureTrace trace;
+  for (int i = 0; i < 300; ++i) {
+    auto r = record_at(TimeUs{i * 777}, 0.0, 0.0, i % 5 != 0);
+    for (auto& ant : r.csi) {
+      for (auto& v : ant) v = 8.0 + rng.normal();
+    }
+    for (auto& v : r.rssi_dbm) v = -42.0 + rng.normal();
+    trace.push_back(r);
+  }
+  for (const auto source :
+       {MeasurementSource::kCsi, MeasurementSource::kRssi}) {
+    const auto got = condition(trace, source, TimeUs{20'000});
+    const auto want = condition_scalar_reference(trace, source, TimeUs{20'000});
+    ASSERT_EQ(got.timestamps, want.timestamps);
+    ASSERT_EQ(got.streams.size(), want.streams.size());
+    for (std::size_t s = 0; s < want.streams.size(); ++s) {
+      EXPECT_EQ(got.streams[s], want.streams[s]) << "stream " << s;
+    }
+  }
+}
+
+TEST(Conditioning, SinglePacketTrace) {
+  wifi::CaptureTrace trace;
+  trace.push_back(record_at(TimeUs{1'000}, 4.0, -40.0));
+  const auto ct = condition(trace, MeasurementSource::kCsi, TimeUs{20'000});
+  EXPECT_EQ(ct.num_packets(), 1u);
+  // One sample: the moving average equals the sample, so every stream
+  // conditions to exactly zero.
+  for (const auto& s : ct.streams) {
+    ASSERT_EQ(s.size(), 1u);
+    EXPECT_EQ(s[0], 0.0);
+  }
+}
+
+TEST(Conditioning, AllZeroStreamsSurviveConditioning) {
+  // Zero CSI and RSSI everywhere: centered is zero, the MAD divisor
+  // degenerates to the safe 1.0, and the output is exact zeros (no NaNs).
+  wifi::CaptureTrace trace;
+  for (int i = 0; i < 40; ++i) {
+    trace.push_back(record_at(TimeUs{i * 1'000}, 0.0, 0.0));
+  }
+  for (const auto source :
+       {MeasurementSource::kCsi, MeasurementSource::kRssi}) {
+    const auto ct = condition(trace, source, TimeUs{20'000});
+    for (const auto& s : ct.streams) {
+      for (double v : s) EXPECT_EQ(v, 0.0);
+    }
+  }
 }
 
 }  // namespace

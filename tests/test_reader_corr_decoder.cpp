@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/rng.h"
+#include "util/check.h"
 
 namespace wb::reader {
 namespace {
@@ -206,6 +207,69 @@ TEST_P(CodedLengthSweep, RoundtripAtModerateNoise) {
 
 INSTANTIATE_TEST_SUITE_P(Lengths, CodedLengthSweep,
                          ::testing::Values(4, 8, 20, 64, 150));
+
+TEST(CodedDecoder, CtorRejectsInvertedSearchWindow) {
+  ScopedContractPolicy guard(ContractPolicy::kThrow);
+  CodedSpec spec;
+  auto cfg = config_for(spec);
+  cfg.search_from = TimeUs{60'000};
+  cfg.search_to = TimeUs{10'000};
+  EXPECT_THROW(CodedUplinkDecoder{cfg}, ContractViolation);
+  cfg.search_from.reset();
+  EXPECT_NO_THROW(CodedUplinkDecoder{cfg});
+}
+
+TEST(CodedDecoder, SyncTieBreakKeepsEarliestFrameStart) {
+  // Two bit-identical noiseless copies of the same coded frame, both on
+  // the sync-step grid: the chip-correlation sync scores tie exactly, and
+  // the pinned first-max-wins rule (strict `>`) must keep the earlier
+  // start.
+  CodedSpec spec;
+  spec.num_streams = 1;
+  spec.good_streams = 1;
+  spec.payload_bits = 6;
+  const auto codes = make_orthogonal_pair(spec.code_length);
+  const BitVec payload = random_bits(spec.payload_bits, 21);
+  BitVec frame = barker13();
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  BitVec chips;
+  for (std::uint8_t b : frame) {
+    const BitVec& c = b ? codes.one : codes.zero;
+    chips.insert(chips.end(), c.begin(), c.end());
+  }
+
+  const TimeUs first{30'000};
+  // Offset by a multiple of the chip duration (and of the default
+  // chip/2 sync step) so both starts land on the search grid.
+  const TimeUs second = first + TimeUs{400'000};
+  ConditionedTrace ct;
+  const TimeUs end = second +
+                     spec.chip_us * static_cast<std::int64_t>(chips.size()) +
+                     TimeUs{30'000};
+  for (std::int64_t t = 0; t < end.ticks(); t += 500) {
+    ct.timestamps.push_back(TimeUs{t});
+  }
+  ct.streams.resize(1);
+  for (const TimeUs t : ct.timestamps) {
+    double v = 0.0;
+    for (const TimeUs start : {first, second}) {
+      if (t >= start) {
+        const auto chip = static_cast<std::size_t>((t - start) / spec.chip_us);
+        if (chip < chips.size()) v = chips[chip] ? 1.0 : -1.0;
+      }
+    }
+    ct.streams[0].push_back(v);
+  }
+
+  auto cfg = config_for(spec);
+  cfg.num_good_streams = 1;
+  ASSERT_FALSE(cfg.known_start.has_value());  // exercise the sync search
+  const CodedUplinkDecoder dec(cfg);
+  const auto res = dec.decode_conditioned(ct);
+  ASSERT_TRUE(res.found);
+  EXPECT_EQ(res.start_us, first);
+  EXPECT_EQ(res.payload, payload);
+}
 
 }  // namespace
 }  // namespace wb::reader

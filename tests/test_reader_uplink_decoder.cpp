@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/rng.h"
+#include "util/check.h"
 #include "util/codes.h"
 
 namespace wb::reader {
@@ -326,6 +327,68 @@ INSTANTIATE_TEST_SUITE_P(BitDurations, DecoderBitRateSweep,
                          ::testing::Values(TimeUs{1'000}, TimeUs{2'000},
                                            TimeUs{5'000}, TimeUs{10'000},
                                            TimeUs{20'000}));
+
+TEST(UplinkDecoder, CtorRejectsInvertedSearchWindow) {
+  ScopedContractPolicy guard(ContractPolicy::kThrow);
+  UplinkDecoderConfig cfg;
+  cfg.search_from = TimeUs{100'000};
+  cfg.search_to = TimeUs{50'000};
+  EXPECT_THROW(UplinkDecoder{cfg}, ContractViolation);
+  // A half-open window (only one end set) is fine.
+  cfg.search_to.reset();
+  EXPECT_NO_THROW(UplinkDecoder{cfg});
+}
+
+TEST(UplinkDecoder, SetSearchWindowRejectsInverted) {
+  ScopedContractPolicy guard(ContractPolicy::kThrow);
+  UplinkDecoder dec{UplinkDecoderConfig{}};
+  EXPECT_THROW(dec.set_search_window(TimeUs{100'000}, TimeUs{50'000}),
+               ContractViolation);
+  EXPECT_NO_THROW(dec.set_search_window(TimeUs{50'000}, TimeUs{100'000}));
+  EXPECT_NO_THROW(dec.set_search_window(std::nullopt, std::nullopt));
+}
+
+TEST(UplinkDecoder, SyncTieBreakKeepsEarliestFrameStart) {
+  // Two bit-identical, noiseless copies of the same frame on a packet
+  // grid that divides both starts: the sync scores at both frame starts
+  // are the SAME double, and the pinned first-max-wins tie-break (strict
+  // `>` in find_frame) must report the earlier one. A `>=` regression or
+  // a reordered score reduction would flip this to the later copy.
+  const TimeUs bit{5'000};
+  const BitVec payload = random_bits(24, 7);
+  BitVec frame = barker13();
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  const TimeUs first{50'000};
+  const TimeUs second = first + TimeUs{200'000};  // multiple of bit & step
+
+  ConditionedTrace ct;
+  const TimeUs end =
+      second + bit * static_cast<std::int64_t>(frame.size()) + TimeUs{50'000};
+  for (std::int64_t t = 0; t < end.ticks(); t += 500) {
+    ct.timestamps.push_back(TimeUs{t});
+  }
+  ct.streams.resize(1);
+  for (const TimeUs t : ct.timestamps) {
+    double v = 0.0;
+    for (const TimeUs start : {first, second}) {
+      if (t >= start) {
+        const auto b = static_cast<std::size_t>((t - start) / bit);
+        if (b < frame.size()) v = frame[b] ? 1.0 : -1.0;
+      }
+    }
+    ct.streams[0].push_back(v);
+  }
+
+  UplinkDecoderConfig cfg;
+  cfg.payload_bits = payload.size();
+  cfg.bit_duration_us = bit;
+  cfg.num_good_streams = 1;
+  const UplinkDecoder dec(cfg);
+  const auto res = dec.decode_conditioned(ct);
+  ASSERT_TRUE(res.found);
+  EXPECT_EQ(res.start_us, first);
+  EXPECT_EQ(res.payload, payload);
+}
 
 }  // namespace
 }  // namespace wb::reader

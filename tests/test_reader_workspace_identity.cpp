@@ -184,5 +184,86 @@ TEST(WorkspaceIdentity, CodedDecodeMatchesAcrossReuse) {
   }
 }
 
+TEST(WorkspaceIdentity, UplinkBatchMatchesPerTraceDecode) {
+  // decode_batch_into over mixed-shape traces (big, small, big, empty)
+  // through ONE workspace must equal per-trace decode() exactly — the
+  // batch API is a loop sharing scratch, not a different pipeline.
+  const auto big = make_capture(TimeUs{10'000}, 32, TimeUs{900'000}, 31, true);
+  const auto small = make_capture(TimeUs{10'000}, 32, TimeUs{700'000}, 32,
+                                  false);
+  const std::vector<wifi::CaptureTrace> traces{big, small, big,
+                                               wifi::CaptureTrace{}};
+
+  UplinkDecoderConfig cfg;
+  cfg.payload_bits = 32;
+  cfg.bit_duration_us = TimeUs{10'000};
+  cfg.search_from = TimeUs{280'000};
+  cfg.search_to = TimeUs{320'000};
+  const UplinkDecoder dec(cfg);
+
+  DecodeWorkspace ws;
+  std::vector<UplinkDecodeResult> results;
+  // Pre-fill with stale entries (and the wrong size) to prove the batch
+  // resizes and overwrites rather than appending.
+  results.resize(7);
+  dec.decode_batch_into(traces, ws, results);
+  ASSERT_EQ(results.size(), traces.size());
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    expect_same(dec.decode(traces[i]), results[i]);
+  }
+  EXPECT_TRUE(results[0].found);
+  EXPECT_FALSE(results[3].found);
+
+  // Run the same batch again through the warm workspace: still identical.
+  dec.decode_batch_into(traces, ws, results);
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    expect_same(dec.decode(traces[i]), results[i]);
+  }
+}
+
+TEST(WorkspaceIdentity, CodedBatchMatchesPerTraceDecode) {
+  CodedDecoderConfig cfg;
+  cfg.codes = make_orthogonal_pair(8);
+  cfg.payload_bits = 6;
+  cfg.chip_duration_us = TimeUs{5'000};
+  cfg.known_start = TimeUs{300'000};
+
+  const auto frame_chips =
+      cfg.chip_duration_us * static_cast<std::int64_t>(cfg.frame_chips());
+  const auto until = TimeUs{300'000} + frame_chips + TimeUs{200'000};
+  core::UplinkSimConfig sim_cfg;
+  sim_cfg.channel.tag_pos = {0.3, 0.0};
+  sim_cfg.channel.helper_pos = {3.3, 0.0};
+  sim_cfg.seed = 33;
+  sim::RngStream rng(33);
+  auto traffic_rng = rng.fork("t");
+  const auto tl = wifi::make_cbr_timeline(2'000, until, wifi::TrafficParams{},
+                                          traffic_rng);
+  BitVec bits = cfg.preamble;
+  const auto payload = random_bits(cfg.payload_bits, 78);
+  bits.insert(bits.end(), payload.begin(), payload.end());
+  BitVec chips;
+  for (std::uint8_t b : bits) {
+    const BitVec& code = b ? cfg.codes.one : cfg.codes.zero;
+    chips.insert(chips.end(), code.begin(), code.end());
+  }
+  tag::Modulator mod(chips, cfg.chip_duration_us, TimeUs{300'000});
+  core::UplinkSim sim(sim_cfg);
+  const auto trace = sim.run(tl, mod);
+
+  const std::vector<wifi::CaptureTrace> traces{trace, wifi::CaptureTrace{},
+                                               trace};
+  const CodedUplinkDecoder dec(cfg);
+  DecodeWorkspace ws;
+  std::vector<CodedDecodeResult> results;
+  dec.decode_batch_into(traces, ws, results);
+  ASSERT_EQ(results.size(), traces.size());
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    expect_same(dec.decode(traces[i]), results[i]);
+  }
+  EXPECT_TRUE(results[0].found);
+  EXPECT_FALSE(results[1].found);
+}
+
 }  // namespace
 }  // namespace wb::reader

@@ -2,8 +2,11 @@
 
 #include <cmath>
 #include <numbers>
+#include <span>
 
 #include <gtest/gtest.h>
+
+#include "util/check.h"
 
 namespace wb {
 namespace {
@@ -183,6 +186,149 @@ TEST(SpanVariants, NormalizeMadMayAliasItsInput) {
   const auto ref = normalize_mad(xs);
   normalize_mad(xs, xs);  // in place
   EXPECT_EQ(ref, xs);
+}
+
+TEST(SpanVariants, AliasingInputAndOutputIsRejected) {
+  // The span-out kernels document their aliasing contracts; under the
+  // throwing policy a violation must surface as ContractViolation, not as
+  // silently wrong numbers.
+  ScopedContractPolicy guard(ContractPolicy::kThrow);
+  std::vector<double> xs(16, 1.0);
+  const std::vector<double> tmpl = {1.0, -1.0, 1.0};
+
+  // remove_moving_average: any overlap is banned (trailing window
+  // re-reads behind the cursor).
+  EXPECT_THROW(remove_moving_average(xs, 4, xs), ContractViolation);
+  EXPECT_THROW(
+      remove_moving_average(std::span<const double>(xs.data(), 8), 4,
+                            std::span<double>(xs.data() + 4, 8)),
+      ContractViolation);
+
+  // normalize_mad: full alias is fine (tested above), partial is not.
+  EXPECT_THROW(
+      normalize_mad(std::span<const double>(xs.data(), 8),
+                    std::span<double>(xs.data() + 4, 8)),
+      ContractViolation);
+
+  // sliding_correlation: output may alias neither input.
+  std::vector<double> corr(xs.size() - tmpl.size() + 1, 0.0);
+  EXPECT_THROW(
+      sliding_correlation(std::span<const double>(xs),
+                          std::span<const double>(tmpl),
+                          std::span<double>(xs.data(), corr.size())),
+      ContractViolation);
+}
+
+// -- stream-batched rows kernels (DESIGN.md §15) ------------------------
+
+/// Builds an n_rows x stride matrix whose columns are distinct,
+/// sign-varying series; the last column is all zeros like the padding
+/// lanes the conditioning path appends.
+std::vector<double> make_rows(std::size_t n_rows, std::size_t stride) {
+  std::vector<double> rows(n_rows * stride);
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    for (std::size_t c = 0; c + 1 < stride; ++c) {
+      rows[r * stride + c] =
+          std::sin(0.31 * static_cast<double>(r * stride + c)) *
+          (1.0 + 0.1 * static_cast<double>(c));
+    }
+    rows[r * stride + stride - 1] = 0.0;  // padding column
+  }
+  return rows;
+}
+
+TEST(RowsKernels, MadRowsMatchesPerColumnScalar) {
+  // Exercise row counts around the pack width (1, 5, 37) so both the
+  // pack main loop and the scalar remainder are covered.
+  const std::size_t stride = 8;  // multiple of simd::kLanes
+  for (const std::size_t n_rows : {1u, 5u, 37u}) {
+    const auto rows = make_rows(n_rows, stride);
+    std::vector<double> mads(stride, -99.0);
+    mad_rows(rows, stride, n_rows, mads);
+    for (std::size_t c = 0; c < stride; ++c) {
+      // Replay the scalar normalize_mad divisor chain on the column.
+      double acc = 0.0;
+      for (std::size_t r = 0; r < n_rows; ++r) {
+        acc += std::abs(rows[r * stride + c]);
+      }
+      const double mad = acc / static_cast<double>(n_rows);
+      EXPECT_EQ(mads[c], mad <= 0.0 ? 1.0 : mad) << "col " << c;
+    }
+    // The all-zero padding column must come back with the safe divisor.
+    EXPECT_EQ(mads[stride - 1], 1.0);
+  }
+}
+
+TEST(RowsKernels, NormalizeMadRowsMatchesPerColumnSpanKernel) {
+  const std::size_t stride = 8;
+  for (const std::size_t n_rows : {1u, 5u, 37u}) {
+    const auto rows = make_rows(n_rows, stride);
+    std::vector<double> out(rows.size(), -99.0), mads(stride);
+    normalize_mad_rows(rows, stride, n_rows, mads, out);
+    for (std::size_t c = 0; c < stride; ++c) {
+      std::vector<double> col(n_rows), want(n_rows);
+      for (std::size_t r = 0; r < n_rows; ++r) col[r] = rows[r * stride + c];
+      normalize_mad(col, want);
+      for (std::size_t r = 0; r < n_rows; ++r) {
+        EXPECT_EQ(out[r * stride + c], want[r]) << "col " << c << " row " << r;
+      }
+    }
+    // Padding column (all zeros) is copied unchanged.
+    for (std::size_t r = 0; r < n_rows; ++r) {
+      EXPECT_EQ(out[r * stride + stride - 1], 0.0);
+    }
+  }
+}
+
+TEST(RowsKernels, NormalizeMadRowsInPlaceMatchesOutOfPlace) {
+  const std::size_t stride = 8, n_rows = 21;
+  auto rows = make_rows(n_rows, stride);
+  std::vector<double> want(rows.size()), mads(stride);
+  normalize_mad_rows(rows, stride, n_rows, mads, want);
+  normalize_mad_rows(rows, stride, n_rows, mads, rows);  // full alias
+  EXPECT_EQ(rows, want);
+}
+
+TEST(RowsKernels, ContractViolationsAreRejected) {
+  ScopedContractPolicy guard(ContractPolicy::kThrow);
+  const std::size_t stride = 8, n_rows = 4;
+  auto rows = make_rows(n_rows, stride);
+  std::vector<double> out(rows.size()), mads(stride);
+
+  // Stride not a multiple of the pack width.
+  EXPECT_THROW(mad_rows(rows, 7, n_rows, mads), ContractViolation);
+  // Matrix size inconsistent with stride * n_rows.
+  EXPECT_THROW(mad_rows(std::span<const double>(rows.data(), 17), stride, 2,
+                        mads),
+               ContractViolation);
+  // Wrong divisor-vector size.
+  std::vector<double> short_mads(stride - 1);
+  EXPECT_THROW(mad_rows(rows, stride, n_rows, short_mads), ContractViolation);
+  // mad output aliasing the matrix.
+  EXPECT_THROW(mad_rows(rows, stride, n_rows,
+                        std::span<double>(rows.data(), stride)),
+               ContractViolation);
+  // Partial overlap of the normalised output with the input.
+  EXPECT_THROW(
+      normalize_mad_rows(std::span<const double>(rows.data(), 2 * stride),
+                         stride, 2, mads,
+                         std::span<double>(rows.data() + stride, 2 * stride)),
+      ContractViolation);
+  // Scratch aliasing the output.
+  EXPECT_THROW(normalize_mad_rows(rows, stride, n_rows,
+                                  std::span<double>(out.data(), stride), out),
+               ContractViolation);
+}
+
+TEST(RowsKernels, EmptyMatrixYieldsSafeDivisors) {
+  std::vector<double> mads(8, -99.0);
+  mad_rows(std::span<const double>(), 8, 0, mads);
+  // Every column of an empty matrix is degenerate — the safe divisor,
+  // never stale or zero values a caller could divide by.
+  for (double v : mads) EXPECT_EQ(v, 1.0);
+  // normalize_mad_rows on the empty matrix writes nothing and survives.
+  normalize_mad_rows(std::span<const double>(), 8, 0, mads,
+                     std::span<double>());
 }
 
 }  // namespace

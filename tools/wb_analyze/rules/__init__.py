@@ -5,4 +5,5 @@ from . import headers       # noqa: F401
 from . import obs           # noqa: F401
 from . import raii          # noqa: F401
 from . import serve         # noqa: F401
+from . import simd          # noqa: F401
 from . import units         # noqa: F401

@@ -1,0 +1,66 @@
+"""SIMD isolation rules.
+
+  simd-isolation   src/util/simd.h is the single place the codebase is
+                   allowed to talk to vector hardware; everything else
+                   uses wb::simd::pack, whose lane-order determinism
+                   contract (DESIGN.md §15) is what keeps vectorised
+                   kernels bit-identical to their scalar references. A
+                   platform intrinsic in a kernel bypasses that contract
+                   silently: `_mm256_fmadd_pd` contracts the product
+                   rounding, `_mm_hadd_pd` reassociates a reduction, and
+                   neither shows up in a diff as a numerics change. Banned
+                   outside the wrapper header: platform SIMD includes
+                   (immintrin.h and friends, arm_neon.h), `_mm*_*()`
+                   intrinsic calls, `__builtin_ia32_*`, and
+                   vectorisation pragmas (omp simd / GCC ivdep / clang
+                   loop) that license the compiler to reorder lanes.
+"""
+from __future__ import annotations
+
+import re
+
+from ..cpptext import line_of
+from ..engine import Context, Rule, SourceFile, register
+
+# The one file allowed to use compiler vector machinery.
+WRAPPER = "src/util/simd.h"
+
+
+@register
+class SimdIsolation(Rule):
+    name = "simd-isolation"
+    family = "simd"
+    severity = "error"
+    description = ("platform SIMD primitives (intrinsic headers, _mm* "
+                   "calls, __builtin_ia32_*, vectorisation pragmas) are "
+                   "confined to src/util/simd.h — kernels use "
+                   "wb::simd::pack, whose fixed lane order is what keeps "
+                   "them bit-identical to their scalar references")
+
+    PATTERNS = (
+        (re.compile(r"#\s*include\s*[<\"]"
+                    r"(\w*intrin|arm_neon|arm_sve|arm_mve|altivec)"
+                    r"\.h[>\"]"),
+         "platform SIMD header <{0}.h> — only src/util/simd.h may "
+         "include intrinsics"),
+        (re.compile(r"\b(_mm\d*_\w+)\s*\("),
+         "raw intrinsic call `{0}` — use wb::simd::pack ops, which pin "
+         "lane order and rounding"),
+        (re.compile(r"\b(__builtin_ia32_\w+)\b"),
+         "compiler vector builtin `{0}` — use wb::simd::pack ops"),
+        (re.compile(r"#\s*pragma\s+(omp\s+simd|GCC\s+ivdep|clang\s+loop)\b"),
+         "vectorisation pragma `#pragma {0}` licenses the compiler to "
+         "reorder lanes — keep kernels on wb::simd::pack so the scalar "
+         "replay stays exact"),
+    )
+
+    def check_file(self, ctx: Context, f: SourceFile) -> None:
+        if f.rel == WRAPPER:
+            return
+        # Strings kept: an #include name is string-like, and a quoted
+        # "immintrin.h" include must still fire.
+        code = f.code_with_strings
+        for pat, msg in self.PATTERNS:
+            for m in pat.finditer(code):
+                ctx.report(self, f, line_of(code, m.start()),
+                           msg.format(m.group(1)))
