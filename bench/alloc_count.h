@@ -1,0 +1,51 @@
+// Binary-local allocation instrumentation shared by the BENCH_* binaries:
+// every operator-new in the process bumps a counter, so a measured loop's
+// delta is exactly its allocation count (the "allocations/op" columns of
+// the BENCH_*.json reports). Counting is always on — readers take deltas
+// via wb_bench::alloc_count().
+//
+// This header DEFINES the replaceable global operator new/delete set, and
+// replacement allocation functions must not be inline — include it from
+// exactly one translation unit per binary (each bench_*.cpp is its own
+// binary, so each includes it once). Including it from two TUs linked into
+// the same binary is a duplicate-symbol link error, which is the failure
+// mode we want: loud, at build time.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace wb_bench {
+
+inline std::atomic<std::uint64_t> g_allocs{0};
+
+/// Current process-wide allocation count; subtract two samples to get the
+/// allocation count of the code between them.
+inline std::uint64_t alloc_count() noexcept {
+  return g_allocs.load(std::memory_order_relaxed);
+}
+
+}  // namespace wb_bench
+
+// GCC's -Wmismatched-new-delete inlines the delete below to free() and
+// flags it against operator new; the pair is consistent (both sides go
+// through malloc/free), so silence the false positive for this TU.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+void* operator new(std::size_t size) {
+  wb_bench::g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  wb_bench::g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }

@@ -13,13 +13,12 @@
 //                    trajectory keeps a fixed baseline). --quick shrinks
 //                    the iteration count. scripts/check.sh gates on
 //                    allocs_per_decode == 0 for the workspace rows.
-#include <atomic>
 #include <chrono>
-#include <cstdlib>
-#include <new>
 #include <string>
 
 #include <benchmark/benchmark.h>
+
+#include "alloc_count.h"
 
 #include "core/uplink_sim.h"
 #include "obs/report.h"
@@ -32,38 +31,6 @@
 #include "util/args.h"
 #include "util/dsp.h"
 #include "wifi/traffic.h"
-
-namespace {
-
-std::atomic<std::uint64_t> g_allocs{0};
-
-}  // namespace
-
-// Binary-local allocation instrumentation: every operator-new in the
-// process bumps the counter, so a measured loop's delta is exactly its
-// allocation count (the "allocations/decode" column of BENCH_decoder
-// .json). Counting is always on — readers take deltas.
-//
-// GCC's -Wmismatched-new-delete inlines the delete below to free() and
-// flags it against operator new; the pair is consistent (both sides go
-// through malloc/free), so silence the false positive for this TU.
-#if defined(__GNUC__) && !defined(__clang__)
-#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
-#endif
-void* operator new(std::size_t size) {
-  g_allocs.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size)) return p;
-  throw std::bad_alloc();
-}
-void* operator new[](std::size_t size) {
-  g_allocs.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size)) return p;
-  throw std::bad_alloc();
-}
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -287,13 +254,13 @@ template <typename F>
 Sample measure(F&& fn, std::size_t packets, int iters) {
   fn();
   fn();
-  const std::uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
+  const std::uint64_t a0 = wb_bench::alloc_count();
   // wb-analyze: allow(no-wallclock): wall-clock is the measurand here — this timing harness reports ns/packet, never feeds results
   const auto t0 = std::chrono::steady_clock::now();
   for (int i = 0; i < iters; ++i) fn();
   // wb-analyze: allow(no-wallclock): wall-clock is the measurand here (end of the timed window)
   const auto t1 = std::chrono::steady_clock::now();
-  const std::uint64_t a1 = g_allocs.load(std::memory_order_relaxed);
+  const std::uint64_t a1 = wb_bench::alloc_count();
   const double ns = std::chrono::duration<double, std::nano>(t1 - t0).count();
   Sample s;
   s.ns_per_packet =

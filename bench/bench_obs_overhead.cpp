@@ -14,14 +14,13 @@
 // "on" rows (the recorder ring and taxonomy counters are preallocated;
 // exemplar serialisation stops once the per-cell cap fills during warmup)
 // and overhead_pct <= 5.
-#include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
-#include <new>
 #include <string>
 
 #include <benchmark/benchmark.h>
+
+#include "alloc_count.h"
 
 #include "core/uplink_sim.h"
 #include "obs/flight_recorder.h"
@@ -32,36 +31,6 @@
 #include "tag/modulator.h"
 #include "util/args.h"
 #include "wifi/traffic.h"
-
-namespace {
-
-std::atomic<std::uint64_t> g_allocs{0};
-
-}  // namespace
-
-// Binary-local allocation instrumentation, as in bench_decoder_micro: the
-// delta across a measured loop is exactly its allocation count.
-//
-// GCC's -Wmismatched-new-delete inlines the delete below to free() and
-// flags it against operator new; the pair is consistent (both sides go
-// through malloc/free), so silence the false positive for this TU.
-#if defined(__GNUC__) && !defined(__clang__)
-#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
-#endif
-void* operator new(std::size_t size) {
-  g_allocs.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size)) return p;
-  throw std::bad_alloc();
-}
-void* operator new[](std::size_t size) {
-  g_allocs.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size)) return p;
-  throw std::bad_alloc();
-}
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -121,7 +90,7 @@ Sample measure(F&& fn, std::size_t packets, int iters) {
   constexpr int kReps = 3;
   fn();
   fn();
-  const std::uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
+  const std::uint64_t a0 = wb_bench::alloc_count();
   double best_ns = 0.0;
   for (int rep = 0; rep < kReps; ++rep) {
     // wb-analyze: allow(no-wallclock): wall-clock is the measurand here — this timing harness reports ns/packet, never feeds results
@@ -133,7 +102,7 @@ Sample measure(F&& fn, std::size_t packets, int iters) {
         std::chrono::duration<double, std::nano>(t1 - t0).count();
     if (rep == 0 || ns < best_ns) best_ns = ns;
   }
-  const std::uint64_t a1 = g_allocs.load(std::memory_order_relaxed);
+  const std::uint64_t a1 = wb_bench::alloc_count();
   Sample s;
   s.ns_per_packet =
       best_ns / (static_cast<double>(iters) * static_cast<double>(packets));

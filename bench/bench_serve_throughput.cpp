@@ -16,14 +16,14 @@
 // cap fills during warmup) and frames_per_pass == sessions (drain loses
 // no decodable frame). The block-producer policy is measured: it is the
 // only one that admits every record, so the frame gate is exact.
-#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <new>
 #include <string>
 
 #include <benchmark/benchmark.h>
+
+#include "alloc_count.h"
 
 #include "core/uplink_sim.h"
 #include "obs/metrics.h"
@@ -33,36 +33,6 @@
 #include "util/args.h"
 #include "wifi/replay.h"
 #include "wifi/traffic.h"
-
-namespace {
-
-std::atomic<std::uint64_t> g_allocs{0};
-
-}  // namespace
-
-// Binary-local allocation instrumentation, as in bench_obs_overhead: the
-// delta across a measured loop is exactly its allocation count.
-//
-// GCC's -Wmismatched-new-delete inlines the delete below to free() and
-// flags it against operator new; the pair is consistent (both sides go
-// through malloc/free), so silence the false positive for this TU.
-#if defined(__GNUC__) && !defined(__clang__)
-#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
-#endif
-void* operator new(std::size_t size) {
-  g_allocs.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size)) return p;
-  throw std::bad_alloc();
-}
-void* operator new[](std::size_t size) {
-  g_allocs.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size)) return p;
-  throw std::bad_alloc();
-}
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -188,7 +158,7 @@ Sample measure(std::size_t sessions, int iters) {
   drained = run_pass(svc, feed, next_epoch());
   drained = run_pass(svc, feed, next_epoch());
 
-  const std::uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
+  const std::uint64_t a0 = wb_bench::alloc_count();
   double best_ns = 0.0;
   for (int rep = 0; rep < kReps; ++rep) {
     // wb-analyze: allow(no-wallclock): wall-clock is the measurand here — this timing harness reports pkts/sec, never feeds results
@@ -203,7 +173,7 @@ Sample measure(std::size_t sessions, int iters) {
         std::chrono::duration<double, std::nano>(t1 - t0).count();
     if (rep == 0 || ns < best_ns) best_ns = ns;
   }
-  const std::uint64_t a1 = g_allocs.load(std::memory_order_relaxed);
+  const std::uint64_t a1 = wb_bench::alloc_count();
 
   const std::uint64_t frames_before = svc.frames_total();
   obs::LogHistogram latency;

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Pre-PR correctness gate. Named steps, in default order:
 #   analyze   tools/wb_analyze static analysis (determinism, headers, raii,
-#             legacy lint) + JSON artifact + committed-baseline diff
+#             realtime call-graph walk, legacy lint) + JSON + call-graph
+#             artifacts + committed-baseline diff + call-graph unit tests
 #   build     ASan+UBSan build, -Werror        (build dir: build-check/)
 #   test      full ctest under the sanitizers
 #   tsan      TSan build of the concurrency surface (build-tsan/) running
@@ -66,7 +67,9 @@ step_analyze() {
   mkdir -p "$BUILD_DIR"
   python3 tools/wb_analyze \
     --json-out "$BUILD_DIR/wb_analyze.json" \
+    --callgraph-out "$BUILD_DIR/wb_callgraph.json" \
     --baseline tools/wb_analyze/baseline.json
+  python3 tests/analyze/test_callgraph.py
 }
 
 step_build() {

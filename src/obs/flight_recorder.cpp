@@ -66,7 +66,7 @@ void FlightRecorder::log(
     TimeUs ts_us, Severity sev, std::string_view module,
     std::string_view message,
     std::initializer_list<std::pair<std::string_view, double>> fields) noexcept {
-  const util::MutexLock lock(mu_);
+  const util::MutexLock lock(mu_);  // wb-analyze: allow(realtime-blocking): recorders are installed per worker thread (see recorder() contract), so the mutex is uncontended and the critical section is a bounded fixed-width copy — no waits, no I/O
   Event& e = ring_[next_seq_ % capacity_];
   e.seq = next_seq_++;
   e.ts = ts_us + offset_;

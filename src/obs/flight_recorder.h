@@ -73,7 +73,7 @@ class FlightRecorder {
 
   /// Record one event. Zero-allocation: module/message/keys are truncated
   /// into the ring slot; fields beyond kMaxFields are dropped.
-  void log(TimeUs ts_us, Severity sev, std::string_view module,
+  WB_REALTIME void log(TimeUs ts_us, Severity sev, std::string_view module,
            std::string_view message,
            std::initializer_list<std::pair<std::string_view, double>>
                fields = {}) noexcept;

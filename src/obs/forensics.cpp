@@ -14,6 +14,26 @@ namespace {
 // Thread-local: each sweep worker installs (and observes) its own sink;
 // see the forensics() contract in the header.
 thread_local ForensicsSink* t_forensics = nullptr;
+
+// Precomputed "forensics.<stage>.<reason>_total" mirrored-metric names,
+// one per (stage, reason) cell. Built once at static initialization:
+// record_drop is a WB_REALTIME root and must not assemble a std::string
+// per drop. 64 bytes comfortably holds the longest combination
+// ("forensics.reader_conditioning.drained_incomplete_total" = 55).
+struct DropMetricNames {
+  char buf[kNumDropStages * kNumDropReasons][64];
+  DropMetricNames() noexcept {
+    for (std::size_t s = 0; s < kNumDropStages; ++s) {
+      for (std::size_t r = 0; r < kNumDropReasons; ++r) {
+        std::snprintf(buf[s * kNumDropReasons + r], sizeof(buf[0]),
+                      "forensics.%s.%s_total",
+                      metric_token(static_cast<DropStage>(s)),
+                      to_string(static_cast<DropReason>(r)));
+      }
+    }
+  }
+};
+const DropMetricNames g_drop_metric_names;
 }  // namespace
 
 ForensicsSink* forensics() noexcept { return t_forensics; }
@@ -87,14 +107,10 @@ void ForensicsSink::record_decode(DropStage stage) noexcept {
 void ForensicsSink::record_drop(DropStage stage, DropReason reason) {
   drops_[cell(stage, reason)].fetch_add(1, std::memory_order_relaxed);
   // Mirror into the installed metrics registry so RunReports (and
-  // wb_report_diff) surface drop reasons as ordinary counters.
+  // wb_report_diff) surface drop reasons as ordinary counters. The name
+  // comes from the precomputed static table — no per-drop allocation.
   if (auto* m = metrics()) {
-    std::string name = "forensics.";
-    name += metric_token(stage);
-    name += '.';
-    name += to_string(reason);
-    name += "_total";
-    m->counter(name).add(1);
+    m->counter(g_drop_metric_names.buf[cell(stage, reason)]).add(1);
   }
 }
 

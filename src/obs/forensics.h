@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "util/check.h"
 #include "util/thread_annotations.h"
 
 namespace wb::obs {
@@ -93,7 +94,7 @@ class ForensicsSink {
   /// The attempt at `stage` failed for `reason`. Mirrors a
   /// `forensics.<stage>.<reason>_total` counter into the installed metrics
   /// registry (if any) so RunReports and wb_report_diff see drop reasons.
-  void record_drop(DropStage stage, DropReason reason);
+  WB_REALTIME void record_drop(DropStage stage, DropReason reason);
 
   /// True while the (stage, reason) exemplar slot has room — call before
   /// paying for trace serialization.

@@ -119,6 +119,7 @@ std::optional<SloRule> parse_slo_rule(std::string_view spec) {
 }
 
 std::string to_string(const SloRule& rule) {
+  // wb-analyze: allow(realtime-alloc): overload-set false edge — the hot decode paths call obs::to_string(DropReason) (a const char* switch); name+arity call resolution cannot see parameter types, so it also lands on this cold SLO-rule name builder. Nothing on a decode path ever calls it.
   std::string base = rule.metric;
   if (!rule.denominator.empty()) {
     base += '/';

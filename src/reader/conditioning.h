@@ -15,6 +15,7 @@
 #include <span>
 #include <vector>
 
+#include "util/check.h"
 #include "util/units.h"
 #include "wifi/capture.h"
 
@@ -48,9 +49,10 @@ ConditionedTrace condition(const wifi::CaptureTrace& trace,
 /// Allocation-free variant of condition(): raw collection and the
 /// moving-average scratch live in `ws` (decode_workspace.h), the result is
 /// written into `out` reusing its capacity. Bit-identical to condition().
-void condition_into(const wifi::CaptureTrace& trace, MeasurementSource source,
-                    TimeUs movavg_window_us, DecodeWorkspace& ws,
-                    ConditionedTrace& out);
+WB_REALTIME void condition_into(const wifi::CaptureTrace& trace,
+                                MeasurementSource source,
+                                TimeUs movavg_window_us, DecodeWorkspace& ws,
+                                ConditionedTrace& out);
 
 /// The moving-average-removal stage alone (exposed for tests and the
 /// ablation bench): y_k = x_k - mean{x_j : t_j in (t_k - window, t_k]}.

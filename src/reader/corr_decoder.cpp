@@ -102,7 +102,7 @@ void CodedUplinkDecoder::decode_into(const wifi::CaptureTrace& trace,
     auto* fx = obs::forensics();
     if (fx != nullptr &&
         fx->wants_exemplar(obs::DropStage::kCorrDecoder, *out.drop_reason)) {
-      fx->add_exemplar(obs::DropStage::kCorrDecoder, *out.drop_reason,
+      fx->add_exemplar(obs::DropStage::kCorrDecoder, *out.drop_reason,  // wb-analyze: allow(realtime-alloc): exemplar serialization is wants_exemplar-gated to the first exemplar_cap drops per (stage, reason) — cold by construction
                        wifi::capture_csv_string(trace));
     }
   }
@@ -288,10 +288,12 @@ void CodedUplinkDecoder::decode_conditioned_into(const ConditionedTrace& ct_in,
   out.start_us = best_start;
   out.sync_score = best_score;
   out.streams.assign(order.begin(), order.begin() + static_cast<long>(g));
+  out.polarity.resize(g);
+  out.weights.resize(g);
   for (std::size_t i = 0; i < g; ++i) {
     const double c = corrs[out.streams[i]];
-    out.polarity.push_back(c >= 0.0 ? 1.0 : -1.0);
-    out.weights.push_back(std::abs(c));
+    out.polarity[i] = c >= 0.0 ? 1.0 : -1.0;
+    out.weights[i] = std::abs(c);
   }
 
   // --- Payload: correlate each bit's chip block against both codes ---

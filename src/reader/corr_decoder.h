@@ -20,6 +20,7 @@
 #include "obs/forensics.h"
 #include "reader/conditioning.h"
 #include "util/bits.h"
+#include "util/check.h"
 #include "util/codes.h"
 #include "util/units.h"
 #include "wifi/capture.h"
@@ -102,18 +103,20 @@ class CodedUplinkDecoder {
   // Bit-identical to the allocating calls; the winsorised trace copy and
   // the slot-binning scratch live in `ws`, results reuse `out`'s vectors.
 
-  void decode_into(const wifi::CaptureTrace& trace, DecodeWorkspace& ws,
-                   CodedDecodeResult& out) const;
-  void decode_conditioned_into(const ConditionedTrace& ct, DecodeWorkspace& ws,
+  WB_REALTIME void decode_into(const wifi::CaptureTrace& trace,
+                               DecodeWorkspace& ws,
                                CodedDecodeResult& out) const;
+  WB_REALTIME void decode_conditioned_into(const ConditionedTrace& ct,
+                                           DecodeWorkspace& ws,
+                                           CodedDecodeResult& out) const;
 
   /// Batch decode (DESIGN.md §15): every trace through one workspace;
   /// `out` is resized to traces.size() and its entries reused, so a
   /// warmed-up batch is allocation-free. Bit-identical to calling
   /// decode_into per trace.
-  void decode_batch_into(std::span<const wifi::CaptureTrace> traces,
-                         DecodeWorkspace& ws,
-                         std::vector<CodedDecodeResult>& out) const;
+  WB_REALTIME void decode_batch_into(std::span<const wifi::CaptureTrace> traces,
+                                     DecodeWorkspace& ws,
+                                     std::vector<CodedDecodeResult>& out) const;
 
   /// Per-chip-normalised correlation of a stream against the *coded
   /// preamble* at a candidate start (signed; 0 when under-filled).

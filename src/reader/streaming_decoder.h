@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "reader/uplink_decoder.h"
+#include "util/check.h"
 
 namespace wb::reader {
 
@@ -64,7 +65,8 @@ class StreamingUplinkDecoder {
   /// returned vector; returns how many frames were emitted. This is the
   /// serving-path API (wb::serve sessions implement FrameSink and copy
   /// payloads into preallocated slots).
-  std::size_t push(const wifi::CaptureRecord& rec, FrameSink& sink);
+  WB_REALTIME std::size_t push(const wifi::CaptureRecord& rec,
+                               FrameSink& sink);
 
   /// Final scan over the not-yet-consumed tail of the buffer. push() only
   /// scans when a *later* record arrives, so when traffic stops, any frame

@@ -71,13 +71,14 @@ void UplinkDecoder::bin_window_into(const ConditionedTrace& ct,
   std::size_t k = lower_index(ts, start_us);
   ws.bin_first = k;
   ws.bin_nslots = nslots;
-  ws.bin_slot_of.clear();
   ws.bin_count.assign(nslots, 0);
   const TimeUs end = start_us + slot_us * static_cast<std::int64_t>(nslots);
-  for (; k < ts.size() && ts[k] < end; ++k) {
+  const std::size_t k_end = lower_index(ts, end);
+  ws.bin_slot_of.resize(k_end - k);
+  for (std::size_t j = 0; k < k_end; ++k, ++j) {
     const auto slot =
         static_cast<std::uint32_t>((ts[k] - start_us) / slot_us);
-    ws.bin_slot_of.push_back(slot);
+    ws.bin_slot_of[j] = slot;
     ++ws.bin_count[slot];
   }
   ws.bin_filled = 0;
@@ -217,9 +218,9 @@ bool UplinkDecoder::find_frame(const ConditionedTrace& ct,
       best_score = tau_score;
       ws.best_streams.assign(order.begin(),
                              order.begin() + static_cast<long>(g));
-      ws.best_polarity.clear();
+      ws.best_polarity.resize(g);
       for (std::size_t i = 0; i < g; ++i) {
-        ws.best_polarity.push_back(corrs[order[i]] >= 0.0 ? 1.0 : -1.0);
+        ws.best_polarity[i] = corrs[order[i]] >= 0.0 ? 1.0 : -1.0;
       }
     }
   }
@@ -307,7 +308,7 @@ void UplinkDecoder::decode_into(const wifi::CaptureTrace& trace,
     if (fx != nullptr &&
         fx->wants_exemplar(obs::DropStage::kUplinkDecoder,
                            *out.drop_reason)) {
-      fx->add_exemplar(obs::DropStage::kUplinkDecoder, *out.drop_reason,
+      fx->add_exemplar(obs::DropStage::kUplinkDecoder, *out.drop_reason,  // wb-analyze: allow(realtime-alloc): exemplar serialization is wants_exemplar-gated to the first exemplar_cap drops per (stage, reason) — cold by construction
                        wifi::capture_csv_string(trace));
     }
   }
@@ -388,11 +389,12 @@ void UplinkDecoder::decode_conditioned_into(const ConditionedTrace& ct,
   }
 
   // MRC weights from preamble-estimated noise variance (§3.2 step 2).
+  out.weights.resize(out.streams.size());
   for (std::size_t i = 0; i < out.streams.size(); ++i) {
     const double var = preamble_noise_variance(
         ct, out.streams[i], out.polarity[i], start);
     WB_REQUIRE(var > 0.0, "MRC weight 1/sigma^2 needs a positive variance");
-    out.weights.push_back(1.0 / var);
+    out.weights[i] = 1.0 / var;
   }
   if (m != nullptr && out.weights.size() > 1) {
     // Dispersion of the MRC weights: max/min per decode. Near 1 means the
@@ -521,7 +523,7 @@ void UplinkDecoder::decode_conditioned_into(const ConditionedTrace& ct,
   }
   if (fx != nullptr) fx->record_decode(obs::DropStage::kUplinkDecoder);
   if (auto* tr = obs::tracer()) {
-    tr->complete(tr->lane("reader"), "uplink_frame", "reader",
+    tr->complete(tr->lane("reader"), "uplink_frame", "reader",  // wb-analyze: allow(realtime-alloc): Chrome-trace span capture — tracer is nullptr outside diagnostic runs, and span events are inherently allocating
                  out.start_us,
                  static_cast<TimeUs>(cfg_.frame_duration_us()),
                  {{"sync_score", out.sync_score},

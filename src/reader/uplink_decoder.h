@@ -124,21 +124,23 @@ class UplinkDecoder {
   // make a decode allocation-free.
 
   /// Full pipeline; conditioning output is kept in `ws.conditioned`.
-  void decode_into(const wifi::CaptureTrace& trace, DecodeWorkspace& ws,
-                   UplinkDecodeResult& out) const;
+  WB_REALTIME void decode_into(const wifi::CaptureTrace& trace,
+                               DecodeWorkspace& ws,
+                               UplinkDecodeResult& out) const;
 
   /// Pipeline from an already-conditioned trace.
-  void decode_conditioned_into(const ConditionedTrace& ct, DecodeWorkspace& ws,
-                               UplinkDecodeResult& out) const;
+  WB_REALTIME void decode_conditioned_into(const ConditionedTrace& ct,
+                                           DecodeWorkspace& ws,
+                                           UplinkDecodeResult& out) const;
 
   /// Batch decode (DESIGN.md §15): run every trace through this decoder,
   /// reusing one workspace across the whole span; `out` is resized to
   /// traces.size() with each entry reused like the single-trace overload,
   /// so a warmed-up batch is allocation-free. Bit-identical to calling
   /// decode_into per trace.
-  void decode_batch_into(std::span<const wifi::CaptureTrace> traces,
-                         DecodeWorkspace& ws,
-                         std::vector<UplinkDecodeResult>& out) const;
+  WB_REALTIME void decode_batch_into(std::span<const wifi::CaptureTrace> traces,
+                                     DecodeWorkspace& ws,
+                                     std::vector<UplinkDecodeResult>& out) const;
 
   /// Replace the frame-start search window (used by the streaming wrapper,
   /// which slides the window forward between scans on one decoder

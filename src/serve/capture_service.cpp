@@ -78,11 +78,11 @@ Error CaptureService::detach(std::uint32_t session) {
 Error CaptureService::submit(std::uint32_t session,
                              const wifi::CaptureRecord& rec) {
   if (state_ == ServiceState::kStopped || state_ == ServiceState::kDraining) {
-    return Error::make(ErrorCode::kWrongState,
+    return Error::make(ErrorCode::kWrongState,  // wb-analyze: allow(realtime-alloc): reject-path error message; the accept path below is allocation-free (0 allocs/record per BENCH_serve)
                        std::string("submit while ") + to_string(state_));
   }
   if (sessions_.find(session) == nullptr) {
-    return Error::make(ErrorCode::kNotFound,
+    return Error::make(ErrorCode::kNotFound,  // wb-analyze: allow(realtime-alloc): reject-path error message; the accept path below is allocation-free (0 allocs/record per BENCH_serve)
                        "session " + std::to_string(session) +
                            " is not attached");
   }
@@ -197,9 +197,9 @@ std::size_t CaptureService::dispatch_ring() {
     // Each worker owns one session; per-session outputs are identical
     // to the inline path by construction (private sinks, suppressed
     // thread-ambient observability).
-    runner::for_each_index(cfg_.dispatch_threads, m, [this](std::size_t i) {
-      dispatch_order_[i]->dispatch_pending();
-    });
+    runner::for_each_index(  // wb-analyze: allow(realtime-blocking): opted-in worker fan-out (dispatch_threads > 1) synchronizes at batch boundaries by design; the default single-driver path above never enters the pool
+        cfg_.dispatch_threads, m,
+        [this](std::size_t i) { dispatch_order_[i]->dispatch_pending(); });
   }
   return routed;
 }
@@ -212,8 +212,7 @@ void CaptureService::record_backpressure_drop(const IngestItem& victim) {
                                   obs::DropReason::kBackpressure)) {
     wifi::CaptureTrace one(1);
     one[0] = victim.record;
-    ingest_sink_.add_exemplar(obs::DropStage::kIngest,
-                              obs::DropReason::kBackpressure,
+    ingest_sink_.add_exemplar(obs::DropStage::kIngest, obs::DropReason::kBackpressure,  // wb-analyze: allow(realtime-alloc): exemplar serialization is wants_exemplar-gated to the first exemplar_cap backpressure drops — cold by construction
                               wifi::capture_csv_string(one));
   }
   if (auto* rec = obs::recorder()) {

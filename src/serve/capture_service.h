@@ -31,6 +31,7 @@
 #include "serve/error.h"
 #include "serve/ingest_ring.h"
 #include "serve/session.h"
+#include "util/check.h"
 #include "wifi/capture.h"
 
 namespace wb::serve {
@@ -113,12 +114,13 @@ class CaptureService {
   /// record is lost. Under the drop policies a full ring sheds load per
   /// policy (recorded in forensics) and submit still succeeds.
   /// kNotFound / kWrongState for invalid targets.
-  Error submit(std::uint32_t session, const wifi::CaptureRecord& rec);
+  WB_REALTIME Error submit(std::uint32_t session,
+                           const wifi::CaptureRecord& rec);
 
   /// Drains the ring into sessions and dispatches them; returns records
   /// routed. Call at any cadence; submit() under backpressure calls it
   /// implicitly.
-  std::size_t poll();
+  WB_REALTIME std::size_t poll();
 
   // ---- introspection ----
 

@@ -90,3 +90,17 @@ namespace detail {
 
 /// Internal consistency condition.
 #define WB_INVARIANT(cond, ...) WB_CONTRACT_CHECK_("invariant", cond, __VA_ARGS__)
+
+/// Declares a function/method a *realtime hot root*: everything
+/// transitively reachable from it must neither allocate amortizedly
+/// (new, make_unique/shared, container growth, std::string building) nor
+/// block (mutex/CV waits, sleeps, I/O, throw). Enforced statically by
+/// tools/wb_analyze's `realtime-alloc`/`realtime-blocking` rules, which
+/// walk the src/ call graph from every marked root; a marker that no
+/// longer resolves to a defined symbol is itself a finding
+/// (`realtime-marker`). Genuinely cold call sites under a root (e.g.
+/// first-N exemplar capture) are pruned from the walk with a justified
+/// wb-analyze allow(realtime-alloc) comment ("why" required) on the
+/// call line.
+/// Expands to nothing — purely an analyzer annotation.
+#define WB_REALTIME

@@ -1,0 +1,19 @@
+#include "pipeline/decode.h"
+
+namespace fx::pipeline {
+
+// The violation lives one call level below the root: only the
+// interprocedural walk sees it.
+void Decoder::append_bit(Frame& out, int bit) {
+  scratch_.push_back(bit);
+  out.bits[(out.count++) & 7] = bit;
+}
+
+void Decoder::decode_into(const Frame& in, Frame& out) {
+  out.count = 0;
+  for (int i = 0; i < in.count; ++i) {
+    append_bit(out, in.bits[i]);
+  }
+}
+
+}  // namespace fx::pipeline

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <vector>
+
+namespace fx::pipeline {
+
+struct Frame {
+  int bits[8];
+  int count;
+};
+
+class Decoder {
+ public:
+  WB_REALTIME void decode_into(const Frame& in, Frame& out);
+
+ private:
+  void append_bit(Frame& out, int bit);
+
+  std::vector<int> scratch_;
+};
+
+}  // namespace fx::pipeline

@@ -1,0 +1,31 @@
+#include "pipeline/decode.h"
+
+#include <string>
+
+namespace fx::pipeline {
+
+void Decoder::append_bit(Frame& out, int bit) {
+  out.bits[(out.count++) & 7] = bit;
+}
+
+// Allocates freely — legal because the only hot call site prunes the
+// edge with a justified cold-gate allow.
+void Decoder::log_empty(const Frame& f) {
+  std::string label = "empty frame";
+  label += static_cast<char>('0' + (f.count & 7));
+  (void)label;
+}
+
+void Decoder::decode_into(const Frame& in, Frame& out) {
+  // Explicit sizing into reused capacity is the sanctioned idiom: legal.
+  scratch_.assign(8, 0);
+  out.count = 0;
+  for (int i = 0; i < in.count; ++i) {
+    append_bit(out, in.bits[i]);
+  }
+  if (out.count == 0) {
+    log_empty(out);  // wb-analyze: allow(realtime-alloc): empty-frame diagnostics fire at most once per session setup — cold by construction
+  }
+}
+
+}  // namespace fx::pipeline

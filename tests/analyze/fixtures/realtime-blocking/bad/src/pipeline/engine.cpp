@@ -1,0 +1,28 @@
+#include "pipeline/engine.h"
+
+#include <mutex>
+
+namespace fx::pipeline {
+
+namespace {
+
+std::mutex g_mu;
+int g_pending = 0;
+
+// The lock sits two call levels below the root.
+void drain_pending() {
+  const std::lock_guard<std::mutex> lock(g_mu);
+  g_pending = 0;
+}
+
+void step() { drain_pending(); }
+
+}  // namespace
+
+void poll_once(int budget) {
+  for (int i = 0; i < budget; ++i) {
+    step();
+  }
+}
+
+}  // namespace fx::pipeline

@@ -1,0 +1,7 @@
+#pragma once
+
+namespace fx::pipeline {
+
+WB_REALTIME void poll_once(int budget);
+
+}  // namespace fx::pipeline

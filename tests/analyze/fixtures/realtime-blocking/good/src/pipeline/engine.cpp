@@ -1,0 +1,30 @@
+#include "pipeline/engine.h"
+
+#include <mutex>
+
+namespace fx::pipeline {
+
+namespace {
+
+std::mutex g_mu;
+int g_pending = 0;
+
+// Blocking, but only reachable through the cold-gated shutdown edge.
+void flush_blocking() {
+  const std::lock_guard<std::mutex> lock(g_mu);
+  g_pending = 0;
+}
+
+}  // namespace
+
+void poll_once(int budget) {
+  if (budget < 0) {
+    flush_blocking();  // wb-analyze: allow(realtime-blocking): negative budget is the shutdown handshake — callers opt into blocking there
+    return;
+  }
+  for (int i = 0; i < budget; ++i) {
+    g_pending = 0;
+  }
+}
+
+}  // namespace fx::pipeline

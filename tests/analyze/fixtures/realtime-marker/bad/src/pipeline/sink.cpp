@@ -1,0 +1,10 @@
+#include "pipeline/sink.h"
+
+namespace fx::pipeline {
+
+void FrameSink::on_frame(int frame_id, int channel) {
+  (void)frame_id;
+  (void)channel;
+}
+
+}  // namespace fx::pipeline

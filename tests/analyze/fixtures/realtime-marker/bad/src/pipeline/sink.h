@@ -1,0 +1,12 @@
+#pragma once
+
+namespace fx::pipeline {
+
+class FrameSink {
+ public:
+  // Stale: the definition below gained a `channel` parameter and the
+  // declaration was never updated, so the marker guards nothing.
+  WB_REALTIME void on_frame(int frame_id);
+};
+
+}  // namespace fx::pipeline

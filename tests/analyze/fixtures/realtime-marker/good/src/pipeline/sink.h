@@ -1,0 +1,12 @@
+#pragma once
+
+namespace fx::pipeline {
+
+class FrameSink {
+ public:
+  // Declaration carries a default argument; the out-of-line definition
+  // does not repeat it. Arity ranges overlap, so the marker resolves.
+  WB_REALTIME void on_frame(int frame_id, int channel = 0);
+};
+
+}  // namespace fx::pipeline

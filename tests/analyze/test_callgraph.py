@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/wb_analyze/callgraph.py (ctest: analyze_callgraph).
+
+Each case writes a miniature src/ tree into a temp dir, builds the call
+graph through the same engine path the analyzer uses (collect_files ->
+callgraph.build), and asserts on the resolved structure: overload sets,
+out-of-line methods, recursion cycles, function pointers, constructor
+member-init bodies, STL-homonym member calls, marker arity-overlap
+resolution, and to_json determinism.
+"""
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "tools"))
+
+from wb_analyze import callgraph, engine  # noqa: E402
+
+FAILURES: list[str] = []
+CASES = 0
+
+
+def check(cond: bool, what: str) -> None:
+    global CASES
+    CASES += 1
+    if not cond:
+        FAILURES.append(what)
+
+
+def build_tree(files: dict[str, str]) -> callgraph.CallGraph:
+    """files: relative path under the scan root -> contents."""
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        for rel, text in files.items():
+            p = root / rel
+            p.parent.mkdir(parents=True, exist_ok=True)
+            p.write_text(text)
+        sources = engine.collect_files(root)
+        return callgraph.build([f for f in sources if f.top == "src"])
+
+
+def symbols(g: callgraph.CallGraph) -> set[str]:
+    return {d.symbol for d in g.defs}
+
+
+def call_targets(g: callgraph.CallGraph, caller_symbol: str,
+                 name: str) -> set[str]:
+    """Target symbols of the call(s) named `name` out of `caller_symbol`."""
+    out: set[str] = set()
+    for di, d in enumerate(g.defs):
+        if d.symbol != caller_symbol:
+            continue
+        for ci in g.calls_of(di):
+            c = g.calls[ci]
+            if c.name == name:
+                out.update(g.defs[t].symbol for t in c.targets)
+    return out
+
+
+def test_overloads() -> None:
+    g = build_tree({"src/m/a.cpp": """
+void scale(double x) { (void)x; }
+void scale(double x, double y) { (void)x; (void)y; }
+void run() {
+  scale(1.0);
+  scale(1.0, 2.0);
+}
+"""})
+    check(symbols(g) >= {"scale/1", "scale/2", "run/0"},
+          f"overloads: defs missing, got {symbols(g)}")
+    check(call_targets(g, "run/0", "scale") == {"scale/1", "scale/2"},
+          "overloads: both arities should resolve from their call sites")
+    one_arg = [c for c in g.calls if c.name == "scale" and c.arity == 1]
+    check(len(one_arg) == 1 and
+          {g.defs[t].symbol for t in one_arg[0].targets} == {"scale/1"},
+          "overloads: scale(1.0) must resolve to scale/1 only")
+
+
+def test_out_of_line_method() -> None:
+    g = build_tree({
+        "src/m/w.h": "#pragma once\nclass Widget {\n public:\n"
+                     "  void refresh();\n void helper();\n};\n",
+        "src/m/w.cpp": '#include "m/w.h"\n'
+                       "void Widget::helper() { }\n"
+                       "void Widget::refresh() { helper(); }\n",
+    })
+    check("Widget::refresh/0" in symbols(g) and
+          "Widget::helper/0" in symbols(g),
+          f"out-of-line: Cls:: qualifier not attributed, got {symbols(g)}")
+    check(call_targets(g, "Widget::refresh/0", "helper")
+          == {"Widget::helper/0"},
+          "out-of-line: plain call inside a method must reach the "
+          "caller's own class methods")
+
+
+def test_recursion_cycle() -> None:
+    g = build_tree({"src/m/r.cpp": """
+void pong(int n);
+void ping(int n) { if (n > 0) pong(n - 1); }
+void pong(int n) { if (n > 0) ping(n - 1); }
+"""})
+    roots = [i for i, d in enumerate(g.defs) if d.symbol == "ping/1"]
+    check(len(roots) == 1, f"cycle: expected one ping def, got {symbols(g)}")
+    reach = g.reachable(roots)
+    got = {g.defs[i].symbol for i in reach}
+    check(got == {"ping/1", "pong/1"},
+          f"cycle: BFS must terminate covering both, got {got}")
+    pong = next(i for i, d in enumerate(g.defs) if d.symbol == "pong/1")
+    check(g.path_to(reach, pong) == ["ping/1", "pong/1"],
+          "cycle: path_to must walk root-first")
+
+
+def test_function_pointer_unresolved() -> None:
+    g = build_tree({"src/m/fp.cpp": """
+void handler(int x) { (void)x; }
+void run() {
+  void (*fp)(int) = &handler;
+  fp(1);
+}
+"""})
+    fp_calls = [c for c in g.calls if c.name == "fp"]
+    check(all(not c.targets for c in fp_calls),
+          "fn-pointer: indirect call through fp must stay unresolved")
+    check(call_targets(g, "run/0", "handler") == set(),
+          "fn-pointer: &handler is not a call site")
+
+
+def test_ctor_member_init_body() -> None:
+    g = build_tree({"src/m/c.cpp": """
+void warm_cache(int n);
+class Engine {
+ public:
+  Engine() : gain_(1), bias_(0) { warm_cache(gain_); }
+ private:
+  int gain_;
+  int bias_;
+};
+void warm_cache(int n) { (void)n; }
+"""})
+    check("Engine::Engine/0" in symbols(g),
+          f"ctor: ctor def with member-init list not found, "
+          f"got {symbols(g)}")
+    check(call_targets(g, "Engine::Engine/0", "warm_cache")
+          == {"warm_cache/1"},
+          "ctor: body after member-init list must be scanned for calls")
+
+
+def test_stl_homonym_member_calls() -> None:
+    g = build_tree({"src/m/h.cpp": """
+#include <vector>
+class Ring {
+ public:
+  int size() const { return n_; }
+ private:
+  int n_;
+};
+int run(const std::vector<int>& v) {
+  return static_cast<int>(v.size());
+}
+"""})
+    check(call_targets(g, "run/1", "size") == set(),
+          "homonym: v.size() must not resolve into Ring::size")
+
+
+def test_marker_arity_overlap() -> None:
+    g = build_tree({
+        "src/m/s.h": "#pragma once\nclass Sink {\n public:\n"
+                     "  WB_REALTIME void on_frame(int id, int ch = 0);\n};\n",
+        "src/m/s.cpp": '#include "m/s.h"\n'
+                       "void Sink::on_frame(int id, int ch) {"
+                       " (void)id; (void)ch; }\n",
+    })
+    check(len(g.markers) == 1 and len(g.markers[0].defs) == 1,
+          "marker: declaration default-arg range [1,2] must overlap the "
+          "definition's [2,2]")
+    g2 = build_tree({
+        "src/m/s.h": "#pragma once\nclass Sink {\n public:\n"
+                     "  WB_REALTIME void on_frame(int id);\n};\n",
+        "src/m/s.cpp": '#include "m/s.h"\n'
+                       "void Sink::on_frame(int id, int ch) {"
+                       " (void)id; (void)ch; }\n",
+    })
+    check(len(g2.markers) == 1 and not g2.markers[0].defs,
+          "marker: disjoint arity ranges must leave the marker unresolved")
+
+
+def test_to_json_deterministic() -> None:
+    files = {
+        "src/m/w.h": "#pragma once\nclass Widget {\n public:\n"
+                     "  WB_REALTIME void refresh();\n  void helper();\n};\n",
+        "src/m/w.cpp": '#include "m/w.h"\n'
+                       "void Widget::helper() { }\n"
+                       "void Widget::refresh() { helper(); }\n",
+    }
+    a = build_tree(files).to_json()
+    b = build_tree(files).to_json()
+    check(a == b, "to_json: two builds of the same tree must be identical")
+    check(a["roots"] and a["roots"][0]["reachable"],
+          "to_json: marker root must appear with its reachable set")
+
+
+def main() -> int:
+    test_overloads()
+    test_out_of_line_method()
+    test_recursion_cycle()
+    test_function_pointer_unresolved()
+    test_ctor_member_init_body()
+    test_stl_homonym_member_calls()
+    test_marker_arity_overlap()
+    test_to_json_deterministic()
+    for f in FAILURES:
+        print(f"FAIL {f}")
+    if FAILURES:
+        print(f"analyze_callgraph: {len(FAILURES)}/{CASES} check(s) failed",
+              file=sys.stderr)
+        return 1
+    print(f"analyze_callgraph: OK ({CASES} checks)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

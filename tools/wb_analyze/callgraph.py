@@ -1,0 +1,532 @@
+"""Interprocedural symbol table + call graph over src/ for wb_analyze.
+
+Built on the cpptext tokenizer (comment/string-stripped, offset-preserving
+text; preprocessor lines masked), not a real parser. The heuristics and
+their known false-negative surface are documented in DESIGN.md §16; the
+short version:
+
+Definitions
+    An identifier followed by a balanced `(...)` and then a function body
+    `{` — allowing `const`/`noexcept(...)`/ref-qualifiers/`override`/
+    `final`, all-caps annotation macros (thread-safety attributes), a
+    trailing return type, and a constructor member-init list between the
+    `)` and the `{`. Method owners come from the innermost enclosing
+    `class`/`struct` body or from an out-of-line `Cls::` qualifier.
+    Arity is the parameter count; default arguments make it a
+    [min, max] range, `...` makes max unbounded.
+
+Calls
+    An identifier followed by `(` inside a known definition body.
+    `.`/`->` member calls resolve only to method definitions; `Cls::`
+    qualified calls prefer methods of `Cls` and fall back to every
+    name+arity match (namespace qualifiers); plain calls resolve to free
+    functions plus methods of the caller's own class. Calls that resolve
+    to no definition (std::, macros, function pointers, declaration-style
+    constructor calls) are recorded as unresolved edges and not traversed.
+
+Known false negatives (see DESIGN.md §16)
+    `Type var(args)` constructor calls, destructor edges, calls with
+    explicit template arguments (`f<int>(x)`), code run at namespace-scope
+    static initialization (outside any definition body), and virtual
+    dispatch is over- rather than under-approximated (every same-name
+    same-arity method is a candidate target).
+
+Reachability
+    BFS from WB_REALTIME-marked roots, deterministic (roots and edge
+    targets visited in index order), with optional pruned call sites
+    (cold-gated `allow` edges) and blocked targets (audited sinks).
+"""
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from . import cpptext
+
+#: Identifiers that look like calls/definitions but never are.
+KEYWORDS = frozenset({
+    "alignas", "alignof", "asm", "assert", "case", "catch", "co_await",
+    "co_return", "co_yield", "decltype", "defined", "delete", "do", "else",
+    "for", "goto", "if", "namespace", "new", "noexcept", "operator",
+    "private", "protected", "public", "requires", "return", "sizeof",
+    "static_assert", "switch", "template", "throw", "typeid", "typename",
+    "using", "while",
+})
+
+#: Member-call names shared with the standard containers/utilities. A
+#: `.size()` receiver is almost always a std:: container, so resolving it
+#: against every src/ class that also defines `size` would flood the graph
+#: with false hot edges (e.g. vector.clear() -> FlightRecorder::clear,
+#: which takes a mutex). Member calls with these names are recorded as
+#: unresolved instead; calls into *our* same-named methods are a
+#: documented false negative (DESIGN.md §16) — reach them with an
+#: explicit `Cls::name` qualified call if one ever becomes hot.
+STL_HOMONYMS = frozenset({
+    "assign", "at", "back", "begin", "c_str", "capacity", "clear", "count",
+    "data", "empty", "end", "erase", "fill", "find", "front", "get",
+    "length", "release", "reserve", "reset", "resize", "size", "str",
+    "substr", "swap", "value", "value_or",
+})
+
+CANDIDATE_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+CLASS_RE = re.compile(r"\b(enum\s+)?(?:class|struct)\s+([A-Za-z_]\w*)")
+QUALIFIER_RE = re.compile(r"([A-Za-z_]\w*)\s*(?:<[^<>]*>)?\s*::\s*$")
+MARKER_RE = re.compile(r"\bWB_REALTIME\b")
+#: Tokens legal between a definition's `)` and its `{`: cv/ref
+#: qualifiers, virt-specifiers, and all-caps annotation macros
+#: (clang thread-safety attributes like WB_REQUIRES(mu_)).
+TRAILER_WORD_RE = re.compile(r"(const|noexcept|override|final|mutable"
+                             r"|[A-Z][A-Z0-9_]{2,})\b")
+
+UNBOUNDED_ARITY = 999
+
+
+@dataclass
+class FuncDef:
+    name: str
+    cls: str | None          # owning class, or None for a free function
+    file: object             # engine.SourceFile
+    line: int
+    min_arity: int
+    max_arity: int
+    body_start: int          # offsets into file.code (== masked code)
+    body_end: int
+    name_offset: int
+
+    @property
+    def symbol(self) -> str:
+        qual = f"{self.cls}::{self.name}" if self.cls else self.name
+        ar = (str(self.min_arity) if self.min_arity == self.max_arity
+              else f"{self.min_arity}-"
+                   + ("*" if self.max_arity >= UNBOUNDED_ARITY
+                      else str(self.max_arity)))
+        return f"{qual}/{ar}"
+
+
+@dataclass
+class CallSite:
+    caller: int              # index into CallGraph.defs
+    name: str
+    qualifier: str | None    # `Cls` of a `Cls::name(...)` call
+    kind: str                # "plain" | "member" | "qualified"
+    arity: int
+    offset: int              # into the caller file's code
+    line: int
+    targets: list[int] = field(default_factory=list)
+
+
+@dataclass
+class Marker:
+    """One WB_REALTIME occurrence and the declaration it annotates."""
+    name: str
+    cls: str | None
+    min_arity: int
+    max_arity: int
+    path: str
+    line: int
+    defs: list[int] = field(default_factory=list)
+
+    @property
+    def symbol(self) -> str:
+        return f"{self.cls}::{self.name}" if self.cls else self.name
+
+
+def _match_paren(code: str, open_pos: int) -> int:
+    """Offset one past the `)` matching code[open_pos] == '('."""
+    depth = 0
+    for i in range(open_pos, len(code)):
+        c = code[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(code)
+
+
+def _skip_ws(code: str, i: int) -> int:
+    n = len(code)
+    while i < n and code[i].isspace():
+        i += 1
+    return i
+
+
+def _split_top_level(args: str) -> list[str]:
+    """Split on commas at zero ()/[]/{} depth, with a template-angle
+    heuristic: `<` after an identifier opens an angle level. Comparison
+    operators inside arguments can fool this (documented false negative:
+    the arity comes out wrong and the edge goes unresolved)."""
+    parts: list[str] = []
+    depth = 0
+    angle = 0
+    start = 0
+    prev = ""
+    for i, c in enumerate(args):
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+        elif c == "<" and (prev.isalnum() or prev in "_>"):
+            angle += 1
+        elif c == ">" and angle > 0 and prev != "-":
+            angle -= 1
+        elif c == "," and depth == 0 and angle == 0:
+            parts.append(args[start:i])
+            start = i + 1
+        if not c.isspace():
+            prev = c
+    parts.append(args[start:])
+    return parts
+
+
+def _arity_range(params: str) -> tuple[int, int]:
+    """(min, max) arity of a definition's parameter list."""
+    body = params.strip()
+    if not body or body == "void":
+        return 0, 0
+    parts = _split_top_level(body)
+    n = len(parts)
+    if any("..." in p for p in parts):
+        return max(0, n - 1), UNBOUNDED_ARITY
+    defaults = sum(1 for p in parts if "=" in p)
+    return n - defaults, n
+
+
+def _call_arity(args: str) -> int:
+    body = args.strip()
+    if not body:
+        return 0
+    return len(_split_top_level(body))
+
+
+def _class_spans(code: str) -> list[tuple[str, int, int]]:
+    """(name, body_start, body_end) for every class/struct with a body."""
+    out: list[tuple[str, int, int]] = []
+    for m in CLASS_RE.finditer(code):
+        if m.group(1):  # enum class: scoped enumerators, not a class body
+            continue
+        # Scan past any base-clause to the body `{` (or give up at `;`,
+        # a forward declaration).
+        i = m.end()
+        n = len(code)
+        while i < n and code[i] not in "{;":
+            if code[i] == "<":  # template args in a base clause
+                i = cpptext.match_angle(code, i)
+            elif code[i] == "(":
+                i = _match_paren(code, i)
+            else:
+                i += 1
+        if i < n and code[i] == "{":
+            out.append((m.group(2), i, cpptext.match_brace(code, i)))
+    return out
+
+
+def _innermost_class(spans: list[tuple[str, int, int]],
+                     pos: int) -> str | None:
+    best: tuple[int, str] | None = None
+    for name, start, end in spans:
+        if start <= pos < end and (best is None or start > best[0]):
+            best = (start, name)
+    return best[1] if best else None
+
+
+def _prev_nonspace(code: str, pos: int) -> int:
+    i = pos - 1
+    while i >= 0 and code[i].isspace():
+        i -= 1
+    return i
+
+
+def _find_body(code: str, pclose: int) -> int | None:
+    """Offset of the definition body `{` following a parameter list that
+    ends at `pclose`, or None if this is a declaration/expression.
+    Handles cv/ref/virt-specifier trailers, annotation macros, trailing
+    return types, and constructor member-init lists."""
+    i = _skip_ws(code, pclose)
+    n = len(code)
+    while i < n:
+        c = code[i]
+        if c == "{":
+            return i
+        if c in ";=,)]":
+            return None
+        if c == "&":  # ref-qualifier (& or &&)
+            i = _skip_ws(code, i + 1 if code[i:i + 2] != "&&" else i + 2)
+            continue
+        if c == "(":  # noexcept(...) / annotation-macro arguments
+            i = _skip_ws(code, _match_paren(code, i))
+            continue
+        if code.startswith("->", i):  # trailing return type
+            i += 2
+            while i < n and code[i] not in "{;=":
+                if code[i] == "<":
+                    i = cpptext.match_angle(code, i)
+                elif code[i] == "(":
+                    i = _match_paren(code, i)
+                else:
+                    i += 1
+            continue
+        if c == ":":  # constructor member-init list
+            i = _skip_ws(code, i + 1)
+            while i < n:
+                m = re.match(r"[A-Za-z_]\w*", code[i:])
+                if not m:
+                    return None
+                i = _skip_ws(code, i + m.end())
+                if i < n and code[i] == "<":
+                    i = _skip_ws(code, cpptext.match_angle(code, i))
+                if i >= n or code[i] not in "({":
+                    return None
+                i = (_match_paren(code, i) if code[i] == "("
+                     else cpptext.match_brace(code, i))
+                i = _skip_ws(code, i)
+                if i < n and code[i] == ",":
+                    i = _skip_ws(code, i + 1)
+                    continue
+                return i if i < n and code[i] == "{" else None
+            return None
+        m = TRAILER_WORD_RE.match(code, i)
+        if m:
+            i = _skip_ws(code, m.end())
+            continue
+        return None
+    return None
+
+
+class CallGraph:
+    def __init__(self) -> None:
+        self.defs: list[FuncDef] = []
+        self.calls: list[CallSite] = []
+        self.markers: list[Marker] = []
+        self.files_scanned = 0
+        self._by_name: dict[str, list[int]] = {}
+        self._calls_by_def: dict[int, list[int]] = {}
+
+    # -- queries ----------------------------------------------------------
+
+    def defs_named(self, name: str) -> list[int]:
+        return self._by_name.get(name, [])
+
+    def find_defs(self, cls: str | None, name: str) -> list[int]:
+        return [i for i in self.defs_named(name) if self.defs[i].cls == cls]
+
+    def calls_of(self, def_index: int) -> list[int]:
+        return self._calls_by_def.get(def_index, [])
+
+    def root_defs(self) -> list[int]:
+        """Definition indices of every marker-resolved root, sorted."""
+        out: set[int] = set()
+        for mk in self.markers:
+            out.update(mk.defs)
+        return sorted(out)
+
+    def reachable(self, roots: list[int],
+                  pruned_calls: frozenset[int] = frozenset(),
+                  blocked_defs: frozenset[int] = frozenset()
+                  ) -> dict[int, tuple[int | None, int | None]]:
+        """BFS from `roots`: def index -> (parent def, via call index).
+        Roots map to (None, None). `pruned_calls` edges are not followed;
+        `blocked_defs` are never entered (audited sinks)."""
+        parent: dict[int, tuple[int | None, int | None]] = {}
+        queue: list[int] = []
+        for r in sorted(roots):
+            if r not in parent:
+                parent[r] = (None, None)
+                queue.append(r)
+        while queue:
+            d = queue.pop(0)
+            for ci in self.calls_of(d):
+                if ci in pruned_calls:
+                    continue
+                for t in self.calls[ci].targets:
+                    if t in parent or t in blocked_defs:
+                        continue
+                    parent[t] = (d, ci)
+                    queue.append(t)
+        return parent
+
+    def path_to(self, reach: dict[int, tuple[int | None, int | None]],
+                def_index: int) -> list[str]:
+        """Root-first symbol chain explaining why `def_index` is hot."""
+        chain: list[str] = []
+        cur: int | None = def_index
+        while cur is not None:
+            chain.append(self.defs[cur].symbol)
+            cur = reach[cur][0]
+        return list(reversed(chain))
+
+    # -- construction -----------------------------------------------------
+
+    def _scan_file(self, f) -> None:
+        code = cpptext.mask_directives(f.code)
+        spans = _class_spans(code)
+        def_names: set[int] = set()
+
+        # Pass 1: definitions. Candidates inside an already-found body are
+        # calls, handled in pass 2 (definitions cannot nest; lambdas never
+        # match `name(`).
+        skip_until = 0
+        first_def = len(self.defs)
+        for m in CANDIDATE_RE.finditer(code):
+            if m.start() < skip_until:
+                continue
+            name = m.group(1)
+            if name in KEYWORDS:
+                continue
+            prev = _prev_nonspace(code, m.start(1))
+            if prev >= 0 and (code[prev] in ".~"
+                              or code[prev - 1: prev + 1] == "->"):
+                continue
+            open_pos = code.index("(", m.end(1))
+            pclose = _match_paren(code, open_pos)
+            body = _find_body(code, pclose)
+            if body is None:
+                continue
+            cls = None
+            if prev >= 1 and code[prev - 1: prev + 1] == "::":
+                q = QUALIFIER_RE.search(code[max(0, prev - 79): prev + 1])
+                if q:
+                    cls = q.group(1)
+            if cls is None:
+                cls = _innermost_class(spans, m.start(1))
+            lo, hi = _arity_range(code[open_pos + 1: pclose - 1])
+            body_end = cpptext.match_brace(code, body)
+            self.defs.append(FuncDef(
+                name=name, cls=cls, file=f, line=f.line_of(m.start(1)),
+                min_arity=lo, max_arity=hi,
+                body_start=body, body_end=body_end,
+                name_offset=m.start(1)))
+            def_names.add(m.start(1))
+            skip_until = body_end
+
+        # Pass 2: markers (macro *definition* lines are masked, so the one
+        # in util/check.h never matches).
+        for m in MARKER_RE.finditer(code):
+            cand = CANDIDATE_RE.search(code, m.end(), m.end() + 240)
+            if cand is None or cand.group(1) in KEYWORDS:
+                continue
+            open_pos = code.index("(", cand.end(1))
+            pclose = _match_paren(code, open_pos)
+            lo, hi = _arity_range(code[open_pos + 1: pclose - 1])
+            self.markers.append(Marker(
+                name=cand.group(1),
+                cls=_innermost_class(spans, cand.start(1)),
+                min_arity=lo, max_arity=hi,
+                path=f.rel, line=f.line_of(m.start())))
+
+        # Pass 3: call sites inside each definition body found in pass 1.
+        for di in range(first_def, len(self.defs)):
+            d = self.defs[di]
+            for m in CANDIDATE_RE.finditer(code, d.body_start, d.body_end):
+                name = m.group(1)
+                if name in KEYWORDS or m.start(1) in def_names:
+                    continue
+                prev = _prev_nonspace(code, m.start(1))
+                if prev >= 0 and code[prev] == "~":
+                    continue
+                kind, qualifier = "plain", None
+                if prev >= 0 and code[prev] == ".":
+                    kind = "member"
+                elif prev >= 1 and code[prev - 1: prev + 1] == "->":
+                    kind = "member"
+                elif prev >= 1 and code[prev - 1: prev + 1] == "::":
+                    kind = "qualified"
+                    q = QUALIFIER_RE.search(code[max(0, prev - 79): prev + 1])
+                    if q:
+                        qualifier = q.group(1)
+                open_pos = code.index("(", m.end(1))
+                pclose = _match_paren(code, open_pos)
+                self.calls.append(CallSite(
+                    caller=di, name=name, qualifier=qualifier, kind=kind,
+                    arity=_call_arity(code[open_pos + 1: pclose - 1]),
+                    offset=m.start(1), line=f.line_of(m.start(1))))
+
+    def _resolve(self) -> None:
+        self._by_name = {}
+        for i, d in enumerate(self.defs):
+            self._by_name.setdefault(d.name, []).append(i)
+        for ci, call in enumerate(self.calls):
+            if call.kind == "member" and call.name in STL_HOMONYMS:
+                self._calls_by_def.setdefault(call.caller, []).append(ci)
+                continue
+            cands = [i for i in self.defs_named(call.name)
+                     if self.defs[i].min_arity <= call.arity
+                     <= self.defs[i].max_arity]
+            if call.kind == "member":
+                cands = [i for i in cands if self.defs[i].cls is not None]
+            elif call.kind == "qualified" and call.qualifier:
+                scoped = [i for i in cands
+                          if self.defs[i].cls == call.qualifier]
+                if scoped:  # else: a namespace qualifier (wb::, std::)
+                    cands = scoped
+            elif call.kind == "plain":
+                caller_cls = self.defs[call.caller].cls
+                cands = [i for i in cands
+                         if self.defs[i].cls is None
+                         or self.defs[i].cls == caller_cls]
+            call.targets = cands
+            self._calls_by_def.setdefault(call.caller, []).append(ci)
+        for mk in self.markers:
+            # Arity *ranges* must overlap, not match exactly: default
+            # arguments appear on the marked declaration but not on the
+            # out-of-line definition.
+            mk.defs = [
+                i for i in self.defs_named(mk.name)
+                if self.defs[i].cls == mk.cls
+                and self.defs[i].min_arity <= mk.max_arity
+                and mk.min_arity <= self.defs[i].max_arity]
+
+    # -- export -----------------------------------------------------------
+
+    def to_json(self) -> dict:
+        reach_all = self.reachable(self.root_defs())
+        roots = []
+        for mk in sorted(self.markers, key=lambda m: (m.path, m.line)):
+            sub = self.reachable(mk.defs)
+            roots.append({
+                "marker": mk.symbol,
+                "path": mk.path,
+                "line": mk.line,
+                "resolved": [self.defs[i].symbol for i in mk.defs],
+                "reachable": sorted(self.defs[i].symbol for i in sub),
+            })
+        functions = []
+        for di, d in enumerate(self.defs):
+            functions.append({
+                "symbol": d.symbol,
+                "path": d.file.rel,
+                "line": d.line,
+                "hot": di in reach_all,
+                "calls": [
+                    {"name": c.name, "kind": c.kind, "arity": c.arity,
+                     "line": c.line,
+                     "targets": sorted(self.defs[t].symbol
+                                       for t in c.targets)}
+                    for c in (self.calls[ci] for ci in self.calls_of(di))
+                ],
+            })
+        resolved = sum(1 for c in self.calls if c.targets)
+        return {
+            "tool": "wb_callgraph",
+            "version": 1,
+            "files_scanned": self.files_scanned,
+            "functions_total": len(self.defs),
+            "calls_total": len(self.calls),
+            "calls_resolved": resolved,
+            "calls_unresolved": len(self.calls) - resolved,
+            "hot_functions": len(reach_all),
+            "roots": roots,
+            "functions": functions,
+        }
+
+
+def build(files: list) -> CallGraph:
+    """Build the call graph over `files` (engine.SourceFile list; the
+    engine passes every file under src/)."""
+    g = CallGraph()
+    g.files_scanned = len(files)
+    for f in files:
+        g._scan_file(f)
+    g._resolve()
+    return g

@@ -8,55 +8,91 @@ catalogue without an AST.
 """
 from __future__ import annotations
 
+import bisect
 import re
 from typing import Iterator
 
 
-def strip_comments_and_strings(text: str, keep_strings: bool = False) -> str:
-    """Blank out comments and string/char literals, preserving offsets.
+def strip_views(text: str) -> tuple[str, str]:
+    """One tokenizer pass producing both stripped views of `text`:
+    (code, code_with_strings).
 
-    Every replaced character becomes a space (newlines are kept), so byte
-    offsets and line numbers in the stripped text match the original.
-    With keep_strings=True only comments are blanked; literal contents
-    stay (used by rules that inspect string arguments, e.g. metric-name).
+    `code` blanks comments and string/char literal contents; in
+    `code_with_strings` only comments are blanked (used by rules that
+    inspect string arguments, e.g. metric-name). Every replaced character
+    becomes a space and newlines are kept, so byte offsets and line
+    numbers in both views match the original.
     """
-    out: list[str] = []
+    code: list[str] = []
+    code_s: list[str] = []
     i, n = 0, len(text)
     while i < n:
         c = text[i]
         if c == "/" and i + 1 < n and text[i + 1] == "/":
             j = text.find("\n", i)
             j = n if j < 0 else j
-            out.append(" " * (j - i))
+            blank = " " * (j - i)
+            code.append(blank)
+            code_s.append(blank)
             i = j
         elif c == "/" and i + 1 < n and text[i + 1] == "*":
             j = text.find("*/", i + 2)
             j = n if j < 0 else j + 2
-            out.append(re.sub(r"[^\n]", " ", text[i:j]))
+            blank = re.sub(r"[^\n]", " ", text[i:j])
+            code.append(blank)
+            code_s.append(blank)
             i = j
         elif c == "'" and i > 0 and (text[i - 1].isalnum() or text[i - 1] == "_"):
             # C++14 digit separator (10'000) or a suffix position — not a
             # character literal.
-            out.append(c)
+            code.append(c)
+            code_s.append(c)
             i += 1
         elif c in "\"'":
             j = i + 1
             while j < n and text[j] != c:
                 j += 2 if text[j] == "\\" else 1
             j = min(j + 1, n)
-            if keep_strings:
-                out.append(text[i:j])
-            else:
-                out.append(c + " " * (j - i - 2) + (c if j - i >= 2 else ""))
+            code_s.append(text[i:j])
+            code.append(c + " " * (j - i - 2) + (c if j - i >= 2 else ""))
             i = j
         else:
-            out.append(c)
+            code.append(c)
+            code_s.append(c)
             i += 1
-    return "".join(out)
+    return "".join(code), "".join(code_s)
+
+
+def strip_comments_and_strings(text: str, keep_strings: bool = False) -> str:
+    """Single-view wrapper over strip_views() (kept for callers that only
+    need one view, e.g. the call-graph unit tests)."""
+    code, code_s = strip_views(text)
+    return code_s if keep_strings else code
+
+
+class LineIndex:
+    """O(log n) byte-offset → 1-based line number mapping.
+
+    Built once per file and shared by every rule; replaces the previous
+    per-lookup `text.count("\\n", 0, pos)` scan, which was quadratic over
+    a file's findings.
+    """
+
+    def __init__(self, text: str) -> None:
+        self._starts = [0]
+        find = text.find
+        i = find("\n")
+        while i >= 0:
+            self._starts.append(i + 1)
+            i = find("\n", i + 1)
+
+    def line_of(self, pos: int) -> int:
+        return bisect.bisect_right(self._starts, pos)
 
 
 def line_of(text: str, pos: int) -> int:
-    """1-based line number of byte offset `pos`."""
+    """1-based line number of byte offset `pos` (one-shot; rules should
+    prefer SourceFile.line_of, which uses a cached LineIndex)."""
     return text.count("\n", 0, pos) + 1
 
 
@@ -130,6 +166,25 @@ def declared_names(code: str, type_re: str) -> Iterator[tuple[str, int]]:
         tail = re.match(r"\s*(?:const\s+)?[&*\s]*([A-Za-z_]\w*)", code[i:])
         if tail:
             yield tail.group(1), m.start()
+
+
+def mask_directives(code: str) -> str:
+    """Blank preprocessor directive lines (including backslash
+    continuations) in comment-stripped code, preserving offsets.
+
+    The call-graph layer works on unexpanded text, so macro *definitions*
+    must not look like function definitions; masking them keeps
+    `#define WB_REQUIRE(cond, msg) ...` out of the symbol table.
+    """
+    out: list[str] = []
+    for line in code.split("\n"):
+        in_directive = out and out[-1].rstrip().endswith("\\")
+        if in_directive or line.lstrip().startswith("#"):
+            out.append(re.sub(r"[^\\]", " ", line) if line.rstrip().endswith("\\")
+                       else " " * len(line))
+        else:
+            out.append(line)
+    return "\n".join(out)
 
 
 def directive_lines(text: str) -> set[int]:

@@ -24,6 +24,7 @@ import argparse
 import json
 import re
 import sys
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -67,7 +68,10 @@ class Suppression:
 
 
 class SourceFile:
-    """One scanned file with lazily computed stripped views."""
+    """One scanned file with lazily computed, shared per-file context:
+    both stripped views come from a single tokenizer pass, and line
+    lookups go through one cached LineIndex. Every rule family reuses
+    these instead of re-parsing."""
 
     def __init__(self, root: Path, path: Path) -> None:
         self.path = path
@@ -75,19 +79,29 @@ class SourceFile:
         self.text = path.read_text()
         self._code: str | None = None
         self._code_with_strings: str | None = None
+        self._lines: cpptext.LineIndex | None = None
+
+    def _strip(self) -> None:
+        self._code, self._code_with_strings = cpptext.strip_views(self.text)
 
     @property
     def code(self) -> str:
         if self._code is None:
-            self._code = cpptext.strip_comments_and_strings(self.text)
+            self._strip()
         return self._code
 
     @property
     def code_with_strings(self) -> str:
         if self._code_with_strings is None:
-            self._code_with_strings = cpptext.strip_comments_and_strings(
-                self.text, keep_strings=True)
+            self._strip()
         return self._code_with_strings
+
+    def line_of(self, pos: int) -> int:
+        """1-based line of byte offset `pos` (valid for text and both
+        stripped views — stripping preserves offsets)."""
+        if self._lines is None:
+            self._lines = cpptext.LineIndex(self.text)
+        return self._lines.line_of(pos)
 
     @property
     def is_header(self) -> bool:
@@ -111,6 +125,16 @@ class Context:
         self.root = root
         self.files = files
         self.findings: list[Finding] = []
+        self._callgraph = None
+
+    def callgraph(self):
+        """The interprocedural call graph over src/ (built once, shared by
+        the realtime rule family and --callgraph-out)."""
+        if self._callgraph is None:
+            from . import callgraph
+            self._callgraph = callgraph.build(
+                [f for f in self.files if f.top == "src"])
+        return self._callgraph
 
     def report(self, rule: "Rule", f: SourceFile | str, line: int,
                message: str) -> None:
@@ -243,18 +267,23 @@ def apply_suppressions(findings: list[Finding],
 
 
 def run_analysis(root: Path,
-                 only: set[str] | None = None
+                 only: set[str] | None = None,
+                 timings: dict[str, float] | None = None
                  ) -> tuple[Context, list[Suppression]]:
-    """Run every registered rule (or just `only`, a set of rule names)."""
+    """Run every registered rule (or just `only`, a set of rule names).
+    With `timings` (a dict), per-rule wall seconds are recorded into it."""
     rules = registry()
     files = collect_files(root)
     ctx = Context(root, files)
     for name, rule in rules.items():
         if only is not None and name not in only:
             continue
+        t0 = time.perf_counter() if timings is not None else 0.0
         for f in files:
             rule.check_file(ctx, f)
         rule.check_tree(ctx)
+        if timings is not None:
+            timings[name] = time.perf_counter() - t0
     supps = collect_suppressions(files)
     apply_suppressions(ctx.findings, supps, only)
     ctx.findings.sort(key=lambda x: (x.path, x.line, x.rule))
@@ -348,6 +377,11 @@ def main(argv: list[str] | None = None) -> int:
                     help="print the rule catalogue and exit")
     ap.add_argument("--quiet", action="store_true",
                     help="suppress per-finding human output")
+    ap.add_argument("--timings", action="store_true",
+                    help="print per-rule wall time to stderr")
+    ap.add_argument("--callgraph-out", type=Path, metavar="PATH",
+                    help="write the resolved src/ call graph (deterministic "
+                         "JSON, with per-WB_REALTIME-root reachability) here")
     args = ap.parse_args(argv)
 
     rules = registry()
@@ -373,8 +407,15 @@ def main(argv: list[str] | None = None) -> int:
         only = set(args.rules)
 
     root = args.root.resolve()
-    ctx, supps = run_analysis(root, only)
+    timings: dict[str, float] | None = {} if args.timings else None
+    ctx, supps = run_analysis(root, only, timings)
     doc = to_json(ctx, supps)
+
+    if timings is not None:
+        width = max((len(n) for n in timings), default=0)
+        for name in sorted(timings, key=lambda n: -timings[n]):
+            print(f"wb_analyze: timing: {name:<{width}} "
+                  f"{timings[name] * 1e3:8.2f} ms", file=sys.stderr)
 
     if not args.quiet:
         for f in ctx.findings:
@@ -383,6 +424,12 @@ def main(argv: list[str] | None = None) -> int:
     if args.json_out:
         args.json_out.parent.mkdir(parents=True, exist_ok=True)
         args.json_out.write_text(json.dumps(doc, indent=2) + "\n")
+
+    if args.callgraph_out:
+        from . import callgraph
+        args.callgraph_out.parent.mkdir(parents=True, exist_ok=True)
+        args.callgraph_out.write_text(
+            json.dumps(ctx.callgraph().to_json(), indent=1) + "\n")
 
     if args.write_baseline:
         path = args.baseline or (REPO_ROOT / "tools/wb_analyze/baseline.json")

@@ -4,6 +4,7 @@ from . import determinism   # noqa: F401
 from . import headers       # noqa: F401
 from . import obs           # noqa: F401
 from . import raii          # noqa: F401
+from . import realtime      # noqa: F401
 from . import serve         # noqa: F401
 from . import simd          # noqa: F401
 from . import units         # noqa: F401

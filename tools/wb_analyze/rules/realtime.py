@@ -1,0 +1,201 @@
+"""Realtime rule family: interprocedural hot-path safety.
+
+Roots are declared in source with the `WB_REALTIME` marker
+(src/util/check.h). The rules walk transitive reachability over the
+src/ call graph (callgraph.py) and ban, anywhere reachable from a root:
+
+  realtime-alloc     amortized allocation — operator new,
+                     make_unique/make_shared, container growth calls
+                     (push_back/emplace_back/insert/...), std::string
+                     construction, std::to_string. The sanctioned
+                     explicit-sizing idiom (resize/reserve/assign/clear
+                     into reused workspace capacity) is deliberately
+                     legal: steady-state allocation counts are pinned at
+                     runtime by the BENCH_* zero-alloc gates, and bans
+                     here target the *unbounded* growth calls those
+                     gates can miss on unbenched paths.
+  realtime-blocking  blocking and nondeterminism — mutex/lock
+                     acquisition, condition-variable waits, sleeps,
+                     stream/FILE I/O, throw. snprintf (memory-only
+                     formatting) stays legal.
+  realtime-marker    a WB_REALTIME marker whose declaration resolves to
+                     no definition in the graph (stale marker, or an
+                     analyzer blind spot that must not fail silently).
+
+Cold-gated calls: an `// wb-analyze: allow(realtime-alloc): why` (or
+-blocking) on a call-site line — or the line above — prunes that call
+edge from the walk *for the whole family* (coldness is a property of the
+call, not of one rule), and the rule named by the allow reports the
+pruned edge at that line so the suppression is consumed and audited.
+Removing the allow un-prunes the edge and every violation inside the
+callee surfaces unsuppressed.
+
+Audited sinks (never traversed, documented in DESIGN.md §16):
+MetricsRegistry::counter/gauge/histogram — instrument lookup takes the
+registry mutex and emplaces on first use by design; the obs layer is
+null-gated off the hot path by default and its overhead is budget-gated
+(≤5 %, 0 steady-state allocs) by BENCH_obs.
+"""
+from __future__ import annotations
+
+import re
+
+from ..engine import Context, Rule, SUPPRESS_RE, register
+
+FAMILY_RULES = ("realtime-alloc", "realtime-blocking")
+
+#: (cls, name) method sets whose *internals* are audited out of the walk.
+AUDITED_SINKS = (
+    ("MetricsRegistry", "counter"),
+    ("MetricsRegistry", "gauge"),
+    ("MetricsRegistry", "histogram"),
+)
+
+ALLOC_PATTERNS = (
+    (re.compile(r"\bnew\b"), "operator new"),
+    (re.compile(r"\bmake_unique\b|\bmake_shared\b"), "heap construction"),
+    (re.compile(r"(?:\.|->)\s*(?:push_back|emplace_back|push_front"
+                r"|emplace_front|insert|emplace|append)\s*\("),
+     "amortized container growth"),
+    (re.compile(r"\bstd\s*::\s*string\b"), "std::string construction"),
+    (re.compile(r"\bstd\s*::\s*to_string\b"), "std::to_string"),
+    (re.compile(r"\bstd\s*::\s*(?:[oi]?stringstream)\b"),
+     "stringstream construction"),
+)
+
+BLOCKING_PATTERNS = (
+    (re.compile(r"\b(?:MutexLock|lock_guard|unique_lock|scoped_lock"
+                r"|shared_lock)\b"), "mutex acquisition"),
+    (re.compile(r"(?:\.|->)\s*(?:lock|try_lock|unlock)\s*\("),
+     "explicit lock call"),
+    (re.compile(r"\bcondition_variable\b"), "condition variable"),
+    (re.compile(r"(?:\.|->)\s*(?:wait|wait_for|wait_until)\s*\("),
+     "blocking wait"),
+    (re.compile(r"\bsleep_for\b|\bsleep_until\b|\bthis_thread\b"),
+     "sleep/yield"),
+    (re.compile(r"\bthrow\b"), "throw (unwinding is unbounded; hot paths "
+                               "report via DropReason/Error returns)"),
+    (re.compile(r"\bstd\s*::\s*(?:cout|cerr|clog|cin|getline|ifstream"
+                r"|ofstream|fstream)\b"), "stream I/O"),
+    (re.compile(r"\b(?:fopen|fclose|fread|fwrite|fprintf|printf|fputs"
+                r"|puts|fflush|fscanf|scanf|fgets)\s*\("), "FILE I/O"),
+)
+
+
+def _family_allow_lines(ctx: Context) -> dict[str, dict[int, str]]:
+    """path -> {line: allowed-rule-name} for realtime-family allows."""
+    out: dict[str, dict[int, str]] = {}
+    for f in ctx.files:
+        if f.top != "src":
+            continue
+        for lineno, line in enumerate(f.text.splitlines(), start=1):
+            m = SUPPRESS_RE.search(line)
+            if m and m.group(1) in FAMILY_RULES:
+                out.setdefault(f.rel, {})[lineno] = m.group(1)
+    return out
+
+
+class _RealtimeWalk(Rule):
+    """Shared reachability walk; subclasses provide the token patterns."""
+
+    family = "realtime"
+    severity = "error"
+    patterns: tuple = ()
+
+    def check_tree(self, ctx: Context) -> None:
+        g = ctx.callgraph()
+        roots = g.root_defs()
+        if not roots:
+            return
+
+        blocked = frozenset(
+            i for cls, name in AUDITED_SINKS for i in g.find_defs(cls, name))
+
+        allows = _family_allow_lines(ctx)
+        pruned: set[int] = set()
+        pruned_rule: dict[int, str] = {}
+        for ci, call in enumerate(g.calls):
+            if not call.targets:
+                continue
+            file_allows = allows.get(g.defs[call.caller].file.rel, {})
+            for ln in (call.line, call.line - 1):
+                if ln in file_allows:
+                    pruned.add(ci)
+                    pruned_rule[ci] = file_allows[ln]
+                    break
+
+        reach = g.reachable(roots, frozenset(pruned), blocked)
+
+        # Pruned (cold-gated) edges out of hot callers: reported by the
+        # rule the allow names, at the call line, so the suppression is
+        # consumed and shows up in the audited census.
+        for ci in sorted(pruned):
+            call = g.calls[ci]
+            if call.caller not in reach or pruned_rule[ci] != self.name:
+                continue
+            d = g.defs[call.caller]
+            targets = ", ".join(sorted({g.defs[t].symbol
+                                        for t in call.targets}))
+            ctx.report(self, d.file.rel, call.line,
+                       f"cold-gated call from hot `{d.symbol}` into "
+                       f"{targets}: edge pruned from the realtime walk "
+                       f"(audited via this allow)")
+
+        for di in sorted(reach, key=lambda i: (g.defs[i].file.rel,
+                                               g.defs[i].line)):
+            d = g.defs[di]
+            body = d.file.code[d.body_start:d.body_end]
+            hits = []
+            for pat, what in self.patterns:
+                for m in pat.finditer(body):
+                    hits.append((d.body_start + m.start(), what))
+            if not hits:
+                continue
+            chain = g.path_to(reach, di)
+            if len(chain) > 4:
+                chain = chain[:2] + ["…"] + chain[-1:]
+            via = " → ".join(chain)
+            for off, what in sorted(hits):
+                ctx.report(self, d.file.rel, d.file.line_of(off),
+                           f"{what} in `{d.symbol}`, reachable from a "
+                           f"WB_REALTIME root: {via}")
+
+
+@register
+class RealtimeAlloc(_RealtimeWalk):
+    name = "realtime-alloc"
+    description = ("no amortized allocation (new, make_unique/shared, "
+                   "container growth, std::string building) anywhere "
+                   "reachable from a WB_REALTIME root; explicit-sizing "
+                   "resize/reserve into reused capacity stays legal "
+                   "(runtime-gated by the BENCH zero-alloc rows)")
+    patterns = ALLOC_PATTERNS
+
+
+@register
+class RealtimeBlocking(_RealtimeWalk):
+    name = "realtime-blocking"
+    description = ("no blocking or nondeterminism (mutex/CV waits, "
+                   "sleeps, stream/FILE I/O, throw) anywhere reachable "
+                   "from a WB_REALTIME root")
+    patterns = BLOCKING_PATTERNS
+
+
+@register
+class RealtimeMarker(Rule):
+    name = "realtime-marker"
+    family = "realtime"
+    severity = "error"
+    description = ("every WB_REALTIME marker must resolve to a defined "
+                   "function/method (name, owner, arity) in the src/ call "
+                   "graph — a stale marker silently guards nothing")
+
+    def check_tree(self, ctx: Context) -> None:
+        g = ctx.callgraph()
+        for mk in g.markers:
+            if not mk.defs:
+                ctx.report(self, mk.path, mk.line,
+                           f"WB_REALTIME marks `{mk.symbol}` "
+                           f"(arity {mk.min_arity}..{mk.max_arity}) but no "
+                           f"matching definition exists in src/ — remove "
+                           f"the stale marker or fix the declaration")
